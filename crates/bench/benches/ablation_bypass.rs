@@ -1,0 +1,24 @@
+//! Ablation (paper §2.2): bypass-buffer sizing. The buffers exist for
+//! deadlock avoidance; this sweep shows their (small) performance effect
+//! and that the machine still completes with minimal buffers.
+
+use smtp_core::{run_experiment, ExperimentConfig};
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+
+fn main() {
+    println!("# Ablation: protocol bypass-buffer lines (SMTp, 8 nodes, 1-way)");
+    let nodes = 8.min(smtp_bench::nodes_cap());
+    println!("{:6} | {:>10} {:>10} {:>10}", "app", "16 lines", "4 lines", "1 line");
+    for app in [AppKind::Fft, AppKind::Ocean, AppKind::Radix] {
+        let mut row = format!("{:6} |", app.name());
+        for lines in [16usize, 4, 1] {
+            let mut e = ExperimentConfig::new(MachineModel::SMTp, app, nodes, 1);
+            e.bypass_lines = Some(lines);
+            let r = run_experiment(&e);
+            row.push_str(&format!(" {:>10}", r.cycles));
+            eprintln!("  [{} bypass={}] {}", app.name(), lines, r.cycles);
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Ablation (paper §2.3): Look-Ahead Scheduling of protocol handlers on
+//! vs off — the paper reports up to 3.9% improvement.
+
+use smtp_core::{run_experiment, ExperimentConfig};
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+
+fn main() {
+    println!("# Ablation: Look-Ahead Scheduling (SMTp, 8 nodes, 1-way)");
+    let nodes = 8.min(smtp_bench::nodes_cap());
+    println!("{:6} | {:>10} {:>10} {:>8} {:>12}", "app", "LAS on", "LAS off", "gain", "LA handlers");
+    for app in AppKind::ALL {
+        let mut on = ExperimentConfig::new(MachineModel::SMTp, app, nodes, 1);
+        on.look_ahead = true;
+        let mut off = on.clone();
+        off.look_ahead = false;
+        let r_on = run_experiment(&on);
+        let r_off = run_experiment(&off);
+        eprintln!("  [{}] on={} off={}", app.name(), r_on.cycles, r_off.cycles);
+        println!(
+            "{:6} | {:>10} {:>10} {:>7.2}% {:>12}",
+            app.name(),
+            r_on.cycles,
+            r_off.cycles,
+            (r_off.cycles as f64 / r_on.cycles as f64 - 1.0) * 100.0,
+            r_on.handlers,
+        );
+    }
+}

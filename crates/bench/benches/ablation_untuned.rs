@@ -1,0 +1,35 @@
+//! Paper §3's side note: "the relative performance trends for less-tuned
+//! applications that do not use prefetching ... are qualitatively
+//! identical". This bench runs the five machine models with software
+//! prefetching disabled; compare its model ordering against Figure 5's.
+
+use smtp_core::{run_experiment, ExperimentConfig};
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+
+fn main() {
+    println!("# Ablation: untuned applications (no software prefetch), 8 nodes, 1-way");
+    let nodes = 8.min(smtp_bench::nodes_cap());
+    println!(
+        "{:6} | {}",
+        "app",
+        MachineModel::ALL
+            .map(|m| format!("{:>10}", m.label()))
+            .join(" ")
+    );
+    for app in [AppKind::Fft, AppKind::Ocean, AppKind::Radix] {
+        let mut base = 0f64;
+        let mut row = format!("{:6} |", app.name());
+        for model in MachineModel::ALL {
+            let mut e = ExperimentConfig::new(model, app, nodes, 1);
+            e.prefetch = false;
+            let r = run_experiment(&e);
+            eprintln!("  [{} {} no-prefetch] {}", model.label(), app.name(), r.cycles);
+            if base == 0.0 {
+                base = r.cycles as f64;
+            }
+            row.push_str(&format!(" {:>10.3}", r.cycles as f64 / base));
+        }
+        println!("{row}");
+    }
+}

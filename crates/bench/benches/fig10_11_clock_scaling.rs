@@ -1,0 +1,19 @@
+//! Paper Figures 10–11: 8-node 1-way normalized execution time at 4 GHz
+//! (Fig 10) vs 2 GHz (Fig 11) — the clock-scaling study of §4.2.
+
+fn main() {
+    println!("# Paper Figures 10-11: clock-rate scaling study (8 nodes, 1-way)");
+    let nodes = 8.min(smtp_bench::nodes_cap());
+    smtp_bench::print_model_figure(
+        &format!("Figure 10: {nodes}-node, 1-way, 4 GHz"),
+        nodes,
+        1,
+        4.0,
+    );
+    smtp_bench::print_model_figure(
+        &format!("Figure 11: {nodes}-node, 1-way, 2 GHz"),
+        nodes,
+        1,
+        2.0,
+    );
+}

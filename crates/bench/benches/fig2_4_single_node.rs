@@ -1,0 +1,15 @@
+//! Paper Figures 2–4: normalized execution time on a single node with
+//! 1-, 2- and 4-way SMT, for all five machine models and six applications.
+
+fn main() {
+    println!("# Paper Figures 2-4: single-node normalized execution time");
+    println!("# (normalized to Base; cells are total(mem+cpu))");
+    for ways in [1usize, 2, 4] {
+        smtp_bench::print_model_figure(
+            &format!("Figure {}: 1-node, {}-way", ways.trailing_zeros() + 2, ways),
+            1,
+            ways,
+            2.0,
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Paper Figures 5–7: normalized execution time on 16 nodes, 1/2/4-way.
+
+fn main() {
+    println!("# Paper Figures 5-7: 16-node normalized execution time");
+    let nodes = 16.min(smtp_bench::nodes_cap());
+    for ways in [1usize, 2, 4] {
+        smtp_bench::print_model_figure(
+            &format!("Figure {}: {}-node, {}-way", ways.trailing_zeros() + 5, nodes, ways),
+            nodes,
+            ways,
+            2.0,
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Paper Figures 8–9: normalized execution time on 32 nodes, 1/2-way
+//! (up to 64 application threads).
+
+fn main() {
+    println!("# Paper Figures 8-9: 32-node normalized execution time");
+    let nodes = 32.min(smtp_bench::nodes_cap());
+    for ways in [1usize, 2] {
+        smtp_bench::print_model_figure(
+            &format!("Figure {}: {}-node, {}-way", 7 + ways, nodes, ways),
+            nodes,
+            ways,
+            2.0,
+        );
+    }
+}

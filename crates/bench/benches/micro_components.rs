@@ -1,0 +1,114 @@
+//! Criterion microbenches of the simulator's hot components: raw
+//! simulation throughput of the caches, branch predictor, network, the
+//! directory transition function, and a whole single-node machine tick.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smtp_cache::{Cache, LineState};
+use smtp_core::{ExperimentConfig, System};
+use smtp_noc::{Msg, MsgKind, Network};
+use smtp_pipeline::BranchPredictor;
+use smtp_protocol::{handler_program, must_apply, DirState};
+use smtp_types::{
+    Addr, CacheParams, Ctx, MachineModel, NetParams, NodeId, Region, SharerSet, SystemConfig,
+};
+use smtp_workloads::AppKind;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let params = CacheParams {
+        capacity: 2 * 1024 * 1024,
+        line: 128,
+        ways: 8,
+        hit_cycles: 9,
+    };
+    c.bench_function("l2_lookup_hit", |b| {
+        let mut cache = Cache::new(&params);
+        for i in 0..1024u64 {
+            cache.insert(Addr(i * 128), LineState::Shared);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(cache.lookup(Addr(i * 128)))
+        });
+    });
+    c.bench_function("l2_insert_evict", |b| {
+        let mut cache = Cache::new(&params);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.insert(Addr(i * 128), LineState::Modified))
+        });
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("tournament_predict_train", |b| {
+        let mut p = BranchPredictor::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let pc = i % 64;
+            let taken = i % 3 != 0;
+            let pred = p.predict(Ctx(0), pc);
+            p.train(Ctx(0), pc, taken);
+            black_box(pred)
+        });
+    });
+}
+
+fn bench_network(c: &mut Criterion) {
+    c.bench_function("network_inject_deliver_32n", |b| {
+        let mut net = Network::new(32, 2.0, &NetParams::default());
+        let line = Addr::new(NodeId(1), Region::AppData, 0).line();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 10;
+            net.inject(now, Msg::new(MsgKind::GetS, line, NodeId(0), NodeId(17)));
+            while let Some(m) = net.pop_arrived(now + 100_000) {
+                black_box(m);
+            }
+        });
+    });
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let home = NodeId(0);
+    let line = Addr::new(home, Region::AppData, 0x1000).line();
+    c.bench_function("directory_transition_getx_shared", |b| {
+        let sharers: SharerSet = (1..=8).map(|i| NodeId(i as u16)).collect();
+        let st = DirState::Shared(sharers);
+        let msg = Msg::new(MsgKind::GetX, line, NodeId(9), home);
+        b.iter(|| black_box(must_apply(home, &st, &msg)));
+    });
+    c.bench_function("handler_program_build", |b| {
+        let st = DirState::Unowned;
+        let msg = Msg::new(MsgKind::GetS, line, NodeId(1), home);
+        let t = must_apply(home, &st, &msg);
+        b.iter(|| black_box(handler_program(home, line, &t)));
+    });
+}
+
+fn bench_machine_tick(c: &mut Criterion) {
+    c.bench_function("smtp_1node_tick", |b| {
+        let cfg = SystemConfig::new(MachineModel::SMTp, 1, 2);
+        let mut sys = System::new(cfg, AppKind::Fft, 1.0);
+        b.iter(|| {
+            sys.tick();
+            black_box(sys.now())
+        });
+    });
+    c.bench_function("e2e_quick_fft_smtp", |b| {
+        b.iter(|| {
+            let e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 1, 1);
+            black_box(smtp_core::run_experiment(&e).cycles)
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache, bench_predictor, bench_network, bench_protocol, bench_machine_tick
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Paper Tables 5 and 6: self-relative speedup on 16 nodes (1/2/4-way)
+//! for Base and SMTp.
+
+use smtp_types::MachineModel;
+
+fn main() {
+    println!("# Paper Tables 5-6: 16-node self-relative speedups");
+    let nodes = 16.min(smtp_bench::nodes_cap());
+    smtp_bench::print_speedup_table(
+        &format!("Table 5: {nodes}-node speedup in Base"),
+        MachineModel::Base,
+        nodes,
+    );
+    smtp_bench::print_speedup_table(
+        &format!("Table 6: {nodes}-node speedup in SMTp"),
+        MachineModel::SMTp,
+        nodes,
+    );
+}

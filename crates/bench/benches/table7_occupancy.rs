@@ -1,0 +1,29 @@
+//! Paper Table 7: peak protocol occupancy on 16-node 1-way systems for
+//! Base, IntPerfect, Int512KB and SMTp.
+
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+
+fn main() {
+    println!("# Paper Table 7: 16-node protocol occupancy (1-way nodes)");
+    let nodes = 16.min(smtp_bench::nodes_cap());
+    let models = [
+        MachineModel::Base,
+        MachineModel::IntPerfect,
+        MachineModel::Int512KB,
+        MachineModel::SMTp,
+    ];
+    println!(
+        "{:6} | {}",
+        "app",
+        models.map(|m| format!("{:>10}", m.label())).join(" ")
+    );
+    for app in AppKind::ALL {
+        let mut row = format!("{:6} |", app.name());
+        for m in models {
+            let r = smtp_bench::run_point(m, app, nodes, 1, 2.0);
+            row.push_str(&format!(" {:>10}", smtp_bench::pct(r.protocol_occupancy_peak)));
+        }
+        println!("{row}");
+    }
+}

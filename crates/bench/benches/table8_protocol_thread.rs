@@ -1,0 +1,25 @@
+//! Paper Table 8: protocol-thread characteristics on 16-node 1-way SMTp —
+//! branch misprediction rate, squash-cycle percentage, and retired
+//! protocol instructions as a fraction of all retired instructions.
+
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+
+fn main() {
+    println!("# Paper Table 8: protocol thread characteristics (16 nodes, 1-way)");
+    let nodes = 16.min(smtp_bench::nodes_cap());
+    println!(
+        "{:6} | {:>12} {:>9} {:>14}",
+        "app", "Br.Mis.Rate", "Squash%", "Retired Ins."
+    );
+    for app in AppKind::ALL {
+        let r = smtp_bench::run_point(MachineModel::SMTp, app, nodes, 1, 2.0);
+        println!(
+            "{:6} | {:>12} {:>9} {:>13} of all",
+            app.name(),
+            smtp_bench::pct(r.protocol_mispredict_rate),
+            smtp_bench::pct(r.protocol_squash_frac),
+            smtp_bench::pct(r.protocol_retired_frac),
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Paper Table 9: peak pipeline-resource occupancy of the protocol thread
+//! while active (branch stack, integer registers, integer queue, LSQ), on
+//! 16-node 1-way SMTp systems. Cells are `peak, mean-of-per-node-peaks`.
+
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+
+fn main() {
+    println!("# Paper Table 9: active protocol thread resource occupancy (16 nodes, 1-way)");
+    let nodes = 16.min(smtp_bench::nodes_cap());
+    println!(
+        "{:6} | {:>9} {:>10} {:>8} {:>8}",
+        "app", "Br.Stack", "Int.Regs", "IQ", "LSQ"
+    );
+    for app in AppKind::ALL {
+        let r = smtp_bench::run_point(MachineModel::SMTp, app, nodes, 1, 2.0);
+        println!(
+            "{:6} | {:>4},{:>4.0} {:>5},{:>4.0} {:>3},{:>4.0} {:>3},{:>4.0}",
+            app.name(),
+            r.prot_branch_stack.0,
+            r.prot_branch_stack.1,
+            r.prot_int_regs.0,
+            r.prot_int_regs.1,
+            r.prot_int_queue.0,
+            r.prot_int_queue.1,
+            r.prot_lsq.0,
+            r.prot_lsq.1,
+        );
+    }
+}

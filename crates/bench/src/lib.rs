@@ -1,0 +1,104 @@
+//! Shared experiment-harness helpers for the paper-artifact benches.
+//!
+//! Every table and figure of the paper's evaluation (§4) has a bench
+//! target in `benches/` that re-runs the corresponding simulations and
+//! prints the same rows/series the paper reports. Absolute numbers differ
+//! from the paper (scaled problems, synthetic kernels — DESIGN.md §2/§7);
+//! the *shapes* are the reproduction target.
+//!
+//! Environment knobs:
+//!
+//! * `SMTP_SCALE` — workload scale (default 0.5); lower for quick runs.
+//! * `SMTP_NODES_CAP` — cap the largest machine size (for smoke runs).
+
+use smtp_core::{run_experiment, ExperimentConfig, RunStats};
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+use std::time::Instant;
+
+pub use smtp_core::experiment::default_scale;
+
+/// Cap on machine sizes (env `SMTP_NODES_CAP`, default unlimited).
+pub fn nodes_cap() -> usize {
+    std::env::var("SMTP_NODES_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX)
+}
+
+/// Run one point, echoing progress to stderr.
+pub fn run_point(
+    model: MachineModel,
+    app: AppKind,
+    nodes: usize,
+    ways: usize,
+    cpu_ghz: f64,
+) -> RunStats {
+    let mut e = ExperimentConfig::new(model, app, nodes, ways);
+    e.cpu_ghz = cpu_ghz;
+    let t = Instant::now();
+    let r = run_experiment(&e);
+    eprintln!(
+        "  [{} {} n={} w={} @{}GHz] {} cycles ({:.1}s)",
+        model.label(),
+        app.name(),
+        nodes,
+        ways,
+        cpu_ghz,
+        r.cycles,
+        t.elapsed().as_secs_f64()
+    );
+    r
+}
+
+/// Print one paper-style normalized-execution-time figure: for each
+/// application, five bars (machine models) split into memory-stall and
+/// non-memory components, normalized to `Base`.
+pub fn print_model_figure(title: &str, nodes: usize, ways: usize, cpu_ghz: f64) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:6} | {}",
+        "app",
+        MachineModel::ALL
+            .map(|m| format!("{:>16}", m.label()))
+            .join(" ")
+    );
+    println!("{:6} | {}", "", "   total(mem+cpu)".repeat(5));
+    for app in AppKind::ALL {
+        let runs: Vec<RunStats> = MachineModel::ALL
+            .iter()
+            .map(|&m| run_point(m, app, nodes, ways, cpu_ghz))
+            .collect();
+        let base = runs[0].cycles as f64;
+        let cells: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                let total = r.cycles as f64 / base;
+                let mem = r.memory_stall_cycles / base;
+                format!("{:>5.3}({:.2}+{:.2})", total, mem, total - mem)
+            })
+            .collect();
+        println!("{:6} | {}", app.name(), cells.join(" "));
+    }
+}
+
+/// Self-relative speedup of `model` on `nodes` with 1/2/4 application
+/// threads, relative to its own 1-node 1-way execution (paper Tables 5/6).
+pub fn print_speedup_table(title: &str, model: MachineModel, nodes: usize) {
+    println!("\n=== {title} ===");
+    println!("{:6} | {:>7} {:>7} {:>7}", "app", "1-way", "2-way", "4-way");
+    for app in AppKind::ALL {
+        let uni = run_point(model, app, 1, 1, 2.0).cycles as f64;
+        let mut row = format!("{:6} |", app.name());
+        for ways in [1, 2, 4] {
+            let c = run_point(model, app, nodes, ways, 2.0).cycles as f64;
+            row.push_str(&format!(" {:>7.2}", uni / c));
+        }
+        println!("{row}");
+    }
+}
+
+/// Shorthand percentage formatter.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

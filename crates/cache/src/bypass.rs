@@ -1,0 +1,110 @@
+//! Fully-associative protocol bypass buffers (paper §2.2).
+//!
+//! When a protocol-thread miss maps to a cache set with an in-flight
+//! application miss, delaying the protocol access could deadlock (the
+//! application miss may be waiting on the very handler performing the
+//! protocol access). Instead the line is placed in a small fully
+//! associative bypass buffer searched in parallel with the cache. The
+//! buffer is sized to the MSHR count — the pathological worst case.
+
+use crate::setassoc::{Cache, LineState};
+use smtp_types::{Addr, CacheParams};
+
+/// A fully-associative, LRU, line-granularity bypass buffer.
+#[derive(Clone, Debug)]
+pub struct BypassBuffer {
+    inner: Cache,
+    allocations: u64,
+}
+
+impl BypassBuffer {
+    /// A buffer of `lines` lines of `line_size` bytes.
+    pub fn new(lines: usize, line_size: u64) -> BypassBuffer {
+        BypassBuffer {
+            inner: Cache::new(&CacheParams {
+                capacity: lines as u64 * line_size,
+                line: line_size,
+                ways: lines as u32,
+                hit_cycles: 1,
+            }),
+            allocations: 0,
+        }
+    }
+
+    /// Look up a line, updating LRU.
+    pub fn lookup(&mut self, addr: Addr) -> Option<LineState> {
+        self.inner.lookup(addr)
+    }
+
+    /// Look up without LRU update.
+    pub fn probe(&self, addr: Addr) -> Option<LineState> {
+        self.inner.probe(addr)
+    }
+
+    /// Change the state of a resident line.
+    pub fn set_state(&mut self, addr: Addr, st: LineState) -> bool {
+        self.inner.set_state(addr, st)
+    }
+
+    /// Insert a line, returning the evicted victim if any.
+    ///
+    /// Bypass lines hold directory/protocol data, which is node-local, so a
+    /// dirty victim simply needs a local SDRAM writeback.
+    pub fn insert(&mut self, addr: Addr, st: LineState) -> Option<(Addr, LineState)> {
+        self.allocations += 1;
+        self.inner.insert(addr, st)
+    }
+
+    /// Invalidate a line.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<LineState> {
+        self.inner.invalidate(addr)
+    }
+
+    /// Lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.inner.occupancy()
+    }
+
+    /// Total allocations performed (statistic).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_conflicting_lines_without_indexing() {
+        let mut b = BypassBuffer::new(4, 128);
+        // Lines that would all map to the same set of a real cache.
+        for i in 0..4u64 {
+            assert!(b.insert(Addr(i * 0x10000), LineState::Modified).is_none());
+        }
+        assert_eq!(b.occupancy(), 4);
+        for i in 0..4u64 {
+            assert_eq!(b.probe(Addr(i * 0x10000)), Some(LineState::Modified));
+        }
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut b = BypassBuffer::new(2, 128);
+        b.insert(Addr(0x0), LineState::Shared);
+        b.insert(Addr(0x1000), LineState::Shared);
+        b.lookup(Addr(0x0));
+        let v = b.insert(Addr(0x2000), LineState::Shared).unwrap();
+        assert_eq!(v.0, Addr(0x1000));
+        assert_eq!(b.allocations(), 3);
+    }
+
+    #[test]
+    fn invalidate_and_set_state() {
+        let mut b = BypassBuffer::new(2, 128);
+        b.insert(Addr(0x80), LineState::Shared);
+        assert!(b.set_state(Addr(0x80), LineState::Modified));
+        assert_eq!(b.invalidate(Addr(0x80)), Some(LineState::Modified));
+        assert_eq!(b.occupancy(), 0);
+    }
+}

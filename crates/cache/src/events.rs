@@ -1,0 +1,166 @@
+//! Events and outcomes exchanged between the cache hierarchy, the pipeline
+//! and the node's coherence logic.
+
+use smtp_types::{Ctx, Cycle, LineAddr, NodeId};
+
+/// How an L2 miss should be presented to the home node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MissKind {
+    /// Read miss → `GetS`.
+    Read,
+    /// Write miss without a cached copy → `GetX`.
+    Write,
+    /// Write upgrade of a Shared copy → `Upgrade`.
+    Upgrade,
+}
+
+/// Outcome of a CPU-side cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// Hit: the result is available at the given cycle.
+    Ready(Cycle),
+    /// Miss: an MSHR tracks the access; completion will be signalled via a
+    /// [`MemEvent::LoadDone`] / [`MemEvent::IFetchDone`] (loads/fetches) or
+    /// by retrying (stores).
+    Pending,
+    /// Structurally blocked (MSHR file full for this requester class, or
+    /// the line sits in the writeback buffer awaiting its ack). Retry.
+    Blocked,
+}
+
+/// What the home granted on a fill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Grant {
+    /// Shared data.
+    Shared,
+    /// Exclusive data (eager-exclusive: usable immediately, `acks`
+    /// invalidation acknowledgements still outstanding).
+    Excl {
+        /// Outstanding invalidation acks.
+        acks: u16,
+    },
+    /// Ownership without data in response to an `Upgrade`.
+    UpgradeAck {
+        /// Outstanding invalidation acks.
+        acks: u16,
+    },
+}
+
+/// Response of the hierarchy to an incoming intervention.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IntervResult {
+    /// Served from the cache; `dirty` says whether the data was modified.
+    FromCache {
+        /// Line was dirty with respect to memory.
+        dirty: bool,
+    },
+    /// Served from the writeback buffer (the line raced with an eviction).
+    FromWb {
+        /// Line was dirty with respect to memory.
+        dirty: bool,
+    },
+    /// The line has an incomplete MSHR; the intervention was attached to it
+    /// and a `Deferred…` [`MemEvent`] will fire when the miss completes.
+    Deferred,
+}
+
+/// Response of the hierarchy to an incoming invalidation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InvalResult {
+    /// Copy destroyed (or was already absent): acknowledge now.
+    AckNow,
+    /// Pending read miss: the invalidation is applied right after the fill;
+    /// a [`MemEvent::DeferredInvalAck`] will fire.
+    Deferred,
+}
+
+/// Events emitted by the hierarchy for the node (coherence requests,
+/// SDRAM traffic) and the pipeline (completion wake-ups) to consume.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemEvent {
+    /// Application L2 miss: the node must issue the request to the line's
+    /// home (Local Miss Interface if home is this node, network otherwise).
+    AppMiss {
+        /// Missing line.
+        line: LineAddr,
+        /// Request flavour.
+        kind: MissKind,
+    },
+    /// Protocol-thread L2 miss: fetch directly from local SDRAM over the
+    /// dedicated 64-bit protocol bus, bypassing the Local Miss Interface
+    /// (paper §2.1).
+    ProtocolFetch {
+        /// Missing line (directory or protocol-code region).
+        line: LineAddr,
+    },
+    /// Application instruction-code L2 miss: fetched from local SDRAM
+    /// without coherence (code is read-only and replicated per node).
+    CodeFetch {
+        /// Missing line.
+        line: LineAddr,
+    },
+    /// A dirty or exclusive line left the L2; for application lines the
+    /// node sends `Put` to the home and the line sits in the writeback
+    /// buffer until `WbAck`; directory lines are written to local SDRAM.
+    Writeback {
+        /// Evicted line.
+        line: LineAddr,
+        /// Whether data travels with the writeback.
+        dirty: bool,
+    },
+    /// A load that missed earlier has its value at cycle `at`.
+    LoadDone {
+        /// Pipeline tag passed to `load`.
+        tag: u32,
+        /// Cycle the value is usable.
+        at: Cycle,
+    },
+    /// A store that joined an in-flight miss resolved. With `performed`
+    /// the line arrived writable and the store's data is in it (stores are
+    /// performed *at fill*, before any deferred intervention can steal the
+    /// line — the classic window-of-vulnerability guarantee). Without, the
+    /// fill granted only read permission and the store must retry (it will
+    /// issue an upgrade).
+    StoreDone {
+        /// Pipeline tag passed to `store_retire`.
+        tag: u32,
+        /// Cycle the store performed (or may retry).
+        at: Cycle,
+        /// Whether the store's effect is complete.
+        performed: bool,
+    },
+    /// An instruction fetch that missed earlier completes at cycle `at`.
+    IFetchDone {
+        /// Fetching context.
+        ctx: Ctx,
+        /// Cycle the fetch bundle is usable.
+        at: Cycle,
+    },
+    /// A deferred invalidation has been applied; ack `requester`.
+    DeferredInvalAck {
+        /// Line invalidated.
+        line: LineAddr,
+        /// Node collecting the acks.
+        requester: NodeId,
+    },
+    /// A deferred shared intervention completed: send data to `requester`
+    /// and a sharing writeback to home.
+    DeferredIntervShared {
+        /// Line downgraded.
+        line: LineAddr,
+        /// GetS requester.
+        requester: NodeId,
+        /// Whether our copy was dirty.
+        dirty: bool,
+    },
+    /// A deferred exclusive intervention completed: forward exclusive data
+    /// to `requester` and a transfer ack to home.
+    DeferredIntervExcl {
+        /// Line transferred.
+        line: LineAddr,
+        /// GetX requester (new owner).
+        requester: NodeId,
+        /// Whether our copy was dirty.
+        dirty: bool,
+    },
+}

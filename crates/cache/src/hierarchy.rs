@@ -1,0 +1,1147 @@
+//! The per-node memory hierarchy: L1I + L1D + unified L2, MSHRs, bypass
+//! buffers and writeback buffer, with the CPU-facing and coherence-facing
+//! operations the rest of the node drives.
+
+use crate::bypass::BypassBuffer;
+use crate::events::{AccessOutcome, Grant, IntervResult, InvalResult, MemEvent, MissKind};
+use crate::mshr::{Deferred, MshrClass, MshrFile, WaitTag};
+use crate::setassoc::{Cache, LineState};
+use crate::tlb::Tlb;
+use crate::wb::WritebackBuffer;
+use smtp_types::{Addr, Ctx, Cycle, LineAddr, NodeId, PipelineParams, Region};
+use std::collections::VecDeque;
+
+/// Hit/miss statistics per cache level, split between application and
+/// protocol accesses (the paper's §2.3 cache-pollution analysis needs the
+/// split).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// L1D hits by application accesses.
+    pub l1d_app_hits: u64,
+    /// L1D misses by application accesses.
+    pub l1d_app_misses: u64,
+    /// L1D hits by protocol accesses.
+    pub l1d_prot_hits: u64,
+    /// L1D misses by protocol accesses.
+    pub l1d_prot_misses: u64,
+    /// L1I hits (all contexts).
+    pub l1i_hits: u64,
+    /// L1I misses (all contexts).
+    pub l1i_misses: u64,
+    /// L2 hits by application accesses.
+    pub l2_app_hits: u64,
+    /// L2 misses by application accesses (coherence requests issued).
+    pub l2_app_misses: u64,
+    /// L2 hits by protocol accesses.
+    pub l2_prot_hits: u64,
+    /// L2 misses by protocol accesses (direct SDRAM fetches).
+    pub l2_prot_misses: u64,
+    /// Writebacks of application lines (Put messages).
+    pub app_writebacks: u64,
+    /// Local writebacks of dirty directory/protocol lines.
+    pub dir_writebacks: u64,
+    /// Prefetches dropped (MSHR pressure or already resident/in flight).
+    pub prefetch_drops: u64,
+    /// Prefetches issued to the memory system.
+    pub prefetch_issued: u64,
+    /// Upgrade requests issued.
+    pub upgrades: u64,
+    /// DTLB misses (application accesses only; the protocol thread is
+    /// unmapped).
+    pub dtlb_misses: u64,
+    /// ITLB misses.
+    pub itlb_misses: u64,
+}
+
+/// The node's cache hierarchy.
+#[derive(Clone, Debug)]
+pub struct MemHierarchy {
+    node: NodeId,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    byp_i: BypassBuffer,
+    byp_d: BypassBuffer,
+    byp_l2: BypassBuffer,
+    mshrs: MshrFile,
+    wb: WritebackBuffer,
+    events: VecDeque<MemEvent>,
+    itlb: Tlb,
+    dtlb: Tlb,
+    tlb_miss_cycles: Cycle,
+    perfect_protocol: bool,
+    l1_hit: Cycle,
+    l2_hit: Cycle,
+    stats: CacheStats,
+}
+
+impl MemHierarchy {
+    /// Build the hierarchy for `node` from pipeline parameters; `smtp`
+    /// enables the reserved protocol MSHR and the bypass buffers.
+    pub fn new(node: NodeId, p: &PipelineParams, smtp: bool) -> MemHierarchy {
+        let byp = if smtp { p.bypass_lines } else { 0 };
+        MemHierarchy {
+            node,
+            l1i: Cache::new(&p.l1i),
+            l1d: Cache::new(&p.l1d),
+            l2: Cache::new(&p.l2),
+            byp_i: BypassBuffer::new(byp.max(1), p.l1i.line),
+            byp_d: BypassBuffer::new(byp.max(1), p.l1d.line),
+            byp_l2: BypassBuffer::new(byp.max(1), p.l2.line),
+            mshrs: MshrFile::new(p.mshrs, smtp),
+            wb: WritebackBuffer::new(),
+            events: VecDeque::new(),
+            itlb: Tlb::new(p.tlb_entries, p.page_bytes),
+            dtlb: Tlb::new(p.tlb_entries, p.page_bytes),
+            tlb_miss_cycles: p.tlb_miss_cycles,
+            perfect_protocol: smtp && p.perfect_protocol_caches,
+            l1_hit: p.l1d.hit_cycles,
+            l2_hit: p.l2.hit_cycles,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The node this hierarchy belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Pop the next pending event.
+    pub fn pop_event(&mut self) -> Option<MemEvent> {
+        self.events.pop_front()
+    }
+
+    /// Whether any in-flight application miss conflicts with the L2 set of
+    /// `line` (bypass-allocation condition).
+    fn l2_conflict(&self, line: LineAddr) -> bool {
+        let set = self.l2.set_index(line.into());
+        let l2 = &self.l2;
+        self.mshrs.app_conflict(set, |l| l2.set_index(l.into()))
+    }
+
+    fn l1d_conflict(&self, addr: Addr) -> bool {
+        let set = self.l1d.set_index(addr);
+        let l1d = &self.l1d;
+        self.mshrs.app_conflict(set, |l| l1d.set_index(l.into()))
+    }
+
+    fn l1i_conflict(&self, addr: Addr) -> bool {
+        let set = self.l1i.set_index(addr);
+        let l1i = &self.l1i;
+        self.mshrs.app_conflict(set, |l| l1i.set_index(l.into()))
+    }
+
+    /// Back-invalidate all L1 lines covered by an L2 line, merging dirty
+    /// bits; returns whether any L1 copy was dirty.
+    fn back_inval_l1(&mut self, line: LineAddr) -> bool {
+        let mut dirty = false;
+        let base = line.raw();
+        let l1d_line = self.l1d.line_size();
+        let mut off = 0;
+        while off < smtp_types::L2_LINE {
+            let a = Addr(base + off);
+            if let Some(st) = self.l1d.invalidate(a) {
+                dirty |= st.is_dirty();
+            }
+            if let Some(st) = self.byp_d.invalidate(a) {
+                dirty |= st.is_dirty();
+            }
+            off += l1d_line;
+        }
+        let l1i_line = self.l1i.line_size();
+        let mut off = 0;
+        while off < smtp_types::L2_LINE {
+            let a = Addr(base + off);
+            self.l1i.invalidate(a);
+            self.byp_i.invalidate(a);
+            off += l1i_line;
+        }
+        dirty
+    }
+
+    /// Downgrade L1 copies of a line to clean; returns whether any was dirty.
+    fn downgrade_l1(&mut self, line: LineAddr) -> bool {
+        let mut dirty = false;
+        let base = line.raw();
+        let step = self.l1d.line_size();
+        let mut off = 0;
+        while off < smtp_types::L2_LINE {
+            let a = Addr(base + off);
+            if let Some(st) = self.l1d.probe(a) {
+                dirty |= st.is_dirty();
+                self.l1d.set_state(a, LineState::Shared);
+            }
+            if let Some(st) = self.byp_d.probe(a) {
+                dirty |= st.is_dirty();
+                self.byp_d.set_state(a, LineState::Shared);
+            }
+            off += step;
+        }
+        dirty
+    }
+
+    /// Handle an evicted L2/bypass-L2 victim.
+    fn handle_l2_victim(&mut self, victim: Addr, state: LineState) {
+        let line = victim.line();
+        let l1_dirty = self.back_inval_l1(line);
+        let dirty = state.is_dirty() || l1_dirty;
+        match line.region() {
+            Region::AppData => match state {
+                LineState::Shared => {
+                    // Silent eviction; the directory will over-invalidate.
+                    debug_assert!(!l1_dirty, "dirty L1 under Shared L2 line");
+                }
+                LineState::Exclusive | LineState::Modified => {
+                    self.wb.insert(line, dirty);
+                    self.stats.app_writebacks += 1;
+                    self.events.push_back(MemEvent::Writeback { line, dirty });
+                }
+            },
+            _ => {
+                // Directory / protocol-code lines are node-local.
+                if dirty {
+                    self.stats.dir_writebacks += 1;
+                    self.events.push_back(MemEvent::Writeback { line, dirty });
+                }
+            }
+        }
+    }
+
+    /// Install a line into the L2 (or the L2 bypass buffer for conflicting
+    /// protocol lines), handling the victim.
+    fn l2_install(&mut self, line: LineAddr, state: LineState, is_protocol: bool) {
+        if is_protocol && self.l2_conflict(line) {
+            if let Some((v, st)) = self.byp_l2.insert(line.into(), state) {
+                self.handle_l2_victim(v, st);
+            }
+            return;
+        }
+        let mshrs = self.mshrs.clone_lines();
+        let victim = self.l2.insert_avoiding(line.into(), state, |a| {
+            !mshrs.contains(&a.line())
+        });
+        if let Some((v, st)) = victim {
+            self.handle_l2_victim(v, st);
+        }
+    }
+
+    /// Install an L1D line.
+    fn l1d_install(&mut self, addr: Addr, state: LineState, is_protocol: bool) {
+        if is_protocol && self.l1d_conflict(addr) {
+            if let Some((v, st)) = self.byp_d.insert(self.l1d.line_base(addr), state) {
+                if st.is_dirty() {
+                    self.merge_dirty_l1(v);
+                }
+            }
+            return;
+        }
+        if let Some((v, st)) = self.l1d.insert(self.l1d.line_base(addr), state) {
+            if st.is_dirty() {
+                self.merge_dirty_l1(v);
+            }
+        }
+    }
+
+    /// Write a dirty evicted L1 line back into its backing L2/bypass line.
+    fn merge_dirty_l1(&mut self, victim: Addr) {
+        let line: Addr = victim.line().into();
+        if self.l2.probe(line).is_some() {
+            self.l2.set_state(line, LineState::Modified);
+        } else if self.byp_l2.probe(line).is_some() {
+            self.byp_l2.set_state(line, LineState::Modified);
+        } else {
+            debug_assert!(false, "inclusion violated: dirty L1 victim {victim:?} has no L2 line");
+        }
+    }
+
+    fn l1i_install(&mut self, addr: Addr, is_protocol: bool) {
+        if is_protocol && self.l1i_conflict(addr) {
+            self.byp_i.insert(self.l1i.line_base(addr), LineState::Shared);
+            return;
+        }
+        self.l1i.insert(self.l1i.line_base(addr), LineState::Shared);
+    }
+
+    // ------------------------- CPU-facing API -------------------------
+
+    /// Translate an application data access; returns the added refill
+    /// penalty (0 on a DTLB hit). Unmapped (protocol) addresses skip the
+    /// TLB entirely (paper §2.1).
+    fn dtlb_penalty(&mut self, addr: Addr) -> Cycle {
+        if addr.is_unmapped() || self.dtlb.access(addr) {
+            0
+        } else {
+            self.stats.dtlb_misses += 1;
+            self.tlb_miss_cycles
+        }
+    }
+
+    /// Issue a load; `tag` identifies the pipeline entry to wake on a miss.
+    pub fn load(&mut self, tag: u32, addr: Addr, now: Cycle, is_protocol: bool) -> AccessOutcome {
+        if is_protocol && self.perfect_protocol {
+            // §2.3 experiment: separate perfect protocol data cache.
+            self.stats.l1d_prot_hits += 1;
+            return AccessOutcome::Ready(now + self.l1_hit);
+        }
+        let now = now + if is_protocol { 0 } else { self.dtlb_penalty(addr) };
+        // L1D (and bypass, for protocol accesses).
+        let l1 = self
+            .l1d
+            .lookup(addr)
+            .or_else(|| is_protocol.then(|| self.byp_d.lookup(addr)).flatten());
+        if l1.is_some() {
+            if is_protocol {
+                self.stats.l1d_prot_hits += 1;
+            } else {
+                self.stats.l1d_app_hits += 1;
+            }
+            return AccessOutcome::Ready(now + self.l1_hit);
+        }
+        if is_protocol {
+            self.stats.l1d_prot_misses += 1;
+        } else {
+            self.stats.l1d_app_misses += 1;
+        }
+        let line = addr.line();
+        // L2.
+        let l2 = self
+            .l2
+            .lookup(line.into())
+            .or_else(|| is_protocol.then(|| self.byp_l2.lookup(line.into())).flatten());
+        if l2.is_some() {
+            if is_protocol {
+                self.stats.l2_prot_hits += 1;
+            } else {
+                self.stats.l2_app_hits += 1;
+            }
+            self.l1d_install(addr, LineState::Shared, is_protocol);
+            return AccessOutcome::Ready(now + self.l2_hit);
+        }
+        if is_protocol {
+            self.stats.l2_prot_misses += 1;
+        } else {
+            self.stats.l2_app_misses += 1;
+        }
+        if self.wb.contains(line) {
+            return AccessOutcome::Blocked;
+        }
+        if let Some(i) = self.mshrs.find(line) {
+            self.mshrs.get_mut(i).waiting.push(WaitTag::Load { tag, addr });
+            return AccessOutcome::Pending;
+        }
+        let class = if is_protocol {
+            MshrClass::Protocol
+        } else {
+            MshrClass::AppLoad
+        };
+        match self.mshrs.alloc(line, MissKind::Read, class, false) {
+            Ok(i) => {
+                self.mshrs.get_mut(i).waiting.push(WaitTag::Load { tag, addr });
+                self.events.push_back(if is_protocol {
+                    MemEvent::ProtocolFetch { line }
+                } else {
+                    MemEvent::AppMiss {
+                        line,
+                        kind: MissKind::Read,
+                    }
+                });
+                AccessOutcome::Pending
+            }
+            Err(()) => AccessOutcome::Blocked,
+        }
+    }
+
+    /// Fetch an instruction bundle starting at `addr` for context `ctx`.
+    pub fn ifetch(&mut self, ctx: Ctx, addr: Addr, now: Cycle, is_protocol: bool) -> AccessOutcome {
+        if is_protocol && self.perfect_protocol {
+            self.stats.l1i_hits += 1;
+            return AccessOutcome::Ready(now + self.l1_hit);
+        }
+        let now = if is_protocol || addr.is_unmapped() || self.itlb.access(addr) {
+            now
+        } else {
+            self.stats.itlb_misses += 1;
+            now + self.tlb_miss_cycles
+        };
+        let l1 = self
+            .l1i
+            .lookup(addr)
+            .or_else(|| is_protocol.then(|| self.byp_i.lookup(addr)).flatten());
+        if l1.is_some() {
+            self.stats.l1i_hits += 1;
+            return AccessOutcome::Ready(now + self.l1_hit);
+        }
+        self.stats.l1i_misses += 1;
+        let line = addr.line();
+        let l2 = self
+            .l2
+            .lookup(line.into())
+            .or_else(|| is_protocol.then(|| self.byp_l2.lookup(line.into())).flatten());
+        if l2.is_some() {
+            self.l1i_install(addr, is_protocol);
+            return AccessOutcome::Ready(now + self.l2_hit);
+        }
+        if self.wb.contains(line) {
+            return AccessOutcome::Blocked;
+        }
+        if let Some(i) = self.mshrs.find(line) {
+            let already = self.mshrs.get(i).waiting.iter().any(
+                |w| matches!(w, WaitTag::IFetch { ctx: c, .. } if *c == ctx),
+            );
+            if !already {
+                self.mshrs.get_mut(i).waiting.push(WaitTag::IFetch { ctx, addr });
+            }
+            return AccessOutcome::Pending;
+        }
+        let class = if is_protocol {
+            MshrClass::Protocol
+        } else {
+            MshrClass::AppLoad
+        };
+        match self.mshrs.alloc(line, MissKind::Read, class, false) {
+            Ok(i) => {
+                self.mshrs.get_mut(i).waiting.push(WaitTag::IFetch { ctx, addr });
+                self.events.push_back(if is_protocol {
+                    MemEvent::ProtocolFetch { line }
+                } else {
+                    MemEvent::CodeFetch { line }
+                });
+                AccessOutcome::Pending
+            }
+            Err(()) => AccessOutcome::Blocked,
+        }
+    }
+
+    /// Retire a store from the store buffer into the cache. `Ready` means
+    /// the store performed. `Pending` means the store *joined* the line's
+    /// in-flight miss: a [`MemEvent::StoreDone`] will fire at the fill —
+    /// with `performed` when the fill grants write permission (the store's
+    /// data is then in the line before any deferred intervention can steal
+    /// it), or without when only read permission arrived (retry: an
+    /// upgrade will be issued). On `Blocked` retry next cycle.
+    pub fn store_retire(&mut self, tag: u32, addr: Addr, now: Cycle, is_protocol: bool) -> AccessOutcome {
+        if is_protocol && self.perfect_protocol {
+            self.stats.l1d_prot_hits += 1;
+            return AccessOutcome::Ready(now + self.l1_hit);
+        }
+        let now = now + if is_protocol { 0 } else { self.dtlb_penalty(addr) };
+        let line = addr.line();
+        if self.wb.contains(line) {
+            return AccessOutcome::Blocked;
+        }
+        let l1 = self
+            .l1d
+            .lookup(addr)
+            .or_else(|| is_protocol.then(|| self.byp_d.lookup(addr)).flatten());
+        if let Some(st) = l1 {
+            if st.is_dirty() {
+                if is_protocol {
+                    self.stats.l1d_prot_hits += 1;
+                } else {
+                    self.stats.l1d_app_hits += 1;
+                }
+                return AccessOutcome::Ready(now + self.l1_hit);
+            }
+            // Clean L1 copy: need L2 write permission.
+            let l2 = self
+                .l2
+                .probe(line.into())
+                .or_else(|| is_protocol.then(|| self.byp_l2.probe(line.into())).flatten());
+            match l2 {
+                Some(s) if s.is_writable() => {
+                    self.set_l2_state(line, LineState::Modified, is_protocol);
+                    self.set_l1d_state(addr, LineState::Modified, is_protocol);
+                    if is_protocol {
+                        self.stats.l1d_prot_hits += 1;
+                    } else {
+                        self.stats.l1d_app_hits += 1;
+                    }
+                    return AccessOutcome::Ready(now + self.l1_hit);
+                }
+                Some(_) => return self.issue_upgrade(tag, addr, line, is_protocol),
+                None => {
+                    debug_assert!(false, "inclusion violated: L1 copy of {addr:?} has no L2 line");
+                    return AccessOutcome::Blocked;
+                }
+            }
+        }
+        // L1 miss.
+        if is_protocol {
+            self.stats.l1d_prot_misses += 1;
+        } else {
+            self.stats.l1d_app_misses += 1;
+        }
+        let l2 = self
+            .l2
+            .lookup(line.into())
+            .or_else(|| is_protocol.then(|| self.byp_l2.lookup(line.into())).flatten());
+        match l2 {
+            Some(s) if s.is_writable() => {
+                if is_protocol {
+                    self.stats.l2_prot_hits += 1;
+                } else {
+                    self.stats.l2_app_hits += 1;
+                }
+                self.set_l2_state(line, LineState::Modified, is_protocol);
+                self.l1d_install(addr, LineState::Modified, is_protocol);
+                AccessOutcome::Ready(now + self.l2_hit)
+            }
+            Some(_) => self.issue_upgrade(tag, addr, line, is_protocol),
+            None => {
+                if is_protocol {
+                    self.stats.l2_prot_misses += 1;
+                } else {
+                    self.stats.l2_app_misses += 1;
+                }
+                if let Some(i) = self.mshrs.find(line) {
+                    self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+                    return AccessOutcome::Pending;
+                }
+                let class = if is_protocol {
+                    MshrClass::Protocol
+                } else {
+                    MshrClass::AppStore
+                };
+                match self.mshrs.alloc(line, MissKind::Write, class, false) {
+                    Ok(i) => {
+                        self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+                        self.events.push_back(if is_protocol {
+                            MemEvent::ProtocolFetch { line }
+                        } else {
+                            MemEvent::AppMiss {
+                                line,
+                                kind: MissKind::Write,
+                            }
+                        });
+                        AccessOutcome::Pending
+                    }
+                    Err(()) => AccessOutcome::Blocked,
+                }
+            }
+        }
+    }
+
+    fn issue_upgrade(&mut self, tag: u32, addr: Addr, line: LineAddr, is_protocol: bool) -> AccessOutcome {
+        debug_assert!(!is_protocol, "directory lines are never Shared");
+        if let Some(i) = self.mshrs.find(line) {
+            self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+            return AccessOutcome::Pending;
+        }
+        match self.mshrs.alloc(line, MissKind::Upgrade, MshrClass::AppStore, false) {
+            Ok(i) => {
+                self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+                self.stats.upgrades += 1;
+                self.events.push_back(MemEvent::AppMiss {
+                    line,
+                    kind: MissKind::Upgrade,
+                });
+                AccessOutcome::Pending
+            }
+            Err(()) => AccessOutcome::Blocked,
+        }
+    }
+
+    fn set_l2_state(&mut self, line: LineAddr, st: LineState, is_protocol: bool) {
+        if !self.l2.set_state(line.into(), st) && is_protocol {
+            self.byp_l2.set_state(line.into(), st);
+        }
+    }
+
+    fn set_l1d_state(&mut self, addr: Addr, st: LineState, is_protocol: bool) {
+        if !self.l1d.set_state(addr, st) && is_protocol {
+            self.byp_d.set_state(addr, st);
+        }
+    }
+
+    /// Issue a software prefetch (non-binding: dropped under pressure).
+    pub fn prefetch(&mut self, addr: Addr, exclusive: bool, _now: Cycle) {
+        let line = addr.line();
+        if self.wb.contains(line) || self.mshrs.find(line).is_some() {
+            self.stats.prefetch_drops += 1;
+            return;
+        }
+        match self.l2.probe(line.into()) {
+            Some(st) if st.is_writable() || !exclusive => {
+                self.stats.prefetch_drops += 1;
+            }
+            Some(_) => {
+                // Shared copy, exclusive prefetch: upgrade.
+                if self
+                    .mshrs
+                    .alloc(line, MissKind::Upgrade, MshrClass::AppLoad, true)
+                    .is_ok()
+                {
+                    self.stats.prefetch_issued += 1;
+                    self.stats.upgrades += 1;
+                    self.events.push_back(MemEvent::AppMiss {
+                        line,
+                        kind: MissKind::Upgrade,
+                    });
+                } else {
+                    self.stats.prefetch_drops += 1;
+                }
+            }
+            None => {
+                let kind = if exclusive {
+                    MissKind::Write
+                } else {
+                    MissKind::Read
+                };
+                if self.mshrs.alloc(line, kind, MshrClass::AppLoad, true).is_ok() {
+                    self.stats.prefetch_issued += 1;
+                    self.events.push_back(MemEvent::AppMiss { line, kind });
+                } else {
+                    self.stats.prefetch_drops += 1;
+                }
+            }
+        }
+    }
+
+    // ----------------------- coherence-facing API -----------------------
+
+    /// Deliver the data / ownership grant for an outstanding miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR tracks `line` — a fill without a miss is a
+    /// protocol bug.
+    pub fn fill(&mut self, line: LineAddr, grant: Grant, now: Cycle) {
+        let idx = self
+            .mshrs
+            .find(line)
+            .unwrap_or_else(|| panic!("fill without MSHR for {line:?}"));
+        let (kind, is_protocol) = {
+            let m = self.mshrs.get(idx);
+            (m.kind, m.is_protocol)
+        };
+        let acks = match grant {
+            Grant::Shared => {
+                self.l2_install(line, LineState::Shared, is_protocol);
+                0
+            }
+            Grant::Excl { acks } => {
+                let st = if matches!(kind, MissKind::Write | MissKind::Upgrade) {
+                    LineState::Modified
+                } else {
+                    LineState::Exclusive
+                };
+                self.l2_install(line, st, is_protocol);
+                acks
+            }
+            Grant::UpgradeAck { acks } => {
+                debug_assert_eq!(kind, MissKind::Upgrade);
+                let present = self.l2.set_state(line.into(), LineState::Modified);
+                debug_assert!(
+                    present,
+                    "UpgradeAck for {line:?} but the Shared copy is gone"
+                );
+                acks
+            }
+        };
+        // Wake waiting consumers. Joined stores are performed *here*, at
+        // fill time, when write permission arrived — before the deferred
+        // coherence work below can take the line away (forward-progress
+        // guarantee; see `store_retire`).
+        let write_granted = !matches!(grant, Grant::Shared);
+        let waiting = std::mem::take(&mut self.mshrs.get_mut(idx).waiting);
+        for w in waiting {
+            match w {
+                WaitTag::Load { tag, addr } => {
+                    self.l1d_install(addr, LineState::Shared, is_protocol);
+                    self.events.push_back(MemEvent::LoadDone { tag, at: now + 2 });
+                }
+                WaitTag::Store { tag, addr } => {
+                    if write_granted {
+                        self.set_l2_state(line, LineState::Modified, is_protocol);
+                        self.l1d_install(addr, LineState::Modified, is_protocol);
+                    }
+                    self.events.push_back(MemEvent::StoreDone {
+                        tag,
+                        at: now + 2,
+                        performed: write_granted,
+                    });
+                }
+                WaitTag::IFetch { ctx, addr } => {
+                    self.l1i_install(addr, is_protocol);
+                    self.events
+                        .push_back(MemEvent::IFetchDone { ctx, at: now + 2 });
+                }
+            }
+        }
+        {
+            let m = self.mshrs.get_mut(idx);
+            m.data_done = true;
+            m.acks_pending += acks as i32;
+            debug_assert!(m.acks_pending >= 0, "more acks than expected for {line:?}");
+        }
+        if self.mshrs.get(idx).complete() {
+            self.finish_mshr(idx);
+        }
+    }
+
+    /// An invalidation acknowledgement arrived for our pending exclusive
+    /// transaction.
+    pub fn ack_arrived(&mut self, line: LineAddr) {
+        let idx = self
+            .mshrs
+            .find(line)
+            .unwrap_or_else(|| panic!("AckInv without MSHR for {line:?}"));
+        {
+            let m = self.mshrs.get_mut(idx);
+            m.acks_pending -= 1;
+            debug_assert!(
+                !m.data_done || m.acks_pending >= 0,
+                "more AckInv than the reply promised for {line:?}"
+            );
+        }
+        if self.mshrs.get(idx).complete() {
+            self.finish_mshr(idx);
+        }
+    }
+
+    fn finish_mshr(&mut self, idx: usize) {
+        let m = self.mshrs.free(idx);
+        match m.deferred {
+            None => {}
+            Some(Deferred::Inval { requester }) => {
+                self.invalidate_copies(m.line);
+                self.events.push_back(MemEvent::DeferredInvalAck {
+                    line: m.line,
+                    requester,
+                });
+            }
+            Some(Deferred::IntervShared { requester }) => {
+                let dirty = self.downgrade_line(m.line);
+                self.events.push_back(MemEvent::DeferredIntervShared {
+                    line: m.line,
+                    requester,
+                    dirty,
+                });
+            }
+            Some(Deferred::IntervExcl { requester }) => {
+                let dirty = self.invalidate_copies(m.line);
+                self.events.push_back(MemEvent::DeferredIntervExcl {
+                    line: m.line,
+                    requester,
+                    dirty,
+                });
+            }
+        }
+    }
+
+    /// Destroy all cached copies of a line; returns whether any was dirty.
+    fn invalidate_copies(&mut self, line: LineAddr) -> bool {
+        let mut dirty = self.back_inval_l1(line);
+        if let Some(st) = self.l2.invalidate(line.into()) {
+            dirty |= st.is_dirty();
+        }
+        dirty
+    }
+
+    /// Downgrade a line (and its L1 copies) to Shared; returns whether data
+    /// was dirty.
+    fn downgrade_line(&mut self, line: LineAddr) -> bool {
+        let mut dirty = self.downgrade_l1(line);
+        if let Some(st) = self.l2.probe(line.into()) {
+            dirty |= st.is_dirty();
+            self.l2.set_state(line.into(), LineState::Shared);
+        }
+        dirty
+    }
+
+    /// Handle an incoming invalidation for a (supposedly) Shared copy.
+    pub fn inval(&mut self, line: LineAddr, requester: NodeId) -> InvalResult {
+        if let Some(idx) = self.mshrs.find(line) {
+            let m = self.mshrs.get_mut(idx);
+            if m.kind == MissKind::Read && !m.data_done {
+                debug_assert!(m.deferred.is_none(), "two coherence ops deferred on {line:?}");
+                m.deferred = Some(Deferred::Inval { requester });
+                return InvalResult::Deferred;
+            }
+            // Pending write/upgrade: the home processed the conflicting
+            // request first; our Shared copy (if any) dies now and the home
+            // will answer our request with data.
+        }
+        self.invalidate_copies(line);
+        InvalResult::AckNow
+    }
+
+    /// Handle an incoming shared intervention (home believes we own `line`).
+    pub fn interv_shared(&mut self, line: LineAddr, requester: NodeId) -> IntervResult {
+        if let Some(idx) = self.mshrs.find(line) {
+            let m = self.mshrs.get_mut(idx);
+            debug_assert!(m.deferred.is_none());
+            m.deferred = Some(Deferred::IntervShared { requester });
+            return IntervResult::Deferred;
+        }
+        if self.l2.probe(line.into()).is_some() {
+            let dirty = self.downgrade_line(line);
+            return IntervResult::FromCache { dirty };
+        }
+        if let Some(dirty) = self.wb.dirty(line) {
+            return IntervResult::FromWb { dirty };
+        }
+        panic!("shared intervention for absent line {line:?} at {:?}", self.node);
+    }
+
+    /// Handle an incoming exclusive intervention.
+    pub fn interv_excl(&mut self, line: LineAddr, requester: NodeId) -> IntervResult {
+        if let Some(idx) = self.mshrs.find(line) {
+            let m = self.mshrs.get_mut(idx);
+            debug_assert!(m.deferred.is_none());
+            m.deferred = Some(Deferred::IntervExcl { requester });
+            return IntervResult::Deferred;
+        }
+        if self.l2.probe(line.into()).is_some() {
+            let dirty = self.invalidate_copies(line);
+            return IntervResult::FromCache { dirty };
+        }
+        if let Some(dirty) = self.wb.dirty(line) {
+            return IntervResult::FromWb { dirty };
+        }
+        panic!("exclusive intervention for absent line {line:?} at {:?}", self.node);
+    }
+
+    /// Home acknowledged our `Put`; release the writeback buffer entry.
+    pub fn wb_acked(&mut self, line: LineAddr) {
+        self.wb.remove(line);
+    }
+
+    /// Number of MSHRs in use (resource statistic).
+    pub fn mshrs_used(&self) -> usize {
+        self.mshrs.used()
+    }
+
+    /// Whether the MSHR class for an application load could allocate.
+    pub fn can_alloc_app_load(&self) -> bool {
+        self.mshrs.can_alloc(MshrClass::AppLoad)
+    }
+
+    /// Writeback-buffer peak occupancy (statistic).
+    pub fn wb_peak(&self) -> usize {
+        self.wb.peak()
+    }
+
+    /// Human-readable state of one line across the hierarchy (deadlock
+    /// diagnostics).
+    pub fn debug_line(&self, line: LineAddr) -> String {
+        let l2 = self.l2.probe(line.into());
+        let byp = self.byp_l2.probe(line.into());
+        let wb = self.wb.dirty(line);
+        let mshr = self.mshrs.find(line).map(|i| {
+            let m = self.mshrs.get(i);
+            format!(
+                "kind={:?} prot={} data={} acks={} deferred={:?} waiting={}",
+                m.kind, m.is_protocol, m.data_done, m.acks_pending, m.deferred, m.waiting.len()
+            )
+        });
+        format!("l2={l2:?} byp={byp:?} wb={wb:?} mshr={mshr:?}")
+    }
+
+    /// Total bypass-buffer allocations (statistic).
+    pub fn bypass_allocations(&self) -> u64 {
+        self.byp_i.allocations() + self.byp_d.allocations() + self.byp_l2.allocations()
+    }
+}
+
+impl MshrFile {
+    /// Snapshot of all tracked lines (used to pin them during eviction).
+    fn clone_lines(&self) -> Vec<LineAddr> {
+        self.iter().map(|m| m.line).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::PipelineParams;
+
+    fn hier(smtp: bool) -> MemHierarchy {
+        MemHierarchy::new(NodeId(0), &PipelineParams::default(), smtp)
+    }
+
+    fn addr(off: u64) -> Addr {
+        Addr::new(NodeId(0), Region::AppData, off)
+    }
+
+    fn remote(off: u64) -> Addr {
+        Addr::new(NodeId(1), Region::AppData, off)
+    }
+
+    #[test]
+    fn load_miss_then_fill_then_hit() {
+        let mut h = hier(false);
+        assert_eq!(h.load(1, addr(0x1000), 0, false), AccessOutcome::Pending);
+        assert_eq!(
+            h.pop_event(),
+            Some(MemEvent::AppMiss {
+                line: addr(0x1000).line(),
+                kind: MissKind::Read
+            })
+        );
+        h.fill(addr(0x1000).line(), Grant::Shared, 100);
+        assert_eq!(
+            h.pop_event(),
+            Some(MemEvent::LoadDone { tag: 1, at: 102 })
+        );
+        // Now both L1 and L2 hold it.
+        assert_eq!(h.load(2, addr(0x1000), 200, false), AccessOutcome::Ready(201));
+        // A different word of the same L2 line but different L1 line: L2 hit.
+        assert_eq!(h.load(3, addr(0x1040), 300, false), AccessOutcome::Ready(309));
+    }
+
+    #[test]
+    fn secondary_miss_merges_into_mshr() {
+        let mut h = hier(false);
+        assert_eq!(h.load(1, addr(0x2000), 0, false), AccessOutcome::Pending);
+        assert_eq!(h.load(2, addr(0x2008), 0, false), AccessOutcome::Pending);
+        // Only one request event.
+        assert!(matches!(h.pop_event(), Some(MemEvent::AppMiss { .. })));
+        assert_eq!(h.pop_event(), None);
+        h.fill(addr(0x2000).line(), Grant::Shared, 50);
+        let mut tags = Vec::new();
+        while let Some(MemEvent::LoadDone { tag, .. }) = h.pop_event() {
+            tags.push(tag);
+        }
+        assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn store_miss_requests_exclusive() {
+        let mut h = hier(false);
+        assert_eq!(h.store_retire(0, addr(0x3000), 0, false), AccessOutcome::Pending);
+        assert_eq!(
+            h.pop_event(),
+            Some(MemEvent::AppMiss {
+                line: addr(0x3000).line(),
+                kind: MissKind::Write
+            })
+        );
+        h.fill(addr(0x3000).line(), Grant::Excl { acks: 0 }, 10);
+        // Store retries and performs.
+        assert!(matches!(
+            h.store_retire(0, addr(0x3000), 20, false),
+            AccessOutcome::Ready(_)
+        ));
+    }
+
+    #[test]
+    fn store_to_shared_line_upgrades() {
+        let mut h = hier(false);
+        h.load(1, addr(0x4000), 0, false);
+        h.pop_event();
+        h.fill(addr(0x4000).line(), Grant::Shared, 10);
+        h.pop_event();
+        assert_eq!(h.store_retire(0, addr(0x4000), 20, false), AccessOutcome::Pending);
+        assert_eq!(
+            h.pop_event(),
+            Some(MemEvent::AppMiss {
+                line: addr(0x4000).line(),
+                kind: MissKind::Upgrade
+            })
+        );
+        h.fill(addr(0x4000).line(), Grant::UpgradeAck { acks: 0 }, 30);
+        assert!(matches!(
+            h.store_retire(0, addr(0x4000), 40, false),
+            AccessOutcome::Ready(_)
+        ));
+    }
+
+    #[test]
+    fn eager_exclusive_usable_before_acks() {
+        let mut h = hier(false);
+        h.store_retire(0, remote(0x100), 0, false);
+        h.pop_event();
+        h.fill(remote(0x100).line(), Grant::Excl { acks: 2 }, 10);
+        // Line usable immediately (eager-exclusive).
+        assert!(matches!(
+            h.store_retire(0, remote(0x100), 20, false),
+            AccessOutcome::Ready(_)
+        ));
+        // MSHR still occupied until acks arrive.
+        assert_eq!(h.mshrs_used(), 1);
+        h.ack_arrived(remote(0x100).line());
+        assert_eq!(h.mshrs_used(), 1);
+        h.ack_arrived(remote(0x100).line());
+        assert_eq!(h.mshrs_used(), 0);
+    }
+
+    #[test]
+    fn inval_of_absent_line_acks_immediately() {
+        let mut h = hier(false);
+        assert_eq!(h.inval(remote(0x500).line(), NodeId(2)), InvalResult::AckNow);
+    }
+
+    #[test]
+    fn inval_during_pending_read_is_deferred() {
+        let mut h = hier(false);
+        h.load(9, remote(0x600), 0, false);
+        h.pop_event();
+        assert_eq!(
+            h.inval(remote(0x600).line(), NodeId(3)),
+            InvalResult::Deferred
+        );
+        h.fill(remote(0x600).line(), Grant::Shared, 10);
+        // The load wakes, then the deferred inval fires.
+        assert!(matches!(h.pop_event(), Some(MemEvent::LoadDone { tag: 9, .. })));
+        assert_eq!(
+            h.pop_event(),
+            Some(MemEvent::DeferredInvalAck {
+                line: remote(0x600).line(),
+                requester: NodeId(3)
+            })
+        );
+        // The copy is gone.
+        assert_eq!(h.load(10, remote(0x600), 20, false), AccessOutcome::Pending);
+    }
+
+    #[test]
+    fn intervention_served_from_cache() {
+        let mut h = hier(false);
+        h.store_retire(0, remote(0x700), 0, false);
+        h.pop_event();
+        h.fill(remote(0x700).line(), Grant::Excl { acks: 0 }, 10);
+        h.store_retire(0, remote(0x700), 20, false); // dirty it
+        let r = h.interv_shared(remote(0x700).line(), NodeId(2));
+        assert_eq!(r, IntervResult::FromCache { dirty: true });
+        // Downgraded: a subsequent store must upgrade.
+        assert_eq!(h.store_retire(0, remote(0x700), 30, false), AccessOutcome::Pending);
+    }
+
+    #[test]
+    fn intervention_during_pending_miss_is_deferred() {
+        let mut h = hier(false);
+        h.store_retire(0, remote(0x800), 0, false);
+        h.pop_event();
+        h.fill(remote(0x800).line(), Grant::Excl { acks: 1 }, 10);
+        // Acks outstanding: intervention must wait for transaction end.
+        let r = h.interv_excl(remote(0x800).line(), NodeId(2));
+        assert_eq!(r, IntervResult::Deferred);
+        h.ack_arrived(remote(0x800).line());
+        let ev = loop {
+            match h.pop_event() {
+                Some(MemEvent::StoreDone { performed, .. }) => assert!(performed),
+                other => break other,
+            }
+        };
+        assert!(matches!(
+            ev,
+            Some(MemEvent::DeferredIntervExcl {
+                requester: NodeId(2),
+                ..
+            })
+        ));
+        // Copy invalidated by the deferred intervention.
+        assert_eq!(h.load(1, remote(0x800), 50, false), AccessOutcome::Pending);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent line")]
+    fn intervention_for_absent_line_panics() {
+        let mut h = hier(false);
+        h.interv_shared(remote(0x900).line(), NodeId(2));
+    }
+
+    #[test]
+    fn writeback_buffer_blocks_reaccess_until_ack() {
+        let mut h = hier(false);
+        // Fill many Exclusive lines mapping to one L2 set to force eviction.
+        // L2: 2048 sets * 128B = stride 256 KiB for same set.
+        let stride = 2048 * 128;
+        for i in 0..9u64 {
+            let a = addr(0x100 + i * stride);
+            h.store_retire(0, a, 0, false);
+            h.pop_event();
+            h.fill(a.line(), Grant::Excl { acks: 0 }, 10);
+        }
+        // One eviction must have happened (skip StoreDone wake-ups).
+        let line = loop {
+            match h.pop_event() {
+                Some(MemEvent::Writeback { line, dirty }) => {
+                    // Write-kind fills install Modified: dirty victim.
+                    assert!(dirty);
+                    break line;
+                }
+                Some(MemEvent::StoreDone { performed, .. }) => assert!(performed),
+                Some(MemEvent::AppMiss { .. }) => {}
+                other => panic!("expected writeback, got {other:?}"),
+            }
+        };
+        // Re-access while in WB buffer: blocked.
+        assert_eq!(h.load(1, line.into(), 50, false), AccessOutcome::Blocked);
+        h.wb_acked(line);
+        assert_eq!(h.load(1, line.into(), 60, false), AccessOutcome::Pending);
+    }
+
+    #[test]
+    fn protocol_miss_bypasses_local_miss_interface() {
+        let mut h = hier(true);
+        let dir = addr(0x1000).line().directory_entry();
+        assert_eq!(h.load(1, dir, 0, true), AccessOutcome::Pending);
+        assert_eq!(
+            h.pop_event(),
+            Some(MemEvent::ProtocolFetch { line: dir.line() })
+        );
+    }
+
+    #[test]
+    fn protocol_conflict_allocates_bypass_line() {
+        let mut h = hier(true);
+        // App miss in flight.
+        let app = addr(0x8000);
+        h.load(1, app, 0, false);
+        h.pop_event();
+        // Protocol line mapping to the same L2 set: L2 2048 sets × 128B.
+        let dir_off = app.line().raw() % (2048 * 128);
+        let dir = Addr::new(NodeId(0), Region::Directory, dir_off);
+        assert_eq!(h.load(2, dir, 0, true), AccessOutcome::Pending);
+        h.pop_event();
+        let before = h.bypass_allocations();
+        h.fill(dir.line(), Grant::Excl { acks: 0 }, 10);
+        assert!(h.bypass_allocations() > before, "bypass buffer not used");
+        // Still hits afterwards (cache and bypass searched in parallel).
+        assert!(matches!(h.load(3, dir, 50, true), AccessOutcome::Ready(_)));
+    }
+
+    #[test]
+    fn ifetch_miss_and_fill() {
+        let mut h = hier(false);
+        let pc = addr(0x10_0000);
+        assert_eq!(h.ifetch(Ctx(0), pc, 0, false), AccessOutcome::Pending);
+        assert_eq!(
+            h.pop_event(),
+            Some(MemEvent::CodeFetch { line: pc.line() })
+        );
+        h.fill(pc.line(), Grant::Shared, 30);
+        assert!(matches!(
+            h.pop_event(),
+            Some(MemEvent::IFetchDone { ctx: Ctx(0), at: 32 })
+        ));
+        assert!(matches!(h.ifetch(Ctx(0), pc, 40, false), AccessOutcome::Ready(41)));
+    }
+
+    #[test]
+    fn mshr_exhaustion_blocks() {
+        let mut h = hier(false);
+        for i in 0..16u64 {
+            assert_eq!(
+                h.load(i as u32, addr(0x100_000 + i * 128), 0, false),
+                AccessOutcome::Pending
+            );
+        }
+        assert_eq!(
+            h.load(99, addr(0x200_000), 0, false),
+            AccessOutcome::Blocked
+        );
+        // The retiring-store entry is still available to stores.
+        assert_eq!(
+            h.store_retire(0, addr(0x201_000), 0, false),
+            AccessOutcome::Pending
+        );
+    }
+}

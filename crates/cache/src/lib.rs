@@ -1,0 +1,31 @@
+//! Per-node cache hierarchy: L1 I/D, unified L2, MSHRs, protocol bypass
+//! buffers and the writeback buffer.
+//!
+//! Geometry follows paper Table 2: 32 KB / 64 B / 2-way L1I, 32 KB / 32 B /
+//! 2-way L1D, 2 MB / 128 B / 8-way unified L2 (all LRU), 16 MSHRs plus one
+//! for retiring stores (plus one reserved for the protocol thread under
+//! SMTp), and 16-line fully-associative bypass buffers on L1I, L1D and L2
+//! used by the protocol thread to escape index conflicts with in-flight
+//! application misses (paper §2.2).
+//!
+//! The hierarchy is *inclusive*: every valid L1 line is covered by a valid
+//! L2 line, and L2 evictions/invalidations back-invalidate the L1s.
+//! Coherence operates at L2-line granularity ([`smtp_types::L2_LINE`]);
+//! the directory protocol drives the node-facing methods of
+//! [`MemHierarchy`] while the pipeline drives the CPU-facing ones.
+
+pub mod bypass;
+pub mod events;
+pub mod hierarchy;
+pub mod mshr;
+pub mod setassoc;
+pub mod tlb;
+pub mod wb;
+
+pub use bypass::BypassBuffer;
+pub use events::{AccessOutcome, Grant, IntervResult, InvalResult, MemEvent, MissKind};
+pub use hierarchy::{CacheStats, MemHierarchy};
+pub use mshr::{MshrFile, WaitTag};
+pub use setassoc::{Cache, LineState};
+pub use tlb::Tlb;
+pub use wb::WritebackBuffer;

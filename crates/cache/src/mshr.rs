@@ -1,0 +1,293 @@
+//! Miss status holding registers.
+//!
+//! Paper Table 2: 16 MSHRs plus one dedicated to retiring stores; the SMTp
+//! model reserves one more for the protocol thread (deadlock avoidance,
+//! paper §2.2). Reservation is implemented as the paper describes it: the
+//! reserved instances are *usable only by* the privileged requester class,
+//! i.e. application loads may fill at most `16` entries, application stores
+//! `16 + 1`, and the protocol thread all of them.
+
+use crate::events::MissKind;
+use smtp_types::{Addr, Ctx, LineAddr, NodeId};
+
+/// Who is waiting on an MSHR.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaitTag {
+    /// A load in the pipeline, identified by its pipeline tag; `addr` is
+    /// the exact access address (used to install the right L1 line).
+    Load {
+        /// Pipeline tag to wake.
+        tag: u32,
+        /// Access address.
+        addr: Addr,
+    },
+    /// An instruction fetch for a context.
+    IFetch {
+        /// Fetching context.
+        ctx: Ctx,
+        /// Fetch address.
+        addr: Addr,
+    },
+    /// A store joined the miss; it is performed at fill time if the fill
+    /// grants write permission.
+    Store {
+        /// Pipeline tag to notify.
+        tag: u32,
+        /// Store address.
+        addr: Addr,
+    },
+}
+
+/// A coherence action deferred until the in-flight miss completes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Deferred {
+    /// Invalidate after fill; ack `requester`.
+    Inval {
+        /// Ack collector.
+        requester: NodeId,
+    },
+    /// Downgrade after fill (shared intervention).
+    IntervShared {
+        /// GetS requester.
+        requester: NodeId,
+    },
+    /// Invalidate-and-forward after fill (exclusive intervention).
+    IntervExcl {
+        /// GetX requester.
+        requester: NodeId,
+    },
+}
+
+/// Requester class, for reservation accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrClass {
+    /// Application load / prefetch.
+    AppLoad,
+    /// Application retiring store.
+    AppStore,
+    /// Protocol thread access (SMTp only).
+    Protocol,
+}
+
+/// One in-flight miss.
+#[derive(Clone, Debug)]
+pub struct Mshr {
+    /// Missing line (coherence granularity).
+    pub line: LineAddr,
+    /// Request flavour sent to the home.
+    pub kind: MissKind,
+    /// Whether the protocol thread owns this miss.
+    pub is_protocol: bool,
+    /// Whether this miss was initiated by a software prefetch.
+    pub is_prefetch: bool,
+    /// Consumers to wake on fill.
+    pub waiting: Vec<WaitTag>,
+    /// Invalidation-ack balance: incremented by the expected count when
+    /// the data/ownership reply arrives, decremented per `AckInv`. May go
+    /// transiently negative — acks and the reply travel the reply network
+    /// from different senders and can arrive in either order.
+    pub acks_pending: i32,
+    /// Data has arrived (line installed and usable).
+    pub data_done: bool,
+    /// Coherence action to run at completion.
+    pub deferred: Option<Deferred>,
+}
+
+impl Mshr {
+    /// Whether the transaction has fully completed (data and all acks).
+    /// Only meaningful once the reply has arrived: before that the balance
+    /// may be zero or negative while acks race ahead of the reply.
+    pub fn complete(&self) -> bool {
+        self.data_done && self.acks_pending == 0
+    }
+}
+
+/// The MSHR file with class-based reservations.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: Vec<Option<Mshr>>,
+    /// Entries the application *load* class may occupy.
+    app_load_limit: usize,
+    /// Entries the application store class may occupy.
+    app_store_limit: usize,
+}
+
+impl MshrFile {
+    /// Build a file of `base` app entries, one extra retiring-store entry,
+    /// and one reserved protocol entry when `smtp` is set.
+    pub fn new(base: usize, smtp: bool) -> MshrFile {
+        let total = base + 1 + usize::from(smtp);
+        MshrFile {
+            entries: vec![None; total],
+            app_load_limit: base,
+            app_store_limit: base + 1,
+        }
+    }
+
+    /// Total capacity (including reserved entries).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of entries in use.
+    pub fn used(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Find the entry index tracking `line`.
+    pub fn find(&self, line: LineAddr) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|m| m.line == line))
+    }
+
+    /// Access an entry.
+    pub fn get(&self, idx: usize) -> &Mshr {
+        self.entries[idx].as_ref().expect("free MSHR slot accessed")
+    }
+
+    /// Access an entry mutably.
+    pub fn get_mut(&mut self, idx: usize) -> &mut Mshr {
+        self.entries[idx].as_mut().expect("free MSHR slot accessed")
+    }
+
+    /// Whether `class` may allocate a new entry right now.
+    pub fn can_alloc(&self, class: MshrClass) -> bool {
+        let used = self.used();
+        match class {
+            MshrClass::AppLoad => used < self.app_load_limit,
+            MshrClass::AppStore => used < self.app_store_limit,
+            MshrClass::Protocol => used < self.entries.len(),
+        }
+    }
+
+    /// Allocate an entry for a miss; `Err(())` when the class's share is
+    /// exhausted.
+    #[allow(clippy::result_unit_err)]
+    pub fn alloc(
+        &mut self,
+        line: LineAddr,
+        kind: MissKind,
+        class: MshrClass,
+        is_prefetch: bool,
+    ) -> Result<usize, ()> {
+        debug_assert!(self.find(line).is_none(), "duplicate MSHR for {line:?}");
+        if !self.can_alloc(class) {
+            return Err(());
+        }
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| e.is_none())
+            .expect("can_alloc checked");
+        self.entries[slot] = Some(Mshr {
+            line,
+            kind,
+            is_protocol: class == MshrClass::Protocol,
+            is_prefetch,
+            waiting: Vec::new(),
+            acks_pending: 0,
+            data_done: false,
+            deferred: None,
+        });
+        Ok(slot)
+    }
+
+    /// Free an entry, returning its contents.
+    pub fn free(&mut self, idx: usize) -> Mshr {
+        self.entries[idx].take().expect("double free of MSHR")
+    }
+
+    /// Iterate over live entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Mshr> {
+        self.entries.iter().filter_map(|e| e.as_ref())
+    }
+
+    /// Whether any in-flight *application* miss maps to the given set of a
+    /// cache with `set_of` as its index function — the bypass-buffer
+    /// allocation condition of paper §2.2.
+    pub fn app_conflict(&self, set: u64, set_of: impl Fn(LineAddr) -> u64) -> bool {
+        self.iter()
+            .any(|m| !m.is_protocol && set_of(m.line) == set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{Addr, Region};
+
+    fn line(n: u64) -> LineAddr {
+        Addr::new(NodeId(0), Region::AppData, n * 128).line()
+    }
+
+    #[test]
+    fn reservation_ladder() {
+        let mut f = MshrFile::new(2, true); // 2 app + 1 store + 1 protocol
+        assert_eq!(f.capacity(), 4);
+        assert!(f.alloc(line(0), MissKind::Read, MshrClass::AppLoad, false).is_ok());
+        assert!(f.alloc(line(1), MissKind::Read, MshrClass::AppLoad, false).is_ok());
+        // App loads exhausted their share.
+        assert!(f.alloc(line(2), MissKind::Read, MshrClass::AppLoad, false).is_err());
+        // Stores can still take the retiring-store entry.
+        assert!(f.alloc(line(2), MissKind::Write, MshrClass::AppStore, false).is_ok());
+        assert!(f.alloc(line(3), MissKind::Write, MshrClass::AppStore, false).is_err());
+        // Protocol can always take the reserved entry.
+        assert!(f.alloc(line(3), MissKind::Read, MshrClass::Protocol, false).is_ok());
+        assert_eq!(f.used(), 4);
+    }
+
+    #[test]
+    fn non_smtp_has_no_protocol_reserve() {
+        let f = MshrFile::new(16, false);
+        assert_eq!(f.capacity(), 17);
+    }
+
+    #[test]
+    fn find_and_free() {
+        let mut f = MshrFile::new(4, false);
+        let i = f.alloc(line(7), MissKind::Write, MshrClass::AppLoad, false).unwrap();
+        assert_eq!(f.find(line(7)), Some(i));
+        assert_eq!(f.find(line(8)), None);
+        f.get_mut(i).waiting.push(WaitTag::Load {
+            tag: 42,
+            addr: Addr::new(NodeId(0), Region::AppData, 7 * 128),
+        });
+        let m = f.free(i);
+        assert_eq!(m.waiting.len(), 1);
+        assert_eq!(f.find(line(7)), None);
+        assert_eq!(f.used(), 0);
+    }
+
+    #[test]
+    fn completion_requires_data_and_acks() {
+        let mut f = MshrFile::new(4, false);
+        let i = f.alloc(line(1), MissKind::Write, MshrClass::AppLoad, false).unwrap();
+        assert!(!f.get(i).complete());
+        f.get_mut(i).data_done = true;
+        f.get_mut(i).acks_pending = 2;
+        assert!(!f.get(i).complete());
+        f.get_mut(i).acks_pending = 0;
+        assert!(f.get(i).complete());
+    }
+
+    #[test]
+    fn conflict_detection_ignores_protocol_misses() {
+        let mut f = MshrFile::new(4, true);
+        f.alloc(line(5), MissKind::Read, MshrClass::Protocol, false).unwrap();
+        let set_of = |l: LineAddr| (l.raw() / 128) % 8;
+        assert!(!f.app_conflict(5 % 8, set_of));
+        f.alloc(line(13), MissKind::Read, MshrClass::AppLoad, false).unwrap(); // 13 % 8 == 5
+        assert!(f.app_conflict(5, set_of));
+        assert!(!f.app_conflict(6, set_of));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut f = MshrFile::new(4, false);
+        let i = f.alloc(line(0), MissKind::Read, MshrClass::AppLoad, false).unwrap();
+        f.free(i);
+        f.free(i);
+    }
+}

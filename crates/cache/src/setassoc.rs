@@ -1,0 +1,379 @@
+//! Generic set-associative cache with true-LRU replacement.
+
+use smtp_types::{Addr, CacheParams};
+
+/// Coherence/validity state of a cached line.
+///
+/// The unified L2 uses all three states (MESI minus a separate E/M
+/// distinction on fill: eager-exclusive replies install `Exclusive` and the
+/// first store promotes to `Modified`). The write-back L1s use `Shared`
+/// for clean and `Modified` for dirty lines.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LineState {
+    /// Readable copy; other caches may also hold it.
+    Shared,
+    /// Sole copy, clean with respect to memory.
+    Exclusive,
+    /// Sole copy, dirty.
+    Modified,
+}
+
+impl LineState {
+    /// Whether the line may be written without a coherence upgrade.
+    #[inline]
+    pub fn is_writable(self) -> bool {
+        !matches!(self, LineState::Shared)
+    }
+
+    /// Whether an eviction must write data back.
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Modified)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    state: LineState,
+    lru: u64,
+    valid: bool,
+}
+
+const INVALID_WAY: Way = Way {
+    tag: 0,
+    state: LineState::Shared,
+    lru: 0,
+    valid: false,
+};
+
+/// A set-associative, true-LRU, write-back cache directory (tags + state
+/// only; the simulator never stores data).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    ways: u32,
+    sets: u64,
+    line: u64,
+    data: Vec<Way>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless line size and set count are powers of two.
+    pub fn new(p: &CacheParams) -> Cache {
+        let sets = p.sets();
+        assert!(p.line.is_power_of_two(), "line size must be a power of two");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            ways: p.ways,
+            sets,
+            line: p.line,
+            data: vec![INVALID_WAY; (sets * p.ways as u64) as usize],
+            clock: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line
+    }
+
+    /// The set index an address maps to.
+    #[inline]
+    pub fn set_index(&self, addr: Addr) -> u64 {
+        (addr.raw() / self.line) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: Addr) -> u64 {
+        addr.raw() / self.line
+    }
+
+    #[inline]
+    fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
+        let s = self.set_index(addr) as usize * self.ways as usize;
+        s..s + self.ways as usize
+    }
+
+    /// Address of the first byte of the line holding `addr`.
+    #[inline]
+    pub fn line_base(&self, addr: Addr) -> Addr {
+        Addr(addr.raw() & !(self.line - 1))
+    }
+
+    /// Look up `addr` without touching LRU state.
+    pub fn probe(&self, addr: Addr) -> Option<LineState> {
+        let tag = self.tag_of(addr);
+        self.data[self.set_range(addr)]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| w.state)
+    }
+
+    /// Look up `addr`, updating LRU on a hit.
+    pub fn lookup(&mut self, addr: Addr) -> Option<LineState> {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.tag_of(addr);
+        let range = self.set_range(addr);
+        self.data[range]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| {
+                w.lru = clock;
+                w.state
+            })
+    }
+
+    /// Change the state of a resident line; returns `false` if not present.
+    pub fn set_state(&mut self, addr: Addr, state: LineState) -> bool {
+        let tag = self.tag_of(addr);
+        let range = self.set_range(addr);
+        if let Some(w) = self.data[range].iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert a line, evicting the LRU victim of the set if necessary.
+    /// Returns the evicted `(line_base_addr, state)` if a valid line was
+    /// displaced.
+    pub fn insert(&mut self, addr: Addr, state: LineState) -> Option<(Addr, LineState)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.tag_of(addr);
+        let line = self.line;
+        let range = self.set_range(addr);
+        let set = &mut self.data[range];
+        // Re-insert over an existing copy.
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.state = state;
+            w.lru = clock;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                tag,
+                state,
+                lru: clock,
+                valid: true,
+            };
+            return None;
+        }
+        // Evict true-LRU.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("associativity >= 1");
+        let evicted = (Addr(victim.tag * line), victim.state);
+        *victim = Way {
+            tag,
+            state,
+            lru: clock,
+            valid: true,
+        };
+        Some(evicted)
+    }
+
+    /// Insert a line, choosing the LRU victim among lines for which
+    /// `evictable` returns `true`. Used by the L2: lines with an active
+    /// MSHR (e.g. a pending Upgrade) must not be displaced, since their
+    /// in-flight transaction assumes the data stays resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every way of the set is pinned — structurally impossible
+    /// with 8-way sets and per-line transactions, and always a bug.
+    pub fn insert_avoiding(
+        &mut self,
+        addr: Addr,
+        state: LineState,
+        mut evictable: impl FnMut(Addr) -> bool,
+    ) -> Option<(Addr, LineState)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.tag_of(addr);
+        let line = self.line;
+        let range = self.set_range(addr);
+        let set = &mut self.data[range];
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.state = state;
+            w.lru = clock;
+            return None;
+        }
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                tag,
+                state,
+                lru: clock,
+                valid: true,
+            };
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .filter(|w| evictable(Addr(w.tag * line)))
+            .min_by_key(|w| w.lru)
+            .expect("every way of the set is pinned by an in-flight miss");
+        let evicted = (Addr(victim.tag * line), victim.state);
+        *victim = Way {
+            tag,
+            state,
+            lru: clock,
+            valid: true,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidate a line; returns its prior state if it was present.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<LineState> {
+        let tag = self.tag_of(addr);
+        let range = self.set_range(addr);
+        self.data[range]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| {
+                w.valid = false;
+                w.state
+            })
+    }
+
+    /// Number of valid lines currently resident (test/debug helper).
+    pub fn occupancy(&self) -> usize {
+        self.data.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use smtp_types::CacheParams;
+
+    fn tiny() -> Cache {
+        // 2 sets, 2 ways, 32-byte lines.
+        Cache::new(&CacheParams {
+            capacity: 128,
+            line: 32,
+            ways: 2,
+            hit_cycles: 1,
+        })
+    }
+
+    fn a(x: u64) -> Addr {
+        Addr(x)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(a(0x100)), None);
+        assert_eq!(c.insert(a(0x100), LineState::Shared), None);
+        assert_eq!(c.lookup(a(0x100)), Some(LineState::Shared));
+        assert_eq!(c.lookup(a(0x11f)), Some(LineState::Shared)); // same line
+        assert_eq!(c.lookup(a(0x120)), None); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line 32B, 2 sets => set = bit 5).
+        let (x, y, z) = (a(0x000), a(0x080), a(0x100));
+        c.insert(x, LineState::Shared);
+        c.insert(y, LineState::Shared);
+        c.lookup(x); // make y the LRU
+        let evicted = c.insert(z, LineState::Modified).expect("must evict");
+        assert_eq!(evicted.0, a(0x080));
+        assert_eq!(c.probe(x), Some(LineState::Shared));
+        assert_eq!(c.probe(z), Some(LineState::Modified));
+        assert_eq!(c.probe(y), None);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_state() {
+        let mut c = tiny();
+        c.insert(a(0x000), LineState::Modified);
+        c.insert(a(0x080), LineState::Shared);
+        let (victim, st) = c.insert(a(0x100), LineState::Shared).unwrap();
+        assert_eq!(victim, a(0x000));
+        assert!(st.is_dirty());
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.insert(a(0x40), LineState::Shared);
+        assert_eq!(c.insert(a(0x40), LineState::Modified), None);
+        assert_eq!(c.probe(a(0x40)), Some(LineState::Modified));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.insert(a(0x40), LineState::Exclusive);
+        assert_eq!(c.invalidate(a(0x40)), Some(LineState::Exclusive));
+        assert_eq!(c.invalidate(a(0x40)), None);
+        assert_eq!(c.probe(a(0x40)), None);
+    }
+
+    #[test]
+    fn set_state_on_resident_line() {
+        let mut c = tiny();
+        c.insert(a(0x40), LineState::Shared);
+        assert!(c.set_state(a(0x40), LineState::Modified));
+        assert!(!c.set_state(a(0xABC0), LineState::Shared));
+        assert_eq!(c.probe(a(0x40)), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn line_base_masks_offset() {
+        let c = tiny();
+        assert_eq!(c.line_base(a(0x47)), a(0x40));
+        assert_eq!(c.line_base(a(0x40)), a(0x40));
+    }
+
+    #[test]
+    fn writability_rules() {
+        assert!(!LineState::Shared.is_writable());
+        assert!(LineState::Exclusive.is_writable());
+        assert!(LineState::Modified.is_writable());
+        assert!(!LineState::Exclusive.is_dirty());
+    }
+
+    proptest! {
+        /// Occupancy never exceeds capacity and a just-inserted line is
+        /// always resident.
+        #[test]
+        fn occupancy_bounded(addrs in proptest::collection::vec(0u64..0x2000, 1..200)) {
+            let mut c = tiny();
+            for &x in &addrs {
+                let addr = a(x & !31);
+                c.insert(addr, LineState::Shared);
+                prop_assert!(c.probe(addr).is_some());
+                prop_assert!(c.occupancy() <= 4);
+            }
+        }
+
+        /// A hit line survives until evicted by set pressure: with a
+        /// working set no larger than one set's associativity, nothing is
+        /// ever evicted.
+        #[test]
+        fn no_eviction_within_associativity(xs in proptest::collection::vec(0u64..2, 1..50)) {
+            let mut c = tiny();
+            for &x in &xs {
+                // Two distinct lines both in set 0.
+                let addr = a(x * 0x80);
+                let evicted = c.insert(addr, LineState::Shared);
+                prop_assert!(evicted.is_none());
+            }
+        }
+    }
+}

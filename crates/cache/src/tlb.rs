@@ -1,0 +1,119 @@
+//! Translation lookaside buffers (paper Table 2: 128-entry, fully
+//! associative, LRU, 4 KB pages).
+//!
+//! Application threads translate every instruction and data access; the
+//! protocol thread's code and data live in *unmapped* physical memory and
+//! never touch the TLBs (paper §2.1) — one of SMTp's design points, since
+//! the protocol thread must not perturb application translations.
+
+use smtp_types::Addr;
+
+/// A fully-associative, LRU TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (page number, lru stamp)
+    capacity: usize,
+    page_shift: u32,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// A TLB of `capacity` entries over `page_bytes`-sized pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `page_bytes` is a power of two.
+    pub fn new(capacity: usize, page_bytes: u64) -> Tlb {
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_shift: page_bytes.trailing_zeros(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translate an access; returns `true` on hit. Misses install the page
+    /// (the refill penalty is charged by the caller).
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let page = addr.raw() >> self.page_shift;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == page) {
+            e.1 = clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, clock));
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{NodeId, Region};
+
+    fn a(off: u64) -> Addr {
+        Addr::new(NodeId(0), Region::AppData, off)
+    }
+
+    #[test]
+    fn same_page_hits_after_first_access() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(a(0x1000)));
+        assert!(t.access(a(0x1FFF)));
+        assert!(!t.access(a(0x2000)));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(a(0x0000)); // page 0
+        t.access(a(0x1000)); // page 1
+        t.access(a(0x0000)); // touch page 0 => page 1 is LRU
+        t.access(a(0x2000)); // evicts page 1
+        assert!(t.access(a(0x0000)), "page 0 must survive");
+        assert!(!t.access(a(0x1000)), "page 1 must have been evicted");
+    }
+
+    #[test]
+    fn distinct_homes_are_distinct_pages() {
+        let mut t = Tlb::new(8, 4096);
+        t.access(Addr::new(NodeId(0), Region::AppData, 0x5000));
+        assert!(!t.access(Addr::new(NodeId(1), Region::AppData, 0x5000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_page_size_panics() {
+        Tlb::new(4, 1000);
+    }
+}

@@ -1,0 +1,120 @@
+//! Writeback buffer: evicted Exclusive/Modified lines awaiting `WbAck`.
+//!
+//! Keeping the evicted line until the home acknowledges the `Put` lets the
+//! node serve interventions that race with its own eviction, which is what
+//! makes the home-serialized protocol free of data loss (DESIGN.md §2).
+
+use smtp_types::LineAddr;
+
+/// The per-node writeback buffer.
+#[derive(Clone, Debug, Default)]
+pub struct WritebackBuffer {
+    entries: Vec<(LineAddr, bool)>,
+    peak: usize,
+}
+
+impl WritebackBuffer {
+    /// An empty buffer.
+    pub fn new() -> WritebackBuffer {
+        WritebackBuffer::default()
+    }
+
+    /// Insert an evicted line (`dirty` = carries data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already buffered — the cache cannot evict a
+    /// line it does not hold.
+    pub fn insert(&mut self, line: LineAddr, dirty: bool) {
+        assert!(
+            !self.contains(line),
+            "line {line:?} evicted twice without WbAck"
+        );
+        self.entries.push((line, dirty));
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Whether the line is awaiting its writeback ack.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|&(l, _)| l == line)
+    }
+
+    /// Whether the buffered line was dirty.
+    pub fn dirty(&self, line: LineAddr) -> Option<bool> {
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, d)| d)
+    }
+
+    /// Drop the entry once the home's `WbAck` arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not buffered — a stray `WbAck` is a protocol
+    /// bug.
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        let pos = self
+            .entries
+            .iter()
+            .position(|&(l, _)| l == line)
+            .unwrap_or_else(|| panic!("WbAck for unbuffered line {line:?}"));
+        self.entries.swap_remove(pos).1
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// High-water mark (statistic).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{Addr, NodeId, Region};
+
+    fn line(n: u64) -> LineAddr {
+        Addr::new(NodeId(1), Region::AppData, n * 128).line()
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let mut wb = WritebackBuffer::new();
+        assert!(wb.is_empty());
+        wb.insert(line(1), true);
+        wb.insert(line(2), false);
+        assert!(wb.contains(line(1)));
+        assert_eq!(wb.dirty(line(1)), Some(true));
+        assert_eq!(wb.dirty(line(2)), Some(false));
+        assert_eq!(wb.dirty(line(3)), None);
+        assert!(wb.remove(line(1)));
+        assert!(!wb.contains(line(1)));
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "evicted twice")]
+    fn double_insert_panics() {
+        let mut wb = WritebackBuffer::new();
+        wb.insert(line(1), true);
+        wb.insert(line(1), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbuffered")]
+    fn stray_ack_panics() {
+        let mut wb = WritebackBuffer::new();
+        wb.remove(line(9));
+    }
+}

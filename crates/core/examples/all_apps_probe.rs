@@ -1,0 +1,22 @@
+use smtp_core::{run_experiment, ExperimentConfig};
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    for app in AppKind::ALL {
+        for model in [MachineModel::SMTp, MachineModel::Base] {
+            let mut e = ExperimentConfig::new(model, app, 4, 2);
+            e.scale = scale;
+            e.max_cycles = 400_000_000;
+            let t = Instant::now();
+            let r = run_experiment(&e);
+            println!(
+                "{:6} {:5}: cycles={:>9} insts={:>9} prot={:>7} handlers={:>7} memstall={:.2} occ={:.3} wall={:.1}s",
+                app.name(), model.label(), r.cycles, r.app_instructions, r.protocol_instructions,
+                r.handlers, r.memory_stall_frac(), r.protocol_occupancy_peak, t.elapsed().as_secs_f64()
+            );
+        }
+    }
+}

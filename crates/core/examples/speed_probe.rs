@@ -1,0 +1,23 @@
+use smtp_core::{run_experiment, ExperimentConfig};
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.12);
+    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let ways: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let max: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(50_000_000);
+    let mut e = ExperimentConfig::new(MachineModel::SMTp, AppKind::Fft, nodes, ways);
+    e.scale = scale;
+    e.max_cycles = max;
+    let t = Instant::now();
+    let r = run_experiment(&e);
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "cycles={} insts={} prot={} handlers={} wall={:.2}s {:.2}Mcyc/s",
+        r.cycles, r.app_instructions, r.protocol_instructions, r.handlers, dt,
+        r.cycles as f64 / dt / 1e6
+    );
+}

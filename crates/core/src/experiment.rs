@@ -1,0 +1,148 @@
+//! Experiment runner: one simulation per (model, app, nodes, ways, clock)
+//! point of the paper's evaluation.
+
+use crate::stats::RunStats;
+use crate::system::System;
+use smtp_types::{MachineModel, SystemConfig};
+use smtp_workloads::AppKind;
+
+/// One point of the evaluation space.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Machine model.
+    pub model: MachineModel,
+    /// Application.
+    pub app: AppKind,
+    /// Nodes.
+    pub nodes: usize,
+    /// Application threads per node (the paper's "n-way").
+    pub ways: usize,
+    /// CPU clock in GHz (2 or 4 in the paper).
+    pub cpu_ghz: f64,
+    /// Workload scale relative to DESIGN.md §7 (see also
+    /// [`ExperimentConfig::quick`]).
+    pub scale: f64,
+    /// Look-ahead scheduling enabled (paper §2.3; ablatable).
+    pub look_ahead: bool,
+    /// Override the bypass-buffer size (paper §2.2; ablatable).
+    pub bypass_lines: Option<usize>,
+    /// Separate perfect protocol caches (the paper's §2.3 experiment).
+    pub perfect_protocol_caches: bool,
+    /// Software prefetching in the applications (paper §3; off models the
+    /// "less-tuned" variant whose trends stay qualitatively identical).
+    pub prefetch: bool,
+    /// Simulation watchdog in cycles.
+    pub max_cycles: u64,
+}
+
+impl ExperimentConfig {
+    /// A standard-scale experiment point.
+    pub fn new(model: MachineModel, app: AppKind, nodes: usize, ways: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            model,
+            app,
+            nodes,
+            ways,
+            cpu_ghz: 2.0,
+            scale: default_scale(),
+            look_ahead: true,
+            bypass_lines: None,
+            perfect_protocol_caches: false,
+            prefetch: true,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// A reduced-scale point for smoke tests.
+    pub fn quick(model: MachineModel, app: AppKind, nodes: usize, ways: usize) -> ExperimentConfig {
+        let mut c = ExperimentConfig::new(model, app, nodes, ways);
+        c.scale = 0.12;
+        c
+    }
+
+    fn system_config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::new(self.model, self.nodes, self.ways);
+        cfg.cpu_ghz = self.cpu_ghz;
+        cfg.pipeline.look_ahead_scheduling = self.look_ahead;
+        if let Some(lines) = self.bypass_lines {
+            cfg.pipeline.bypass_lines = lines;
+        }
+        cfg.pipeline.perfect_protocol_caches = self.perfect_protocol_caches;
+        cfg
+    }
+}
+
+/// Default workload scale; `SMTP_SCALE` overrides it so the full
+/// experiment suite can be shrunk or grown without recompiling.
+pub fn default_scale() -> f64 {
+    std::env::var("SMTP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5)
+}
+
+/// Run one experiment point to completion.
+pub fn run_experiment(e: &ExperimentConfig) -> RunStats {
+    let cfg = e.system_config();
+    let wl = smtp_workloads::WorkloadCfg {
+        nodes: cfg.nodes,
+        app_threads: cfg.app_threads,
+        scale: e.scale,
+        prefetch: e.prefetch,
+    };
+    let mut sys = System::with_workload(cfg, e.app, wl);
+    sys.run(e.max_cycles)
+}
+
+/// Normalized execution times of all five machine models for one
+/// (app, nodes, ways) point — one group of bars in the paper's figures.
+/// Returns `(model, total_norm, memory_stall_norm)` with `Base = 1.0`.
+pub fn model_comparison(
+    app: AppKind,
+    nodes: usize,
+    ways: usize,
+    cpu_ghz: f64,
+    scale: f64,
+) -> Vec<(MachineModel, f64, f64)> {
+    let runs: Vec<RunStats> = MachineModel::ALL
+        .iter()
+        .map(|&model| {
+            let mut e = ExperimentConfig::new(model, app, nodes, ways);
+            e.cpu_ghz = cpu_ghz;
+            e.scale = scale;
+            run_experiment(&e)
+        })
+        .collect();
+    let base = runs[0].cycles as f64;
+    runs.iter()
+        .map(|r| {
+            let total = r.cycles as f64 / base;
+            let mem = r.memory_stall_cycles / base;
+            (r.model, total, mem)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_completes_single_node() {
+        let e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 1, 1);
+        let r = run_experiment(&e);
+        assert!(r.cycles > 1_000);
+        assert!(r.app_instructions > 5_000);
+        assert!(r.protocol_instructions > 0, "protocol thread never ran");
+    }
+
+    #[test]
+    fn quick_experiment_completes_base_two_nodes() {
+        let e = ExperimentConfig::quick(MachineModel::Base, AppKind::Fft, 2, 1);
+        let r = run_experiment(&e);
+        assert!(r.cycles > 1_000);
+        assert!(r.network.messages > 0, "no network traffic on 2 nodes");
+        assert_eq!(r.protocol_instructions, 0, "no protocol thread in Base");
+        assert!(r.handlers > 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Run statistics: everything the paper's tables and figures need.
+
+use crate::node::Node;
+use smtp_noc::{NetStats, Network};
+use smtp_types::{Cycle, MachineModel, RunningStat, SystemConfig, MAX_CTX};
+use smtp_workloads::{AppKind, SyncManager};
+
+/// Aggregated results of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    /// Machine model simulated.
+    pub model: MachineModel,
+    /// Application run.
+    pub app: AppKind,
+    /// Nodes in the machine.
+    pub nodes: usize,
+    /// Application threads per node.
+    pub ways: usize,
+    /// Parallel execution time: cycle at which the last application thread
+    /// finished.
+    pub cycles: Cycle,
+    /// Committed application instructions (whole machine).
+    pub app_instructions: u64,
+    /// Committed protocol-thread instructions (SMTp only).
+    pub protocol_instructions: u64,
+    /// Memory-stall cycles averaged over all application threads (paper §4
+    /// definition).
+    pub memory_stall_cycles: f64,
+    /// Peak per-node protocol occupancy (fraction of execution time the
+    /// protocol engine / protocol thread was active) — paper Table 7.
+    pub protocol_occupancy_peak: f64,
+    /// Mean per-node protocol occupancy.
+    pub protocol_occupancy_mean: f64,
+    /// Protocol-thread branch misprediction rate (Table 8).
+    pub protocol_mispredict_rate: f64,
+    /// Fraction of cycles freeing squashed protocol instructions (Table 8).
+    pub protocol_squash_frac: f64,
+    /// Retired protocol instructions / all retired instructions (Table 8).
+    pub protocol_retired_frac: f64,
+    /// Peak protocol-thread branch-stack occupancy across nodes (Table 9),
+    /// plus the mean of per-node peaks.
+    pub prot_branch_stack: (u64, f64),
+    /// Peak / mean-of-peaks protocol integer registers (Table 9).
+    pub prot_int_regs: (u64, f64),
+    /// Peak / mean-of-peaks protocol integer-queue entries (Table 9).
+    pub prot_int_queue: (u64, f64),
+    /// Peak / mean-of-peaks protocol LSQ entries (Table 9).
+    pub prot_lsq: (u64, f64),
+    /// Handlers executed machine-wide.
+    pub handlers: u64,
+    /// Directory-cache hit rate of the embedded engines (1.0 under SMTp).
+    pub dir_cache_hit_rate: f64,
+    /// Network statistics (zero for one-node machines).
+    pub network: NetStats,
+    /// L1D miss rate of application accesses.
+    pub l1d_app_miss_rate: f64,
+    /// L2 miss rate of application accesses.
+    pub l2_app_miss_rate: f64,
+    /// Lock acquisitions machine-wide.
+    pub lock_acquires: u64,
+    /// Barrier episodes machine-wide.
+    pub barrier_episodes: u64,
+}
+
+impl RunStats {
+    pub(crate) fn collect(
+        cfg: &SystemConfig,
+        app: AppKind,
+        cycles: Cycle,
+        nodes: &[Node],
+        network: Option<&Network>,
+        sync: &SyncManager,
+    ) -> RunStats {
+        let cycles = cycles.max(1);
+        let mut app_insts = 0;
+        let mut prot_insts = 0;
+        let mut mem_stall = RunningStat::new();
+        let mut occupancy = RunningStat::new();
+        let mut prot_branches = 0u64;
+        let mut prot_mispred = 0u64;
+        let mut squash_cycles = 0u64;
+        let mut bs = RunningStat::new();
+        let mut ir = RunningStat::new();
+        let mut iq = RunningStat::new();
+        let mut lsq = RunningStat::new();
+        let mut handlers = 0;
+        let mut dir_hits = 0u64;
+        let mut dir_misses = 0u64;
+        let mut l1d = (0u64, 0u64);
+        let mut l2 = (0u64, 0u64);
+        for n in nodes {
+            let p = n.pipeline.stats();
+            app_insts += p.committed_app();
+            prot_insts += p.committed_protocol();
+            for t in 0..cfg.app_threads {
+                mem_stall.push(p.memory_stall[t] as f64);
+            }
+            let occ = match &n.engine {
+                Some(e) => e.active_cycles() as f64 / cycles as f64,
+                None => p.protocol_active_cycles as f64 / cycles as f64,
+            };
+            occupancy.push(occ);
+            prot_branches += p.branches[MAX_CTX - 1];
+            prot_mispred += p.mispredicts[MAX_CTX - 1];
+            squash_cycles += p.protocol_squash_cycles;
+            bs.push(p.prot_branch_stack.peak() as f64);
+            ir.push(p.prot_int_regs_peak as f64);
+            iq.push(p.prot_int_queue.peak() as f64);
+            lsq.push(p.prot_lsq.peak() as f64);
+            handlers += n.stats.handlers;
+            if let Some(e) = &n.engine {
+                dir_hits += e.dircache().hits();
+                dir_misses += e.dircache().misses();
+            }
+            let c = n.mem.stats();
+            l1d.0 += c.l1d_app_hits;
+            l1d.1 += c.l1d_app_misses;
+            l2.0 += c.l2_app_hits;
+            l2.1 += c.l2_app_misses;
+        }
+        let total_insts = app_insts + prot_insts;
+        RunStats {
+            model: cfg.model,
+            app,
+            nodes: cfg.nodes,
+            ways: cfg.app_threads,
+            cycles,
+            app_instructions: app_insts,
+            protocol_instructions: prot_insts,
+            memory_stall_cycles: mem_stall.mean(),
+            protocol_occupancy_peak: occupancy.max(),
+            protocol_occupancy_mean: occupancy.mean(),
+            protocol_mispredict_rate: if prot_branches == 0 {
+                0.0
+            } else {
+                prot_mispred as f64 / prot_branches as f64
+            },
+            protocol_squash_frac: squash_cycles as f64 / cycles as f64,
+            protocol_retired_frac: if total_insts == 0 {
+                0.0
+            } else {
+                prot_insts as f64 / total_insts as f64
+            },
+            prot_branch_stack: (bs.max() as u64, bs.mean()),
+            prot_int_regs: (ir.max() as u64, ir.mean()),
+            prot_int_queue: (iq.max() as u64, iq.mean()),
+            prot_lsq: (lsq.max() as u64, lsq.mean()),
+            handlers,
+            dir_cache_hit_rate: if dir_hits + dir_misses == 0 {
+                1.0
+            } else {
+                dir_hits as f64 / (dir_hits + dir_misses) as f64
+            },
+            network: network.map(|n| *n.stats()).unwrap_or_default(),
+            l1d_app_miss_rate: miss_rate(l1d),
+            l2_app_miss_rate: miss_rate(l2),
+            lock_acquires: sync.stats().lock_acquires,
+            barrier_episodes: sync.stats().barrier_episodes,
+        }
+    }
+
+    /// Memory-stall fraction of execution time (the dark bar segment in
+    /// the paper's figures).
+    pub fn memory_stall_frac(&self) -> f64 {
+        self.memory_stall_cycles / self.cycles as f64
+    }
+}
+
+fn miss_rate((hits, misses): (u64, u64)) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        misses as f64 / (hits + misses) as f64
+    }
+}

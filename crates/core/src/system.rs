@@ -1,0 +1,200 @@
+//! The full-machine simulator: nodes + interconnect + global clock.
+
+use crate::node::Node;
+use crate::stats::RunStats;
+use smtp_noc::Network;
+use smtp_types::{Cycle, NodeId, SystemConfig};
+use smtp_types::Ctx;
+use smtp_workloads::{AppKind, SyncManager, ThreadGen, WorkloadCfg};
+
+/// A complete simulated DSM machine running one application.
+pub struct System {
+    cfg: SystemConfig,
+    app: AppKind,
+    nodes: Vec<Node>,
+    network: Option<Network>,
+    sync: SyncManager,
+    now: Cycle,
+    app_done_at: Option<Cycle>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("model", &self.cfg.model)
+            .field("nodes", &self.nodes.len())
+            .field("app", &self.app)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl System {
+    /// Build the machine described by `cfg`, loaded with `app` at the given
+    /// workload scale.
+    pub fn new(cfg: SystemConfig, app: AppKind, scale: f64) -> System {
+        let wl = WorkloadCfg {
+            nodes: cfg.nodes,
+            app_threads: cfg.app_threads,
+            scale,
+            prefetch: true,
+        };
+        Self::with_workload(cfg, app, wl)
+    }
+
+    /// Build the machine with full workload-construction control.
+    pub fn with_workload(cfg: SystemConfig, app: AppKind, wl: WorkloadCfg) -> System {
+        cfg.validate();
+        assert_eq!(wl.nodes, cfg.nodes);
+        assert_eq!(wl.app_threads, cfg.app_threads);
+        let nodes = (0..cfg.nodes)
+            .map(|i| Node::new(NodeId(i as u16), &cfg, app, &wl))
+            .collect();
+        Self::assemble(cfg, app, nodes)
+    }
+
+    /// Build a machine running caller-provided workload generators — the
+    /// public hook for custom [`smtp_workloads::Kernel`] implementations.
+    /// `factory` is called once per (node, application context).
+    pub fn with_threads(
+        cfg: SystemConfig,
+        mut factory: impl FnMut(NodeId, Ctx) -> ThreadGen,
+    ) -> System {
+        cfg.validate();
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                let id = NodeId(i as u16);
+                let gens = (0..cfg.app_threads)
+                    .map(|c| factory(id, Ctx(c as u8)))
+                    .collect();
+                Node::with_threads(id, &cfg, gens)
+            })
+            .collect();
+        Self::assemble(cfg, AppKind::Fft, nodes)
+    }
+
+    fn assemble(cfg: SystemConfig, app: AppKind, nodes: Vec<Node>) -> System {
+        let network = (cfg.nodes > 1).then(|| Network::new(cfg.nodes, cfg.cpu_ghz, &cfg.net));
+        let sync = SyncManager::new(cfg.total_app_threads());
+        System {
+            cfg,
+            app,
+            nodes,
+            network,
+            sync,
+            now: 0,
+            app_done_at: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Advance one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        if let Some(net) = &mut self.network {
+            while let Some(msg) = net.pop_arrived(now) {
+                self.nodes[msg.dst.idx()].receive(msg, now);
+            }
+        }
+        for node in &mut self.nodes {
+            node.tick(now, &mut self.sync);
+            let out = node.take_outbox();
+            if let Some(net) = &mut self.network {
+                for (at, msg) in out {
+                    net.inject(at.max(now), msg);
+                }
+            } else {
+                assert!(out.is_empty(), "network message on a 1-node machine");
+            }
+        }
+        if self.app_done_at.is_none() && self.nodes.iter().all(|n| n.pipeline.finished()) {
+            self.app_done_at = Some(now);
+        }
+        self.now += 1;
+    }
+
+    /// Whether the application has completed *and* all protocol activity
+    /// has drained.
+    pub fn quiesced(&self) -> bool {
+        self.app_done_at.is_some()
+            && self.nodes.iter().all(|n| n.quiesced())
+            && self
+                .network
+                .as_ref()
+                .is_none_or(|n| n.in_flight_count() == 0)
+    }
+
+    /// Run to completion; returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not quiesce within `max_cycles` — that
+    /// always indicates a deadlock or livelock bug, and the panic message
+    /// carries diagnostics.
+    pub fn run(&mut self, max_cycles: Cycle) -> RunStats {
+        while !self.quiesced() {
+            self.tick();
+            if self.now >= max_cycles {
+                self.panic_with_diagnostics(max_cycles);
+            }
+        }
+        self.collect()
+    }
+
+    fn panic_with_diagnostics(&self, max_cycles: Cycle) -> ! {
+        let mut diag = String::new();
+        for n in &self.nodes {
+            let s = n.pipeline.stats();
+            diag.push_str(&format!(
+                "\n  {:?}: finished={} committed={:?} prot_quiesced={} dir_busy={} pending={}",
+                n.id(),
+                n.pipeline.finished(),
+                &s.committed,
+                n.pipeline.protocol_quiesced(),
+                n.directory.any_busy(),
+                n.directory.pending_len(),
+            ));
+            diag.push_str(&format!("\n    queues: {}", n.debug_queues()));
+            for (line, st) in n.directory.busy_lines() {
+                diag.push_str(&format!("\n    busy {line:?} state={st:?}"));
+                for peer in &self.nodes {
+                    diag.push_str(&format!(
+                        "\n      at {:?}: {}",
+                        peer.id(),
+                        peer.mem.debug_line(line)
+                    ));
+                }
+            }
+        }
+        panic!(
+            "{:?} {} x{} ({}-way) did not quiesce in {max_cycles} cycles:{diag}",
+            self.cfg.model, self.app, self.cfg.nodes, self.cfg.app_threads
+        );
+    }
+
+    /// Gather statistics from every component.
+    pub fn collect(&self) -> RunStats {
+        RunStats::collect(
+            &self.cfg,
+            self.app,
+            self.app_done_at.unwrap_or(self.now),
+            &self.nodes,
+            self.network.as_ref(),
+            &self.sync,
+        )
+    }
+
+    /// Node access for white-box tests.
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+}

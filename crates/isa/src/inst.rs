@@ -1,0 +1,432 @@
+//! Instruction and operand representation.
+
+use crate::sync::{SyncCond, SyncOp};
+use smtp_types::Addr;
+use std::fmt;
+
+/// Register class (separate integer and floating-point files, as in MIPS).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegClass {
+    /// Integer register file.
+    Int,
+    /// Floating-point register file.
+    Fp,
+}
+
+/// A logical (architected) register: 32 per class per thread context.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg {
+    /// Which register file.
+    pub class: RegClass,
+    /// Architected index, `0..32`.
+    pub idx: u8,
+}
+
+impl Reg {
+    /// An integer register.
+    #[inline]
+    pub fn int(idx: u8) -> Reg {
+        debug_assert!(idx < 32);
+        Reg {
+            class: RegClass::Int,
+            idx,
+        }
+    }
+
+    /// A floating-point register.
+    #[inline]
+    pub fn fp(idx: u8) -> Reg {
+        debug_assert!(idx < 32);
+        Reg {
+            class: RegClass::Fp,
+            idx,
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.idx),
+            RegClass::Fp => write!(f, "f{}", self.idx),
+        }
+    }
+}
+
+/// Functional-unit class an instruction issues to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FuClass {
+    /// Integer ALU (also used by branches and protocol ALU ops).
+    IntAlu,
+    /// Integer multiplier/divider (shares ALU issue ports).
+    IntMulDiv,
+    /// Floating-point unit.
+    Fpu,
+    /// Address-generation unit + data-cache port (all memory ops).
+    Mem,
+}
+
+/// Instruction operation.
+///
+/// Addresses carried by memory operations are *physical* — the workload
+/// generators apply page placement directly when constructing them; the
+/// TLBs are modeled as always hitting for application threads while the
+/// protocol regions bypass them entirely (paper §2.1).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Op {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/sub/compare (pipelined).
+    FpAlu,
+    /// Floating-point multiply (fully pipelined, 1 cycle in Table 2).
+    FpMul,
+    /// Floating-point divide (unpipelined).
+    FpDiv,
+    /// Load from memory.
+    Load {
+        /// Physical address accessed.
+        addr: Addr,
+    },
+    /// Store to memory (data to the speculative store buffer at execute,
+    /// to the cache at/after graduation).
+    Store {
+        /// Physical address accessed.
+        addr: Addr,
+    },
+    /// Non-binding software prefetch (allocates an MSHR, never a register).
+    Prefetch {
+        /// Physical address prefetched.
+        addr: Addr,
+        /// Prefetch-exclusive (fetches ownership, not just data).
+        exclusive: bool,
+    },
+    /// Conditional branch with a statically known outcome (the workload
+    /// trace determines the path; the branch predictor still predicts it
+    /// and mispredictions squash and refetch).
+    Branch {
+        /// Actual direction.
+        taken: bool,
+        /// Actual target PC (instruction index) when taken.
+        target: u32,
+    },
+    /// Call: pushes the return address on the RAS, always taken.
+    Call {
+        /// Callee entry PC.
+        target: u32,
+    },
+    /// Return: pops the RAS, always taken (target comes from the stack).
+    Ret,
+    /// Spin-test load of a synchronization word (a normal cacheable load;
+    /// tagged so statistics can separate sync traffic).
+    SyncLoad {
+        /// Address of the lock/flag/counter word.
+        addr: Addr,
+    },
+    /// Serializing conditional branch whose outcome is resolved at execute
+    /// time by querying the [`crate::SyncEnv`]. Fetch for the thread stalls
+    /// until it resolves (see DESIGN.md §2: spin exits are therefore
+    /// non-speculative; this costs all machine models equally).
+    SyncBranch {
+        /// Condition polled at execution.
+        cond: SyncCond,
+    },
+    /// Non-speculative synchronization store (lock attempt/release, barrier
+    /// arrival, flag set). Executes at graduation; its [`crate::SyncOutcome`]
+    /// is delivered back to the workload generator, which may be waiting on
+    /// it to choose the subsequent path. Serializing like `SyncBranch`.
+    SyncStore {
+        /// Address of the synchronization word (coherence traffic target).
+        addr: Addr,
+        /// Semantic operation performed by the sync manager at graduation.
+        op: SyncOp,
+    },
+    /// No-operation (pipeline bubble filler in handler schedules).
+    Nop,
+    /// Thread has finished its program; fetch stops permanently.
+    Halt,
+
+    // ------------------------- protocol thread ops -------------------------
+    /// Protocol load (directory entry / protocol data). Cacheable through
+    /// the shared L1D/L2 in SMTp, but unmapped (no DTLB access); an L2 miss
+    /// bypasses the Local Miss Interface and goes straight to local SDRAM.
+    PLoad {
+        /// Directory-region or protocol-data address.
+        addr: Addr,
+    },
+    /// Protocol store (directory entry update). Non-speculative: takes
+    /// effect at graduation.
+    PStore {
+        /// Directory-region address.
+        addr: Addr,
+    },
+    /// Protocol bit-manipulation ALU op (population count etc.).
+    PAlu,
+    /// Protocol handler conditional branch; outcome is known when the
+    /// handler's semantic transition was computed at dispatch, but the
+    /// branch predictor still predicts it (paper Table 8 measures its
+    /// misprediction rate).
+    PBranch {
+        /// Actual direction.
+        taken: bool,
+        /// Actual target PC when taken.
+        target: u32,
+    },
+    /// `send`: two uncached stores writing the header and address registers
+    /// of the memory controller, initiating an outgoing message. Must
+    /// execute non-speculatively (impossible to undo); the message sent is
+    /// the `msg_idx`-th prepared output of the current handler.
+    Send {
+        /// Index into the dispatched handler's prepared message list.
+        msg_idx: u8,
+    },
+    /// Uncached load of the next request's header; stalls at the head of
+    /// the protocol load/store queue until the memory controller has a
+    /// request waiting (paper §2.1).
+    Switch,
+    /// Uncached load of the next request's address; raises
+    /// `handlerCompletion` at graduation, prompting the handler dispatch
+    /// unit to hand out the next handler PC.
+    Ldctxt,
+}
+
+/// One dynamic instruction: operation plus register operands and PC.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Up to two source registers.
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register, if any.
+    pub dst: Option<Reg>,
+    /// Instruction index ("PC") within the thread's code image; used by the
+    /// I-cache (fetch address = code base + 4·pc) and the branch predictor.
+    pub pc: u32,
+}
+
+impl Inst {
+    /// A register-free instruction at `pc`.
+    pub fn new(op: Op, pc: u32) -> Inst {
+        Inst {
+            op,
+            srcs: [None, None],
+            dst: None,
+            pc,
+        }
+    }
+
+    /// Attach source registers.
+    pub fn with_srcs(mut self, a: Option<Reg>, b: Option<Reg>) -> Inst {
+        self.srcs = [a, b];
+        self
+    }
+
+    /// Attach a destination register.
+    pub fn with_dst(mut self, d: Reg) -> Inst {
+        self.dst = Some(d);
+        self
+    }
+
+    /// Functional unit class this instruction needs.
+    pub fn fu_class(&self) -> FuClass {
+        match self.op {
+            Op::IntAlu | Op::PAlu | Op::Nop | Op::Halt => FuClass::IntAlu,
+            Op::Branch { .. }
+            | Op::Call { .. }
+            | Op::Ret
+            | Op::SyncBranch { .. }
+            | Op::PBranch { .. } => FuClass::IntAlu,
+            Op::IntMul | Op::IntDiv => FuClass::IntMulDiv,
+            Op::FpAlu | Op::FpMul | Op::FpDiv => FuClass::Fpu,
+            Op::Load { .. }
+            | Op::Store { .. }
+            | Op::Prefetch { .. }
+            | Op::SyncLoad { .. }
+            | Op::SyncStore { .. }
+            | Op::PLoad { .. }
+            | Op::PStore { .. }
+            | Op::Send { .. }
+            | Op::Switch
+            | Op::Ldctxt => FuClass::Mem,
+        }
+    }
+
+    /// Whether this is any kind of memory operation (occupies an LSQ slot).
+    pub fn is_mem(&self) -> bool {
+        self.fu_class() == FuClass::Mem
+    }
+
+    /// Whether this is a load-like memory op (produces a value).
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Load { .. } | Op::SyncLoad { .. } | Op::PLoad { .. } | Op::Switch | Op::Ldctxt
+        )
+    }
+
+    /// Whether this is a store-like memory op (occupies a store-buffer slot).
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Store { .. } | Op::SyncStore { .. } | Op::PStore { .. } | Op::Send { .. }
+        )
+    }
+
+    /// The memory address accessed, if any.
+    pub fn mem_addr(&self) -> Option<Addr> {
+        match self.op {
+            Op::Load { addr }
+            | Op::Store { addr }
+            | Op::Prefetch { addr, .. }
+            | Op::SyncLoad { addr }
+            | Op::SyncStore { addr, .. }
+            | Op::PLoad { addr }
+            | Op::PStore { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a control-flow instruction (uses a branch-stack
+    /// checkpoint while in flight).
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self.op,
+            Op::Branch { .. } | Op::Call { .. } | Op::Ret | Op::SyncBranch { .. } | Op::PBranch { .. }
+        )
+    }
+
+    /// Whether this is a *predicted* branch (participates in the branch
+    /// predictor; `SyncBranch` does not — it serializes fetch instead).
+    pub fn is_predicted_branch(&self) -> bool {
+        matches!(self.op, Op::Branch { .. } | Op::PBranch { .. })
+    }
+
+    /// Whether fetch must stall after this instruction until it resolves
+    /// (synchronization instructions; see [`Op::SyncBranch`]).
+    pub fn is_serializing(&self) -> bool {
+        matches!(self.op, Op::SyncBranch { .. } | Op::SyncStore { .. })
+    }
+
+    /// Whether the instruction must execute non-speculatively, i.e. only
+    /// when it is the oldest unretired instruction of its thread (sends,
+    /// uncached loads/stores, sync stores — their effects cannot be undone).
+    pub fn is_nonspeculative(&self) -> bool {
+        matches!(
+            self.op,
+            Op::SyncStore { .. } | Op::Send { .. } | Op::Switch | Op::Ldctxt | Op::PStore { .. }
+        )
+    }
+
+    /// Whether this op belongs to the protocol-thread instruction family.
+    pub fn is_protocol_op(&self) -> bool {
+        matches!(
+            self.op,
+            Op::PLoad { .. }
+                | Op::PStore { .. }
+                | Op::PAlu
+                | Op::PBranch { .. }
+                | Op::Send { .. }
+                | Op::Switch
+                | Op::Ldctxt
+        )
+    }
+
+    /// Execution latency in cycles on its functional unit (memory ops
+    /// report their AGU latency; cache access time is added by the memory
+    /// pipeline).
+    pub fn exec_latency(
+        &self,
+        int_mul: u64,
+        int_div: u64,
+        fp_mul: u64,
+        fp_div: u64,
+    ) -> u64 {
+        match self.op {
+            Op::IntMul => int_mul,
+            Op::IntDiv => int_div,
+            Op::FpMul => fp_mul,
+            Op::FpDiv => fp_div,
+            Op::FpAlu => 2,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{NodeId, Region};
+
+    fn addr() -> Addr {
+        Addr::new(NodeId(0), Region::AppData, 0x100)
+    }
+
+    #[test]
+    fn classification_load_store() {
+        let ld = Inst::new(Op::Load { addr: addr() }, 0);
+        assert!(ld.is_mem() && ld.is_load() && !ld.is_store());
+        assert_eq!(ld.mem_addr(), Some(addr()));
+        let st = Inst::new(Op::Store { addr: addr() }, 1);
+        assert!(st.is_mem() && st.is_store() && !st.is_load());
+        assert_eq!(st.fu_class(), FuClass::Mem);
+    }
+
+    #[test]
+    fn branches_use_checkpoints() {
+        let b = Inst::new(
+            Op::Branch {
+                taken: true,
+                target: 7,
+            },
+            3,
+        );
+        assert!(b.is_branch() && b.is_predicted_branch());
+        assert!(!b.is_serializing());
+        let sb = Inst::new(
+            Op::SyncBranch {
+                cond: SyncCond::LockFree(0),
+            },
+            4,
+        );
+        assert!(sb.is_branch() && !sb.is_predicted_branch() && sb.is_serializing());
+    }
+
+    #[test]
+    fn protocol_ops_flagged() {
+        for op in [Op::Switch, Op::Ldctxt, Op::Send { msg_idx: 0 }, Op::PAlu] {
+            assert!(Inst::new(op, 0).is_protocol_op(), "{op:?}");
+        }
+        assert!(!Inst::new(Op::IntAlu, 0).is_protocol_op());
+        assert!(Inst::new(Op::Send { msg_idx: 1 }, 0).is_nonspeculative());
+        assert!(Inst::new(Op::Switch, 0).is_load());
+    }
+
+    #[test]
+    fn latencies_follow_table2() {
+        let mul = Inst::new(Op::IntMul, 0);
+        assert_eq!(mul.exec_latency(6, 35, 1, 19), 6);
+        let div = Inst::new(Op::FpDiv, 0);
+        assert_eq!(div.exec_latency(6, 35, 1, 19), 19);
+        assert_eq!(Inst::new(Op::IntAlu, 0).exec_latency(6, 35, 1, 19), 1);
+    }
+
+    #[test]
+    fn builder_attaches_operands() {
+        let i = Inst::new(Op::FpMul, 9)
+            .with_srcs(Some(Reg::fp(1)), Some(Reg::fp(2)))
+            .with_dst(Reg::fp(3));
+        assert_eq!(i.dst, Some(Reg::fp(3)));
+        assert_eq!(i.srcs[0], Some(Reg::fp(1)));
+        assert_eq!(i.pc, 9);
+        assert_eq!(i.fu_class(), FuClass::Fpu);
+    }
+
+    #[test]
+    fn reg_debug_format() {
+        assert_eq!(format!("{:?}", Reg::int(5)), "r5");
+        assert_eq!(format!("{:?}", Reg::fp(31)), "f31");
+    }
+}

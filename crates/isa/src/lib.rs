@@ -1,0 +1,27 @@
+//! The abstract micro-op ISA executed by the simulated SMT pipeline.
+//!
+//! The paper simulates a MIPS-ISA out-of-order SMT processor executing real
+//! application binaries plus coherence-protocol handler code. This
+//! reproduction substitutes an *abstract* instruction set (see DESIGN.md §2):
+//! instructions carry explicit register operands, memory addresses, branch
+//! outcomes and latency classes, which is everything the timing model needs —
+//! data values are not simulated (synchronization semantics come from a
+//! [`SyncEnv`] implementation instead).
+//!
+//! Three instruction families exist:
+//!
+//! * **application ops** — integer/FP arithmetic, loads/stores/prefetches,
+//!   branches/calls/returns, emitted by the workload generators,
+//! * **synchronization ops** — spin loads, serializing sync branches and
+//!   non-speculative sync stores that drive locks and tree barriers,
+//! * **protocol ops** — directory loads/stores, bit-manipulation ALU ops,
+//!   handler branches, `send`, and the special `switch`/`ldctxt` pair that
+//!   terminates every handler (paper §2.1).
+
+pub mod inst;
+pub mod source;
+pub mod sync;
+
+pub use inst::{FuClass, Inst, Op, Reg, RegClass};
+pub use source::InstSource;
+pub use sync::{SyncCond, SyncEnv, SyncOp, SyncOutcome};

@@ -1,0 +1,97 @@
+//! Instruction-supply interface between the pipeline and the workloads.
+
+use crate::inst::Inst;
+use crate::sync::SyncOutcome;
+
+/// A per-thread program-order instruction source.
+///
+/// The fetch stage pulls new instructions from the source; on a branch
+/// misprediction the pipeline recycles already-fetched younger instructions
+/// internally (it never asks the source to rewind), so implementations can
+/// be simple forward-only state machines.
+///
+/// Serializing synchronization instructions ([`crate::Op::SyncBranch`],
+/// [`crate::Op::SyncStore`]) stall fetch; once they resolve, the pipeline
+/// calls [`InstSource::sync_result`] *before* the next [`InstSource::next_inst`],
+/// letting the generator pick the continuation path (retry a lock, spin on a
+/// flag, propagate a barrier arrival, …).
+pub trait InstSource {
+    /// Produce the next instruction in program order.
+    ///
+    /// Must keep returning [`crate::Op::Halt`] forever once the program is
+    /// finished.
+    fn next_inst(&mut self) -> Inst;
+
+    /// Deliver the outcome of the most recent serializing sync instruction.
+    fn sync_result(&mut self, outcome: SyncOutcome);
+}
+
+/// An [`InstSource`] replaying a fixed instruction sequence, then halting.
+///
+/// Useful for unit tests and microbenchmarks of the pipeline.
+#[derive(Clone, Debug)]
+pub struct FixedProgram {
+    insts: Vec<Inst>,
+    pos: usize,
+    /// Outcomes received via [`InstSource::sync_result`], for inspection.
+    pub outcomes: Vec<SyncOutcome>,
+}
+
+impl FixedProgram {
+    /// Wrap an instruction sequence.
+    pub fn new(insts: Vec<Inst>) -> FixedProgram {
+        FixedProgram {
+            insts,
+            pos: 0,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// How many instructions have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl InstSource for FixedProgram {
+    fn next_inst(&mut self) -> Inst {
+        if self.pos < self.insts.len() {
+            let i = self.insts[self.pos];
+            self.pos += 1;
+            i
+        } else {
+            Inst::new(crate::Op::Halt, self.insts.len() as u32)
+        }
+    }
+
+    fn sync_result(&mut self, outcome: SyncOutcome) {
+        self.outcomes.push(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    #[test]
+    fn fixed_program_replays_then_halts() {
+        let mut p = FixedProgram::new(vec![Inst::new(Op::IntAlu, 0), Inst::new(Op::FpAlu, 1)]);
+        assert_eq!(p.next_inst().op, Op::IntAlu);
+        assert_eq!(p.next_inst().op, Op::FpAlu);
+        assert_eq!(p.next_inst().op, Op::Halt);
+        assert_eq!(p.next_inst().op, Op::Halt);
+        assert_eq!(p.consumed(), 2);
+    }
+
+    #[test]
+    fn records_sync_outcomes() {
+        let mut p = FixedProgram::new(vec![]);
+        p.sync_result(SyncOutcome::Acquired);
+        p.sync_result(SyncOutcome::Cond(false));
+        assert_eq!(
+            p.outcomes,
+            vec![SyncOutcome::Acquired, SyncOutcome::Cond(false)]
+        );
+    }
+}

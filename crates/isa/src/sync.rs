@@ -1,0 +1,136 @@
+//! Synchronization semantics interface.
+//!
+//! The applications in the paper synchronize through LL/SC spin locks and
+//! software tree barriers over ordinary shared memory. This reproduction
+//! keeps the *coherence traffic* of those idioms (spin loads cache the sync
+//! word Shared; releases write it, invalidating all spinners through the
+//! full directory protocol) while the *data-value* semantics — who wins a
+//! lock, when a barrier episode completes — are decided by a deterministic
+//! [`SyncEnv`] implementation (the `SyncManager` in `smtp-workloads`).
+
+use smtp_types::{Ctx, NodeId};
+
+/// Identifier of a lock (index into the sync manager's lock table).
+pub type LockId = u32;
+
+/// Identifier of a barrier.
+pub type BarrierId = u32;
+
+/// Condition polled by a serializing [`crate::Op::SyncBranch`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SyncCond {
+    /// The lock is currently free (test phase of test–test&set).
+    LockFree(LockId),
+    /// This thread's most recent lock attempt succeeded.
+    LockAcquired(LockId),
+    /// The given tree-barrier group's release flag is set for the episode
+    /// this thread is waiting on.
+    BarrierReleased {
+        /// Which barrier.
+        bar: BarrierId,
+        /// Tree level of the group being spun on.
+        level: u8,
+        /// Group index within the level.
+        group: u16,
+        /// Episode number the spinner entered with.
+        episode: u32,
+    },
+}
+
+/// Semantic operation performed by a [`crate::Op::SyncStore`] at graduation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SyncOp {
+    /// Test&set attempt on a lock.
+    LockAttempt(LockId),
+    /// Release a held lock.
+    LockRelease(LockId),
+    /// Arrive at a tree-barrier group (increment its counter).
+    BarrierArrive {
+        /// Which barrier.
+        bar: BarrierId,
+        /// Tree level of the group.
+        level: u8,
+        /// Group index within the level.
+        group: u16,
+    },
+    /// Set a tree-barrier group's release flag (release cascade).
+    BarrierRelease {
+        /// Which barrier.
+        bar: BarrierId,
+        /// Tree level of the group being released.
+        level: u8,
+        /// Group index within the level.
+        group: u16,
+    },
+}
+
+/// Result of a [`SyncOp`], delivered back to the workload generator so it
+/// can choose the continuation path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SyncOutcome {
+    /// Lock attempt won (thread now holds the lock).
+    Acquired,
+    /// Lock attempt lost; return to spinning.
+    Failed,
+    /// Barrier arrival: this thread was *not* the last in the group; it
+    /// should spin on the group's release flag.
+    MustSpin {
+        /// Episode number to wait for.
+        episode: u32,
+    },
+    /// Barrier arrival: this thread completed the group and must propagate
+    /// the arrival one level up (or begin the release cascade at the root).
+    PropagateUp,
+    /// The operation had no interesting result (releases, flag sets).
+    Done,
+    /// Outcome of a resolved [`SyncCond`] poll (serializing branch): `true`
+    /// when the condition held and the spin exits.
+    Cond(bool),
+}
+
+/// Interface the pipeline uses to resolve synchronization instructions.
+///
+/// Implemented by the global `SyncManager`; one instance is shared by all
+/// nodes of the machine, because locks and barriers are machine-global.
+pub trait SyncEnv {
+    /// Poll a serializing sync-branch condition at execute time.
+    fn poll(&mut self, node: NodeId, ctx: Ctx, cond: SyncCond) -> bool;
+
+    /// Perform a sync store's semantic effect at graduation time.
+    fn sync_store(&mut self, node: NodeId, ctx: Ctx, op: SyncOp) -> SyncOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial env for exercising the trait object path.
+    struct AlwaysFree;
+
+    impl SyncEnv for AlwaysFree {
+        fn poll(&mut self, _: NodeId, _: Ctx, cond: SyncCond) -> bool {
+            matches!(cond, SyncCond::LockFree(_))
+        }
+        fn sync_store(&mut self, _: NodeId, _: Ctx, op: SyncOp) -> SyncOutcome {
+            match op {
+                SyncOp::LockAttempt(_) => SyncOutcome::Acquired,
+                _ => SyncOutcome::Done,
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let mut env: Box<dyn SyncEnv> = Box::new(AlwaysFree);
+        assert!(env.poll(NodeId(0), Ctx(0), SyncCond::LockFree(3)));
+        assert!(!env.poll(NodeId(0), Ctx(0), SyncCond::LockAcquired(3)));
+        assert_eq!(
+            env.sync_store(NodeId(0), Ctx(0), SyncOp::LockAttempt(3)),
+            SyncOutcome::Acquired
+        );
+        assert_eq!(
+            env.sync_store(NodeId(0), Ctx(0), SyncOp::LockRelease(3)),
+            SyncOutcome::Done
+        );
+    }
+}

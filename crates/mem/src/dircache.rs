@@ -1,0 +1,127 @@
+//! Directory data cache of the embedded protocol engine.
+//!
+//! The non-SMTp machine models give their protocol processor a
+//! direct-mapped cache over the directory entries (512 KB in `Base` and
+//! `Int512KB`, 64 KB in `Int64KB`, perfect in `IntPerfect` — paper
+//! Table 4). Under SMTp there is no directory cache: directory entries
+//! travel through the shared L1D/L2 instead.
+
+use smtp_cache::Cache;
+use smtp_types::{Addr, CacheParams};
+
+/// The directory data cache: direct-mapped, or perfect.
+#[derive(Clone, Debug)]
+pub struct DirCache {
+    inner: Option<Cache>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DirCache {
+    /// A direct-mapped cache of `capacity_kb` kilobytes with `line`-byte
+    /// lines.
+    pub fn direct_mapped(capacity_kb: u32, line: u64) -> DirCache {
+        DirCache {
+            inner: Some(Cache::new(&CacheParams {
+                capacity: capacity_kb as u64 * 1024,
+                line,
+                ways: 1,
+                hit_cycles: 1,
+            })),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A perfect directory cache (always hits).
+    pub fn perfect() -> DirCache {
+        DirCache {
+            inner: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access a directory entry; returns `true` on hit. A miss installs the
+    /// line (the SDRAM fetch latency is charged by the caller).
+    pub fn access(&mut self, addr: Addr) -> bool {
+        let Some(cache) = &mut self.inner else {
+            self.hits += 1;
+            return true;
+        };
+        if cache.lookup(addr).is_some() {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            cache.insert(addr, smtp_cache::LineState::Modified);
+            false
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in [0, 1] (1.0 when no accesses yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{NodeId, Region};
+
+    fn dir(off: u64) -> Addr {
+        Addr::new(NodeId(0), Region::Directory, off)
+    }
+
+    #[test]
+    fn perfect_always_hits() {
+        let mut c = DirCache::perfect();
+        for i in 0..1000 {
+            assert!(c.access(dir(i * 8)));
+        }
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = DirCache::direct_mapped(64, 64);
+        // 64 KB DM, 64 B lines => 1024 lines; stride 64 KB conflicts.
+        assert!(!c.access(dir(0)));
+        assert!(c.access(dir(0)));
+        assert!(!c.access(dir(64 * 1024))); // evicts line 0
+        assert!(!c.access(dir(0))); // conflict miss
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.hits(), 1);
+    }
+
+    #[test]
+    fn large_cache_captures_working_set() {
+        let mut c = DirCache::direct_mapped(512, 64);
+        for i in 0..4096u64 {
+            c.access(dir(i * 8));
+        }
+        let cold = c.misses();
+        for i in 0..4096u64 {
+            assert!(c.access(dir(i * 8)));
+        }
+        assert_eq!(c.misses(), cold, "no capacity misses in 512 KB");
+        assert!(c.hit_rate() > 0.9);
+    }
+}

@@ -1,0 +1,274 @@
+//! The embedded dual-issue protocol processor of the non-SMTp models.
+//!
+//! A MAGIC/FLASH-style programmable engine (paper §3): dual-issue,
+//! in-order, running at the memory-controller clock, with a 32 KB
+//! direct-mapped protocol instruction cache and a directory data cache
+//! (capacity per machine model, Table 4). It executes exactly the same
+//! handler timing programs as the SMTp protocol thread
+//! ([`smtp_protocol::handler_program`]) — one source of truth for handler
+//! cost in both backends.
+//!
+//! Because the engine is in-order with deterministic latencies, a handler's
+//! execution is computed analytically at dispatch: the walk yields the
+//! finish time and the cycle at which every `send` issues.
+
+use crate::dircache::DirCache;
+use smtp_cache::{Cache, LineState};
+use smtp_isa::{Inst, Op};
+use smtp_protocol::pc_to_addr;
+use smtp_types::{CacheParams, Cycle, NodeId};
+
+/// Result of running one handler on the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineRun {
+    /// CPU cycle at which the engine becomes free again.
+    pub finish: Cycle,
+    /// `(cpu_cycle, msg_idx)` for every `send` executed, in program order.
+    pub sends: Vec<(Cycle, usize)>,
+}
+
+/// The protocol engine.
+#[derive(Clone, Debug)]
+pub struct ProtocolEngine {
+    divisor: u64,
+    dir_miss_mc: u64,
+    dircache: DirCache,
+    icache: Cache,
+    busy_until: Cycle,
+    active_cycles: u64,
+    handlers: u64,
+}
+
+impl ProtocolEngine {
+    /// Build an engine clocked at `cpu_clock / divisor` whose directory
+    /// cache misses cost `dir_miss_cycles` CPU cycles (the SDRAM access).
+    pub fn new(divisor: u64, dir_miss_cycles: u64, dircache: DirCache, icache_bytes: u64) -> Self {
+        ProtocolEngine {
+            divisor: divisor.max(1),
+            dir_miss_mc: dir_miss_cycles.div_ceil(divisor.max(1)).max(1),
+            dircache,
+            icache: Cache::new(&CacheParams {
+                capacity: icache_bytes,
+                line: 64,
+                ways: 1,
+                hit_cycles: 1,
+            }),
+            busy_until: 0,
+            active_cycles: 0,
+            handlers: 0,
+        }
+    }
+
+    /// Whether the engine can accept a handler at `now`.
+    pub fn idle(&self, now: Cycle) -> bool {
+        now >= self.busy_until
+    }
+
+    /// CPU cycle at which the engine frees up.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Execute a handler program dispatched at `now` (must be idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is still busy — the dispatch logic must check
+    /// [`ProtocolEngine::idle`] first.
+    pub fn run_handler(&mut self, home: NodeId, prog: &[Inst], now: Cycle) -> EngineRun {
+        assert!(self.idle(now), "protocol engine dispatched while busy");
+        self.handlers += 1;
+        let d = self.divisor;
+        // Instruction-cache check: one access per code line of the program.
+        let mut t_mc = now.div_ceil(d);
+        let mut last_line = u64::MAX;
+        for i in prog {
+            let a = pc_to_addr(home, i.pc);
+            let line = a.raw() / 64;
+            if line != last_line {
+                last_line = line;
+                if self.icache.lookup(a).is_none() {
+                    self.icache.insert(a, LineState::Shared);
+                    t_mc += self.dir_miss_mc; // code refill from memory
+                }
+            }
+        }
+        // Dual-issue in-order walk.
+        let mut sends = Vec::new();
+        let mut slot = 0u32;
+        let bump = |t_mc: &mut Cycle, slot: &mut u32| {
+            *slot += 1;
+            if *slot == 2 {
+                *slot = 0;
+                *t_mc += 1;
+            }
+        };
+        for i in prog {
+            match i.op {
+                Op::PLoad { addr } | Op::PStore { addr } => {
+                    // Memory ops issue alone and block the pipe.
+                    if slot != 0 {
+                        slot = 0;
+                        t_mc += 1;
+                    }
+                    t_mc += if self.dircache.access(addr) {
+                        1
+                    } else {
+                        self.dir_miss_mc
+                    };
+                }
+                Op::Send { msg_idx } => {
+                    sends.push((t_mc * d, msg_idx as usize));
+                    bump(&mut t_mc, &mut slot);
+                }
+                Op::Switch | Op::Ldctxt => {
+                    bump(&mut t_mc, &mut slot);
+                }
+                _ => bump(&mut t_mc, &mut slot),
+            }
+        }
+        if slot != 0 {
+            t_mc += 1;
+        }
+        let finish = t_mc * d;
+        self.active_cycles += finish.saturating_sub(now);
+        self.busy_until = finish;
+        EngineRun { finish, sends }
+    }
+
+    /// Handlers executed.
+    pub fn handlers(&self) -> u64 {
+        self.handlers
+    }
+
+    /// CPU cycles during which the engine was busy (protocol occupancy,
+    /// paper Table 7).
+    pub fn active_cycles(&self) -> u64 {
+        self.active_cycles
+    }
+
+    /// Directory data cache statistics.
+    pub fn dircache(&self) -> &DirCache {
+        &self.dircache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_noc::{Msg, MsgKind};
+    use smtp_protocol::{must_apply, handler_program};
+    use smtp_protocol::DirState;
+    use smtp_types::{Addr, Region, SharerSet};
+
+    const HOME: NodeId = NodeId(0);
+
+    fn line() -> smtp_types::LineAddr {
+        Addr::new(HOME, Region::AppData, 0x4000).line()
+    }
+
+    fn engine(divisor: u64) -> ProtocolEngine {
+        ProtocolEngine::new(divisor, 160, DirCache::perfect(), 32 * 1024)
+    }
+
+    fn gets_program() -> Vec<Inst> {
+        let m = Msg::new(MsgKind::GetS, line(), NodeId(1), HOME);
+        let t = must_apply(HOME, &DirState::Unowned, &m);
+        handler_program(HOME, line(), &t)
+    }
+
+    #[test]
+    fn short_handler_runs_in_few_mc_cycles() {
+        let mut e = engine(2);
+        let prog = gets_program();
+        let run = e.run_handler(HOME, &prog, 0);
+        // First run pays an icache cold miss; re-run from a clean start.
+        let mut e2 = engine(2);
+        e2.run_handler(HOME, &prog, 0);
+        let warm = e2.run_handler(HOME, &prog, 1000);
+        // ~7 instructions dual-issued with two 1-cycle memory ops: well
+        // under 10 MC cycles = 20 CPU cycles at divisor 2.
+        assert!(warm.finish - 1000 <= 20, "warm handler took {} cycles", warm.finish - 1000);
+        assert_eq!(run.sends.len(), 1);
+        assert!(e2.idle(warm.finish));
+        assert!(!e2.idle(warm.finish - 1));
+    }
+
+    #[test]
+    fn slower_clock_scales_cost() {
+        let prog = gets_program();
+        let mut fast = engine(1);
+        let mut slow = engine(5);
+        fast.run_handler(HOME, &prog, 0);
+        slow.run_handler(HOME, &prog, 0);
+        let f = {
+            let r = fast.run_handler(HOME, &prog, 1000);
+            r.finish - 1000
+        };
+        let s = {
+            let r = slow.run_handler(HOME, &prog, 1000);
+            r.finish - 1000
+        };
+        assert!(s >= 4 * f, "divisor-5 engine not ~5x slower: {s} vs {f}");
+    }
+
+    #[test]
+    fn inval_fanout_sends_are_spread_in_time() {
+        let sharers: SharerSet = (1..=4).map(|i| NodeId(i as u16)).collect();
+        let m = Msg::new(MsgKind::GetX, line(), NodeId(5), HOME);
+        let t = must_apply(HOME, &DirState::Shared(sharers), &m);
+        let prog = handler_program(HOME, line(), &t);
+        let mut e = engine(2);
+        let run = e.run_handler(HOME, &prog, 0);
+        assert_eq!(run.sends.len(), 5); // 4 invals + data reply
+        // Send order respected and strictly non-decreasing in time.
+        for w in run.sends.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn dircache_misses_slow_the_handler() {
+        let prog = gets_program();
+        let mut perfect = engine(2);
+        perfect.run_handler(HOME, &prog, 0);
+        let warm = {
+            let r = perfect.run_handler(HOME, &prog, 1000);
+            r.finish - 1000
+        };
+        // A 64 KB DM cache cold-misses on the first directory access.
+        let mut cold = ProtocolEngine::new(2, 160, DirCache::direct_mapped(64, 64), 32 * 1024);
+        cold.run_handler(HOME, &prog, 0);
+        // Different directory entry => cold dir miss even with warm icache.
+        let other = Addr::new(HOME, Region::AppData, 0x9_0000).line();
+        let m = Msg::new(MsgKind::GetS, other, NodeId(1), HOME);
+        let t = must_apply(HOME, &DirState::Unowned, &m);
+        let p2 = handler_program(HOME, other, &t);
+        let r = cold.run_handler(HOME, &p2, 1000);
+        assert!(r.finish - 1000 > warm + 100, "dir miss not charged");
+        assert!(cold.dircache().misses() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "while busy")]
+    fn dispatch_while_busy_panics() {
+        let mut e = engine(2);
+        let prog = gets_program();
+        e.run_handler(HOME, &prog, 0);
+        e.run_handler(HOME, &prog, 0);
+    }
+
+    #[test]
+    fn occupancy_accumulates() {
+        let mut e = engine(2);
+        let prog = gets_program();
+        let r1 = e.run_handler(HOME, &prog, 0);
+        let r2 = e.run_handler(HOME, &prog, r1.finish + 100);
+        assert_eq!(e.handlers(), 2);
+        assert_eq!(
+            e.active_cycles(),
+            r1.finish + (r2.finish - (r1.finish + 100))
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Memory-controller building blocks: SDRAM timing, the directory data
+//! cache, the embedded dual-issue protocol engine of the non-SMTp machine
+//! models, and bounded message queues.
+//!
+//! Parameters follow paper Table 3 (80 ns SDRAM access, 3.2 GB/s bandwidth,
+//! 16-entry queues) and Table 4 (directory data cache sizes per machine
+//! model; protocol engine clock = memory-controller clock).
+//!
+//! The node assembly in `smtp-core` wires these together with the cache
+//! hierarchy, the network interface and — depending on the machine model —
+//! either the [`ProtocolEngine`] here or the SMT protocol thread in
+//! `smtp-pipeline`.
+
+pub mod dircache;
+pub mod engine;
+pub mod queue;
+pub mod sdram;
+
+pub use dircache::DirCache;
+pub use engine::{EngineRun, ProtocolEngine};
+pub use queue::BoundedQueue;
+pub use sdram::Sdram;

@@ -1,0 +1,138 @@
+//! Bounded FIFO queues with occupancy statistics (Local Miss Interface,
+//! network-interface queues, SDRAM queue — paper Table 3).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with occupancy statistics.
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    peak: usize,
+    rejected: u64,
+    total: u64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            peak: 0,
+            rejected: 0,
+            total: 0,
+        }
+    }
+
+    /// Try to enqueue; returns the item back if the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.total += 1;
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Enqueue at the *front* (for replayed pending requests that must stay
+    /// ahead of new traffic); front pushes ignore the capacity bound so a
+    /// replay can never be lost.
+    pub fn push_front(&mut self, item: T) {
+        self.items.push_front(item);
+        self.total += 1;
+        self.peak = self.peak.max(self.items.len());
+    }
+
+    /// Dequeue the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peek at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Push attempts rejected because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Total items ever accepted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.front(), Some(&1));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = BoundedQueue::new(2);
+        q.push('a').unwrap();
+        q.push('b').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push('c'), Err('c'));
+        assert_eq!(q.rejected(), 1);
+        q.pop();
+        assert!(q.push('c').is_ok());
+    }
+
+    #[test]
+    fn front_push_bypasses_bound_for_replays() {
+        let mut q = BoundedQueue::new(1);
+        q.push(10).unwrap();
+        q.push_front(5);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), Some(10));
+    }
+
+    #[test]
+    fn stats_track_peak_and_total() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.pop();
+        q.push(9).unwrap();
+        assert_eq!(q.peak(), 5);
+        assert_eq!(q.total(), 6);
+    }
+}

@@ -1,0 +1,165 @@
+//! SDRAM channel timing model.
+//!
+//! 80 ns access latency and 3.2 GB/s bandwidth (paper Table 3). Each node's
+//! SDRAM exposes two logical channels: the main channel used for
+//! application data (cache-line fills, writebacks, directory entries read
+//! by the protocol engine) and — under SMTp — a second channel modeling the
+//! dedicated 64-bit protocol bus so protocol refills proceed in parallel
+//! with application transfers (paper §2.1).
+
+use smtp_types::{Cycle, L2_LINE};
+
+/// One SDRAM channel: a bandwidth-limited pipe with fixed access latency.
+#[derive(Clone, Copy, Debug)]
+struct Channel {
+    next_free: Cycle,
+    busy_cycles: u64,
+}
+
+/// The per-node SDRAM.
+#[derive(Clone, Debug)]
+pub struct Sdram {
+    access: u64,
+    per_line: u64,
+    main: Channel,
+    protocol: Channel,
+    reads: u64,
+    writes: u64,
+}
+
+impl Sdram {
+    /// Build from CPU-cycle-converted parameters: `access_cycles` is the
+    /// 80 ns access time, `per_line_cycles` the line-transfer occupancy
+    /// (line size / 3.2 GB/s).
+    pub fn new(access_cycles: u64, per_line_cycles: u64) -> Sdram {
+        Sdram {
+            access: access_cycles,
+            per_line: per_line_cycles.max(1),
+            main: Channel {
+                next_free: 0,
+                busy_cycles: 0,
+            },
+            protocol: Channel {
+                next_free: 0,
+                busy_cycles: 0,
+            },
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Convenience constructor from ns-domain parameters.
+    pub fn from_ns(cpu_ghz: f64, access_ns: f64, bw_gbps: f64) -> Sdram {
+        let access = (access_ns * cpu_ghz).ceil() as u64;
+        let per_line = (L2_LINE as f64 / bw_gbps * cpu_ghz).ceil() as u64;
+        Sdram::new(access, per_line)
+    }
+
+    fn schedule(ch: &mut Channel, now: Cycle, occupancy: u64, latency: u64) -> Cycle {
+        let start = now.max(ch.next_free);
+        ch.next_free = start + occupancy;
+        ch.busy_cycles += occupancy;
+        start + latency
+    }
+
+    /// Read a line on the main channel; returns the data-ready cycle.
+    pub fn read(&mut self, now: Cycle) -> Cycle {
+        self.reads += 1;
+        Self::schedule(&mut self.main, now, self.per_line, self.access)
+    }
+
+    /// Write a line on the main channel (bandwidth only; completion time is
+    /// when the channel accepts it).
+    pub fn write(&mut self, now: Cycle) -> Cycle {
+        self.writes += 1;
+        Self::schedule(&mut self.main, now, self.per_line, 0)
+    }
+
+    /// Read a line on the dedicated protocol channel.
+    pub fn read_protocol(&mut self, now: Cycle) -> Cycle {
+        self.reads += 1;
+        Self::schedule(&mut self.protocol, now, self.per_line, self.access)
+    }
+
+    /// Write a line on the protocol channel.
+    pub fn write_protocol(&mut self, now: Cycle) -> Cycle {
+        self.writes += 1;
+        Self::schedule(&mut self.protocol, now, self.per_line, 0)
+    }
+
+    /// Access latency in cycles (for analytic models).
+    pub fn access_cycles(&self) -> u64 {
+        self.access
+    }
+
+    /// Total reads served.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total writes served.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Busy cycles on the main channel (bandwidth utilization statistic).
+    pub fn main_busy_cycles(&self) -> u64 {
+        self.main.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_table3_at_2ghz() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        // 80 ns at 2 GHz = 160 cycles; 128 B / 3.2 GB/s = 40 ns = 80 cycles.
+        assert_eq!(s.read(0), 160);
+        assert_eq!(s.access_cycles(), 160);
+        // Second back-to-back read starts after the first transfer clears.
+        assert_eq!(s.read(0), 80 + 160);
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        let mut last = 0;
+        for _ in 0..10 {
+            last = s.read(0);
+        }
+        // 10 reads serialize at 80 cycles each; latency pipelined.
+        assert_eq!(last, 9 * 80 + 160);
+        assert_eq!(s.reads(), 10);
+        assert_eq!(s.main_busy_cycles(), 800);
+    }
+
+    #[test]
+    fn protocol_channel_is_independent() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        for _ in 0..5 {
+            s.read(0);
+        }
+        // The protocol channel sees no contention from the main channel.
+        assert_eq!(s.read_protocol(0), 160);
+    }
+
+    #[test]
+    fn writes_occupy_but_do_not_wait() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        let t = s.write(100);
+        assert_eq!(t, 100);
+        // Next read waits for the write's bandwidth slot.
+        assert_eq!(s.read(100), 100 + 80 + 160);
+        assert_eq!(s.writes(), 1);
+    }
+
+    #[test]
+    fn idle_channel_resets_to_now() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        s.read(0);
+        // Long idle gap: next access starts immediately at `now`.
+        assert_eq!(s.read(10_000), 10_160);
+    }
+}

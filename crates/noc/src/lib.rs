@@ -1,0 +1,27 @@
+//! Interconnection network of the simulated DSM machine.
+//!
+//! The paper connects nodes through SGI-Spider-like 6-port routers arranged
+//! as a **2-way bristled hypercube** (two nodes per router, routers forming a
+//! hypercube), with 25 ns hop time, 1 GB/s links and four virtual networks of
+//! which the coherence protocol uses three (requests, interventions,
+//! replies) — paper Table 3.
+//!
+//! # Timing model
+//!
+//! Instead of ticking every router every cycle, the network uses *eager link
+//! reservation*: when a message is injected, its route is computed
+//! (dimension-order through the hypercube) and each unidirectional link on
+//! the path is reserved in order — a message begins serializing on a link no
+//! earlier than the link's previous reservation ends, pays the
+//! bandwidth-determined serialization time, then the per-hop latency. This
+//! preserves the latency and bandwidth envelope (and point-to-point FIFO
+//! order per route) at a fraction of the simulation cost of a flit-level
+//! model; see DESIGN.md §2.
+
+pub mod msg;
+pub mod network;
+pub mod topology;
+
+pub use msg::{Msg, MsgKind, VNet};
+pub use network::{NetStats, Network};
+pub use topology::Topology;

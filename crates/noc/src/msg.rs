@@ -1,0 +1,250 @@
+//! Coherence protocol messages and virtual networks.
+
+use smtp_types::{LineAddr, NodeId, L2_LINE};
+use std::fmt;
+
+/// Virtual networks (paper Table 3: four, the protocol uses three).
+///
+/// Splitting requests, interventions and replies onto separate virtual
+/// networks is what makes the three-hop directory protocol deadlock-free at
+/// the transport level.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum VNet {
+    /// Requester → home requests.
+    Request = 0,
+    /// Home → third-party interventions and invalidations.
+    Intervention = 1,
+    /// Data and acknowledgement replies.
+    Reply = 2,
+    /// I/O and miscellaneous traffic (unused by the coherence protocol).
+    Io = 3,
+}
+
+impl VNet {
+    /// All virtual networks.
+    pub const ALL: [VNet; 4] = [VNet::Request, VNet::Intervention, VNet::Reply, VNet::Io];
+
+    /// Index for table lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// The message vocabulary of the bitvector directory protocol
+/// (Origin-2000-derived with eager-exclusive replies, paper §3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MsgKind {
+    // ---------------- requests: requester → home ----------------
+    /// Read miss: requester wants a shared copy.
+    GetS,
+    /// Write miss: requester wants an exclusive copy with data.
+    GetX,
+    /// Write upgrade: requester holds the line Shared and wants ownership
+    /// without data.
+    Upgrade,
+    /// Eviction notice for an Exclusive line; `dirty` lines carry data.
+    /// The evictor holds the line in its writeback buffer until [`MsgKind::WbAck`].
+    Put {
+        /// Whether the line was modified (carries the data payload).
+        dirty: bool,
+    },
+
+    // ------------- interventions: home → owner / sharers -------------
+    /// Downgrade the owner to Shared; owner sends [`MsgKind::DataShared`]
+    /// to `requester` and [`MsgKind::SharingWb`] back to home.
+    IntervShared {
+        /// Node whose GetS triggered the intervention.
+        requester: NodeId,
+    },
+    /// Invalidate the owner; owner forwards [`MsgKind::DataExcl`] to
+    /// `requester` and sends [`MsgKind::TransferAck`] back to home.
+    IntervExcl {
+        /// Node whose GetX triggered the intervention.
+        requester: NodeId,
+    },
+    /// Invalidate a shared copy; the sharer acks `requester` directly.
+    Inval {
+        /// Node collecting the invalidation acks.
+        requester: NodeId,
+    },
+
+    // ------------------------- replies -------------------------
+    /// Shared data reply (home or previous owner → requester).
+    DataShared,
+    /// Exclusive data reply; `acks` invalidation acknowledgements are still
+    /// outstanding and will arrive at the requester directly
+    /// (eager-exclusive: the requester may use the line immediately).
+    DataExcl {
+        /// Number of [`MsgKind::AckInv`] messages to collect.
+        acks: u16,
+    },
+    /// Ownership granted on an [`MsgKind::Upgrade`] without data.
+    UpgradeAck {
+        /// Number of [`MsgKind::AckInv`] messages to collect.
+        acks: u16,
+    },
+    /// Invalidation acknowledgement (sharer → requester).
+    AckInv,
+    /// Home acknowledges a [`MsgKind::Put`]; the evictor may free its
+    /// writeback-buffer entry.
+    WbAck,
+    /// Previous owner → home after an [`MsgKind::IntervShared`]: carries
+    /// the (possibly dirty) data and tells home the line is now shared by
+    /// the old owner and the requester.
+    SharingWb {
+        /// The GetS requester that also received [`MsgKind::DataShared`].
+        requester: NodeId,
+    },
+    /// Previous owner → home after an [`MsgKind::IntervExcl`]: ownership
+    /// has moved to `new_owner`.
+    TransferAck {
+        /// The GetX requester that received the forwarded data.
+        new_owner: NodeId,
+    },
+}
+
+impl MsgKind {
+    /// Virtual network this message class travels on.
+    pub fn vnet(self) -> VNet {
+        use MsgKind::*;
+        match self {
+            GetS | GetX | Upgrade | Put { .. } => VNet::Request,
+            IntervShared { .. } | IntervExcl { .. } | Inval { .. } => VNet::Intervention,
+            DataShared
+            | DataExcl { .. }
+            | UpgradeAck { .. }
+            | AckInv
+            | WbAck
+            | SharingWb { .. }
+            | TransferAck { .. } => VNet::Reply,
+        }
+    }
+
+    /// Payload size in bytes (a full cache line for data-carrying messages).
+    pub fn data_bytes(self) -> u64 {
+        use MsgKind::*;
+        match self {
+            DataShared | DataExcl { .. } | SharingWb { .. } => L2_LINE,
+            Put { dirty: true } => L2_LINE,
+            _ => 0,
+        }
+    }
+
+    /// Whether this is a request that the home may defer (queue) while the
+    /// line is busy. Interventions and replies must always be consumable.
+    pub fn is_home_request(self) -> bool {
+        matches!(
+            self,
+            MsgKind::GetS | MsgKind::GetX | MsgKind::Upgrade | MsgKind::Put { .. }
+        )
+    }
+}
+
+/// One coherence message in flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Msg {
+    /// Message class.
+    pub kind: MsgKind,
+    /// Cache line the transaction concerns.
+    pub addr: LineAddr,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+}
+
+impl Msg {
+    /// Construct a message.
+    pub fn new(kind: MsgKind, addr: LineAddr, src: NodeId, dst: NodeId) -> Msg {
+        Msg {
+            kind,
+            addr,
+            src,
+            dst,
+        }
+    }
+
+    /// Virtual network the message travels on.
+    #[inline]
+    pub fn vnet(&self) -> VNet {
+        self.kind.vnet()
+    }
+
+    /// Total wire size: header plus payload.
+    #[inline]
+    pub fn wire_bytes(&self, header_bytes: u64) -> u64 {
+        header_bytes + self.kind.data_bytes()
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {} {:?}->{:?}",
+            self.kind, self.addr, self.src, self.dst
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{Addr, Region};
+
+    fn line() -> LineAddr {
+        Addr::new(NodeId(1), Region::AppData, 0x400).line()
+    }
+
+    #[test]
+    fn vnet_assignment_is_deadlock_safe() {
+        assert_eq!(MsgKind::GetS.vnet(), VNet::Request);
+        assert_eq!(MsgKind::Put { dirty: true }.vnet(), VNet::Request);
+        assert_eq!(
+            MsgKind::IntervExcl {
+                requester: NodeId(0)
+            }
+            .vnet(),
+            VNet::Intervention
+        );
+        assert_eq!(MsgKind::DataExcl { acks: 3 }.vnet(), VNet::Reply);
+        assert_eq!(MsgKind::AckInv.vnet(), VNet::Reply);
+        assert_eq!(
+            MsgKind::TransferAck {
+                new_owner: NodeId(2)
+            }
+            .vnet(),
+            VNet::Reply
+        );
+    }
+
+    #[test]
+    fn payload_sizes() {
+        assert_eq!(MsgKind::GetS.data_bytes(), 0);
+        assert_eq!(MsgKind::DataShared.data_bytes(), L2_LINE);
+        assert_eq!(MsgKind::Put { dirty: true }.data_bytes(), L2_LINE);
+        assert_eq!(MsgKind::Put { dirty: false }.data_bytes(), 0);
+        assert_eq!(MsgKind::WbAck.data_bytes(), 0);
+    }
+
+    #[test]
+    fn wire_size_includes_header() {
+        let m = Msg::new(MsgKind::DataShared, line(), NodeId(1), NodeId(0));
+        assert_eq!(m.wire_bytes(16), 16 + L2_LINE);
+        let g = Msg::new(MsgKind::GetS, line(), NodeId(0), NodeId(1));
+        assert_eq!(g.wire_bytes(16), 16);
+    }
+
+    #[test]
+    fn home_request_classification() {
+        assert!(MsgKind::GetS.is_home_request());
+        assert!(MsgKind::Put { dirty: false }.is_home_request());
+        assert!(!MsgKind::AckInv.is_home_request());
+        assert!(!MsgKind::Inval {
+            requester: NodeId(0)
+        }
+        .is_home_request());
+    }
+}

@@ -1,0 +1,195 @@
+//! 2-way bristled hypercube topology with dimension-order routing.
+
+use smtp_types::NodeId;
+
+/// A unidirectional link identifier in the bristled hypercube.
+///
+/// Three link classes exist: node→router injection, router→node ejection,
+/// and router→router hypercube-dimension links.
+pub type LinkId = usize;
+
+/// The machine topology: two nodes per SGI-Spider-like router, routers
+/// forming a hypercube of `log2(nodes / 2)` dimensions.
+///
+/// With 6-port routers (2 node ports + 4 dimension ports) this scales to 32
+/// nodes, exactly the largest machine the paper evaluates; larger powers of
+/// two are accepted for experimentation.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: usize,
+    routers: usize,
+    dims: u32,
+}
+
+impl Topology {
+    /// Build the topology for `nodes` nodes (power of two, at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is not a power of two ≥ 2.
+    pub fn new(nodes: usize) -> Topology {
+        assert!(
+            nodes >= 2 && nodes.is_power_of_two(),
+            "bristled hypercube needs a power-of-two node count >= 2"
+        );
+        let routers = (nodes / 2).max(1);
+        let dims = routers.trailing_zeros();
+        Topology {
+            nodes,
+            routers,
+            dims,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of routers.
+    pub fn routers(&self) -> usize {
+        self.routers
+    }
+
+    /// Hypercube dimensions.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Total number of unidirectional links.
+    pub fn link_count(&self) -> usize {
+        // injection + ejection per node, plus one link per router per
+        // dimension per direction.
+        2 * self.nodes + self.routers * self.dims as usize
+    }
+
+    /// Router hosting a node.
+    #[inline]
+    pub fn router_of(&self, n: NodeId) -> usize {
+        n.idx() / 2
+    }
+
+    #[inline]
+    fn inject_link(&self, n: NodeId) -> LinkId {
+        n.idx()
+    }
+
+    #[inline]
+    fn eject_link(&self, n: NodeId) -> LinkId {
+        self.nodes + n.idx()
+    }
+
+    #[inline]
+    fn dim_link(&self, from_router: usize, dim: u32) -> LinkId {
+        2 * self.nodes + from_router * self.dims as usize + dim as usize
+    }
+
+    /// Number of router traversals on the path from `src` to `dst`
+    /// (minimum 1: even two nodes on the same router cross it once).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
+        let (rs, rd) = (self.router_of(src), self.router_of(dst));
+        1 + ((rs ^ rd).count_ones())
+    }
+
+    /// Dimension-order route from `src` to `dst` as a sequence of
+    /// unidirectional links (injection, dimension links low-to-high,
+    /// ejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` — intra-node traffic never enters the network.
+    pub fn route(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        assert!(src != dst, "intra-node message must not enter the network");
+        out.clear();
+        out.push(self.inject_link(src));
+        let mut r = self.router_of(src);
+        let rd = self.router_of(dst);
+        let mut diff = r ^ rd;
+        while diff != 0 {
+            let d = diff.trailing_zeros();
+            out.push(self.dim_link(r, d));
+            r ^= 1 << d;
+            diff = r ^ rd;
+        }
+        out.push(self.eject_link(dst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_nodes_one_router() {
+        let t = Topology::new(2);
+        assert_eq!(t.routers(), 1);
+        assert_eq!(t.dims(), 0);
+        assert_eq!(t.hops(NodeId(0), NodeId(1)), 1);
+        let mut r = Vec::new();
+        t.route(NodeId(0), NodeId(1), &mut r);
+        assert_eq!(r.len(), 2); // inject + eject, same router
+    }
+
+    #[test]
+    fn sixteen_nodes_eight_routers() {
+        let t = Topology::new(16);
+        assert_eq!(t.routers(), 8);
+        assert_eq!(t.dims(), 3);
+        // Nodes 0 and 15: routers 0 and 7 differ in 3 dimensions.
+        assert_eq!(t.hops(NodeId(0), NodeId(15)), 4);
+        let mut r = Vec::new();
+        t.route(NodeId(0), NodeId(15), &mut r);
+        assert_eq!(r.len(), 2 + 3);
+    }
+
+    #[test]
+    fn thirty_two_nodes_fit_six_port_routers() {
+        let t = Topology::new(32);
+        assert_eq!(t.routers(), 16);
+        assert_eq!(t.dims(), 4); // 4 dimension ports + 2 node ports = 6
+        assert_eq!(t.hops(NodeId(0), NodeId(31)), 5);
+    }
+
+    #[test]
+    fn routes_are_dimension_ordered_and_consistent() {
+        let t = Topology::new(8);
+        let mut r = Vec::new();
+        for s in 0..8u16 {
+            for d in 0..8u16 {
+                if s == d {
+                    continue;
+                }
+                t.route(NodeId(s), NodeId(d), &mut r);
+                assert_eq!(r.len() as u32, t.hops(NodeId(s), NodeId(d)) + 1);
+                for &l in &r {
+                    assert!(l < t.link_count(), "link id {l} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_ids_are_unique_per_direction() {
+        let t = Topology::new(8);
+        // Opposite directions of the same dimension use different ids.
+        let mut ab = Vec::new();
+        let mut ba = Vec::new();
+        t.route(NodeId(0), NodeId(2), &mut ab); // router 0 -> 1
+        t.route(NodeId(2), NodeId(0), &mut ba); // router 1 -> 0
+        assert_ne!(ab[1], ba[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "intra-node")]
+    fn self_route_panics() {
+        let t = Topology::new(4);
+        let mut r = Vec::new();
+        t.route(NodeId(1), NodeId(1), &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_panics() {
+        Topology::new(6);
+    }
+}

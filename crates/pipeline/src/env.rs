@@ -1,0 +1,40 @@
+//! The pipeline's interface to the rest of the node.
+
+use smtp_isa::{Inst, SyncCond, SyncOp, SyncOutcome};
+use smtp_types::{Ctx, Cycle, NodeId};
+
+/// Everything the pipeline needs from its environment: instruction supply
+/// (application workload generators and the protocol handler dispatch
+/// unit), synchronization semantics, and the protocol thread's
+/// non-speculative effects.
+///
+/// Implemented by the node assembly in `smtp-core`.
+pub trait PipeEnv {
+    /// Next program-order instruction for application context `ctx`.
+    fn next_app_inst(&mut self, ctx: Ctx) -> Inst;
+
+    /// Next protocol-thread instruction, or `None` when the "Protocol PC
+    /// Valid" bit is clear (no handler is ready to fetch). The dispatch
+    /// unit implements both the normal gate (next handler PC handed out
+    /// when the previous handler's `ldctxt` graduates) and look-ahead
+    /// scheduling (handed out as soon as the previous handler's fetch
+    /// finishes).
+    fn next_protocol_inst(&mut self) -> Option<Inst>;
+
+    /// Resolve a serializing sync-branch condition (at execute).
+    fn poll(&mut self, node: NodeId, ctx: Ctx, cond: SyncCond) -> bool;
+
+    /// Perform a sync store's semantics (at graduation, after its memory
+    /// access performed).
+    fn sync_store(&mut self, node: NodeId, ctx: Ctx, op: SyncOp) -> SyncOutcome;
+
+    /// Deliver a resolved sync outcome to the thread's generator.
+    fn sync_result(&mut self, ctx: Ctx, outcome: SyncOutcome);
+
+    /// A protocol `send` graduated: emit the `msg_idx`-th prepared message
+    /// of the handler that is currently graduating.
+    fn send_graduated(&mut self, msg_idx: u8, now: Cycle);
+
+    /// The current handler's `ldctxt` graduated (`handlerCompletion`).
+    fn ldctxt_graduated(&mut self, now: Cycle);
+}

@@ -1,0 +1,114 @@
+//! Pipeline statistics backing the paper's tables.
+
+use smtp_types::{Cycle, PeakTracker, MAX_CTX};
+
+/// Counters and peak trackers collected by [`crate::SmtPipeline`].
+#[derive(Clone, Debug, Default)]
+pub struct PipeStats {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Instructions committed per context.
+    pub committed: [u64; MAX_CTX],
+    /// Instructions fetched per context.
+    pub fetched: [u64; MAX_CTX],
+    /// Instructions squashed per context.
+    pub squashed: [u64; MAX_CTX],
+    /// Cycles in which the graduation unit was stalled with a memory
+    /// operation at the top of a context's active list (paper's memory
+    /// stall definition, §4).
+    pub memory_stall: [u64; MAX_CTX],
+    /// Branch mispredictions per context (see also the predictor stats).
+    pub mispredicts: [u64; MAX_CTX],
+    /// Conditional branches resolved per context.
+    pub branches: [u64; MAX_CTX],
+    /// Cycles in which the protocol thread had instructions in flight or
+    /// ready to fetch (protocol occupancy, Table 7).
+    pub protocol_active_cycles: u64,
+    /// Cycles in which at least one squashed protocol instruction was freed
+    /// (Table 8 "Squash %").
+    pub protocol_squash_cycles: u64,
+    /// Handlers whose first instruction was fetched via look-ahead
+    /// scheduling (dispatched before the previous handler graduated).
+    pub look_ahead_handlers: u64,
+    /// Peak branch-stack entries held by the protocol thread while active
+    /// (Table 9).
+    pub prot_branch_stack: PeakTracker,
+    /// Peak integer-queue entries held by the protocol thread (Table 9).
+    pub prot_int_queue: PeakTracker,
+    /// Peak LSQ entries held by the protocol thread (Table 9).
+    pub prot_lsq: PeakTracker,
+    /// Peak integer registers held by the protocol thread (Table 9; the 32
+    /// permanently mapped registers are included).
+    pub prot_int_regs_peak: u64,
+}
+
+impl PipeStats {
+    /// Total committed instructions across application contexts.
+    pub fn committed_app(&self) -> u64 {
+        self.committed[..MAX_CTX - 1].iter().sum()
+    }
+
+    /// Committed protocol instructions.
+    pub fn committed_protocol(&self) -> u64 {
+        self.committed[MAX_CTX - 1]
+    }
+
+    /// Retired protocol instructions as a fraction of all retired
+    /// instructions (Table 8 last column).
+    pub fn protocol_retired_fraction(&self) -> f64 {
+        let total: u64 = self.committed.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.committed_protocol() as f64 / total as f64
+        }
+    }
+
+    /// Protocol branch misprediction rate (Table 8).
+    pub fn protocol_mispredict_rate(&self) -> f64 {
+        let b = self.branches[MAX_CTX - 1];
+        if b == 0 {
+            0.0
+        } else {
+            self.mispredicts[MAX_CTX - 1] as f64 / b as f64
+        }
+    }
+
+    /// Protocol occupancy as a fraction of execution time (Table 7).
+    pub fn protocol_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.protocol_active_cycles as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_fractions() {
+        let mut s = PipeStats::default();
+        s.committed[0] = 900;
+        s.committed[MAX_CTX - 1] = 100;
+        assert!((s.protocol_retired_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(s.committed_app(), 900);
+        assert_eq!(s.committed_protocol(), 100);
+        s.branches[MAX_CTX - 1] = 50;
+        s.mispredicts[MAX_CTX - 1] = 5;
+        assert!((s.protocol_mispredict_rate() - 0.1).abs() < 1e-12);
+        s.cycles = 1000;
+        s.protocol_active_cycles = 120;
+        assert!((s.protocol_occupancy() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = PipeStats::default();
+        assert_eq!(s.protocol_retired_fraction(), 0.0);
+        assert_eq!(s.protocol_mispredict_rate(), 0.0);
+        assert_eq!(s.protocol_occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Per-home directory state and the pending-request queues.
+
+use crate::transition::{handle, Outcome, Transition};
+use smtp_noc::Msg;
+use smtp_types::{LineAddr, NodeId, SharerSet};
+use std::collections::{HashMap, VecDeque};
+
+/// Directory state of one line (the contents of its directory entry).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DirState {
+    /// No cached copies anywhere; memory is the only copy.
+    #[default]
+    Unowned,
+    /// Read-only copies at the listed nodes.
+    Shared(SharerSet),
+    /// A single (possibly dirty) copy at the owner.
+    Exclusive(NodeId),
+    /// A shared intervention is in flight to the owner on behalf of the
+    /// requester; further requests queue until the `SharingWb` arrives.
+    BusyShared {
+        /// Current owner being downgraded.
+        owner: NodeId,
+        /// GetS requester.
+        requester: NodeId,
+    },
+    /// An exclusive intervention is in flight; further requests queue until
+    /// the `TransferAck` arrives.
+    BusyExcl {
+        /// Current owner being invalidated.
+        owner: NodeId,
+        /// GetX requester (next owner).
+        requester: NodeId,
+    },
+}
+
+impl DirState {
+    /// Whether the line is mid-transaction.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, DirState::BusyShared { .. } | DirState::BusyExcl { .. })
+    }
+}
+
+/// Directory statistics for one home.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Handlers executed.
+    pub handlers: u64,
+    /// Requests deferred into pending queues.
+    pub deferred: u64,
+    /// Peak length of any pending queue.
+    pub peak_pending: usize,
+    /// Invalidation messages generated.
+    pub invals_sent: u64,
+    /// Interventions generated.
+    pub interventions: u64,
+}
+
+/// The directory of one home node: per-line state, lazily materialized
+/// (absent = [`DirState::Unowned`]), plus per-line pending-request queues
+/// for transactions that arrive while a line is busy.
+#[derive(Clone, Debug)]
+pub struct Directory {
+    home: NodeId,
+    states: HashMap<u64, DirState>,
+    pending: HashMap<u64, VecDeque<Msg>>,
+    stats: DirStats,
+}
+
+impl Directory {
+    /// An empty directory for `home`.
+    pub fn new(home: NodeId) -> Directory {
+        Directory {
+            home,
+            states: HashMap::new(),
+            pending: HashMap::new(),
+            stats: DirStats::default(),
+        }
+    }
+
+    /// The home node this directory serves.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Current state of a line.
+    pub fn state(&self, line: LineAddr) -> DirState {
+        self.states.get(&line.raw()).copied().unwrap_or_default()
+    }
+
+    /// Present an incoming home-directed message. Returns the transition to
+    /// execute (its semantic side — the state change — is committed here;
+    /// the caller models the handler's timing and performs the sends), or
+    /// `None` if the message was queued behind a busy transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.dst` is not this home, or on protocol-invariant
+    /// violations (see [`crate::transition::handle`]).
+    pub fn process(&mut self, msg: &Msg) -> Option<Transition> {
+        assert_eq!(msg.addr.home(), self.home, "message routed to wrong home");
+        let state = self.state(msg.addr);
+        match handle(self.home, &state, msg) {
+            Outcome::Apply(t) => {
+                self.stats.handlers += 1;
+                self.stats.invals_sent += t
+                    .sends
+                    .iter()
+                    .filter(|m| matches!(m.kind, smtp_noc::MsgKind::Inval { .. }))
+                    .count() as u64;
+                self.stats.interventions += t
+                    .sends
+                    .iter()
+                    .filter(|m| {
+                        matches!(
+                            m.kind,
+                            smtp_noc::MsgKind::IntervShared { .. }
+                                | smtp_noc::MsgKind::IntervExcl { .. }
+                        )
+                    })
+                    .count() as u64;
+                if t.new_state == DirState::Unowned {
+                    self.states.remove(&msg.addr.raw());
+                } else {
+                    self.states.insert(msg.addr.raw(), t.new_state);
+                }
+                Some(*t)
+            }
+            Outcome::Defer => {
+                self.stats.deferred += 1;
+                let q = self.pending.entry(msg.addr.raw()).or_default();
+                q.push_back(*msg);
+                self.stats.peak_pending = self.stats.peak_pending.max(q.len());
+                None
+            }
+        }
+    }
+
+    /// Drain the pending queue of a line that just left its busy state.
+    /// The caller replays the returned messages (in order, ahead of newly
+    /// arriving traffic) through [`Directory::process`].
+    pub fn take_pending(&mut self, line: LineAddr) -> VecDeque<Msg> {
+        self.pending.remove(&line.raw()).unwrap_or_default()
+    }
+
+    /// Whether any line is currently mid-transaction (quiescence check).
+    pub fn any_busy(&self) -> bool {
+        self.states.values().any(|s| s.is_busy())
+    }
+
+    /// Busy lines and their states (deadlock diagnostics).
+    pub fn busy_lines(&self) -> Vec<(LineAddr, DirState)> {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.is_busy())
+            .map(|(&raw, &s)| (LineAddr(raw), s))
+            .collect()
+    }
+
+    /// Number of queued (deferred) requests across all lines.
+    pub fn pending_len(&self) -> usize {
+        self.pending.values().map(|q| q.len()).sum()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &DirStats {
+        &self.stats
+    }
+
+    /// Check the directory's internal invariants; called by tests and by
+    /// the system simulator's (debug-only) consistency sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pending queue exists for a non-busy line.
+    pub fn check_invariants(&self) {
+        for (&raw, q) in &self.pending {
+            if !q.is_empty() {
+                let st = self
+                    .states
+                    .get(&raw)
+                    .copied()
+                    .unwrap_or_default();
+                assert!(
+                    st.is_busy(),
+                    "pending requests on non-busy line {raw:#x} ({st:?})"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_noc::MsgKind;
+    use smtp_types::{Addr, Region};
+
+    const HOME: NodeId = NodeId(0);
+    const A: NodeId = NodeId(1);
+    const B: NodeId = NodeId(2);
+
+    fn line(n: u64) -> LineAddr {
+        Addr::new(HOME, Region::AppData, n * 128).line()
+    }
+
+    fn msg(kind: MsgKind, src: NodeId, l: LineAddr) -> Msg {
+        Msg::new(kind, l, src, HOME)
+    }
+
+    #[test]
+    fn full_read_write_read_sequence() {
+        let mut d = Directory::new(HOME);
+        // A reads.
+        let t = d.process(&msg(MsgKind::GetS, A, line(0))).unwrap();
+        assert_eq!(t.sends[0].kind, MsgKind::DataShared);
+        assert_eq!(d.state(line(0)), DirState::Shared(SharerSet::singleton(A)));
+        // B writes: A gets invalidated.
+        let t = d.process(&msg(MsgKind::GetX, B, line(0))).unwrap();
+        assert_eq!(t.sends[0].kind, MsgKind::Inval { requester: B });
+        assert_eq!(d.state(line(0)), DirState::Exclusive(B));
+        // A reads again: intervention to B, then completion.
+        let t = d.process(&msg(MsgKind::GetS, A, line(0))).unwrap();
+        assert_eq!(t.sends[0].kind, MsgKind::IntervShared { requester: A });
+        assert!(d.state(line(0)).is_busy());
+        let t = d
+            .process(&msg(MsgKind::SharingWb { requester: A }, B, line(0)))
+            .unwrap();
+        assert!(t.unbusied);
+        let both: SharerSet = [A, B].into_iter().collect();
+        assert_eq!(d.state(line(0)), DirState::Shared(both));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn busy_line_queues_and_replays() {
+        let mut d = Directory::new(HOME);
+        d.process(&msg(MsgKind::GetX, A, line(1))).unwrap();
+        d.process(&msg(MsgKind::GetS, B, line(1))).unwrap(); // busy now
+        assert!(d.process(&msg(MsgKind::GetX, B, line(1))).is_none());
+        assert_eq!(d.pending_len(), 1);
+        assert_eq!(d.stats().deferred, 1);
+        // Completion unbusies; caller replays.
+        let t = d
+            .process(&msg(MsgKind::SharingWb { requester: B }, A, line(1)))
+            .unwrap();
+        assert!(t.unbusied);
+        let pend = d.take_pending(line(1));
+        assert_eq!(pend.len(), 1);
+        let t = d.process(&pend[0]).unwrap();
+        // B upgrades from shared: inval to A, exclusive to B.
+        assert_eq!(d.state(line(1)), DirState::Exclusive(B));
+        assert!(t.sends.iter().any(|m| m.kind == MsgKind::Inval { requester: B }));
+        d.check_invariants();
+    }
+
+    #[test]
+    fn unowned_lines_are_not_materialized() {
+        let mut d = Directory::new(HOME);
+        d.process(&msg(MsgKind::GetX, A, line(2))).unwrap();
+        d.process(&msg(MsgKind::Put { dirty: true }, A, line(2)))
+            .unwrap();
+        assert_eq!(d.state(line(2)), DirState::Unowned);
+        assert_eq!(d.states.len(), 0, "unowned entries freed");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong home")]
+    fn misrouted_message_panics() {
+        let mut d = Directory::new(NodeId(3));
+        d.process(&msg(MsgKind::GetS, A, line(0)));
+    }
+
+    #[test]
+    fn stats_count_interventions() {
+        let mut d = Directory::new(HOME);
+        d.process(&msg(MsgKind::GetX, A, line(3))).unwrap();
+        d.process(&msg(MsgKind::GetS, B, line(3))).unwrap();
+        assert_eq!(d.stats().interventions, 1);
+        assert_eq!(d.stats().handlers, 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! The bitvector directory cache-coherence protocol.
+//!
+//! Derived from the SGI Origin 2000 protocol as the paper describes (§3):
+//! invalidation-based MESI with **eager-exclusive replies** (the requester
+//! may use exclusive data before all invalidation acknowledgements arrive;
+//! acks are collected at the requester). The home node is the serialization
+//! point: requests that hit a line in a transient (busy) state are queued at
+//! the home and replayed in order once the transaction completes, so the
+//! protocol needs no NACK/retry traffic.
+//!
+//! The crate is *pure protocol*: given a directory state and an incoming
+//! message it computes a [`Transition`] — the next state, the messages to
+//! send, SDRAM involvement — and the **handler timing program**, the
+//! sequence of protocol-thread instructions whose execution models the
+//! handler's cost. The same program is executed by both protocol backends:
+//!
+//! * the embedded dual-issue protocol processor of the `Base`/`Int*`
+//!   machine models (`smtp-mem`), and
+//! * the SMTp protocol thread context in the main pipeline
+//!   (`smtp-pipeline`), where it is fetched, renamed, executed and
+//!   graduated like any other thread.
+
+pub mod directory;
+pub mod handlers;
+pub mod transition;
+
+pub use directory::{DirState, Directory, DirStats};
+pub use handlers::{handler_base_pc, handler_program, pc_to_addr, HandlerKind};
+pub use transition::{handle, Outcome, Transition};
+
+use smtp_noc::Msg;
+use smtp_types::NodeId;
+
+/// Compute the transition for `msg`, panicking if the line is busy.
+///
+/// Convenience for tests and analytic tools that construct states directly;
+/// production code goes through [`Directory::process`], which queues
+/// deferred requests instead.
+///
+/// # Panics
+///
+/// Panics when the transition would be deferred.
+pub fn must_apply(home: NodeId, state: &DirState, msg: &Msg) -> Transition {
+    match handle(home, state, msg) {
+        Outcome::Apply(t) => *t,
+        Outcome::Defer => panic!("transition deferred for {msg}"),
+    }
+}

@@ -1,0 +1,401 @@
+//! The directory transition function: one incoming message → next state,
+//! outgoing messages, SDRAM involvement and the handler to charge for it.
+
+use crate::directory::DirState;
+use crate::handlers::HandlerKind;
+use smtp_noc::{Msg, MsgKind};
+use smtp_types::{LineAddr, NodeId, SharerSet};
+
+/// The full effect of one protocol handler, computed at dispatch.
+///
+/// * `new_state` is committed to the directory immediately (dispatch order
+///   is the serialization order).
+/// * `sends` happen when the handler's `send` instructions graduate; the
+///   element at `data_reply` additionally waits for the SDRAM read that the
+///   dispatch unit started in parallel (paper §2.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// State the directory entry moves to.
+    pub new_state: DirState,
+    /// Messages to emit, in handler `send` order (`Send { msg_idx }`
+    /// indexes this list).
+    pub sends: Vec<Msg>,
+    /// Index into `sends` of the reply that carries SDRAM data (and must
+    /// therefore wait for the memory access launched at dispatch).
+    pub data_reply: Option<usize>,
+    /// The handler writes the (dirty) payload to SDRAM.
+    pub sdram_write: bool,
+    /// The transaction for this line completed: replay any queued requests.
+    pub unbusied: bool,
+    /// Which handler's timing program models this transition.
+    pub kind: HandlerKind,
+}
+
+impl Transition {
+    fn new(kind: HandlerKind, new_state: DirState) -> Transition {
+        Transition {
+            new_state,
+            sends: Vec::new(),
+            data_reply: None,
+            sdram_write: false,
+            unbusied: false,
+            kind,
+        }
+    }
+}
+
+/// Result of presenting a message to the home.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Run this handler.
+    Apply(Box<Transition>),
+    /// Line is busy and the message is a deferrable request: queue it.
+    Defer,
+}
+
+/// Compute the transition for `msg` arriving at `home` with the line in
+/// `state`.
+///
+/// # Panics
+///
+/// Panics on protocol-invariant violations (e.g. an owner re-requesting a
+/// line it owns, or a `SharingWb` in a non-busy state): these indicate
+/// simulator bugs, never legal races.
+pub fn handle(home: NodeId, state: &DirState, msg: &Msg) -> Outcome {
+    let line = msg.addr;
+    let who = msg.src;
+    match msg.kind {
+        MsgKind::GetS => handle_gets(home, state, line, who),
+        MsgKind::GetX => handle_getx(home, state, line, who, false),
+        MsgKind::Upgrade => handle_getx(home, state, line, who, true),
+        MsgKind::Put { dirty } => handle_put(home, state, line, who, dirty),
+        MsgKind::SharingWb { requester } => {
+            let DirState::BusyShared { owner, requester: r } = *state else {
+                panic!("SharingWb for {line:?} in state {state:?}");
+            };
+            assert_eq!(owner, who, "SharingWb from non-owner");
+            assert_eq!(r, requester, "SharingWb requester mismatch");
+            let mut sharers = SharerSet::singleton(owner);
+            sharers.insert(requester);
+            let mut t = Transition::new(HandlerKind::SharingWb, DirState::Shared(sharers));
+            t.sdram_write = true; // the (possibly dirty) line returns to memory
+            t.unbusied = true;
+            Outcome::Apply(Box::new(t))
+        }
+        MsgKind::TransferAck { new_owner } => {
+            let DirState::BusyExcl { owner, requester } = *state else {
+                panic!("TransferAck for {line:?} in state {state:?}");
+            };
+            assert_eq!(owner, who, "TransferAck from non-owner");
+            assert_eq!(requester, new_owner, "TransferAck owner mismatch");
+            let mut t = Transition::new(HandlerKind::TransferAck, DirState::Exclusive(new_owner));
+            t.unbusied = true;
+            Outcome::Apply(Box::new(t))
+        }
+        k => panic!("message kind {k:?} is not a home-directed transaction"),
+    }
+}
+
+fn handle_gets(home: NodeId, state: &DirState, line: LineAddr, who: NodeId) -> Outcome {
+    match *state {
+        DirState::Unowned => {
+            let mut t = Transition::new(
+                HandlerKind::GetSUnowned,
+                DirState::Shared(SharerSet::singleton(who)),
+            );
+            t.sends.push(Msg::new(MsgKind::DataShared, line, home, who));
+            t.data_reply = Some(0);
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::Shared(mut sharers) => {
+            sharers.insert(who);
+            let mut t = Transition::new(HandlerKind::GetSShared, DirState::Shared(sharers));
+            t.sends.push(Msg::new(MsgKind::DataShared, line, home, who));
+            t.data_reply = Some(0);
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::Exclusive(owner) => {
+            assert_ne!(owner, who, "owner {owner:?} sent GetS for its own line {line:?}");
+            let mut t = Transition::new(
+                HandlerKind::GetSExcl,
+                DirState::BusyShared {
+                    owner,
+                    requester: who,
+                },
+            );
+            t.sends
+                .push(Msg::new(MsgKind::IntervShared { requester: who }, line, home, owner));
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::BusyShared { .. } | DirState::BusyExcl { .. } => Outcome::Defer,
+    }
+}
+
+fn handle_getx(
+    home: NodeId,
+    state: &DirState,
+    line: LineAddr,
+    who: NodeId,
+    upgrade: bool,
+) -> Outcome {
+    match *state {
+        DirState::Unowned => {
+            let mut t = Transition::new(HandlerKind::GetXUnowned, DirState::Exclusive(who));
+            t.sends
+                .push(Msg::new(MsgKind::DataExcl { acks: 0 }, line, home, who));
+            t.data_reply = Some(0);
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::Shared(sharers) => {
+            let mut invals = sharers;
+            let still_sharer = invals.remove(who);
+            let acks = invals.len() as u16;
+            let mut t = Transition::new(
+                HandlerKind::GetXShared { invals: acks },
+                DirState::Exclusive(who),
+            );
+            // Invalidations first (send order), data/ack reply last.
+            for s in invals.iter() {
+                t.sends
+                    .push(Msg::new(MsgKind::Inval { requester: who }, line, home, s));
+            }
+            if upgrade && still_sharer {
+                t.sends
+                    .push(Msg::new(MsgKind::UpgradeAck { acks }, line, home, who));
+                // No data movement: ownership only.
+            } else {
+                t.sends
+                    .push(Msg::new(MsgKind::DataExcl { acks }, line, home, who));
+                t.data_reply = Some(t.sends.len() - 1);
+            }
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::Exclusive(owner) => {
+            assert_ne!(owner, who, "owner {owner:?} sent GetX for its own line {line:?}");
+            let mut t = Transition::new(
+                HandlerKind::GetXExcl,
+                DirState::BusyExcl {
+                    owner,
+                    requester: who,
+                },
+            );
+            t.sends
+                .push(Msg::new(MsgKind::IntervExcl { requester: who }, line, home, owner));
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::BusyShared { .. } | DirState::BusyExcl { .. } => Outcome::Defer,
+    }
+}
+
+fn handle_put(
+    home: NodeId,
+    state: &DirState,
+    line: LineAddr,
+    who: NodeId,
+    dirty: bool,
+) -> Outcome {
+    match *state {
+        DirState::Exclusive(owner) if owner == who => {
+            let mut t = Transition::new(HandlerKind::Put, DirState::Unowned);
+            t.sends.push(Msg::new(MsgKind::WbAck, line, home, who));
+            t.sdram_write = dirty;
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::Shared(mut sharers) => {
+            // Stale Put: the evictor was downgraded by an intervention that
+            // raced with its eviction; its data already reached memory via
+            // the SharingWb. Just drop it from the sharer set.
+            sharers.remove(who);
+            let ns = if sharers.is_empty() {
+                DirState::Unowned
+            } else {
+                DirState::Shared(sharers)
+            };
+            let mut t = Transition::new(HandlerKind::PutStale, ns);
+            t.sends.push(Msg::new(MsgKind::WbAck, line, home, who));
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::Exclusive(_) | DirState::Unowned => {
+            // Stale Put after an exclusive transfer (or after the new owner
+            // also wrote back). Acknowledge and ignore.
+            let mut t = Transition::new(HandlerKind::PutStale, *state);
+            t.sends.push(Msg::new(MsgKind::WbAck, line, home, who));
+            Outcome::Apply(Box::new(t))
+        }
+        DirState::BusyShared { .. } | DirState::BusyExcl { .. } => Outcome::Defer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{Addr, Region};
+
+    const HOME: NodeId = NodeId(0);
+    const A: NodeId = NodeId(1);
+    const B: NodeId = NodeId(2);
+    const C: NodeId = NodeId(3);
+
+    fn line() -> LineAddr {
+        Addr::new(HOME, Region::AppData, 0x1000).line()
+    }
+
+    fn msg(kind: MsgKind, src: NodeId) -> Msg {
+        Msg::new(kind, line(), src, HOME)
+    }
+
+    fn apply(state: &DirState, m: Msg) -> Transition {
+        match handle(HOME, state, &m) {
+            Outcome::Apply(t) => *t,
+            Outcome::Defer => panic!("unexpected defer"),
+        }
+    }
+
+    #[test]
+    fn gets_unowned_replies_shared_data() {
+        let t = apply(&DirState::Unowned, msg(MsgKind::GetS, A));
+        assert_eq!(t.new_state, DirState::Shared(SharerSet::singleton(A)));
+        assert_eq!(t.sends.len(), 1);
+        assert_eq!(t.sends[0].kind, MsgKind::DataShared);
+        assert_eq!(t.sends[0].dst, A);
+        assert_eq!(t.data_reply, Some(0));
+        assert_eq!(t.kind, HandlerKind::GetSUnowned);
+    }
+
+    #[test]
+    fn gets_shared_adds_sharer() {
+        let s = DirState::Shared(SharerSet::singleton(A));
+        let t = apply(&s, msg(MsgKind::GetS, B));
+        let expected: SharerSet = [A, B].into_iter().collect();
+        assert_eq!(t.new_state, DirState::Shared(expected));
+    }
+
+    #[test]
+    fn gets_exclusive_intervenes() {
+        let t = apply(&DirState::Exclusive(A), msg(MsgKind::GetS, B));
+        assert_eq!(
+            t.new_state,
+            DirState::BusyShared {
+                owner: A,
+                requester: B
+            }
+        );
+        assert_eq!(t.sends[0].kind, MsgKind::IntervShared { requester: B });
+        assert_eq!(t.sends[0].dst, A);
+        assert_eq!(t.data_reply, None, "no memory data while owner has it");
+    }
+
+    #[test]
+    fn getx_shared_invalidates_others() {
+        let s: SharerSet = [A, B, C].into_iter().collect();
+        let t = apply(&DirState::Shared(s), msg(MsgKind::GetX, A));
+        assert_eq!(t.new_state, DirState::Exclusive(A));
+        // Two invals (B, C) then the data reply with acks=2.
+        assert_eq!(t.sends.len(), 3);
+        assert!(t.sends[..2]
+            .iter()
+            .all(|m| m.kind == MsgKind::Inval { requester: A }));
+        assert_eq!(t.sends[2].kind, MsgKind::DataExcl { acks: 2 });
+        assert_eq!(t.data_reply, Some(2));
+        assert_eq!(t.kind, HandlerKind::GetXShared { invals: 2 });
+    }
+
+    #[test]
+    fn upgrade_by_current_sharer_needs_no_data() {
+        let s: SharerSet = [A, B].into_iter().collect();
+        let t = apply(&DirState::Shared(s), msg(MsgKind::Upgrade, A));
+        assert_eq!(t.new_state, DirState::Exclusive(A));
+        assert_eq!(t.sends.last().unwrap().kind, MsgKind::UpgradeAck { acks: 1 });
+        assert_eq!(t.data_reply, None);
+    }
+
+    #[test]
+    fn upgrade_after_losing_copy_degrades_to_getx() {
+        // A was invalidated before its Upgrade reached home.
+        let s = DirState::Shared(SharerSet::singleton(B));
+        let t = apply(&s, msg(MsgKind::Upgrade, A));
+        assert_eq!(t.new_state, DirState::Exclusive(A));
+        assert_eq!(t.sends.last().unwrap().kind, MsgKind::DataExcl { acks: 1 });
+        assert!(t.data_reply.is_some());
+    }
+
+    #[test]
+    fn getx_exclusive_transfers_ownership() {
+        let t = apply(&DirState::Exclusive(A), msg(MsgKind::GetX, B));
+        assert_eq!(
+            t.new_state,
+            DirState::BusyExcl {
+                owner: A,
+                requester: B
+            }
+        );
+        assert_eq!(t.sends[0].kind, MsgKind::IntervExcl { requester: B });
+    }
+
+    #[test]
+    fn busy_defers_requests_but_not_completions() {
+        let busy = DirState::BusyShared {
+            owner: A,
+            requester: B,
+        };
+        assert_eq!(handle(HOME, &busy, &msg(MsgKind::GetS, C)), Outcome::Defer);
+        assert_eq!(
+            handle(HOME, &busy, &msg(MsgKind::Put { dirty: true }, A)),
+            Outcome::Defer
+        );
+        // The completion message must apply.
+        let t = apply(&busy, msg(MsgKind::SharingWb { requester: B }, A));
+        let expected: SharerSet = [A, B].into_iter().collect();
+        assert_eq!(t.new_state, DirState::Shared(expected));
+        assert!(t.unbusied);
+        assert!(t.sdram_write);
+    }
+
+    #[test]
+    fn transfer_ack_completes_exclusive_handoff() {
+        let busy = DirState::BusyExcl {
+            owner: A,
+            requester: B,
+        };
+        let t = apply(&busy, msg(MsgKind::TransferAck { new_owner: B }, A));
+        assert_eq!(t.new_state, DirState::Exclusive(B));
+        assert!(t.unbusied);
+    }
+
+    #[test]
+    fn put_from_owner_returns_to_unowned() {
+        let t = apply(&DirState::Exclusive(A), msg(MsgKind::Put { dirty: true }, A));
+        assert_eq!(t.new_state, DirState::Unowned);
+        assert_eq!(t.sends[0].kind, MsgKind::WbAck);
+        assert!(t.sdram_write);
+    }
+
+    #[test]
+    fn stale_put_after_downgrade_is_acked_and_dropped() {
+        let s: SharerSet = [A, B].into_iter().collect();
+        let t = apply(&DirState::Shared(s), msg(MsgKind::Put { dirty: true }, A));
+        assert_eq!(t.new_state, DirState::Shared(SharerSet::singleton(B)));
+        assert_eq!(t.sends[0].kind, MsgKind::WbAck);
+        assert!(!t.sdram_write, "data already reached memory via SharingWb");
+    }
+
+    #[test]
+    fn stale_put_after_transfer_keeps_new_owner() {
+        let t = apply(&DirState::Exclusive(B), msg(MsgKind::Put { dirty: true }, A));
+        assert_eq!(t.new_state, DirState::Exclusive(B));
+        assert_eq!(t.sends[0].kind, MsgKind::WbAck);
+        assert_eq!(t.sends[0].dst, A);
+    }
+
+    #[test]
+    #[should_panic(expected = "its own line")]
+    fn owner_re_request_is_a_bug() {
+        apply(&DirState::Exclusive(A), msg(MsgKind::GetS, A));
+    }
+
+    #[test]
+    #[should_panic(expected = "SharingWb")]
+    fn sharing_wb_without_busy_is_a_bug() {
+        apply(&DirState::Unowned, msg(MsgKind::SharingWb { requester: B }, A));
+    }
+}

@@ -1,0 +1,281 @@
+//! The global physical address map of the simulated DSM machine.
+//!
+//! As in a real distributed shared memory machine with integrated memory
+//! controllers, the *home node* of every physical address is a fixed function
+//! of the address bits. The map used here is:
+//!
+//! ```text
+//!  63        42 41  36 35  32 31                                   0
+//! +------------+------+------+--------------------------------------+
+//! |   unused   | home | rgn  |        offset within region          |
+//! +------------+------+------+--------------------------------------+
+//! ```
+//!
+//! * `home` — the node whose SDRAM backs the address (up to 64 nodes),
+//! * `rgn`  — one of the [`Region`]s below,
+//! * `offset` — byte offset inside that node's slice of the region.
+//!
+//! The [`Region::Directory`] region holds the directory entries: one
+//! [`DIR_ENTRY_BYTES`]-byte entry per [`L2_LINE`] bytes of application data.
+//! The [`Region::ProtocolCode`] region holds protocol handler code. Both are
+//! *unmapped* physical memory — the protocol thread accesses them without
+//! touching the ITLB/DTLB, exactly as in the paper (§2.1).
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Coherence granularity: the unified L2 cache line size (paper Table 2).
+pub const L2_LINE: u64 = 128;
+
+/// Size of one directory entry in bytes (32-bit entry up to 16 nodes, 64-bit
+/// for 32 nodes; we always reserve 8 bytes of directory storage per line).
+pub const DIR_ENTRY_BYTES: u64 = 8;
+
+/// Base offset (within [`Region::AppData`]) of the per-thread application
+/// code images; workload data structures must stay below this offset.
+pub const APP_CODE_BASE: u64 = 0xF000_0000;
+
+/// Fetch address of application-code PC `pc` for context index `ctx_idx`
+/// at `node` (each node holds a local replica of the code).
+pub fn app_code_addr(node: NodeId, ctx_idx: usize, pc: u32) -> Addr {
+    Addr::new(
+        node,
+        Region::AppData,
+        APP_CODE_BASE + ctx_idx as u64 * 0x0100_0000 + pc as u64 * 4,
+    )
+}
+
+const REGION_SHIFT: u32 = 32;
+const HOME_SHIFT: u32 = 36;
+const OFFSET_MASK: u64 = (1 << REGION_SHIFT) - 1;
+
+/// The four top-level regions of each node's physical memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Region {
+    /// Normal (TLB-mapped) application data, including synchronization words.
+    AppData = 0,
+    /// Directory entries for lines homed at this node (unmapped).
+    Directory = 1,
+    /// Coherence protocol handler code (unmapped).
+    ProtocolCode = 2,
+    /// Coherence protocol private data (unmapped).
+    ProtocolData = 3,
+}
+
+impl Region {
+    fn from_bits(bits: u64) -> Region {
+        match bits & 0xf {
+            0 => Region::AppData,
+            1 => Region::Directory,
+            2 => Region::ProtocolCode,
+            _ => Region::ProtocolData,
+        }
+    }
+}
+
+/// A 64-bit physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Build an address from its components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` overflows the 32-bit per-node region offset.
+    #[inline]
+    pub fn new(home: NodeId, region: Region, offset: u64) -> Addr {
+        assert!(offset <= OFFSET_MASK, "region offset too large: {offset:#x}");
+        Addr(((home.0 as u64) << HOME_SHIFT) | ((region as u64) << REGION_SHIFT) | offset)
+    }
+
+    /// The node whose memory controller owns this address.
+    #[inline]
+    pub fn home(self) -> NodeId {
+        NodeId(((self.0 >> HOME_SHIFT) & 0x3f) as u16)
+    }
+
+    /// The region this address falls in.
+    #[inline]
+    pub fn region(self) -> Region {
+        Region::from_bits(self.0 >> REGION_SHIFT)
+    }
+
+    /// Byte offset within the (node, region) slice.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 & OFFSET_MASK
+    }
+
+    /// The coherence-granularity line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 & !(L2_LINE - 1))
+    }
+
+    /// True for the unmapped protocol regions that never touch the TLBs.
+    #[inline]
+    pub fn is_unmapped(self) -> bool {
+        !matches!(self.region(), Region::AppData)
+    }
+
+    /// Raw address value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}:{:?}+{:#x}",
+            self.home(),
+            self.region(),
+            self.offset()
+        )
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<LineAddr> for Addr {
+    fn from(l: LineAddr) -> Addr {
+        Addr(l.0)
+    }
+}
+
+/// An address aligned to the coherence granularity ([`L2_LINE`] bytes).
+///
+/// All directory state, coherence messages and L2 transactions operate on
+/// `LineAddr`s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The home node of the line.
+    #[inline]
+    pub fn home(self) -> NodeId {
+        Addr(self.0).home()
+    }
+
+    /// The region of the line.
+    #[inline]
+    pub fn region(self) -> Region {
+        Addr(self.0).region()
+    }
+
+    /// Address of the directory entry tracking this application-data line.
+    ///
+    /// The entry lives in the [`Region::Directory`] region of the line's home
+    /// node, at `DIR_ENTRY_BYTES` per `L2_LINE` of data. The protocol thread
+    /// (or embedded protocol processor) loads and stores this address when
+    /// running handlers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a line that is itself in the directory region —
+    /// directory entries have no directory entries.
+    #[inline]
+    pub fn directory_entry(self) -> Addr {
+        assert!(
+            self.region() != Region::Directory,
+            "directory lines are not themselves tracked"
+        );
+        let a = Addr(self.0);
+        Addr::new(
+            a.home(),
+            Region::Directory,
+            (a.offset() / L2_LINE) * DIR_ENTRY_BYTES,
+        )
+    }
+
+    /// Raw aligned address value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L[{:?}]", Addr(self.0))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(a: Addr) -> LineAddr {
+        a.line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_components() {
+        let a = Addr::new(NodeId(13), Region::AppData, 0x1234_5678);
+        assert_eq!(a.home(), NodeId(13));
+        assert_eq!(a.region(), Region::AppData);
+        assert_eq!(a.offset(), 0x1234_5678);
+    }
+
+    #[test]
+    fn line_alignment() {
+        let a = Addr::new(NodeId(2), Region::AppData, 0x1007);
+        let l = a.line();
+        assert_eq!(l.raw() % L2_LINE, 0);
+        assert_eq!(l.home(), NodeId(2));
+        assert_eq!(Addr::from(l).offset(), 0x1000);
+    }
+
+    #[test]
+    fn directory_entry_location() {
+        let l = Addr::new(NodeId(5), Region::AppData, 4 * L2_LINE).line();
+        let d = l.directory_entry();
+        assert_eq!(d.home(), NodeId(5));
+        assert_eq!(d.region(), Region::Directory);
+        assert_eq!(d.offset(), 4 * DIR_ENTRY_BYTES);
+        assert!(d.is_unmapped());
+    }
+
+    #[test]
+    fn distinct_homes_never_alias() {
+        let a = Addr::new(NodeId(0), Region::AppData, 0x100);
+        let b = Addr::new(NodeId(1), Region::AppData, 0x100);
+        assert_ne!(a.line(), b.line());
+    }
+
+    #[test]
+    #[should_panic(expected = "directory lines")]
+    fn directory_of_directory_panics() {
+        Addr::new(NodeId(0), Region::Directory, 0)
+            .line()
+            .directory_entry();
+    }
+
+    #[test]
+    #[should_panic(expected = "offset too large")]
+    fn oversized_offset_panics() {
+        Addr::new(NodeId(0), Region::AppData, 1 << 33);
+    }
+}

@@ -1,0 +1,115 @@
+//! Node and hardware-context identifiers.
+
+use std::fmt;
+
+/// Maximum number of application thread contexts per node (paper: 1, 2 or 4).
+pub const MAX_APP_THREADS: usize = 4;
+
+/// Maximum hardware contexts per node: application threads plus the
+/// statically-bound protocol thread context.
+pub const MAX_CTX: usize = MAX_APP_THREADS + 1;
+
+/// Identifier of a node in the DSM machine (0..`num_nodes`).
+///
+/// The paper evaluates 1- to 32-node systems; the sharer bitvector
+/// ([`crate::SharerSet`]) supports up to 64 nodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index usable for `Vec` lookups.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A hardware thread context within one node's SMT pipeline.
+///
+/// Contexts `0..app_threads` run application code; the context returned by
+/// [`Ctx::protocol`] is the statically bound coherence protocol thread of the
+/// SMTp architecture (present but idle in non-SMTp machine models).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ctx(pub u8);
+
+impl Ctx {
+    /// The protocol thread context (always the last context slot).
+    pub const PROTOCOL: Ctx = Ctx(MAX_APP_THREADS as u8);
+
+    /// Context of the protocol thread.
+    #[inline]
+    pub fn protocol() -> Ctx {
+        Self::PROTOCOL
+    }
+
+    /// Whether this context is the protocol thread.
+    #[inline]
+    pub fn is_protocol(self) -> bool {
+        self == Self::PROTOCOL
+    }
+
+    /// Index usable for array lookups (`0..MAX_CTX`).
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_protocol() {
+            write!(f, "PT")
+        } else {
+            write!(f, "T{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Ctx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_ctx_is_last_slot() {
+        assert_eq!(Ctx::protocol().idx(), MAX_CTX - 1);
+        assert!(Ctx::protocol().is_protocol());
+        assert!(!Ctx(0).is_protocol());
+    }
+
+    #[test]
+    fn node_id_formats() {
+        assert_eq!(format!("{:?}", NodeId(3)), "N3");
+        assert_eq!(format!("{}", NodeId(3)), "node3");
+        assert_eq!(NodeId::from(7u16).idx(), 7);
+    }
+
+    #[test]
+    fn ctx_formats() {
+        assert_eq!(format!("{:?}", Ctx(1)), "T1");
+        assert_eq!(format!("{:?}", Ctx::protocol()), "PT");
+    }
+}

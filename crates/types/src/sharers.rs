@@ -1,0 +1,193 @@
+//! Directory sharer bitvector.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// A set of nodes, stored as a 64-bit bitvector.
+///
+/// This is the sharer vector of the bitvector directory protocol (derived
+/// from the SGI Origin 2000 protocol, paper §3): bit *i* set means node *i*
+/// holds (or may hold) a shared copy of the line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    #[inline]
+    pub fn new() -> SharerSet {
+        SharerSet(0)
+    }
+
+    /// A set containing exactly one node.
+    #[inline]
+    pub fn singleton(n: NodeId) -> SharerSet {
+        let mut s = SharerSet(0);
+        s.insert(n);
+        s
+    }
+
+    /// Insert a node.
+    #[inline]
+    pub fn insert(&mut self, n: NodeId) {
+        debug_assert!(n.idx() < 64);
+        self.0 |= 1u64 << n.idx();
+    }
+
+    /// Remove a node; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, n: NodeId) -> bool {
+        let bit = 1u64 << n.idx();
+        let was = self.0 & bit != 0;
+        self.0 &= !bit;
+        was
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.0 & (1u64 << n.idx()) != 0
+    }
+
+    /// Number of members ("population count", one of the bit-manipulation
+    /// instructions the paper assumes protocol code uses).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate over members in increasing node order.
+    pub fn iter(&self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Raw bitvector (what the directory entry actually stores).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw bitvector.
+    #[inline]
+    pub fn from_bits(bits: u64) -> SharerSet {
+        SharerSet(bits)
+    }
+}
+
+/// Iterator over the members of a [`SharerSet`].
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(NodeId(i as u16))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for SharerSet {
+    type Item = NodeId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<NodeId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> SharerSet {
+        let mut s = SharerSet::new();
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl Extend<NodeId> for SharerSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for n in iter {
+            self.insert(n);
+        }
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SharerSet::new();
+        assert!(s.is_empty());
+        s.insert(NodeId(3));
+        s.insert(NodeId(31));
+        assert!(s.contains(NodeId(3)));
+        assert!(!s.contains(NodeId(4)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(NodeId(3)));
+        assert!(!s.remove(NodeId(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let s: SharerSet = [NodeId(9), NodeId(1), NodeId(40)].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![NodeId(1), NodeId(9), NodeId(40)]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = SharerSet::singleton(NodeId(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(NodeId(7)));
+    }
+
+    proptest! {
+        #[test]
+        fn bits_round_trip(bits in any::<u64>()) {
+            let s = SharerSet::from_bits(bits);
+            prop_assert_eq!(s.bits(), bits);
+            prop_assert_eq!(s.len() as usize, s.iter().count());
+            let rebuilt: SharerSet = s.iter().collect();
+            prop_assert_eq!(rebuilt, s);
+        }
+
+        #[test]
+        fn insert_then_contains(n in 0u16..64) {
+            let mut s = SharerSet::new();
+            s.insert(NodeId(n));
+            prop_assert!(s.contains(NodeId(n)));
+            prop_assert_eq!(s.len(), 1);
+        }
+    }
+}

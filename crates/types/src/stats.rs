@@ -1,0 +1,151 @@
+//! Statistics primitives used by the experiment harness.
+
+/// Tracks the peak and the running value of an occupancy counter, e.g. the
+/// protocol thread's share of integer registers (paper Table 9).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeakTracker {
+    current: u64,
+    peak: u64,
+}
+
+impl PeakTracker {
+    /// A tracker starting at zero.
+    pub fn new() -> PeakTracker {
+        PeakTracker::default()
+    }
+
+    /// Increase the current occupancy.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.current += n;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// Decrease the current occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the counter would go negative — that
+    /// always indicates a resource-accounting bug in the pipeline.
+    #[inline]
+    pub fn sub(&mut self, n: u64) {
+        debug_assert!(self.current >= n, "occupancy underflow");
+        self.current = self.current.saturating_sub(n);
+    }
+
+    /// Set the current occupancy to an absolute value.
+    #[inline]
+    pub fn set(&mut self, n: u64) {
+        self.current = n;
+        if n > self.peak {
+            self.peak = n;
+        }
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Peak occupancy observed so far.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+/// Running mean over `f64` samples (for "average of per-node peaks" style
+/// aggregations in the paper's tables).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningStat {
+    n: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// An empty statistic.
+    pub fn new() -> RunningStat {
+        RunningStat::default()
+    }
+
+    /// Record one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        if self.n == 1 || x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Maximum sample (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut p = PeakTracker::new();
+        p.add(3);
+        p.add(2);
+        p.sub(4);
+        p.add(1);
+        assert_eq!(p.current(), 2);
+        assert_eq!(p.peak(), 5);
+        p.set(10);
+        assert_eq!(p.peak(), 10);
+    }
+
+    #[test]
+    fn running_stat_mean_max() {
+        let mut s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        for x in [1.0, 2.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.sum(), 12.0);
+    }
+
+    #[test]
+    fn running_stat_handles_negative_samples() {
+        let mut s = RunningStat::new();
+        s.push(-5.0);
+        s.push(-1.0);
+        assert_eq!(s.max(), -1.0);
+        assert!((s.mean() + 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! FFT: blocked 1-D FFT, 6-step structure with tiled all-to-all
+//! transposes (SPLASH-2 FFT, paper: 1M points blocked for DTLB; scaled to
+//! a 128×128 point matrix).
+//!
+//! Communication pattern: local butterfly passes over owned rows separated
+//! by transposes in which every thread reads a block of every other node's
+//! rows (all-to-all read traffic), writing locally. Optimized with
+//! software prefetch and tiling, as in the paper.
+
+use crate::apps::{own_range, WorkloadCfg};
+use crate::gen::{Emit, Item, Kernel};
+use crate::layout::DistArray;
+use smtp_isa::Op;
+use std::collections::VecDeque;
+
+const PC_COMPUTE: u32 = 100;
+const PC_TRANSPOSE: u32 = 200;
+const TILE: u64 = 8;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Compute { pass: u8 },
+    Transpose { pass: u8 },
+    Done,
+}
+
+/// The FFT kernel for one thread.
+#[derive(Debug)]
+pub struct Fft {
+    /// Matrix rows (= columns); the point count is `rows²`.
+    pub rows: u64,
+    cols: u64,
+    a: DistArray,
+    b: DistArray,
+    my_rows: std::ops::Range<u64>,
+    prefetch: bool,
+    phase: Phase,
+    row: u64,
+    col: u64,
+}
+
+impl Fft {
+    /// Build the kernel for global thread `tid`.
+    pub fn new(cfg: &WorkloadCfg, tid: usize) -> Fft {
+        let rows = cfg.scaled(128, 16);
+        let cols = rows;
+        let a = DistArray::new(0x0010_0000, 16, rows * cols, cfg.nodes);
+        let b = DistArray::new(a.end_offset(), 16, rows * cols, cfg.nodes);
+        Fft {
+            rows,
+            cols,
+            a,
+            b,
+            my_rows: own_range(tid, cfg.total_threads(), rows),
+            prefetch: cfg.prefetch,
+            phase: Phase::Compute { pass: 0 },
+            row: own_range(tid, cfg.total_threads(), rows).start,
+            col: 0,
+        }
+    }
+
+    /// Butterfly pass over one 32-point row segment of `arr`.
+    fn emit_compute(&self, e: &mut Emit<'_>, arr: &DistArray, row: u64, col0: u64) {
+        let seg = 32.min(self.cols - col0);
+        if self.prefetch {
+            // Next two lines of this row.
+            let ahead = arr.addr(row * self.cols + (col0 + seg) % self.cols);
+            e.prefetch(PC_COMPUTE, ahead, true);
+        }
+        for c in col0..col0 + seg {
+            let idx = row * self.cols + c;
+            let addr = arr.addr(idx);
+            let fr = 16 + (c % 4) as u8;
+            e.fload(PC_COMPUTE + 1, addr, fr);
+            // Twiddle multiply + butterfly add/sub.
+            e.fp(PC_COMPUTE + 2, Op::FpMul, fr, 0, 1);
+            e.fp(PC_COMPUTE + 3, Op::FpMul, fr, 2, 3);
+            e.fp(PC_COMPUTE + 4, Op::FpAlu, 1, 3, 4);
+            e.fp(PC_COMPUTE + 5, Op::FpAlu, 4, fr, 5);
+            e.fstore(PC_COMPUTE + 6, addr, 5);
+            e.loop_branch(PC_COMPUTE + 7, c + 1 < col0 + seg, PC_COMPUTE + 1);
+        }
+    }
+
+    /// One TILE-wide transpose strip: `dst[row, col0..col0+TILE] =
+    /// src[col, row]` — the source elements live in other rows (usually
+    /// other nodes).
+    fn emit_transpose(
+        &self,
+        e: &mut Emit<'_>,
+        src: &DistArray,
+        dst: &DistArray,
+        row: u64,
+        col0: u64,
+    ) {
+        let seg = TILE.min(self.cols - col0);
+        if self.prefetch {
+            for c in col0..col0 + seg {
+                e.prefetch(PC_TRANSPOSE, src.addr(c * self.cols + row), false);
+            }
+        }
+        for c in col0..col0 + seg {
+            let fr = 16 + (c % 4) as u8;
+            e.fload(PC_TRANSPOSE + 1, src.addr(c * self.cols + row), fr);
+            e.int(PC_TRANSPOSE + 2, 1, 2);
+            e.fstore(PC_TRANSPOSE + 3, dst.addr(row * self.cols + c), fr);
+            e.loop_branch(PC_TRANSPOSE + 4, c + 1 < col0 + seg, PC_TRANSPOSE + 1);
+        }
+    }
+}
+
+impl Kernel for Fft {
+    fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool {
+        let mut e = Emit::with_prefetch(q, self.prefetch);
+        match self.phase {
+            Phase::Compute { pass } => {
+                if self.row < self.my_rows.end {
+                    let (arr, step) = if pass == 1 {
+                        (self.b, 32)
+                    } else {
+                        (self.a, 32)
+                    };
+                    self.emit_compute(&mut e, &arr, self.row, self.col);
+                    self.col += step;
+                    if self.col >= self.cols {
+                        self.col = 0;
+                        self.row += 1;
+                    }
+                    true
+                } else {
+                    self.row = self.my_rows.start;
+                    self.col = 0;
+                    if pass == 2 {
+                        self.phase = Phase::Done;
+                        return false;
+                    }
+                    e.barrier(pass as u32 * 2);
+                    self.phase = Phase::Transpose { pass };
+                    true
+                }
+            }
+            Phase::Transpose { pass } => {
+                if self.row < self.my_rows.end {
+                    let (src, dst) = if pass == 0 {
+                        (self.a, self.b)
+                    } else {
+                        (self.b, self.a)
+                    };
+                    self.emit_transpose(&mut e, &src, &dst, self.row, self.col);
+                    self.col += TILE;
+                    if self.col >= self.cols {
+                        self.col = 0;
+                        self.row += 1;
+                    }
+                    true
+                } else {
+                    self.row = self.my_rows.start;
+                    self.col = 0;
+                    e.barrier(pass as u32 * 2 + 1);
+                    self.phase = Phase::Compute { pass: pass + 1 };
+                    true
+                }
+            }
+            Phase::Done => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{drain_standalone, frac, AppKind};
+
+    fn cfg(nodes: usize, threads: usize, scale: f64) -> WorkloadCfg {
+        let mut c = WorkloadCfg::new(nodes, threads);
+        c.scale = scale;
+        c
+    }
+
+    #[test]
+    fn terminates_and_has_fft_mix() {
+        let mix = drain_standalone(AppKind::Fft, &cfg(2, 2, 0.15));
+        assert!(mix.total > 10_000, "too little work: {}", mix.total);
+        let fp = frac(mix.fp, mix.total);
+        assert!((0.2..0.7).contains(&fp), "fp fraction {fp}");
+        assert!(mix.prefetch > 0, "FFT must prefetch");
+        assert!(mix.sync > 0, "barriers expected");
+        assert!(mix.stores > 0 && mix.loads > 0);
+    }
+
+    #[test]
+    fn single_thread_runs_all_phases() {
+        let mix = drain_standalone(AppKind::Fft, &cfg(1, 1, 0.15));
+        assert!(mix.total > 10_000);
+    }
+
+    #[test]
+    fn transpose_reads_cross_node_rows() {
+        let c = cfg(4, 1, 0.25);
+        let f = Fft::new(&c, 0);
+        // Thread 0 owns rows homed on node 0; transposed sources for
+        // column blocks come from other nodes.
+        let mut q = VecDeque::new();
+        let mut e = Emit::new(&mut q);
+        f.emit_transpose(&mut e, &f.a, &f.b, f.my_rows.start, f.cols - TILE);
+        let mut remote = 0;
+        for item in &q {
+            if let Item::I(i) = item {
+                if let Some(a) = i.mem_addr() {
+                    if matches!(i.op, Op::Load { .. }) && a.home().idx() != 0 {
+                        remote += 1;
+                    }
+                }
+            }
+        }
+        assert!(remote > 0, "transpose should read remote rows");
+    }
+}

@@ -1,0 +1,199 @@
+//! FFTW: 3-D FFT (paper: 8192×16×16 points, 32×32 blocks; scaled to a
+//! 144×144 point plane set).
+//!
+//! Behaviourally it is FFT with *three* transpose phases (one per
+//! dimension), heavier per-point computation with wide register webs (the
+//! paper found FFTW limited by integer registers, §2.3), and a larger
+//! memory footprint, making it the most memory-intensive of the six after
+//! Ocean.
+
+use crate::apps::{own_range, WorkloadCfg};
+use crate::gen::{Emit, Item, Kernel};
+use crate::layout::DistArray;
+use smtp_isa::Op;
+use std::collections::VecDeque;
+
+const PC_COMPUTE: u32 = 300;
+const PC_TRANSPOSE: u32 = 420;
+const TILE: u64 = 8;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Compute { pass: u8 },
+    Transpose { pass: u8 },
+    Done,
+}
+
+/// The FFTW kernel for one thread.
+#[derive(Debug)]
+pub struct Fftw {
+    rows: u64,
+    cols: u64,
+    a: DistArray,
+    b: DistArray,
+    my_rows: std::ops::Range<u64>,
+    phase: Phase,
+    row: u64,
+    col: u64,
+    prefetch: bool,
+}
+
+impl Fftw {
+    /// Build the kernel for global thread `tid`.
+    pub fn new(cfg: &WorkloadCfg, tid: usize) -> Fftw {
+        let rows = cfg.scaled(144, 16);
+        let cols = rows;
+        let a = DistArray::new(0x0100_0000, 16, rows * cols, cfg.nodes);
+        let b = DistArray::new(a.end_offset(), 16, rows * cols, cfg.nodes);
+        Fftw {
+            rows,
+            cols,
+            a,
+            b,
+            my_rows: own_range(tid, cfg.total_threads(), rows),
+            prefetch: cfg.prefetch,
+            phase: Phase::Compute { pass: 0 },
+            row: own_range(tid, cfg.total_threads(), rows).start,
+            col: 0,
+        }
+    }
+
+    /// Rank-update over one 16-point row segment: two loads per point and a
+    /// wide FP web with many live registers (plus live integer index
+    /// registers — the pressure the paper observed).
+    fn emit_compute(&self, e: &mut Emit<'_>, arr: &DistArray, row: u64, col0: u64) {
+        let seg = 16.min(self.cols - col0);
+        let ahead = arr.addr(row * self.cols + (col0 + seg) % self.cols);
+        e.prefetch(PC_COMPUTE, ahead, true);
+        // Keep several integer index registers live across the segment.
+        for r in 1..6 {
+            e.int(PC_COMPUTE + 1, r, r + 1);
+        }
+        for c in col0..col0 + seg {
+            let idx = row * self.cols + c;
+            let addr = arr.addr(idx);
+            let f0 = 16 + (c % 4) as u8;
+            let f1 = 20 + (c % 4) as u8;
+            e.fload(PC_COMPUTE + 2, addr, f0);
+            e.fload(PC_COMPUTE + 3, arr.addr((idx + self.cols) % (self.rows * self.cols)), f1);
+            // Four independent chains of depth 2: high ILP, high pressure.
+            e.fweb(PC_COMPUTE + 4, 4, 2, 0);
+            e.fp(PC_COMPUTE + 8, Op::FpAlu, f0, f1, 8);
+            e.fstore(PC_COMPUTE + 9, addr, 8);
+            e.imul(PC_COMPUTE + 10, 2, 3);
+            e.loop_branch(PC_COMPUTE + 11, c + 1 < col0 + seg, PC_COMPUTE + 2);
+        }
+    }
+
+    fn emit_transpose(
+        &self,
+        e: &mut Emit<'_>,
+        src: &DistArray,
+        dst: &DistArray,
+        row: u64,
+        col0: u64,
+    ) {
+        let seg = TILE.min(self.cols - col0);
+        for c in col0..col0 + seg {
+            e.prefetch(PC_TRANSPOSE, src.addr(c * self.cols + row), false);
+        }
+        for c in col0..col0 + seg {
+            let fr = 16 + (c % 4) as u8;
+            e.fload(PC_TRANSPOSE + 1, src.addr(c * self.cols + row), fr);
+            e.int(PC_TRANSPOSE + 2, 1, 2);
+            e.int(PC_TRANSPOSE + 3, 2, 3);
+            e.fstore(PC_TRANSPOSE + 4, dst.addr(row * self.cols + c), fr);
+            e.loop_branch(PC_TRANSPOSE + 5, c + 1 < col0 + seg, PC_TRANSPOSE + 1);
+        }
+    }
+}
+
+impl Kernel for Fftw {
+    fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool {
+        let mut e = Emit::with_prefetch(q, self.prefetch);
+        match self.phase {
+            Phase::Compute { pass } => {
+                if self.row < self.my_rows.end {
+                    let arr = if pass % 2 == 1 { self.b } else { self.a };
+                    self.emit_compute(&mut e, &arr, self.row, self.col);
+                    self.col += 16;
+                    if self.col >= self.cols {
+                        self.col = 0;
+                        self.row += 1;
+                    }
+                    true
+                } else {
+                    self.row = self.my_rows.start;
+                    self.col = 0;
+                    if pass == 3 {
+                        self.phase = Phase::Done;
+                        return false;
+                    }
+                    e.barrier(pass as u32 * 2);
+                    self.phase = Phase::Transpose { pass };
+                    true
+                }
+            }
+            Phase::Transpose { pass } => {
+                if self.row < self.my_rows.end {
+                    let (src, dst) = if pass % 2 == 0 {
+                        (self.a, self.b)
+                    } else {
+                        (self.b, self.a)
+                    };
+                    self.emit_transpose(&mut e, &src, &dst, self.row, self.col);
+                    self.col += TILE;
+                    if self.col >= self.cols {
+                        self.col = 0;
+                        self.row += 1;
+                    }
+                    true
+                } else {
+                    self.row = self.my_rows.start;
+                    self.col = 0;
+                    e.barrier(pass as u32 * 2 + 1);
+                    self.phase = Phase::Compute { pass: pass + 1 };
+                    true
+                }
+            }
+            Phase::Done => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{drain_standalone, frac, AppKind};
+
+    fn cfg(nodes: usize, threads: usize, scale: f64) -> WorkloadCfg {
+        let mut c = WorkloadCfg::new(nodes, threads);
+        c.scale = scale;
+        c
+    }
+
+    #[test]
+    fn terminates_with_three_transposes() {
+        let mix = drain_standalone(AppKind::Fftw, &cfg(2, 1, 0.12));
+        assert!(mix.total > 10_000);
+        assert!(mix.prefetch > 0);
+        // Three transposes + four compute passes => more sync than FFT.
+        assert!(mix.sync > 0);
+        let fp = frac(mix.fp, mix.total);
+        assert!((0.25..0.75).contains(&fp), "fp fraction {fp}");
+    }
+
+    #[test]
+    fn heavier_than_fft_per_point() {
+        let c = cfg(1, 1, 0.12);
+        let fftw = drain_standalone(AppKind::Fftw, &c);
+        let fft = drain_standalone(AppKind::Fft, &c);
+        // Same scaled dimensions would differ; compare per-point FP weight.
+        let fftw_fp_per_inst = frac(fftw.fp, fftw.total);
+        let fft_fp_per_inst = frac(fft.fp, fft.total);
+        assert!(
+            fftw_fp_per_inst > fft_fp_per_inst * 0.9,
+            "FFTW should be at least as FP-heavy as FFT"
+        );
+    }
+}

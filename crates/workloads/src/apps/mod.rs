@@ -1,0 +1,270 @@
+//! The six application kernels (paper Table 1, scaled per DESIGN.md §7).
+
+mod fft;
+mod fftw;
+mod lu;
+mod ocean;
+mod radix;
+mod water;
+
+pub use fft::Fft;
+pub use fftw::Fftw;
+pub use lu::Lu;
+pub use ocean::Ocean;
+pub use radix::Radix;
+pub use water::Water;
+
+use crate::gen::{Kernel, ThreadGen};
+use smtp_types::{Ctx, NodeId};
+
+
+/// Which application to run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppKind {
+    /// Blocked 1-D FFT with tiled transposes (SPLASH-2 FFT).
+    Fft,
+    /// 3-D FFT with three transpose phases and high register pressure.
+    Fftw,
+    /// Blocked dense LU factorization (compute-bound).
+    Lu,
+    /// Multi-grid ocean simulation: stencil sweeps, nearest-neighbour
+    /// sharing, a contended global error lock.
+    Ocean,
+    /// Radix sort: local histograms, tree prefix-sum, all-to-all
+    /// permutation writes.
+    Radix,
+    /// N-body water simulation: read-shared position sweeps, per-molecule
+    /// force locks, compute-bound.
+    Water,
+}
+
+impl AppKind {
+    /// All applications, in the paper's presentation order.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::Fft,
+        AppKind::Fftw,
+        AppKind::Lu,
+        AppKind::Ocean,
+        AppKind::Radix,
+        AppKind::Water,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Fft => "FFT",
+            AppKind::Fftw => "FFTW",
+            AppKind::Lu => "LU",
+            AppKind::Ocean => "Ocean",
+            AppKind::Radix => "Radix",
+            AppKind::Water => "Water",
+        }
+    }
+
+    /// Whether the application uses software prefetching (all but Water,
+    /// paper §3).
+    pub fn uses_prefetch(self) -> bool {
+        !matches!(self, AppKind::Water)
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Workload construction parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadCfg {
+    /// Number of nodes in the machine.
+    pub nodes: usize,
+    /// Application threads per node.
+    pub app_threads: usize,
+    /// Problem-size multiplier relative to the DESIGN.md §7 defaults
+    /// (use < 1.0 for quick runs).
+    pub scale: f64,
+    /// Software prefetching enabled (paper §3: all applications except
+    /// Water prefetch; turning this off models the paper's "less-tuned"
+    /// variant, whose relative trends stay qualitatively identical).
+    pub prefetch: bool,
+}
+
+impl WorkloadCfg {
+    /// Default configuration for a machine.
+    pub fn new(nodes: usize, app_threads: usize) -> WorkloadCfg {
+        WorkloadCfg {
+            nodes,
+            app_threads,
+            scale: 1.0,
+            prefetch: true,
+        }
+    }
+
+    /// Total application threads.
+    pub fn total_threads(&self) -> usize {
+        self.nodes * self.app_threads
+    }
+
+    /// Global thread id of a context.
+    pub fn tid(&self, node: NodeId, ctx: Ctx) -> usize {
+        node.idx() * self.app_threads + ctx.idx()
+    }
+
+    /// Scale a loop count, keeping at least `min`.
+    pub fn scaled(&self, base: u64, min: u64) -> u64 {
+        ((base as f64 * self.scale) as u64).max(min)
+    }
+}
+
+/// Per-thread work partitioning: the contiguous range of `n` items owned
+/// by thread `tid` out of `total`.
+pub fn own_range(tid: usize, total: usize, n: u64) -> std::ops::Range<u64> {
+    let per = n.div_ceil(total as u64);
+    let start = (tid as u64 * per).min(n);
+    let end = ((tid as u64 + 1) * per).min(n);
+    start..end
+}
+
+/// Construct the generator for one application thread.
+pub fn make_thread(kind: AppKind, cfg: &WorkloadCfg, node: NodeId, ctx: Ctx) -> ThreadGen {
+    let tid = cfg.tid(node, ctx);
+    let total = cfg.total_threads();
+    let kernel: Box<dyn Kernel + Send> = match kind {
+        AppKind::Fft => Box::new(Fft::new(cfg, tid)),
+        AppKind::Fftw => Box::new(Fftw::new(cfg, tid)),
+        AppKind::Lu => Box::new(Lu::new(cfg, tid)),
+        AppKind::Ocean => Box::new(Ocean::new(cfg, tid)),
+        AppKind::Radix => Box::new(Radix::new(cfg, tid)),
+        AppKind::Water => Box::new(Water::new(cfg, tid)),
+    };
+    ThreadGen::new(kernel, tid, total, cfg.nodes)
+}
+
+/// Functionally execute one thread's generator with trivially-satisfied
+/// synchronization; used by per-app unit tests to validate emission
+/// (termination, instruction mix) without the pipeline.
+#[cfg(test)]
+pub(crate) fn drain_standalone(kind: AppKind, cfg: &WorkloadCfg) -> AppMix {
+    use crate::manager::SyncManager;
+    use smtp_isa::sync::SyncEnv;
+    use smtp_isa::{InstSource, Op, SyncOutcome};
+
+    let total = cfg.total_threads();
+    let mut mgr = SyncManager::new(total);
+    let mut gens: Vec<ThreadGen> = (0..cfg.nodes as u16)
+        .flat_map(|n| {
+            (0..cfg.app_threads as u8)
+                .map(move |c| (NodeId(n), Ctx(c)))
+        })
+        .map(|(n, c)| make_thread(kind, cfg, n, c))
+        .collect();
+    let mut mix = AppMix::default();
+    let mut halted = vec![false; total];
+    let mut steps: u64 = 0;
+    while halted.iter().any(|h| !h) {
+        steps += 1;
+        assert!(steps < 200_000_000, "{kind} did not terminate");
+        for (t, g) in gens.iter_mut().enumerate() {
+            if halted[t] {
+                continue;
+            }
+            let node = NodeId((t / cfg.app_threads) as u16);
+            let ctx = Ctx((t % cfg.app_threads) as u8);
+            let i = g.next_inst();
+            mix.count(&i.op);
+            match i.op {
+                Op::Halt => halted[t] = true,
+                Op::SyncBranch { cond } => {
+                    let sat = mgr.poll(node, ctx, cond);
+                    g.sync_result(SyncOutcome::Cond(sat));
+                }
+                Op::SyncStore { op, .. } => {
+                    let out = mgr.sync_store(node, ctx, op);
+                    g.sync_result(out);
+                }
+                _ => {}
+            }
+        }
+    }
+    mix
+}
+
+/// Instruction-mix accumulator for tests.
+#[cfg(test)]
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct AppMix {
+    pub total: u64,
+    pub fp: u64,
+    pub int: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub prefetch: u64,
+    pub branches: u64,
+    pub sync: u64,
+    pub remote_refs: u64,
+}
+
+#[cfg(test)]
+impl AppMix {
+    fn count(&mut self, op: &smtp_isa::Op) {
+        use smtp_isa::Op;
+        self.total += 1;
+        match op {
+            Op::FpAlu | Op::FpMul | Op::FpDiv => self.fp += 1,
+            Op::IntAlu | Op::IntMul | Op::IntDiv => self.int += 1,
+            Op::Load { .. } => self.loads += 1,
+            Op::Store { .. } => self.stores += 1,
+            Op::Prefetch { .. } => self.prefetch += 1,
+            Op::Branch { .. } | Op::Call { .. } | Op::Ret => self.branches += 1,
+            Op::SyncBranch { .. } | Op::SyncStore { .. } | Op::SyncLoad { .. } => self.sync += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Shared test helper: the fraction `a / b`, 0 when empty.
+#[cfg(test)]
+pub(crate) fn frac(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_exactly() {
+        let n = 103u64;
+        let total = 8;
+        let mut covered = 0;
+        for t in 0..total {
+            let r = own_range(t, total, n);
+            covered += r.end - r.start;
+        }
+        assert_eq!(covered, n);
+        assert_eq!(own_range(0, 8, 103).start, 0);
+        assert_eq!(own_range(7, 8, 103).end, 103);
+    }
+
+    #[test]
+    fn tid_mapping() {
+        let cfg = WorkloadCfg::new(4, 2);
+        assert_eq!(cfg.tid(NodeId(0), Ctx(0)), 0);
+        assert_eq!(cfg.tid(NodeId(3), Ctx(1)), 7);
+        assert_eq!(cfg.total_threads(), 8);
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        let mut cfg = WorkloadCfg::new(1, 1);
+        cfg.scale = 0.01;
+        assert_eq!(cfg.scaled(100, 8), 8);
+        cfg.scale = 2.0;
+        assert_eq!(cfg.scaled(100, 8), 200);
+    }
+}

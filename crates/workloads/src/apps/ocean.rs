@@ -1,0 +1,210 @@
+//! Ocean: multi-grid ocean basin simulation (paper: 514×514 grid,
+//! tolerance 1e-5; scaled to 258×258 with six working grids).
+//!
+//! Five-point stencil sweeps over row-band-partitioned grids: neighbour
+//! rows at band boundaries belong to other threads (other nodes), giving
+//! nearest-neighbour sharing; the aggregate grid footprint exceeds the
+//! 2 MB L2 so single-node runs are memory-bound, as in the paper.
+//! Includes the global error lock with the test–lock–test–set–unlock
+//! idiom of Heinrich & Chaudhuri [13] (the `Lock` item performs the
+//! leading test).
+
+use crate::apps::{own_range, WorkloadCfg};
+use crate::gen::{Emit, Item, Kernel};
+use crate::layout::DistArray;
+use smtp_isa::Op;
+use std::collections::VecDeque;
+
+const PC_SWEEP: u32 = 800;
+const PC_ERROR: u32 = 860;
+const GRIDS: usize = 6;
+const COL_STEP: u64 = 4;
+/// The global error lock.
+const ERROR_LOCK: u32 = 0;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Sweep { iter: u8, sweep: u8 },
+    ErrorLock { iter: u8 },
+    Done,
+}
+
+/// The Ocean kernel for one thread.
+#[derive(Debug)]
+pub struct Ocean {
+    dim: u64,
+    grids: Vec<DistArray>,
+    my_rows: std::ops::Range<u64>,
+    iters: u8,
+    sweeps_per_iter: u8,
+    phase: Phase,
+    row: u64,
+    prefetch: bool,
+}
+
+impl Ocean {
+    /// Build the kernel for global thread `tid`.
+    pub fn new(cfg: &WorkloadCfg, tid: usize) -> Ocean {
+        let dim = cfg.scaled(258, 34);
+        let mut grids = Vec::with_capacity(GRIDS);
+        let mut base = 0x0400_0000;
+        for _ in 0..GRIDS {
+            let g = DistArray::new(base, 8, dim * dim, cfg.nodes);
+            base = g.end_offset();
+            grids.push(g);
+        }
+        let my_rows = own_range(tid, cfg.total_threads(), dim);
+        Ocean {
+            dim,
+            grids,
+            my_rows: my_rows.clone(),
+            prefetch: cfg.prefetch,
+            iters: 2,
+            sweeps_per_iter: 3,
+            phase: Phase::Sweep { iter: 0, sweep: 0 },
+            row: my_rows.start,
+        }
+    }
+
+    /// Five-point stencil over one row of a grid (strided columns: the
+    /// miss traffic of a full sweep at a fraction of the instructions).
+    fn emit_row(&self, e: &mut Emit<'_>, gi: usize, row: u64) {
+        let g = &self.grids[gi];
+        let up = row.saturating_sub(1);
+        let down = (row + 1).min(self.dim - 1);
+        // Prefetch the three rows involved, one line ahead.
+        e.prefetch(PC_SWEEP, g.addr(row * self.dim), false);
+        e.prefetch(PC_SWEEP, g.addr(up * self.dim), false);
+        e.prefetch(PC_SWEEP + 1, g.addr(down * self.dim), false);
+        let mut col = 1;
+        while col < self.dim - 1 {
+            let f = 16 + (col % 4) as u8;
+            e.fload(PC_SWEEP + 2, g.addr(row * self.dim + col), f); // C
+            e.fload(PC_SWEEP + 3, g.addr(row * self.dim + col - 1), 20); // W
+            e.fload(PC_SWEEP + 4, g.addr(row * self.dim + col + 1), 21); // E
+            e.fload(PC_SWEEP + 5, g.addr(up * self.dim + col), 22); // N
+            e.fload(PC_SWEEP + 6, g.addr(down * self.dim + col), 23); // S
+            e.fp(PC_SWEEP + 7, Op::FpAlu, 20, 21, 0);
+            e.fp(PC_SWEEP + 8, Op::FpAlu, 22, 23, 1);
+            e.fp(PC_SWEEP + 9, Op::FpAlu, 0, 1, 2);
+            e.fp(PC_SWEEP + 10, Op::FpMul, 2, f, 3);
+            e.fstore(PC_SWEEP + 11, g.addr(row * self.dim + col), 3);
+            col += COL_STEP;
+            e.loop_branch(PC_SWEEP + 12, col < self.dim - 1, PC_SWEEP + 2);
+        }
+    }
+
+    /// The per-iteration global error update under the global lock.
+    fn emit_error_section(&self, e: &mut Emit<'_>) {
+        e.lock(ERROR_LOCK);
+        let g = &self.grids[0];
+        e.fload(PC_ERROR, g.addr(0), 16);
+        e.fp(PC_ERROR + 1, Op::FpAlu, 16, 0, 1);
+        e.fp(PC_ERROR + 2, Op::FpAlu, 1, 2, 3);
+        e.fstore(PC_ERROR + 3, g.addr(0), 3);
+        e.unlock(ERROR_LOCK);
+    }
+}
+
+impl Kernel for Ocean {
+    fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool {
+        let mut e = Emit::with_prefetch(q, self.prefetch);
+        match self.phase {
+            Phase::Sweep { iter, sweep } => {
+                if self.row < self.my_rows.end {
+                    let gi = (iter as usize * self.sweeps_per_iter as usize + sweep as usize)
+                        * 2
+                        % GRIDS;
+                    self.emit_row(&mut e, gi, self.row);
+                    self.row += 1;
+                    true
+                } else {
+                    self.row = self.my_rows.start;
+                    e.barrier(sweep as u32);
+                    self.phase = if sweep + 1 < self.sweeps_per_iter {
+                        Phase::Sweep {
+                            iter,
+                            sweep: sweep + 1,
+                        }
+                    } else {
+                        Phase::ErrorLock { iter }
+                    };
+                    true
+                }
+            }
+            Phase::ErrorLock { iter } => {
+                self.emit_error_section(&mut e);
+                e.barrier(3);
+                self.phase = if iter + 1 < self.iters {
+                    Phase::Sweep {
+                        iter: iter + 1,
+                        sweep: 0,
+                    }
+                } else {
+                    Phase::Done
+                };
+                true
+            }
+            Phase::Done => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{drain_standalone, frac, AppKind};
+    use smtp_types::NodeId;
+
+    fn cfg(nodes: usize, threads: usize, scale: f64) -> WorkloadCfg {
+        let mut c = WorkloadCfg::new(nodes, threads);
+        c.scale = scale;
+        c
+    }
+
+    #[test]
+    fn terminates_with_locks_and_barriers() {
+        let mix = drain_standalone(AppKind::Ocean, &cfg(2, 2, 0.2));
+        assert!(mix.total > 10_000);
+        assert!(mix.sync > 0);
+        assert!(mix.prefetch > 0);
+        let loads = frac(mix.loads, mix.total);
+        assert!(loads > 0.25, "Ocean should be load-heavy, got {loads}");
+    }
+
+    #[test]
+    fn boundary_rows_touch_neighbor_bands() {
+        let c = cfg(4, 1, 0.5);
+        let o = Ocean::new(&c, 1);
+        let mut q = VecDeque::new();
+        let mut e = Emit::new(&mut q);
+        // First owned row: its "up" neighbour belongs to thread 0's band.
+        o.emit_row(&mut e, 0, o.my_rows.start);
+        let mut homes = std::collections::HashSet::new();
+        for item in &q {
+            if let Item::I(i) = item {
+                if let Some(a) = i.mem_addr() {
+                    homes.insert(a.home());
+                }
+            }
+        }
+        assert!(homes.contains(&NodeId(0)), "no neighbour-band access");
+        assert!(homes.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn footprint_exceeds_l2_at_full_scale() {
+        let c = cfg(1, 1, 1.0);
+        let o = Ocean::new(&c, 0);
+        let bytes: u64 = o.grids.iter().map(|g| g.len() * 8).sum();
+        assert!(bytes > 2 * 1024 * 1024, "footprint {bytes} fits in L2");
+    }
+
+    #[test]
+    fn error_lock_is_exercised() {
+        let mix = drain_standalone(AppKind::Ocean, &cfg(1, 2, 0.15));
+        // Two threads × two iterations of the error section.
+        assert!(mix.sync >= 4);
+        assert!(mix.total > 1000);
+    }
+}

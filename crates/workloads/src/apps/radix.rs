@@ -1,0 +1,254 @@
+//! Radix-Sort (paper: 2M keys, radix 32; scaled to 16K keys, 3 digit
+//! passes).
+//!
+//! Each pass: a streaming local histogram, a parallel prefix-sum with
+//! butterfly-pattern remote reads and per-step barriers, then the
+//! permutation — scattered writes across the whole destination array
+//! (all-to-all exclusive-ownership traffic, the protocol-stressing phase
+//! that makes Radix sensitive to directory cache behaviour in the paper).
+
+use crate::apps::{own_range, WorkloadCfg};
+use crate::gen::{Emit, Item, Kernel};
+use crate::layout::DistArray;
+use std::collections::VecDeque;
+
+const PC_HIST: u32 = 1000;
+const PC_PREFIX: u32 = 1040;
+const PC_PERMUTE: u32 = 1080;
+const PASSES: u8 = 2;
+const CHUNK: u64 = 16;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Histogram { pass: u8 },
+    Prefix { pass: u8, step: u8 },
+    Permute { pass: u8 },
+    Done,
+}
+
+/// The Radix-Sort kernel for one thread.
+#[derive(Debug)]
+pub struct Radix {
+    keys: u64,
+    tid: usize,
+    total: usize,
+    src: DistArray,
+    dst: DistArray,
+    hist: DistArray,
+    my_keys: std::ops::Range<u64>,
+    phase: Phase,
+    pos: u64,
+    prefetch: bool,
+    /// Next write offset within each of this thread's 32 bucket segments
+    /// (the permutation writes sequentially within bucket regions, as the
+    /// real sort does — the all-to-all pattern comes from the buckets
+    /// being distributed across the nodes).
+    bucket_fill: [u64; 32],
+}
+
+impl Radix {
+    /// Build the kernel for global thread `tid`.
+    pub fn new(cfg: &WorkloadCfg, tid: usize) -> Radix {
+        let keys = cfg.scaled(16384, 1024);
+        let src = DistArray::new(0x0800_0000, 8, keys, cfg.nodes);
+        let dst = DistArray::new(src.end_offset(), 8, keys, cfg.nodes);
+        // 32 counters per thread, one line apart to avoid false sharing.
+        let hist = DistArray::new(
+            dst.end_offset(),
+            128,
+            (cfg.total_threads() * 32) as u64,
+            cfg.nodes,
+        );
+        let my_keys = own_range(tid, cfg.total_threads(), keys);
+        Radix {
+            keys,
+            tid,
+            total: cfg.total_threads(),
+            src,
+            dst,
+            hist,
+            my_keys: my_keys.clone(),
+            prefetch: cfg.prefetch,
+            phase: Phase::Histogram { pass: 0 },
+            pos: my_keys.start,
+            bucket_fill: [0; 32],
+        }
+    }
+
+    /// Deterministic pseudo-random bucket of key `i` in `pass`.
+    fn bucket(&self, i: u64, pass: u8) -> u64 {
+        (i.wrapping_mul(2654435761).wrapping_add(pass as u64 * 97)) % 32
+    }
+
+    /// Destination of the next key landing in `bucket`: buckets are
+    /// contiguous segments of the destination array (so they are
+    /// block-distributed across the nodes), and each thread fills its own
+    /// sub-segment sequentially.
+    fn dest(&mut self, bucket: u64) -> u64 {
+        let seg = self.keys / 32;
+        let per_thread = (seg / self.total as u64).max(1);
+        let base = bucket * seg + (self.tid as u64 * per_thread).min(seg - 1);
+        let off = self.bucket_fill[bucket as usize];
+        self.bucket_fill[bucket as usize] += 1;
+        (base + off % per_thread.max(1)) % self.keys
+    }
+
+    fn emit_hist_chunk(&self, e: &mut Emit<'_>, start: u64) {
+        let end = (start + CHUNK).min(self.my_keys.end);
+        e.prefetch(PC_HIST, self.src.addr((end) % self.keys), false);
+        for i in start..end {
+            e.iload(PC_HIST + 1, self.src.addr(i), 1);
+            e.int(PC_HIST + 2, 1, 2); // extract digit
+            e.int(PC_HIST + 3, 2, 3); // index
+            let bucket = (i * 7) % 32;
+            let h = self.hist.addr((self.tid as u64 * 32) + bucket);
+            e.iload(PC_HIST + 4, h, 4);
+            e.int(PC_HIST + 5, 4, 5);
+            e.istore(PC_HIST + 6, h, 5);
+            e.loop_branch(PC_HIST + 7, i + 1 < end, PC_HIST + 1);
+        }
+    }
+
+    /// One butterfly step of the parallel prefix-sum: read the partner
+    /// thread's histogram (remote), accumulate.
+    fn emit_prefix_step(&self, e: &mut Emit<'_>, step: u8) {
+        let partner = (self.tid ^ (1usize << step)) % self.total;
+        for b in (0..32u64).step_by(4) {
+            let theirs = self.hist.addr(partner as u64 * 32 + b);
+            let mine = self.hist.addr(self.tid as u64 * 32 + b);
+            e.iload(PC_PREFIX, theirs, 1);
+            e.iload(PC_PREFIX + 1, mine, 2);
+            e.int(PC_PREFIX + 2, 1, 3);
+            e.istore(PC_PREFIX + 3, mine, 3);
+            e.loop_branch(PC_PREFIX + 4, b + 4 < 32, PC_PREFIX);
+        }
+    }
+
+    fn emit_permute_chunk(&mut self, e: &mut Emit<'_>, start: u64, pass: u8) {
+        let end = (start + CHUNK).min(self.my_keys.end);
+        for i in start..end {
+            let b = self.bucket(i, pass);
+            let d = self.dest(b);
+            let daddr = self.dst.addr(d);
+            // Prefetch-exclusive one line ahead in this bucket's stream.
+            if d % 16 == 0 {
+                e.prefetch(PC_PERMUTE, self.dst.addr((d + 16) % self.keys), true);
+            }
+            e.iload(PC_PERMUTE + 1, self.src.addr(i), 1);
+            e.int(PC_PERMUTE + 2, 1, 2);
+            e.int(PC_PERMUTE + 3, 2, 3);
+            e.int(PC_PERMUTE + 4, 3, 4);
+            e.istore(PC_PERMUTE + 5, daddr, 4);
+            e.loop_branch(PC_PERMUTE + 6, i + 1 < end, PC_PERMUTE + 1);
+        }
+    }
+
+    fn prefix_steps(&self) -> u8 {
+        // Butterfly over the next power of two of the thread count.
+        (usize::BITS - (self.total.max(2) - 1).leading_zeros()) as u8
+    }
+}
+
+impl Kernel for Radix {
+    fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool {
+        let mut e = Emit::with_prefetch(q, self.prefetch);
+        match self.phase {
+            Phase::Histogram { pass } => {
+                if self.pos < self.my_keys.end {
+                    self.emit_hist_chunk(&mut e, self.pos);
+                    self.pos += CHUNK;
+                    true
+                } else {
+                    self.pos = self.my_keys.start;
+                    e.barrier(0);
+                    self.phase = Phase::Prefix { pass, step: 0 };
+                    true
+                }
+            }
+            Phase::Prefix { pass, step } => {
+                // One barrier-delimited exchange phase: all butterfly steps
+                // back to back (the SPLASH-2 code synchronizes per step; we
+                // fold the steps to keep simulated spin time bounded —
+                // DESIGN.md §7).
+                if self.total > 1 {
+                    for st in step..self.prefix_steps() {
+                        self.emit_prefix_step(&mut e, st);
+                    }
+                }
+                e.barrier(1);
+                self.phase = Phase::Permute { pass };
+                true
+            }
+            Phase::Permute { pass } => {
+                if self.pos < self.my_keys.end {
+                    self.emit_permute_chunk(&mut e, self.pos, pass);
+                    self.pos += CHUNK;
+                    true
+                } else {
+                    self.pos = self.my_keys.start;
+                    self.bucket_fill = [0; 32];
+                    e.barrier(2);
+                    self.phase = if pass + 1 < PASSES {
+                        Phase::Histogram { pass: pass + 1 }
+                    } else {
+                        Phase::Done
+                    };
+                    true
+                }
+            }
+            Phase::Done => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{drain_standalone, frac, AppKind};
+
+    fn cfg(nodes: usize, threads: usize, scale: f64) -> WorkloadCfg {
+        let mut c = WorkloadCfg::new(nodes, threads);
+        c.scale = scale;
+        c
+    }
+
+    #[test]
+    fn terminates_and_is_integer_heavy() {
+        let mix = drain_standalone(AppKind::Radix, &cfg(2, 2, 0.25));
+        assert!(mix.total > 10_000);
+        let ints = frac(mix.int, mix.total);
+        assert!(ints > 0.2, "Radix should be integer-heavy, got {ints}");
+        assert_eq!(mix.fp, 0, "Radix has no floating point");
+        assert!(mix.prefetch > 0);
+        assert!(mix.sync > 0);
+    }
+
+    #[test]
+    fn permutation_scatters_across_nodes() {
+        let c = cfg(8, 1, 1.0);
+        let mut r = Radix::new(&c, 0);
+        let mut homes = std::collections::HashSet::new();
+        for i in r.my_keys.clone().take(512) {
+            let b = r.bucket(i, 0);
+            let d = r.dest(b);
+            homes.insert(r.dst.addr(d).home());
+        }
+        assert!(homes.len() >= 6, "scatter hits only {} nodes", homes.len());
+    }
+
+    #[test]
+    fn bucket_streams_are_sequential() {
+        let c = cfg(2, 1, 1.0);
+        let mut r = Radix::new(&c, 0);
+        let d0 = r.dest(5);
+        let d1 = r.dest(5);
+        assert_eq!(d1, d0 + 1, "bucket fills must be sequential");
+        assert_ne!(r.dest(6), r.dest(5), "buckets are distinct segments");
+    }
+
+    #[test]
+    fn single_thread_skips_prefix_exchanges() {
+        let mix = drain_standalone(AppKind::Radix, &cfg(1, 1, 0.1));
+        assert!(mix.total > 1_000);
+    }
+}

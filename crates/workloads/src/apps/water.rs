@@ -1,0 +1,217 @@
+//! Water: n-body molecular dynamics (paper: 1024 molecules, 3 time steps;
+//! scaled to 128 molecules, 2 steps).
+//!
+//! Per step: intra-molecule computation over owned molecules, then the
+//! O(n²/2) inter-molecule force phase — read-shared sweeps over other
+//! molecules' positions with occasional force accumulation into *their*
+//! records under per-molecule locks (migratory sharing) — then a position
+//! update that invalidates all readers. Compute-bound and lock-heavy; the
+//! only application without software prefetching (paper §3).
+
+use crate::apps::{own_range, WorkloadCfg};
+use crate::gen::{Emit, Item, Kernel};
+use crate::layout::DistArray;
+use smtp_isa::Op;
+use std::collections::VecDeque;
+
+const PC_INTRA: u32 = 1200;
+const PC_INTER: u32 = 1240;
+const PC_UPDATE: u32 = 1300;
+/// Lock ids 100.. are per-molecule force locks (0..99 reserved for other
+/// apps' global locks).
+const MOL_LOCK_BASE: u32 = 100;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Intra { step: u8 },
+    Inter { step: u8, j: u64 },
+    Update { step: u8 },
+    Done,
+}
+
+/// The Water kernel for one thread.
+#[derive(Debug)]
+pub struct Water {
+    mols: u64,
+    pos: DistArray,
+    force: DistArray,
+    my_mols: std::ops::Range<u64>,
+    steps: u8,
+    phase: Phase,
+    m: u64,
+}
+
+impl Water {
+    /// Build the kernel for global thread `tid`.
+    pub fn new(cfg: &WorkloadCfg, tid: usize) -> Water {
+        let mols = cfg.scaled(128, 16);
+        let pos = DistArray::new(0x0C00_0000, 256, mols, cfg.nodes);
+        let force = DistArray::new(pos.end_offset(), 128, mols, cfg.nodes);
+        let my_mols = own_range(tid, cfg.total_threads(), mols);
+        Water {
+            mols,
+            pos,
+            force,
+            my_mols: my_mols.clone(),
+            steps: 2,
+            phase: Phase::Intra { step: 0 },
+            m: my_mols.start,
+        }
+    }
+
+    fn emit_intra(&self, e: &mut Emit<'_>, m: u64) {
+        e.fload(PC_INTRA, self.pos.addr(m), 16);
+        e.fload(PC_INTRA + 1, self.pos.addr(m), 17);
+        // Four independent chains of depth 16: the heavy bond computation.
+        e.fweb(PC_INTRA + 2, 4, 16, 0);
+        e.fp(PC_INTRA + 10, Op::FpDiv, 0, 16, 4);
+        e.fstore(PC_INTRA + 11, self.force.addr(m), 4);
+        e.loop_branch(PC_INTRA + 12, false, PC_INTRA);
+    }
+
+    /// One (i, j) pairwise interaction: read j's position (read-shared),
+    /// compute, and every 8th partner accumulate into j's force record
+    /// under its lock (migratory line).
+    fn emit_pair(&self, e: &mut Emit<'_>, i: u64, j_off: u64) {
+        let j = (i + 1 + j_off) % self.mols;
+        e.fload(PC_INTER, self.pos.addr(j), 16);
+        e.fload(PC_INTER + 1, self.pos.addr(j), 17);
+        e.fweb(PC_INTER + 2, 2, 10, 0);
+        e.fp(PC_INTER + 6, Op::FpMul, 16, 17, 2);
+        e.int(PC_INTER + 7, 1, 2);
+        if j_off % 8 == 7 {
+            let lock = MOL_LOCK_BASE + j as u32;
+            e.lock(lock);
+            e.fload(PC_INTER + 8, self.force.addr(j), 18);
+            e.fp(PC_INTER + 9, Op::FpAlu, 18, 2, 19);
+            e.fstore(PC_INTER + 10, self.force.addr(j), 19);
+            e.unlock(lock);
+        }
+        e.loop_branch(PC_INTER + 11, true, PC_INTER);
+    }
+
+    fn emit_update(&self, e: &mut Emit<'_>, m: u64) {
+        e.fload(PC_UPDATE, self.force.addr(m), 16);
+        e.fchain(PC_UPDATE + 1, 10, 0, 16);
+        e.fstore(PC_UPDATE + 5, self.pos.addr(m), 0);
+        e.loop_branch(PC_UPDATE + 6, false, PC_UPDATE);
+    }
+
+    fn half(&self) -> u64 {
+        self.mols / 2
+    }
+}
+
+impl Kernel for Water {
+    fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool {
+        let mut e = Emit::new(q);
+        match self.phase {
+            Phase::Intra { step } => {
+                if self.m < self.my_mols.end {
+                    self.emit_intra(&mut e, self.m);
+                    self.m += 1;
+                    true
+                } else {
+                    self.m = self.my_mols.start;
+                    e.barrier(0);
+                    self.phase = Phase::Inter { step, j: 0 };
+                    true
+                }
+            }
+            Phase::Inter { step, j } => {
+                if self.m < self.my_mols.end {
+                    self.emit_pair(&mut e, self.m, j);
+                    let nj = j + 1;
+                    self.phase = if nj < self.half() {
+                        Phase::Inter { step, j: nj }
+                    } else {
+                        self.m += 1;
+                        Phase::Inter { step, j: 0 }
+                    };
+                    true
+                } else {
+                    self.m = self.my_mols.start;
+                    e.barrier(1);
+                    self.phase = Phase::Update { step };
+                    true
+                }
+            }
+            Phase::Update { step } => {
+                if self.m < self.my_mols.end {
+                    self.emit_update(&mut e, self.m);
+                    self.m += 1;
+                    true
+                } else {
+                    self.m = self.my_mols.start;
+                    e.barrier(2);
+                    self.phase = if step + 1 < self.steps {
+                        Phase::Intra { step: step + 1 }
+                    } else {
+                        Phase::Done
+                    };
+                    true
+                }
+            }
+            Phase::Done => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{drain_standalone, frac, AppKind};
+
+    fn cfg(nodes: usize, threads: usize, scale: f64) -> WorkloadCfg {
+        let mut c = WorkloadCfg::new(nodes, threads);
+        c.scale = scale;
+        c
+    }
+
+    #[test]
+    fn terminates_and_is_fp_dominant_with_no_prefetch() {
+        let mix = drain_standalone(AppKind::Water, &cfg(2, 2, 0.25));
+        assert!(mix.total > 10_000);
+        let fp = frac(mix.fp, mix.total);
+        assert!(fp > 0.5, "Water should be FP-dominant, got {fp}");
+        assert_eq!(mix.prefetch, 0, "Water does not prefetch (paper §3)");
+        assert!(mix.sync > 0, "molecule locks expected");
+    }
+
+    #[test]
+    fn pairwise_phase_reads_other_nodes_molecules() {
+        let c = cfg(4, 1, 1.0);
+        let w = Water::new(&c, 0);
+        let mut q = VecDeque::new();
+        let mut e = Emit::new(&mut q);
+        // Interactions reach halfway around the molecule ring.
+        for j in 0..w.half() {
+            w.emit_pair(&mut e, w.my_mols.start, j);
+        }
+        let mut homes = std::collections::HashSet::new();
+        for item in &q {
+            if let Item::I(i) = item {
+                if let Some(a) = i.mem_addr() {
+                    homes.insert(a.home());
+                }
+            }
+        }
+        assert!(homes.len() >= 2, "interactions stay node-local");
+    }
+
+    #[test]
+    fn uses_per_molecule_locks() {
+        let c = cfg(1, 2, 0.25);
+        let w = Water::new(&c, 0);
+        let mut q = VecDeque::new();
+        let mut e = Emit::new(&mut q);
+        for j in 0..16 {
+            w.emit_pair(&mut e, 0, j);
+        }
+        let locks = q
+            .iter()
+            .filter(|i| matches!(i, Item::Lock(_)))
+            .count();
+        assert_eq!(locks, 2, "one lock per 8 partners");
+    }
+}

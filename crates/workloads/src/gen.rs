@@ -1,0 +1,597 @@
+//! The thread-generator framework.
+//!
+//! An application is written as a [`Kernel`]: a state machine that emits
+//! *chunks* of work items (plain instructions plus `Lock` / `Unlock` /
+//! `Barrier` directives). [`ThreadGen`] wraps a kernel and expands the
+//! directives into the real synchronization instruction idioms:
+//!
+//! * **Locks** — test–test&set: spin with cached [`smtp_isa::Op::SyncLoad`]s
+//!   and a serializing [`smtp_isa::Op::SyncBranch`], then attempt the
+//!   [`smtp_isa::Op::SyncStore`] test&set (which performs a real exclusive
+//!   cache access);
+//! * **Barriers** — radix-4 tournament tree: arrive at the leaf group,
+//!   winners propagate upward, the root completer starts the release
+//!   cascade, and every winner releases the groups it won on the way up.
+//!
+//! Both idioms touch real cache lines (placed by the `layout` module), so
+//! spinning caches the line Shared and releases invalidate every spinner
+//! through the full directory protocol.
+
+use crate::layout::{barrier_counter_addr, barrier_flag_addr, lock_addr};
+use crate::manager::{tree_top_level, BARRIER_RADIX};
+use smtp_isa::sync::{BarrierId, LockId, SyncCond, SyncOp, SyncOutcome};
+use smtp_isa::{Inst, InstSource, Op, Reg};
+use smtp_types::Addr;
+use std::collections::VecDeque;
+
+/// A unit of work emitted by a kernel.
+#[derive(Clone, Copy, Debug)]
+pub enum Item {
+    /// A plain instruction.
+    I(Inst),
+    /// Acquire a spin lock.
+    Lock(LockId),
+    /// Release a held lock.
+    Unlock(LockId),
+    /// Cross the given barrier (one episode).
+    Barrier(BarrierId),
+}
+
+/// An application kernel: emits chunks of [`Item`]s until done.
+pub trait Kernel {
+    /// Append the next chunk of work to `q`; return `false` when the
+    /// program is complete (nothing was appended).
+    fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool;
+}
+
+/// PCs used by the synchronization idioms (shared across apps; kernels use
+/// PCs below this range).
+const SYNC_PC: u32 = 0xFF00;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Run,
+    LockTest(LockId),
+    LockTestBranch(LockId),
+    LockTestWait(LockId),
+    LockAttempt(LockId),
+    LockAttemptWait(LockId),
+    UnlockWait,
+    BarArrive { bar: BarrierId, level: u8 },
+    BarArriveWait { bar: BarrierId, level: u8 },
+    BarSpinLoad { bar: BarrierId, level: u8, group: u16, episode: u32 },
+    BarSpinBranch { bar: BarrierId, level: u8, group: u16, episode: u32 },
+    BarSpinWait { bar: BarrierId, level: u8, group: u16, episode: u32 },
+    BarRelease { bar: BarrierId, idx: usize },
+    BarReleaseWait { bar: BarrierId, idx: usize },
+}
+
+/// A per-thread instruction source driving one application thread.
+pub struct ThreadGen {
+    kernel: Box<dyn Kernel + Send>,
+    items: VecDeque<Item>,
+    mode: Mode,
+    tid: usize,
+    nodes: usize,
+    top_level: u8,
+    won: Vec<(u8, u16)>,
+    kernel_done: bool,
+    /// Barrier episodes this thread has completed (statistic).
+    pub barriers_crossed: u64,
+    /// Lock acquisitions completed (statistic).
+    pub locks_taken: u64,
+}
+
+impl std::fmt::Debug for ThreadGen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadGen")
+            .field("tid", &self.tid)
+            .field("mode", &self.mode)
+            .field("queued", &self.items.len())
+            .finish()
+    }
+}
+
+impl ThreadGen {
+    /// Wrap `kernel` as global thread `tid` of `total_threads` on a
+    /// `nodes`-node machine.
+    pub fn new(
+        kernel: Box<dyn Kernel + Send>,
+        tid: usize,
+        total_threads: usize,
+        nodes: usize,
+    ) -> ThreadGen {
+        ThreadGen {
+            kernel,
+            items: VecDeque::with_capacity(128),
+            mode: Mode::Run,
+            tid,
+            nodes,
+            top_level: tree_top_level(total_threads, BARRIER_RADIX),
+            won: Vec::new(),
+            kernel_done: false,
+            barriers_crossed: 0,
+            locks_taken: 0,
+        }
+    }
+
+    fn group_of(&self, level: u8) -> u16 {
+        let mut g = self.tid / BARRIER_RADIX;
+        for _ in 0..level {
+            g /= BARRIER_RADIX;
+        }
+        g as u16
+    }
+
+    fn lock_line(&self, l: LockId) -> Addr {
+        lock_addr(l, self.nodes)
+    }
+
+    fn sync_load(&self, addr: Addr, pc_off: u32) -> Inst {
+        Inst::new(Op::SyncLoad { addr }, SYNC_PC + pc_off).with_dst(Reg::int(30))
+    }
+
+    fn sync_branch(&self, cond: SyncCond, pc_off: u32) -> Inst {
+        Inst::new(Op::SyncBranch { cond }, SYNC_PC + pc_off)
+            .with_srcs(Some(Reg::int(30)), None)
+    }
+
+    fn sync_store(&self, addr: Addr, op: SyncOp, pc_off: u32) -> Inst {
+        Inst::new(Op::SyncStore { addr, op }, SYNC_PC + pc_off)
+    }
+}
+
+impl InstSource for ThreadGen {
+    fn next_inst(&mut self) -> Inst {
+        loop {
+            match self.mode {
+                Mode::Run => {
+                    let Some(item) = self.items.pop_front() else {
+                        if self.kernel_done {
+                            return Inst::new(Op::Halt, 0);
+                        }
+                        if !self.kernel.next_chunk(&mut self.items) {
+                            self.kernel_done = true;
+                        }
+                        continue;
+                    };
+                    match item {
+                        Item::I(i) => return i,
+                        Item::Lock(l) => self.mode = Mode::LockTest(l),
+                        Item::Unlock(l) => {
+                            self.mode = Mode::UnlockWait;
+                            return self.sync_store(
+                                self.lock_line(l),
+                                SyncOp::LockRelease(l),
+                                6,
+                            );
+                        }
+                        Item::Barrier(b) => {
+                            self.won.clear();
+                            self.mode = Mode::BarArrive { bar: b, level: 0 };
+                        }
+                    }
+                }
+                Mode::LockTest(l) => {
+                    self.mode = Mode::LockTestBranch(l);
+                    return self.sync_load(self.lock_line(l), 0);
+                }
+                Mode::LockTestBranch(l) => {
+                    self.mode = Mode::LockTestWait(l);
+                    return self.sync_branch(SyncCond::LockFree(l), 1);
+                }
+                Mode::LockAttempt(l) => {
+                    self.mode = Mode::LockAttemptWait(l);
+                    return self.sync_store(self.lock_line(l), SyncOp::LockAttempt(l), 2);
+                }
+                Mode::BarArrive { bar, level } => {
+                    let group = self.group_of(level);
+                    self.mode = Mode::BarArriveWait { bar, level };
+                    return self.sync_store(
+                        barrier_counter_addr(bar, level, group, self.nodes),
+                        SyncOp::BarrierArrive { bar, level, group },
+                        10 + level as u32,
+                    );
+                }
+                Mode::BarSpinLoad { bar, level, group, episode } => {
+                    self.mode = Mode::BarSpinBranch { bar, level, group, episode };
+                    return self.sync_load(
+                        barrier_flag_addr(bar, level, group, self.nodes),
+                        20 + level as u32,
+                    );
+                }
+                Mode::BarSpinBranch { bar, level, group, episode } => {
+                    self.mode = Mode::BarSpinWait { bar, level, group, episode };
+                    return self.sync_branch(
+                        SyncCond::BarrierReleased { bar, level, group, episode },
+                        24 + level as u32,
+                    );
+                }
+                Mode::BarRelease { bar, idx } => {
+                    if idx >= self.won.len() {
+                        self.barriers_crossed += 1;
+                        self.mode = Mode::Run;
+                        continue;
+                    }
+                    let (level, group) = self.won[idx];
+                    self.mode = Mode::BarReleaseWait { bar, idx };
+                    return self.sync_store(
+                        barrier_flag_addr(bar, level, group, self.nodes),
+                        SyncOp::BarrierRelease { bar, level, group },
+                        30 + level as u32,
+                    );
+                }
+                Mode::LockTestWait(_)
+                | Mode::LockAttemptWait(_)
+                | Mode::UnlockWait
+                | Mode::BarArriveWait { .. }
+                | Mode::BarSpinWait { .. }
+                | Mode::BarReleaseWait { .. } => {
+                    unreachable!(
+                        "fetch must stay blocked while a sync outcome is pending ({:?})",
+                        self.mode
+                    );
+                }
+            }
+        }
+    }
+
+    fn sync_result(&mut self, outcome: SyncOutcome) {
+        self.mode = match (self.mode, outcome) {
+            (Mode::LockTestWait(l), SyncOutcome::Cond(true)) => Mode::LockAttempt(l),
+            (Mode::LockTestWait(l), SyncOutcome::Cond(false)) => Mode::LockTest(l),
+            (Mode::LockAttemptWait(_), SyncOutcome::Acquired) => {
+                self.locks_taken += 1;
+                Mode::Run
+            }
+            (Mode::LockAttemptWait(l), SyncOutcome::Failed) => Mode::LockTest(l),
+            (Mode::UnlockWait, SyncOutcome::Done) => Mode::Run,
+            (Mode::BarArriveWait { bar, level }, SyncOutcome::MustSpin { episode }) => {
+                Mode::BarSpinLoad {
+                    bar,
+                    level,
+                    group: self.group_of(level),
+                    episode,
+                }
+            }
+            (Mode::BarArriveWait { bar, level }, SyncOutcome::PropagateUp) => {
+                self.won.push((level, self.group_of(level)));
+                if level >= self.top_level {
+                    // Root completed: release the groups won, top-down.
+                    self.won.reverse();
+                    Mode::BarRelease { bar, idx: 0 }
+                } else {
+                    Mode::BarArrive {
+                        bar,
+                        level: level + 1,
+                    }
+                }
+            }
+            (Mode::BarSpinWait { bar, level, group, episode }, SyncOutcome::Cond(sat)) => {
+                if sat {
+                    // Released: release the groups this thread won below.
+                    self.won.reverse();
+                    Mode::BarRelease { bar, idx: 0 }
+                } else {
+                    Mode::BarSpinLoad { bar, level, group, episode }
+                }
+            }
+            (Mode::BarReleaseWait { bar, idx }, SyncOutcome::Done) => {
+                Mode::BarRelease { bar, idx: idx + 1 }
+            }
+            (m, o) => panic!("sync outcome {o:?} in generator mode {m:?}"),
+        };
+    }
+}
+
+/// Instruction-emission helpers for kernels.
+///
+/// Register conventions: `f0..f15` computation, `f16..f23` loaded values,
+/// `r0..r7` integer computation, `r8..r15` addresses/indices. The sync
+/// idioms use `r30`.
+pub struct Emit<'a> {
+    q: &'a mut VecDeque<Item>,
+    prefetch: bool,
+}
+
+impl<'a> Emit<'a> {
+    /// Wrap an item queue.
+    pub fn new(q: &'a mut VecDeque<Item>) -> Emit<'a> {
+        Emit { q, prefetch: true }
+    }
+
+    /// Wrap an item queue with prefetch emission gated (the "less-tuned"
+    /// application variant of paper §3).
+    pub fn with_prefetch(q: &'a mut VecDeque<Item>, prefetch: bool) -> Emit<'a> {
+        Emit { q, prefetch }
+    }
+
+    /// Floating-point load.
+    pub fn fload(&mut self, pc: u32, addr: Addr, dst: u8) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::Load { addr }, pc)
+                .with_srcs(Some(Reg::int(8)), None)
+                .with_dst(Reg::fp(dst)),
+        ));
+    }
+
+    /// Integer load.
+    pub fn iload(&mut self, pc: u32, addr: Addr, dst: u8) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::Load { addr }, pc)
+                .with_srcs(Some(Reg::int(8)), None)
+                .with_dst(Reg::int(dst)),
+        ));
+    }
+
+    /// Floating-point store.
+    pub fn fstore(&mut self, pc: u32, addr: Addr, src: u8) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::Store { addr }, pc).with_srcs(Some(Reg::fp(src)), Some(Reg::int(8))),
+        ));
+    }
+
+    /// Integer store.
+    pub fn istore(&mut self, pc: u32, addr: Addr, src: u8) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::Store { addr }, pc).with_srcs(Some(Reg::int(src)), Some(Reg::int(8))),
+        ));
+    }
+
+    /// Software prefetch (dropped when the emitter was built with
+    /// prefetching disabled).
+    pub fn prefetch(&mut self, pc: u32, addr: Addr, exclusive: bool) {
+        if self.prefetch {
+            self.q
+                .push_back(Item::I(Inst::new(Op::Prefetch { addr, exclusive }, pc)));
+        }
+    }
+
+    /// One floating-point op `d = s1 ⊕ s2`.
+    pub fn fp(&mut self, pc: u32, op: Op, s1: u8, s2: u8, d: u8) {
+        debug_assert!(matches!(op, Op::FpAlu | Op::FpMul | Op::FpDiv));
+        self.q.push_back(Item::I(
+            Inst::new(op, pc)
+                .with_srcs(Some(Reg::fp(s1)), Some(Reg::fp(s2)))
+                .with_dst(Reg::fp(d)),
+        ));
+    }
+
+    /// One integer ALU op.
+    pub fn int(&mut self, pc: u32, s1: u8, d: u8) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::IntAlu, pc)
+                .with_srcs(Some(Reg::int(s1)), None)
+                .with_dst(Reg::int(d)),
+        ));
+    }
+
+    /// Integer multiply.
+    pub fn imul(&mut self, pc: u32, s1: u8, d: u8) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::IntMul, pc)
+                .with_srcs(Some(Reg::int(s1)), None)
+                .with_dst(Reg::int(d)),
+        ));
+    }
+
+    /// A chain of `n` dependent floating-point ops accumulating into `acc`
+    /// (multiply-add style: alternating FpMul/FpAlu).
+    pub fn fchain(&mut self, pc: u32, n: u32, acc: u8, operand: u8) {
+        for k in 0..n {
+            let op = if k % 2 == 0 { Op::FpMul } else { Op::FpAlu };
+            self.fp(pc + (k % 4), op, acc, operand, acc);
+        }
+    }
+
+    /// `width` independent dependence chains of `depth` ops each (models
+    /// unrolled high-ILP FP loops, FFTW-style register pressure).
+    pub fn fweb(&mut self, pc: u32, width: u8, depth: u32, base_reg: u8) {
+        for d in 0..depth {
+            for w in 0..width {
+                let r = base_reg + w;
+                let op = if d % 2 == 0 { Op::FpMul } else { Op::FpAlu };
+                self.fp(pc + w as u32, op, r, r.wrapping_add(1).min(30), r);
+            }
+        }
+    }
+
+    /// Loop back-edge branch (`taken` until the loop exits).
+    pub fn loop_branch(&mut self, pc: u32, taken: bool, target: u32) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::Branch { taken, target }, pc).with_srcs(Some(Reg::int(0)), None),
+        ));
+    }
+
+    /// Data-dependent conditional branch.
+    pub fn cond_branch(&mut self, pc: u32, taken: bool) {
+        self.q.push_back(Item::I(
+            Inst::new(Op::Branch { taken, target: pc + 4 }, pc)
+                .with_srcs(Some(Reg::int(1)), None),
+        ));
+    }
+
+    /// Acquire a lock.
+    pub fn lock(&mut self, l: LockId) {
+        self.q.push_back(Item::Lock(l));
+    }
+
+    /// Release a lock.
+    pub fn unlock(&mut self, l: LockId) {
+        self.q.push_back(Item::Unlock(l));
+    }
+
+    /// Cross a barrier.
+    pub fn barrier(&mut self, b: BarrierId) {
+        self.q.push_back(Item::Barrier(b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::SyncManager;
+    use smtp_isa::sync::SyncEnv;
+    use smtp_types::{Ctx, NodeId};
+
+    /// A kernel that emits `n` ALU ops, a barrier, `n` more ops.
+    struct TwoPhase {
+        n: u32,
+        state: u8,
+    }
+
+    impl Kernel for TwoPhase {
+        fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool {
+            let mut e = Emit::new(q);
+            match self.state {
+                0 => {
+                    for i in 0..self.n {
+                        e.int(i % 4, 0, 1);
+                    }
+                    e.barrier(0);
+                    self.state = 1;
+                    true
+                }
+                1 => {
+                    for i in 0..self.n {
+                        e.int(10 + i % 4, 1, 2);
+                    }
+                    self.state = 2;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    /// Functionally execute a set of generators against a SyncManager:
+    /// pull one instruction per thread round-robin, resolving serializing
+    /// instructions immediately. Returns per-thread instruction counts.
+    fn functional_run(gens: &mut [ThreadGen], mgr: &mut SyncManager, limit: u64) -> Vec<u64> {
+        let n = gens.len();
+        let mut counts = vec![0u64; n];
+        let mut halted = vec![false; n];
+        let mut steps = 0u64;
+        while halted.iter().any(|h| !h) {
+            steps += 1;
+            assert!(steps < limit, "functional run did not terminate");
+            for (t, g) in gens.iter_mut().enumerate() {
+                if halted[t] {
+                    continue;
+                }
+                let (node, ctx) = (NodeId((t / 1) as u16), Ctx(0));
+                let i = g.next_inst();
+                counts[t] += 1;
+                match i.op {
+                    Op::Halt => halted[t] = true,
+                    Op::SyncBranch { cond } => {
+                        let sat = mgr.poll(node, ctx, cond);
+                        g.sync_result(SyncOutcome::Cond(sat));
+                    }
+                    Op::SyncStore { op, .. } => {
+                        let out = mgr.sync_store(node, ctx, op);
+                        g.sync_result(out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn barrier_synchronizes_eight_threads() {
+        let mut mgr = SyncManager::new(8);
+        let mut gens: Vec<ThreadGen> = (0..8)
+            .map(|t| {
+                ThreadGen::new(
+                    Box::new(TwoPhase { n: 10, state: 0 }),
+                    t,
+                    8,
+                    8,
+                )
+            })
+            .collect();
+        let counts = functional_run(&mut gens, &mut mgr, 100_000);
+        for (t, &c) in counts.iter().enumerate() {
+            assert!(c >= 21, "thread {t} committed too few instructions: {c}");
+        }
+        assert!(gens.iter().all(|g| g.barriers_crossed == 1));
+        assert_eq!(mgr.stats().barrier_episodes, 2 + 1); // 2 leaf groups + root
+    }
+
+    #[test]
+    fn single_thread_crosses_barriers_alone() {
+        let mut mgr = SyncManager::new(1);
+        let mut gens = vec![ThreadGen::new(
+            Box::new(TwoPhase { n: 3, state: 0 }),
+            0,
+            1,
+            1,
+        )];
+        functional_run(&mut gens, &mut mgr, 10_000);
+        assert_eq!(gens[0].barriers_crossed, 1);
+    }
+
+    /// A kernel that takes a lock, does work, releases, repeatedly.
+    struct Locker {
+        rounds: u32,
+    }
+
+    impl Kernel for Locker {
+        fn next_chunk(&mut self, q: &mut VecDeque<Item>) -> bool {
+            if self.rounds == 0 {
+                return false;
+            }
+            self.rounds -= 1;
+            let mut e = Emit::new(q);
+            e.lock(5);
+            e.int(0, 0, 1);
+            e.int(1, 1, 2);
+            e.unlock(5);
+            true
+        }
+    }
+
+    #[test]
+    fn contended_lock_serializes_critical_sections() {
+        let mut mgr = SyncManager::new(4);
+        let mut gens: Vec<ThreadGen> = (0..4)
+            .map(|t| ThreadGen::new(Box::new(Locker { rounds: 5 }), t, 4, 4))
+            .collect();
+        functional_run(&mut gens, &mut mgr, 1_000_000);
+        assert!(gens.iter().all(|g| g.locks_taken == 5));
+        assert_eq!(mgr.stats().lock_acquires, 20);
+        assert!(!mgr.any_lock_held());
+    }
+
+    #[test]
+    fn sixty_four_threads_multilevel_barrier() {
+        let mut mgr = SyncManager::new(64);
+        let mut gens: Vec<ThreadGen> = (0..64)
+            .map(|t| ThreadGen::new(Box::new(TwoPhase { n: 2, state: 0 }), t, 64, 32))
+            .collect();
+        functional_run(&mut gens, &mut mgr, 5_000_000);
+        assert!(gens.iter().all(|g| g.barriers_crossed == 1));
+        // 16 leaf groups + 4 level-1 groups + root = 21 episodes.
+        assert_eq!(mgr.stats().barrier_episodes, 21);
+    }
+
+    #[test]
+    fn emit_helpers_produce_expected_ops() {
+        let mut q = VecDeque::new();
+        let mut e = Emit::new(&mut q);
+        let a = Addr::new(NodeId(0), smtp_types::Region::AppData, 0x100);
+        e.fload(1, a, 16);
+        e.fchain(2, 4, 0, 16);
+        e.fstore(6, a, 0);
+        e.loop_branch(7, true, 1);
+        e.prefetch(8, a, true);
+        let kinds: Vec<bool> = q
+            .iter()
+            .map(|i| matches!(i, Item::I(_)))
+            .collect();
+        assert_eq!(kinds.len(), 8);
+        assert!(kinds.iter().all(|&k| k));
+    }
+}

@@ -1,0 +1,167 @@
+//! Data placement: block-distributed arrays and synchronization lines.
+//!
+//! The paper's applications use "proper page placement to minimize remote
+//! memory accesses"; because the home node is a pure function of the
+//! physical address in this simulator, placement is implemented by
+//! *constructing* addresses with the right home bits.
+
+use smtp_isa::sync::{BarrierId, LockId};
+use smtp_types::{Addr, NodeId, Region, APP_CODE_BASE, L2_LINE};
+
+/// Offset (within each node's AppData region) where synchronization lines
+/// live; ordinary arrays are allocated below this.
+pub const SYNC_BASE: u64 = 0xE000_0000;
+
+const _: () = assert!(SYNC_BASE < APP_CODE_BASE);
+
+/// A one-dimensional array of fixed-size elements, block-distributed
+/// across the nodes: node *k* homes elements
+/// `[k·per_node, (k+1)·per_node)`.
+#[derive(Clone, Copy, Debug)]
+pub struct DistArray {
+    base: u64,
+    elem: u64,
+    per_node: u64,
+    nodes: u16,
+}
+
+impl DistArray {
+    /// Create a distributed array of `total` elements of `elem` bytes,
+    /// starting at per-node offset `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array would collide with the sync region.
+    pub fn new(base: u64, elem: u64, total: u64, nodes: usize) -> DistArray {
+        let per_node = total.div_ceil(nodes as u64);
+        assert!(
+            base + per_node * elem <= SYNC_BASE,
+            "array overflows into the sync region"
+        );
+        DistArray {
+            base,
+            elem,
+            per_node,
+            nodes: nodes as u16,
+        }
+    }
+
+    /// Address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: u64) -> Addr {
+        let node = ((i / self.per_node) as u16).min(self.nodes - 1);
+        let off = self.base + (i % self.per_node) * self.elem;
+        Addr::new(NodeId(node), Region::AppData, off)
+    }
+
+    /// Number of elements homed per node.
+    pub fn per_node(&self) -> u64 {
+        self.per_node
+    }
+
+    /// Element size in bytes.
+    pub fn elem_size(&self) -> u64 {
+        self.elem
+    }
+
+    /// Total capacity (per_node × nodes).
+    pub fn len(&self) -> u64 {
+        self.per_node * self.nodes as u64
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// First byte offset past this array (for allocating the next one).
+    pub fn end_offset(&self) -> u64 {
+        self.base + self.per_node * self.elem
+    }
+}
+
+fn sync_home(index: u64, nodes: usize) -> NodeId {
+    NodeId((index % nodes as u64) as u16)
+}
+
+/// Cache line holding a lock word.
+pub fn lock_addr(lock: LockId, nodes: usize) -> Addr {
+    Addr::new(
+        sync_home(lock as u64, nodes),
+        Region::AppData,
+        SYNC_BASE + 0x0800_0000 + (lock as u64 / nodes as u64) * L2_LINE,
+    )
+}
+
+fn barrier_slot(bar: BarrierId, level: u8, group: u16) -> u64 {
+    debug_assert!(bar < 16 && level < 4 && group < 4096);
+    ((bar as u64) << 14) | ((level as u64) << 12) | group as u64
+}
+
+/// Cache line holding a tree-barrier group's arrival counter.
+pub fn barrier_counter_addr(bar: BarrierId, level: u8, group: u16, nodes: usize) -> Addr {
+    let slot = barrier_slot(bar, level, group);
+    Addr::new(
+        sync_home(slot, nodes),
+        Region::AppData,
+        SYNC_BASE + (slot / nodes as u64) * 2 * L2_LINE,
+    )
+}
+
+/// Cache line holding a tree-barrier group's release flag (a different
+/// line from the counter, so spinners do not collide with arrivals).
+pub fn barrier_flag_addr(bar: BarrierId, level: u8, group: u16, nodes: usize) -> Addr {
+    let slot = barrier_slot(bar, level, group);
+    Addr::new(
+        sync_home(slot, nodes),
+        Region::AppData,
+        SYNC_BASE + (slot / nodes as u64) * 2 * L2_LINE + L2_LINE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_distribution_across_homes() {
+        let a = DistArray::new(0x1000, 8, 64, 4);
+        assert_eq!(a.per_node(), 16);
+        assert_eq!(a.addr(0).home(), NodeId(0));
+        assert_eq!(a.addr(15).home(), NodeId(0));
+        assert_eq!(a.addr(16).home(), NodeId(1));
+        assert_eq!(a.addr(63).home(), NodeId(3));
+        // Offsets restart per node.
+        assert_eq!(a.addr(16).offset(), 0x1000);
+        assert_eq!(a.addr(17).offset(), 0x1008);
+    }
+
+    #[test]
+    fn sync_lines_are_distinct_and_spread() {
+        let c = barrier_counter_addr(0, 0, 0, 4);
+        let f = barrier_flag_addr(0, 0, 0, 4);
+        assert_ne!(c.line(), f.line());
+        let c2 = barrier_counter_addr(0, 0, 1, 4);
+        assert_ne!(c.line(), c2.line());
+        assert_ne!(c.home(), c2.home());
+        let l0 = lock_addr(0, 4);
+        let l1 = lock_addr(1, 4);
+        assert_ne!(l0.line(), l1.line());
+        assert_ne!(l0.home(), l1.home());
+    }
+
+    #[test]
+    fn locks_and_barriers_do_not_collide() {
+        let lines: Vec<_> = (0..32u32).map(|l| lock_addr(l, 8).raw()).collect();
+        for (b, lvl, g) in [(0u32, 0u8, 0u16), (1, 1, 3), (15, 3, 100)] {
+            let c = barrier_counter_addr(b, lvl, g, 8).raw();
+            assert!(!lines.contains(&c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sync region")]
+    fn oversized_array_panics() {
+        DistArray::new(SYNC_BASE - 8, 8, 1000, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generators: synthetic kernels reproducing the memory-system
+//! behaviour of the paper's six shared-memory applications (Table 1).
+//!
+//! The paper executes real MIPS binaries of FFT, FFTW, LU, Ocean,
+//! Radix-Sort and Water. This reproduction substitutes per-application
+//! **synthetic kernel generators** (DESIGN.md §2): stateful state machines
+//! that emit the abstract micro-op stream of each application —
+//! floating-point/integer mixes with realistic dependence structure,
+//! loads/stores following the application's actual address and sharing
+//! pattern, software prefetches, loop branches, spin locks and software
+//! tree barriers. Every paper result is driven by the memory-system
+//! interaction of these programs, which the generators preserve; absolute
+//! instruction counts are scaled down (DESIGN.md §7) so the full
+//! experiment matrix runs on one host core.
+//!
+//! Architecture:
+//!
+//! * [`SyncManager`] — machine-global lock and tree-barrier semantics
+//!   (data values of sync words are not simulated; their coherence traffic
+//!   is, because the idioms below access real cache lines);
+//! * [`gen::ThreadGen`] — wraps an application [`gen::Kernel`] and expands
+//!   `Lock` / `Unlock` / `Barrier` items into the test–test&set and
+//!   tree-barrier instruction idioms, consuming [`smtp_isa::SyncOutcome`]s;
+//! * [`apps`] — the six kernels;
+//! * [`layout`] — block-distributed arrays and sync-line placement.
+
+pub mod apps;
+pub mod gen;
+pub mod layout;
+pub mod manager;
+
+pub use apps::{make_thread, AppKind, WorkloadCfg};
+pub use gen::{Item, Kernel, ThreadGen};
+pub use layout::{barrier_counter_addr, barrier_flag_addr, lock_addr, DistArray};
+pub use manager::SyncManager;

@@ -1,0 +1,292 @@
+//! Machine-global synchronization semantics.
+//!
+//! The applications synchronize through spin locks and software tree
+//! barriers over shared memory. The *traffic* of those idioms is produced
+//! by the generators (`gen` module) as real cached loads and stores; the
+//! *values* — who wins a test&set, when a barrier episode completes — are
+//! decided here, deterministically.
+
+use smtp_isa::sync::{BarrierId, LockId, SyncCond, SyncEnv, SyncOp, SyncOutcome};
+use smtp_types::{Ctx, NodeId};
+use std::collections::HashMap;
+
+/// Tree-barrier fan-in used by all applications (radix-4 tournament).
+pub const BARRIER_RADIX: usize = 4;
+
+/// Number of arriving units at `level` (threads at level 0, winning groups
+/// above).
+pub fn units_at_level(total: usize, radix: usize, level: u8) -> usize {
+    let mut u = total;
+    for _ in 0..level {
+        u = u.div_ceil(radix);
+    }
+    u
+}
+
+/// The top (root) level of the tree: the level whose group count is 1.
+pub fn tree_top_level(total: usize, radix: usize) -> u8 {
+    let mut level = 0u8;
+    while units_at_level(total, radix, level).div_ceil(radix) > 1 {
+        level += 1;
+    }
+    level
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct GroupState {
+    arrived: u32,
+    /// Completed episodes (the ongoing episode is `completed + 1`).
+    completed: u32,
+    /// Last episode whose release flag has been set.
+    released: u32,
+}
+
+/// Statistics about synchronization activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Successful lock acquisitions.
+    pub lock_acquires: u64,
+    /// Failed test&set attempts.
+    pub lock_failures: u64,
+    /// Completed barrier group episodes.
+    pub barrier_episodes: u64,
+}
+
+/// Global lock and tree-barrier state.
+#[derive(Clone, Debug)]
+pub struct SyncManager {
+    total_threads: usize,
+    radix: usize,
+    locks: HashMap<LockId, Option<(NodeId, Ctx)>>,
+    groups: HashMap<(BarrierId, u8, u16), GroupState>,
+    stats: SyncStats,
+}
+
+impl SyncManager {
+    /// A manager for a machine of `total_threads` application threads.
+    pub fn new(total_threads: usize) -> SyncManager {
+        SyncManager {
+            total_threads,
+            radix: BARRIER_RADIX,
+            locks: HashMap::new(),
+            groups: HashMap::new(),
+            stats: SyncStats::default(),
+        }
+    }
+
+    /// Size of a barrier group (number of arrivals that complete it).
+    pub fn group_size(&self, level: u8, group: u16) -> u32 {
+        let units = units_at_level(self.total_threads, self.radix, level);
+        let start = group as usize * self.radix;
+        assert!(start < units, "group {group} does not exist at level {level}");
+        (units - start).min(self.radix) as u32
+    }
+
+    /// Whether `level` is the root of the tree.
+    pub fn is_root(&self, level: u8) -> bool {
+        level == tree_top_level(self.total_threads, self.radix)
+    }
+
+    /// Synchronization statistics.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// Whether any lock is currently held (quiescence check).
+    pub fn any_lock_held(&self) -> bool {
+        self.locks.values().any(|h| h.is_some())
+    }
+}
+
+impl SyncEnv for SyncManager {
+    fn poll(&mut self, node: NodeId, ctx: Ctx, cond: SyncCond) -> bool {
+        match cond {
+            SyncCond::LockFree(l) => self.locks.get(&l).is_none_or(|h| h.is_none()),
+            SyncCond::LockAcquired(l) => {
+                self.locks.get(&l).copied().flatten() == Some((node, ctx))
+            }
+            SyncCond::BarrierReleased {
+                bar,
+                level,
+                group,
+                episode,
+            } => self
+                .groups
+                .get(&(bar, level, group))
+                .is_some_and(|g| g.released >= episode),
+        }
+    }
+
+    fn sync_store(&mut self, node: NodeId, ctx: Ctx, op: SyncOp) -> SyncOutcome {
+        match op {
+            SyncOp::LockAttempt(l) => {
+                let h = self.locks.entry(l).or_insert(None);
+                if h.is_none() {
+                    *h = Some((node, ctx));
+                    self.stats.lock_acquires += 1;
+                    SyncOutcome::Acquired
+                } else {
+                    self.stats.lock_failures += 1;
+                    SyncOutcome::Failed
+                }
+            }
+            SyncOp::LockRelease(l) => {
+                let h = self.locks.get_mut(&l).expect("release of unknown lock");
+                assert_eq!(
+                    *h,
+                    Some((node, ctx)),
+                    "lock {l} released by non-holder {node:?}/{ctx:?}"
+                );
+                *h = None;
+                SyncOutcome::Done
+            }
+            SyncOp::BarrierArrive { bar, level, group } => {
+                let size = self.group_size(level, group);
+                let g = self.groups.entry((bar, level, group)).or_default();
+                g.arrived += 1;
+                assert!(g.arrived <= size, "barrier over-arrival at {bar}/{level}/{group}");
+                if g.arrived == size {
+                    g.arrived = 0;
+                    g.completed += 1;
+                    self.stats.barrier_episodes += 1;
+                    SyncOutcome::PropagateUp
+                } else {
+                    SyncOutcome::MustSpin {
+                        episode: g.completed + 1,
+                    }
+                }
+            }
+            SyncOp::BarrierRelease { bar, level, group } => {
+                let g = self
+                    .groups
+                    .get_mut(&(bar, level, group))
+                    .expect("release of unarrived barrier group");
+                debug_assert!(g.released < g.completed, "double release");
+                g.released = g.completed;
+                SyncOutcome::Done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn me(t: u16) -> (NodeId, Ctx) {
+        (NodeId(t), Ctx(0))
+    }
+
+    #[test]
+    fn tree_shapes() {
+        assert_eq!(tree_top_level(1, 4), 0);
+        assert_eq!(tree_top_level(4, 4), 0);
+        assert_eq!(tree_top_level(5, 4), 1);
+        assert_eq!(tree_top_level(16, 4), 1);
+        assert_eq!(tree_top_level(64, 4), 2);
+        assert_eq!(units_at_level(64, 4, 1), 16);
+        assert_eq!(units_at_level(64, 4, 2), 4);
+    }
+
+    #[test]
+    fn group_sizes_handle_ragged_edges() {
+        let m = SyncManager::new(6); // level 0: groups {0..3}, {4,5}
+        assert_eq!(m.group_size(0, 0), 4);
+        assert_eq!(m.group_size(0, 1), 2);
+        assert_eq!(m.group_size(1, 0), 2); // two winners meet at the root
+        assert!(m.is_root(1));
+        assert!(!m.is_root(0));
+    }
+
+    #[test]
+    fn lock_mutual_exclusion() {
+        let mut m = SyncManager::new(2);
+        assert!(m.poll(NodeId(0), Ctx(0), SyncCond::LockFree(7)));
+        assert_eq!(
+            m.sync_store(NodeId(0), Ctx(0), SyncOp::LockAttempt(7)),
+            SyncOutcome::Acquired
+        );
+        assert!(!m.poll(NodeId(1), Ctx(0), SyncCond::LockFree(7)));
+        assert_eq!(
+            m.sync_store(NodeId(1), Ctx(0), SyncOp::LockAttempt(7)),
+            SyncOutcome::Failed
+        );
+        assert!(m.poll(NodeId(0), Ctx(0), SyncCond::LockAcquired(7)));
+        assert!(!m.poll(NodeId(1), Ctx(0), SyncCond::LockAcquired(7)));
+        m.sync_store(NodeId(0), Ctx(0), SyncOp::LockRelease(7));
+        assert!(m.poll(NodeId(1), Ctx(0), SyncCond::LockFree(7)));
+        assert_eq!(m.stats().lock_acquires, 1);
+        assert_eq!(m.stats().lock_failures, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn foreign_release_panics() {
+        let mut m = SyncManager::new(2);
+        m.sync_store(NodeId(0), Ctx(0), SyncOp::LockAttempt(1));
+        m.sync_store(NodeId(1), Ctx(0), SyncOp::LockRelease(1));
+    }
+
+    #[test]
+    fn barrier_group_completes_and_releases() {
+        let mut m = SyncManager::new(3); // single group of 3, level 0 root
+        let arrive = SyncOp::BarrierArrive {
+            bar: 0,
+            level: 0,
+            group: 0,
+        };
+        let (n0, c0) = me(0);
+        assert_eq!(
+            m.sync_store(n0, c0, arrive),
+            SyncOutcome::MustSpin { episode: 1 }
+        );
+        assert_eq!(
+            m.sync_store(NodeId(1), Ctx(0), arrive),
+            SyncOutcome::MustSpin { episode: 1 }
+        );
+        assert_eq!(
+            m.sync_store(NodeId(2), Ctx(0), arrive),
+            SyncOutcome::PropagateUp
+        );
+        let released = SyncCond::BarrierReleased {
+            bar: 0,
+            level: 0,
+            group: 0,
+            episode: 1,
+        };
+        assert!(!m.poll(n0, c0, released));
+        m.sync_store(
+            NodeId(2),
+            Ctx(0),
+            SyncOp::BarrierRelease {
+                bar: 0,
+                level: 0,
+                group: 0,
+            },
+        );
+        assert!(m.poll(n0, c0, released));
+        // Second episode spins on episode 2.
+        assert_eq!(
+            m.sync_store(n0, c0, arrive),
+            SyncOutcome::MustSpin { episode: 2 }
+        );
+    }
+
+    #[test]
+    fn single_thread_barrier_is_trivial() {
+        let mut m = SyncManager::new(1);
+        assert_eq!(
+            m.sync_store(
+                NodeId(0),
+                Ctx(0),
+                SyncOp::BarrierArrive {
+                    bar: 3,
+                    level: 0,
+                    group: 0
+                }
+            ),
+            SyncOutcome::PropagateUp
+        );
+        assert!(m.is_root(0));
+    }
+}

@@ -1,0 +1,45 @@
+//! Compare all five machine models of paper Table 4 on one application —
+//! the per-application view behind Figures 2–9.
+//!
+//! ```text
+//! cargo run --release --example compare_models -- radix 16 1
+//! ```
+
+use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel, RunStats};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args
+        .get(1)
+        .and_then(|s| {
+            AppKind::ALL
+                .into_iter()
+                .find(|a| a.name().eq_ignore_ascii_case(s))
+        })
+        .unwrap_or(AppKind::Ocean);
+    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ways: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    println!("{app} on {nodes} node(s), {ways}-way — five machine models (paper Table 4)\n");
+    println!(
+        "{:11} {:>10} {:>8} {:>9} {:>9} {:>10} {:>9}",
+        "model", "cycles", "norm", "mem-stall", "occupancy", "dir-hit", "handlers"
+    );
+    let mut base: Option<u64> = None;
+    for model in MachineModel::ALL {
+        let exp = ExperimentConfig::new(model, app, nodes, ways);
+        let r: RunStats = run_experiment(&exp);
+        let b = *base.get_or_insert(r.cycles);
+        println!(
+            "{:11} {:>10} {:>8.3} {:>8.1}% {:>8.1}% {:>9.1}% {:>9}",
+            model.label(),
+            r.cycles,
+            r.cycles as f64 / b as f64,
+            r.memory_stall_frac() * 100.0,
+            r.protocol_occupancy_peak * 100.0,
+            r.dir_cache_hit_rate * 100.0,
+            r.handlers,
+        );
+    }
+    println!("\n(norm = execution time normalized to Base; lower is better)");
+}

@@ -1,0 +1,57 @@
+//! A guided walk through the directory protocol itself: drive one home
+//! directory through the canonical read/write/intervene sequence and print
+//! every transition with its handler timing program — the coherence logic
+//! the SMTp protocol thread executes.
+//!
+//! ```text
+//! cargo run --example protocol_walkthrough
+//! ```
+
+use smtp::noc::{Msg, MsgKind};
+use smtp::protocol::{handler_program, Directory};
+use smtp::types::{Addr, NodeId, Region};
+
+fn show(dir: &mut Directory, msg: Msg) {
+    println!("\n>>> {msg}");
+    match dir.process(&msg) {
+        None => println!("    (line busy: request queued at home)"),
+        Some(t) => {
+            println!("    handler : {}", t.kind.name());
+            println!("    newstate: {:?}", t.new_state);
+            for (i, m) in t.sends.iter().enumerate() {
+                let gated = if t.data_reply == Some(i) { "  [waits for SDRAM data]" } else { "" };
+                println!("    send[{i}] : {m}{gated}");
+            }
+            let prog = handler_program(dir.home(), msg.addr, &t);
+            println!("    program : {} protocol instructions", prog.len());
+            for inst in &prog {
+                println!("      pc={:<5} {:?}", inst.pc, inst.op);
+            }
+            if t.unbusied {
+                let pending = dir.take_pending(msg.addr);
+                for p in pending {
+                    println!("    replaying queued request: {p}");
+                    show(dir, p);
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let home = NodeId(0);
+    let line = Addr::new(home, Region::AppData, 0x4000).line();
+    let (a, b, c) = (NodeId(1), NodeId(2), NodeId(3));
+    let mut dir = Directory::new(home);
+
+    println!("Directory walkthrough for line {line} at {home:?}");
+    show(&mut dir, Msg::new(MsgKind::GetS, line, a, home)); // A reads
+    show(&mut dir, Msg::new(MsgKind::GetS, line, b, home)); // B reads
+    show(&mut dir, Msg::new(MsgKind::GetX, line, c, home)); // C writes: invalidates A, B
+    show(&mut dir, Msg::new(MsgKind::GetS, line, a, home)); // A re-reads: intervention to C
+    show(&mut dir, Msg::new(MsgKind::GetX, line, b, home)); // queued behind the busy line
+    show(&mut dir, Msg::new(MsgKind::SharingWb { requester: a }, line, c, home)); // C completes; B's GetX replays
+
+    println!("\nfinal state: {:?}", dir.state(line));
+    println!("handlers run: {}", dir.stats().handlers);
+}

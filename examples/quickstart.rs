@@ -1,0 +1,41 @@
+//! Quickstart: simulate one SMTp machine end to end and print the
+//! headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- ocean 8 2
+//! ```
+
+use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel};
+
+fn parse_app(s: &str) -> AppKind {
+    AppKind::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app {s:?}; one of: fft fftw lu ocean radix water");
+            std::process::exit(2)
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map(|s| parse_app(s)).unwrap_or(AppKind::Fft);
+    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ways: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    println!("SMTp machine: {nodes} node(s), {ways} application thread(s) per node, running {app}");
+    let exp = ExperimentConfig::new(MachineModel::SMTp, app, nodes, ways);
+    let stats = run_experiment(&exp);
+
+    println!();
+    println!("parallel execution time : {} cycles ({:.2} ms at 2 GHz)", stats.cycles, stats.cycles as f64 / 2.0e6);
+    println!("application instructions: {}", stats.app_instructions);
+    println!("protocol instructions   : {} ({:.2}% of all retired)", stats.protocol_instructions, stats.protocol_retired_frac * 100.0);
+    println!("coherence handlers      : {}", stats.handlers);
+    println!("memory-stall fraction   : {:.1}%", stats.memory_stall_frac() * 100.0);
+    println!("protocol occupancy peak : {:.1}%", stats.protocol_occupancy_peak * 100.0);
+    println!("L1D app miss rate       : {:.2}%", stats.l1d_app_miss_rate * 100.0);
+    println!("network messages        : {} (mean latency {:.0} cycles)", stats.network.messages, stats.network.mean_latency());
+    println!("locks / barrier episodes: {} / {}", stats.lock_acquires, stats.barrier_episodes);
+}

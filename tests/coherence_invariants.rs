@@ -1,0 +1,216 @@
+//! Coherence-protocol invariants checked through the full system, plus a
+//! property-based stress of the home directory against a random but legal
+//! message interleaving driven by a model of requester caches.
+
+use proptest::prelude::*;
+use smtp::noc::{Msg, MsgKind};
+use smtp::protocol::{handle, must_apply, DirState, Directory, Outcome};
+use smtp::types::{Addr, NodeId, Region, SharerSet};
+use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel};
+use std::collections::VecDeque;
+
+#[test]
+fn directories_quiesce_after_every_run() {
+    // `System::run` only returns once every directory has no busy lines and
+    // no pending queue; reaching here proves the protocol drained.
+    for model in [MachineModel::SMTp, MachineModel::Base] {
+        let r = run_experiment(&ExperimentConfig::quick(model, AppKind::Radix, 4, 1));
+        assert!(r.handlers > 0);
+    }
+}
+
+#[test]
+fn locks_are_all_released_at_the_end() {
+    let r = run_experiment(&ExperimentConfig::quick(MachineModel::SMTp, AppKind::Water, 2, 2));
+    assert!(r.lock_acquires > 0, "Water must take molecule locks");
+    // System::run would have panicked on a held lock via non-quiescence of
+    // the app threads; additionally the manager asserts balanced releases.
+}
+
+/// A reference model of one line: requester states + home directory, used
+/// to generate *legal* message sequences for the property test.
+struct LineModel {
+    dir: Directory,
+    line: smtp::types::LineAddr,
+    /// Per-node requester state: 0 = invalid, 1 = shared, 2 = exclusive.
+    state: Vec<u8>,
+    /// Requests currently outstanding per node (at most one).
+    busy: Vec<bool>,
+    /// Messages queued for home delivery.
+    wire: VecDeque<Msg>,
+}
+
+impl LineModel {
+    fn new(nodes: usize) -> LineModel {
+        let home = NodeId(0);
+        LineModel {
+            dir: Directory::new(home),
+            line: Addr::new(home, Region::AppData, 0x8000).line(),
+            state: vec![0; nodes],
+            busy: vec![false; nodes],
+            wire: VecDeque::new(),
+        }
+    }
+
+    /// Deliver one home-directed message, applying the transition's sends
+    /// to the requester model instantly (a serialized, in-order network —
+    /// the strongest-ordering special case the protocol must still
+    /// handle).
+    fn deliver(&mut self, msg: Msg) {
+        let home = self.dir.home();
+        match self.dir.process(&msg) {
+            None => self.wire.push_back(msg), // deferred: retry later
+            Some(t) => {
+                for s in &t.sends {
+                    match s.kind {
+                        MsgKind::DataShared => {
+                            self.state[s.dst.idx()] = 1;
+                            self.busy[s.dst.idx()] = false;
+                        }
+                        MsgKind::DataExcl { .. } | MsgKind::UpgradeAck { .. } => {
+                            self.state[s.dst.idx()] = 2;
+                            self.busy[s.dst.idx()] = false;
+                        }
+                        MsgKind::Inval { .. } => self.state[s.dst.idx()] = 0,
+                        MsgKind::IntervShared { requester } => {
+                            // Owner downgrades, requester gets data.
+                            self.state[s.dst.idx()] = 1;
+                            self.state[requester.idx()] = 1;
+                            self.busy[requester.idx()] = false;
+                            self.wire.push_back(Msg::new(
+                                MsgKind::SharingWb { requester },
+                                self.line,
+                                s.dst,
+                                home,
+                            ));
+                        }
+                        MsgKind::IntervExcl { requester } => {
+                            self.state[s.dst.idx()] = 0;
+                            self.state[requester.idx()] = 2;
+                            self.busy[requester.idx()] = false;
+                            self.wire.push_back(Msg::new(
+                                MsgKind::TransferAck {
+                                    new_owner: requester,
+                                },
+                                self.line,
+                                s.dst,
+                                home,
+                            ));
+                        }
+                        MsgKind::WbAck => self.busy[s.dst.idx()] = false,
+                        _ => {}
+                    }
+                }
+                if t.unbusied {
+                    for m in self.dir.take_pending(self.line) {
+                        self.wire.push_back(m);
+                    }
+                }
+            }
+        }
+    }
+
+    fn check(&self) {
+        self.dir.check_invariants();
+        // Single-writer invariant on the requester model.
+        let owners = self.state.iter().filter(|&&s| s == 2).count();
+        assert!(owners <= 1, "two exclusive owners");
+        if owners == 1 {
+            assert!(
+                self.state.iter().filter(|&&s| s == 1).count() == 0,
+                "shared copies alongside an exclusive owner"
+            );
+        }
+        // Directory agreement when idle.
+        if !self.dir.state(self.line).is_busy() && self.wire.is_empty() {
+            match self.dir.state(self.line) {
+                DirState::Exclusive(n) => assert_eq!(self.state[n.idx()], 2),
+                DirState::Shared(s) => {
+                    // Over-inclusion allowed (silent evictions don't exist
+                    // in this model, so it is exact here).
+                    for n in s.iter() {
+                        assert_eq!(self.state[n.idx()], 1, "directory lists non-sharer");
+                    }
+                }
+                DirState::Unowned => {}
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random legal request sequences against one line never violate the
+    /// single-writer / no-stale-sharers invariants and always drain.
+    #[test]
+    fn random_access_interleavings_preserve_invariants(
+        ops in proptest::collection::vec((0u16..4, 0u8..3), 1..60)
+    ) {
+        let nodes = 4;
+        let mut m = LineModel::new(nodes);
+        for (node, op) in ops {
+            let n = NodeId(node);
+            // Drain one wire message between requests (partial overlap).
+            if let Some(w) = m.wire.pop_front() {
+                m.deliver(w);
+            }
+            if m.busy[n.idx()] {
+                continue;
+            }
+            let kind = match (op, m.state[n.idx()]) {
+                (0, 0) => Some(MsgKind::GetS),
+                (1, 0) => Some(MsgKind::GetX),
+                (1, 1) => Some(MsgKind::Upgrade),
+                (2, 2) => Some(MsgKind::Put { dirty: true }),
+                _ => None,
+            };
+            if let Some(k) = kind {
+                if matches!(k, MsgKind::Put { .. }) {
+                    m.state[n.idx()] = 0;
+                }
+                m.busy[n.idx()] = true;
+                let msg = Msg::new(k, m.line, n, m.dir.home());
+                m.deliver(msg);
+            }
+            m.check();
+        }
+        // Drain everything.
+        let mut guard = 0;
+        while let Some(w) = m.wire.pop_front() {
+            m.deliver(w);
+            guard += 1;
+            prop_assert!(guard < 10_000, "wire did not drain");
+        }
+        m.check();
+        prop_assert!(!m.dir.state(m.line).is_busy());
+    }
+}
+
+#[test]
+fn transition_function_covers_every_stable_state() {
+    let home = NodeId(0);
+    let line = Addr::new(home, Region::AppData, 0x100).line();
+    let sharers: SharerSet = [NodeId(1), NodeId(2)].into_iter().collect();
+    let stable = [
+        DirState::Unowned,
+        DirState::Shared(sharers),
+        DirState::Exclusive(NodeId(3)),
+    ];
+    for st in stable {
+        for kind in [MsgKind::GetS, MsgKind::GetX] {
+            let t = must_apply(home, &st, &Msg::new(kind, line, NodeId(4), home));
+            assert!(!t.sends.is_empty(), "{st:?} x {kind:?} sends nothing");
+        }
+    }
+    // Busy states defer requests.
+    let busy = DirState::BusyShared {
+        owner: NodeId(1),
+        requester: NodeId(2),
+    };
+    assert_eq!(
+        handle(home, &busy, &Msg::new(MsgKind::GetS, line, NodeId(3), home)),
+        Outcome::Defer
+    );
+}

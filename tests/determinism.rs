@@ -1,0 +1,32 @@
+//! The simulator must be perfectly deterministic: identical configurations
+//! produce identical cycle counts and statistics.
+
+use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel};
+
+#[test]
+fn identical_configs_produce_identical_runs() {
+    let e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Ocean, 2, 2);
+    let a = run_experiment(&e);
+    let b = run_experiment(&e);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.app_instructions, b.app_instructions);
+    assert_eq!(a.protocol_instructions, b.protocol_instructions);
+    assert_eq!(a.handlers, b.handlers);
+    assert_eq!(a.network.messages, b.network.messages);
+    assert_eq!(a.lock_acquires, b.lock_acquires);
+}
+
+#[test]
+fn scale_changes_the_run_monotonically() {
+    let mut small = ExperimentConfig::quick(MachineModel::Base, AppKind::Lu, 1, 1);
+    small.scale = 0.25;
+    let mut large = small.clone();
+    large.scale = 0.4;
+    let rs = run_experiment(&small);
+    let rl = run_experiment(&large);
+    assert!(
+        rl.app_instructions > rs.app_instructions,
+        "bigger problem must execute more instructions"
+    );
+    assert!(rl.cycles > rs.cycles);
+}

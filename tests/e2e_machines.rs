@@ -1,0 +1,93 @@
+//! End-to-end machine tests: every machine model boots, runs a workload
+//! to completion, quiesces, and reports sane statistics.
+
+use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel};
+
+fn quick(model: MachineModel, app: AppKind, nodes: usize, ways: usize) -> smtp::RunStats {
+    let mut e = ExperimentConfig::quick(model, app, nodes, ways);
+    e.max_cycles = 150_000_000;
+    run_experiment(&e)
+}
+
+#[test]
+fn every_model_completes_fft_on_two_nodes() {
+    for model in MachineModel::ALL {
+        let r = quick(model, AppKind::Fft, 2, 1);
+        assert!(r.cycles > 1_000, "{model}: implausibly short run");
+        assert!(r.app_instructions > 5_000, "{model}: no work done");
+        assert!(r.handlers > 0, "{model}: coherence never ran");
+        assert_eq!(
+            r.protocol_instructions > 0,
+            model.uses_protocol_thread(),
+            "{model}: protocol thread usage mismatch"
+        );
+    }
+}
+
+#[test]
+fn every_app_completes_on_smtp_four_nodes() {
+    for app in AppKind::ALL {
+        let r = quick(MachineModel::SMTp, app, 4, 1);
+        assert!(r.app_instructions > 2_000, "{app}: no work done");
+        assert!(r.network.messages > 0, "{app}: no communication");
+        assert!(r.barrier_episodes > 0, "{app}: no synchronization");
+    }
+}
+
+#[test]
+fn smtp_beats_base_on_memory_bound_app() {
+    // The paper's headline: SMTp is always faster than the non-integrated
+    // Base design. Check it for the most memory-bound app on one node.
+    let mut e = ExperimentConfig::new(MachineModel::Base, AppKind::Ocean, 1, 1);
+    e.scale = 0.25;
+    let base = run_experiment(&e);
+    e.model = MachineModel::SMTp;
+    let smtp = run_experiment(&e);
+    assert!(
+        smtp.cycles < base.cycles,
+        "SMTp ({}) not faster than Base ({})",
+        smtp.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn smtp_tracks_int512kb() {
+    // Paper §4: SMTp performs within a few percent of Int512KB.
+    let mut e = ExperimentConfig::new(MachineModel::Int512KB, AppKind::Fft, 2, 1);
+    e.scale = 0.25;
+    let int512 = run_experiment(&e);
+    e.model = MachineModel::SMTp;
+    let smtp = run_experiment(&e);
+    let ratio = smtp.cycles as f64 / int512.cycles as f64;
+    assert!(
+        (0.85..1.15).contains(&ratio),
+        "SMTp/Int512KB ratio {ratio:.3} outside ±15%"
+    );
+}
+
+#[test]
+fn four_way_smt_runs_sixty_four_threads() {
+    let r = quick(MachineModel::SMTp, AppKind::Water, 16, 4);
+    assert!(r.app_instructions > 10_000);
+    assert_eq!(r.ways, 4);
+    assert_eq!(r.nodes, 16);
+}
+
+#[test]
+fn clock_scaling_keeps_shape() {
+    // §4.2: at 4 GHz the relative ordering persists; absolute cycle counts
+    // grow because memory latencies double in cycles.
+    let mut e2 = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 2, 1);
+    e2.scale = 0.2;
+    let r2 = run_experiment(&e2);
+    let mut e4 = e2.clone();
+    e4.cpu_ghz = 4.0;
+    let r4 = run_experiment(&e4);
+    assert!(
+        r4.cycles > r2.cycles,
+        "4 GHz run should take more cycles ({} vs {})",
+        r4.cycles,
+        r2.cycles
+    );
+}

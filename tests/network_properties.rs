@@ -1,0 +1,81 @@
+//! Property tests of the interconnect through its public API.
+
+use proptest::prelude::*;
+use smtp::noc::{Msg, MsgKind, Network};
+use smtp::types::{Addr, NetParams, NodeId, Region};
+
+fn line_for(dst: u16) -> smtp::types::LineAddr {
+    Addr::new(NodeId(dst), Region::AppData, 0x100).line()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every injected message is delivered exactly once, no earlier than
+    /// its injection time, and total deliveries match injections.
+    #[test]
+    fn conservation_and_causality(
+        msgs in proptest::collection::vec((0u16..16, 0u16..16, 0u64..10_000), 1..80)
+    ) {
+        let mut net = Network::new(16, 2.0, &NetParams::default());
+        let mut injected = 0u64;
+        let mut last_inject = 0u64;
+        for (src, dst, at) in msgs {
+            if src == dst {
+                continue;
+            }
+            net.inject(at, Msg::new(MsgKind::GetS, line_for(dst), NodeId(src), NodeId(dst)));
+            injected += 1;
+            last_inject = last_inject.max(at);
+        }
+        let mut delivered = 0u64;
+        let horizon = last_inject + 10_000_000;
+        while let Some(m) = net.pop_arrived(horizon) {
+            prop_assert!(m.src != m.dst);
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, injected);
+        prop_assert_eq!(net.in_flight_count(), 0);
+        prop_assert_eq!(net.stats().messages, injected);
+    }
+
+    /// Arrival times are no earlier than the topological minimum: hop
+    /// latency times hop count.
+    #[test]
+    fn zero_load_lower_bound(src in 0u16..32, dst in 0u16..32) {
+        prop_assume!(src != dst);
+        let p = NetParams::default();
+        let mut net = Network::new(32, 2.0, &p);
+        let hops = net.topology().hops(NodeId(src), NodeId(dst)) as u64;
+        net.inject(0, Msg::new(MsgKind::GetS, line_for(dst), NodeId(src), NodeId(dst)));
+        let at = net.next_arrival().unwrap();
+        let hop_cycles = (p.hop_ns * 2.0).ceil() as u64;
+        prop_assert!(at >= hops * hop_cycles, "arrival {at} under {hops} hops");
+    }
+}
+
+#[test]
+fn bandwidth_limits_burst_throughput() {
+    let p = NetParams::default();
+    let mut net = Network::new(4, 2.0, &p);
+    // 50 data replies down one link: the last must arrive at least
+    // 49 serialization times after the first.
+    for _ in 0..50 {
+        net.inject(
+            0,
+            Msg::new(MsgKind::DataShared, line_for(1), NodeId(0), NodeId(1)),
+        );
+    }
+    let mut last = 0u64;
+    let mut first = u64::MAX;
+    while let Some(t) = net.next_arrival() {
+        first = first.min(t);
+        last = last.max(t);
+        assert!(net.pop_arrived(u64::MAX).is_some());
+    }
+    let ser = ((16 + 128) as f64 * 2.0 / p.link_gbps).ceil() as u64;
+    assert!(
+        last >= first + 49 * ser,
+        "burst of 50 line transfers finished too fast: {first}..{last}"
+    );
+}

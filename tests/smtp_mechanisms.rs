@@ -1,0 +1,89 @@
+//! Tests of the SMTp-specific mechanisms through the full system: the
+//! protocol thread's reserved resources, look-ahead scheduling, bypass
+//! buffers, and the protocol thread's low overhead (paper §2, §4.1).
+
+use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel};
+
+fn smtp_run(app: AppKind, nodes: usize, ways: usize, scale: f64) -> smtp::RunStats {
+    let mut e = ExperimentConfig::new(MachineModel::SMTp, app, nodes, ways);
+    e.scale = scale;
+    e.max_cycles = 300_000_000;
+    run_experiment(&e)
+}
+
+#[test]
+fn protocol_thread_overhead_is_low() {
+    // Paper Table 8: retired protocol instructions are a small fraction of
+    // all retired instructions (0.2% – 8.4%).
+    let r = smtp_run(AppKind::Fft, 4, 1, 0.2);
+    assert!(r.protocol_instructions > 0);
+    assert!(
+        r.protocol_retired_frac < 0.35,
+        "protocol thread retired {:.1}% of instructions",
+        r.protocol_retired_frac * 100.0
+    );
+}
+
+#[test]
+fn protocol_occupancy_separates_app_classes() {
+    // Memory-intensive apps keep the protocol thread busier than
+    // compute-intensive ones (paper Table 7's two categories: FFT, FFTW,
+    // Ocean, Radix vs LU, Water). Water is the cleanest compute-bound
+    // representative at small scales (LU's blocks only amortize their
+    // communication at the paper's full block counts).
+    let mem_heavy = smtp_run(AppKind::Ocean, 2, 1, 0.3);
+    let compute = smtp_run(AppKind::Water, 2, 1, 0.3);
+    assert!(
+        mem_heavy.protocol_occupancy_peak > compute.protocol_occupancy_peak,
+        "Ocean occupancy {:.3} not above Water {:.3}",
+        mem_heavy.protocol_occupancy_peak,
+        compute.protocol_occupancy_peak
+    );
+}
+
+#[test]
+fn look_ahead_scheduling_does_not_hurt() {
+    // Paper §2.3: LAS improves performance by up to 3.9%; at minimum it
+    // must not slow things down materially.
+    let mut on = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fftw, 4, 1);
+    on.scale = 0.2;
+    let mut off = on.clone();
+    off.look_ahead = false;
+    let r_on = run_experiment(&on);
+    let r_off = run_experiment(&off);
+    let ratio = r_on.cycles as f64 / r_off.cycles as f64;
+    assert!(ratio < 1.05, "LAS made things {:.1}% slower", (ratio - 1.0) * 100.0);
+}
+
+#[test]
+fn minimal_bypass_buffers_still_complete() {
+    // The bypass buffers exist for deadlock freedom; the machine must
+    // complete even with a single line per buffer.
+    let mut e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Radix, 2, 2);
+    e.bypass_lines = Some(1);
+    let r = run_experiment(&e);
+    assert!(r.app_instructions > 1_000);
+}
+
+#[test]
+fn protocol_branches_are_mostly_predicted() {
+    // Paper Table 8: ≥ ~89% protocol branch prediction accuracy.
+    let r = smtp_run(AppKind::Fft, 4, 1, 0.25);
+    assert!(
+        r.protocol_mispredict_rate < 0.20,
+        "protocol misprediction rate {:.1}%",
+        r.protocol_mispredict_rate * 100.0
+    );
+}
+
+#[test]
+fn protocol_thread_holds_reserved_but_bounded_resources() {
+    // Paper Table 9 bounds: branch stack <= 32, int regs <= 160 (1-way),
+    // IQ <= 32, LSQ <= 64.
+    let r = smtp_run(AppKind::Ocean, 2, 1, 0.2);
+    assert!(r.prot_branch_stack.0 <= 32);
+    assert!(r.prot_int_regs.0 >= 32, "32 logical registers stay mapped");
+    assert!(r.prot_int_regs.0 <= 160);
+    assert!(r.prot_int_queue.0 <= 32);
+    assert!(r.prot_lsq.0 <= 64);
+}

@@ -1,0 +1,73 @@
+//! Internal consistency of the statistics every experiment reports.
+
+use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel, RunStats};
+
+fn check(r: &RunStats) {
+    assert!(r.cycles > 0);
+    assert!(
+        r.memory_stall_cycles <= r.cycles as f64,
+        "memory stall {} exceeds execution time {}",
+        r.memory_stall_cycles,
+        r.cycles
+    );
+    for (name, x) in [
+        ("occupancy_peak", r.protocol_occupancy_peak),
+        ("occupancy_mean", r.protocol_occupancy_mean),
+        ("mispredict", r.protocol_mispredict_rate),
+        ("squash", r.protocol_squash_frac),
+        ("retired_frac", r.protocol_retired_frac),
+        ("dir_hit", r.dir_cache_hit_rate),
+        ("l1d_miss", r.l1d_app_miss_rate),
+        ("l2_miss", r.l2_app_miss_rate),
+    ] {
+        assert!((0.0..=1.0).contains(&x), "{name} = {x} out of [0,1]");
+    }
+    assert!(r.protocol_occupancy_mean <= r.protocol_occupancy_peak + 1e-12);
+    // Peak-of-peaks dominates mean-of-peaks.
+    assert!(r.prot_branch_stack.0 as f64 + 1e-9 >= r.prot_branch_stack.1);
+    assert!(r.prot_int_regs.0 as f64 + 1e-9 >= r.prot_int_regs.1);
+    // Handlers ran iff there was any coherence activity.
+    assert!(r.handlers > 0);
+}
+
+#[test]
+fn stats_consistent_across_models() {
+    for model in MachineModel::ALL {
+        let r = run_experiment(&ExperimentConfig::quick(model, AppKind::Ocean, 2, 1));
+        check(&r);
+        if model.uses_protocol_thread() {
+            assert!(r.protocol_instructions > 0);
+            assert!(r.prot_int_regs.0 >= 32, "boot-mapped registers missing");
+        } else {
+            assert_eq!(r.protocol_instructions, 0);
+            assert_eq!(r.protocol_mispredict_rate, 0.0);
+        }
+    }
+}
+
+#[test]
+fn stats_consistent_across_apps() {
+    for app in AppKind::ALL {
+        let r = run_experiment(&ExperimentConfig::quick(MachineModel::SMTp, app, 2, 2));
+        check(&r);
+        assert!(r.app_instructions > 1_000, "{app}: no work");
+    }
+}
+
+#[test]
+fn integration_beats_the_off_chip_controller() {
+    // The robust headline margin at one node: a perfect integrated
+    // controller clearly beats the 400 MHz off-chip Base design on a
+    // memory-intensive application.
+    let mut e = ExperimentConfig::new(MachineModel::Base, AppKind::Fft, 1, 1);
+    e.scale = 0.25;
+    let base = run_experiment(&e);
+    e.model = MachineModel::IntPerfect;
+    let perfect = run_experiment(&e);
+    assert!(
+        (perfect.cycles as f64) < base.cycles as f64 * 0.97,
+        "IntPerfect ({}) not clearly faster than Base ({})",
+        perfect.cycles,
+        base.cycles
+    );
+}

@@ -1,0 +1,81 @@
+//! Functional (timing-free) execution of every application generator
+//! against the global synchronization manager, through public APIs only:
+//! all threads terminate, sync state drains, and the tree barrier episode
+//! count matches its closed form.
+
+use smtp::isa::{InstSource, Op, SyncEnv};
+use smtp::types::{Ctx, NodeId};
+use smtp::workloads::{make_thread, AppKind, SyncManager, ThreadGen, WorkloadCfg};
+
+fn pump(kind: AppKind, nodes: usize, ways: usize, scale: f64) -> (Vec<u64>, SyncManager) {
+    let mut cfg = WorkloadCfg::new(nodes, ways);
+    cfg.scale = scale;
+    let total = cfg.total_threads();
+    let mut mgr = SyncManager::new(total);
+    let mut gens: Vec<(NodeId, Ctx, ThreadGen)> = (0..nodes as u16)
+        .flat_map(|n| (0..ways as u8).map(move |c| (NodeId(n), Ctx(c))))
+        .map(|(n, c)| (n, c, make_thread(kind, &cfg, n, c)))
+        .collect();
+    let mut counts = vec![0u64; total];
+    let mut halted = vec![false; total];
+    let mut steps = 0u64;
+    while halted.iter().any(|h| !h) {
+        steps += 1;
+        assert!(steps < 100_000_000, "{kind} functional run hung");
+        for (t, (n, c, g)) in gens.iter_mut().enumerate() {
+            if halted[t] {
+                continue;
+            }
+            let i = g.next_inst();
+            counts[t] += 1;
+            match i.op {
+                Op::Halt => halted[t] = true,
+                Op::SyncBranch { cond } => {
+                    let sat = mgr.poll(*n, *c, cond);
+                    g.sync_result(smtp::isa::SyncOutcome::Cond(sat));
+                }
+                Op::SyncStore { op, .. } => {
+                    let out = mgr.sync_store(*n, *c, op);
+                    g.sync_result(out);
+                }
+                _ => {}
+            }
+        }
+    }
+    (counts, mgr)
+}
+
+#[test]
+fn all_apps_terminate_on_odd_thread_counts() {
+    // 3 threads: a ragged barrier tree (group sizes 3 at the leaf).
+    for kind in AppKind::ALL {
+        let (counts, mgr) = pump(kind, 1, 3, 0.12);
+        assert!(counts.iter().all(|&c| c > 50), "{kind}: a thread did no work");
+        assert!(!mgr.any_lock_held(), "{kind}: lock leaked");
+    }
+}
+
+#[test]
+fn barrier_episode_count_matches_closed_form() {
+    // FFT crosses exactly 4 barriers; with 8 threads the radix-4 tree has
+    // 2 leaf groups + 1 root = 3 episodes per crossing.
+    let (_, mgr) = pump(AppKind::Fft, 4, 2, 0.12);
+    assert_eq!(mgr.stats().barrier_episodes, 4 * 3);
+}
+
+#[test]
+fn water_lock_traffic_scales_with_molecules() {
+    let (_, small) = pump(AppKind::Water, 2, 1, 0.15);
+    let (_, large) = pump(AppKind::Water, 2, 1, 0.3);
+    assert!(
+        large.stats().lock_acquires > small.stats().lock_acquires,
+        "more molecules must take more per-molecule locks"
+    );
+}
+
+#[test]
+fn sixty_four_thread_generators_drain() {
+    let (counts, mgr) = pump(AppKind::Radix, 16, 4, 0.1);
+    assert_eq!(counts.len(), 64);
+    assert!(mgr.stats().barrier_episodes > 0);
+}
