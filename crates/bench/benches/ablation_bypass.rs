@@ -9,7 +9,10 @@ use smtp_workloads::AppKind;
 fn main() {
     println!("# Ablation: protocol bypass-buffer lines (SMTp, 8 nodes, 1-way)");
     let nodes = 8.min(smtp_bench::nodes_cap());
-    println!("{:6} | {:>10} {:>10} {:>10}", "app", "16 lines", "4 lines", "1 line");
+    println!(
+        "{:6} | {:>10} {:>10} {:>10}",
+        "app", "16 lines", "4 lines", "1 line"
+    );
     for app in [AppKind::Fft, AppKind::Ocean, AppKind::Radix] {
         let mut row = format!("{:6} |", app.name());
         for lines in [16usize, 4, 1] {

@@ -8,7 +8,10 @@ use smtp_workloads::AppKind;
 fn main() {
     println!("# Ablation: Look-Ahead Scheduling (SMTp, 8 nodes, 1-way)");
     let nodes = 8.min(smtp_bench::nodes_cap());
-    println!("{:6} | {:>10} {:>10} {:>8} {:>12}", "app", "LAS on", "LAS off", "gain", "LA handlers");
+    println!(
+        "{:6} | {:>10} {:>10} {:>8} {:>12}",
+        "app", "LAS on", "LAS off", "gain", "LA handlers"
+    );
     for app in AppKind::ALL {
         let mut on = ExperimentConfig::new(MachineModel::SMTp, app, nodes, 1);
         on.look_ahead = true;

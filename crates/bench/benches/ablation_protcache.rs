@@ -11,15 +11,23 @@ use smtp_workloads::AppKind;
 fn main() {
     println!("# Ablation (paper §2.3): perfect protocol caches (SMTp, 8 nodes, 1-way)");
     let nodes = 8.min(smtp_bench::nodes_cap());
-    println!("{:6} | {:>10} {:>10} {:>8}", "app", "shared", "perfect", "gain");
+    println!(
+        "{:6} | {:>10} {:>10} {:>8}",
+        "app", "shared", "perfect", "gain"
+    );
     for app in AppKind::ALL {
         let shared = ExperimentConfig::new(MachineModel::SMTp, app, nodes, 1);
         let mut perfect = shared.clone();
         perfect.perfect_protocol_caches = true;
         let rs = run_experiment(&shared);
         let rp = run_experiment(&perfect);
-        
-        eprintln!("  [{}] shared={} perfect={}", app.name(), rs.cycles, rp.cycles);
+
+        eprintln!(
+            "  [{}] shared={} perfect={}",
+            app.name(),
+            rs.cycles,
+            rp.cycles
+        );
         println!(
             "{:6} | {:>10} {:>10} {:>7.2}%",
             app.name(),

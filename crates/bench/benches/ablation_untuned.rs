@@ -24,7 +24,12 @@ fn main() {
             let mut e = ExperimentConfig::new(model, app, nodes, 1);
             e.prefetch = false;
             let r = run_experiment(&e);
-            eprintln!("  [{} {} no-prefetch] {}", model.label(), app.name(), r.cycles);
+            eprintln!(
+                "  [{} {} no-prefetch] {}",
+                model.label(),
+                app.name(),
+                r.cycles
+            );
             if base == 0.0 {
                 base = r.cycles as f64;
             }

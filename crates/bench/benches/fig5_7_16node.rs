@@ -5,7 +5,12 @@ fn main() {
     let nodes = 16.min(smtp_bench::nodes_cap());
     for ways in [1usize, 2, 4] {
         smtp_bench::print_model_figure(
-            &format!("Figure {}: {}-node, {}-way", ways.trailing_zeros() + 5, nodes, ways),
+            &format!(
+                "Figure {}: {}-node, {}-way",
+                ways.trailing_zeros() + 5,
+                nodes,
+                ways
+            ),
             nodes,
             ways,
             2.0,

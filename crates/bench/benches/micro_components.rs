@@ -1,114 +1,154 @@
-//! Criterion microbenches of the simulator's hot components: raw
-//! simulation throughput of the caches, branch predictor, network, the
-//! directory transition function, and a whole single-node machine tick.
+//! Microbenches of the simulator's hot components: raw simulation
+//! throughput of the caches, branch predictor, network, the directory
+//! transition function, a whole single-node machine tick, and the
+//! trace-subsystem overhead when tracing is disabled.
+//!
+//! Uses the crate's own best-of-N harness ([`smtp_bench::bench_micro`]);
+//! no external benchmark framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use smtp_bench::bench_micro;
 use smtp_cache::{Cache, LineState};
 use smtp_core::{ExperimentConfig, System};
 use smtp_noc::{Msg, MsgKind, Network};
 use smtp_pipeline::BranchPredictor;
 use smtp_protocol::{handler_program, must_apply, DirState};
+use smtp_trace::{Category, Event, Tracer};
 use smtp_types::{
-    Addr, CacheParams, Ctx, MachineModel, NetParams, NodeId, Region, SharerSet, SystemConfig,
+    Addr, CacheParams, Ctx, LineAddr, MachineModel, NetParams, NodeId, Region, SharerSet,
+    SystemConfig,
 };
 use smtp_workloads::AppKind;
 use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     let params = CacheParams {
         capacity: 2 * 1024 * 1024,
         line: 128,
         ways: 8,
         hit_cycles: 9,
     };
-    c.bench_function("l2_lookup_hit", |b| {
-        let mut cache = Cache::new(&params);
-        for i in 0..1024u64 {
-            cache.insert(Addr(i * 128), LineState::Shared);
+    let mut cache = Cache::new(&params);
+    for i in 0..1024u64 {
+        cache.insert(Addr(i * 128), LineState::Shared);
+    }
+    let mut i = 0u64;
+    bench_micro("l2_lookup_hit", 100_000, || {
+        i = (i + 1) % 1024;
+        black_box(cache.lookup(Addr(i * 128)))
+    });
+    let mut cache = Cache::new(&params);
+    let mut j = 0u64;
+    bench_micro("l2_insert_evict", 100_000, || {
+        j += 1;
+        black_box(cache.insert(Addr(j * 128), LineState::Modified))
+    });
+}
+
+fn bench_predictor() {
+    let mut p = BranchPredictor::new();
+    let mut i = 0u32;
+    bench_micro("tournament_predict_train", 100_000, || {
+        i = i.wrapping_add(1);
+        let pc = i % 64;
+        let taken = !i.is_multiple_of(3);
+        let pred = p.predict(Ctx(0), pc);
+        p.train(Ctx(0), pc, taken);
+        black_box(pred)
+    });
+}
+
+fn bench_network() {
+    let mut net = Network::new(32, 2.0, &NetParams::default());
+    let line = Addr::new(NodeId(1), Region::AppData, 0).line();
+    let mut now = 0u64;
+    bench_micro("network_inject_deliver_32n", 50_000, || {
+        now += 10;
+        net.inject(now, Msg::new(MsgKind::GetS, line, NodeId(0), NodeId(17)));
+        while let Some(m) = net.pop_arrived(now + 100_000) {
+            black_box(m);
         }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 1024;
-            black_box(cache.lookup(Addr(i * 128)))
-        });
-    });
-    c.bench_function("l2_insert_evict", |b| {
-        let mut cache = Cache::new(&params);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(cache.insert(Addr(i * 128), LineState::Modified))
-        });
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("tournament_predict_train", |b| {
-        let mut p = BranchPredictor::new();
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let pc = i % 64;
-            let taken = i % 3 != 0;
-            let pred = p.predict(Ctx(0), pc);
-            p.train(Ctx(0), pc, taken);
-            black_box(pred)
-        });
-    });
-}
-
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("network_inject_deliver_32n", |b| {
-        let mut net = Network::new(32, 2.0, &NetParams::default());
-        let line = Addr::new(NodeId(1), Region::AppData, 0).line();
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 10;
-            net.inject(now, Msg::new(MsgKind::GetS, line, NodeId(0), NodeId(17)));
-            while let Some(m) = net.pop_arrived(now + 100_000) {
-                black_box(m);
-            }
-        });
-    });
-}
-
-fn bench_protocol(c: &mut Criterion) {
+fn bench_protocol() {
     let home = NodeId(0);
     let line = Addr::new(home, Region::AppData, 0x1000).line();
-    c.bench_function("directory_transition_getx_shared", |b| {
-        let sharers: SharerSet = (1..=8).map(|i| NodeId(i as u16)).collect();
-        let st = DirState::Shared(sharers);
-        let msg = Msg::new(MsgKind::GetX, line, NodeId(9), home);
-        b.iter(|| black_box(must_apply(home, &st, &msg)));
+    let sharers: SharerSet = (1..=8).map(|i| NodeId(i as u16)).collect();
+    let st = DirState::Shared(sharers);
+    let msg = Msg::new(MsgKind::GetX, line, NodeId(9), home);
+    bench_micro("directory_transition_getx_shared", 100_000, || {
+        black_box(must_apply(home, &st, &msg))
     });
-    c.bench_function("handler_program_build", |b| {
-        let st = DirState::Unowned;
-        let msg = Msg::new(MsgKind::GetS, line, NodeId(1), home);
-        let t = must_apply(home, &st, &msg);
-        b.iter(|| black_box(handler_program(home, line, &t)));
-    });
-}
-
-fn bench_machine_tick(c: &mut Criterion) {
-    c.bench_function("smtp_1node_tick", |b| {
-        let cfg = SystemConfig::new(MachineModel::SMTp, 1, 2);
-        let mut sys = System::new(cfg, AppKind::Fft, 1.0);
-        b.iter(|| {
-            sys.tick();
-            black_box(sys.now())
-        });
-    });
-    c.bench_function("e2e_quick_fft_smtp", |b| {
-        b.iter(|| {
-            let e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 1, 1);
-            black_box(smtp_core::run_experiment(&e).cycles)
-        });
+    let st = DirState::Unowned;
+    let msg = Msg::new(MsgKind::GetS, line, NodeId(1), home);
+    let t = must_apply(home, &st, &msg);
+    bench_micro("handler_program_build", 100_000, || {
+        black_box(handler_program(home, line, &t))
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cache, bench_predictor, bench_network, bench_protocol, bench_machine_tick
-);
-criterion_main!(benches);
+fn bench_machine_tick() {
+    let cfg = SystemConfig::new(MachineModel::SMTp, 1, 2);
+    let mut sys = System::new(cfg, AppKind::Fft, 1.0);
+    bench_micro("smtp_1node_tick", 20_000, || {
+        sys.tick();
+        black_box(sys.now())
+    });
+    bench_micro("e2e_quick_fft_smtp", 3, || {
+        let e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 1, 1);
+        black_box(smtp_core::run_experiment(&e).cycles)
+    });
+}
+
+/// Trace-subsystem overhead (ISSUE 1 acceptance: the disabled path must be
+/// within noise, < 2%).
+///
+/// * `trace_emit_disabled` — the raw cost of an instrumentation site with
+///   the category masked off (one branch; the closure never runs).
+/// * `smtp_2node_tick_trace_off/on` — a full 2-node SMTp machine tick with
+///   the default (mask 0) tracer versus all categories enabled into a ring
+///   buffer, bounding what enabling tracing costs end to end.
+fn bench_trace_overhead() {
+    let tracer = Tracer::new(); // attached, mask 0: the real disabled path
+    let mut t = 0u64;
+    let disabled = bench_micro("trace_emit_disabled", 1_000_000, || {
+        t += 1;
+        tracer.emit(Category::Cache, t, || Event::MshrFree {
+            node: NodeId(0),
+            line: LineAddr(0x80),
+        });
+        black_box(t)
+    });
+
+    let cfg = SystemConfig::new(MachineModel::SMTp, 2, 1);
+    let mut sys_off = System::new(cfg, AppKind::Fft, 1.0);
+    let off = bench_micro("smtp_2node_tick_trace_off", 20_000, || {
+        sys_off.tick();
+        black_box(sys_off.now())
+    });
+
+    let cfg = SystemConfig::new(MachineModel::SMTp, 2, 1);
+    let mut sys_on = System::new(cfg, AppKind::Fft, 1.0);
+    sys_on.tracer().enable_all();
+    sys_on.tracer().enable_ring(256);
+    let on = bench_micro("smtp_2node_tick_trace_on", 20_000, || {
+        sys_on.tick();
+        black_box(sys_on.now())
+    });
+
+    println!(
+        "trace overhead: disabled emit {disabled:.2} ns/site, full tick {off:.0} -> {on:.0} ns \
+         ({:+.1}% when fully enabled)",
+        (on / off - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    println!("== micro_components (best of 7 samples) ==");
+    bench_cache();
+    bench_predictor();
+    bench_network();
+    bench_protocol();
+    bench_machine_tick();
+    bench_trace_overhead();
+}

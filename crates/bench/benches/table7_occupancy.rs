@@ -22,7 +22,10 @@ fn main() {
         let mut row = format!("{:6} |", app.name());
         for m in models {
             let r = smtp_bench::run_point(m, app, nodes, 1, 2.0);
-            row.push_str(&format!(" {:>10}", smtp_bench::pct(r.protocol_occupancy_peak)));
+            row.push_str(&format!(
+                " {:>10}",
+                smtp_bench::pct(r.protocol_occupancy_peak)
+            ));
         }
         println!("{row}");
     }

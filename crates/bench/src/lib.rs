@@ -102,3 +102,25 @@ pub fn print_speedup_table(title: &str, model: MachineModel, nodes: usize) {
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
+
+/// A minimal dependency-free micro-benchmark harness: warms up, then times
+/// `iters` calls of `f` per sample over `samples` samples and prints the
+/// best sample as ns/iter (best-of-N rejects scheduler noise the way
+/// statistical harnesses reject outliers).
+pub fn bench_micro<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) -> f64 {
+    const SAMPLES: u32 = 7;
+    for _ in 0..iters / 4 + 1 {
+        std::hint::black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(ns);
+    }
+    println!("{name:<40} {best:>12.1} ns/iter");
+    best
+}

@@ -8,6 +8,7 @@ use crate::mshr::{Deferred, MshrClass, MshrFile, WaitTag};
 use crate::setassoc::{Cache, LineState};
 use crate::tlb::Tlb;
 use crate::wb::WritebackBuffer;
+use smtp_trace::{Category, Event, GrantClass, MissClass, Tracer};
 use smtp_types::{Addr, Ctx, Cycle, LineAddr, NodeId, PipelineParams, Region};
 use std::collections::VecDeque;
 
@@ -73,6 +74,7 @@ pub struct MemHierarchy {
     l1_hit: Cycle,
     l2_hit: Cycle,
     stats: CacheStats,
+    tracer: Tracer,
 }
 
 impl MemHierarchy {
@@ -98,7 +100,24 @@ impl MemHierarchy {
             l1_hit: p.l1d.hit_cycles,
             l2_hit: p.l2.hit_cycles,
             stats: CacheStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the system tracer (events: `mshr_alloc`, `mshr_free`, `fill`,
+    /// `writeback`).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Emit an `mshr_alloc` trace event (the start of a transaction).
+    fn trace_alloc(&self, line: LineAddr, miss: MissClass, now: Cycle) {
+        let node = self.node;
+        self.tracer.emit(Category::Cache, now, || Event::MshrAlloc {
+            node,
+            line,
+            miss,
+        });
     }
 
     /// The node this hierarchy belongs to.
@@ -186,10 +205,11 @@ impl MemHierarchy {
     }
 
     /// Handle an evicted L2/bypass-L2 victim.
-    fn handle_l2_victim(&mut self, victim: Addr, state: LineState) {
+    fn handle_l2_victim(&mut self, victim: Addr, state: LineState, now: Cycle) {
         let line = victim.line();
         let l1_dirty = self.back_inval_l1(line);
         let dirty = state.is_dirty() || l1_dirty;
+        let node = self.node;
         match line.region() {
             Region::AppData => match state {
                 LineState::Shared => {
@@ -199,6 +219,11 @@ impl MemHierarchy {
                 LineState::Exclusive | LineState::Modified => {
                     self.wb.insert(line, dirty);
                     self.stats.app_writebacks += 1;
+                    self.tracer.emit(Category::Cache, now, || Event::Writeback {
+                        node,
+                        line,
+                        dirty,
+                    });
                     self.events.push_back(MemEvent::Writeback { line, dirty });
                 }
             },
@@ -206,6 +231,11 @@ impl MemHierarchy {
                 // Directory / protocol-code lines are node-local.
                 if dirty {
                     self.stats.dir_writebacks += 1;
+                    self.tracer.emit(Category::Cache, now, || Event::Writeback {
+                        node,
+                        line,
+                        dirty,
+                    });
                     self.events.push_back(MemEvent::Writeback { line, dirty });
                 }
             }
@@ -214,19 +244,19 @@ impl MemHierarchy {
 
     /// Install a line into the L2 (or the L2 bypass buffer for conflicting
     /// protocol lines), handling the victim.
-    fn l2_install(&mut self, line: LineAddr, state: LineState, is_protocol: bool) {
+    fn l2_install(&mut self, line: LineAddr, state: LineState, is_protocol: bool, now: Cycle) {
         if is_protocol && self.l2_conflict(line) {
             if let Some((v, st)) = self.byp_l2.insert(line.into(), state) {
-                self.handle_l2_victim(v, st);
+                self.handle_l2_victim(v, st, now);
             }
             return;
         }
         let mshrs = self.mshrs.clone_lines();
-        let victim = self.l2.insert_avoiding(line.into(), state, |a| {
-            !mshrs.contains(&a.line())
-        });
+        let victim = self
+            .l2
+            .insert_avoiding(line.into(), state, |a| !mshrs.contains(&a.line()));
         if let Some((v, st)) = victim {
-            self.handle_l2_victim(v, st);
+            self.handle_l2_victim(v, st, now);
         }
     }
 
@@ -255,13 +285,17 @@ impl MemHierarchy {
         } else if self.byp_l2.probe(line).is_some() {
             self.byp_l2.set_state(line, LineState::Modified);
         } else {
-            debug_assert!(false, "inclusion violated: dirty L1 victim {victim:?} has no L2 line");
+            debug_assert!(
+                false,
+                "inclusion violated: dirty L1 victim {victim:?} has no L2 line"
+            );
         }
     }
 
     fn l1i_install(&mut self, addr: Addr, is_protocol: bool) {
         if is_protocol && self.l1i_conflict(addr) {
-            self.byp_i.insert(self.l1i.line_base(addr), LineState::Shared);
+            self.byp_i
+                .insert(self.l1i.line_base(addr), LineState::Shared);
             return;
         }
         self.l1i.insert(self.l1i.line_base(addr), LineState::Shared);
@@ -288,7 +322,12 @@ impl MemHierarchy {
             self.stats.l1d_prot_hits += 1;
             return AccessOutcome::Ready(now + self.l1_hit);
         }
-        let now = now + if is_protocol { 0 } else { self.dtlb_penalty(addr) };
+        let now = now
+            + if is_protocol {
+                0
+            } else {
+                self.dtlb_penalty(addr)
+            };
         // L1D (and bypass, for protocol accesses).
         let l1 = self
             .l1d
@@ -309,10 +348,11 @@ impl MemHierarchy {
         }
         let line = addr.line();
         // L2.
-        let l2 = self
-            .l2
-            .lookup(line.into())
-            .or_else(|| is_protocol.then(|| self.byp_l2.lookup(line.into())).flatten());
+        let l2 = self.l2.lookup(line.into()).or_else(|| {
+            is_protocol
+                .then(|| self.byp_l2.lookup(line.into()))
+                .flatten()
+        });
         if l2.is_some() {
             if is_protocol {
                 self.stats.l2_prot_hits += 1;
@@ -331,7 +371,10 @@ impl MemHierarchy {
             return AccessOutcome::Blocked;
         }
         if let Some(i) = self.mshrs.find(line) {
-            self.mshrs.get_mut(i).waiting.push(WaitTag::Load { tag, addr });
+            self.mshrs
+                .get_mut(i)
+                .waiting
+                .push(WaitTag::Load { tag, addr });
             return AccessOutcome::Pending;
         }
         let class = if is_protocol {
@@ -341,7 +384,11 @@ impl MemHierarchy {
         };
         match self.mshrs.alloc(line, MissKind::Read, class, false) {
             Ok(i) => {
-                self.mshrs.get_mut(i).waiting.push(WaitTag::Load { tag, addr });
+                self.mshrs
+                    .get_mut(i)
+                    .waiting
+                    .push(WaitTag::Load { tag, addr });
+                self.trace_alloc(line, MissClass::Read, now);
                 self.events.push_back(if is_protocol {
                     MemEvent::ProtocolFetch { line }
                 } else {
@@ -378,10 +425,11 @@ impl MemHierarchy {
         }
         self.stats.l1i_misses += 1;
         let line = addr.line();
-        let l2 = self
-            .l2
-            .lookup(line.into())
-            .or_else(|| is_protocol.then(|| self.byp_l2.lookup(line.into())).flatten());
+        let l2 = self.l2.lookup(line.into()).or_else(|| {
+            is_protocol
+                .then(|| self.byp_l2.lookup(line.into()))
+                .flatten()
+        });
         if l2.is_some() {
             self.l1i_install(addr, is_protocol);
             return AccessOutcome::Ready(now + self.l2_hit);
@@ -390,11 +438,17 @@ impl MemHierarchy {
             return AccessOutcome::Blocked;
         }
         if let Some(i) = self.mshrs.find(line) {
-            let already = self.mshrs.get(i).waiting.iter().any(
-                |w| matches!(w, WaitTag::IFetch { ctx: c, .. } if *c == ctx),
-            );
+            let already = self
+                .mshrs
+                .get(i)
+                .waiting
+                .iter()
+                .any(|w| matches!(w, WaitTag::IFetch { ctx: c, .. } if *c == ctx));
             if !already {
-                self.mshrs.get_mut(i).waiting.push(WaitTag::IFetch { ctx, addr });
+                self.mshrs
+                    .get_mut(i)
+                    .waiting
+                    .push(WaitTag::IFetch { ctx, addr });
             }
             return AccessOutcome::Pending;
         }
@@ -405,7 +459,11 @@ impl MemHierarchy {
         };
         match self.mshrs.alloc(line, MissKind::Read, class, false) {
             Ok(i) => {
-                self.mshrs.get_mut(i).waiting.push(WaitTag::IFetch { ctx, addr });
+                self.mshrs
+                    .get_mut(i)
+                    .waiting
+                    .push(WaitTag::IFetch { ctx, addr });
+                self.trace_alloc(line, MissClass::Ifetch, now);
                 self.events.push_back(if is_protocol {
                     MemEvent::ProtocolFetch { line }
                 } else {
@@ -424,12 +482,23 @@ impl MemHierarchy {
     /// data is then in the line before any deferred intervention can steal
     /// it), or without when only read permission arrived (retry: an
     /// upgrade will be issued). On `Blocked` retry next cycle.
-    pub fn store_retire(&mut self, tag: u32, addr: Addr, now: Cycle, is_protocol: bool) -> AccessOutcome {
+    pub fn store_retire(
+        &mut self,
+        tag: u32,
+        addr: Addr,
+        now: Cycle,
+        is_protocol: bool,
+    ) -> AccessOutcome {
         if is_protocol && self.perfect_protocol {
             self.stats.l1d_prot_hits += 1;
             return AccessOutcome::Ready(now + self.l1_hit);
         }
-        let now = now + if is_protocol { 0 } else { self.dtlb_penalty(addr) };
+        let now = now
+            + if is_protocol {
+                0
+            } else {
+                self.dtlb_penalty(addr)
+            };
         let line = addr.line();
         if self.wb.contains(line) {
             return AccessOutcome::Blocked;
@@ -448,10 +517,11 @@ impl MemHierarchy {
                 return AccessOutcome::Ready(now + self.l1_hit);
             }
             // Clean L1 copy: need L2 write permission.
-            let l2 = self
-                .l2
-                .probe(line.into())
-                .or_else(|| is_protocol.then(|| self.byp_l2.probe(line.into())).flatten());
+            let l2 = self.l2.probe(line.into()).or_else(|| {
+                is_protocol
+                    .then(|| self.byp_l2.probe(line.into()))
+                    .flatten()
+            });
             match l2 {
                 Some(s) if s.is_writable() => {
                     self.set_l2_state(line, LineState::Modified, is_protocol);
@@ -463,9 +533,12 @@ impl MemHierarchy {
                     }
                     return AccessOutcome::Ready(now + self.l1_hit);
                 }
-                Some(_) => return self.issue_upgrade(tag, addr, line, is_protocol),
+                Some(_) => return self.issue_upgrade(tag, addr, line, is_protocol, now),
                 None => {
-                    debug_assert!(false, "inclusion violated: L1 copy of {addr:?} has no L2 line");
+                    debug_assert!(
+                        false,
+                        "inclusion violated: L1 copy of {addr:?} has no L2 line"
+                    );
                     return AccessOutcome::Blocked;
                 }
             }
@@ -476,10 +549,11 @@ impl MemHierarchy {
         } else {
             self.stats.l1d_app_misses += 1;
         }
-        let l2 = self
-            .l2
-            .lookup(line.into())
-            .or_else(|| is_protocol.then(|| self.byp_l2.lookup(line.into())).flatten());
+        let l2 = self.l2.lookup(line.into()).or_else(|| {
+            is_protocol
+                .then(|| self.byp_l2.lookup(line.into()))
+                .flatten()
+        });
         match l2 {
             Some(s) if s.is_writable() => {
                 if is_protocol {
@@ -491,7 +565,7 @@ impl MemHierarchy {
                 self.l1d_install(addr, LineState::Modified, is_protocol);
                 AccessOutcome::Ready(now + self.l2_hit)
             }
-            Some(_) => self.issue_upgrade(tag, addr, line, is_protocol),
+            Some(_) => self.issue_upgrade(tag, addr, line, is_protocol, now),
             None => {
                 if is_protocol {
                     self.stats.l2_prot_misses += 1;
@@ -499,7 +573,10 @@ impl MemHierarchy {
                     self.stats.l2_app_misses += 1;
                 }
                 if let Some(i) = self.mshrs.find(line) {
-                    self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+                    self.mshrs
+                        .get_mut(i)
+                        .waiting
+                        .push(WaitTag::Store { tag, addr });
                     return AccessOutcome::Pending;
                 }
                 let class = if is_protocol {
@@ -509,7 +586,11 @@ impl MemHierarchy {
                 };
                 match self.mshrs.alloc(line, MissKind::Write, class, false) {
                     Ok(i) => {
-                        self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+                        self.mshrs
+                            .get_mut(i)
+                            .waiting
+                            .push(WaitTag::Store { tag, addr });
+                        self.trace_alloc(line, MissClass::Write, now);
                         self.events.push_back(if is_protocol {
                             MemEvent::ProtocolFetch { line }
                         } else {
@@ -526,16 +607,33 @@ impl MemHierarchy {
         }
     }
 
-    fn issue_upgrade(&mut self, tag: u32, addr: Addr, line: LineAddr, is_protocol: bool) -> AccessOutcome {
+    fn issue_upgrade(
+        &mut self,
+        tag: u32,
+        addr: Addr,
+        line: LineAddr,
+        is_protocol: bool,
+        now: Cycle,
+    ) -> AccessOutcome {
         debug_assert!(!is_protocol, "directory lines are never Shared");
         if let Some(i) = self.mshrs.find(line) {
-            self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+            self.mshrs
+                .get_mut(i)
+                .waiting
+                .push(WaitTag::Store { tag, addr });
             return AccessOutcome::Pending;
         }
-        match self.mshrs.alloc(line, MissKind::Upgrade, MshrClass::AppStore, false) {
+        match self
+            .mshrs
+            .alloc(line, MissKind::Upgrade, MshrClass::AppStore, false)
+        {
             Ok(i) => {
-                self.mshrs.get_mut(i).waiting.push(WaitTag::Store { tag, addr });
+                self.mshrs
+                    .get_mut(i)
+                    .waiting
+                    .push(WaitTag::Store { tag, addr });
                 self.stats.upgrades += 1;
+                self.trace_alloc(line, MissClass::Upgrade, now);
                 self.events.push_back(MemEvent::AppMiss {
                     line,
                     kind: MissKind::Upgrade,
@@ -559,7 +657,7 @@ impl MemHierarchy {
     }
 
     /// Issue a software prefetch (non-binding: dropped under pressure).
-    pub fn prefetch(&mut self, addr: Addr, exclusive: bool, _now: Cycle) {
+    pub fn prefetch(&mut self, addr: Addr, exclusive: bool, now: Cycle) {
         let line = addr.line();
         if self.wb.contains(line) || self.mshrs.find(line).is_some() {
             self.stats.prefetch_drops += 1;
@@ -578,6 +676,7 @@ impl MemHierarchy {
                 {
                     self.stats.prefetch_issued += 1;
                     self.stats.upgrades += 1;
+                    self.trace_alloc(line, MissClass::Prefetch, now);
                     self.events.push_back(MemEvent::AppMiss {
                         line,
                         kind: MissKind::Upgrade,
@@ -592,8 +691,13 @@ impl MemHierarchy {
                 } else {
                     MissKind::Read
                 };
-                if self.mshrs.alloc(line, kind, MshrClass::AppLoad, true).is_ok() {
+                if self
+                    .mshrs
+                    .alloc(line, kind, MshrClass::AppLoad, true)
+                    .is_ok()
+                {
                     self.stats.prefetch_issued += 1;
+                    self.trace_alloc(line, MissClass::Prefetch, now);
                     self.events.push_back(MemEvent::AppMiss { line, kind });
                 } else {
                     self.stats.prefetch_drops += 1;
@@ -619,9 +723,22 @@ impl MemHierarchy {
             let m = self.mshrs.get(idx);
             (m.kind, m.is_protocol)
         };
+        {
+            let node = self.node;
+            let grant_class = match grant {
+                Grant::Shared => GrantClass::Shared,
+                Grant::Excl { .. } => GrantClass::Excl,
+                Grant::UpgradeAck { .. } => GrantClass::UpgradeAck,
+            };
+            self.tracer.emit(Category::Cache, now, || Event::Fill {
+                node,
+                line,
+                grant: grant_class,
+            });
+        }
         let acks = match grant {
             Grant::Shared => {
-                self.l2_install(line, LineState::Shared, is_protocol);
+                self.l2_install(line, LineState::Shared, is_protocol, now);
                 0
             }
             Grant::Excl { acks } => {
@@ -630,7 +747,7 @@ impl MemHierarchy {
                 } else {
                     LineState::Exclusive
                 };
-                self.l2_install(line, st, is_protocol);
+                self.l2_install(line, st, is_protocol, now);
                 acks
             }
             Grant::UpgradeAck { acks } => {
@@ -653,7 +770,8 @@ impl MemHierarchy {
             match w {
                 WaitTag::Load { tag, addr } => {
                     self.l1d_install(addr, LineState::Shared, is_protocol);
-                    self.events.push_back(MemEvent::LoadDone { tag, at: now + 2 });
+                    self.events
+                        .push_back(MemEvent::LoadDone { tag, at: now + 2 });
                 }
                 WaitTag::Store { tag, addr } => {
                     if write_granted {
@@ -680,13 +798,13 @@ impl MemHierarchy {
             debug_assert!(m.acks_pending >= 0, "more acks than expected for {line:?}");
         }
         if self.mshrs.get(idx).complete() {
-            self.finish_mshr(idx);
+            self.finish_mshr(idx, now);
         }
     }
 
     /// An invalidation acknowledgement arrived for our pending exclusive
     /// transaction.
-    pub fn ack_arrived(&mut self, line: LineAddr) {
+    pub fn ack_arrived(&mut self, line: LineAddr, now: Cycle) {
         let idx = self
             .mshrs
             .find(line)
@@ -700,12 +818,16 @@ impl MemHierarchy {
             );
         }
         if self.mshrs.get(idx).complete() {
-            self.finish_mshr(idx);
+            self.finish_mshr(idx, now);
         }
     }
 
-    fn finish_mshr(&mut self, idx: usize) {
+    fn finish_mshr(&mut self, idx: usize, now: Cycle) {
         let m = self.mshrs.free(idx);
+        let node = self.node;
+        let line = m.line;
+        self.tracer
+            .emit(Category::Cache, now, || Event::MshrFree { node, line });
         match m.deferred {
             None => {}
             Some(Deferred::Inval { requester }) => {
@@ -759,7 +881,10 @@ impl MemHierarchy {
         if let Some(idx) = self.mshrs.find(line) {
             let m = self.mshrs.get_mut(idx);
             if m.kind == MissKind::Read && !m.data_done {
-                debug_assert!(m.deferred.is_none(), "two coherence ops deferred on {line:?}");
+                debug_assert!(
+                    m.deferred.is_none(),
+                    "two coherence ops deferred on {line:?}"
+                );
                 m.deferred = Some(Deferred::Inval { requester });
                 return InvalResult::Deferred;
             }
@@ -786,7 +911,10 @@ impl MemHierarchy {
         if let Some(dirty) = self.wb.dirty(line) {
             return IntervResult::FromWb { dirty };
         }
-        panic!("shared intervention for absent line {line:?} at {:?}", self.node);
+        panic!(
+            "shared intervention for absent line {line:?} at {:?}",
+            self.node
+        );
     }
 
     /// Handle an incoming exclusive intervention.
@@ -804,7 +932,10 @@ impl MemHierarchy {
         if let Some(dirty) = self.wb.dirty(line) {
             return IntervResult::FromWb { dirty };
         }
-        panic!("exclusive intervention for absent line {line:?} at {:?}", self.node);
+        panic!(
+            "exclusive intervention for absent line {line:?} at {:?}",
+            self.node
+        );
     }
 
     /// Home acknowledged our `Put`; release the writeback buffer entry.
@@ -837,7 +968,12 @@ impl MemHierarchy {
             let m = self.mshrs.get(i);
             format!(
                 "kind={:?} prot={} data={} acks={} deferred={:?} waiting={}",
-                m.kind, m.is_protocol, m.data_done, m.acks_pending, m.deferred, m.waiting.len()
+                m.kind,
+                m.is_protocol,
+                m.data_done,
+                m.acks_pending,
+                m.deferred,
+                m.waiting.len()
             )
         });
         format!("l2={l2:?} byp={byp:?} wb={wb:?} mshr={mshr:?}")
@@ -885,14 +1021,17 @@ mod tests {
             })
         );
         h.fill(addr(0x1000).line(), Grant::Shared, 100);
-        assert_eq!(
-            h.pop_event(),
-            Some(MemEvent::LoadDone { tag: 1, at: 102 })
-        );
+        assert_eq!(h.pop_event(), Some(MemEvent::LoadDone { tag: 1, at: 102 }));
         // Now both L1 and L2 hold it.
-        assert_eq!(h.load(2, addr(0x1000), 200, false), AccessOutcome::Ready(201));
+        assert_eq!(
+            h.load(2, addr(0x1000), 200, false),
+            AccessOutcome::Ready(201)
+        );
         // A different word of the same L2 line but different L1 line: L2 hit.
-        assert_eq!(h.load(3, addr(0x1040), 300, false), AccessOutcome::Ready(309));
+        assert_eq!(
+            h.load(3, addr(0x1040), 300, false),
+            AccessOutcome::Ready(309)
+        );
     }
 
     #[test]
@@ -914,7 +1053,10 @@ mod tests {
     #[test]
     fn store_miss_requests_exclusive() {
         let mut h = hier(false);
-        assert_eq!(h.store_retire(0, addr(0x3000), 0, false), AccessOutcome::Pending);
+        assert_eq!(
+            h.store_retire(0, addr(0x3000), 0, false),
+            AccessOutcome::Pending
+        );
         assert_eq!(
             h.pop_event(),
             Some(MemEvent::AppMiss {
@@ -937,7 +1079,10 @@ mod tests {
         h.pop_event();
         h.fill(addr(0x4000).line(), Grant::Shared, 10);
         h.pop_event();
-        assert_eq!(h.store_retire(0, addr(0x4000), 20, false), AccessOutcome::Pending);
+        assert_eq!(
+            h.store_retire(0, addr(0x4000), 20, false),
+            AccessOutcome::Pending
+        );
         assert_eq!(
             h.pop_event(),
             Some(MemEvent::AppMiss {
@@ -965,16 +1110,19 @@ mod tests {
         ));
         // MSHR still occupied until acks arrive.
         assert_eq!(h.mshrs_used(), 1);
-        h.ack_arrived(remote(0x100).line());
+        h.ack_arrived(remote(0x100).line(), 20);
         assert_eq!(h.mshrs_used(), 1);
-        h.ack_arrived(remote(0x100).line());
+        h.ack_arrived(remote(0x100).line(), 20);
         assert_eq!(h.mshrs_used(), 0);
     }
 
     #[test]
     fn inval_of_absent_line_acks_immediately() {
         let mut h = hier(false);
-        assert_eq!(h.inval(remote(0x500).line(), NodeId(2)), InvalResult::AckNow);
+        assert_eq!(
+            h.inval(remote(0x500).line(), NodeId(2)),
+            InvalResult::AckNow
+        );
     }
 
     #[test]
@@ -988,7 +1136,10 @@ mod tests {
         );
         h.fill(remote(0x600).line(), Grant::Shared, 10);
         // The load wakes, then the deferred inval fires.
-        assert!(matches!(h.pop_event(), Some(MemEvent::LoadDone { tag: 9, .. })));
+        assert!(matches!(
+            h.pop_event(),
+            Some(MemEvent::LoadDone { tag: 9, .. })
+        ));
         assert_eq!(
             h.pop_event(),
             Some(MemEvent::DeferredInvalAck {
@@ -1010,7 +1161,10 @@ mod tests {
         let r = h.interv_shared(remote(0x700).line(), NodeId(2));
         assert_eq!(r, IntervResult::FromCache { dirty: true });
         // Downgraded: a subsequent store must upgrade.
-        assert_eq!(h.store_retire(0, remote(0x700), 30, false), AccessOutcome::Pending);
+        assert_eq!(
+            h.store_retire(0, remote(0x700), 30, false),
+            AccessOutcome::Pending
+        );
     }
 
     #[test]
@@ -1022,7 +1176,7 @@ mod tests {
         // Acks outstanding: intervention must wait for transaction end.
         let r = h.interv_excl(remote(0x800).line(), NodeId(2));
         assert_eq!(r, IntervResult::Deferred);
-        h.ack_arrived(remote(0x800).line());
+        h.ack_arrived(remote(0x800).line(), 30);
         let ev = loop {
             match h.pop_event() {
                 Some(MemEvent::StoreDone { performed, .. }) => assert!(performed),
@@ -1113,16 +1267,19 @@ mod tests {
         let mut h = hier(false);
         let pc = addr(0x10_0000);
         assert_eq!(h.ifetch(Ctx(0), pc, 0, false), AccessOutcome::Pending);
-        assert_eq!(
-            h.pop_event(),
-            Some(MemEvent::CodeFetch { line: pc.line() })
-        );
+        assert_eq!(h.pop_event(), Some(MemEvent::CodeFetch { line: pc.line() }));
         h.fill(pc.line(), Grant::Shared, 30);
         assert!(matches!(
             h.pop_event(),
-            Some(MemEvent::IFetchDone { ctx: Ctx(0), at: 32 })
+            Some(MemEvent::IFetchDone {
+                ctx: Ctx(0),
+                at: 32
+            })
         ));
-        assert!(matches!(h.ifetch(Ctx(0), pc, 40, false), AccessOutcome::Ready(41)));
+        assert!(matches!(
+            h.ifetch(Ctx(0), pc, 40, false),
+            AccessOutcome::Ready(41)
+        ));
     }
 
     #[test]

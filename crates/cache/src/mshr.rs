@@ -207,8 +207,7 @@ impl MshrFile {
     /// cache with `set_of` as its index function — the bypass-buffer
     /// allocation condition of paper §2.2.
     pub fn app_conflict(&self, set: u64, set_of: impl Fn(LineAddr) -> u64) -> bool {
-        self.iter()
-            .any(|m| !m.is_protocol && set_of(m.line) == set)
+        self.iter().any(|m| !m.is_protocol && set_of(m.line) == set)
     }
 }
 
@@ -225,15 +224,27 @@ mod tests {
     fn reservation_ladder() {
         let mut f = MshrFile::new(2, true); // 2 app + 1 store + 1 protocol
         assert_eq!(f.capacity(), 4);
-        assert!(f.alloc(line(0), MissKind::Read, MshrClass::AppLoad, false).is_ok());
-        assert!(f.alloc(line(1), MissKind::Read, MshrClass::AppLoad, false).is_ok());
+        assert!(f
+            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false)
+            .is_ok());
+        assert!(f
+            .alloc(line(1), MissKind::Read, MshrClass::AppLoad, false)
+            .is_ok());
         // App loads exhausted their share.
-        assert!(f.alloc(line(2), MissKind::Read, MshrClass::AppLoad, false).is_err());
+        assert!(f
+            .alloc(line(2), MissKind::Read, MshrClass::AppLoad, false)
+            .is_err());
         // Stores can still take the retiring-store entry.
-        assert!(f.alloc(line(2), MissKind::Write, MshrClass::AppStore, false).is_ok());
-        assert!(f.alloc(line(3), MissKind::Write, MshrClass::AppStore, false).is_err());
+        assert!(f
+            .alloc(line(2), MissKind::Write, MshrClass::AppStore, false)
+            .is_ok());
+        assert!(f
+            .alloc(line(3), MissKind::Write, MshrClass::AppStore, false)
+            .is_err());
         // Protocol can always take the reserved entry.
-        assert!(f.alloc(line(3), MissKind::Read, MshrClass::Protocol, false).is_ok());
+        assert!(f
+            .alloc(line(3), MissKind::Read, MshrClass::Protocol, false)
+            .is_ok());
         assert_eq!(f.used(), 4);
     }
 
@@ -246,7 +257,9 @@ mod tests {
     #[test]
     fn find_and_free() {
         let mut f = MshrFile::new(4, false);
-        let i = f.alloc(line(7), MissKind::Write, MshrClass::AppLoad, false).unwrap();
+        let i = f
+            .alloc(line(7), MissKind::Write, MshrClass::AppLoad, false)
+            .unwrap();
         assert_eq!(f.find(line(7)), Some(i));
         assert_eq!(f.find(line(8)), None);
         f.get_mut(i).waiting.push(WaitTag::Load {
@@ -262,7 +275,9 @@ mod tests {
     #[test]
     fn completion_requires_data_and_acks() {
         let mut f = MshrFile::new(4, false);
-        let i = f.alloc(line(1), MissKind::Write, MshrClass::AppLoad, false).unwrap();
+        let i = f
+            .alloc(line(1), MissKind::Write, MshrClass::AppLoad, false)
+            .unwrap();
         assert!(!f.get(i).complete());
         f.get_mut(i).data_done = true;
         f.get_mut(i).acks_pending = 2;
@@ -274,10 +289,12 @@ mod tests {
     #[test]
     fn conflict_detection_ignores_protocol_misses() {
         let mut f = MshrFile::new(4, true);
-        f.alloc(line(5), MissKind::Read, MshrClass::Protocol, false).unwrap();
+        f.alloc(line(5), MissKind::Read, MshrClass::Protocol, false)
+            .unwrap();
         let set_of = |l: LineAddr| (l.raw() / 128) % 8;
-        assert!(!f.app_conflict(5 % 8, set_of));
-        f.alloc(line(13), MissKind::Read, MshrClass::AppLoad, false).unwrap(); // 13 % 8 == 5
+        assert!(!f.app_conflict(5, set_of));
+        f.alloc(line(13), MissKind::Read, MshrClass::AppLoad, false)
+            .unwrap(); // 13 % 8 == 5
         assert!(f.app_conflict(5, set_of));
         assert!(!f.app_conflict(6, set_of));
     }
@@ -286,7 +303,9 @@ mod tests {
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
         let mut f = MshrFile::new(4, false);
-        let i = f.alloc(line(0), MissKind::Read, MshrClass::AppLoad, false).unwrap();
+        let i = f
+            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false)
+            .unwrap();
         f.free(i);
         f.free(i);
     }

@@ -26,7 +26,10 @@ impl Tlb {
     ///
     /// Panics unless `page_bytes` is a power of two.
     pub fn new(capacity: usize, page_bytes: u64) -> Tlb {
-        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries: Vec::with_capacity(capacity),
             capacity,

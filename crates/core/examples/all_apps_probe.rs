@@ -4,7 +4,10 @@ use smtp_workloads::AppKind;
 use std::time::Instant;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
     for app in AppKind::ALL {
         for model in [MachineModel::SMTp, MachineModel::Base] {
             let mut e = ExperimentConfig::new(model, app, 4, 2);

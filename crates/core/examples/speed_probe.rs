@@ -8,7 +8,10 @@ fn main() {
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.12);
     let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     let ways: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
-    let max: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(50_000_000);
+    let max: u64 = args
+        .get(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000_000);
     let mut e = ExperimentConfig::new(MachineModel::SMTp, AppKind::Fft, nodes, ways);
     e.scale = scale;
     e.max_cycles = max;
@@ -17,7 +20,11 @@ fn main() {
     let dt = t.elapsed().as_secs_f64();
     println!(
         "cycles={} insts={} prot={} handlers={} wall={:.2}s {:.2}Mcyc/s",
-        r.cycles, r.app_instructions, r.protocol_instructions, r.handlers, dt,
+        r.cycles,
+        r.app_instructions,
+        r.protocol_instructions,
+        r.handlers,
+        dt,
         r.cycles as f64 / dt / 1e6
     );
 }

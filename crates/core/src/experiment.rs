@@ -81,8 +81,9 @@ pub fn default_scale() -> f64 {
         .unwrap_or(0.5)
 }
 
-/// Run one experiment point to completion.
-pub fn run_experiment(e: &ExperimentConfig) -> RunStats {
+/// Build (but do not run) the machine for an experiment point — the hook
+/// for attaching tracing or metrics sampling before [`System::run`].
+pub fn build_system(e: &ExperimentConfig) -> System {
     let cfg = e.system_config();
     let wl = smtp_workloads::WorkloadCfg {
         nodes: cfg.nodes,
@@ -90,8 +91,12 @@ pub fn run_experiment(e: &ExperimentConfig) -> RunStats {
         scale: e.scale,
         prefetch: e.prefetch,
     };
-    let mut sys = System::with_workload(cfg, e.app, wl);
-    sys.run(e.max_cycles)
+    System::with_workload(cfg, e.app, wl)
+}
+
+/// Run one experiment point to completion.
+pub fn run_experiment(e: &ExperimentConfig) -> RunStats {
+    build_system(e).run(e.max_cycles)
 }
 
 /// Normalized execution times of all five machine models for one

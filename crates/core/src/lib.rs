@@ -18,7 +18,7 @@ pub mod node;
 pub mod stats;
 pub mod system;
 
-pub use experiment::{run_experiment, ExperimentConfig};
+pub use experiment::{build_system, run_experiment, ExperimentConfig};
 pub use node::Node;
 pub use stats::RunStats;
 pub use system::System;

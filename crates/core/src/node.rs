@@ -7,9 +7,8 @@ use smtp_mem::{DirCache, ProtocolEngine, Sdram};
 use smtp_noc::{Msg, MsgKind};
 use smtp_pipeline::{PipeEnv, SmtPipeline};
 use smtp_protocol::{handler_program, Directory, Transition};
-use smtp_types::{
-    Ctx, Cycle, LineAddr, MachineModel, NodeId, Region, SystemConfig,
-};
+use smtp_trace::{Category, Event, HandlerClass, Tracer};
+use smtp_types::{Ctx, Cycle, LineAddr, MachineModel, NodeId, Region, SystemConfig};
 use smtp_workloads::{make_thread, AppKind, SyncManager, ThreadGen, WorkloadCfg};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -22,6 +21,13 @@ struct HandlerInstance {
     sends: Vec<Msg>,
     data_reply: Option<usize>,
     data_ready_at: Cycle,
+    /// Line this handler serves (trace attribution).
+    line: LineAddr,
+    /// Handler class (trace attribution).
+    handler: HandlerClass,
+    /// Per-node dispatch sequence number, matching the `handler_dispatch`
+    /// trace event this instance was announced with.
+    trace_seq: u64,
 }
 
 /// The SMTp handler dispatch unit (paper §2.1): selects queued
@@ -92,13 +98,18 @@ impl DispatchUnit {
         (msg, at)
     }
 
-    fn ldctxt_graduated(&mut self) {
+    fn ldctxt_graduated(&mut self) -> HandlerInstance {
         let h = self
             .running
             .pop_front()
             .expect("ldctxt without running handler");
-        debug_assert_eq!(h.pos, h.prog.len(), "handler graduated before fetch finished");
+        debug_assert_eq!(
+            h.pos,
+            h.prog.len(),
+            "handler graduated before fetch finished"
+        );
         self.fetch_idx = self.fetch_idx.saturating_sub(1);
+        h
     }
 
     /// Whether no handler is running or queued.
@@ -199,6 +210,7 @@ pub struct Node {
     actions: Vec<ProtAction>,
     outbox: Vec<(Cycle, Msg)>,
     trace_line: Option<u64>,
+    tracer: Tracer,
     /// Extra statistics.
     pub stats: NodeStats,
 }
@@ -274,8 +286,18 @@ impl Node {
             trace_line: std::env::var("SMTP_TRACE_LINE")
                 .ok()
                 .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok()),
+            tracer: Tracer::disabled(),
             stats: NodeStats::default(),
         }
+    }
+
+    /// Attach the system tracer to this node and all its sub-components.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.pipeline.set_tracer(tracer.clone());
+        self.mem.set_tracer(tracer.clone());
+        self.directory.set_tracer(tracer.clone());
+        self.sdram.set_tracer(self.id, tracer.clone());
+        self.tracer = tracer;
     }
 
     #[inline]
@@ -309,6 +331,12 @@ impl Node {
         self.trace(at, "emit", &msg);
         if msg.dst == self.id {
             self.stats.msgs_local += 1;
+            let node = self.id;
+            self.tracer.emit(Category::Network, at, || Event::LocalMsg {
+                node,
+                line: msg.addr,
+                msg: msg.kind.trace_label(),
+            });
             self.schedule(at + self.mc_div, Pending::Deliver(msg));
         } else {
             self.stats.msgs_out += 1;
@@ -349,17 +377,15 @@ impl Node {
                     Pending::Fill(msg.addr, Grant::UpgradeAck { acks }),
                 );
             }
-            MsgKind::AckInv => self.mem.ack_arrived(msg.addr),
+            MsgKind::AckInv => self.mem.ack_arrived(msg.addr, now),
             MsgKind::WbAck => self.mem.wb_acked(msg.addr),
-            MsgKind::Inval { requester } => {
-                match self.mem.inval(msg.addr, requester) {
-                    InvalResult::AckNow => {
-                        let ack = Msg::new(MsgKind::AckInv, msg.addr, self.id, requester);
-                        self.emit_msg(ack, now + 2);
-                    }
-                    InvalResult::Deferred => {}
+            MsgKind::Inval { requester } => match self.mem.inval(msg.addr, requester) {
+                InvalResult::AckNow => {
+                    let ack = Msg::new(MsgKind::AckInv, msg.addr, self.id, requester);
+                    self.emit_msg(ack, now + 2);
                 }
-            }
+                InvalResult::Deferred => {}
+            },
             MsgKind::IntervShared { requester } => {
                 let home = msg.src;
                 match self.mem.interv_shared(msg.addr, requester) {
@@ -385,7 +411,10 @@ impl Node {
     fn reply_interv_shared(&mut self, line: LineAddr, requester: NodeId, home: NodeId, now: Cycle) {
         let at = now + 2;
         self.emit_msg(Msg::new(MsgKind::DataShared, line, self.id, requester), at);
-        self.emit_msg(Msg::new(MsgKind::SharingWb { requester }, line, self.id, home), at);
+        self.emit_msg(
+            Msg::new(MsgKind::SharingWb { requester }, line, self.id, home),
+            at,
+        );
     }
 
     fn reply_interv_excl(&mut self, line: LineAddr, requester: NodeId, home: NodeId, now: Cycle) {
@@ -395,7 +424,14 @@ impl Node {
             at,
         );
         self.emit_msg(
-            Msg::new(MsgKind::TransferAck { new_owner: requester }, line, self.id, home),
+            Msg::new(
+                MsgKind::TransferAck {
+                    new_owner: requester,
+                },
+                line,
+                self.id,
+                home,
+            ),
             at,
         );
     }
@@ -459,10 +495,14 @@ impl Node {
                     let ack = Msg::new(MsgKind::AckInv, line, self.id, requester);
                     self.emit_msg(ack, now + 2);
                 }
-                MemEvent::DeferredIntervShared { line, requester, .. } => {
+                MemEvent::DeferredIntervShared {
+                    line, requester, ..
+                } => {
                     self.reply_interv_shared(line, requester, line.home(), now);
                 }
-                MemEvent::DeferredIntervExcl { line, requester, .. } => {
+                MemEvent::DeferredIntervExcl {
+                    line, requester, ..
+                } => {
                     self.reply_interv_excl(line, requester, line.home(), now);
                 }
             }
@@ -485,7 +525,7 @@ impl Node {
 
     /// Run the home-side protocol processing for this MC edge.
     fn home_dispatch(&mut self, now: Cycle) {
-        if now % self.mc_div != 0 {
+        if !now.is_multiple_of(self.mc_div) {
             return;
         }
         match self.model {
@@ -497,13 +537,15 @@ impl Node {
                     let Some(msg) = self.next_home_msg(now) else {
                         break;
                     };
-                    let Some(t) = self.directory.process(&msg) else {
+                    let Some(t) = self.directory.process(&msg, now) else {
                         self.trace(now, "defer", &msg);
                         continue; // deferred into the pending queue
                     };
                     self.trace(now, "handle", &msg);
                     self.stats.handlers += 1;
-                    self.start_protocol_thread_handler(msg.addr, t, now);
+                    let seq = self.stats.handlers;
+                    self.trace_dispatch(&msg, &t, seq, now);
+                    self.start_protocol_thread_handler(msg.addr, t, now, seq);
                 }
             }
             _ => {
@@ -517,15 +559,32 @@ impl Node {
                     let Some(msg) = self.next_home_msg(now) else {
                         break;
                     };
-                    let Some(t) = self.directory.process(&msg) else {
+                    let Some(t) = self.directory.process(&msg, now) else {
                         continue;
                     };
                     self.stats.handlers += 1;
-                    self.run_engine_handler(msg.addr, t, now);
+                    let seq = self.stats.handlers;
+                    self.trace_dispatch(&msg, &t, seq, now);
+                    self.run_engine_handler(msg.addr, t, now, seq);
                     break;
                 }
             }
         }
+    }
+
+    /// Announce a handler dispatch to the tracer. `seq` pairs the event
+    /// with its eventual `handler_complete`.
+    fn trace_dispatch(&mut self, msg: &Msg, t: &Transition, seq: u64, now: Cycle) {
+        let node = self.id;
+        self.tracer
+            .emit(Category::Protocol, now, || Event::HandlerDispatch {
+                node,
+                line: msg.addr,
+                handler: t.kind.trace_class(),
+                msg: msg.kind.trace_label(),
+                src: msg.src,
+                seq,
+            });
     }
 
     fn common_handler_setup(&mut self, line: LineAddr, t: &Transition, now: Cycle) -> Cycle {
@@ -545,19 +604,29 @@ impl Node {
         }
     }
 
-    fn start_protocol_thread_handler(&mut self, line: LineAddr, t: Transition, now: Cycle) {
+    fn start_protocol_thread_handler(
+        &mut self,
+        line: LineAddr,
+        t: Transition,
+        now: Cycle,
+        seq: u64,
+    ) {
         let data_ready_at = self.common_handler_setup(line, &t, now);
         let prog = handler_program(self.id, line, &t);
+        let handler = t.kind.trace_class();
         self.dispatch.enqueue(HandlerInstance {
             prog,
             pos: 0,
             sends: t.sends,
             data_reply: t.data_reply,
             data_ready_at,
+            line,
+            handler,
+            trace_seq: seq,
         });
     }
 
-    fn run_engine_handler(&mut self, line: LineAddr, t: Transition, now: Cycle) {
+    fn run_engine_handler(&mut self, line: LineAddr, t: Transition, now: Cycle, seq: u64) {
         let data_ready_at = self.common_handler_setup(line, &t, now);
         let prog = handler_program(self.id, line, &t);
         let run = self
@@ -565,6 +634,15 @@ impl Node {
             .as_mut()
             .expect("engine")
             .run_handler(self.id, &prog, now);
+        let node = self.id;
+        let handler = t.kind.trace_class();
+        self.tracer
+            .emit(Category::Protocol, run.finish, || Event::HandlerComplete {
+                node,
+                line,
+                handler,
+                seq,
+            });
         for (send_at, idx) in run.sends {
             let msg = t.sends[idx];
             let at = if t.data_reply == Some(idx) {
@@ -580,11 +658,7 @@ impl Node {
     /// in the outbox for the system to drain via [`Node::take_outbox`].
     pub fn tick(&mut self, now: Cycle, sync: &mut SyncManager) {
         // 1. Due local events.
-        while self
-            .events
-            .peek()
-            .is_some_and(|Reverse(t)| t.at <= now)
-        {
+        while self.events.peek().is_some_and(|Reverse(t)| t.at <= now) {
             let Reverse(t) = self.events.pop().expect("peeked");
             match t.what {
                 Pending::Deliver(msg) => self.receive(msg, now),
@@ -614,7 +688,17 @@ impl Node {
                     let (msg, send_at) = self.dispatch.send_msg(idx, at);
                     self.emit_msg(msg, send_at);
                 }
-                ProtAction::Ldctxt => self.dispatch.ldctxt_graduated(),
+                ProtAction::Ldctxt => {
+                    let h = self.dispatch.ldctxt_graduated();
+                    let node = self.id;
+                    self.tracer
+                        .emit(Category::Protocol, now, || Event::HandlerComplete {
+                            node,
+                            line: h.line,
+                            handler: h.handler,
+                            seq: h.trace_seq,
+                        });
+                }
             }
         }
         // 5. New cache events from this cycle's pipeline activity.
@@ -624,6 +708,12 @@ impl Node {
     /// Drain messages bound for the network.
     pub fn take_outbox(&mut self) -> Vec<(Cycle, Msg)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Combined depth of the protocol input queues (local-miss interface,
+    /// network interface, and replay) — the metrics-sampling signal.
+    pub fn protocol_queue_depth(&self) -> usize {
+        self.lmi.len() + self.ni_in.len() + self.replay.len()
     }
 
     /// Diagnostics: queue depths and dispatch state.
@@ -730,6 +820,9 @@ mod tests {
             sends: vec![],
             data_reply: None,
             data_ready_at: 0,
+            line: LineAddr(0),
+            handler: HandlerClass::Put,
+            trace_seq: 0,
         });
         assert!(!d.can_accept());
         assert!(d.next_inst().is_some());
@@ -748,6 +841,9 @@ mod tests {
             sends: vec![],
             data_reply: None,
             data_ready_at: 0,
+            line: LineAddr(0),
+            handler: HandlerClass::Put,
+            trace_seq: 0,
         };
         d.enqueue(mk(2));
         d.enqueue(mk(3));

@@ -3,9 +3,19 @@
 use crate::node::Node;
 use crate::stats::RunStats;
 use smtp_noc::Network;
-use smtp_types::{Cycle, NodeId, SystemConfig};
+use smtp_trace::{IntervalSampler, Tracer};
 use smtp_types::Ctx;
+use smtp_types::{Cycle, NodeId, SystemConfig};
 use smtp_workloads::{AppKind, SyncManager, ThreadGen, WorkloadCfg};
+
+/// Interval-sampling state: the sampler plus the previous counter values
+/// needed to turn cumulative statistics into per-interval rates.
+struct MetricsState {
+    sampler: IntervalSampler,
+    prev_committed: Vec<u64>,
+    prev_prot_active: Vec<u64>,
+    prev_vnet: [u64; 4],
+}
 
 /// A complete simulated DSM machine running one application.
 pub struct System {
@@ -16,6 +26,8 @@ pub struct System {
     sync: SyncManager,
     now: Cycle,
     app_done_at: Option<Cycle>,
+    tracer: Tracer,
+    metrics: Option<MetricsState>,
 }
 
 impl std::fmt::Debug for System {
@@ -73,9 +85,22 @@ impl System {
         Self::assemble(cfg, AppKind::Fft, nodes)
     }
 
-    fn assemble(cfg: SystemConfig, app: AppKind, nodes: Vec<Node>) -> System {
-        let network = (cfg.nodes > 1).then(|| Network::new(cfg.nodes, cfg.cpu_ghz, &cfg.net));
+    fn assemble(cfg: SystemConfig, app: AppKind, mut nodes: Vec<Node>) -> System {
+        let mut network = (cfg.nodes > 1).then(|| Network::new(cfg.nodes, cfg.cpu_ghz, &cfg.net));
         let sync = SyncManager::new(cfg.total_app_threads());
+        // One tracer shared by every component. It starts with an empty
+        // category mask — each emission point costs a single branch until
+        // [`Tracer::set_mask`]/[`Tracer::enable_all`] turns categories on —
+        // and a diagnostics ring so enabled runs keep their recent history
+        // for deadlock panics.
+        let tracer = Tracer::new();
+        tracer.enable_ring(128);
+        for n in &mut nodes {
+            n.set_tracer(tracer.clone());
+        }
+        if let Some(net) = &mut network {
+            net.set_tracer(tracer.clone());
+        }
         System {
             cfg,
             app,
@@ -84,12 +109,85 @@ impl System {
             sync,
             now: 0,
             app_done_at: None,
+            tracer,
+            metrics: None,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// The system tracer. Enable categories and attach sinks through this
+    /// handle; every component shares it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Start interval sampling of machine metrics every `interval` cycles:
+    /// per-node IPC, protocol-thread occupancy, MSHR usage and protocol
+    /// queue depth, plus network in-flight count and per-virtual-network
+    /// message rates. Retrieve the series with [`System::metrics`].
+    pub fn enable_metrics(&mut self, interval: Cycle) {
+        let n = self.nodes.len();
+        let mut columns = Vec::with_capacity(4 * n + 5);
+        for i in 0..n {
+            columns.push(format!("ipc{i}"));
+            columns.push(format!("prot_occ{i}"));
+            columns.push(format!("mshr{i}"));
+            columns.push(format!("queue{i}"));
+        }
+        columns.push("net_inflight".to_string());
+        for v in 0..4 {
+            columns.push(format!("vn{v}"));
+        }
+        self.metrics = Some(MetricsState {
+            sampler: IntervalSampler::new(interval, columns),
+            prev_committed: vec![0; n],
+            prev_prot_active: vec![0; n],
+            prev_vnet: [0; 4],
+        });
+    }
+
+    /// The sampled metrics time-series, if [`System::enable_metrics`] was
+    /// called.
+    pub fn metrics(&self) -> Option<&IntervalSampler> {
+        self.metrics.as_ref().map(|m| &m.sampler)
+    }
+
+    fn sample_metrics(&mut self, now: Cycle) {
+        let Some(m) = &mut self.metrics else {
+            return;
+        };
+        if !m.sampler.due(now) {
+            return;
+        }
+        let interval = m.sampler.interval() as f64;
+        let mut values = Vec::with_capacity(4 * self.nodes.len() + 5);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let s = node.pipeline.stats();
+            let committed: u64 = s.committed[..self.cfg.app_threads].iter().sum();
+            values.push((committed - m.prev_committed[i]) as f64 / interval);
+            m.prev_committed[i] = committed;
+            let active = s.protocol_active_cycles;
+            values.push((active - m.prev_prot_active[i]) as f64 / interval);
+            m.prev_prot_active[i] = active;
+            values.push(node.mem.mshrs_used() as f64);
+            values.push(node.protocol_queue_depth() as f64);
+        }
+        match &self.network {
+            Some(net) => {
+                values.push(net.in_flight_count() as f64);
+                let per_vnet = net.stats().per_vnet;
+                for (prev, &cur) in m.prev_vnet.iter_mut().zip(per_vnet.iter()) {
+                    values.push((cur - *prev) as f64 / interval);
+                    *prev = cur;
+                }
+            }
+            None => values.extend([0.0; 5]),
+        }
+        m.sampler.record(now, values);
     }
 
     /// Current cycle.
@@ -119,6 +217,7 @@ impl System {
         if self.app_done_at.is_none() && self.nodes.iter().all(|n| n.pipeline.finished()) {
             self.app_done_at = Some(now);
         }
+        self.sample_metrics(now);
         self.now += 1;
     }
 
@@ -147,10 +246,12 @@ impl System {
                 self.panic_with_diagnostics(max_cycles);
             }
         }
+        self.tracer.flush();
         self.collect()
     }
 
     fn panic_with_diagnostics(&self, max_cycles: Cycle) -> ! {
+        self.tracer.flush();
         let mut diag = String::new();
         for n in &self.nodes {
             let s = n.pipeline.stats();
@@ -173,6 +274,14 @@ impl System {
                         peer.mem.debug_line(line)
                     ));
                 }
+            }
+        }
+        let ring = self.tracer.ring_dump();
+        if !ring.is_empty() {
+            diag.push_str(&format!("\n  last {} trace events:", ring.len()));
+            for line in ring {
+                diag.push_str("\n    ");
+                diag.push_str(&line);
             }
         }
         panic!(

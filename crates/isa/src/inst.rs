@@ -294,7 +294,11 @@ impl Inst {
     pub fn is_branch(&self) -> bool {
         matches!(
             self.op,
-            Op::Branch { .. } | Op::Call { .. } | Op::Ret | Op::SyncBranch { .. } | Op::PBranch { .. }
+            Op::Branch { .. }
+                | Op::Call { .. }
+                | Op::Ret
+                | Op::SyncBranch { .. }
+                | Op::PBranch { .. }
         )
     }
 
@@ -337,13 +341,7 @@ impl Inst {
     /// Execution latency in cycles on its functional unit (memory ops
     /// report their AGU latency; cache access time is added by the memory
     /// pipeline).
-    pub fn exec_latency(
-        &self,
-        int_mul: u64,
-        int_div: u64,
-        fp_mul: u64,
-        fp_div: u64,
-    ) -> u64 {
+    pub fn exec_latency(&self, int_mul: u64, int_div: u64, fp_mul: u64, fp_div: u64) -> u64 {
         match self.op {
             Op::IntMul => int_mul,
             Op::IntDiv => int_div,

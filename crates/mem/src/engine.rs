@@ -157,8 +157,8 @@ impl ProtocolEngine {
 mod tests {
     use super::*;
     use smtp_noc::{Msg, MsgKind};
-    use smtp_protocol::{must_apply, handler_program};
     use smtp_protocol::DirState;
+    use smtp_protocol::{handler_program, must_apply};
     use smtp_types::{Addr, Region, SharerSet};
 
     const HOME: NodeId = NodeId(0);
@@ -188,7 +188,11 @@ mod tests {
         let warm = e2.run_handler(HOME, &prog, 1000);
         // ~7 instructions dual-issued with two 1-cycle memory ops: well
         // under 10 MC cycles = 20 CPU cycles at divisor 2.
-        assert!(warm.finish - 1000 <= 20, "warm handler took {} cycles", warm.finish - 1000);
+        assert!(
+            warm.finish - 1000 <= 20,
+            "warm handler took {} cycles",
+            warm.finish - 1000
+        );
         assert_eq!(run.sends.len(), 1);
         assert!(e2.idle(warm.finish));
         assert!(!e2.idle(warm.finish - 1));
@@ -221,7 +225,7 @@ mod tests {
         let mut e = engine(2);
         let run = e.run_handler(HOME, &prog, 0);
         assert_eq!(run.sends.len(), 5); // 4 invals + data reply
-        // Send order respected and strictly non-decreasing in time.
+                                        // Send order respected and strictly non-decreasing in time.
         for w in run.sends.windows(2) {
             assert!(w[0].0 <= w[1].0);
             assert!(w[0].1 < w[1].1);

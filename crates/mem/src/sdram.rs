@@ -7,7 +7,8 @@
 //! dedicated 64-bit protocol bus so protocol refills proceed in parallel
 //! with application transfers (paper §2.1).
 
-use smtp_types::{Cycle, L2_LINE};
+use smtp_trace::{Category, Event, Tracer};
+use smtp_types::{Cycle, NodeId, L2_LINE};
 
 /// One SDRAM channel: a bandwidth-limited pipe with fixed access latency.
 #[derive(Clone, Copy, Debug)]
@@ -25,6 +26,8 @@ pub struct Sdram {
     protocol: Channel,
     reads: u64,
     writes: u64,
+    node: NodeId,
+    tracer: Tracer,
 }
 
 impl Sdram {
@@ -45,7 +48,16 @@ impl Sdram {
             },
             reads: 0,
             writes: 0,
+            node: NodeId(0),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the system tracer (events: `sdram_read`, `sdram_write`),
+    /// labelling events with the owning node.
+    pub fn set_tracer(&mut self, node: NodeId, tracer: Tracer) {
+        self.node = node;
+        self.tracer = tracer;
     }
 
     /// Convenience constructor from ns-domain parameters.
@@ -65,25 +77,51 @@ impl Sdram {
     /// Read a line on the main channel; returns the data-ready cycle.
     pub fn read(&mut self, now: Cycle) -> Cycle {
         self.reads += 1;
-        Self::schedule(&mut self.main, now, self.per_line, self.access)
+        let ready = Self::schedule(&mut self.main, now, self.per_line, self.access);
+        let node = self.node;
+        self.tracer.emit(Category::Sdram, now, || Event::SdramRead {
+            node,
+            protocol: false,
+            ready_at: ready,
+        });
+        ready
     }
 
     /// Write a line on the main channel (bandwidth only; completion time is
     /// when the channel accepts it).
     pub fn write(&mut self, now: Cycle) -> Cycle {
         self.writes += 1;
+        let node = self.node;
+        self.tracer
+            .emit(Category::Sdram, now, || Event::SdramWrite {
+                node,
+                protocol: false,
+            });
         Self::schedule(&mut self.main, now, self.per_line, 0)
     }
 
     /// Read a line on the dedicated protocol channel.
     pub fn read_protocol(&mut self, now: Cycle) -> Cycle {
         self.reads += 1;
-        Self::schedule(&mut self.protocol, now, self.per_line, self.access)
+        let ready = Self::schedule(&mut self.protocol, now, self.per_line, self.access);
+        let node = self.node;
+        self.tracer.emit(Category::Sdram, now, || Event::SdramRead {
+            node,
+            protocol: true,
+            ready_at: ready,
+        });
+        ready
     }
 
     /// Write a line on the protocol channel.
     pub fn write_protocol(&mut self, now: Cycle) -> Cycle {
         self.writes += 1;
+        let node = self.node;
+        self.tracer
+            .emit(Category::Sdram, now, || Event::SdramWrite {
+                node,
+                protocol: true,
+            });
         Self::schedule(&mut self.protocol, now, self.per_line, 0)
     }
 

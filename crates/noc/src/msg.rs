@@ -122,6 +122,28 @@ impl MsgKind {
         }
     }
 
+    /// Payload-free label for trace output.
+    pub fn trace_label(self) -> smtp_trace::MsgLabel {
+        use smtp_trace::MsgLabel;
+        use MsgKind::*;
+        match self {
+            GetS => MsgLabel::GetS,
+            GetX => MsgLabel::GetX,
+            Upgrade => MsgLabel::Upgrade,
+            Put { .. } => MsgLabel::Put,
+            IntervShared { .. } => MsgLabel::IntervShared,
+            IntervExcl { .. } => MsgLabel::IntervExcl,
+            Inval { .. } => MsgLabel::Inval,
+            DataShared => MsgLabel::DataShared,
+            DataExcl { .. } => MsgLabel::DataExcl,
+            UpgradeAck { .. } => MsgLabel::UpgradeAck,
+            AckInv => MsgLabel::AckInv,
+            WbAck => MsgLabel::WbAck,
+            SharingWb { .. } => MsgLabel::SharingWb,
+            TransferAck { .. } => MsgLabel::TransferAck,
+        }
+    }
+
     /// Payload size in bytes (a full cache line for data-carrying messages).
     pub fn data_bytes(self) -> u64 {
         use MsgKind::*;

@@ -2,6 +2,7 @@
 
 use crate::msg::Msg;
 use crate::topology::Topology;
+use smtp_trace::{Category, Event, Tracer};
 use smtp_types::{Cycle, NetParams};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -66,6 +67,7 @@ pub struct Network {
     cycles_per_byte: f64,
     route_buf: Vec<usize>,
     stats: NetStats,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -84,7 +86,13 @@ impl Network {
             cycles_per_byte: cpu_ghz / p.link_gbps,
             route_buf: Vec::with_capacity(8),
             stats: NetStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the system tracer (events: `net_inject`, `net_deliver`).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The topology in use.
@@ -116,6 +124,15 @@ impl Network {
         self.stats.bytes += bytes;
         self.stats.total_latency += cur - now;
         self.stats.per_vnet[msg.vnet().idx()] += 1;
+        self.tracer
+            .emit(Category::Network, now, || Event::NetInject {
+                src: msg.src,
+                dst: msg.dst,
+                line: msg.addr,
+                msg: msg.kind.trace_label(),
+                vnet: msg.vnet().idx() as u8,
+                deliver_at: cur,
+            });
         self.in_flight.push(Reverse(InFlight {
             at: cur,
             seq: self.seq,
@@ -126,12 +143,17 @@ impl Network {
 
     /// Pop the next message whose arrival time is ≤ `now`, if any.
     pub fn pop_arrived(&mut self, now: Cycle) -> Option<Msg> {
-        if self
-            .in_flight
-            .peek()
-            .is_some_and(|Reverse(f)| f.at <= now)
-        {
-            self.in_flight.pop().map(|Reverse(f)| f.msg)
+        if self.in_flight.peek().is_some_and(|Reverse(f)| f.at <= now) {
+            let Reverse(f) = self.in_flight.pop()?;
+            self.tracer
+                .emit(Category::Network, f.at, || Event::NetDeliver {
+                    src: f.msg.src,
+                    dst: f.msg.dst,
+                    line: f.msg.addr,
+                    msg: f.msg.kind.trace_label(),
+                    vnet: f.msg.vnet().idx() as u8,
+                });
+            Some(f.msg)
         } else {
             None
         }

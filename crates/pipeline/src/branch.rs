@@ -162,13 +162,10 @@ impl Btb {
         self.clock += 1;
         let clock = self.clock;
         let range = self.set_range(pc);
-        let hit = self.entries[range]
-            .iter_mut()
-            .find(|e| e.0 == pc)
-            .map(|e| {
-                e.2 = clock;
-                e.1
-            });
+        let hit = self.entries[range].iter_mut().find(|e| e.0 == pc).map(|e| {
+            e.2 = clock;
+            e.1
+        });
         if hit.is_some() {
             self.hits += 1;
         } else {

@@ -162,7 +162,11 @@ impl RegFiles {
     /// return the speculative physical register to the free list.
     pub fn rollback(&mut self, ctx: Ctx, r: Reg, phys: u16, prev: u16) {
         let f = self.class_mut(r.class);
-        debug_assert_eq!(f.map[ctx.idx()][r.idx as usize], phys, "rollback order violated");
+        debug_assert_eq!(
+            f.map[ctx.idx()][r.idx as usize],
+            phys,
+            "rollback order violated"
+        );
         f.map[ctx.idx()][r.idx as usize] = prev;
         f.free.push(phys);
         if ctx.is_protocol() {
@@ -240,7 +244,10 @@ mod tests {
         // Drain the free list down to the reserved register.
         let mut n = 0;
         while f.can_alloc(Ctx(0), RegClass::Int) {
-            assert!(matches!(f.rename(Ctx(0), Reg::int(1)), RenameOutcome::Ok { .. }));
+            assert!(matches!(
+                f.rename(Ctx(0), Reg::int(1)),
+                RenameOutcome::Ok { .. }
+            ));
             n += 1;
         }
         assert_eq!(n, 95, "application stops one short of empty");

@@ -11,7 +11,8 @@ use crate::regs::{RegFiles, RenameOutcome};
 use crate::stats::PipeStats;
 use crate::window::{DynInst, ThreadState};
 use smtp_cache::{AccessOutcome, MemHierarchy};
-use smtp_isa::{FuClass, Inst, Op, Reg, RegClass};
+use smtp_isa::{FuClass, Inst, Op, Reg, RegClass, SyncOp, SyncOutcome};
+use smtp_trace::{Category, Event, Tracer};
 use smtp_types::{app_code_addr, Addr, Ctx, Cycle, NodeId, PipelineParams, Region, MAX_CTX};
 use std::collections::VecDeque;
 
@@ -145,6 +146,7 @@ pub struct SmtPipeline {
     rr_mem: usize,
     drain_first: bool,
     stats: PipeStats,
+    tracer: Tracer,
 }
 
 impl SmtPipeline {
@@ -188,7 +190,14 @@ impl SmtPipeline {
             rr_mem: 0,
             drain_first: false,
             stats: PipeStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the system tracer (events: `pipe_send`, `pipe_ldctxt`, and
+    /// the sync events fired at `SyncStore` graduation).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Active contexts in commit priority order.
@@ -202,7 +211,9 @@ impl SmtPipeline {
 
     /// Whether every application thread has finished its program.
     pub fn finished(&self) -> bool {
-        self.threads[..self.app_threads].iter().all(|t| t.finished())
+        self.threads[..self.app_threads]
+            .iter()
+            .all(|t| t.finished())
     }
 
     /// Whether the protocol thread has no instructions in flight.
@@ -284,18 +295,9 @@ impl SmtPipeline {
         }
         self.resolving
             .sort_unstable_by_key(|r| (r.at, r.ctx.0, r.seq));
-        let mut rest = Vec::with_capacity(self.resolving.len());
-        let due: Vec<Resolve> = std::mem::take(&mut self.resolving)
+        let (due, rest): (Vec<Resolve>, Vec<Resolve>) = std::mem::take(&mut self.resolving)
             .into_iter()
-            .filter_map(|r| {
-                if r.at <= now {
-                    Some(r)
-                } else {
-                    rest.push(r);
-                    None
-                }
-            })
-            .collect();
+            .partition(|r| r.at <= now);
         self.resolving = rest;
         for r in due {
             self.resolve_one(r, now, env);
@@ -453,8 +455,8 @@ impl SmtPipeline {
         }
         self.rr_commit = (self.rr_commit + 1) % n;
         // Paper §4 memory-stall accounting.
-        for t in 0..self.app_threads {
-            if committed_any[t] {
+        for (t, &committed) in committed_any.iter().enumerate().take(self.app_threads) {
+            if committed {
                 continue;
             }
             let th = &self.threads[t];
@@ -479,10 +481,9 @@ impl SmtPipeline {
             let Some(head) = th.window.front() else {
                 return CommitOne::Empty;
             };
-            if head.inst.is_nonspeculative() && !head.issued {
-                if !self.prepare_nonspec(ctx, now, mem) {
-                    return CommitOne::Blocked;
-                }
+            if head.inst.is_nonspeculative() && !head.issued && !self.prepare_nonspec(ctx, now, mem)
+            {
+                return CommitOne::Blocked;
             }
         }
         // SyncBranch: resolve non-speculatively at graduation.
@@ -519,10 +520,21 @@ impl SmtPipeline {
         let d = self.threads[ctx.idx()].window.pop_front().expect("checked");
         // Graduation-time effects.
         match d.inst.op {
-            Op::Send { msg_idx } => env.send_graduated(msg_idx, now),
-            Op::Ldctxt => env.ldctxt_graduated(now),
+            Op::Send { msg_idx } => {
+                let node = self.node;
+                self.tracer
+                    .emit(Category::Pipeline, now, || Event::PipeSend { node, ctx });
+                env.send_graduated(msg_idx, now)
+            }
+            Op::Ldctxt => {
+                let node = self.node;
+                self.tracer
+                    .emit(Category::Pipeline, now, || Event::PipeLdctxt { node, ctx });
+                env.ldctxt_graduated(now)
+            }
             Op::SyncStore { op, .. } => {
                 let out = env.sync_store(self.node, ctx, op);
+                self.trace_sync(ctx, op, out, now);
                 env.sync_result(ctx, out);
                 let th = &mut self.threads[ctx.idx()];
                 if th.block_seq == Some(d.seq) {
@@ -553,6 +565,32 @@ impl SmtPipeline {
         }
         self.stats.committed[ctx.idx()] += 1;
         CommitOne::Committed
+    }
+
+    /// Translate a graduated sync store's `(op, outcome)` pair into the
+    /// observable sync event, if any. Lock attempts record win/lose;
+    /// barrier arrivals record spin vs group completion (the last arrival).
+    fn trace_sync(&self, ctx: Ctx, op: SyncOp, out: SyncOutcome, now: Cycle) {
+        let node = self.node;
+        let ev = match (op, out) {
+            (SyncOp::LockAttempt(lock), SyncOutcome::Acquired) => {
+                Some(Event::LockAcquire { node, ctx, lock })
+            }
+            (SyncOp::LockAttempt(lock), SyncOutcome::Failed) => {
+                Some(Event::LockFail { node, ctx, lock })
+            }
+            (SyncOp::LockRelease(lock), _) => Some(Event::LockRelease { node, ctx, lock }),
+            (SyncOp::BarrierArrive { bar, .. }, SyncOutcome::MustSpin { .. }) => {
+                Some(Event::BarrierArrive { node, ctx, bar })
+            }
+            (SyncOp::BarrierArrive { bar, .. }, SyncOutcome::PropagateUp) => {
+                Some(Event::BarrierComplete { node, ctx, bar })
+            }
+            _ => None,
+        };
+        if let Some(ev) = ev {
+            self.tracer.emit(Category::Sync, now, || ev);
+        }
     }
 
     /// Make a non-speculative head instruction executable. Returns `false`
@@ -686,8 +724,8 @@ impl SmtPipeline {
                     let dst = d.dst_phys;
                     // SyncBranches resolve at commit instead (their outcome
                     // delivery must be non-speculative).
-                    let is_branch = d.inst.is_branch()
-                        && !matches!(d.inst.op, Op::SyncBranch { .. });
+                    let is_branch =
+                        d.inst.is_branch() && !matches!(d.inst.op, Op::SyncBranch { .. });
                     match class {
                         RegClass::Int => {
                             self.iq_int_used -= 1;
@@ -880,8 +918,8 @@ impl SmtPipeline {
 
     fn rename(&mut self, now: Cycle) {
         let mut budget = self.p.fetch_width; // 8-wide rename
-        // Protocol section first (it is rarely occupied and must never be
-        // blocked behind a stalled application instruction).
+                                             // Protocol section first (it is rarely occupied and must never be
+                                             // blocked behind a stalled application instruction).
         while budget > 0 {
             let Some(e) = self.rename_q.prot.front().cloned() else {
                 break;
@@ -1205,8 +1243,8 @@ impl SmtPipeline {
 mod tests {
     use super::*;
     use smtp_cache::MemHierarchy;
-    use smtp_isa::{InstSource, SyncCond, SyncOp, SyncOutcome};
     use smtp_isa::source::FixedProgram;
+    use smtp_isa::{InstSource, SyncCond, SyncOp, SyncOutcome};
     use smtp_types::{NodeId, PipelineParams};
 
     /// Minimal env: fixed programs per app thread, no protocol thread.
@@ -1240,7 +1278,9 @@ mod tests {
             SyncOutcome::Done
         }
         fn sync_result(&mut self, ctx: Ctx, outcome: SyncOutcome) {
-            self.progs.get_mut(ctx.idx()).map(|p| p.sync_result(outcome));
+            if let Some(p) = self.progs.get_mut(ctx.idx()) {
+                p.sync_result(outcome)
+            }
         }
         fn send_graduated(&mut self, msg_idx: u8, _now: Cycle) {
             self.sends.push(msg_idx);
@@ -1572,7 +1612,9 @@ mod tests {
         let dir = Addr::new(NodeId(0), Region::Directory, 0x40);
         let handler = vec![
             Inst::new(Op::PLoad { addr: dir }, 0).with_dst(Reg::int(1)),
-            Inst::new(Op::PAlu, 8).with_srcs(Some(Reg::int(1)), None).with_dst(Reg::int(3)),
+            Inst::new(Op::PAlu, 8)
+                .with_srcs(Some(Reg::int(1)), None)
+                .with_dst(Reg::int(3)),
             Inst::new(Op::Send { msg_idx: 0 }, 9).with_srcs(Some(Reg::int(3)), None),
             Inst::new(Op::PStore { addr: dir }, 10).with_srcs(Some(Reg::int(3)), None),
             Inst::new(Op::Switch, 11).with_dst(Reg::int(6)),
@@ -1607,7 +1649,10 @@ mod tests {
         assert_eq!(env.sends, vec![0], "send did not fire at graduation");
         assert_eq!(pipe.stats().committed[Ctx::protocol().idx()], 6);
         assert!(pipe.stats().protocol_active_cycles > 0);
-        assert!(pipe.stats().prot_lsq.peak() >= 3, "PLoad/PStore/switch/ldctxt occupy LSQ");
+        assert!(
+            pipe.stats().prot_lsq.peak() >= 3,
+            "PLoad/PStore/switch/ldctxt occupy LSQ"
+        );
     }
 
     #[test]

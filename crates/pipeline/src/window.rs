@@ -164,7 +164,8 @@ mod tests {
     fn window_find_by_seq() {
         let mut t = ThreadState::new(Ctx(0), 32);
         for s in 10..15 {
-            t.window.push_back(DynInst::new(Inst::new(Op::IntAlu, 0), s, false));
+            t.window
+                .push_back(DynInst::new(Inst::new(Op::IntAlu, 0), s, false));
         }
         assert_eq!(t.find(12).unwrap().seq, 12);
         assert!(t.find(9).is_none());

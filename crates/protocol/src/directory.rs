@@ -2,7 +2,8 @@
 
 use crate::transition::{handle, Outcome, Transition};
 use smtp_noc::Msg;
-use smtp_types::{LineAddr, NodeId, SharerSet};
+use smtp_trace::{Category, DirClass, Event, Tracer};
+use smtp_types::{Cycle, LineAddr, NodeId, SharerSet};
 use std::collections::{HashMap, VecDeque};
 
 /// Directory state of one line (the contents of its directory entry).
@@ -36,7 +37,21 @@ pub enum DirState {
 impl DirState {
     /// Whether the line is mid-transaction.
     pub fn is_busy(&self) -> bool {
-        matches!(self, DirState::BusyShared { .. } | DirState::BusyExcl { .. })
+        matches!(
+            self,
+            DirState::BusyShared { .. } | DirState::BusyExcl { .. }
+        )
+    }
+
+    /// Payload-free class for trace output.
+    pub fn trace_class(&self) -> DirClass {
+        match self {
+            DirState::Unowned => DirClass::Unowned,
+            DirState::Shared(_) => DirClass::Shared,
+            DirState::Exclusive(_) => DirClass::Exclusive,
+            DirState::BusyShared { .. } => DirClass::BusyShared,
+            DirState::BusyExcl { .. } => DirClass::BusyExcl,
+        }
     }
 }
 
@@ -64,6 +79,7 @@ pub struct Directory {
     states: HashMap<u64, DirState>,
     pending: HashMap<u64, VecDeque<Msg>>,
     stats: DirStats,
+    tracer: Tracer,
 }
 
 impl Directory {
@@ -74,7 +90,13 @@ impl Directory {
             states: HashMap::new(),
             pending: HashMap::new(),
             stats: DirStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach the system tracer (events: `dir_transition`, `dir_defer`).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The home node this directory serves.
@@ -96,11 +118,19 @@ impl Directory {
     ///
     /// Panics if `msg.dst` is not this home, or on protocol-invariant
     /// violations (see [`crate::transition::handle`]).
-    pub fn process(&mut self, msg: &Msg) -> Option<Transition> {
+    pub fn process(&mut self, msg: &Msg, now: Cycle) -> Option<Transition> {
         assert_eq!(msg.addr.home(), self.home, "message routed to wrong home");
         let state = self.state(msg.addr);
         match handle(self.home, &state, msg) {
             Outcome::Apply(t) => {
+                let home = self.home;
+                self.tracer
+                    .emit(Category::Protocol, now, || Event::DirTransition {
+                        node: home,
+                        line: msg.addr,
+                        from: state.trace_class(),
+                        to: t.new_state.trace_class(),
+                    });
                 self.stats.handlers += 1;
                 self.stats.invals_sent += t
                     .sends
@@ -127,6 +157,13 @@ impl Directory {
             }
             Outcome::Defer => {
                 self.stats.deferred += 1;
+                let home = self.home;
+                self.tracer
+                    .emit(Category::Protocol, now, || Event::DirDefer {
+                        node: home,
+                        line: msg.addr,
+                        msg: msg.kind.trace_label(),
+                    });
                 let q = self.pending.entry(msg.addr.raw()).or_default();
                 q.push_back(*msg);
                 self.stats.peak_pending = self.stats.peak_pending.max(q.len());
@@ -175,11 +212,7 @@ impl Directory {
     pub fn check_invariants(&self) {
         for (&raw, q) in &self.pending {
             if !q.is_empty() {
-                let st = self
-                    .states
-                    .get(&raw)
-                    .copied()
-                    .unwrap_or_default();
+                let st = self.states.get(&raw).copied().unwrap_or_default();
                 assert!(
                     st.is_busy(),
                     "pending requests on non-busy line {raw:#x} ({st:?})"
@@ -211,19 +244,19 @@ mod tests {
     fn full_read_write_read_sequence() {
         let mut d = Directory::new(HOME);
         // A reads.
-        let t = d.process(&msg(MsgKind::GetS, A, line(0))).unwrap();
+        let t = d.process(&msg(MsgKind::GetS, A, line(0)), 0).unwrap();
         assert_eq!(t.sends[0].kind, MsgKind::DataShared);
         assert_eq!(d.state(line(0)), DirState::Shared(SharerSet::singleton(A)));
         // B writes: A gets invalidated.
-        let t = d.process(&msg(MsgKind::GetX, B, line(0))).unwrap();
+        let t = d.process(&msg(MsgKind::GetX, B, line(0)), 0).unwrap();
         assert_eq!(t.sends[0].kind, MsgKind::Inval { requester: B });
         assert_eq!(d.state(line(0)), DirState::Exclusive(B));
         // A reads again: intervention to B, then completion.
-        let t = d.process(&msg(MsgKind::GetS, A, line(0))).unwrap();
+        let t = d.process(&msg(MsgKind::GetS, A, line(0)), 0).unwrap();
         assert_eq!(t.sends[0].kind, MsgKind::IntervShared { requester: A });
         assert!(d.state(line(0)).is_busy());
         let t = d
-            .process(&msg(MsgKind::SharingWb { requester: A }, B, line(0)))
+            .process(&msg(MsgKind::SharingWb { requester: A }, B, line(0)), 0)
             .unwrap();
         assert!(t.unbusied);
         let both: SharerSet = [A, B].into_iter().collect();
@@ -234,30 +267,33 @@ mod tests {
     #[test]
     fn busy_line_queues_and_replays() {
         let mut d = Directory::new(HOME);
-        d.process(&msg(MsgKind::GetX, A, line(1))).unwrap();
-        d.process(&msg(MsgKind::GetS, B, line(1))).unwrap(); // busy now
-        assert!(d.process(&msg(MsgKind::GetX, B, line(1))).is_none());
+        d.process(&msg(MsgKind::GetX, A, line(1)), 0).unwrap();
+        d.process(&msg(MsgKind::GetS, B, line(1)), 0).unwrap(); // busy now
+        assert!(d.process(&msg(MsgKind::GetX, B, line(1)), 0).is_none());
         assert_eq!(d.pending_len(), 1);
         assert_eq!(d.stats().deferred, 1);
         // Completion unbusies; caller replays.
         let t = d
-            .process(&msg(MsgKind::SharingWb { requester: B }, A, line(1)))
+            .process(&msg(MsgKind::SharingWb { requester: B }, A, line(1)), 0)
             .unwrap();
         assert!(t.unbusied);
         let pend = d.take_pending(line(1));
         assert_eq!(pend.len(), 1);
-        let t = d.process(&pend[0]).unwrap();
+        let t = d.process(&pend[0], 0).unwrap();
         // B upgrades from shared: inval to A, exclusive to B.
         assert_eq!(d.state(line(1)), DirState::Exclusive(B));
-        assert!(t.sends.iter().any(|m| m.kind == MsgKind::Inval { requester: B }));
+        assert!(t
+            .sends
+            .iter()
+            .any(|m| m.kind == MsgKind::Inval { requester: B }));
         d.check_invariants();
     }
 
     #[test]
     fn unowned_lines_are_not_materialized() {
         let mut d = Directory::new(HOME);
-        d.process(&msg(MsgKind::GetX, A, line(2))).unwrap();
-        d.process(&msg(MsgKind::Put { dirty: true }, A, line(2)))
+        d.process(&msg(MsgKind::GetX, A, line(2)), 0).unwrap();
+        d.process(&msg(MsgKind::Put { dirty: true }, A, line(2)), 0)
             .unwrap();
         assert_eq!(d.state(line(2)), DirState::Unowned);
         assert_eq!(d.states.len(), 0, "unowned entries freed");
@@ -267,14 +303,14 @@ mod tests {
     #[should_panic(expected = "wrong home")]
     fn misrouted_message_panics() {
         let mut d = Directory::new(NodeId(3));
-        d.process(&msg(MsgKind::GetS, A, line(0)));
+        d.process(&msg(MsgKind::GetS, A, line(0)), 0);
     }
 
     #[test]
     fn stats_count_interventions() {
         let mut d = Directory::new(HOME);
-        d.process(&msg(MsgKind::GetX, A, line(3))).unwrap();
-        d.process(&msg(MsgKind::GetS, B, line(3))).unwrap();
+        d.process(&msg(MsgKind::GetX, A, line(3)), 0).unwrap();
+        d.process(&msg(MsgKind::GetS, B, line(3)), 0).unwrap();
         assert_eq!(d.stats().interventions, 1);
         assert_eq!(d.stats().handlers, 2);
     }

@@ -66,6 +66,23 @@ impl HandlerKind {
     /// Number of distinct handler kinds.
     pub const COUNT: usize = 10;
 
+    /// Payload-free class for trace output.
+    pub fn trace_class(self) -> smtp_trace::HandlerClass {
+        use smtp_trace::HandlerClass;
+        match self {
+            HandlerKind::GetSUnowned => HandlerClass::GetSUnowned,
+            HandlerKind::GetSShared => HandlerClass::GetSShared,
+            HandlerKind::GetSExcl => HandlerClass::GetSExcl,
+            HandlerKind::GetXUnowned => HandlerClass::GetXUnowned,
+            HandlerKind::GetXShared { .. } => HandlerClass::GetXShared,
+            HandlerKind::GetXExcl => HandlerClass::GetXExcl,
+            HandlerKind::Put => HandlerClass::Put,
+            HandlerKind::PutStale => HandlerClass::PutStale,
+            HandlerKind::SharingWb => HandlerClass::SharingWb,
+            HandlerKind::TransferAck => HandlerClass::TransferAck,
+        }
+    }
+
     /// Short name for statistics output.
     pub fn name(self) -> &'static str {
         match self {
@@ -232,10 +249,7 @@ pub fn handler_program(_home: NodeId, line: LineAddr, t: &Transition) -> Vec<Ins
     pc += 1;
 
     // Terminator: switch (header of next request), ldctxt (its address).
-    push(
-        &mut prog,
-        Inst::new(Op::Switch, pc).with_dst(Reg::int(6)),
-    );
+    push(&mut prog, Inst::new(Op::Switch, pc).with_dst(Reg::int(6)));
     push(
         &mut prog,
         Inst::new(Op::Ldctxt, pc + 1).with_dst(Reg::int(2)),

@@ -24,7 +24,7 @@ pub mod directory;
 pub mod handlers;
 pub mod transition;
 
-pub use directory::{DirState, Directory, DirStats};
+pub use directory::{DirState, DirStats, Directory};
 pub use handlers::{handler_base_pc, handler_program, pc_to_addr, HandlerKind};
 pub use transition::{handle, Outcome, Transition};
 

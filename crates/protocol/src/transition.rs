@@ -70,7 +70,11 @@ pub fn handle(home: NodeId, state: &DirState, msg: &Msg) -> Outcome {
         MsgKind::Upgrade => handle_getx(home, state, line, who, true),
         MsgKind::Put { dirty } => handle_put(home, state, line, who, dirty),
         MsgKind::SharingWb { requester } => {
-            let DirState::BusyShared { owner, requester: r } = *state else {
+            let DirState::BusyShared {
+                owner,
+                requester: r,
+            } = *state
+            else {
                 panic!("SharingWb for {line:?} in state {state:?}");
             };
             assert_eq!(owner, who, "SharingWb from non-owner");
@@ -115,7 +119,10 @@ fn handle_gets(home: NodeId, state: &DirState, line: LineAddr, who: NodeId) -> O
             Outcome::Apply(Box::new(t))
         }
         DirState::Exclusive(owner) => {
-            assert_ne!(owner, who, "owner {owner:?} sent GetS for its own line {line:?}");
+            assert_ne!(
+                owner, who,
+                "owner {owner:?} sent GetS for its own line {line:?}"
+            );
             let mut t = Transition::new(
                 HandlerKind::GetSExcl,
                 DirState::BusyShared {
@@ -123,8 +130,12 @@ fn handle_gets(home: NodeId, state: &DirState, line: LineAddr, who: NodeId) -> O
                     requester: who,
                 },
             );
-            t.sends
-                .push(Msg::new(MsgKind::IntervShared { requester: who }, line, home, owner));
+            t.sends.push(Msg::new(
+                MsgKind::IntervShared { requester: who },
+                line,
+                home,
+                owner,
+            ));
             Outcome::Apply(Box::new(t))
         }
         DirState::BusyShared { .. } | DirState::BusyExcl { .. } => Outcome::Defer,
@@ -171,7 +182,10 @@ fn handle_getx(
             Outcome::Apply(Box::new(t))
         }
         DirState::Exclusive(owner) => {
-            assert_ne!(owner, who, "owner {owner:?} sent GetX for its own line {line:?}");
+            assert_ne!(
+                owner, who,
+                "owner {owner:?} sent GetX for its own line {line:?}"
+            );
             let mut t = Transition::new(
                 HandlerKind::GetXExcl,
                 DirState::BusyExcl {
@@ -179,21 +193,19 @@ fn handle_getx(
                     requester: who,
                 },
             );
-            t.sends
-                .push(Msg::new(MsgKind::IntervExcl { requester: who }, line, home, owner));
+            t.sends.push(Msg::new(
+                MsgKind::IntervExcl { requester: who },
+                line,
+                home,
+                owner,
+            ));
             Outcome::Apply(Box::new(t))
         }
         DirState::BusyShared { .. } | DirState::BusyExcl { .. } => Outcome::Defer,
     }
 }
 
-fn handle_put(
-    home: NodeId,
-    state: &DirState,
-    line: LineAddr,
-    who: NodeId,
-    dirty: bool,
-) -> Outcome {
+fn handle_put(home: NodeId, state: &DirState, line: LineAddr, who: NodeId, dirty: bool) -> Outcome {
     match *state {
         DirState::Exclusive(owner) if owner == who => {
             let mut t = Transition::new(HandlerKind::Put, DirState::Unowned);
@@ -305,7 +317,10 @@ mod tests {
         let s: SharerSet = [A, B].into_iter().collect();
         let t = apply(&DirState::Shared(s), msg(MsgKind::Upgrade, A));
         assert_eq!(t.new_state, DirState::Exclusive(A));
-        assert_eq!(t.sends.last().unwrap().kind, MsgKind::UpgradeAck { acks: 1 });
+        assert_eq!(
+            t.sends.last().unwrap().kind,
+            MsgKind::UpgradeAck { acks: 1 }
+        );
         assert_eq!(t.data_reply, None);
     }
 
@@ -364,7 +379,10 @@ mod tests {
 
     #[test]
     fn put_from_owner_returns_to_unowned() {
-        let t = apply(&DirState::Exclusive(A), msg(MsgKind::Put { dirty: true }, A));
+        let t = apply(
+            &DirState::Exclusive(A),
+            msg(MsgKind::Put { dirty: true }, A),
+        );
         assert_eq!(t.new_state, DirState::Unowned);
         assert_eq!(t.sends[0].kind, MsgKind::WbAck);
         assert!(t.sdram_write);
@@ -381,7 +399,10 @@ mod tests {
 
     #[test]
     fn stale_put_after_transfer_keeps_new_owner() {
-        let t = apply(&DirState::Exclusive(B), msg(MsgKind::Put { dirty: true }, A));
+        let t = apply(
+            &DirState::Exclusive(B),
+            msg(MsgKind::Put { dirty: true }, A),
+        );
         assert_eq!(t.new_state, DirState::Exclusive(B));
         assert_eq!(t.sends[0].kind, MsgKind::WbAck);
         assert_eq!(t.sends[0].dst, A);
@@ -396,6 +417,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "SharingWb")]
     fn sharing_wb_without_busy_is_a_bug() {
-        apply(&DirState::Unowned, msg(MsgKind::SharingWb { requester: B }, A));
+        apply(
+            &DirState::Unowned,
+            msg(MsgKind::SharingWb { requester: B }, A),
+        );
     }
 }

@@ -1,0 +1,818 @@
+//! The trace event taxonomy: categories, label enums and the [`Event`] type.
+//!
+//! Events are plain `Copy` records of scalar fields so that constructing one
+//! is cheap and recording one never allocates on the simulator's hot path.
+//! Label enums ([`MsgLabel`], [`HandlerClass`], [`DirClass`], …) mirror the
+//! richer enums of the simulator crates; each crate provides its own
+//! conversion so this crate depends only on `smtp-types`.
+
+use smtp_types::{Ctx, Cycle, LineAddr, NodeId};
+use std::fmt;
+
+/// Trace categories; each owns one bit of the [`Tracer`](crate::Tracer)
+/// enable mask.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Category {
+    /// SMT pipeline: protocol-thread context events (send/ldctxt graduation).
+    Pipeline = 0,
+    /// Cache hierarchy: misses, MSHR lifetime, fills, writebacks.
+    Cache = 1,
+    /// Coherence protocol: handler dispatch/completion, directory
+    /// transitions, deferred requests.
+    Protocol = 2,
+    /// Interconnect: message injects and delivers per virtual network.
+    Network = 3,
+    /// SDRAM accesses (application data and directory/protocol traffic).
+    Sdram = 4,
+    /// Synchronization: lock acquire/release, barrier arrival/completion.
+    Sync = 5,
+}
+
+/// Number of [`Category`] variants.
+pub const NUM_CATEGORIES: usize = 6;
+
+impl Category {
+    /// Mask with every category enabled.
+    pub const ALL: u32 = (1 << NUM_CATEGORIES as u32) - 1;
+
+    /// This category's bit in the enable mask.
+    #[inline(always)]
+    pub fn bit(self) -> u32 {
+        1 << self as u32
+    }
+
+    /// Lower-case name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Pipeline => "pipeline",
+            Category::Cache => "cache",
+            Category::Protocol => "protocol",
+            Category::Network => "network",
+            Category::Sdram => "sdram",
+            Category::Sync => "sync",
+        }
+    }
+}
+
+/// Coherence message label (mirrors `smtp_noc::MsgKind`, payload-free).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgLabel {
+    /// Read-shared request.
+    GetS,
+    /// Read-exclusive request.
+    GetX,
+    /// Upgrade (write to a Shared copy) request.
+    Upgrade,
+    /// Owner writeback.
+    Put,
+    /// Shared intervention to the owner.
+    IntervShared,
+    /// Exclusive intervention to the owner.
+    IntervExcl,
+    /// Invalidation to a sharer.
+    Inval,
+    /// Shared data reply.
+    DataShared,
+    /// Exclusive data reply.
+    DataExcl,
+    /// Ownership-only reply to an `Upgrade`.
+    UpgradeAck,
+    /// Invalidation acknowledgement.
+    AckInv,
+    /// Writeback acknowledgement.
+    WbAck,
+    /// Sharing writeback completing a shared intervention.
+    SharingWb,
+    /// Transfer acknowledgement completing an exclusive intervention.
+    TransferAck,
+}
+
+impl MsgLabel {
+    /// Stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgLabel::GetS => "GetS",
+            MsgLabel::GetX => "GetX",
+            MsgLabel::Upgrade => "Upgrade",
+            MsgLabel::Put => "Put",
+            MsgLabel::IntervShared => "IntervShared",
+            MsgLabel::IntervExcl => "IntervExcl",
+            MsgLabel::Inval => "Inval",
+            MsgLabel::DataShared => "DataShared",
+            MsgLabel::DataExcl => "DataExcl",
+            MsgLabel::UpgradeAck => "UpgradeAck",
+            MsgLabel::AckInv => "AckInv",
+            MsgLabel::WbAck => "WbAck",
+            MsgLabel::SharingWb => "SharingWb",
+            MsgLabel::TransferAck => "TransferAck",
+        }
+    }
+}
+
+/// Kind of cache miss (mirrors `smtp_cache::MissKind` plus fetch classes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MissClass {
+    /// Load miss (`GetS`).
+    Read,
+    /// Store miss without a copy (`GetX`).
+    Write,
+    /// Store upgrade of a Shared copy (`Upgrade`).
+    Upgrade,
+    /// Instruction-fetch miss.
+    Ifetch,
+    /// Software prefetch.
+    Prefetch,
+}
+
+impl MissClass {
+    /// Stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MissClass::Read => "read",
+            MissClass::Write => "write",
+            MissClass::Upgrade => "upgrade",
+            MissClass::Ifetch => "ifetch",
+            MissClass::Prefetch => "prefetch",
+        }
+    }
+}
+
+/// What a data reply granted (mirrors `smtp_cache::Grant`, payload-free).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GrantClass {
+    /// Shared data.
+    Shared,
+    /// Exclusive data (eager-exclusive).
+    Excl,
+    /// Ownership without data (`UpgradeAck`).
+    UpgradeAck,
+}
+
+impl GrantClass {
+    /// Stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            GrantClass::Shared => "shared",
+            GrantClass::Excl => "excl",
+            GrantClass::UpgradeAck => "upgrade_ack",
+        }
+    }
+}
+
+/// Protocol handler class (mirrors `smtp_protocol::HandlerKind`,
+/// payload-free).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HandlerClass {
+    /// GetS on an unowned line.
+    GetSUnowned,
+    /// GetS on a shared line.
+    GetSShared,
+    /// GetS on an exclusive line.
+    GetSExcl,
+    /// GetX on an unowned line.
+    GetXUnowned,
+    /// GetX/Upgrade on a shared line.
+    GetXShared,
+    /// GetX on an exclusive line.
+    GetXExcl,
+    /// Owner writeback.
+    Put,
+    /// Stale writeback that raced with an intervention.
+    PutStale,
+    /// Sharing-writeback completion.
+    SharingWb,
+    /// Transfer-ack completion.
+    TransferAck,
+}
+
+impl HandlerClass {
+    /// Stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            HandlerClass::GetSUnowned => "GetSUnowned",
+            HandlerClass::GetSShared => "GetSShared",
+            HandlerClass::GetSExcl => "GetSExcl",
+            HandlerClass::GetXUnowned => "GetXUnowned",
+            HandlerClass::GetXShared => "GetXShared",
+            HandlerClass::GetXExcl => "GetXExcl",
+            HandlerClass::Put => "Put",
+            HandlerClass::PutStale => "PutStale",
+            HandlerClass::SharingWb => "SharingWb",
+            HandlerClass::TransferAck => "TransferAck",
+        }
+    }
+}
+
+/// Directory state class (mirrors `smtp_protocol::DirState`, payload-free).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DirClass {
+    /// No cached copies.
+    Unowned,
+    /// Read-only copies.
+    Shared,
+    /// Single owner.
+    Exclusive,
+    /// Shared intervention in flight.
+    BusyShared,
+    /// Exclusive intervention in flight.
+    BusyExcl,
+}
+
+impl DirClass {
+    /// Stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DirClass::Unowned => "Unowned",
+            DirClass::Shared => "Shared",
+            DirClass::Exclusive => "Exclusive",
+            DirClass::BusyShared => "BusyShared",
+            DirClass::BusyExcl => "BusyExcl",
+        }
+    }
+}
+
+/// One trace event. All payloads are `Copy` scalars; the emitting cycle is
+/// carried separately by the sink API so events themselves stay small.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    // --- Cache ---------------------------------------------------------
+    /// An access missed in the L2 and allocated an MSHR; the coherence
+    /// transaction for `line` begins here.
+    MshrAlloc {
+        /// Requesting node.
+        node: NodeId,
+        /// Missing line.
+        line: LineAddr,
+        /// Miss class.
+        miss: MissClass,
+    },
+    /// The MSHR retired (data filled *and* all invalidation acks
+    /// collected); the transaction for `line` is complete.
+    MshrFree {
+        /// Requesting node.
+        node: NodeId,
+        /// Line whose transaction completed.
+        line: LineAddr,
+    },
+    /// A data/ownership reply filled the cache hierarchy.
+    Fill {
+        /// Requesting node.
+        node: NodeId,
+        /// Filled line.
+        line: LineAddr,
+        /// What was granted.
+        grant: GrantClass,
+    },
+    /// An L2 victim was pushed to the writeback buffer.
+    Writeback {
+        /// Evicting node.
+        node: NodeId,
+        /// Victim line.
+        line: LineAddr,
+        /// Dirty (sends `Put`) vs clean replacement hint.
+        dirty: bool,
+    },
+
+    // --- Protocol ------------------------------------------------------
+    /// A coherence handler started at the home/requesting node.
+    HandlerDispatch {
+        /// Node running the handler.
+        node: NodeId,
+        /// Line being handled.
+        line: LineAddr,
+        /// Handler class.
+        handler: HandlerClass,
+        /// Triggering message.
+        msg: MsgLabel,
+        /// Node the triggering message came from.
+        src: NodeId,
+        /// Per-node dispatch sequence number (matches `RunStats::handlers`).
+        seq: u64,
+    },
+    /// A coherence handler finished (protocol-thread `ldctxt` graduated, or
+    /// the embedded engine's analytic run completed).
+    HandlerComplete {
+        /// Node that ran the handler.
+        node: NodeId,
+        /// Line that was handled.
+        line: LineAddr,
+        /// Handler class.
+        handler: HandlerClass,
+        /// Per-node dispatch sequence number of the matching dispatch.
+        seq: u64,
+    },
+    /// The directory committed a state transition for a line.
+    DirTransition {
+        /// Home node.
+        node: NodeId,
+        /// Line.
+        line: LineAddr,
+        /// State before.
+        from: DirClass,
+        /// State after.
+        to: DirClass,
+    },
+    /// A request hit a busy directory entry and was queued for replay.
+    DirDefer {
+        /// Home node.
+        node: NodeId,
+        /// Busy line.
+        line: LineAddr,
+        /// Deferred message.
+        msg: MsgLabel,
+    },
+
+    // --- Network -------------------------------------------------------
+    /// A message entered the interconnect.
+    NetInject {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Subject line.
+        line: LineAddr,
+        /// Message label.
+        msg: MsgLabel,
+        /// Virtual network index.
+        vnet: u8,
+        /// Cycle the message will arrive at `dst`.
+        deliver_at: Cycle,
+    },
+    /// A message left the interconnect at its destination.
+    NetDeliver {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Subject line.
+        line: LineAddr,
+        /// Message label.
+        msg: MsgLabel,
+        /// Virtual network index.
+        vnet: u8,
+    },
+    /// A message whose source and destination coincide was short-circuited
+    /// through the local delivery queue without entering the network.
+    LocalMsg {
+        /// Node.
+        node: NodeId,
+        /// Subject line.
+        line: LineAddr,
+        /// Message label.
+        msg: MsgLabel,
+    },
+
+    // --- SDRAM ---------------------------------------------------------
+    /// An SDRAM read (line fill or directory/protocol data).
+    SdramRead {
+        /// Node whose memory was read.
+        node: NodeId,
+        /// Directory/protocol traffic (vs application data).
+        protocol: bool,
+        /// Cycle the data is available.
+        ready_at: Cycle,
+    },
+    /// An SDRAM write.
+    SdramWrite {
+        /// Node whose memory was written.
+        node: NodeId,
+        /// Directory/protocol traffic (vs application data).
+        protocol: bool,
+    },
+
+    // --- Pipeline ------------------------------------------------------
+    /// A protocol-thread `send` graduated from the SMT pipeline.
+    PipeSend {
+        /// Node.
+        node: NodeId,
+        /// Graduating context.
+        ctx: Ctx,
+    },
+    /// A protocol-thread `ldctxt` graduated, ending the handler.
+    PipeLdctxt {
+        /// Node.
+        node: NodeId,
+        /// Graduating context.
+        ctx: Ctx,
+    },
+
+    // --- Sync ----------------------------------------------------------
+    /// A lock test&set attempt won.
+    LockAcquire {
+        /// Node.
+        node: NodeId,
+        /// Acquiring context.
+        ctx: Ctx,
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// A lock test&set attempt lost (the thread returns to spinning).
+    LockFail {
+        /// Node.
+        node: NodeId,
+        /// Attempting context.
+        ctx: Ctx,
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// A held lock was released.
+    LockRelease {
+        /// Node.
+        node: NodeId,
+        /// Releasing context.
+        ctx: Ctx,
+        /// Lock identifier.
+        lock: u32,
+    },
+    /// A thread arrived at a tree-barrier group and must spin.
+    BarrierArrive {
+        /// Node.
+        node: NodeId,
+        /// Arriving context.
+        ctx: Ctx,
+        /// Barrier identifier.
+        bar: u32,
+    },
+    /// A thread completed a tree-barrier group (last arrival; propagates
+    /// up or starts the release cascade). One event per episode per group.
+    BarrierComplete {
+        /// Node.
+        node: NodeId,
+        /// Completing context.
+        ctx: Ctx,
+        /// Barrier identifier.
+        bar: u32,
+    },
+}
+
+impl Event {
+    /// The category this event belongs to.
+    pub fn category(&self) -> Category {
+        match self {
+            Event::MshrAlloc { .. }
+            | Event::MshrFree { .. }
+            | Event::Fill { .. }
+            | Event::Writeback { .. } => Category::Cache,
+            Event::HandlerDispatch { .. }
+            | Event::HandlerComplete { .. }
+            | Event::DirTransition { .. }
+            | Event::DirDefer { .. } => Category::Protocol,
+            Event::NetInject { .. } | Event::NetDeliver { .. } | Event::LocalMsg { .. } => {
+                Category::Network
+            }
+            Event::SdramRead { .. } | Event::SdramWrite { .. } => Category::Sdram,
+            Event::PipeSend { .. } | Event::PipeLdctxt { .. } => Category::Pipeline,
+            Event::LockAcquire { .. }
+            | Event::LockFail { .. }
+            | Event::LockRelease { .. }
+            | Event::BarrierArrive { .. }
+            | Event::BarrierComplete { .. } => Category::Sync,
+        }
+    }
+
+    /// Snake-case event name used in trace output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::MshrAlloc { .. } => "mshr_alloc",
+            Event::MshrFree { .. } => "mshr_free",
+            Event::Fill { .. } => "fill",
+            Event::Writeback { .. } => "writeback",
+            Event::HandlerDispatch { .. } => "handler_dispatch",
+            Event::HandlerComplete { .. } => "handler_complete",
+            Event::DirTransition { .. } => "dir_transition",
+            Event::DirDefer { .. } => "dir_defer",
+            Event::NetInject { .. } => "net_inject",
+            Event::NetDeliver { .. } => "net_deliver",
+            Event::LocalMsg { .. } => "local_msg",
+            Event::SdramRead { .. } => "sdram_read",
+            Event::SdramWrite { .. } => "sdram_write",
+            Event::PipeSend { .. } => "pipe_send",
+            Event::PipeLdctxt { .. } => "pipe_ldctxt",
+            Event::LockAcquire { .. } => "lock_acquire",
+            Event::LockFail { .. } => "lock_fail",
+            Event::LockRelease { .. } => "lock_release",
+            Event::BarrierArrive { .. } => "barrier_arrive",
+            Event::BarrierComplete { .. } => "barrier_complete",
+        }
+    }
+
+    /// The node the event is attributed to (destination for network
+    /// delivers, sender for injects).
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Event::MshrAlloc { node, .. }
+            | Event::MshrFree { node, .. }
+            | Event::Fill { node, .. }
+            | Event::Writeback { node, .. }
+            | Event::HandlerDispatch { node, .. }
+            | Event::HandlerComplete { node, .. }
+            | Event::DirTransition { node, .. }
+            | Event::DirDefer { node, .. }
+            | Event::LocalMsg { node, .. }
+            | Event::SdramRead { node, .. }
+            | Event::SdramWrite { node, .. }
+            | Event::PipeSend { node, .. }
+            | Event::PipeLdctxt { node, .. }
+            | Event::LockAcquire { node, .. }
+            | Event::LockFail { node, .. }
+            | Event::LockRelease { node, .. }
+            | Event::BarrierArrive { node, .. }
+            | Event::BarrierComplete { node, .. } => node,
+            Event::NetInject { src, .. } => src,
+            Event::NetDeliver { dst, .. } => dst,
+        }
+    }
+
+    /// The cache line the event concerns, when it concerns one.
+    pub fn line(&self) -> Option<LineAddr> {
+        match *self {
+            Event::MshrAlloc { line, .. }
+            | Event::MshrFree { line, .. }
+            | Event::Fill { line, .. }
+            | Event::Writeback { line, .. }
+            | Event::HandlerDispatch { line, .. }
+            | Event::HandlerComplete { line, .. }
+            | Event::DirTransition { line, .. }
+            | Event::DirDefer { line, .. }
+            | Event::NetInject { line, .. }
+            | Event::NetDeliver { line, .. }
+            | Event::LocalMsg { line, .. } => Some(line),
+            _ => None,
+        }
+    }
+
+    /// Append this event as one JSON line (newline-terminated) to `out`.
+    ///
+    /// The encoding is hand-rolled and fully deterministic: fixed key
+    /// order, no floats, no maps — two identical runs produce
+    /// byte-identical streams.
+    pub fn write_jsonl(&self, now: Cycle, out: &mut String) {
+        use fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"cat\":\"{}\",\"ev\":\"{}\"",
+            now,
+            self.category().name(),
+            self.name()
+        );
+        match *self {
+            Event::MshrAlloc { node, line, miss } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"miss\":\"{}\"",
+                    node.0,
+                    line.raw(),
+                    miss.name()
+                );
+            }
+            Event::MshrFree { node, line } => {
+                let _ = write!(out, ",\"node\":{},\"line\":\"{:#x}\"", node.0, line.raw());
+            }
+            Event::Fill { node, line, grant } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"grant\":\"{}\"",
+                    node.0,
+                    line.raw(),
+                    grant.name()
+                );
+            }
+            Event::Writeback { node, line, dirty } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"dirty\":{}",
+                    node.0,
+                    line.raw(),
+                    dirty
+                );
+            }
+            Event::HandlerDispatch {
+                node,
+                line,
+                handler,
+                msg,
+                src,
+                seq,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"handler\":\"{}\",\"msg\":\"{}\",\"src\":{},\"seq\":{}",
+                    node.0,
+                    line.raw(),
+                    handler.name(),
+                    msg.name(),
+                    src.0,
+                    seq
+                );
+            }
+            Event::HandlerComplete {
+                node,
+                line,
+                handler,
+                seq,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"handler\":\"{}\",\"seq\":{}",
+                    node.0,
+                    line.raw(),
+                    handler.name(),
+                    seq
+                );
+            }
+            Event::DirTransition {
+                node,
+                line,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"from\":\"{}\",\"to\":\"{}\"",
+                    node.0,
+                    line.raw(),
+                    from.name(),
+                    to.name()
+                );
+            }
+            Event::DirDefer { node, line, msg } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"msg\":\"{}\"",
+                    node.0,
+                    line.raw(),
+                    msg.name()
+                );
+            }
+            Event::NetInject {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+                deliver_at,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"src\":{},\"dst\":{},\"line\":\"{:#x}\",\"msg\":\"{}\",\"vn\":{},\"deliver_at\":{}",
+                    src.0,
+                    dst.0,
+                    line.raw(),
+                    msg.name(),
+                    vnet,
+                    deliver_at
+                );
+            }
+            Event::NetDeliver {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"src\":{},\"dst\":{},\"line\":\"{:#x}\",\"msg\":\"{}\",\"vn\":{}",
+                    src.0,
+                    dst.0,
+                    line.raw(),
+                    msg.name(),
+                    vnet
+                );
+            }
+            Event::LocalMsg { node, line, msg } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"line\":\"{:#x}\",\"msg\":\"{}\"",
+                    node.0,
+                    line.raw(),
+                    msg.name()
+                );
+            }
+            Event::SdramRead {
+                node,
+                protocol,
+                ready_at,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"protocol\":{},\"ready_at\":{}",
+                    node.0, protocol, ready_at
+                );
+            }
+            Event::SdramWrite { node, protocol } => {
+                let _ = write!(out, ",\"node\":{},\"protocol\":{}", node.0, protocol);
+            }
+            Event::PipeSend { node, ctx } | Event::PipeLdctxt { node, ctx } => {
+                let _ = write!(out, ",\"node\":{},\"ctx\":{}", node.0, ctx.0);
+            }
+            Event::LockAcquire { node, ctx, lock }
+            | Event::LockFail { node, ctx, lock }
+            | Event::LockRelease { node, ctx, lock } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"ctx\":{},\"lock\":{}",
+                    node.0, ctx.0, lock
+                );
+            }
+            Event::BarrierArrive { node, ctx, bar } | Event::BarrierComplete { node, ctx, bar } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"ctx\":{},\"bar\":{}",
+                    node.0, ctx.0, bar
+                );
+            }
+        }
+        out.push_str("}\n");
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::HandlerDispatch {
+                node,
+                line,
+                handler,
+                msg,
+                src,
+                seq,
+            } => write!(
+                f,
+                "n{} dispatch #{} {} on {} from n{} line {:#x}",
+                node.0,
+                seq,
+                handler.name(),
+                msg.name(),
+                src.0,
+                line.raw()
+            ),
+            Event::HandlerComplete {
+                node,
+                line,
+                handler,
+                seq,
+            } => write!(
+                f,
+                "n{} complete #{} {} line {:#x}",
+                node.0,
+                seq,
+                handler.name(),
+                line.raw()
+            ),
+            Event::NetInject {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+                deliver_at,
+            } => write!(
+                f,
+                "n{}->n{} inject {} vn{} line {:#x} (arrives {})",
+                src.0,
+                dst.0,
+                msg.name(),
+                vnet,
+                line.raw(),
+                deliver_at
+            ),
+            Event::NetDeliver {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+            } => write!(
+                f,
+                "n{}->n{} deliver {} vn{} line {:#x}",
+                src.0,
+                dst.0,
+                msg.name(),
+                vnet,
+                line.raw()
+            ),
+            Event::DirTransition {
+                node,
+                line,
+                from,
+                to,
+            } => write!(
+                f,
+                "n{} dir {:#x} {} -> {}",
+                node.0,
+                line.raw(),
+                from.name(),
+                to.name()
+            ),
+            _ => {
+                write!(f, "n{} {}", self.node().0, self.name())?;
+                if let Some(line) = self.line() {
+                    write!(f, " line {:#x}", line.raw())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}

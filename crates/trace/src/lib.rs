@@ -1,0 +1,43 @@
+//! Event tracing, interval metrics and trace export for the SMTp simulator.
+//!
+//! The simulator's end-of-run [`RunStats`](../smtp_core/stats/index.html)
+//! aggregates answer *how much*; this crate answers *when* and *in what
+//! order*. It provides:
+//!
+//! * a typed [`Event`] enum covering the full life of a coherence
+//!   transaction — L2 miss → MSHR allocate → handler dispatch → directory
+//!   transition → NoC inject/deliver → SDRAM access → reply → fill,
+//! * a [`Tracer`] handle threaded through every component, costing a single
+//!   branch on a disabled category mask ([`Category`]),
+//! * pluggable [`TraceSink`]s: a bounded in-memory ring buffer (dumped on
+//!   deadlock panics), a JSONL writer, and a Chrome trace-event writer whose
+//!   output loads directly into Perfetto / `chrome://tracing`,
+//! * an [`IntervalSampler`] metrics registry emitting a cycle-indexed
+//!   time-series (per-node IPC, protocol occupancy, queue depths, per-VN
+//!   network utilization).
+//!
+//! # Architecture
+//!
+//! [`Tracer`] is a cheap-clone handle (`Rc` internally) created once per
+//! `System` and attached to every node component at build time. Components
+//! emit through [`Tracer::emit`], which takes a closure so the event is only
+//! constructed when its [`Category`] is enabled:
+//!
+//! ```ignore
+//! self.tracer.emit(Category::Cache, now, || Event::Fill { node, line, grant });
+//! ```
+//!
+//! Lower simulator crates (`smtp-noc`, `smtp-cache`, …) convert their own
+//! enums into this crate's label enums ([`MsgLabel`], [`HandlerClass`], …)
+//! so `smtp-trace` depends only on `smtp-types` and sits directly above it
+//! in the workspace layering.
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+pub mod tracer;
+
+pub use event::{Category, DirClass, Event, GrantClass, HandlerClass, MissClass, MsgLabel};
+pub use metrics::IntervalSampler;
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SharedBuf, TraceSink};
+pub use tracer::Tracer;

@@ -1,0 +1,524 @@
+//! Built-in trace sinks: in-memory capture, JSONL streaming, and Chrome
+//! trace-event (Perfetto-loadable) export.
+
+use crate::event::Event;
+use smtp_types::Cycle;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write;
+use std::rc::Rc;
+
+/// A consumer of trace events.
+///
+/// Sinks receive every event that passes the [`Tracer`](crate::Tracer)
+/// category mask, in emission order. `flush` finalizes any on-disk format
+/// and must be idempotent.
+pub trait TraceSink {
+    /// Record one event emitted at cycle `now`.
+    fn record(&mut self, now: Cycle, ev: &Event);
+
+    /// Finalize output (close JSON arrays, flush buffers). Idempotent.
+    fn flush(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+// MemorySink
+// ---------------------------------------------------------------------------
+
+/// Captures events into a shared `Vec` for tests and programmatic analysis.
+///
+/// ```ignore
+/// let store = MemorySink::shared();
+/// tracer.add_sink(Box::new(MemorySink::attach(&store)));
+/// // ... run ...
+/// for (cycle, event) in store.borrow().iter() { ... }
+/// ```
+pub struct MemorySink {
+    store: Rc<RefCell<Vec<(Cycle, Event)>>>,
+}
+
+impl MemorySink {
+    /// A fresh shared event store.
+    pub fn shared() -> Rc<RefCell<Vec<(Cycle, Event)>>> {
+        Rc::new(RefCell::new(Vec::new()))
+    }
+
+    /// A sink recording into `store`.
+    pub fn attach(store: &Rc<RefCell<Vec<(Cycle, Event)>>>) -> MemorySink {
+        MemorySink {
+            store: Rc::clone(store),
+        }
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, now: Cycle, ev: &Event) {
+        self.store.borrow_mut().push((now, *ev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SharedBuf
+// ---------------------------------------------------------------------------
+
+/// An `io::Write` target backed by a shared byte vector, so text sinks can
+/// write "to a file" that tests then inspect byte-for-byte.
+#[derive(Clone, Default)]
+pub struct SharedBuf {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// A fresh, empty shared buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// The accumulated bytes.
+    pub fn contents(&self) -> Vec<u8> {
+        self.buf.borrow().clone()
+    }
+
+    /// The accumulated bytes as UTF-8 (trace output is always ASCII).
+    pub fn to_string_lossy(&self) -> String {
+        String::from_utf8_lossy(&self.buf.borrow()).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.borrow_mut().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+/// Streams one JSON object per line per event (see [`Event::write_jsonl`]).
+///
+/// The encoding is deterministic: identically-seeded runs produce
+/// byte-identical streams.
+pub struct JsonlSink {
+    out: Box<dyn Write>,
+    line: String,
+}
+
+impl JsonlSink {
+    /// A sink writing to `out` (a file, a [`SharedBuf`], …).
+    pub fn new(out: Box<dyn Write>) -> JsonlSink {
+        JsonlSink {
+            out,
+            line: String::with_capacity(160),
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, now: Cycle, ev: &Event) {
+        self.line.clear();
+        ev.write_jsonl(now, &mut self.line);
+        let _ = self.out.write_all(self.line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------------
+
+/// Writes the Chrome trace-event JSON array format, loadable in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`.
+///
+/// Mapping:
+/// * each node is a *process* (`pid` = node index) with named threads:
+///   tid 0 "app pipeline", tid 1 "protocol thread", tid 2 "network",
+///   tid 3 "sdram";
+/// * protocol handlers appear as duration slices (`X`) on the node's
+///   protocol-thread track, from dispatch to completion;
+/// * each coherence transaction appears as an *async* span keyed by its
+///   line address — opened by `mshr_alloc`, annotated by network, directory
+///   and fill instants, closed by `mshr_free` — so a remote miss renders as
+///   connected events spanning requester, network and home node;
+/// * everything else becomes a thread-scoped instant.
+///
+/// One simulated cycle is exported as one microsecond.
+pub struct ChromeTraceSink {
+    out: Box<dyn Write>,
+    first: bool,
+    finished: bool,
+    last_ts: Cycle,
+    /// Open handler slices: (node, seq) -> (dispatch cycle, name, detail).
+    open_handlers: HashMap<(u16, u64), (Cycle, &'static str, String)>,
+}
+
+impl ChromeTraceSink {
+    /// A sink writing a trace for `nodes` nodes to `out`.
+    pub fn new(out: Box<dyn Write>, nodes: usize) -> ChromeTraceSink {
+        let mut sink = ChromeTraceSink {
+            out,
+            first: true,
+            finished: false,
+            last_ts: 0,
+            open_handlers: HashMap::new(),
+        };
+        let _ = sink.out.write_all(b"[\n");
+        for n in 0..nodes {
+            sink.raw(&format!(
+                "{{\"ph\":\"M\",\"pid\":{n},\"name\":\"process_name\",\"args\":{{\"name\":\"node{n}\"}}}}"
+            ));
+            for (tid, tname) in [
+                (0, "app pipeline"),
+                (1, "protocol thread"),
+                (2, "network"),
+                (3, "sdram"),
+            ] {
+                sink.raw(&format!(
+                    "{{\"ph\":\"M\",\"pid\":{n},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{tname}\"}}}}"
+                ));
+            }
+        }
+        sink
+    }
+
+    fn raw(&mut self, json_obj: &str) {
+        if self.first {
+            self.first = false;
+        } else {
+            let _ = self.out.write_all(b",\n");
+        }
+        let _ = self.out.write_all(json_obj.as_bytes());
+    }
+
+    fn instant(&mut self, name: &str, pid: u16, tid: u8, ts: Cycle, args: &str) {
+        self.raw(&format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{{{args}}}}}"
+        ));
+    }
+
+    /// Async-span phase `ph` ("b" begin / "n" instant / "e" end) on the
+    /// transaction identified by `line`.
+    fn async_phase(&mut self, ph: char, name: &str, pid: u16, ts: Cycle, line: u64, args: &str) {
+        self.raw(&format!(
+            "{{\"ph\":\"{ph}\",\"cat\":\"txn\",\"id\":\"{line:#x}\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":0,\"ts\":{ts},\"args\":{{{args}}}}}"
+        ));
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, now: Cycle, ev: &Event) {
+        self.last_ts = self.last_ts.max(now);
+        let node = ev.node().0;
+        match *ev {
+            Event::MshrAlloc { line, miss, .. } => {
+                let raw = line.raw();
+                self.async_phase(
+                    'b',
+                    "txn",
+                    node,
+                    now,
+                    raw,
+                    &format!("\"line\":\"{raw:#x}\",\"miss\":\"{}\"", miss.name()),
+                );
+            }
+            Event::MshrFree { line, .. } => {
+                self.async_phase('e', "txn", node, now, line.raw(), "");
+            }
+            Event::Fill { line, grant, .. } => {
+                let raw = line.raw();
+                self.async_phase(
+                    'n',
+                    "fill",
+                    node,
+                    now,
+                    raw,
+                    &format!("\"grant\":\"{}\"", grant.name()),
+                );
+            }
+            Event::Writeback { line, dirty, .. } => {
+                self.instant(
+                    "writeback",
+                    node,
+                    0,
+                    now,
+                    &format!("\"line\":\"{:#x}\",\"dirty\":{dirty}", line.raw()),
+                );
+            }
+            Event::HandlerDispatch {
+                line,
+                handler,
+                msg,
+                src,
+                seq,
+                ..
+            } => {
+                let detail = format!(
+                    "\"line\":\"{:#x}\",\"msg\":\"{}\",\"src\":{},\"seq\":{seq}",
+                    line.raw(),
+                    msg.name(),
+                    src.0
+                );
+                self.async_phase(
+                    'n',
+                    handler.name(),
+                    node,
+                    now,
+                    line.raw(),
+                    &format!("\"seq\":{seq}"),
+                );
+                self.open_handlers
+                    .insert((node, seq), (now, handler.name(), detail));
+            }
+            Event::HandlerComplete { seq, handler, .. } => {
+                let (start, name, detail) = self.open_handlers.remove(&(node, seq)).unwrap_or((
+                    now,
+                    handler.name(),
+                    String::new(),
+                ));
+                let dur = now.saturating_sub(start);
+                self.raw(&format!(
+                    "{{\"ph\":\"X\",\"name\":\"{name}\",\"pid\":{node},\"tid\":1,\"ts\":{start},\"dur\":{dur},\"args\":{{{detail}}}}}"
+                ));
+            }
+            Event::DirTransition { line, from, to, .. } => {
+                let raw = line.raw();
+                self.async_phase(
+                    'n',
+                    "dir",
+                    node,
+                    now,
+                    raw,
+                    &format!("\"from\":\"{}\",\"to\":\"{}\"", from.name(), to.name()),
+                );
+            }
+            Event::DirDefer { line, msg, .. } => {
+                self.instant(
+                    "dir_defer",
+                    node,
+                    1,
+                    now,
+                    &format!("\"line\":\"{:#x}\",\"msg\":\"{}\"", line.raw(), msg.name()),
+                );
+            }
+            Event::NetInject {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+                ..
+            } => {
+                let raw = line.raw();
+                self.async_phase(
+                    'n',
+                    msg.name(),
+                    src.0,
+                    now,
+                    raw,
+                    &format!("\"dst\":{},\"vn\":{vnet},\"dir\":\"inject\"", dst.0),
+                );
+            }
+            Event::NetDeliver {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+            } => {
+                let raw = line.raw();
+                self.async_phase(
+                    'n',
+                    msg.name(),
+                    dst.0,
+                    now,
+                    raw,
+                    &format!("\"src\":{},\"vn\":{vnet},\"dir\":\"deliver\"", src.0),
+                );
+            }
+            Event::LocalMsg { line, msg, .. } => {
+                self.instant(
+                    msg.name(),
+                    node,
+                    2,
+                    now,
+                    &format!("\"line\":\"{:#x}\",\"local\":true", line.raw()),
+                );
+            }
+            Event::SdramRead {
+                protocol, ready_at, ..
+            } => {
+                self.instant(
+                    "sdram_read",
+                    node,
+                    3,
+                    now,
+                    &format!("\"protocol\":{protocol},\"ready_at\":{ready_at}"),
+                );
+            }
+            Event::SdramWrite { protocol, .. } => {
+                self.instant(
+                    "sdram_write",
+                    node,
+                    3,
+                    now,
+                    &format!("\"protocol\":{protocol}"),
+                );
+            }
+            Event::PipeSend { ctx, .. } => {
+                self.instant("pipe_send", node, 1, now, &format!("\"ctx\":{}", ctx.0));
+            }
+            Event::PipeLdctxt { ctx, .. } => {
+                self.instant("pipe_ldctxt", node, 1, now, &format!("\"ctx\":{}", ctx.0));
+            }
+            Event::LockAcquire { ctx, lock, .. } => {
+                self.instant(
+                    "lock_acquire",
+                    node,
+                    0,
+                    now,
+                    &format!("\"ctx\":{},\"lock\":{lock}", ctx.0),
+                );
+            }
+            Event::LockFail { ctx, lock, .. } => {
+                self.instant(
+                    "lock_fail",
+                    node,
+                    0,
+                    now,
+                    &format!("\"ctx\":{},\"lock\":{lock}", ctx.0),
+                );
+            }
+            Event::LockRelease { ctx, lock, .. } => {
+                self.instant(
+                    "lock_release",
+                    node,
+                    0,
+                    now,
+                    &format!("\"ctx\":{},\"lock\":{lock}", ctx.0),
+                );
+            }
+            Event::BarrierArrive { ctx, bar, .. } => {
+                self.instant(
+                    "barrier_arrive",
+                    node,
+                    0,
+                    now,
+                    &format!("\"ctx\":{},\"bar\":{bar}", ctx.0),
+                );
+            }
+            Event::BarrierComplete { ctx, bar, .. } => {
+                self.instant(
+                    "barrier_complete",
+                    node,
+                    0,
+                    now,
+                    &format!("\"ctx\":{},\"bar\":{bar}", ctx.0),
+                );
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        // Close any handler slice that never saw its completion so the
+        // trace still loads.
+        let mut open: Vec<_> = self.open_handlers.drain().collect();
+        open.sort_by_key(|((node, seq), _)| (*node, *seq));
+        let last = self.last_ts;
+        for ((node, _), (start, name, detail)) in open {
+            let dur = last.saturating_sub(start);
+            self.raw(&format!(
+                "{{\"ph\":\"X\",\"name\":\"{name} (unfinished)\",\"pid\":{node},\"tid\":1,\"ts\":{start},\"dur\":{dur},\"args\":{{{detail}}}}}"
+            ));
+        }
+        let _ = self.out.write_all(b"\n]\n");
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{GrantClass, MissClass};
+    use smtp_types::{LineAddr, NodeId};
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let buf = SharedBuf::new();
+        let mut sink = JsonlSink::new(Box::new(buf.clone()));
+        sink.record(
+            5,
+            &Event::MshrAlloc {
+                node: NodeId(1),
+                line: LineAddr(0x100),
+                miss: MissClass::Read,
+            },
+        );
+        sink.record(
+            9,
+            &Event::Fill {
+                node: NodeId(1),
+                line: LineAddr(0x100),
+                grant: GrantClass::Shared,
+            },
+        );
+        sink.flush();
+        let text = buf.to_string_lossy();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":5,\"cat\":\"cache\",\"ev\":\"mshr_alloc\""));
+        assert!(lines[1].contains("\"grant\":\"shared\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_json_array() {
+        let buf = SharedBuf::new();
+        let mut sink = ChromeTraceSink::new(Box::new(buf.clone()), 2);
+        sink.record(
+            1,
+            &Event::MshrAlloc {
+                node: NodeId(0),
+                line: LineAddr(0x80),
+                miss: MissClass::Write,
+            },
+        );
+        sink.record(
+            4,
+            &Event::MshrFree {
+                node: NodeId(0),
+                line: LineAddr(0x80),
+            },
+        );
+        sink.flush();
+        sink.flush(); // idempotent
+        let text = buf.to_string_lossy();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        // Every node got process metadata; the async span opens and closes.
+        assert!(text.contains("\"name\":\"node0\""));
+        assert!(text.contains("\"name\":\"node1\""));
+        assert!(text.contains("\"ph\":\"b\""));
+        assert!(text.contains("\"ph\":\"e\""));
+        // Brace balance is a cheap well-formedness proxy without a parser.
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

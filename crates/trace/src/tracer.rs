@@ -1,0 +1,239 @@
+//! The [`Tracer`] handle: a cheap-clone, one-branch-when-disabled conduit
+//! from every simulator component to the installed sinks and the crash ring
+//! buffer.
+
+use crate::event::{Category, Event};
+use crate::sink::TraceSink;
+use smtp_types::Cycle;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Bounded ring of the most recent events, dumped on deadlock panics.
+struct RingBuffer {
+    cap: usize,
+    buf: VecDeque<(Cycle, Event)>,
+}
+
+/// State shared by every clone of a [`Tracer`].
+struct TraceShared {
+    mask: Cell<u32>,
+    ring: RefCell<RingBuffer>,
+    sinks: RefCell<Vec<Box<dyn TraceSink>>>,
+}
+
+/// A handle to the trace subsystem.
+///
+/// `System` creates one tracer and clones it into every component at build
+/// time; clones share the enable mask, ring buffer and sinks through an
+/// `Rc`. [`Tracer::default`] (and [`Tracer::disabled`]) produce a detached
+/// handle that ignores everything — components start with one so their
+/// constructors need no tracer argument.
+///
+/// The hot path is [`Tracer::emit`]: on a disabled category it costs one
+/// `Option` check, one pointer load and one mask test; the event closure is
+/// never run.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    shared: Option<Rc<TraceShared>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("attached", &self.is_attached())
+            .field("mask", &self.mask())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// An attached tracer with an empty mask (everything off until
+    /// [`Tracer::set_mask`] / [`Tracer::enable_all`]).
+    pub fn new() -> Tracer {
+        Tracer {
+            shared: Some(Rc::new(TraceShared {
+                mask: Cell::new(0),
+                ring: RefCell::new(RingBuffer {
+                    cap: 0,
+                    buf: VecDeque::new(),
+                }),
+                sinks: RefCell::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A detached tracer that drops everything (what components hold before
+    /// `System` attaches the real one).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether this handle is attached to shared trace state.
+    pub fn is_attached(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Whether `cat` is currently enabled.
+    #[inline(always)]
+    pub fn enabled(&self, cat: Category) -> bool {
+        match &self.shared {
+            Some(sh) => sh.mask.get() & cat.bit() != 0,
+            None => false,
+        }
+    }
+
+    /// Current category mask (0 when detached).
+    pub fn mask(&self) -> u32 {
+        self.shared.as_ref().map_or(0, |sh| sh.mask.get())
+    }
+
+    /// Replace the category mask (bits per [`Category::bit`]).
+    pub fn set_mask(&self, mask: u32) {
+        if let Some(sh) = &self.shared {
+            sh.mask.set(mask & Category::ALL);
+        }
+    }
+
+    /// Enable every category.
+    pub fn enable_all(&self) {
+        self.set_mask(Category::ALL);
+    }
+
+    /// Record `f()` at cycle `now` if `cat` is enabled.
+    ///
+    /// The closure only runs — and the event is only constructed — when the
+    /// category bit is set, so instrumentation sites cost one branch when
+    /// tracing is off.
+    #[inline(always)]
+    pub fn emit<F: FnOnce() -> Event>(&self, cat: Category, now: Cycle, f: F) {
+        if let Some(sh) = &self.shared {
+            if sh.mask.get() & cat.bit() != 0 {
+                Tracer::record(sh, now, f());
+            }
+        }
+    }
+
+    #[cold]
+    fn record(sh: &TraceShared, now: Cycle, ev: Event) {
+        {
+            let mut ring = sh.ring.borrow_mut();
+            if ring.cap > 0 {
+                if ring.buf.len() == ring.cap {
+                    ring.buf.pop_front();
+                }
+                ring.buf.push_back((now, ev));
+            }
+        }
+        for sink in sh.sinks.borrow_mut().iter_mut() {
+            sink.record(now, &ev);
+        }
+    }
+
+    /// Install a sink; events matching the mask are delivered to every
+    /// installed sink in installation order.
+    pub fn add_sink(&self, sink: Box<dyn TraceSink>) {
+        if let Some(sh) = &self.shared {
+            sh.sinks.borrow_mut().push(sink);
+        }
+    }
+
+    /// Keep the last `cap` events in an in-memory ring for crash dumps
+    /// (0 disables the ring).
+    pub fn enable_ring(&self, cap: usize) {
+        if let Some(sh) = &self.shared {
+            let mut ring = sh.ring.borrow_mut();
+            ring.cap = cap;
+            while ring.buf.len() > cap {
+                ring.buf.pop_front();
+            }
+        }
+    }
+
+    /// The ring contents, oldest first, formatted one event per line.
+    pub fn ring_dump(&self) -> Vec<String> {
+        match &self.shared {
+            Some(sh) => sh
+                .ring
+                .borrow()
+                .buf
+                .iter()
+                .map(|(t, ev)| format!("[{t:>10}] {ev}"))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Flush every installed sink (finalizes file formats; Chrome traces
+    /// are unreadable until flushed).
+    pub fn flush(&self) {
+        if let Some(sh) = &self.shared {
+            for sink in sh.sinks.borrow_mut().iter_mut() {
+                sink.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use smtp_types::{LineAddr, NodeId};
+
+    fn ev(n: u16) -> Event {
+        Event::MshrFree {
+            node: NodeId(n),
+            line: LineAddr(0x80),
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_drops_everything() {
+        let t = Tracer::disabled();
+        let mut ran = false;
+        t.emit(Category::Cache, 1, || {
+            ran = true;
+            ev(0)
+        });
+        assert!(!ran);
+        assert!(!t.enabled(Category::Cache));
+    }
+
+    #[test]
+    fn mask_gates_closure_execution() {
+        let t = Tracer::new();
+        let sink = MemorySink::shared();
+        t.add_sink(Box::new(MemorySink::attach(&sink)));
+
+        let mut ran = false;
+        t.emit(Category::Cache, 1, || {
+            ran = true;
+            ev(0)
+        });
+        assert!(!ran, "closure must not run with the category disabled");
+
+        t.set_mask(Category::Cache.bit());
+        t.emit(Category::Cache, 2, || {
+            ran = true;
+            ev(1)
+        });
+        assert!(ran);
+        t.emit(Category::Network, 3, || ev(2));
+        assert_eq!(sink.borrow().len(), 1, "network event must be masked out");
+    }
+
+    #[test]
+    fn clones_share_mask_ring_and_sinks() {
+        let t = Tracer::new();
+        let clone = t.clone();
+        t.enable_all();
+        t.enable_ring(2);
+        clone.emit(Category::Cache, 1, || ev(0));
+        clone.emit(Category::Cache, 2, || ev(1));
+        clone.emit(Category::Cache, 3, || ev(2));
+        let dump = t.ring_dump();
+        assert_eq!(dump.len(), 2, "ring must stay bounded");
+        assert!(dump[0].contains("[         2]"), "oldest retained is t=2");
+    }
+}

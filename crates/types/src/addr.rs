@@ -86,7 +86,10 @@ impl Addr {
     /// Panics if `offset` overflows the 32-bit per-node region offset.
     #[inline]
     pub fn new(home: NodeId, region: Region, offset: u64) -> Addr {
-        assert!(offset <= OFFSET_MASK, "region offset too large: {offset:#x}");
+        assert!(
+            offset <= OFFSET_MASK,
+            "region offset too large: {offset:#x}"
+        );
         Addr(((home.0 as u64) << HOME_SHIFT) | ((region as u64) << REGION_SHIFT) | offset)
     }
 

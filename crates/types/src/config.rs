@@ -381,7 +381,10 @@ impl SystemConfig {
     /// Panics on an unbuildable configuration (zero nodes, too many threads,
     /// non-power-of-two node count above 1, …).
     pub fn validate(&self) {
-        assert!(self.nodes >= 1 && self.nodes <= 64, "1..=64 nodes supported");
+        assert!(
+            self.nodes >= 1 && self.nodes <= 64,
+            "1..=64 nodes supported"
+        );
         assert!(
             self.nodes == 1 || self.nodes.is_power_of_two(),
             "multi-node machines must have a power-of-two node count"

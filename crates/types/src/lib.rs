@@ -20,14 +20,14 @@
 pub mod addr;
 pub mod config;
 pub mod ids;
+pub mod rng;
 pub mod sharers;
 pub mod stats;
 
 pub use addr::{app_code_addr, Addr, LineAddr, Region, APP_CODE_BASE, DIR_ENTRY_BYTES, L2_LINE};
-pub use config::{
-    CacheParams, MachineModel, MemParams, NetParams, PipelineParams, SystemConfig,
-};
+pub use config::{CacheParams, MachineModel, MemParams, NetParams, PipelineParams, SystemConfig};
 pub use ids::{Ctx, NodeId, MAX_APP_THREADS, MAX_CTX};
+pub use rng::SplitMix64;
 pub use sharers::SharerSet;
 pub use stats::{PeakTracker, RunningStat};
 

@@ -141,7 +141,7 @@ impl fmt::Debug for SharerSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn insert_remove_contains() {
@@ -172,22 +172,29 @@ mod tests {
         assert!(s.contains(NodeId(7)));
     }
 
-    proptest! {
-        #[test]
-        fn bits_round_trip(bits in any::<u64>()) {
+    /// Property-style sweep over random bit patterns (deterministic seed).
+    #[test]
+    fn bits_round_trip() {
+        let mut rng = SplitMix64::new(0xB175);
+        for bits in [0u64, u64::MAX, 1, 1 << 63]
+            .into_iter()
+            .chain((0..512).map(|_| rng.next_u64()))
+        {
             let s = SharerSet::from_bits(bits);
-            prop_assert_eq!(s.bits(), bits);
-            prop_assert_eq!(s.len() as usize, s.iter().count());
+            assert_eq!(s.bits(), bits);
+            assert_eq!(s.len() as usize, s.iter().count());
             let rebuilt: SharerSet = s.iter().collect();
-            prop_assert_eq!(rebuilt, s);
+            assert_eq!(rebuilt, s);
         }
+    }
 
-        #[test]
-        fn insert_then_contains(n in 0u16..64) {
+    #[test]
+    fn insert_then_contains() {
+        for n in 0u16..64 {
             let mut s = SharerSet::new();
             s.insert(NodeId(n));
-            prop_assert!(s.contains(NodeId(n)));
-            prop_assert_eq!(s.len(), 1);
+            assert!(s.contains(NodeId(n)));
+            assert_eq!(s.len(), 1);
         }
     }
 }

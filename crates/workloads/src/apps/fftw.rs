@@ -75,7 +75,11 @@ impl Fftw {
             let f0 = 16 + (c % 4) as u8;
             let f1 = 20 + (c % 4) as u8;
             e.fload(PC_COMPUTE + 2, addr, f0);
-            e.fload(PC_COMPUTE + 3, arr.addr((idx + self.cols) % (self.rows * self.cols)), f1);
+            e.fload(
+                PC_COMPUTE + 3,
+                arr.addr((idx + self.cols) % (self.rows * self.cols)),
+                f1,
+            );
             // Four independent chains of depth 2: high ILP, high pressure.
             e.fweb(PC_COMPUTE + 4, 4, 2, 0);
             e.fp(PC_COMPUTE + 8, Op::FpAlu, f0, f1, 8);

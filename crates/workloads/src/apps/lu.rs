@@ -176,7 +176,12 @@ impl Kernel for Lu {
                         let row = self.block(k, j);
                         let col = self.block(i, k);
                         self.emit_slice(&mut e, PC_INNER, dst, row, col, jj);
-                        self.phase = Phase::Inner { k, i, j, jj: jj + 1 };
+                        self.phase = Phase::Inner {
+                            k,
+                            i,
+                            j,
+                            jj: jj + 1,
+                        };
                         return true;
                     }
                     // Advance to the next interior block.
@@ -223,7 +228,7 @@ mod tests {
     fn ownership_is_a_partition() {
         let c = cfg(4, 2, 0.5);
         let lu = Lu::new(&c, 0);
-        let mut counts = vec![0u64; 8];
+        let mut counts = [0u64; 8];
         for i in 0..lu.nb {
             for j in 0..lu.nb {
                 counts[lu.owner(i, j)] += 1;

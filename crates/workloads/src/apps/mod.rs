@@ -17,7 +17,6 @@ pub use water::Water;
 use crate::gen::{Kernel, ThreadGen};
 use smtp_types::{Ctx, NodeId};
 
-
 /// Which application to run.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AppKind {
@@ -153,10 +152,7 @@ pub(crate) fn drain_standalone(kind: AppKind, cfg: &WorkloadCfg) -> AppMix {
     let total = cfg.total_threads();
     let mut mgr = SyncManager::new(total);
     let mut gens: Vec<ThreadGen> = (0..cfg.nodes as u16)
-        .flat_map(|n| {
-            (0..cfg.app_threads as u8)
-                .map(move |c| (NodeId(n), Ctx(c)))
-        })
+        .flat_map(|n| (0..cfg.app_threads as u8).map(move |c| (NodeId(n), Ctx(c))))
         .map(|(n, c)| make_thread(kind, cfg, n, c))
         .collect();
     let mut mix = AppMix::default();
@@ -202,7 +198,6 @@ pub(crate) struct AppMix {
     pub prefetch: u64,
     pub branches: u64,
     pub sync: u64,
-    pub remote_refs: u64,
 }
 
 #[cfg(test)]

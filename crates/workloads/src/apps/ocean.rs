@@ -112,8 +112,7 @@ impl Kernel for Ocean {
         match self.phase {
             Phase::Sweep { iter, sweep } => {
                 if self.row < self.my_rows.end {
-                    let gi = (iter as usize * self.sweeps_per_iter as usize + sweep as usize)
-                        * 2
+                    let gi = (iter as usize * self.sweeps_per_iter as usize + sweep as usize) * 2
                         % GRIDS;
                     self.emit_row(&mut e, gi, self.row);
                     self.row += 1;

@@ -131,7 +131,7 @@ impl Radix {
             let d = self.dest(b);
             let daddr = self.dst.addr(d);
             // Prefetch-exclusive one line ahead in this bucket's stream.
-            if d % 16 == 0 {
+            if d.is_multiple_of(16) {
                 e.prefetch(PC_PERMUTE, self.dst.addr((d + 16) % self.keys), true);
             }
             e.iload(PC_PERMUTE + 1, self.src.addr(i), 1);

@@ -208,10 +208,7 @@ mod tests {
         for j in 0..16 {
             w.emit_pair(&mut e, 0, j);
         }
-        let locks = q
-            .iter()
-            .filter(|i| matches!(i, Item::Lock(_)))
-            .count();
+        let locks = q.iter().filter(|i| matches!(i, Item::Lock(_))).count();
         assert_eq!(locks, 2, "one lock per 8 partners");
     }
 }

@@ -57,13 +57,40 @@ enum Mode {
     LockAttempt(LockId),
     LockAttemptWait(LockId),
     UnlockWait,
-    BarArrive { bar: BarrierId, level: u8 },
-    BarArriveWait { bar: BarrierId, level: u8 },
-    BarSpinLoad { bar: BarrierId, level: u8, group: u16, episode: u32 },
-    BarSpinBranch { bar: BarrierId, level: u8, group: u16, episode: u32 },
-    BarSpinWait { bar: BarrierId, level: u8, group: u16, episode: u32 },
-    BarRelease { bar: BarrierId, idx: usize },
-    BarReleaseWait { bar: BarrierId, idx: usize },
+    BarArrive {
+        bar: BarrierId,
+        level: u8,
+    },
+    BarArriveWait {
+        bar: BarrierId,
+        level: u8,
+    },
+    BarSpinLoad {
+        bar: BarrierId,
+        level: u8,
+        group: u16,
+        episode: u32,
+    },
+    BarSpinBranch {
+        bar: BarrierId,
+        level: u8,
+        group: u16,
+        episode: u32,
+    },
+    BarSpinWait {
+        bar: BarrierId,
+        level: u8,
+        group: u16,
+        episode: u32,
+    },
+    BarRelease {
+        bar: BarrierId,
+        idx: usize,
+    },
+    BarReleaseWait {
+        bar: BarrierId,
+        idx: usize,
+    },
 }
 
 /// A per-thread instruction source driving one application thread.
@@ -132,8 +159,7 @@ impl ThreadGen {
     }
 
     fn sync_branch(&self, cond: SyncCond, pc_off: u32) -> Inst {
-        Inst::new(Op::SyncBranch { cond }, SYNC_PC + pc_off)
-            .with_srcs(Some(Reg::int(30)), None)
+        Inst::new(Op::SyncBranch { cond }, SYNC_PC + pc_off).with_srcs(Some(Reg::int(30)), None)
     }
 
     fn sync_store(&self, addr: Addr, op: SyncOp, pc_off: u32) -> Inst {
@@ -160,11 +186,7 @@ impl InstSource for ThreadGen {
                         Item::Lock(l) => self.mode = Mode::LockTest(l),
                         Item::Unlock(l) => {
                             self.mode = Mode::UnlockWait;
-                            return self.sync_store(
-                                self.lock_line(l),
-                                SyncOp::LockRelease(l),
-                                6,
-                            );
+                            return self.sync_store(self.lock_line(l), SyncOp::LockRelease(l), 6);
                         }
                         Item::Barrier(b) => {
                             self.won.clear();
@@ -193,17 +215,42 @@ impl InstSource for ThreadGen {
                         10 + level as u32,
                     );
                 }
-                Mode::BarSpinLoad { bar, level, group, episode } => {
-                    self.mode = Mode::BarSpinBranch { bar, level, group, episode };
+                Mode::BarSpinLoad {
+                    bar,
+                    level,
+                    group,
+                    episode,
+                } => {
+                    self.mode = Mode::BarSpinBranch {
+                        bar,
+                        level,
+                        group,
+                        episode,
+                    };
                     return self.sync_load(
                         barrier_flag_addr(bar, level, group, self.nodes),
                         20 + level as u32,
                     );
                 }
-                Mode::BarSpinBranch { bar, level, group, episode } => {
-                    self.mode = Mode::BarSpinWait { bar, level, group, episode };
+                Mode::BarSpinBranch {
+                    bar,
+                    level,
+                    group,
+                    episode,
+                } => {
+                    self.mode = Mode::BarSpinWait {
+                        bar,
+                        level,
+                        group,
+                        episode,
+                    };
                     return self.sync_branch(
-                        SyncCond::BarrierReleased { bar, level, group, episode },
+                        SyncCond::BarrierReleased {
+                            bar,
+                            level,
+                            group,
+                            episode,
+                        },
                         24 + level as u32,
                     );
                 }
@@ -267,13 +314,26 @@ impl InstSource for ThreadGen {
                     }
                 }
             }
-            (Mode::BarSpinWait { bar, level, group, episode }, SyncOutcome::Cond(sat)) => {
+            (
+                Mode::BarSpinWait {
+                    bar,
+                    level,
+                    group,
+                    episode,
+                },
+                SyncOutcome::Cond(sat),
+            ) => {
                 if sat {
                     // Released: release the groups this thread won below.
                     self.won.reverse();
                     Mode::BarRelease { bar, idx: 0 }
                 } else {
-                    Mode::BarSpinLoad { bar, level, group, episode }
+                    Mode::BarSpinLoad {
+                        bar,
+                        level,
+                        group,
+                        episode,
+                    }
                 }
             }
             (Mode::BarReleaseWait { bar, idx }, SyncOutcome::Done) => {
@@ -406,8 +466,14 @@ impl<'a> Emit<'a> {
     /// Data-dependent conditional branch.
     pub fn cond_branch(&mut self, pc: u32, taken: bool) {
         self.q.push_back(Item::I(
-            Inst::new(Op::Branch { taken, target: pc + 4 }, pc)
-                .with_srcs(Some(Reg::int(1)), None),
+            Inst::new(
+                Op::Branch {
+                    taken,
+                    target: pc + 4,
+                },
+                pc,
+            )
+            .with_srcs(Some(Reg::int(1)), None),
         ));
     }
 
@@ -479,7 +545,7 @@ mod tests {
                 if halted[t] {
                     continue;
                 }
-                let (node, ctx) = (NodeId((t / 1) as u16), Ctx(0));
+                let (node, ctx) = (NodeId(t as u16), Ctx(0));
                 let i = g.next_inst();
                 counts[t] += 1;
                 match i.op {
@@ -503,14 +569,7 @@ mod tests {
     fn barrier_synchronizes_eight_threads() {
         let mut mgr = SyncManager::new(8);
         let mut gens: Vec<ThreadGen> = (0..8)
-            .map(|t| {
-                ThreadGen::new(
-                    Box::new(TwoPhase { n: 10, state: 0 }),
-                    t,
-                    8,
-                    8,
-                )
-            })
+            .map(|t| ThreadGen::new(Box::new(TwoPhase { n: 10, state: 0 }), t, 8, 8))
             .collect();
         let counts = functional_run(&mut gens, &mut mgr, 100_000);
         for (t, &c) in counts.iter().enumerate() {
@@ -587,10 +646,7 @@ mod tests {
         e.fstore(6, a, 0);
         e.loop_branch(7, true, 1);
         e.prefetch(8, a, true);
-        let kinds: Vec<bool> = q
-            .iter()
-            .map(|i| matches!(i, Item::I(_)))
-            .collect();
+        let kinds: Vec<bool> = q.iter().map(|i| matches!(i, Item::I(_))).collect();
         assert_eq!(kinds.len(), 8);
         assert!(kinds.iter().all(|&k| k));
     }

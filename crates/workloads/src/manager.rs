@@ -78,7 +78,10 @@ impl SyncManager {
     pub fn group_size(&self, level: u8, group: u16) -> u32 {
         let units = units_at_level(self.total_threads, self.radix, level);
         let start = group as usize * self.radix;
-        assert!(start < units, "group {group} does not exist at level {level}");
+        assert!(
+            start < units,
+            "group {group} does not exist at level {level}"
+        );
         (units - start).min(self.radix) as u32
     }
 
@@ -102,9 +105,7 @@ impl SyncEnv for SyncManager {
     fn poll(&mut self, node: NodeId, ctx: Ctx, cond: SyncCond) -> bool {
         match cond {
             SyncCond::LockFree(l) => self.locks.get(&l).is_none_or(|h| h.is_none()),
-            SyncCond::LockAcquired(l) => {
-                self.locks.get(&l).copied().flatten() == Some((node, ctx))
-            }
+            SyncCond::LockAcquired(l) => self.locks.get(&l).copied().flatten() == Some((node, ctx)),
             SyncCond::BarrierReleased {
                 bar,
                 level,
@@ -144,7 +145,10 @@ impl SyncEnv for SyncManager {
                 let size = self.group_size(level, group);
                 let g = self.groups.entry((bar, level, group)).or_default();
                 g.arrived += 1;
-                assert!(g.arrived <= size, "barrier over-arrival at {bar}/{level}/{group}");
+                assert!(
+                    g.arrived <= size,
+                    "barrier over-arrival at {bar}/{level}/{group}"
+                );
                 if g.arrived == size {
                     g.arrived = 0;
                     g.completed += 1;

@@ -91,6 +91,9 @@ fn main() {
     println!("  handlers          : {}", stats.handlers);
     println!("  network messages  : {}", stats.network.messages);
     println!("  barrier episodes  : {}", stats.barrier_episodes);
-    println!("  protocol occupancy: {:.1}%", stats.protocol_occupancy_peak * 100.0);
+    println!(
+        "  protocol occupancy: {:.1}%",
+        stats.protocol_occupancy_peak * 100.0
+    );
     assert!(stats.handlers > 0);
 }

@@ -13,13 +13,17 @@ use smtp::types::{Addr, NodeId, Region};
 
 fn show(dir: &mut Directory, msg: Msg) {
     println!("\n>>> {msg}");
-    match dir.process(&msg) {
+    match dir.process(&msg, 0) {
         None => println!("    (line busy: request queued at home)"),
         Some(t) => {
             println!("    handler : {}", t.kind.name());
             println!("    newstate: {:?}", t.new_state);
             for (i, m) in t.sends.iter().enumerate() {
-                let gated = if t.data_reply == Some(i) { "  [waits for SDRAM data]" } else { "" };
+                let gated = if t.data_reply == Some(i) {
+                    "  [waits for SDRAM data]"
+                } else {
+                    ""
+                };
                 println!("    send[{i}] : {m}{gated}");
             }
             let prog = handler_program(dir.home(), msg.addr, &t);
@@ -50,7 +54,10 @@ fn main() {
     show(&mut dir, Msg::new(MsgKind::GetX, line, c, home)); // C writes: invalidates A, B
     show(&mut dir, Msg::new(MsgKind::GetS, line, a, home)); // A re-reads: intervention to C
     show(&mut dir, Msg::new(MsgKind::GetX, line, b, home)); // queued behind the busy line
-    show(&mut dir, Msg::new(MsgKind::SharingWb { requester: a }, line, c, home)); // C completes; B's GetX replays
+    show(
+        &mut dir,
+        Msg::new(MsgKind::SharingWb { requester: a }, line, c, home),
+    ); // C completes; B's GetX replays
 
     println!("\nfinal state: {:?}", dir.state(line));
     println!("handlers run: {}", dir.stats().handlers);

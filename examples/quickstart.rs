@@ -4,9 +4,16 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- ocean 8 2
+//! cargo run --release --example quickstart -- fft 2 2 --trace out.trace.json
 //! ```
+//!
+//! With `--trace <path>` the full event stream is exported in Chrome
+//! trace-event format — open the file at <https://ui.perfetto.dev> or in
+//! `chrome://tracing` to see pipelines, protocol handlers, coherence
+//! transactions and network traffic on a shared timeline.
 
-use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel};
+use smtp::trace::ChromeTraceSink;
+use smtp::{build_system, AppKind, ExperimentConfig, MachineModel};
 
 fn parse_app(s: &str) -> AppKind {
     AppKind::ALL
@@ -19,23 +26,78 @@ fn parse_app(s: &str) -> AppKind {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let app = args.get(1).map(|s| parse_app(s)).unwrap_or(AppKind::Fft);
-    let nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let ways: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--trace requires a file path");
+                std::process::exit(2);
+            }
+            args.remove(i);
+            Some(args.remove(i))
+        }
+        None => None,
+    };
+    let app = args.first().map(|s| parse_app(s)).unwrap_or(AppKind::Fft);
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ways: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
 
     println!("SMTp machine: {nodes} node(s), {ways} application thread(s) per node, running {app}");
-    let exp = ExperimentConfig::new(MachineModel::SMTp, app, nodes, ways);
-    let stats = run_experiment(&exp);
+    let mut exp = ExperimentConfig::new(MachineModel::SMTp, app, nodes, ways);
+    if trace_path.is_some() {
+        // Tracing a full-scale run produces an enormous file; shrink the
+        // workload so the timeline stays explorable.
+        exp.scale = 0.12;
+    }
+    let mut sys = build_system(&exp);
+    if let Some(path) = &trace_path {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        });
+        sys.tracer().enable_all();
+        sys.tracer().add_sink(Box::new(ChromeTraceSink::new(
+            Box::new(std::io::BufWriter::new(file)),
+            nodes,
+        )));
+    }
+    let stats = sys.run(exp.max_cycles);
 
     println!();
-    println!("parallel execution time : {} cycles ({:.2} ms at 2 GHz)", stats.cycles, stats.cycles as f64 / 2.0e6);
+    println!(
+        "parallel execution time : {} cycles ({:.2} ms at 2 GHz)",
+        stats.cycles,
+        stats.cycles as f64 / 2.0e6
+    );
     println!("application instructions: {}", stats.app_instructions);
-    println!("protocol instructions   : {} ({:.2}% of all retired)", stats.protocol_instructions, stats.protocol_retired_frac * 100.0);
+    println!(
+        "protocol instructions   : {} ({:.2}% of all retired)",
+        stats.protocol_instructions,
+        stats.protocol_retired_frac * 100.0
+    );
     println!("coherence handlers      : {}", stats.handlers);
-    println!("memory-stall fraction   : {:.1}%", stats.memory_stall_frac() * 100.0);
-    println!("protocol occupancy peak : {:.1}%", stats.protocol_occupancy_peak * 100.0);
-    println!("L1D app miss rate       : {:.2}%", stats.l1d_app_miss_rate * 100.0);
-    println!("network messages        : {} (mean latency {:.0} cycles)", stats.network.messages, stats.network.mean_latency());
-    println!("locks / barrier episodes: {} / {}", stats.lock_acquires, stats.barrier_episodes);
+    println!(
+        "memory-stall fraction   : {:.1}%",
+        stats.memory_stall_frac() * 100.0
+    );
+    println!(
+        "protocol occupancy peak : {:.1}%",
+        stats.protocol_occupancy_peak * 100.0
+    );
+    println!(
+        "L1D app miss rate       : {:.2}%",
+        stats.l1d_app_miss_rate * 100.0
+    );
+    println!(
+        "network messages        : {} (mean latency {:.0} cycles)",
+        stats.network.messages,
+        stats.network.mean_latency()
+    );
+    println!(
+        "locks / barrier episodes: {} / {}",
+        stats.lock_acquires, stats.barrier_episodes
+    );
+    if let Some(path) = &trace_path {
+        println!("trace written           : {path} (load it at https://ui.perfetto.dev)");
+    }
 }

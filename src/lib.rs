@@ -20,8 +20,10 @@
 //! * SDRAM, directory caches and the embedded protocol engine of the
 //!   non-SMTp machine models ([`mem`]),
 //! * a bristled-hypercube interconnect ([`noc`]),
-//! * synthetic kernels for the six applications ([`workloads`]), and
-//! * the machine assembly and experiment harness ([`core`]).
+//! * synthetic kernels for the six applications ([`workloads`]),
+//! * the machine assembly and experiment harness ([`core`]), and
+//! * an event-tracing and metrics-sampling layer with JSONL and
+//!   Chrome-trace/Perfetto sinks ([`trace`]).
 //!
 //! # Quickstart
 //!
@@ -41,9 +43,10 @@ pub use smtp_mem as mem;
 pub use smtp_noc as noc;
 pub use smtp_pipeline as pipeline;
 pub use smtp_protocol as protocol;
+pub use smtp_trace as trace;
 pub use smtp_types as types;
 pub use smtp_workloads as workloads;
 
-pub use smtp_core::{run_experiment, ExperimentConfig, RunStats, System};
+pub use smtp_core::{build_system, run_experiment, ExperimentConfig, RunStats, System};
 pub use smtp_types::{MachineModel, SystemConfig};
 pub use smtp_workloads::AppKind;

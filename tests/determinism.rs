@@ -1,7 +1,9 @@
 //! The simulator must be perfectly deterministic: identical configurations
-//! produce identical cycle counts and statistics.
+//! produce identical cycle counts, statistics, and — with tracing enabled —
+//! byte-identical event streams.
 
-use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel};
+use smtp::trace::{JsonlSink, SharedBuf};
+use smtp::{build_system, run_experiment, AppKind, ExperimentConfig, MachineModel};
 
 #[test]
 fn identical_configs_produce_identical_runs() {
@@ -14,6 +16,34 @@ fn identical_configs_produce_identical_runs() {
     assert_eq!(a.handlers, b.handlers);
     assert_eq!(a.network.messages, b.network.messages);
     assert_eq!(a.lock_acquires, b.lock_acquires);
+}
+
+/// Run one fully-traced experiment and return the raw JSONL byte stream.
+fn traced_run(e: &ExperimentConfig) -> Vec<u8> {
+    let mut sys = build_system(e);
+    let buf = SharedBuf::default();
+    sys.tracer().enable_all();
+    sys.tracer()
+        .add_sink(Box::new(JsonlSink::new(Box::new(buf.clone()))));
+    sys.run(e.max_cycles);
+    buf.contents()
+}
+
+#[test]
+fn identically_seeded_runs_produce_byte_identical_traces() {
+    let e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Ocean, 2, 2);
+    let a = traced_run(&e);
+    let b = traced_run(&e);
+    assert!(!a.is_empty(), "traced run produced no events");
+    assert_eq!(a, b, "identical runs diverged in their trace streams");
+    // Sanity: the stream is line-delimited JSON with cycle-stamped events.
+    let text = String::from_utf8(a).expect("trace is valid UTF-8");
+    for line in text.lines().take(50) {
+        assert!(
+            line.starts_with("{\"t\":") && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+    }
 }
 
 #[test]

@@ -1,56 +1,72 @@
-//! Property tests of the interconnect through its public API.
+//! Property-style tests of the interconnect through its public API, driven
+//! by a deterministic PRNG sweep instead of an external property-testing
+//! framework.
 
-use proptest::prelude::*;
 use smtp::noc::{Msg, MsgKind, Network};
-use smtp::types::{Addr, NetParams, NodeId, Region};
+use smtp::types::{Addr, NetParams, NodeId, Region, SplitMix64};
 
 fn line_for(dst: u16) -> smtp::types::LineAddr {
     Addr::new(NodeId(dst), Region::AppData, 0x100).line()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every injected message is delivered exactly once, no earlier than
-    /// its injection time, and total deliveries match injections.
-    #[test]
-    fn conservation_and_causality(
-        msgs in proptest::collection::vec((0u16..16, 0u16..16, 0u64..10_000), 1..80)
-    ) {
+/// Every injected message is delivered exactly once, no earlier than its
+/// injection time, and total deliveries match injections.
+#[test]
+fn conservation_and_causality() {
+    let mut rng = SplitMix64::new(0xC0_15E2);
+    for _case in 0..48 {
         let mut net = Network::new(16, 2.0, &NetParams::default());
         let mut injected = 0u64;
         let mut last_inject = 0u64;
-        for (src, dst, at) in msgs {
+        let n = rng.range(1, 80);
+        for _ in 0..n {
+            let (src, dst, at) = (
+                rng.below(16) as u16,
+                rng.below(16) as u16,
+                rng.below(10_000),
+            );
             if src == dst {
                 continue;
             }
-            net.inject(at, Msg::new(MsgKind::GetS, line_for(dst), NodeId(src), NodeId(dst)));
+            net.inject(
+                at,
+                Msg::new(MsgKind::GetS, line_for(dst), NodeId(src), NodeId(dst)),
+            );
             injected += 1;
             last_inject = last_inject.max(at);
         }
         let mut delivered = 0u64;
         let horizon = last_inject + 10_000_000;
         while let Some(m) = net.pop_arrived(horizon) {
-            prop_assert!(m.src != m.dst);
+            assert!(m.src != m.dst);
             delivered += 1;
         }
-        prop_assert_eq!(delivered, injected);
-        prop_assert_eq!(net.in_flight_count(), 0);
-        prop_assert_eq!(net.stats().messages, injected);
+        assert_eq!(delivered, injected);
+        assert_eq!(net.in_flight_count(), 0);
+        assert_eq!(net.stats().messages, injected);
     }
+}
 
-    /// Arrival times are no earlier than the topological minimum: hop
-    /// latency times hop count.
-    #[test]
-    fn zero_load_lower_bound(src in 0u16..32, dst in 0u16..32) {
-        prop_assume!(src != dst);
+/// Arrival times are no earlier than the topological minimum: hop latency
+/// times hop count.
+#[test]
+fn zero_load_lower_bound() {
+    let mut rng = SplitMix64::new(0x10AD);
+    for _case in 0..256 {
+        let (src, dst) = (rng.below(32) as u16, rng.below(32) as u16);
+        if src == dst {
+            continue;
+        }
         let p = NetParams::default();
         let mut net = Network::new(32, 2.0, &p);
         let hops = net.topology().hops(NodeId(src), NodeId(dst)) as u64;
-        net.inject(0, Msg::new(MsgKind::GetS, line_for(dst), NodeId(src), NodeId(dst)));
+        net.inject(
+            0,
+            Msg::new(MsgKind::GetS, line_for(dst), NodeId(src), NodeId(dst)),
+        );
         let at = net.next_arrival().unwrap();
         let hop_cycles = (p.hop_ns * 2.0).ceil() as u64;
-        prop_assert!(at >= hops * hop_cycles, "arrival {at} under {hops} hops");
+        assert!(at >= hops * hop_cycles, "arrival {at} under {hops} hops");
     }
 }
 

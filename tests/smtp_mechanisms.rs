@@ -52,7 +52,11 @@ fn look_ahead_scheduling_does_not_hurt() {
     let r_on = run_experiment(&on);
     let r_off = run_experiment(&off);
     let ratio = r_on.cycles as f64 / r_off.cycles as f64;
-    assert!(ratio < 1.05, "LAS made things {:.1}% slower", (ratio - 1.0) * 100.0);
+    assert!(
+        ratio < 1.05,
+        "LAS made things {:.1}% slower",
+        (ratio - 1.0) * 100.0
+    );
 }
 
 #[test]

@@ -1,6 +1,9 @@
-//! Internal consistency of the statistics every experiment reports.
+//! Internal consistency of the statistics every experiment reports, and
+//! conservation laws checked against the full event trace.
 
-use smtp::{run_experiment, AppKind, ExperimentConfig, MachineModel, RunStats};
+use smtp::trace::{Event, MemorySink};
+use smtp::{build_system, run_experiment, AppKind, ExperimentConfig, MachineModel, RunStats};
+use std::collections::HashSet;
 
 fn check(r: &RunStats) {
     assert!(r.cycles > 0);
@@ -52,6 +55,77 @@ fn stats_consistent_across_apps() {
         check(&r);
         assert!(r.app_instructions > 1_000, "{app}: no work");
     }
+}
+
+/// Trace-based conservation laws: the event stream must reconcile exactly
+/// with the aggregate statistics the run reports.
+fn check_trace_conservation(model: MachineModel) {
+    let e = ExperimentConfig::quick(model, AppKind::Ocean, 2, 2);
+    let mut sys = build_system(&e);
+    let store = MemorySink::shared();
+    sys.tracer().enable_all();
+    sys.tracer().add_sink(Box::new(MemorySink::attach(&store)));
+    let r = sys.run(e.max_cycles);
+
+    let mut dispatches = 0u64;
+    let mut completes = 0u64;
+    let mut injects = 0u64;
+    let mut delivers = 0u64;
+    let mut acquires = 0u64;
+    let mut open: HashSet<(u16, u64)> = HashSet::new();
+    for (_, ev) in store.borrow().iter() {
+        match *ev {
+            Event::HandlerDispatch { node, seq, .. } => {
+                dispatches += 1;
+                assert!(
+                    open.insert((node.0, seq)),
+                    "duplicate handler dispatch (node {}, seq {seq})",
+                    node.0
+                );
+            }
+            Event::HandlerComplete { node, seq, .. } => {
+                completes += 1;
+                assert!(
+                    open.remove(&(node.0, seq)),
+                    "completion without dispatch (node {}, seq {seq})",
+                    node.0
+                );
+            }
+            Event::NetInject { .. } => injects += 1,
+            Event::NetDeliver { .. } => delivers += 1,
+            Event::LockAcquire { .. } => acquires += 1,
+            _ => {}
+        }
+    }
+    assert!(dispatches > 0, "traced run dispatched no handlers");
+    assert_eq!(
+        dispatches, completes,
+        "every dispatched handler must complete"
+    );
+    assert!(open.is_empty(), "{} handlers never completed", open.len());
+    assert_eq!(
+        dispatches, r.handlers,
+        "trace dispatch count disagrees with RunStats.handlers"
+    );
+    assert_eq!(injects, delivers, "network lost or duplicated messages");
+    assert_eq!(
+        injects, r.network.messages,
+        "trace inject count disagrees with NetStats.messages"
+    );
+    assert_eq!(
+        acquires, r.lock_acquires,
+        "trace lock-acquire count disagrees with RunStats.lock_acquires"
+    );
+}
+
+#[test]
+fn trace_events_reconcile_with_stats_smtp() {
+    check_trace_conservation(MachineModel::SMTp);
+}
+
+#[test]
+fn trace_events_reconcile_with_stats_base() {
+    check_trace_conservation(MachineModel::Base);
 }
 
 #[test]

@@ -50,7 +50,10 @@ fn all_apps_terminate_on_odd_thread_counts() {
     // 3 threads: a ragged barrier tree (group sizes 3 at the leaf).
     for kind in AppKind::ALL {
         let (counts, mgr) = pump(kind, 1, 3, 0.12);
-        assert!(counts.iter().all(|&c| c > 50), "{kind}: a thread did no work");
+        assert!(
+            counts.iter().all(|&c| c > 50),
+            "{kind}: a thread did no work"
+        );
         assert!(!mgr.any_lock_held(), "{kind}: lock leaked");
     }
 }
