@@ -1,0 +1,34 @@
+//! Machine-readable benchmark report: run every machine model on a fixed
+//! configuration and emit `BENCH_report.json` with cycles, IPC, and
+//! mean/95th-percentile remote-miss latency per model — the artifact CI
+//! uploads so run-to-run performance is diffable.
+//!
+//! ```text
+//! cargo bench --bench bench_report
+//! SMTP_SCALE=0.05 SMTP_NODES_CAP=4 cargo bench --bench bench_report
+//! SMTP_BENCH_OUT=other.json cargo bench --bench bench_report
+//! ```
+
+use smtp_bench::{nodes_cap, run_point, BenchRow};
+use smtp_types::MachineModel;
+use smtp_workloads::AppKind;
+
+fn main() {
+    let nodes = 8.min(nodes_cap());
+    let ways = 2;
+    let out = std::env::var("SMTP_BENCH_OUT").unwrap_or_else(|_| "BENCH_report.json".to_string());
+    let mut rows = Vec::new();
+    for model in MachineModel::ALL {
+        for app in [AppKind::Fft, AppKind::Ocean] {
+            let r = run_point(model, app, nodes, ways, 2.0);
+            rows.push(BenchRow::from_stats(&r));
+        }
+    }
+    for r in &rows {
+        println!(
+            "{:>10} {:6} n={} w={}: {:>9} cycles, IPC {:.3}, remote miss {:>6.0} / p95 {}",
+            r.model, r.app, r.nodes, r.ways, r.cycles, r.ipc, r.remote_miss_mean, r.remote_miss_p95
+        );
+    }
+    smtp_bench::write_bench_report(&out, &rows);
+}

@@ -103,6 +103,69 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// One row of the machine-readable benchmark report (`BENCH_report.json`).
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Machine model label.
+    pub model: String,
+    /// Application name.
+    pub app: String,
+    /// Machine size.
+    pub nodes: usize,
+    /// Application threads per node.
+    pub ways: usize,
+    /// Parallel execution time.
+    pub cycles: u64,
+    /// Committed application instructions per cycle.
+    pub ipc: f64,
+    /// Mean remote L2 miss latency in cycles (0 when none occurred).
+    pub remote_miss_mean: f64,
+    /// 95th-percentile remote L2 miss latency in cycles.
+    pub remote_miss_p95: u64,
+}
+
+impl BenchRow {
+    /// Extract the report row from one run's statistics.
+    pub fn from_stats(r: &RunStats) -> BenchRow {
+        // Classes 2/3 are remote read / remote read-exclusive.
+        let mut remote = r.latency.end_to_end[2].clone();
+        remote.merge(&r.latency.end_to_end[3]);
+        BenchRow {
+            model: r.model.label().to_string(),
+            app: r.app.to_string(),
+            nodes: r.nodes,
+            ways: r.ways,
+            cycles: r.cycles,
+            ipc: r.ipc(),
+            remote_miss_mean: remote.mean(),
+            remote_miss_p95: remote.percentile(95.0),
+        }
+    }
+}
+
+/// Write `rows` as a JSON array to `path` (hand-rolled, deterministic) —
+/// the artifact CI uploads from benchmark runs.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_bench_report(path: &str, rows: &[BenchRow]) {
+    use std::fmt::Write as _;
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"model\":\"{}\",\"app\":\"{}\",\"nodes\":{},\"ways\":{},\"cycles\":{},\
+             \"ipc\":{:.4},\"remote_miss_mean\":{:.1},\"remote_miss_p95\":{}}}",
+            r.model, r.app, r.nodes, r.ways, r.cycles, r.ipc, r.remote_miss_mean, r.remote_miss_p95
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out).expect("write bench report");
+    eprintln!("wrote {path} ({} rows)", rows.len());
+}
+
 /// A minimal dependency-free micro-benchmark harness: warms up, then times
 /// `iters` calls of `f` per sample over `samples` samples and prints the
 /// best sample as ns/iter (best-of-N rejects scheduler noise the way

@@ -9,13 +9,16 @@ use crate::setassoc::{Cache, LineState};
 use crate::tlb::Tlb;
 use crate::wb::WritebackBuffer;
 use smtp_trace::{Category, Event, GrantClass, MissClass, Tracer};
-use smtp_types::{Addr, Ctx, Cycle, LineAddr, NodeId, PipelineParams, Region};
+use smtp_types::{
+    Addr, Ctx, Cycle, Distribution, LineAddr, NodeId, PhaseBoundary, PhaseProfiler, PipelineParams,
+    Region, TxnClass,
+};
 use std::collections::VecDeque;
 
 /// Hit/miss statistics per cache level, split between application and
 /// protocol accesses (the paper's §2.3 cache-pollution analysis needs the
 /// split).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// L1D hits by application accesses.
     pub l1d_app_hits: u64,
@@ -52,6 +55,9 @@ pub struct CacheStats {
     pub dtlb_misses: u64,
     /// ITLB misses.
     pub itlb_misses: u64,
+    /// End-to-end latency of application misses, MSHR allocation to free
+    /// (data plus all invalidation acks).
+    pub miss_latency: Distribution,
 }
 
 /// The node's cache hierarchy.
@@ -75,6 +81,7 @@ pub struct MemHierarchy {
     l2_hit: Cycle,
     stats: CacheStats,
     tracer: Tracer,
+    profiler: PhaseProfiler,
 }
 
 impl MemHierarchy {
@@ -101,6 +108,7 @@ impl MemHierarchy {
             l2_hit: p.l2.hit_cycles,
             stats: CacheStats::default(),
             tracer: Tracer::disabled(),
+            profiler: PhaseProfiler::disabled(),
         }
     }
 
@@ -108,6 +116,20 @@ impl MemHierarchy {
     /// `writeback`).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach the latency-phase profiler. Application data misses open a
+    /// transaction at MSHR allocation and close it at the free.
+    pub fn set_profiler(&mut self, profiler: PhaseProfiler) {
+        self.profiler = profiler;
+    }
+
+    /// Open a phase-accounting transaction for an application miss.
+    fn profile_start(&self, line: LineAddr, class: TxnClass, now: Cycle) {
+        if self.profiler.is_enabled() {
+            let remote = line.home() != self.node;
+            self.profiler.start(self.node, line, class, remote, now);
+        }
     }
 
     /// Emit an `mshr_alloc` trace event (the start of a transaction).
@@ -382,7 +404,7 @@ impl MemHierarchy {
         } else {
             MshrClass::AppLoad
         };
-        match self.mshrs.alloc(line, MissKind::Read, class, false) {
+        match self.mshrs.alloc(line, MissKind::Read, class, false, now) {
             Ok(i) => {
                 self.mshrs
                     .get_mut(i)
@@ -392,6 +414,7 @@ impl MemHierarchy {
                 self.events.push_back(if is_protocol {
                     MemEvent::ProtocolFetch { line }
                 } else {
+                    self.profile_start(line, TxnClass::Read, now);
                     MemEvent::AppMiss {
                         line,
                         kind: MissKind::Read,
@@ -457,7 +480,7 @@ impl MemHierarchy {
         } else {
             MshrClass::AppLoad
         };
-        match self.mshrs.alloc(line, MissKind::Read, class, false) {
+        match self.mshrs.alloc(line, MissKind::Read, class, false, now) {
             Ok(i) => {
                 self.mshrs
                     .get_mut(i)
@@ -584,7 +607,7 @@ impl MemHierarchy {
                 } else {
                     MshrClass::AppStore
                 };
-                match self.mshrs.alloc(line, MissKind::Write, class, false) {
+                match self.mshrs.alloc(line, MissKind::Write, class, false, now) {
                     Ok(i) => {
                         self.mshrs
                             .get_mut(i)
@@ -594,6 +617,7 @@ impl MemHierarchy {
                         self.events.push_back(if is_protocol {
                             MemEvent::ProtocolFetch { line }
                         } else {
+                            self.profile_start(line, TxnClass::ReadExclusive, now);
                             MemEvent::AppMiss {
                                 line,
                                 kind: MissKind::Write,
@@ -625,7 +649,7 @@ impl MemHierarchy {
         }
         match self
             .mshrs
-            .alloc(line, MissKind::Upgrade, MshrClass::AppStore, false)
+            .alloc(line, MissKind::Upgrade, MshrClass::AppStore, false, now)
         {
             Ok(i) => {
                 self.mshrs
@@ -634,6 +658,7 @@ impl MemHierarchy {
                     .push(WaitTag::Store { tag, addr });
                 self.stats.upgrades += 1;
                 self.trace_alloc(line, MissClass::Upgrade, now);
+                self.profile_start(line, TxnClass::ReadExclusive, now);
                 self.events.push_back(MemEvent::AppMiss {
                     line,
                     kind: MissKind::Upgrade,
@@ -671,12 +696,13 @@ impl MemHierarchy {
                 // Shared copy, exclusive prefetch: upgrade.
                 if self
                     .mshrs
-                    .alloc(line, MissKind::Upgrade, MshrClass::AppLoad, true)
+                    .alloc(line, MissKind::Upgrade, MshrClass::AppLoad, true, now)
                     .is_ok()
                 {
                     self.stats.prefetch_issued += 1;
                     self.stats.upgrades += 1;
                     self.trace_alloc(line, MissClass::Prefetch, now);
+                    self.profile_start(line, TxnClass::ReadExclusive, now);
                     self.events.push_back(MemEvent::AppMiss {
                         line,
                         kind: MissKind::Upgrade,
@@ -693,11 +719,17 @@ impl MemHierarchy {
                 };
                 if self
                     .mshrs
-                    .alloc(line, kind, MshrClass::AppLoad, true)
+                    .alloc(line, kind, MshrClass::AppLoad, true, now)
                     .is_ok()
                 {
                     self.stats.prefetch_issued += 1;
                     self.trace_alloc(line, MissClass::Prefetch, now);
+                    let class = if exclusive {
+                        TxnClass::ReadExclusive
+                    } else {
+                        TxnClass::Read
+                    };
+                    self.profile_start(line, class, now);
                     self.events.push_back(MemEvent::AppMiss { line, kind });
                 } else {
                     self.stats.prefetch_drops += 1;
@@ -797,6 +829,10 @@ impl MemHierarchy {
             m.acks_pending += acks as i32;
             debug_assert!(m.acks_pending >= 0, "more acks than expected for {line:?}");
         }
+        if !is_protocol {
+            self.profiler
+                .stamp(self.node, line, PhaseBoundary::Filled, now);
+        }
         if self.mshrs.get(idx).complete() {
             self.finish_mshr(idx, now);
         }
@@ -828,6 +864,12 @@ impl MemHierarchy {
         let line = m.line;
         self.tracer
             .emit(Category::Cache, now, || Event::MshrFree { node, line });
+        if !m.is_protocol {
+            self.stats
+                .miss_latency
+                .record(now.saturating_sub(m.alloc_at));
+            self.profiler.close(self.node, line, now);
+        }
         match m.deferred {
             None => {}
             Some(Deferred::Inval { requester }) => {

@@ -8,7 +8,7 @@
 //! `16 + 1`, and the protocol thread all of them.
 
 use crate::events::MissKind;
-use smtp_types::{Addr, Ctx, LineAddr, NodeId};
+use smtp_types::{Addr, Ctx, Cycle, LineAddr, NodeId};
 
 /// Who is waiting on an MSHR.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -91,6 +91,9 @@ pub struct Mshr {
     pub data_done: bool,
     /// Coherence action to run at completion.
     pub deferred: Option<Deferred>,
+    /// Cycle this entry was allocated — the miss latency is measured from
+    /// here to the free.
+    pub alloc_at: Cycle,
 }
 
 impl Mshr {
@@ -170,6 +173,7 @@ impl MshrFile {
         kind: MissKind,
         class: MshrClass,
         is_prefetch: bool,
+        now: Cycle,
     ) -> Result<usize, ()> {
         debug_assert!(self.find(line).is_none(), "duplicate MSHR for {line:?}");
         if !self.can_alloc(class) {
@@ -189,6 +193,7 @@ impl MshrFile {
             acks_pending: 0,
             data_done: false,
             deferred: None,
+            alloc_at: now,
         });
         Ok(slot)
     }
@@ -225,25 +230,25 @@ mod tests {
         let mut f = MshrFile::new(2, true); // 2 app + 1 store + 1 protocol
         assert_eq!(f.capacity(), 4);
         assert!(f
-            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false)
+            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false, 0)
             .is_ok());
         assert!(f
-            .alloc(line(1), MissKind::Read, MshrClass::AppLoad, false)
+            .alloc(line(1), MissKind::Read, MshrClass::AppLoad, false, 0)
             .is_ok());
         // App loads exhausted their share.
         assert!(f
-            .alloc(line(2), MissKind::Read, MshrClass::AppLoad, false)
+            .alloc(line(2), MissKind::Read, MshrClass::AppLoad, false, 0)
             .is_err());
         // Stores can still take the retiring-store entry.
         assert!(f
-            .alloc(line(2), MissKind::Write, MshrClass::AppStore, false)
+            .alloc(line(2), MissKind::Write, MshrClass::AppStore, false, 0)
             .is_ok());
         assert!(f
-            .alloc(line(3), MissKind::Write, MshrClass::AppStore, false)
+            .alloc(line(3), MissKind::Write, MshrClass::AppStore, false, 0)
             .is_err());
         // Protocol can always take the reserved entry.
         assert!(f
-            .alloc(line(3), MissKind::Read, MshrClass::Protocol, false)
+            .alloc(line(3), MissKind::Read, MshrClass::Protocol, false, 0)
             .is_ok());
         assert_eq!(f.used(), 4);
     }
@@ -258,7 +263,7 @@ mod tests {
     fn find_and_free() {
         let mut f = MshrFile::new(4, false);
         let i = f
-            .alloc(line(7), MissKind::Write, MshrClass::AppLoad, false)
+            .alloc(line(7), MissKind::Write, MshrClass::AppLoad, false, 0)
             .unwrap();
         assert_eq!(f.find(line(7)), Some(i));
         assert_eq!(f.find(line(8)), None);
@@ -276,7 +281,7 @@ mod tests {
     fn completion_requires_data_and_acks() {
         let mut f = MshrFile::new(4, false);
         let i = f
-            .alloc(line(1), MissKind::Write, MshrClass::AppLoad, false)
+            .alloc(line(1), MissKind::Write, MshrClass::AppLoad, false, 0)
             .unwrap();
         assert!(!f.get(i).complete());
         f.get_mut(i).data_done = true;
@@ -289,11 +294,11 @@ mod tests {
     #[test]
     fn conflict_detection_ignores_protocol_misses() {
         let mut f = MshrFile::new(4, true);
-        f.alloc(line(5), MissKind::Read, MshrClass::Protocol, false)
+        f.alloc(line(5), MissKind::Read, MshrClass::Protocol, false, 0)
             .unwrap();
         let set_of = |l: LineAddr| (l.raw() / 128) % 8;
         assert!(!f.app_conflict(5, set_of));
-        f.alloc(line(13), MissKind::Read, MshrClass::AppLoad, false)
+        f.alloc(line(13), MissKind::Read, MshrClass::AppLoad, false, 0)
             .unwrap(); // 13 % 8 == 5
         assert!(f.app_conflict(5, set_of));
         assert!(!f.app_conflict(6, set_of));
@@ -304,7 +309,7 @@ mod tests {
     fn double_free_panics() {
         let mut f = MshrFile::new(4, false);
         let i = f
-            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false)
+            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false, 0)
             .unwrap();
         f.free(i);
         f.free(i);

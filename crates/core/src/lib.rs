@@ -15,10 +15,12 @@
 
 pub mod experiment;
 pub mod node;
+pub mod report;
 pub mod stats;
 pub mod system;
 
 pub use experiment::{build_system, run_experiment, ExperimentConfig};
 pub use node::Node;
-pub use stats::RunStats;
+pub use report::Report;
+pub use stats::{RunStats, ThreadTime};
 pub use system::System;

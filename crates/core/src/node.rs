@@ -3,12 +3,15 @@
 
 use smtp_cache::{Grant, IntervResult, InvalResult, MemEvent, MemHierarchy, MissKind};
 use smtp_isa::{Inst, SyncCond, SyncOp, SyncOutcome};
-use smtp_mem::{DirCache, ProtocolEngine, Sdram};
+use smtp_mem::{DirCache, ProtocolEngine, Sdram, TimedQueue};
 use smtp_noc::{Msg, MsgKind};
 use smtp_pipeline::{PipeEnv, SmtPipeline};
-use smtp_protocol::{handler_program, Directory, Transition};
+use smtp_protocol::{handler_program, Directory, HandlerStats, Transition};
 use smtp_trace::{Category, Event, HandlerClass, Tracer};
-use smtp_types::{Ctx, Cycle, LineAddr, MachineModel, NodeId, Region, SystemConfig};
+use smtp_types::{
+    Ctx, Cycle, Distribution, LineAddr, MachineModel, NodeId, PhaseBoundary, PhaseProfiler, Region,
+    SystemConfig,
+};
 use smtp_workloads::{make_thread, AppKind, SyncManager, ThreadGen, WorkloadCfg};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -28,6 +31,10 @@ struct HandlerInstance {
     /// Per-node dispatch sequence number, matching the `handler_dispatch`
     /// trace event this instance was announced with.
     trace_seq: u64,
+    /// Cycle the dispatch unit accepted this handler (occupancy stats).
+    dispatched_at: Cycle,
+    /// [`smtp_protocol::HandlerKind`] index (occupancy stats).
+    kind_idx: usize,
 }
 
 /// The SMTp handler dispatch unit (paper §2.1): selects queued
@@ -202,8 +209,8 @@ pub struct Node {
     /// The SMTp handler dispatch unit.
     pub dispatch: DispatchUnit,
     gens: Vec<ThreadGen>,
-    lmi: VecDeque<(Cycle, Msg)>,
-    ni_in: VecDeque<(Cycle, Msg)>,
+    lmi: TimedQueue<Msg>,
+    ni_in: TimedQueue<Msg>,
     replay: VecDeque<Msg>,
     events: BinaryHeap<Reverse<Timed>>,
     seq: u64,
@@ -211,8 +218,11 @@ pub struct Node {
     outbox: Vec<(Cycle, Msg)>,
     trace_line: Option<u64>,
     tracer: Tracer,
+    profiler: PhaseProfiler,
     /// Extra statistics.
     pub stats: NodeStats,
+    /// Per-handler-kind dispatch counts and occupancy.
+    pub handler_stats: HandlerStats,
 }
 
 impl std::fmt::Debug for Node {
@@ -276,8 +286,8 @@ impl Node {
             engine,
             dispatch: DispatchUnit::new(smtp && cfg.pipeline.look_ahead_scheduling),
             gens,
-            lmi: VecDeque::new(),
-            ni_in: VecDeque::new(),
+            lmi: TimedQueue::new(),
+            ni_in: TimedQueue::new(),
             replay: VecDeque::new(),
             events: BinaryHeap::new(),
             seq: 0,
@@ -287,7 +297,9 @@ impl Node {
                 .ok()
                 .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok()),
             tracer: Tracer::disabled(),
+            profiler: PhaseProfiler::disabled(),
             stats: NodeStats::default(),
+            handler_stats: HandlerStats::new(),
         }
     }
 
@@ -298,6 +310,20 @@ impl Node {
         self.directory.set_tracer(tracer.clone());
         self.sdram.set_tracer(self.id, tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Attach the latency phase profiler to this node and its hierarchy.
+    pub fn set_profiler(&mut self, profiler: PhaseProfiler) {
+        self.mem.set_profiler(profiler.clone());
+        self.profiler = profiler;
+    }
+
+    /// Waiting time observed by home transactions in the local-miss and
+    /// network-interface input queues (dispatch queueing, Table 7 context).
+    pub fn dispatch_wait(&self) -> Distribution {
+        let mut d = self.lmi.wait().clone();
+        d.merge(self.ni_in.wait());
+        d
     }
 
     #[inline]
@@ -329,6 +355,25 @@ impl Node {
     /// Route an outgoing message (local delivery or network injection).
     fn emit_msg(&mut self, msg: Msg, at: Cycle) {
         self.trace(at, "emit", &msg);
+        if self.profiler.is_enabled()
+            && matches!(
+                msg.kind,
+                MsgKind::DataShared | MsgKind::DataExcl { .. } | MsgKind::UpgradeAck { .. }
+            )
+        {
+            self.profiler
+                .stamp(msg.dst, msg.addr, PhaseBoundary::ReplySent, at);
+            if msg.dst == self.id {
+                // Local replies skip the network; they are "delivered" when
+                // the local MC hands them over.
+                self.profiler.stamp(
+                    msg.dst,
+                    msg.addr,
+                    PhaseBoundary::ReplyDelivered,
+                    at + self.mc_div,
+                );
+            }
+        }
         if msg.dst == self.id {
             self.stats.msgs_local += 1;
             let node = self.id;
@@ -356,7 +401,7 @@ impl Node {
             | MsgKind::Put { .. }
             | MsgKind::SharingWb { .. }
             | MsgKind::TransferAck { .. } => {
-                self.ni_in.push_back((now + self.mc_div, msg));
+                self.ni_in.push(now + self.mc_div, msg);
                 self.stats.ni_peak = self.stats.ni_peak.max(self.ni_in.len());
             }
             // Requester/third-party messages are handled by the cache
@@ -451,8 +496,14 @@ impl Node {
                     let msg = Msg::new(mk, line, self.id, home);
                     self.trace(now, "miss", &msg);
                     let at = now + self.bus_req;
+                    self.profiler
+                        .stamp(self.id, line, PhaseBoundary::ReqSent, at);
                     if home == self.id {
-                        self.lmi.push_back((at, msg));
+                        // Local misses reach the home MC straight over the
+                        // system bus — no request-network hop.
+                        self.profiler
+                            .stamp(self.id, line, PhaseBoundary::ReqDelivered, at);
+                        self.lmi.push(at, msg);
                         self.stats.lmi_peak = self.stats.lmi_peak.max(self.lmi.len());
                     } else {
                         self.outbox.push((at, msg));
@@ -476,7 +527,7 @@ impl Node {
                         let msg = Msg::new(MsgKind::Put { dirty }, line, self.id, home);
                         let at = now + if dirty { self.bus_data } else { self.bus_req };
                         if home == self.id {
-                            self.lmi.push_back((at, msg));
+                            self.lmi.push(at, msg);
                         } else {
                             self.outbox.push((at, msg));
                             self.stats.msgs_out += 1;
@@ -514,13 +565,10 @@ impl Node {
         if let Some(m) = self.replay.pop_front() {
             return Some(m);
         }
-        if self.ni_in.front().is_some_and(|&(at, _)| at <= now) {
-            return self.ni_in.pop_front().map(|(_, m)| m);
+        if let Some(m) = self.ni_in.pop_due(now) {
+            return Some(m);
         }
-        if self.lmi.front().is_some_and(|&(at, _)| at <= now) {
-            return self.lmi.pop_front().map(|(_, m)| m);
-        }
-        None
+        self.lmi.pop_due(now)
     }
 
     /// Run the home-side protocol processing for this MC edge.
@@ -545,6 +593,7 @@ impl Node {
                     self.stats.handlers += 1;
                     let seq = self.stats.handlers;
                     self.trace_dispatch(&msg, &t, seq, now);
+                    self.stamp_dispatched(&msg, now);
                     self.start_protocol_thread_handler(msg.addr, t, now, seq);
                 }
             }
@@ -565,10 +614,22 @@ impl Node {
                     self.stats.handlers += 1;
                     let seq = self.stats.handlers;
                     self.trace_dispatch(&msg, &t, seq, now);
+                    self.stamp_dispatched(&msg, now);
                     self.run_engine_handler(msg.addr, t, now, seq);
                     break;
                 }
             }
+        }
+    }
+
+    /// Stamp the dispatch boundary of the requester's open transaction.
+    /// Only primary requests open transactions — secondary home traffic
+    /// (Put, SharingWb, TransferAck) may carry a line address the sender
+    /// has its own unrelated open transaction on, so it must not stamp.
+    fn stamp_dispatched(&mut self, msg: &Msg, now: Cycle) {
+        if matches!(msg.kind, MsgKind::GetS | MsgKind::GetX | MsgKind::Upgrade) {
+            self.profiler
+                .stamp(msg.src, msg.addr, PhaseBoundary::Dispatched, now);
         }
     }
 
@@ -614,6 +675,7 @@ impl Node {
         let data_ready_at = self.common_handler_setup(line, &t, now);
         let prog = handler_program(self.id, line, &t);
         let handler = t.kind.trace_class();
+        let kind_idx = t.kind.index();
         self.dispatch.enqueue(HandlerInstance {
             prog,
             pos: 0,
@@ -623,6 +685,8 @@ impl Node {
             line,
             handler,
             trace_seq: seq,
+            dispatched_at: now,
+            kind_idx,
         });
     }
 
@@ -634,6 +698,8 @@ impl Node {
             .as_mut()
             .expect("engine")
             .run_handler(self.id, &prog, now);
+        self.handler_stats
+            .record(t.kind.index(), run.finish.saturating_sub(now));
         let node = self.id;
         let handler = t.kind.trace_class();
         self.tracer
@@ -690,6 +756,8 @@ impl Node {
                 }
                 ProtAction::Ldctxt => {
                     let h = self.dispatch.ldctxt_graduated();
+                    self.handler_stats
+                        .record(h.kind_idx, now.saturating_sub(h.dispatched_at));
                     let node = self.id;
                     self.tracer
                         .emit(Category::Protocol, now, || Event::HandlerComplete {
@@ -823,6 +891,8 @@ mod tests {
             line: LineAddr(0),
             handler: HandlerClass::Put,
             trace_seq: 0,
+            dispatched_at: 0,
+            kind_idx: 0,
         });
         assert!(!d.can_accept());
         assert!(d.next_inst().is_some());
@@ -844,6 +914,8 @@ mod tests {
             line: LineAddr(0),
             handler: HandlerClass::Put,
             trace_seq: 0,
+            dispatched_at: 0,
+            kind_idx: 0,
         };
         d.enqueue(mk(2));
         d.enqueue(mk(3));

@@ -1,0 +1,548 @@
+//! Paper-style run reports: Table 7 protocol occupancy, Fig. 5/7 per-thread
+//! time breakdowns, and latency percentile / phase-decomposition tables,
+//! rendered as aligned text, Markdown, or JSON.
+//!
+//! The JSON output is hand-rolled (the workspace has no serialization
+//! dependency) and deterministic: identical [`RunStats`] produce
+//! byte-identical output.
+
+use crate::stats::{RunStats, ThreadTime};
+use smtp_types::{Distribution, Histogram, CLASS_NAMES, NUM_PHASES, PHASE_NAMES};
+
+/// Percentiles every latency table reports.
+const PERCENTILES: [f64; 5] = [50.0, 90.0, 95.0, 99.0, 100.0];
+
+/// A formatted view over one run's [`RunStats`].
+///
+/// ```no_run
+/// # let stats: smtp_core::RunStats = unimplemented!();
+/// let report = smtp_core::Report::new(&stats);
+/// println!("{}", report.text());
+/// ```
+#[derive(Debug)]
+pub struct Report<'a> {
+    stats: &'a RunStats,
+}
+
+impl<'a> Report<'a> {
+    /// Build a report over `stats`.
+    pub fn new(stats: &'a RunStats) -> Report<'a> {
+        Report { stats }
+    }
+
+    /// Render as aligned plain text (terminal).
+    pub fn text(&self) -> String {
+        self.render(Style::Text)
+    }
+
+    /// Render as Markdown tables.
+    pub fn markdown(&self) -> String {
+        self.render(Style::Markdown)
+    }
+
+    fn render(&self, style: Style) -> String {
+        let s = self.stats;
+        let mut out = String::new();
+        style.heading(&mut out, 1, &format!("{:?} {} run report", s.model, s.app));
+        out.push('\n');
+
+        // -- Header --------------------------------------------------------
+        style.table(
+            &mut out,
+            &["parameter", "value"],
+            &[
+                vec!["nodes".into(), s.nodes.to_string()],
+                vec!["app threads / node".into(), s.ways.to_string()],
+                vec!["cycles".into(), s.cycles.to_string()],
+                vec!["app instructions".into(), s.app_instructions.to_string()],
+                vec![
+                    "protocol instructions".into(),
+                    s.protocol_instructions.to_string(),
+                ],
+                vec!["IPC (app, machine)".into(), format!("{:.3}", s.ipc())],
+                vec!["handlers".into(), s.handlers.to_string()],
+                vec!["lock acquires".into(), s.lock_acquires.to_string()],
+                vec!["barrier episodes".into(), s.barrier_episodes.to_string()],
+            ],
+        );
+
+        // -- Table 7: protocol occupancy ------------------------------------
+        style.heading(&mut out, 2, "Protocol occupancy (Table 7)");
+        style.table(
+            &mut out,
+            &["metric", "value"],
+            &[
+                vec![
+                    "occupancy mean".into(),
+                    format!("{:.1}%", 100.0 * s.protocol_occupancy_mean),
+                ],
+                vec![
+                    "occupancy peak node".into(),
+                    format!("{:.1}%", 100.0 * s.protocol_occupancy_peak),
+                ],
+                vec![
+                    "dispatch queue wait".into(),
+                    format!(
+                        "mean {:.1} / p95 {} cycles ({} msgs)",
+                        s.dispatch_queue_wait.mean(),
+                        s.dispatch_queue_wait.percentile(95.0),
+                        s.dispatch_queue_wait.count()
+                    ),
+                ],
+                vec![
+                    "SDRAM queue wait".into(),
+                    format!(
+                        "mean {:.1} / p95 {} cycles ({} reqs)",
+                        s.sdram_queue_wait.mean(),
+                        s.sdram_queue_wait.percentile(95.0),
+                        s.sdram_queue_wait.count()
+                    ),
+                ],
+            ],
+        );
+
+        let occ = &s.handler_occupancy;
+        if occ.total() > 0 {
+            style.heading(&mut out, 2, "Handlers by kind");
+            let rows: Vec<Vec<String>> = occ
+                .iter_nonzero()
+                .map(|(name, count, d)| {
+                    vec![
+                        name.into(),
+                        count.to_string(),
+                        format!("{:.1}", d.mean()),
+                        d.percentile(95.0).to_string(),
+                        d.max().to_string(),
+                    ]
+                })
+                .collect();
+            style.table(
+                &mut out,
+                &["handler", "count", "mean cyc", "p95", "max"],
+                &rows,
+            );
+        }
+
+        // -- Fig. 5/7: per-thread time breakdown ----------------------------
+        style.heading(&mut out, 2, "Per-thread time breakdown (Fig. 5/7)");
+        let rows: Vec<Vec<String>> = s
+            .thread_time
+            .iter()
+            .map(|t| {
+                let mut row = vec![format!("n{}c{}", t.node, t.ctx)];
+                let cyc = t.cycles.max(1) as f64;
+                for v in [t.busy, t.memory, t.sync, t.squash, t.fetch_starved, t.other] {
+                    row.push(format!("{:.1}%", 100.0 * v as f64 / cyc));
+                }
+                if style == Style::Text {
+                    row.push(bar(t));
+                }
+                row
+            })
+            .collect();
+        let mut cols = vec![
+            "thread", "busy", "memory", "sync", "squash", "starved", "other",
+        ];
+        if style == Style::Text {
+            cols.push("");
+        }
+        style.table(&mut out, &cols, &rows);
+        if style == Style::Text {
+            out.push_str("  bar: #=busy m=memory s=sync q=squash .=starved o=other\n");
+        }
+
+        // -- Miss latency percentiles ---------------------------------------
+        style.heading(&mut out, 2, "L2 miss latency by class (cycles)");
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for (i, name) in CLASS_NAMES.iter().enumerate() {
+            let h = &s.latency.end_to_end[i];
+            if h.is_empty() {
+                continue;
+            }
+            rows.push(hist_row(name, h));
+        }
+        if !s.miss_latency.is_empty() {
+            rows.push(hist_row(
+                "all (MSHR alloc→free)",
+                s.miss_latency.histogram(),
+            ));
+        }
+        if rows.is_empty() {
+            style.para(&mut out, "no profiled misses");
+        } else {
+            style.table(
+                &mut out,
+                &["class", "count", "mean", "p50", "p90", "p95", "p99", "max"],
+                &rows,
+            );
+        }
+
+        // -- Remote miss phase decomposition --------------------------------
+        style.heading(&mut out, 2, "Remote miss phase decomposition");
+        let remote_e2e: f64 = s.latency.phases_remote.iter().map(|d| d.mean()).sum();
+        if remote_e2e > 0.0 {
+            let rows: Vec<Vec<String>> = (0..NUM_PHASES)
+                .filter(|&i| !s.latency.phases_remote[i].is_empty())
+                .map(|i| {
+                    let d = &s.latency.phases_remote[i];
+                    vec![
+                        PHASE_NAMES[i].into(),
+                        format!("{:.1}", d.mean()),
+                        format!("{:.1}%", 100.0 * d.mean() / remote_e2e),
+                        d.percentile(95.0).to_string(),
+                    ]
+                })
+                .collect();
+            style.table(&mut out, &["phase", "mean cyc", "share", "p95"], &rows);
+            style.para(
+                &mut out,
+                &format!("mean remote end-to-end: {remote_e2e:.1} cycles"),
+            );
+        } else {
+            style.para(&mut out, "no remote misses profiled");
+        }
+
+        // -- Network --------------------------------------------------------
+        if s.nodes > 1 {
+            style.heading(&mut out, 2, "Network latency by virtual network");
+            let names = ["request", "intervention", "reply", "io"];
+            let rows: Vec<Vec<String>> = names
+                .iter()
+                .zip(&s.vnet_latency)
+                .filter(|(_, d)| !d.is_empty())
+                .map(|(name, d)| {
+                    vec![
+                        (*name).into(),
+                        d.count().to_string(),
+                        format!("{:.1}", d.mean()),
+                        d.percentile(95.0).to_string(),
+                        d.max().to_string(),
+                    ]
+                })
+                .collect();
+            style.table(&mut out, &["vnet", "msgs", "mean cyc", "p95", "max"], &rows);
+        }
+        out
+    }
+
+    /// Render as a JSON object (deterministic field order).
+    pub fn json(&self) -> String {
+        let s = self.stats;
+        let mut j = JsonObj::new();
+        j.str("model", &format!("{:?}", s.model));
+        j.str("app", &s.app.to_string());
+        j.num("nodes", s.nodes as f64);
+        j.num("ways", s.ways as f64);
+        j.num("cycles", s.cycles as f64);
+        j.num("app_instructions", s.app_instructions as f64);
+        j.num("protocol_instructions", s.protocol_instructions as f64);
+        j.num("ipc", s.ipc());
+        j.num("handlers", s.handlers as f64);
+        j.num("protocol_occupancy_mean", s.protocol_occupancy_mean);
+        j.num("protocol_occupancy_peak", s.protocol_occupancy_peak);
+        j.raw("dispatch_queue_wait", &dist_json(&s.dispatch_queue_wait));
+        j.raw("sdram_queue_wait", &dist_json(&s.sdram_queue_wait));
+
+        let handler_rows: Vec<String> = s
+            .handler_occupancy
+            .iter_nonzero()
+            .map(|(name, count, d)| {
+                let mut h = JsonObj::new();
+                h.str("kind", name);
+                h.num("count", count as f64);
+                h.raw("occupancy", &dist_json(d));
+                h.finish()
+            })
+            .collect();
+        j.raw("handlers_by_kind", &json_array(&handler_rows));
+
+        let thread_rows: Vec<String> = s.thread_time.iter().map(thread_json).collect();
+        j.raw("thread_time", &json_array(&thread_rows));
+
+        let class_rows: Vec<String> = CLASS_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut c = JsonObj::new();
+                c.str("class", name);
+                c.raw("latency", &hist_json(&s.latency.end_to_end[i]));
+                c.finish()
+            })
+            .collect();
+        j.raw("miss_latency_by_class", &json_array(&class_rows));
+        j.raw("miss_latency", &dist_json(&s.miss_latency));
+
+        let phase_rows: Vec<String> = (0..NUM_PHASES)
+            .map(|i| {
+                let mut p = JsonObj::new();
+                p.str("phase", PHASE_NAMES[i]);
+                p.raw("all", &dist_json(&s.latency.phases[i]));
+                p.raw("remote", &dist_json(&s.latency.phases_remote[i]));
+                p.finish()
+            })
+            .collect();
+        j.raw("phases", &json_array(&phase_rows));
+
+        let vnet_rows: Vec<String> = s.vnet_latency.iter().map(dist_json).collect();
+        j.raw("vnet_latency", &json_array(&vnet_rows));
+        j.finish()
+    }
+}
+
+/// ASCII stacked bar for one thread's breakdown (30 chars wide).
+fn bar(t: &ThreadTime) -> String {
+    const WIDTH: u64 = 30;
+    let parts = [t.busy, t.memory, t.sync, t.squash, t.fetch_starved, t.other];
+    let glyphs = ['#', 'm', 's', 'q', '.', 'o'];
+    let total: u64 = parts.iter().sum::<u64>().max(1);
+    let mut out = String::with_capacity(WIDTH as usize);
+    for (v, g) in parts.iter().zip(glyphs) {
+        for _ in 0..(v * WIDTH / total) {
+            out.push(g);
+        }
+    }
+    while (out.len() as u64) < WIDTH {
+        out.push(' ');
+    }
+    out
+}
+
+fn hist_row(name: &str, h: &Histogram) -> Vec<String> {
+    vec![
+        name.into(),
+        h.count().to_string(),
+        format!("{:.1}", h.mean()),
+        h.percentile(50.0).to_string(),
+        h.percentile(90.0).to_string(),
+        h.percentile(95.0).to_string(),
+        h.percentile(99.0).to_string(),
+        h.max().to_string(),
+    ]
+}
+
+/// Output style shared by the text and Markdown renderers.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Style {
+    Text,
+    Markdown,
+}
+
+impl Style {
+    fn heading(self, out: &mut String, level: usize, title: &str) {
+        match self {
+            Style::Text => out.push_str(&format!(
+                "\n{} {title}\n",
+                if level == 1 { "==" } else { "--" }
+            )),
+            Style::Markdown => out.push_str(&format!("\n{} {title}\n\n", "#".repeat(level))),
+        }
+    }
+
+    fn para(self, out: &mut String, text: &str) {
+        out.push_str(&format!("  {text}\n"));
+    }
+
+    fn table(self, out: &mut String, cols: &[&str], rows: &[Vec<String>]) {
+        match self {
+            Style::Text => {
+                // Column widths over header + body.
+                let mut w: Vec<usize> = cols.iter().map(|c| c.len()).collect();
+                for r in rows {
+                    for (i, cell) in r.iter().enumerate() {
+                        w[i] = w[i].max(cell.len());
+                    }
+                }
+                let line = |out: &mut String, cells: &[String]| {
+                    out.push_str("  ");
+                    for (i, cell) in cells.iter().enumerate() {
+                        // First column left-aligned, the rest right-aligned.
+                        if i == 0 {
+                            out.push_str(&format!("{cell:<width$}  ", width = w[i]));
+                        } else {
+                            out.push_str(&format!("{cell:>width$}  ", width = w[i]));
+                        }
+                    }
+                    while out.ends_with(' ') {
+                        out.pop();
+                    }
+                    out.push('\n');
+                };
+                line(out, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+                for r in rows {
+                    line(out, r);
+                }
+            }
+            Style::Markdown => {
+                out.push_str(&format!("| {} |\n", cols.join(" | ")));
+                out.push_str(&format!("|{}\n", "---|".repeat(cols.len())));
+                for r in rows {
+                    out.push_str(&format!("| {} |\n", r.join(" | ")));
+                }
+            }
+        }
+    }
+}
+
+// -- Hand-rolled JSON helpers ----------------------------------------------
+
+/// Builder for one JSON object; keys appear in insertion order.
+struct JsonObj {
+    body: String,
+}
+
+impl JsonObj {
+    fn new() -> JsonObj {
+        JsonObj {
+            body: String::new(),
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&format!("\"{k}\":"));
+    }
+
+    fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.body.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.body.push_str("\\\""),
+                '\\' => self.body.push_str("\\\\"),
+                c if (c as u32) < 0x20 => self.body.push_str(&format!("\\u{:04x}", c as u32)),
+                c => self.body.push(c),
+            }
+        }
+        self.body.push('"');
+    }
+
+    fn num(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.body.push_str(&fmt_num(v));
+    }
+
+    fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.body.push_str(v);
+    }
+
+    fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Format a finite number: integers without a fraction, everything else
+/// with enough digits to round-trip the table values.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        "0".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn json_array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+fn dist_json(d: &Distribution) -> String {
+    let mut j = JsonObj::new();
+    j.num("count", d.count() as f64);
+    j.num("mean", d.mean());
+    j.num("stddev", d.stddev());
+    j.num("min", d.min() as f64);
+    for p in PERCENTILES {
+        j.num(&format!("p{}", p as u64), d.percentile(p) as f64);
+    }
+    j.finish()
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let mut j = JsonObj::new();
+    j.num("count", h.count() as f64);
+    j.num("mean", h.mean());
+    j.num("min", h.min() as f64);
+    for p in PERCENTILES {
+        j.num(&format!("p{}", p as u64), h.percentile(p) as f64);
+    }
+    j.finish()
+}
+
+fn thread_json(t: &ThreadTime) -> String {
+    let mut j = JsonObj::new();
+    j.num("node", t.node as f64);
+    j.num("ctx", t.ctx as f64);
+    j.num("busy", t.busy as f64);
+    j.num("memory", t.memory as f64);
+    j.num("sync", t.sync as f64);
+    j.num("squash", t.squash as f64);
+    j.num("fetch_starved", t.fetch_starved as f64);
+    j.num("other", t.other as f64);
+    j.num("cycles", t.cycles as f64);
+    j.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RunStats {
+        let cfg = smtp_types::SystemConfig::new(smtp_types::MachineModel::SMTp, 1, 1);
+        let mut sys = crate::System::new(cfg, smtp_workloads::AppKind::Fft, 0.05);
+        sys.run(2_000_000)
+    }
+
+    #[test]
+    fn all_formats_render_nonempty() {
+        let s = stats();
+        let r = Report::new(&s);
+        let text = r.text();
+        assert!(text.contains("Protocol occupancy"));
+        assert!(text.contains("Per-thread time breakdown"));
+        let md = r.markdown();
+        assert!(md.contains("| parameter | value |"));
+        let json = r.json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"miss_latency\""));
+    }
+
+    #[test]
+    fn json_is_structurally_valid() {
+        let s = stats();
+        let json = Report::new(&s).json();
+        // Brace/bracket balance and quote parity outside strings — a cheap
+        // structural check that catches missing commas and truncation.
+        let (mut depth, mut brackets, mut in_str, mut esc) = (0i64, 0i64, false, false);
+        for c in json.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => depth += 1,
+                '}' if !in_str => depth -= 1,
+                '[' if !in_str => brackets += 1,
+                ']' if !in_str => brackets -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0 && brackets >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(brackets, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = stats();
+        let b = stats();
+        assert_eq!(Report::new(&a).json(), Report::new(&b).json());
+        assert_eq!(Report::new(&a).text(), Report::new(&b).text());
+    }
+}

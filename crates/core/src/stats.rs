@@ -2,8 +2,36 @@
 
 use crate::node::Node;
 use smtp_noc::{NetStats, Network};
-use smtp_types::{Cycle, MachineModel, RunningStat, SystemConfig, MAX_CTX};
+use smtp_protocol::HandlerStats;
+use smtp_types::{
+    Cycle, Distribution, LatencyBreakdown, MachineModel, PhaseProfiler, RunningStat, SystemConfig,
+    MAX_CTX,
+};
 use smtp_workloads::{AppKind, SyncManager};
+
+/// Where one hardware context spent its cycles (paper Fig. 5/7): the
+/// committing "busy" component plus the five stall buckets, all in cycles.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadTime {
+    /// Node the context lives on.
+    pub node: usize,
+    /// Context index within the node.
+    pub ctx: usize,
+    /// Cycles with at least one instruction committed.
+    pub busy: u64,
+    /// Cycles stalled on a memory operation at the head of the window.
+    pub memory: u64,
+    /// Cycles blocked on synchronization (locks / barriers).
+    pub sync: u64,
+    /// Cycles inside a squash-recovery window.
+    pub squash: u64,
+    /// Cycles with the context completely empty (fetch-starved).
+    pub fetch_starved: u64,
+    /// Remaining non-committing cycles.
+    pub other: u64,
+    /// Total cycles the pipeline ran.
+    pub cycles: Cycle,
+}
 
 /// Aggregated results of one simulation run.
 #[derive(Clone, Debug)]
@@ -60,6 +88,25 @@ pub struct RunStats {
     pub lock_acquires: u64,
     /// Barrier episodes machine-wide.
     pub barrier_episodes: u64,
+    /// End-to-end application L2 miss latency (MSHR alloc to free),
+    /// merged across nodes.
+    pub miss_latency: Distribution,
+    /// Per-phase latency decomposition of profiled L2 miss transactions.
+    pub latency: LatencyBreakdown,
+    /// Network latency per virtual network (Request, Intervention, Reply,
+    /// Io), merged across injections.
+    pub vnet_latency: [Distribution; 4],
+    /// SDRAM channel queueing delay (cycles a request waited for the
+    /// channel), both channels, merged across nodes.
+    pub sdram_queue_wait: Distribution,
+    /// Home-side dispatch queueing delay (local-miss-interface and
+    /// network-interface input queues), merged across nodes.
+    pub dispatch_queue_wait: Distribution,
+    /// Per-handler-kind dispatch counts and occupancy, merged across nodes.
+    pub handler_occupancy: HandlerStats,
+    /// Per-context time breakdown (Fig. 5/7), one entry per application
+    /// context machine-wide.
+    pub thread_time: Vec<ThreadTime>,
 }
 
 impl RunStats {
@@ -70,6 +117,7 @@ impl RunStats {
         nodes: &[Node],
         network: Option<&Network>,
         sync: &SyncManager,
+        profiler: &PhaseProfiler,
     ) -> RunStats {
         let cycles = cycles.max(1);
         let mut app_insts = 0;
@@ -88,13 +136,34 @@ impl RunStats {
         let mut dir_misses = 0u64;
         let mut l1d = (0u64, 0u64);
         let mut l2 = (0u64, 0u64);
+        let mut miss_latency = Distribution::new();
+        let mut sdram_queue_wait = Distribution::new();
+        let mut dispatch_queue_wait = Distribution::new();
+        let mut handler_occupancy = HandlerStats::new();
+        let mut thread_time = Vec::with_capacity(nodes.len() * cfg.app_threads);
         for n in nodes {
             let p = n.pipeline.stats();
             app_insts += p.committed_app();
             prot_insts += p.committed_protocol();
             for t in 0..cfg.app_threads {
                 mem_stall.push(p.memory_stall[t] as f64);
+                let [busy, memory, sync_c, squash, fetch_starved, other] = p.thread_breakdown(t);
+                thread_time.push(ThreadTime {
+                    node: n.id().idx(),
+                    ctx: t,
+                    busy,
+                    memory,
+                    sync: sync_c,
+                    squash,
+                    fetch_starved,
+                    other,
+                    cycles: p.cycles,
+                });
             }
+            sdram_queue_wait.merge(n.sdram.main_queue_wait());
+            sdram_queue_wait.merge(n.sdram.protocol_queue_wait());
+            dispatch_queue_wait.merge(&n.dispatch_wait());
+            handler_occupancy.merge(&n.handler_stats);
             let occ = match &n.engine {
                 Some(e) => e.active_cycles() as f64 / cycles as f64,
                 None => p.protocol_active_cycles as f64 / cycles as f64,
@@ -117,6 +186,7 @@ impl RunStats {
             l1d.1 += c.l1d_app_misses;
             l2.0 += c.l2_app_hits;
             l2.1 += c.l2_app_misses;
+            miss_latency.merge(&c.miss_latency);
         }
         let total_insts = app_insts + prot_insts;
         RunStats {
@@ -156,7 +226,21 @@ impl RunStats {
             l2_app_miss_rate: miss_rate(l2),
             lock_acquires: sync.stats().lock_acquires,
             barrier_episodes: sync.stats().barrier_episodes,
+            miss_latency,
+            latency: profiler.breakdown(),
+            vnet_latency: network
+                .map(|n| n.vnet_latency().clone())
+                .unwrap_or_default(),
+            sdram_queue_wait,
+            dispatch_queue_wait,
+            handler_occupancy,
+            thread_time,
         }
+    }
+
+    /// Committed application instructions per cycle (whole machine).
+    pub fn ipc(&self) -> f64 {
+        self.app_instructions as f64 / self.cycles as f64
     }
 
     /// Memory-stall fraction of execution time (the dark bar segment in

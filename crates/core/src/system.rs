@@ -5,7 +5,7 @@ use crate::stats::RunStats;
 use smtp_noc::Network;
 use smtp_trace::{IntervalSampler, Tracer};
 use smtp_types::Ctx;
-use smtp_types::{Cycle, NodeId, SystemConfig};
+use smtp_types::{Cycle, NodeId, PhaseProfiler, SystemConfig};
 use smtp_workloads::{AppKind, SyncManager, ThreadGen, WorkloadCfg};
 
 /// Interval-sampling state: the sampler plus the previous counter values
@@ -27,6 +27,7 @@ pub struct System {
     now: Cycle,
     app_done_at: Option<Cycle>,
     tracer: Tracer,
+    profiler: PhaseProfiler,
     metrics: Option<MetricsState>,
 }
 
@@ -95,11 +96,17 @@ impl System {
         // for deadlock panics.
         let tracer = Tracer::new();
         tracer.enable_ring(128);
+        // One phase profiler shared the same way: every L2 miss transaction
+        // is stamped at its phase boundaries by the cache hierarchy, the
+        // node's MC interfaces and the network, keyed by (requester, line).
+        let profiler = PhaseProfiler::new();
         for n in &mut nodes {
             n.set_tracer(tracer.clone());
+            n.set_profiler(profiler.clone());
         }
         if let Some(net) = &mut network {
             net.set_tracer(tracer.clone());
+            net.set_profiler(profiler.clone());
         }
         System {
             cfg,
@@ -110,6 +117,7 @@ impl System {
             now: 0,
             app_done_at: None,
             tracer,
+            profiler,
             metrics: None,
         }
     }
@@ -123,6 +131,13 @@ impl System {
     /// handle; every component shares it.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The latency phase profiler shared by every component. Use
+    /// [`smtp_types::PhaseProfiler::keep_records`] before running to retain
+    /// individual transaction records in addition to the aggregate.
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.profiler
     }
 
     /// Start interval sampling of machine metrics every `interval` cycles:
@@ -299,6 +314,7 @@ impl System {
             &self.nodes,
             self.network.as_ref(),
             &self.sync,
+            &self.profiler,
         )
     }
 

@@ -18,5 +18,5 @@ pub mod sdram;
 
 pub use dircache::DirCache;
 pub use engine::{EngineRun, ProtocolEngine};
-pub use queue::BoundedQueue;
+pub use queue::{BoundedQueue, TimedQueue};
 pub use sdram::Sdram;

@@ -1,6 +1,9 @@
 //! Bounded FIFO queues with occupancy statistics (Local Miss Interface,
-//! network-interface queues, SDRAM queue — paper Table 3).
+//! network-interface queues, SDRAM queue — paper Table 3), plus the
+//! timestamped [`TimedQueue`] used where per-item waiting time feeds the
+//! latency-decomposition profiler.
 
+use smtp_types::{Cycle, Distribution};
 use std::collections::VecDeque;
 
 /// A bounded FIFO with occupancy statistics.
@@ -87,6 +90,78 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// An unbounded FIFO that timestamps every item on entry and records how
+/// long it waited when dequeued — the dispatch-queue-wait phase of the
+/// latency decomposition. Items become visible only once their entry time
+/// has been reached, which models queues whose contents are scheduled to
+/// arrive at a future cycle (bus and network-interface delivery).
+#[derive(Clone, Debug, Default)]
+pub struct TimedQueue<T> {
+    items: VecDeque<(Cycle, T)>,
+    peak: usize,
+    total: u64,
+    wait: Distribution,
+}
+
+impl<T> TimedQueue<T> {
+    /// An empty queue.
+    pub fn new() -> TimedQueue<T> {
+        TimedQueue {
+            items: VecDeque::new(),
+            peak: 0,
+            total: 0,
+            wait: Distribution::new(),
+        }
+    }
+
+    /// Enqueue an item that becomes ready at cycle `at`.
+    pub fn push(&mut self, at: Cycle, item: T) {
+        self.items.push_back((at, item));
+        self.total += 1;
+        self.peak = self.peak.max(self.items.len());
+    }
+
+    /// Whether the oldest item is ready at `now`.
+    pub fn is_ready(&self, now: Cycle) -> bool {
+        self.items.front().is_some_and(|&(at, _)| at <= now)
+    }
+
+    /// Dequeue the oldest item if it is ready, recording its queue wait.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<T> {
+        if !self.is_ready(now) {
+            return None;
+        }
+        let (at, item) = self.items.pop_front().expect("is_ready checked");
+        self.wait.record(now.saturating_sub(at));
+        Some(item)
+    }
+
+    /// Items currently queued (ready or not).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total items ever enqueued.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distribution of per-item waiting times (ready time to dequeue).
+    pub fn wait(&self) -> &Distribution {
+        &self.wait
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +209,35 @@ mod tests {
         q.push(9).unwrap();
         assert_eq!(q.peak(), 5);
         assert_eq!(q.total(), 6);
+    }
+
+    #[test]
+    fn timed_queue_respects_ready_time() {
+        let mut q = TimedQueue::new();
+        q.push(10, 'a');
+        q.push(12, 'b');
+        assert!(!q.is_ready(9));
+        assert_eq!(q.pop_due(9), None);
+        assert_eq!(q.pop_due(10), Some('a'));
+        // 'b' is not ready yet even though the queue is non-empty.
+        assert_eq!(q.pop_due(11), None);
+        assert_eq!(q.pop_due(20), Some('b'));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timed_queue_records_waits() {
+        let mut q = TimedQueue::new();
+        q.push(0, 1);
+        q.push(0, 2);
+        q.push(5, 3);
+        assert_eq!(q.peak(), 3);
+        q.pop_due(4); // waited 4
+        q.pop_due(10); // waited 10
+        q.pop_due(11); // waited 6
+        assert_eq!(q.total(), 3);
+        assert_eq!(q.wait().count(), 3);
+        assert_eq!(q.wait().sum(), 20);
+        assert_eq!(q.wait().max(), 10);
     }
 }

@@ -8,13 +8,16 @@
 //! with application transfers (paper §2.1).
 
 use smtp_trace::{Category, Event, Tracer};
-use smtp_types::{Cycle, NodeId, L2_LINE};
+use smtp_types::{Cycle, Distribution, NodeId, L2_LINE};
 
 /// One SDRAM channel: a bandwidth-limited pipe with fixed access latency.
-#[derive(Clone, Copy, Debug)]
+/// `wait` is the distribution of bank-queue delays — cycles an access
+/// spends waiting for the channel before its transfer begins.
+#[derive(Clone, Debug, Default)]
 struct Channel {
     next_free: Cycle,
     busy_cycles: u64,
+    wait: Distribution,
 }
 
 /// The per-node SDRAM.
@@ -38,14 +41,8 @@ impl Sdram {
         Sdram {
             access: access_cycles,
             per_line: per_line_cycles.max(1),
-            main: Channel {
-                next_free: 0,
-                busy_cycles: 0,
-            },
-            protocol: Channel {
-                next_free: 0,
-                busy_cycles: 0,
-            },
+            main: Channel::default(),
+            protocol: Channel::default(),
             reads: 0,
             writes: 0,
             node: NodeId(0),
@@ -69,6 +66,7 @@ impl Sdram {
 
     fn schedule(ch: &mut Channel, now: Cycle, occupancy: u64, latency: u64) -> Cycle {
         let start = now.max(ch.next_free);
+        ch.wait.record(start - now);
         ch.next_free = start + occupancy;
         ch.busy_cycles += occupancy;
         start + latency
@@ -144,6 +142,16 @@ impl Sdram {
     pub fn main_busy_cycles(&self) -> u64 {
         self.main.busy_cycles
     }
+
+    /// Distribution of bank-queue waits on the main channel.
+    pub fn main_queue_wait(&self) -> &Distribution {
+        &self.main.wait
+    }
+
+    /// Distribution of bank-queue waits on the protocol channel.
+    pub fn protocol_queue_wait(&self) -> &Distribution {
+        &self.protocol.wait
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +207,18 @@ mod tests {
         s.read(0);
         // Long idle gap: next access starts immediately at `now`.
         assert_eq!(s.read(10_000), 10_160);
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_per_channel() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        s.read(0); // starts immediately: wait 0
+        s.read(0); // waits for the first transfer: wait 80
+        s.read_protocol(0); // independent channel: wait 0
+        assert_eq!(s.main_queue_wait().count(), 2);
+        assert_eq!(s.main_queue_wait().max(), 80);
+        assert_eq!(s.main_queue_wait().min(), 0);
+        assert_eq!(s.protocol_queue_wait().count(), 1);
+        assert_eq!(s.protocol_queue_wait().max(), 0);
     }
 }

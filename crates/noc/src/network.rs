@@ -1,9 +1,9 @@
 //! The network timing model: eager link reservation over the topology.
 
-use crate::msg::Msg;
+use crate::msg::{Msg, MsgKind};
 use crate::topology::Topology;
 use smtp_trace::{Category, Event, Tracer};
-use smtp_types::{Cycle, NetParams};
+use smtp_types::{Cycle, Distribution, NetParams, PhaseBoundary, PhaseProfiler};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -68,6 +68,8 @@ pub struct Network {
     route_buf: Vec<usize>,
     stats: NetStats,
     tracer: Tracer,
+    profiler: PhaseProfiler,
+    vnet_latency: [Distribution; 4],
 }
 
 impl Network {
@@ -87,12 +89,27 @@ impl Network {
             route_buf: Vec::with_capacity(8),
             stats: NetStats::default(),
             tracer: Tracer::disabled(),
+            profiler: PhaseProfiler::disabled(),
+            vnet_latency: std::array::from_fn(|_| Distribution::new()),
         }
     }
 
     /// Attach the system tracer (events: `net_inject`, `net_deliver`).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach the latency-phase profiler: home requests stamp
+    /// `ReqDelivered` and data replies `ReplyDelivered` at their computed
+    /// arrival cycle.
+    pub fn set_profiler(&mut self, profiler: PhaseProfiler) {
+        self.profiler = profiler;
+    }
+
+    /// Per-virtual-network end-to-end message latency distributions
+    /// (indexed by `VNet::idx()`: request, intervention, reply, I/O).
+    pub fn vnet_latency(&self) -> &[Distribution; 4] {
+        &self.vnet_latency
     }
 
     /// The topology in use.
@@ -124,6 +141,23 @@ impl Network {
         self.stats.bytes += bytes;
         self.stats.total_latency += cur - now;
         self.stats.per_vnet[msg.vnet().idx()] += 1;
+        self.vnet_latency[msg.vnet().idx()].record(cur - now);
+        if self.profiler.is_enabled() {
+            // Phase stamps: home requests end the request-network phase at
+            // the requester's transaction (keyed by src); data replies end
+            // the reply-network phase at the destination's transaction.
+            match msg.kind {
+                MsgKind::GetS | MsgKind::GetX | MsgKind::Upgrade => {
+                    self.profiler
+                        .stamp(msg.src, msg.addr, PhaseBoundary::ReqDelivered, cur);
+                }
+                MsgKind::DataShared | MsgKind::DataExcl { .. } | MsgKind::UpgradeAck { .. } => {
+                    self.profiler
+                        .stamp(msg.dst, msg.addr, PhaseBoundary::ReplyDelivered, cur);
+                }
+                _ => {}
+            }
+        }
         self.tracer
             .emit(Category::Network, now, || Event::NetInject {
                 src: msg.src,

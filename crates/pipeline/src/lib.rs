@@ -35,5 +35,5 @@ pub use branch::{BranchPredictor, Btb, ReturnAddressStack};
 pub use env::PipeEnv;
 pub use regs::{RegFiles, RenameOutcome};
 pub use smt::SmtPipeline;
-pub use stats::PipeStats;
+pub use stats::{PipeStats, BREAKDOWN_NAMES};
 pub use window::DynInst;

@@ -454,16 +454,32 @@ impl SmtPipeline {
             }
         }
         self.rr_commit = (self.rr_commit + 1) % n;
-        // Paper §4 memory-stall accounting.
+        // Paper §4 time attribution (Figs. 5/7): every pre-finish cycle of
+        // an application thread lands in exactly one bucket — busy, memory,
+        // synchronization, squash recovery, fetch-starved or other.
         for (t, &committed) in committed_any.iter().enumerate().take(self.app_threads) {
-            if committed {
+            let th = &self.threads[t];
+            if th.finished() {
                 continue;
             }
-            let th = &self.threads[t];
+            if committed {
+                self.stats.busy_cycles[t] += 1;
+                continue;
+            }
             if let Some(h) = th.window.front() {
                 if h.inst.is_mem() && !h.completed(now) {
                     self.stats.memory_stall[t] += 1;
+                    continue;
                 }
+            }
+            if th.block_seq.is_some() {
+                self.stats.sync_stall[t] += 1;
+            } else if th.fetch_stall_until > now {
+                self.stats.squash_stall[t] += 1;
+            } else if th.window.is_empty() && th.frontend_count == 0 && th.peeked.is_none() {
+                self.stats.fetch_starved[t] += 1;
+            } else {
+                self.stats.other_stall[t] += 1;
             }
         }
     }
@@ -957,17 +973,20 @@ impl SmtPipeline {
         }
         if inst.is_mem() {
             if self.lsq_used >= self.p.lsq - app_reserve {
+                self.stats.lsq_full_stalls[ctx.idx()] += 1;
                 return false;
             }
         } else {
             match inst.fu_class() {
                 FuClass::IntAlu | FuClass::IntMulDiv => {
                     if self.iq_int_used >= self.p.int_queue - app_reserve {
+                        self.stats.iq_full_stalls[ctx.idx()] += 1;
                         return false;
                     }
                 }
                 FuClass::Fpu => {
                     if self.iq_fp_used >= self.p.fp_queue {
+                        self.stats.iq_full_stalls[ctx.idx()] += 1;
                         return false;
                     }
                 }
@@ -976,6 +995,7 @@ impl SmtPipeline {
         }
         // Branches also occupy an integer-queue slot for resolution.
         if inst.is_branch() && self.iq_int_used >= self.p.int_queue - app_reserve {
+            self.stats.iq_full_stalls[ctx.idx()] += 1;
             return false;
         }
         if let Some(dst) = inst.dst {

@@ -17,6 +17,26 @@ pub struct PipeStats {
     /// operation at the top of a context's active list (paper's memory
     /// stall definition, §4).
     pub memory_stall: [u64; MAX_CTX],
+    /// Cycles in which the context committed at least one instruction
+    /// (the "busy" component of the paper's Fig. 5/7 time breakdown).
+    pub busy_cycles: [u64; MAX_CTX],
+    /// Non-committing cycles blocked on a synchronization instruction
+    /// (`SyncBranch`/`SyncStore` serializing fetch — the paper's
+    /// "synchronization" component).
+    pub sync_stall: [u64; MAX_CTX],
+    /// Non-committing cycles inside a squash-recovery window (fetch
+    /// suppressed after a misprediction redirect).
+    pub squash_stall: [u64; MAX_CTX],
+    /// Non-committing cycles with the context completely empty — nothing
+    /// in the window or front-end (fetch-starved).
+    pub fetch_starved: [u64; MAX_CTX],
+    /// Non-committing cycles not attributable to any other bucket
+    /// (front-end / execution latency).
+    pub other_stall: [u64; MAX_CTX],
+    /// Rename rejections because the issue queue share was exhausted.
+    pub iq_full_stalls: [u64; MAX_CTX],
+    /// Rename rejections because the LSQ share was exhausted.
+    pub lsq_full_stalls: [u64; MAX_CTX],
     /// Branch mispredictions per context (see also the predictor stats).
     pub mispredicts: [u64; MAX_CTX],
     /// Conditional branches resolved per context.
@@ -82,7 +102,23 @@ impl PipeStats {
             self.protocol_active_cycles as f64 / self.cycles as f64
         }
     }
+
+    /// The Fig. 5/7 time breakdown for one context as
+    /// `[busy, memory, sync, squash, fetch-starved, other]` cycle counts.
+    pub fn thread_breakdown(&self, ctx: usize) -> [u64; 6] {
+        [
+            self.busy_cycles[ctx],
+            self.memory_stall[ctx],
+            self.sync_stall[ctx],
+            self.squash_stall[ctx],
+            self.fetch_starved[ctx],
+            self.other_stall[ctx],
+        ]
+    }
 }
+
+/// Component names matching [`PipeStats::thread_breakdown`].
+pub const BREAKDOWN_NAMES: [&str; 6] = ["busy", "memory", "sync", "squash", "starved", "other"];
 
 #[cfg(test)]
 mod tests {
@@ -110,5 +146,18 @@ mod tests {
         assert_eq!(s.protocol_retired_fraction(), 0.0);
         assert_eq!(s.protocol_mispredict_rate(), 0.0);
         assert_eq!(s.protocol_occupancy(), 0.0);
+    }
+
+    #[test]
+    fn thread_breakdown_orders_components() {
+        let mut s = PipeStats::default();
+        s.busy_cycles[1] = 10;
+        s.memory_stall[1] = 20;
+        s.sync_stall[1] = 30;
+        s.squash_stall[1] = 40;
+        s.fetch_starved[1] = 50;
+        s.other_stall[1] = 60;
+        assert_eq!(s.thread_breakdown(1), [10, 20, 30, 40, 50, 60]);
+        assert_eq!(BREAKDOWN_NAMES.len(), s.thread_breakdown(1).len());
     }
 }

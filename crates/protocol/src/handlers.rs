@@ -98,6 +98,83 @@ impl HandlerKind {
             HandlerKind::TransferAck => "TransferAck",
         }
     }
+
+    /// Name for a dense [`HandlerKind::index`] value.
+    pub fn name_by_index(idx: usize) -> &'static str {
+        const NAMES: [&str; HandlerKind::COUNT] = [
+            "GetSUnowned",
+            "GetSShared",
+            "GetSExcl",
+            "GetXUnowned",
+            "GetXShared",
+            "GetXExcl",
+            "Put",
+            "PutStale",
+            "SharingWb",
+            "TransferAck",
+        ];
+        NAMES[idx]
+    }
+}
+
+/// Per-handler-kind dispatch counts and occupancy (dispatch to `ldctxt`
+/// graduation / engine completion) distributions — the raw material for
+/// the paper's Table 7 protocol-occupancy analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HandlerStats {
+    /// Dispatches per handler kind, indexed by [`HandlerKind::index`].
+    pub counts: [u64; HandlerKind::COUNT],
+    /// Occupancy cycles per handler kind.
+    pub occupancy: [smtp_types::Distribution; HandlerKind::COUNT],
+}
+
+impl Default for HandlerStats {
+    fn default() -> Self {
+        HandlerStats {
+            counts: [0; HandlerKind::COUNT],
+            occupancy: std::array::from_fn(|_| smtp_types::Distribution::new()),
+        }
+    }
+}
+
+impl HandlerStats {
+    /// New, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed handler run of `cycles` occupancy.
+    pub fn record(&mut self, kind_idx: usize, cycles: u64) {
+        self.counts[kind_idx] += 1;
+        self.occupancy[kind_idx].record(cycles);
+    }
+
+    /// Merge another node's statistics in (exactly associative).
+    pub fn merge(&mut self, other: &HandlerStats) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        for (d, o) in self.occupancy.iter_mut().zip(&other.occupancy) {
+            d.merge(o);
+        }
+    }
+
+    /// Total handler dispatches.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterate `(name, count, occupancy)` over kinds that ran.
+    pub fn iter_nonzero(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, u64, &smtp_types::Distribution)> + '_ {
+        self.counts
+            .iter()
+            .zip(&self.occupancy)
+            .enumerate()
+            .filter(|(_, (&c, _))| c > 0)
+            .map(|(i, (&c, d))| (HandlerKind::name_by_index(i), c, d))
+    }
 }
 
 /// Instruction-index space: the shared dispatch stub occupies PCs 0..8;

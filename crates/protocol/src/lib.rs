@@ -25,7 +25,7 @@ pub mod handlers;
 pub mod transition;
 
 pub use directory::{DirState, DirStats, Directory};
-pub use handlers::{handler_base_pc, handler_program, pc_to_addr, HandlerKind};
+pub use handlers::{handler_base_pc, handler_program, pc_to_addr, HandlerKind, HandlerStats};
 pub use transition::{handle, Outcome, Transition};
 
 use smtp_noc::Msg;

@@ -131,6 +131,14 @@ impl TraceSink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Flush on drop so a panicking run (deadlock diagnostics) still
+    /// leaves a readable, line-complete JSONL stream behind.
+    fn drop(&mut self) {
+        TraceSink::flush(self);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // ChromeTraceSink
 // ---------------------------------------------------------------------------

@@ -1,0 +1,487 @@
+//! Per-transaction latency phase accounting.
+//!
+//! Every application L2 miss owns a [`LatencyRecord`]: a vector of cycle
+//! timestamps, one per [`PhaseBoundary`], stamped as the transaction crosses
+//! each stage of the memory system (MSHR allocation, request network,
+//! home dispatch queue, protocol handler, reply network, cache fill,
+//! invalidation-ack gather). Phase durations are the *differences between
+//! consecutive boundaries*, so the per-phase components telescope and sum
+//! exactly to the end-to-end miss latency by construction — the
+//! reconciliation property the paper's latency-decomposition figures rely
+//! on.
+//!
+//! Boundaries a transaction never crosses (a local miss has no network
+//! legs; an upgrade carries no data reply) are forward-filled from the
+//! previous boundary, contributing zero cycles to the skipped phase. The
+//! [`PhaseProfiler`] is a cheap-clone handle in the style of
+//! `smtp_trace::Tracer`: disabled profilers cost one branch per stamp.
+
+use crate::ids::NodeId;
+use crate::stats::{Distribution, Histogram};
+use crate::{Cycle, LineAddr};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Transaction flavour, for read-vs-read-exclusive aggregation.
+/// Upgrades are accounted as read-exclusive: they acquire write
+/// permission, which is what the class distinction is about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnClass {
+    /// A read (GetS) miss.
+    Read,
+    /// A read-exclusive (GetX) or upgrade miss.
+    ReadExclusive,
+}
+
+/// Timestamps recorded over a transaction's lifetime, in causal order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhaseBoundary {
+    /// MSHR allocated; the miss exists.
+    Alloc = 0,
+    /// Request left the L2 (onto the bus toward the local memory
+    /// interface or the network interface).
+    ReqSent = 1,
+    /// Request arrived at the home node's inbound queue.
+    ReqDelivered = 2,
+    /// Home dispatched the request to a protocol handler (directory
+    /// transition computed; handler occupancy begins). The home also
+    /// starts the SDRAM data read here, overlapped with the handler run.
+    Dispatched = 3,
+    /// Data/ownership reply left the home.
+    ReplySent = 4,
+    /// Reply arrived back at the requesting node.
+    ReplyDelivered = 5,
+    /// Line installed in the requester's cache (data usable).
+    Filled = 6,
+    /// MSHR freed: all invalidation acks gathered, transaction complete.
+    Freed = 7,
+}
+
+/// Number of boundary timestamps in a [`LatencyRecord`].
+pub const NUM_BOUNDARIES: usize = 8;
+
+/// Number of phases (consecutive boundary differences).
+pub const NUM_PHASES: usize = NUM_BOUNDARIES - 1;
+
+/// Human-readable phase names, indexed as [`LatencyRecord::phases`].
+pub const PHASE_NAMES: [&str; NUM_PHASES] = [
+    "issue (LSQ/MSHR + bus)",
+    "request network",
+    "dispatch queue",
+    "handler + SDRAM",
+    "reply network",
+    "fill (bus + install)",
+    "completion (ack gather)",
+];
+
+/// Number of aggregation classes in [`LatencyBreakdown`]:
+/// {local, remote} x {read, read-exclusive}.
+pub const NUM_CLASSES: usize = 4;
+
+/// Names for the four aggregation classes, indexed by
+/// [`LatencyBreakdown::class_index`].
+pub const CLASS_NAMES: [&str; NUM_CLASSES] = [
+    "local read",
+    "local read-excl",
+    "remote read",
+    "remote read-excl",
+];
+
+/// Sentinel for a boundary that has not been stamped.
+const UNSET: Cycle = Cycle::MAX;
+
+/// The latency life of one miss transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyRecord {
+    /// Missing line.
+    pub line: LineAddr,
+    /// Requesting node.
+    pub requester: NodeId,
+    /// Read vs read-exclusive.
+    pub class: TxnClass,
+    /// Whether the home node differs from the requester.
+    pub remote: bool,
+    /// Boundary timestamps; `Cycle::MAX` marks a boundary never crossed.
+    t: [Cycle; NUM_BOUNDARIES],
+}
+
+impl LatencyRecord {
+    fn new(line: LineAddr, requester: NodeId, class: TxnClass, remote: bool, now: Cycle) -> Self {
+        let mut t = [UNSET; NUM_BOUNDARIES];
+        t[PhaseBoundary::Alloc as usize] = now;
+        LatencyRecord {
+            line,
+            requester,
+            class,
+            remote,
+            t,
+        }
+    }
+
+    /// Record a boundary crossing. Stamps are max-monotonic: re-stamping a
+    /// boundary keeps the latest time, so retried sends settle on the
+    /// attempt that actually completed the transaction.
+    pub fn stamp(&mut self, b: PhaseBoundary, now: Cycle) {
+        let slot = &mut self.t[b as usize];
+        if *slot == UNSET || *slot < now {
+            *slot = now;
+        }
+    }
+
+    /// The raw timestamp of a boundary, if it was crossed.
+    pub fn boundary(&self, b: PhaseBoundary) -> Option<Cycle> {
+        let v = self.t[b as usize];
+        (v != UNSET).then_some(v)
+    }
+
+    /// Per-phase durations. Boundaries never crossed are forward-filled
+    /// from their predecessor (zero-length phase), and out-of-order stamps
+    /// are clamped, so `phases().iter().sum() == end_to_end()` always
+    /// holds.
+    pub fn phases(&self) -> [Cycle; NUM_PHASES] {
+        let mut out = [0; NUM_PHASES];
+        let mut prev = self.t[0];
+        debug_assert_ne!(prev, UNSET, "record without an Alloc stamp");
+        for (i, slot) in out.iter_mut().enumerate() {
+            let raw = self.t[i + 1];
+            let cur = if raw == UNSET { prev } else { raw.max(prev) };
+            *slot = cur - prev;
+            prev = cur;
+        }
+        out
+    }
+
+    /// Total latency from allocation to the last crossed boundary.
+    pub fn end_to_end(&self) -> Cycle {
+        self.phases().iter().sum()
+    }
+}
+
+/// Mergeable aggregate of completed [`LatencyRecord`]s: end-to-end
+/// histograms per {local,remote}x{read,read-excl} class, plus per-phase
+/// distributions (all misses, and remote-only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// End-to-end latency per class (see [`CLASS_NAMES`]).
+    pub end_to_end: [Histogram; NUM_CLASSES],
+    /// Per-phase durations over every accounted miss.
+    pub phases: [Distribution; NUM_PHASES],
+    /// Per-phase durations over remote misses only — the decomposition the
+    /// paper's remote-latency discussion is about.
+    pub phases_remote: [Distribution; NUM_PHASES],
+}
+
+impl Default for LatencyBreakdown {
+    fn default() -> Self {
+        LatencyBreakdown {
+            end_to_end: std::array::from_fn(|_| Histogram::new()),
+            phases: std::array::from_fn(|_| Distribution::new()),
+            phases_remote: std::array::from_fn(|_| Distribution::new()),
+        }
+    }
+}
+
+impl LatencyBreakdown {
+    /// New, empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index into [`LatencyBreakdown::end_to_end`] / [`CLASS_NAMES`].
+    pub fn class_index(remote: bool, class: TxnClass) -> usize {
+        usize::from(remote) * 2 + usize::from(class == TxnClass::ReadExclusive)
+    }
+
+    /// Fold one completed record in.
+    pub fn record(&mut self, rec: &LatencyRecord) {
+        let idx = Self::class_index(rec.remote, rec.class);
+        self.end_to_end[idx].record(rec.end_to_end());
+        let phases = rec.phases();
+        for (i, &p) in phases.iter().enumerate() {
+            self.phases[i].record(p);
+            if rec.remote {
+                self.phases_remote[i].record(p);
+            }
+        }
+    }
+
+    /// Merge another breakdown in (exactly associative, like the
+    /// underlying histograms).
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        for (a, b) in self.end_to_end.iter_mut().zip(&other.end_to_end) {
+            a.merge(b);
+        }
+        for (a, b) in self.phases.iter_mut().zip(&other.phases) {
+            a.merge(b);
+        }
+        for (a, b) in self.phases_remote.iter_mut().zip(&other.phases_remote) {
+            a.merge(b);
+        }
+    }
+
+    /// Total accounted misses.
+    pub fn count(&self) -> u64 {
+        self.end_to_end.iter().map(|h| h.count()).sum()
+    }
+}
+
+struct ProfilerInner {
+    /// Transactions in flight, keyed by (requester, line). Directory
+    /// serialization guarantees at most one outstanding miss per line per
+    /// requester, so the key is unique.
+    open: RefCell<HashMap<(NodeId, LineAddr), LatencyRecord>>,
+    agg: RefCell<LatencyBreakdown>,
+    /// Retain closed records individually (tests / deep analysis).
+    keep: Cell<bool>,
+    closed: RefCell<Vec<LatencyRecord>>,
+}
+
+/// Cheap-clone handle to the phase-accounting state, threaded through the
+/// cache hierarchy, node dispatch logic and network the same way the
+/// `Tracer` is. A disabled profiler (`PhaseProfiler::disabled`) makes every
+/// call a no-op costing one branch.
+#[derive(Clone, Default)]
+pub struct PhaseProfiler {
+    inner: Option<Rc<ProfilerInner>>,
+}
+
+impl std::fmt::Debug for PhaseProfiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseProfiler")
+            .field("enabled", &self.is_enabled())
+            .field("open", &self.open_count())
+            .finish()
+    }
+}
+
+impl PhaseProfiler {
+    /// An enabled profiler.
+    pub fn new() -> Self {
+        PhaseProfiler {
+            inner: Some(Rc::new(ProfilerInner {
+                open: RefCell::new(HashMap::new()),
+                agg: RefCell::new(LatencyBreakdown::new()),
+                keep: Cell::new(false),
+                closed: RefCell::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A no-op profiler.
+    pub fn disabled() -> Self {
+        PhaseProfiler { inner: None }
+    }
+
+    /// Whether stamps are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Retain each closed [`LatencyRecord`] (off by default; aggregation
+    /// always happens).
+    pub fn keep_records(&self, keep: bool) {
+        if let Some(inner) = &self.inner {
+            inner.keep.set(keep);
+        }
+    }
+
+    /// Open a transaction at MSHR-allocation time.
+    pub fn start(
+        &self,
+        requester: NodeId,
+        line: LineAddr,
+        class: TxnClass,
+        remote: bool,
+        now: Cycle,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.open.borrow_mut().insert(
+            (requester, line),
+            LatencyRecord::new(line, requester, class, remote, now),
+        );
+    }
+
+    /// Stamp a boundary on the open transaction for `(requester, line)`.
+    /// A no-op if no such transaction is open — protocol-thread and
+    /// instruction-fetch misses are never started, so stamps keyed off
+    /// their messages fall through harmlessly.
+    pub fn stamp(&self, requester: NodeId, line: LineAddr, b: PhaseBoundary, now: Cycle) {
+        let Some(inner) = &self.inner else { return };
+        if let Some(rec) = inner.open.borrow_mut().get_mut(&(requester, line)) {
+            rec.stamp(b, now);
+        }
+    }
+
+    /// Close the transaction at MSHR-free time, folding it into the
+    /// aggregate. A no-op if the transaction was never opened.
+    pub fn close(&self, requester: NodeId, line: LineAddr, now: Cycle) {
+        let Some(inner) = &self.inner else { return };
+        let Some(mut rec) = inner.open.borrow_mut().remove(&(requester, line)) else {
+            return;
+        };
+        rec.stamp(PhaseBoundary::Freed, now);
+        inner.agg.borrow_mut().record(&rec);
+        if inner.keep.get() {
+            inner.closed.borrow_mut().push(rec);
+        }
+    }
+
+    /// The aggregate over all closed transactions.
+    pub fn breakdown(&self) -> LatencyBreakdown {
+        match &self.inner {
+            Some(inner) => inner.agg.borrow().clone(),
+            None => LatencyBreakdown::new(),
+        }
+    }
+
+    /// Retained individual records (empty unless
+    /// [`PhaseProfiler::keep_records`] was turned on).
+    pub fn records(&self) -> Vec<LatencyRecord> {
+        match &self.inner {
+            Some(inner) => inner.closed.borrow().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Transactions currently open (should be zero once a run quiesces).
+    pub fn open_count(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.open.borrow().len(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, Region};
+
+    fn line(n: u64) -> LineAddr {
+        Addr::new(NodeId(1), Region::AppData, n * 128).line()
+    }
+
+    fn full_record() -> LatencyRecord {
+        let mut r = LatencyRecord::new(line(0), NodeId(0), TxnClass::ReadExclusive, true, 100);
+        r.stamp(PhaseBoundary::ReqSent, 104);
+        r.stamp(PhaseBoundary::ReqDelivered, 140);
+        r.stamp(PhaseBoundary::Dispatched, 152);
+        r.stamp(PhaseBoundary::ReplySent, 210);
+        r.stamp(PhaseBoundary::ReplyDelivered, 250);
+        r.stamp(PhaseBoundary::Filled, 262);
+        r.stamp(PhaseBoundary::Freed, 270);
+        r
+    }
+
+    #[test]
+    fn phases_telescope_to_end_to_end() {
+        let r = full_record();
+        assert_eq!(r.phases(), [4, 36, 12, 58, 40, 12, 8]);
+        assert_eq!(r.end_to_end(), 170);
+        assert_eq!(r.phases().iter().sum::<Cycle>(), r.end_to_end());
+    }
+
+    #[test]
+    fn unset_boundaries_forward_fill_as_zero_phases() {
+        // A local miss never crosses the network boundaries.
+        let mut r = LatencyRecord::new(line(0), NodeId(0), TxnClass::Read, false, 10);
+        r.stamp(PhaseBoundary::ReqSent, 14);
+        r.stamp(PhaseBoundary::Dispatched, 30);
+        r.stamp(PhaseBoundary::Filled, 90);
+        r.stamp(PhaseBoundary::Freed, 90);
+        let p = r.phases();
+        assert_eq!(p[1], 0, "request-network phase skipped");
+        assert_eq!(p[4], 0, "reply-network phase skipped");
+        assert_eq!(p.iter().sum::<Cycle>(), r.end_to_end());
+        assert_eq!(r.end_to_end(), 80);
+    }
+
+    #[test]
+    fn restamp_keeps_latest() {
+        let mut r = LatencyRecord::new(line(0), NodeId(0), TxnClass::Read, true, 0);
+        r.stamp(PhaseBoundary::ReqSent, 5);
+        r.stamp(PhaseBoundary::ReqSent, 9); // retried send
+        r.stamp(PhaseBoundary::ReqSent, 3); // stale stamp ignored
+        assert_eq!(r.boundary(PhaseBoundary::ReqSent), Some(9));
+    }
+
+    #[test]
+    fn profiler_lifecycle_and_aggregation() {
+        let p = PhaseProfiler::new();
+        p.keep_records(true);
+        p.start(NodeId(0), line(1), TxnClass::Read, true, 100);
+        assert_eq!(p.open_count(), 1);
+        p.stamp(NodeId(0), line(1), PhaseBoundary::ReqSent, 104);
+        // A stamp for a transaction that was never started is a no-op.
+        p.stamp(NodeId(3), line(9), PhaseBoundary::ReqSent, 104);
+        p.close(NodeId(0), line(1), 300);
+        assert_eq!(p.open_count(), 0);
+        let agg = p.breakdown();
+        assert_eq!(agg.count(), 1);
+        let idx = LatencyBreakdown::class_index(true, TxnClass::Read);
+        assert_eq!(agg.end_to_end[idx].count(), 1);
+        assert_eq!(agg.end_to_end[idx].max(), 200);
+        let recs = p.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].end_to_end(), 200);
+        // Closing an unknown transaction is a no-op.
+        p.close(NodeId(5), line(2), 400);
+        assert_eq!(p.breakdown().count(), 1);
+    }
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let p = PhaseProfiler::disabled();
+        assert!(!p.is_enabled());
+        p.start(NodeId(0), line(1), TxnClass::Read, false, 0);
+        p.stamp(NodeId(0), line(1), PhaseBoundary::Filled, 50);
+        p.close(NodeId(0), line(1), 60);
+        assert_eq!(p.open_count(), 0);
+        assert_eq!(p.breakdown().count(), 0);
+        assert!(p.records().is_empty());
+    }
+
+    #[test]
+    fn breakdown_merge_matches_single_stream() {
+        let (mut a, mut b, mut all) = (
+            LatencyBreakdown::new(),
+            LatencyBreakdown::new(),
+            LatencyBreakdown::new(),
+        );
+        for i in 0..10u64 {
+            let mut r = LatencyRecord::new(
+                line(i),
+                NodeId(0),
+                if i % 2 == 0 {
+                    TxnClass::Read
+                } else {
+                    TxnClass::ReadExclusive
+                },
+                i % 3 == 0,
+                i * 10,
+            );
+            r.stamp(PhaseBoundary::Filled, i * 10 + 40 + i);
+            r.stamp(PhaseBoundary::Freed, i * 10 + 50 + i);
+            if i < 5 { &mut a } else { &mut b }.record(&r);
+            all.record(&r);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn class_index_mapping() {
+        assert_eq!(LatencyBreakdown::class_index(false, TxnClass::Read), 0);
+        assert_eq!(
+            LatencyBreakdown::class_index(false, TxnClass::ReadExclusive),
+            1
+        );
+        assert_eq!(LatencyBreakdown::class_index(true, TxnClass::Read), 2);
+        assert_eq!(
+            LatencyBreakdown::class_index(true, TxnClass::ReadExclusive),
+            3
+        );
+    }
+}

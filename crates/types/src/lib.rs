@@ -20,6 +20,7 @@
 pub mod addr;
 pub mod config;
 pub mod ids;
+pub mod latency;
 pub mod rng;
 pub mod sharers;
 pub mod stats;
@@ -27,9 +28,13 @@ pub mod stats;
 pub use addr::{app_code_addr, Addr, LineAddr, Region, APP_CODE_BASE, DIR_ENTRY_BYTES, L2_LINE};
 pub use config::{CacheParams, MachineModel, MemParams, NetParams, PipelineParams, SystemConfig};
 pub use ids::{Ctx, NodeId, MAX_APP_THREADS, MAX_CTX};
+pub use latency::{
+    LatencyBreakdown, LatencyRecord, PhaseBoundary, PhaseProfiler, TxnClass, CLASS_NAMES,
+    NUM_CLASSES, NUM_PHASES, PHASE_NAMES,
+};
 pub use rng::SplitMix64;
 pub use sharers::SharerSet;
-pub use stats::{PeakTracker, RunningStat};
+pub use stats::{Distribution, Histogram, PeakTracker, RunningStat, HISTOGRAM_BUCKETS};
 
 /// Simulation time in CPU cycles.
 pub type Cycle = u64;

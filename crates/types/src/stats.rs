@@ -1,4 +1,256 @@
-//! Statistics primitives used by the experiment harness.
+//! Statistics primitives used by the experiment harness: counters, peak
+//! trackers, and the log2-bucketed [`Histogram`] / [`Distribution`] pair
+//! every component's `*Stats` struct uses for latency and occupancy
+//! distributions. Histograms are built from integer fields only, so merging
+//! per-node instances is *exactly* associative — machine-wide aggregates do
+//! not depend on the merge order.
+
+/// Number of [`Histogram`] buckets: bucket 0 holds the value 0, bucket `k`
+/// (k ≥ 1) holds values in `[2^(k-1), 2^k - 1]`; bucket 64 tops out at
+/// `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (cycle latencies, queue
+/// depths). Recording is O(1); buckets are powers of two, so percentile
+/// estimates are exact to within a factor of two and are refined by linear
+/// interpolation inside the bucket (and clamped to the observed min/max).
+///
+/// All state is integral, so [`Histogram::merge`] is exactly associative
+/// and commutative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index holding value `v`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive value range `[lo, hi]` of bucket `k`.
+    pub fn bucket_bounds(k: usize) -> (u64, u64) {
+        debug_assert!(k < HISTOGRAM_BUCKETS);
+        if k == 0 {
+            (0, 0)
+        } else if k == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (k - 1), (1 << k) - 1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one (exactly associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Estimate the `p`-th percentile (`0.0 ..= 100.0`). The estimate lies
+    /// in the same log2 bucket as the exact order statistic and is linearly
+    /// interpolated by rank within it, clamped to the observed min/max.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if target == 1 {
+            return self.min;
+        }
+        if target == self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                let (lo, hi) = Self::bucket_bounds(k);
+                let within = (target - cum - 1) as f64 / n as f64;
+                let est = lo + ((hi - lo) as f64 * within) as u64;
+                return est.clamp(self.min.max(lo), self.max.min(hi));
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, in value order (for
+    /// report/JSON rendering).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| {
+                let (lo, hi) = Self::bucket_bounds(k);
+                (lo, hi, n)
+            })
+    }
+}
+
+/// A [`Histogram`] extended with an exact sum of squares, giving mean,
+/// standard deviation and percentiles. Like the histogram it merges
+/// exactly associatively across nodes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Distribution {
+    hist: Histogram,
+    sumsq: u128,
+}
+
+impl Distribution {
+    /// An empty distribution.
+    pub fn new() -> Distribution {
+        Distribution::default()
+    }
+
+    /// Record one sample. The sum of squares uses wrapping arithmetic —
+    /// still exactly associative under merge; [`Distribution::stddev`] is
+    /// meaningful as long as the true sum of squares fits in a `u128`,
+    /// which any realistic set of cycle counts satisfies.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.hist.record(v);
+        self.sumsq = self.sumsq.wrapping_add((v as u128).wrapping_mul(v as u128));
+    }
+
+    /// Fold another distribution into this one (exactly associative).
+    pub fn merge(&mut self, other: &Distribution) {
+        self.hist.merge(&other.hist);
+        self.sumsq = self.sumsq.wrapping_add(other.sumsq);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hist.is_empty()
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u128 {
+        self.hist.sum()
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        self.hist.min()
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.hist.max()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.hist.mean()
+    }
+
+    /// Population standard deviation (0 if empty).
+    pub fn stddev(&self) -> f64 {
+        let n = self.hist.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ex2 = self.sumsq as f64 / n as f64;
+        (ex2 - mean * mean).max(0.0).sqrt()
+    }
+
+    /// Estimate the `p`-th percentile (see [`Histogram::percentile`]).
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.hist.percentile(p)
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
 
 /// Tracks the peak and the running value of an occupancy counter, e.g. the
 /// protocol thread's share of integer registers (paper Table 9).
@@ -147,5 +399,158 @@ mod tests {
         s.push(-1.0);
         assert_eq!(s.max(), -1.0);
         assert!((s.mean() + 3.0).abs() < 1e-12);
+    }
+
+    // ----------------------- histogram / distribution -----------------------
+
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for k in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(k);
+            assert_eq!(Histogram::bucket_of(lo), k);
+            assert_eq!(Histogram::bucket_of(hi), k);
+        }
+    }
+
+    #[test]
+    fn histogram_exact_moments() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 111);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 22.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        let d = Distribution::new();
+        assert_eq!(d.stddev(), 0.0);
+    }
+
+    #[test]
+    fn distribution_stddev_matches_direct_computation() {
+        let samples = [10u64, 20, 30, 40, 50];
+        let mut d = Distribution::new();
+        for &v in &samples {
+            d.record(v);
+        }
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let var = samples
+            .iter()
+            .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!((d.mean() - mean).abs() < 1e-9);
+        assert!((d.stddev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    /// Merge must be exactly associative (and commutative): folding per-node
+    /// histograms in any grouping yields identical state. Integer-only
+    /// fields make this an equality, not an approximation.
+    #[test]
+    fn merge_is_exactly_associative() {
+        let mut rng = SplitMix64::new(0x5eed_0001);
+        for _ in 0..20 {
+            let parts: Vec<Distribution> = (0..3)
+                .map(|_| {
+                    let mut d = Distribution::new();
+                    for _ in 0..rng.below(200) {
+                        // Mix magnitudes so many buckets are exercised.
+                        let v = rng.next_u64() >> (rng.below(64) as u32);
+                        d.record(v);
+                    }
+                    d
+                })
+                .collect();
+            let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+            // (a ⊕ b) ⊕ c
+            let mut left = a.clone();
+            left.merge(b);
+            left.merge(c);
+            // a ⊕ (b ⊕ c)
+            let mut bc = b.clone();
+            bc.merge(c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right);
+            // c ⊕ b ⊕ a (commutativity)
+            let mut rev = c.clone();
+            rev.merge(b);
+            rev.merge(a);
+            assert_eq!(left, rev);
+        }
+    }
+
+    /// Percentile estimates checked against a brute-force sorted-vector
+    /// oracle: the estimate must land in the same log2 bucket as the exact
+    /// order statistic (factor-of-two bound) and at the observed extremes
+    /// for p0/p100.
+    #[test]
+    fn percentile_matches_sorted_oracle_within_bucket() {
+        let mut rng = SplitMix64::new(0xdead_beef_cafe);
+        for case in 0..10 {
+            let n = 1 + rng.below(500) as usize;
+            let mut h = Histogram::new();
+            let mut vals: Vec<u64> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = match case % 3 {
+                    0 => rng.below(1000),                          // uniform small
+                    1 => rng.next_u64() >> (rng.below(60) as u32), // wide magnitudes
+                    _ => 100 + rng.below(8),                       // tight cluster
+                };
+                h.record(v);
+                vals.push(v);
+            }
+            vals.sort_unstable();
+            for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+                let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+                let exact = vals[rank - 1];
+                let est = h.percentile(p);
+                assert_eq!(
+                    Histogram::bucket_of(est),
+                    Histogram::bucket_of(exact),
+                    "case {case} p{p}: estimate {est} not in bucket of exact {exact}"
+                );
+            }
+            assert_eq!(h.percentile(0.0), vals[0], "p0 must be the minimum");
+            assert_eq!(
+                h.percentile(100.0),
+                *vals.last().unwrap(),
+                "p100 must be the maximum"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_cover_all_samples() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 1000, 1 << 40] {
+            h.record(v);
+        }
+        let total: u64 = h.nonzero_buckets().map(|(_, _, n)| n).sum();
+        assert_eq!(total, h.count());
+        // Buckets come out in ascending value order.
+        let los: Vec<u64> = h.nonzero_buckets().map(|(lo, _, _)| lo).collect();
+        let mut sorted = los.clone();
+        sorted.sort_unstable();
+        assert_eq!(los, sorted);
     }
 }

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! cargo run --release --example quickstart -- ocean 8 2
 //! cargo run --release --example quickstart -- fft 2 2 --trace out.trace.json
+//! cargo run --release --example quickstart -- --trace          # default path
 //! ```
 //!
 //! With `--trace <path>` the full event stream is exported in Chrome
@@ -27,14 +28,21 @@ fn parse_app(s: &str) -> AppKind {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let looks_positional = |s: &str| {
+        s.parse::<usize>().is_ok()
+            || AppKind::ALL
+                .iter()
+                .any(|a| a.name().eq_ignore_ascii_case(s))
+    };
     let trace_path = match args.iter().position(|a| a == "--trace") {
         Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("--trace requires a file path");
-                std::process::exit(2);
-            }
             args.remove(i);
-            Some(args.remove(i))
+            // An explicit path may follow; otherwise use a default.
+            if i < args.len() && !args[i].starts_with("--") && !looks_positional(&args[i]) {
+                Some(args.remove(i))
+            } else {
+                Some("quickstart.trace.json".to_string())
+            }
         }
         None => None,
     };

@@ -1,0 +1,75 @@
+//! Run one simulation and print a paper-style latency/occupancy report.
+//!
+//! ```text
+//! cargo run --release --example report
+//! cargo run --release --example report -- ocean 16 2
+//! cargo run --release --example report -- fft 4 2 --model base
+//! cargo run --release --example report -- fft 4 2 --json > report.json
+//! cargo run --release --example report -- fft 4 2 --md
+//! ```
+//!
+//! The report covers Table 7 protocol occupancy, a Fig. 5/7-style
+//! per-thread time breakdown, end-to-end L2 miss latency percentiles per
+//! {local,remote}x{read,read-exclusive} class, and the phase decomposition
+//! of remote misses (issue, request network, dispatch queue, handler +
+//! SDRAM, reply network, fill, completion).
+
+use smtp::{build_system, AppKind, ExperimentConfig, MachineModel, Report};
+
+fn parse_app(s: &str) -> AppKind {
+    AppKind::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app {s:?}; one of: fft fftw lu ocean radix water");
+            std::process::exit(2)
+        })
+}
+
+fn parse_model(s: &str) -> MachineModel {
+    MachineModel::ALL
+        .into_iter()
+        .find(|m| format!("{m:?}").eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {s:?}; one of: base intperfect int512kb int64kb smtp");
+            std::process::exit(2)
+        })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut take_flag = |flag: &str| -> bool {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.remove(i))
+            .is_some()
+    };
+    let json = take_flag("--json");
+    let md = take_flag("--md");
+    let model = match args.iter().position(|a| a == "--model") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--model requires a value");
+                std::process::exit(2);
+            }
+            args.remove(i);
+            parse_model(&args.remove(i))
+        }
+        None => MachineModel::SMTp,
+    };
+    let app = args.first().map(|s| parse_app(s)).unwrap_or(AppKind::Fft);
+    let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let ways: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let exp = ExperimentConfig::new(model, app, nodes, ways);
+    let mut sys = build_system(&exp);
+    let stats = sys.run(exp.max_cycles);
+    let report = Report::new(&stats);
+    if json {
+        println!("{}", report.json());
+    } else if md {
+        println!("{}", report.markdown());
+    } else {
+        println!("{}", report.text());
+    }
+}

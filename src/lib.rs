@@ -47,6 +47,10 @@ pub use smtp_trace as trace;
 pub use smtp_types as types;
 pub use smtp_workloads as workloads;
 
-pub use smtp_core::{build_system, run_experiment, ExperimentConfig, RunStats, System};
-pub use smtp_types::{MachineModel, SystemConfig};
+pub use smtp_core::{
+    build_system, run_experiment, ExperimentConfig, Report, RunStats, System, ThreadTime,
+};
+pub use smtp_types::{
+    Distribution, Histogram, LatencyBreakdown, MachineModel, PhaseProfiler, SystemConfig,
+};
 pub use smtp_workloads::AppKind;

@@ -1,0 +1,115 @@
+//! Phase-accounted miss latency: reconciliation of the per-phase
+//! decomposition against observed end-to-end latency, and paper-style
+//! report generation over a 16-node run.
+
+use smtp::types::latency::NUM_BOUNDARIES;
+use smtp::types::{PhaseBoundary, TxnClass};
+use smtp::{build_system, AppKind, ExperimentConfig, MachineModel, Report};
+
+/// The tentpole invariant: for every profiled transaction — in particular
+/// remote read-exclusive misses, the most complex path (request network,
+/// dispatch queue, handler, reply network, fill, ack gathering) — the
+/// phase components sum *exactly* to the observed end-to-end latency.
+#[test]
+fn phase_components_sum_exactly_to_end_to_end() {
+    let exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Ocean, 2, 2);
+    let mut sys = build_system(&exp);
+    sys.profiler().keep_records(true);
+    sys.run(exp.max_cycles);
+
+    let records = sys.profiler().records();
+    assert!(!records.is_empty(), "no transactions profiled");
+    let mut remote_rx = 0;
+    for rec in &records {
+        let sum: u64 = rec.phases().iter().sum();
+        assert_eq!(
+            sum,
+            rec.end_to_end(),
+            "phases {:?} do not reconcile for {:?} line {:?}",
+            rec.phases(),
+            rec.requester,
+            rec.line
+        );
+        if rec.remote && rec.class == TxnClass::ReadExclusive {
+            remote_rx += 1;
+            // A remote read-exclusive travels the full path: every
+            // intermediate boundary must actually have been stamped, not
+            // forward-filled.
+            for b in [
+                PhaseBoundary::ReqSent,
+                PhaseBoundary::ReqDelivered,
+                PhaseBoundary::Dispatched,
+                PhaseBoundary::ReplySent,
+                PhaseBoundary::ReplyDelivered,
+                PhaseBoundary::Filled,
+            ] {
+                assert!(
+                    rec.boundary(b).is_some(),
+                    "{b:?} never stamped for remote read-exclusive on {:?}",
+                    rec.line
+                );
+            }
+        }
+    }
+    assert!(remote_rx > 0, "no remote read-exclusive misses profiled");
+    assert_eq!(NUM_BOUNDARIES, 8);
+
+    // The aggregate view must cover the same transactions.
+    let stats = sys.collect();
+    assert_eq!(stats.latency.count(), records.len() as u64);
+    // Open-transaction leak check: a quiesced machine has none.
+    assert_eq!(sys.profiler().open_count(), 0);
+}
+
+/// Aggregate reconciliation without per-record retention: the mean of the
+/// phase distributions sums to the mean end-to-end latency.
+#[test]
+fn aggregate_phase_means_sum_to_mean_end_to_end() {
+    let exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 4, 1);
+    let mut sys = build_system(&exp);
+    let stats = sys.run(exp.max_cycles);
+    let n = stats.latency.count();
+    assert!(n > 0);
+    let phase_total: u128 = stats.latency.phases.iter().map(|d| d.sum()).sum();
+    let e2e_total: u128 = stats.latency.end_to_end.iter().map(|h| h.sum()).sum();
+    assert_eq!(phase_total, e2e_total);
+}
+
+/// Acceptance: a 16-node run yields a report with Table 7 protocol
+/// occupancy and a Fig. 5/7-style per-thread time breakdown.
+#[test]
+fn sixteen_node_report_has_occupancy_and_thread_breakdown() {
+    let mut exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 16, 2);
+    exp.scale = 0.05;
+    let mut sys = build_system(&exp);
+    let stats = sys.run(exp.max_cycles);
+
+    // One breakdown entry per application context machine-wide. The six
+    // components partition the cycles up to the point the thread finished
+    // (classification stops once a context completes its program).
+    assert_eq!(stats.thread_time.len(), 16 * 2);
+    for t in &stats.thread_time {
+        let sum = t.busy + t.memory + t.sync + t.squash + t.fetch_starved + t.other;
+        assert!(
+            sum > 0 && sum <= t.cycles,
+            "n{}c{} breakdown {sum} outside (0, {}]",
+            t.node,
+            t.ctx,
+            t.cycles
+        );
+        assert!(t.busy > 0, "n{}c{} never committed", t.node, t.ctx);
+    }
+    assert!(stats.protocol_occupancy_mean > 0.0);
+    assert!(stats.latency.end_to_end[2].count() > 0, "no remote reads");
+
+    let report = Report::new(&stats);
+    let text = report.text();
+    assert!(text.contains("Protocol occupancy (Table 7)"));
+    assert!(text.contains("occupancy peak node"));
+    assert!(text.contains("Per-thread time breakdown (Fig. 5/7)"));
+    assert!(text.contains("n15c1"), "last thread missing from breakdown");
+    assert!(text.contains("Remote miss phase decomposition"));
+    let json = report.json();
+    assert!(json.contains("\"thread_time\""));
+    assert!(json.contains("\"protocol_occupancy_mean\""));
+}

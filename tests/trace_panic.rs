@@ -1,0 +1,59 @@
+//! A run that dies mid-simulation must still leave a readable,
+//! line-complete JSONL trace behind: the watchdog panic flushes the
+//! tracer, and [`smtp::trace::JsonlSink`] additionally flushes on drop so
+//! even unwind-path teardown cannot truncate a buffered line.
+
+use smtp::trace::{JsonlSink, SharedBuf};
+use smtp::{build_system, AppKind, ExperimentConfig, MachineModel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn mid_run_panic_yields_valid_jsonl() {
+    let buf = SharedBuf::new();
+    let exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Ocean, 2, 2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut sys = build_system(&exp);
+        sys.tracer().enable_all();
+        sys.tracer()
+            .add_sink(Box::new(JsonlSink::new(Box::new(buf.clone()))));
+        // A watchdog far below completion: the run panics mid-flight with
+        // events buffered in the tracer and the sink.
+        sys.run(2_000);
+    }));
+    assert!(result.is_err(), "run must hit the watchdog");
+
+    let text = buf.to_string_lossy();
+    assert!(!text.is_empty(), "no trace output survived the panic");
+    assert!(
+        text.ends_with('\n'),
+        "stream truncated mid-line: {:?}",
+        &text[text.len().saturating_sub(80)..]
+    );
+    let mut events = 0;
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"t\":") && line.ends_with('}'),
+            "malformed JSONL line: {line:?}"
+        );
+        // Balanced braces and quote parity outside strings — each line
+        // must be one complete JSON object.
+        let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+        for c in line.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => depth += 1,
+                '}' if !in_str => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced braces: {line:?}");
+        assert!(!in_str, "unterminated string: {line:?}");
+        events += 1;
+    }
+    assert!(events > 100, "suspiciously few events ({events})");
+}
