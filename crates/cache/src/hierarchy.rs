@@ -1002,6 +1002,15 @@ impl MemHierarchy {
 
     /// Human-readable state of one line across the hierarchy (deadlock
     /// diagnostics).
+    /// Non-mutating probe of this node's L2-level copy of `line` (L2 or
+    /// bypass buffer) — the coherence sanitizer's view of what the node
+    /// holds. `None` means no cached copy.
+    pub fn line_state(&self, line: LineAddr) -> Option<LineState> {
+        self.l2
+            .probe(line.into())
+            .or_else(|| self.byp_l2.probe(line.into()))
+    }
+
     pub fn debug_line(&self, line: LineAddr) -> String {
         let l2 = self.l2.probe(line.into());
         let byp = self.byp_l2.probe(line.into());

@@ -1,0 +1,150 @@
+//! Structured run failures: what used to be a watchdog `panic!` is now a
+//! [`RunError`] carrying a machine-state [`Diagnosis`], so callers can
+//! report, retry with a different seed, or assert on the failure class.
+
+use smtp_types::{Cycle, FaultSummary};
+
+/// Why a run failed to complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// No component made forward progress across consecutive watchdog
+    /// checks (or the cycle budget ran out before quiescence).
+    Deadlock,
+    /// Protocol/network activity kept churning but no application
+    /// instruction committed for an extended period.
+    Livelock,
+    /// The machine hit a fault it cannot mask: an uncorrectable ECC error
+    /// or a violated coherence invariant.
+    UnrecoverableFault,
+}
+
+impl RunErrorKind {
+    /// Short lowercase label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunErrorKind::Deadlock => "deadlock",
+            RunErrorKind::Livelock => "livelock",
+            RunErrorKind::UnrecoverableFault => "unrecoverable-fault",
+        }
+    }
+}
+
+/// Machine-state evidence gathered when a run fails: enough to diagnose
+/// the stall without re-running under a tracer.
+#[derive(Clone, Debug, Default)]
+pub struct Diagnosis {
+    /// Per-node progress lines (pipeline state, queue depths).
+    pub nodes: Vec<String>,
+    /// Busy directory lines with every node's view of the line.
+    pub busy_lines: Vec<String>,
+    /// Oldest still-open miss transactions and where each is stuck.
+    pub stuck_transactions: Vec<String>,
+    /// Most recent trace events from the diagnostics ring.
+    pub recent_events: Vec<String>,
+    /// Injected-fault and recovery counters at failure time.
+    pub faults: FaultSummary,
+}
+
+impl Diagnosis {
+    /// Whether any evidence was captured.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+            && self.busy_lines.is_empty()
+            && self.stuck_transactions.is_empty()
+            && self.recent_events.is_empty()
+    }
+}
+
+impl std::fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for line in &self.nodes {
+            writeln!(f, "  {line}")?;
+        }
+        for line in &self.busy_lines {
+            writeln!(f, "  {line}")?;
+        }
+        if !self.stuck_transactions.is_empty() {
+            writeln!(f, "  open transactions:")?;
+            for line in &self.stuck_transactions {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        if self.faults.any() {
+            writeln!(f, "  fault counters: {:?}", self.faults)?;
+        }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  last {} trace events:", self.recent_events.len())?;
+            for line in &self.recent_events {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A failed run: the failure class, when it was detected, a one-line
+/// summary, and the gathered machine-state evidence.
+#[derive(Clone, Debug)]
+pub struct RunError {
+    /// Failure class.
+    pub kind: RunErrorKind,
+    /// Cycle at which the failure was detected.
+    pub cycle: Cycle,
+    /// One-line human-readable summary.
+    pub message: String,
+    /// Machine-state evidence (boxed: the error travels through every
+    /// `Result` in the run path, the evidence is only read on failure).
+    pub diagnosis: Box<Diagnosis>,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} at cycle {}: {}",
+            self.kind.name(),
+            self.cycle,
+            self.message
+        )?;
+        write!(f, "{}", self.diagnosis)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_kind_cycle_and_evidence() {
+        let err = RunError {
+            kind: RunErrorKind::Deadlock,
+            cycle: 12_345,
+            message: "no forward progress for 32768 cycles".to_string(),
+            diagnosis: Box::new(Diagnosis {
+                nodes: vec!["NodeId(0): finished=false".to_string()],
+                busy_lines: vec!["busy LineAddr(0x80) BusyExcl".to_string()],
+                stuck_transactions: vec!["line 0x80 stuck at ReqSent".to_string()],
+                recent_events: vec!["{\"ev\":\"net_inject\"}".to_string()],
+                faults: FaultSummary::default(),
+            }),
+        };
+        let s = err.to_string();
+        assert!(s.contains("deadlock at cycle 12345"));
+        assert!(s.contains("no forward progress"));
+        assert!(s.contains("busy LineAddr"));
+        assert!(s.contains("stuck at ReqSent"));
+        assert!(s.contains("net_inject"));
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(RunErrorKind::Deadlock.name(), "deadlock");
+        assert_eq!(RunErrorKind::Livelock.name(), "livelock");
+        assert_eq!(
+            RunErrorKind::UnrecoverableFault.name(),
+            "unrecoverable-fault"
+        );
+    }
+}

@@ -1,9 +1,10 @@
 //! Experiment runner: one simulation per (model, app, nodes, ways, clock)
 //! point of the paper's evaluation.
 
+use crate::error::RunError;
 use crate::stats::RunStats;
 use crate::system::System;
-use smtp_types::{MachineModel, SystemConfig};
+use smtp_types::{FaultConfig, MachineModel, SystemConfig};
 use smtp_workloads::AppKind;
 
 /// One point of the evaluation space.
@@ -33,6 +34,8 @@ pub struct ExperimentConfig {
     pub prefetch: bool,
     /// Simulation watchdog in cycles.
     pub max_cycles: u64,
+    /// Fault-injection plan (all-off by default).
+    pub faults: FaultConfig,
 }
 
 impl ExperimentConfig {
@@ -50,6 +53,7 @@ impl ExperimentConfig {
             perfect_protocol_caches: false,
             prefetch: true,
             max_cycles: 2_000_000_000,
+            faults: FaultConfig::default(),
         }
     }
 
@@ -68,6 +72,7 @@ impl ExperimentConfig {
             cfg.pipeline.bypass_lines = lines;
         }
         cfg.pipeline.perfect_protocol_caches = self.perfect_protocol_caches;
+        cfg.faults = self.faults.clone();
         cfg
     }
 }
@@ -95,7 +100,19 @@ pub fn build_system(e: &ExperimentConfig) -> System {
 }
 
 /// Run one experiment point to completion.
+///
+/// # Panics
+///
+/// Panics (with the full diagnosis) if the run fails; sweeps and table
+/// generators treat a deadlocked point as a fatal bug. Use
+/// [`try_run_experiment`] to handle failures structurally.
 pub fn run_experiment(e: &ExperimentConfig) -> RunStats {
+    try_run_experiment(e).unwrap_or_else(|err| panic!("{err}"))
+}
+
+/// Run one experiment point, returning the failure class and diagnosis
+/// instead of panicking when the machine cannot complete.
+pub fn try_run_experiment(e: &ExperimentConfig) -> Result<RunStats, RunError> {
     build_system(e).run(e.max_cycles)
 }
 

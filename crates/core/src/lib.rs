@@ -13,13 +13,15 @@
 //! synchronization manager and advances everything on a single CPU-cycle
 //! clock until the application completes.
 
+pub mod error;
 pub mod experiment;
 pub mod node;
 pub mod report;
 pub mod stats;
 pub mod system;
 
-pub use experiment::{build_system, run_experiment, ExperimentConfig};
+pub use error::{Diagnosis, RunError, RunErrorKind};
+pub use experiment::{build_system, run_experiment, try_run_experiment, ExperimentConfig};
 pub use node::Node;
 pub use report::Report;
 pub use stats::{RunStats, ThreadTime};

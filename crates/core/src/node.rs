@@ -6,11 +6,12 @@ use smtp_isa::{Inst, SyncCond, SyncOp, SyncOutcome};
 use smtp_mem::{DirCache, ProtocolEngine, Sdram, TimedQueue};
 use smtp_noc::{Msg, MsgKind};
 use smtp_pipeline::{PipeEnv, SmtPipeline};
-use smtp_protocol::{handler_program, Directory, HandlerStats, Transition};
-use smtp_trace::{Category, Event, HandlerClass, Tracer};
+use smtp_protocol::{handler_program, Directory, DispatchGovernor, HandlerStats, Transition};
+use smtp_trace::{Category, Event, HandlerClass, StallClass, Tracer};
+use smtp_types::faults::SITE_DISPATCH;
 use smtp_types::{
-    Ctx, Cycle, Distribution, LineAddr, MachineModel, NodeId, PhaseBoundary, PhaseProfiler, Region,
-    SystemConfig,
+    Ctx, Cycle, Distribution, FaultConfig, FaultSummary, FaultWindows, LineAddr, MachineModel,
+    NodeId, PhaseBoundary, PhaseProfiler, Region, SystemConfig,
 };
 use smtp_workloads::{make_thread, AppKind, SyncManager, ThreadGen, WorkloadCfg};
 use std::cmp::Reverse;
@@ -219,6 +220,11 @@ pub struct Node {
     trace_line: Option<u64>,
     tracer: Tracer,
     profiler: PhaseProfiler,
+    /// Fault-injection gate for handler dispatch (starvation, delays).
+    governor: DispatchGovernor,
+    /// Whether any fault hook on this node is armed (skips event polling
+    /// with one branch when not).
+    faults_armed: bool,
     /// Extra statistics.
     pub stats: NodeStats,
     /// Per-handler-kind dispatch counts and occupancy.
@@ -298,6 +304,8 @@ impl Node {
                 .and_then(|v| u64::from_str_radix(v.trim_start_matches("0x"), 16).ok()),
             tracer: Tracer::disabled(),
             profiler: PhaseProfiler::disabled(),
+            governor: DispatchGovernor::disabled(),
+            faults_armed: false,
             stats: NodeStats::default(),
             handler_stats: HandlerStats::new(),
         }
@@ -316,6 +324,87 @@ impl Node {
     pub fn set_profiler(&mut self, profiler: PhaseProfiler) {
         self.mem.set_profiler(profiler.clone());
         self.profiler = profiler;
+    }
+
+    /// Arm this node's fault-injection hooks (ECC on SDRAM reads,
+    /// dispatch-queue stall windows, protocol-thread starvation and handler
+    /// delays). A no-op unless `faults` is enabled with nonzero rates.
+    pub fn set_faults(&mut self, faults: &FaultConfig) {
+        if !faults.enabled {
+            return;
+        }
+        self.sdram.set_faults(faults, self.id);
+        if faults.dispatch_stall.any() {
+            let node = u64::from(self.id.0);
+            self.lmi.set_stall(FaultWindows::new(
+                faults.stream(SITE_DISPATCH ^ node),
+                &faults.dispatch_stall,
+            ));
+            self.ni_in.set_stall(FaultWindows::new(
+                faults.stream(SITE_DISPATCH ^ node ^ (1 << 32)),
+                &faults.dispatch_stall,
+            ));
+        }
+        self.governor = DispatchGovernor::from_faults(faults, self.id);
+        self.faults_armed = faults.is_active();
+    }
+
+    /// This node's injected-fault counters (ECC, stalls, starvation,
+    /// handler delays); link-level counters live in the network.
+    pub fn fault_counters(&self) -> FaultSummary {
+        FaultSummary {
+            ecc_corrected: self.sdram.ecc_corrected(),
+            ecc_uncorrectable: self.sdram.ecc_uncorrectable(),
+            dispatch_stall_windows: self.lmi.stall_windows() + self.ni_in.stall_windows(),
+            starvation_windows: self.governor.starvation_windows(),
+            handler_delays: self.governor.handler_delays(),
+            ..FaultSummary::default()
+        }
+    }
+
+    /// First uncorrectable ECC error on this node, if any:
+    /// `(cycle, protocol_channel)` — the watchdog's unrecoverable signal.
+    pub fn first_uncorrectable(&self) -> Option<(Cycle, bool)> {
+        self.sdram.first_uncorrectable()
+    }
+
+    /// Emit one trace event per newly opened fault window (called on MC
+    /// edges; the hooks themselves hold no tracer).
+    #[cold]
+    fn poll_fault_events(&mut self, now: Cycle) {
+        let node = self.id;
+        if let Some(until) = self.lmi.stall_opened() {
+            self.tracer
+                .emit(Category::Fault, now, || Event::StallWindow {
+                    node,
+                    kind: StallClass::DispatchQueue,
+                    until,
+                });
+        }
+        if let Some(until) = self.ni_in.stall_opened() {
+            self.tracer
+                .emit(Category::Fault, now, || Event::StallWindow {
+                    node,
+                    kind: StallClass::DispatchQueue,
+                    until,
+                });
+        }
+        if let Some(until) = self.governor.starvation_opened() {
+            self.tracer
+                .emit(Category::Fault, now, || Event::StallWindow {
+                    node,
+                    kind: StallClass::Starvation,
+                    until,
+                });
+        }
+        if let Some(until) = self.governor.handler_delayed() {
+            self.tracer
+                .emit(Category::Fault, now, || Event::StallWindow {
+                    node,
+                    kind: StallClass::HandlerDelay,
+                    until,
+                });
+        }
     }
 
     /// Waiting time observed by home transactions in the local-miss and
@@ -575,6 +664,13 @@ impl Node {
     fn home_dispatch(&mut self, now: Cycle) {
         if !now.is_multiple_of(self.mc_div) {
             return;
+        }
+        if self.faults_armed {
+            let allowed = self.governor.allow(now);
+            self.poll_fault_events(now);
+            if !allowed {
+                return;
+            }
         }
         match self.model {
             MachineModel::SMTp => {

@@ -493,7 +493,7 @@ mod tests {
     fn stats() -> RunStats {
         let cfg = smtp_types::SystemConfig::new(smtp_types::MachineModel::SMTp, 1, 1);
         let mut sys = crate::System::new(cfg, smtp_workloads::AppKind::Fft, 0.05);
-        sys.run(2_000_000)
+        sys.run(2_000_000).expect("run must complete")
     }
 
     #[test]

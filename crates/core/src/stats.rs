@@ -4,8 +4,8 @@ use crate::node::Node;
 use smtp_noc::{NetStats, Network};
 use smtp_protocol::HandlerStats;
 use smtp_types::{
-    Cycle, Distribution, LatencyBreakdown, MachineModel, PhaseProfiler, RunningStat, SystemConfig,
-    MAX_CTX,
+    Cycle, Distribution, FaultSummary, LatencyBreakdown, MachineModel, PhaseProfiler, RunningStat,
+    SystemConfig, MAX_CTX,
 };
 use smtp_workloads::{AppKind, SyncManager};
 
@@ -107,6 +107,9 @@ pub struct RunStats {
     /// Per-context time breakdown (Fig. 5/7), one entry per application
     /// context machine-wide.
     pub thread_time: Vec<ThreadTime>,
+    /// Injected-fault and recovery counters (all zero unless the run was
+    /// configured with fault injection).
+    pub faults: FaultSummary,
 }
 
 impl RunStats {
@@ -141,7 +144,9 @@ impl RunStats {
         let mut dispatch_queue_wait = Distribution::new();
         let mut handler_occupancy = HandlerStats::new();
         let mut thread_time = Vec::with_capacity(nodes.len() * cfg.app_threads);
+        let mut faults = network.map(|n| n.fault_counters()).unwrap_or_default();
         for n in nodes {
+            faults.merge(&n.fault_counters());
             let p = n.pipeline.stats();
             app_insts += p.committed_app();
             prot_insts += p.committed_protocol();
@@ -235,6 +240,7 @@ impl RunStats {
             dispatch_queue_wait,
             handler_occupancy,
             thread_time,
+            faults,
         }
     }
 

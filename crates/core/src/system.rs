@@ -1,12 +1,42 @@
 //! The full-machine simulator: nodes + interconnect + global clock.
 
+use crate::error::{Diagnosis, RunError, RunErrorKind};
 use crate::node::Node;
 use crate::stats::RunStats;
 use smtp_noc::Network;
-use smtp_trace::{IntervalSampler, Tracer};
+use smtp_protocol::DirState;
+use smtp_trace::{Category, Event, IntervalSampler, Tracer};
 use smtp_types::Ctx;
-use smtp_types::{Cycle, NodeId, PhaseProfiler, SystemConfig};
+use smtp_types::{Cycle, FaultSummary, NodeId, PhaseProfiler, SystemConfig};
 use smtp_workloads::{AppKind, SyncManager, ThreadGen, WorkloadCfg};
+
+/// Cycles between forward-progress checks (power of two: the check is a
+/// mask test on the hot path).
+const WATCHDOG_INTERVAL: Cycle = 8192;
+
+/// Consecutive stagnant checks (no progress of any kind) before the run
+/// fails as a deadlock.
+const DEADLOCK_CHECKS: u64 = 4;
+
+/// Consecutive checks with protocol/network churn but zero application
+/// commits before the run fails as a livelock. Deliberately generous: a
+/// healthy machine never goes half a million cycles without committing a
+/// single application instruction anywhere.
+const LIVELOCK_CHECKS: u64 = 64;
+
+/// Forward-progress watchdog state. Pure observer: it reads counters the
+/// simulation updates anyway, so a healthy run is bit-identical with or
+/// without it.
+#[derive(Clone, Copy, Debug, Default)]
+struct Watchdog {
+    /// (app instructions, protocol instructions + handlers, net messages)
+    /// at the previous check.
+    last_sig: (u64, u64, u64),
+    /// Consecutive checks with a completely unchanged signature.
+    stagnant: u64,
+    /// Consecutive checks with no application commits (but other churn).
+    app_stagnant: u64,
+}
 
 /// Interval-sampling state: the sampler plus the previous counter values
 /// needed to turn cumulative statistics into per-interval rates.
@@ -29,6 +59,9 @@ pub struct System {
     tracer: Tracer,
     profiler: PhaseProfiler,
     metrics: Option<MetricsState>,
+    watchdog: Watchdog,
+    /// Run the online coherence sanitizer every N cycles, if set.
+    invariant_every: Option<Cycle>,
 }
 
 impl std::fmt::Debug for System {
@@ -108,6 +141,17 @@ impl System {
             net.set_tracer(tracer.clone());
             net.set_profiler(profiler.clone());
         }
+        // Arm the fault-injection hooks described by the config. Each hook
+        // gates itself, so this is a no-op for the default (all-off) plan
+        // and the assembled machine is bit-identical to one without hooks.
+        if cfg.faults.is_active() {
+            for n in &mut nodes {
+                n.set_faults(&cfg.faults);
+            }
+            if let Some(net) = &mut network {
+                net.set_faults(&cfg.faults);
+            }
+        }
         System {
             cfg,
             app,
@@ -119,6 +163,8 @@ impl System {
             tracer,
             profiler,
             metrics: None,
+            watchdog: Watchdog::default(),
+            invariant_every: None,
         }
     }
 
@@ -247,31 +293,189 @@ impl System {
                 .is_none_or(|n| n.in_flight_count() == 0)
     }
 
-    /// Run to completion; returns the collected statistics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the machine does not quiesce within `max_cycles` — that
-    /// always indicates a deadlock or livelock bug, and the panic message
-    /// carries diagnostics.
-    pub fn run(&mut self, max_cycles: Cycle) -> RunStats {
+    /// Run the online coherence-invariant sanitizer every `every` cycles:
+    /// at most one node may hold a writable copy of any stable line, and a
+    /// writable holder must match the directory's exclusive owner. A
+    /// violation ends the run with an [`RunErrorKind::UnrecoverableFault`]
+    /// instead of silently corrupting results.
+    pub fn enable_invariant_checks(&mut self, every: Cycle) {
+        self.invariant_every = Some(every.max(1));
+    }
+
+    /// Run to completion. `Ok` carries the collected statistics; `Err`
+    /// carries the failure class ([`RunErrorKind`]) and a machine-state
+    /// [`Diagnosis`]. The escalating forward-progress watchdog converts
+    /// deadlocks, livelocks and unrecoverable faults into structured
+    /// errors; exhausting `max_cycles` before quiescence reports as a
+    /// deadlock. The tracer is flushed on both paths.
+    pub fn run(&mut self, max_cycles: Cycle) -> Result<RunStats, RunError> {
         while !self.quiesced() {
             self.tick();
+            if self.now & (WATCHDOG_INTERVAL - 1) == 0 {
+                if let Some(err) = self.watchdog_check() {
+                    self.tracer.flush();
+                    return Err(err);
+                }
+            }
+            if let Some(every) = self.invariant_every {
+                if self.now.is_multiple_of(every) {
+                    if let Some(err) = self.check_coherence() {
+                        self.tracer.flush();
+                        return Err(err);
+                    }
+                }
+            }
             if self.now >= max_cycles {
-                self.panic_with_diagnostics(max_cycles);
+                self.tracer.flush();
+                return Err(self.run_error(
+                    RunErrorKind::Deadlock,
+                    format!(
+                        "{:?} {} x{} ({}-way) did not quiesce in {max_cycles} cycles",
+                        self.cfg.model, self.app, self.cfg.nodes, self.cfg.app_threads
+                    ),
+                ));
             }
         }
         self.tracer.flush();
-        self.collect()
+        Ok(self.collect())
     }
 
-    fn panic_with_diagnostics(&self, max_cycles: Cycle) -> ! {
-        self.tracer.flush();
-        let mut diag = String::new();
+    /// Machine-wide progress signature: anything moving shows up here.
+    fn progress_signature(&self) -> (u64, u64, u64) {
+        let mut app = 0;
+        let mut prot = 0;
+        for n in &self.nodes {
+            let p = n.pipeline.stats();
+            app += p.committed_app();
+            prot += p.committed_protocol() + n.stats.handlers;
+        }
+        let net = self.network.as_ref().map_or(0, |n| n.stats().messages);
+        (app, prot, net)
+    }
+
+    /// One watchdog check: escalate through warning trace events to a
+    /// structured error. Read-only on simulation state — a healthy run
+    /// behaves identically with the watchdog present.
+    fn watchdog_check(&mut self) -> Option<RunError> {
+        let now = self.now;
+        // Unrecoverable injected faults surface immediately.
+        for n in &self.nodes {
+            if let Some((cycle, protocol)) = n.first_uncorrectable() {
+                let chan = if protocol { "protocol" } else { "main" };
+                let id = n.id();
+                return Some(self.run_error(
+                    RunErrorKind::UnrecoverableFault,
+                    format!("uncorrectable ECC error on {id:?} {chan} channel at cycle {cycle}"),
+                ));
+            }
+        }
+        let sig = self.progress_signature();
+        if sig == self.watchdog.last_sig {
+            self.watchdog.stagnant += 1;
+            let stalled_for = self.watchdog.stagnant * WATCHDOG_INTERVAL;
+            let level = self.watchdog.stagnant.min(u64::from(u8::MAX)) as u8;
+            self.tracer
+                .emit(Category::Fault, now, || Event::WatchdogWarn {
+                    level,
+                    stalled_for,
+                });
+            if self.watchdog.stagnant >= DEADLOCK_CHECKS {
+                return Some(self.run_error(
+                    RunErrorKind::Deadlock,
+                    format!("no forward progress for {stalled_for} cycles"),
+                ));
+            }
+        } else {
+            self.watchdog.stagnant = 0;
+        }
+        // Livelock: the machine churns but the application never advances.
+        if self.app_done_at.is_none() && sig.0 == self.watchdog.last_sig.0 {
+            self.watchdog.app_stagnant += 1;
+            if self.watchdog.app_stagnant >= LIVELOCK_CHECKS {
+                let stalled_for = self.watchdog.app_stagnant * WATCHDOG_INTERVAL;
+                return Some(self.run_error(
+                    RunErrorKind::Livelock,
+                    format!(
+                        "protocol/network activity without an application commit for {stalled_for} cycles"
+                    ),
+                ));
+            }
+        } else {
+            self.watchdog.app_stagnant = 0;
+        }
+        self.watchdog.last_sig = sig;
+        None
+    }
+
+    /// The online coherence sanitizer: sweep every materialized directory
+    /// entry in stable state and cross-check the caches. Busy lines are
+    /// mid-transaction and legitimately inconsistent, so they are skipped.
+    fn check_coherence(&self) -> Option<RunError> {
+        for home in &self.nodes {
+            for (line, state) in home.directory.entries() {
+                if state.is_busy() {
+                    continue;
+                }
+                let mut holder: Option<NodeId> = None;
+                for n in &self.nodes {
+                    if n.mem.line_state(line).is_some_and(|s| s.is_writable()) {
+                        if let Some(prev) = holder {
+                            return Some(self.run_error(
+                                RunErrorKind::UnrecoverableFault,
+                                format!(
+                                    "coherence violation: {line:?} writable at both {prev:?} and {:?}",
+                                    n.id()
+                                ),
+                            ));
+                        }
+                        holder = Some(n.id());
+                    }
+                }
+                if let Some(h) = holder {
+                    if state != DirState::Exclusive(h) {
+                        return Some(self.run_error(
+                            RunErrorKind::UnrecoverableFault,
+                            format!(
+                                "coherence violation: {line:?} writable at {h:?} but directory says {state:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Injected-fault and recovery counters across the whole machine.
+    pub fn fault_summary(&self) -> FaultSummary {
+        let mut s = self
+            .network
+            .as_ref()
+            .map(|n| n.fault_counters())
+            .unwrap_or_default();
+        for n in &self.nodes {
+            s.merge(&n.fault_counters());
+        }
+        s
+    }
+
+    fn run_error(&self, kind: RunErrorKind, message: String) -> RunError {
+        RunError {
+            kind,
+            cycle: self.now,
+            message,
+            diagnosis: Box::new(self.diagnose()),
+        }
+    }
+
+    /// Gather the machine-state evidence attached to every [`RunError`].
+    fn diagnose(&self) -> Diagnosis {
+        let mut nodes = Vec::with_capacity(self.nodes.len() * 2);
+        let mut busy_lines = Vec::new();
         for n in &self.nodes {
             let s = n.pipeline.stats();
-            diag.push_str(&format!(
-                "\n  {:?}: finished={} committed={:?} prot_quiesced={} dir_busy={} pending={}",
+            nodes.push(format!(
+                "{:?}: finished={} committed={:?} prot_quiesced={} dir_busy={} pending={}",
                 n.id(),
                 n.pipeline.finished(),
                 &s.committed,
@@ -279,30 +483,41 @@ impl System {
                 n.directory.any_busy(),
                 n.directory.pending_len(),
             ));
-            diag.push_str(&format!("\n    queues: {}", n.debug_queues()));
+            nodes.push(format!("  queues: {}", n.debug_queues()));
             for (line, st) in n.directory.busy_lines() {
-                diag.push_str(&format!("\n    busy {line:?} state={st:?}"));
+                busy_lines.push(format!("busy {line:?} state={st:?}"));
                 for peer in &self.nodes {
-                    diag.push_str(&format!(
-                        "\n      at {:?}: {}",
+                    busy_lines.push(format!(
+                        "  at {:?}: {}",
                         peer.id(),
                         peer.mem.debug_line(line)
                     ));
                 }
             }
         }
-        let ring = self.tracer.ring_dump();
-        if !ring.is_empty() {
-            diag.push_str(&format!("\n  last {} trace events:", ring.len()));
-            for line in ring {
-                diag.push_str("\n    ");
-                diag.push_str(&line);
-            }
+        let stuck_transactions = self
+            .profiler
+            .open_records()
+            .iter()
+            .take(8)
+            .map(|r| {
+                let (b, at) = PhaseProfiler::last_progress(r);
+                format!(
+                    "{:?} {:?} {:?}: last boundary {b:?} at cycle {at} ({} cycles ago)",
+                    r.requester,
+                    r.line,
+                    r.class,
+                    self.now.saturating_sub(at)
+                )
+            })
+            .collect();
+        Diagnosis {
+            nodes,
+            busy_lines,
+            stuck_transactions,
+            recent_events: self.tracer.ring_dump(),
+            faults: self.fault_summary(),
         }
-        panic!(
-            "{:?} {} x{} ({}-way) did not quiesce in {max_cycles} cycles:{diag}",
-            self.cfg.model, self.app, self.cfg.nodes, self.cfg.app_threads
-        );
     }
 
     /// Gather statistics from every component.

@@ -3,7 +3,7 @@
 //! timestamped [`TimedQueue`] used where per-item waiting time feeds the
 //! latency-decomposition profiler.
 
-use smtp_types::{Cycle, Distribution};
+use smtp_types::{Cycle, Distribution, FaultWindows};
 use std::collections::VecDeque;
 
 /// A bounded FIFO with occupancy statistics.
@@ -101,6 +101,9 @@ pub struct TimedQueue<T> {
     peak: usize,
     total: u64,
     wait: Distribution,
+    /// Injected stall windows; `None` (the default) costs one branch per
+    /// `pop_due`.
+    stall: Option<Box<FaultWindows>>,
 }
 
 impl<T> TimedQueue<T> {
@@ -111,7 +114,26 @@ impl<T> TimedQueue<T> {
             peak: 0,
             total: 0,
             wait: Distribution::new(),
+            stall: None,
         }
+    }
+
+    /// Arm seeded stall-window fault injection: while a window is open,
+    /// [`TimedQueue::pop_due`] refuses to dequeue (the queue's consumer
+    /// freezes), modeling transient memory-controller dispatch stalls.
+    pub fn set_stall(&mut self, windows: FaultWindows) {
+        self.stall = Some(Box::new(windows));
+    }
+
+    /// Stall windows opened so far.
+    pub fn stall_windows(&self) -> u64 {
+        self.stall.as_ref().map_or(0, |w| w.opened())
+    }
+
+    /// End cycle of a stall window opened since the last call, if any
+    /// (lets the owner emit one trace event per window).
+    pub fn stall_opened(&mut self) -> Option<Cycle> {
+        self.stall.as_mut().and_then(|w| w.take_newly_opened())
     }
 
     /// Enqueue an item that becomes ready at cycle `at`.
@@ -127,7 +149,13 @@ impl<T> TimedQueue<T> {
     }
 
     /// Dequeue the oldest item if it is ready, recording its queue wait.
+    /// Returns `None` while an injected stall window is open.
     pub fn pop_due(&mut self, now: Cycle) -> Option<T> {
+        if let Some(w) = self.stall.as_deref_mut() {
+            if w.stalled(now) {
+                return None;
+            }
+        }
         if !self.is_ready(now) {
             return None;
         }
@@ -223,6 +251,32 @@ mod tests {
         assert_eq!(q.pop_due(11), None);
         assert_eq!(q.pop_due(20), Some('b'));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stall_window_freezes_pop_due() {
+        use smtp_types::{FaultConfig, StallFaults};
+        let mut cfg = FaultConfig::chaos(3);
+        cfg.dispatch_stall = StallFaults {
+            window_per_million: 1_000_000, // every check opens a window
+            window_cycles: 30,
+            check_every: 64,
+        };
+        let mut q = TimedQueue::new();
+        q.set_stall(FaultWindows::new(
+            cfg.stream(smtp_types::faults::SITE_DISPATCH),
+            &cfg.dispatch_stall,
+        ));
+        q.push(0, 'a');
+        // The first check (cycle 0) opens a 30-cycle window.
+        assert_eq!(q.pop_due(0), None);
+        assert_eq!(q.stall_windows(), 1);
+        let until = q.stall_opened().expect("window opened");
+        assert_eq!(until, 30);
+        assert_eq!(q.stall_opened(), None); // reported once
+        assert_eq!(q.pop_due(20), None); // still inside the window
+                                         // Past the window, before the next check (cycle 64): dequeues.
+        assert_eq!(q.pop_due(40), Some('a'));
     }
 
     #[test]

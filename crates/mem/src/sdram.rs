@@ -8,7 +8,8 @@
 //! with application transfers (paper §2.1).
 
 use smtp_trace::{Category, Event, Tracer};
-use smtp_types::{Cycle, Distribution, NodeId, L2_LINE};
+use smtp_types::faults::SITE_ECC;
+use smtp_types::{Cycle, Distribution, EccFaults, FaultConfig, FaultStream, NodeId, L2_LINE};
 
 /// One SDRAM channel: a bandwidth-limited pipe with fixed access latency.
 /// `wait` is the distribution of bank-queue delays — cycles an access
@@ -18,6 +19,17 @@ struct Channel {
     next_free: Cycle,
     busy_cycles: u64,
     wait: Distribution,
+}
+
+/// Armed ECC fault-injection state (reads only: ECC detection happens on
+/// the read path of a real controller).
+#[derive(Clone, Debug)]
+struct EccState {
+    stream: FaultStream,
+    cfg: EccFaults,
+    corrected: u64,
+    uncorrected: u64,
+    first_uncorrectable: Option<(Cycle, bool)>,
 }
 
 /// The per-node SDRAM.
@@ -31,6 +43,8 @@ pub struct Sdram {
     writes: u64,
     node: NodeId,
     tracer: Tracer,
+    /// ECC fault injection; `None` (the default) costs one branch per read.
+    ecc: Option<Box<EccState>>,
 }
 
 impl Sdram {
@@ -47,7 +61,69 @@ impl Sdram {
             writes: 0,
             node: NodeId(0),
             tracer: Tracer::disabled(),
+            ecc: None,
         }
+    }
+
+    /// Arm ECC fault injection for this node's memory. A no-op unless
+    /// `faults` is enabled with a non-zero ECC rate.
+    pub fn set_faults(&mut self, faults: &FaultConfig, node: NodeId) {
+        if !faults.enabled || !faults.ecc.any() {
+            return;
+        }
+        self.ecc = Some(Box::new(EccState {
+            stream: faults.stream(SITE_ECC ^ u64::from(node.0)),
+            cfg: faults.ecc,
+            corrected: 0,
+            uncorrected: 0,
+            first_uncorrectable: None,
+        }));
+    }
+
+    /// Roll the ECC dice for one read: a corrected single-bit error adds
+    /// the correction penalty; an uncorrectable error is recorded for the
+    /// watchdog and poisons the returned data (timing unchanged).
+    #[cold]
+    fn ecc_roll(&mut self, now: Cycle, ready: Cycle, protocol: bool) -> Cycle {
+        let ecc = self.ecc.as_mut().expect("ecc armed");
+        let node = self.node;
+        if ecc.stream.fires(ecc.cfg.uncorrectable_per_million) {
+            ecc.uncorrected += 1;
+            if ecc.first_uncorrectable.is_none() {
+                ecc.first_uncorrectable = Some((now, protocol));
+            }
+            self.tracer.emit(Category::Fault, now, || Event::EccFault {
+                node,
+                uncorrectable: true,
+                protocol,
+            });
+            ready
+        } else if ecc.stream.fires(ecc.cfg.correctable_per_million) {
+            ecc.corrected += 1;
+            self.tracer.emit(Category::Fault, now, || Event::EccFault {
+                node,
+                uncorrectable: false,
+                protocol,
+            });
+            ready + ecc.cfg.correction_cycles
+        } else {
+            ready
+        }
+    }
+
+    /// Reads with a corrected single-bit error.
+    pub fn ecc_corrected(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.corrected)
+    }
+
+    /// Reads with an uncorrectable multi-bit error.
+    pub fn ecc_uncorrectable(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.uncorrected)
+    }
+
+    /// First uncorrectable error, if any: `(cycle, protocol_channel)`.
+    pub fn first_uncorrectable(&self) -> Option<(Cycle, bool)> {
+        self.ecc.as_ref().and_then(|e| e.first_uncorrectable)
     }
 
     /// Attach the system tracer (events: `sdram_read`, `sdram_write`),
@@ -75,7 +151,10 @@ impl Sdram {
     /// Read a line on the main channel; returns the data-ready cycle.
     pub fn read(&mut self, now: Cycle) -> Cycle {
         self.reads += 1;
-        let ready = Self::schedule(&mut self.main, now, self.per_line, self.access);
+        let mut ready = Self::schedule(&mut self.main, now, self.per_line, self.access);
+        if self.ecc.is_some() {
+            ready = self.ecc_roll(now, ready, false);
+        }
         let node = self.node;
         self.tracer.emit(Category::Sdram, now, || Event::SdramRead {
             node,
@@ -101,7 +180,10 @@ impl Sdram {
     /// Read a line on the dedicated protocol channel.
     pub fn read_protocol(&mut self, now: Cycle) -> Cycle {
         self.reads += 1;
-        let ready = Self::schedule(&mut self.protocol, now, self.per_line, self.access);
+        let mut ready = Self::schedule(&mut self.protocol, now, self.per_line, self.access);
+        if self.ecc.is_some() {
+            ready = self.ecc_roll(now, ready, true);
+        }
         let node = self.node;
         self.tracer.emit(Category::Sdram, now, || Event::SdramRead {
             node,
@@ -207,6 +289,41 @@ mod tests {
         s.read(0);
         // Long idle gap: next access starts immediately at `now`.
         assert_eq!(s.read(10_000), 10_160);
+    }
+
+    #[test]
+    fn ecc_faults_add_latency_and_are_recorded() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        let mut cfg = FaultConfig::chaos(11);
+        cfg.ecc.correctable_per_million = 1_000_000; // every read
+        cfg.ecc.uncorrectable_per_million = 0;
+        cfg.ecc.correction_cycles = 24;
+        s.set_faults(&cfg, NodeId(2));
+        assert_eq!(s.read(0), 160 + 24);
+        assert_eq!(s.ecc_corrected(), 1);
+        assert_eq!(s.ecc_uncorrectable(), 0);
+        assert!(s.first_uncorrectable().is_none());
+    }
+
+    #[test]
+    fn uncorrectable_errors_poison_without_latency() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        let mut cfg = FaultConfig::chaos(12);
+        cfg.ecc.correctable_per_million = 0;
+        cfg.ecc.uncorrectable_per_million = 1_000_000;
+        s.set_faults(&cfg, NodeId(0));
+        assert_eq!(s.read(7), 7 + 160);
+        assert_eq!(s.read_protocol(9), 9 + 160);
+        assert_eq!(s.ecc_uncorrectable(), 2);
+        assert_eq!(s.first_uncorrectable(), Some((7, false)));
+    }
+
+    #[test]
+    fn disabled_faults_leave_timing_untouched() {
+        let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
+        s.set_faults(&FaultConfig::default(), NodeId(0));
+        assert_eq!(s.read(0), 160);
+        assert_eq!(s.ecc_corrected(), 0);
     }
 
     #[test]

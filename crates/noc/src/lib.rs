@@ -18,6 +18,7 @@
 //! order per route) at a fraction of the simulation cost of a flit-level
 //! model; see DESIGN.md §2.
 
+pub mod llp;
 pub mod msg;
 pub mod network;
 pub mod topology;

@@ -1,9 +1,13 @@
 //! The network timing model: eager link reservation over the topology.
 
+use crate::llp::{ChanKey, Llp, PhysBody};
 use crate::msg::{Msg, MsgKind};
 use crate::topology::Topology;
-use smtp_trace::{Category, Event, Tracer};
-use smtp_types::{Cycle, Distribution, NetParams, PhaseBoundary, PhaseProfiler};
+use smtp_trace::{Category, Event, LinkFaultClass, Tracer};
+use smtp_types::{
+    Cycle, Distribution, FaultConfig, FaultSummary, NetParams, PhaseBoundary, PhaseProfiler,
+    L2_LINE,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -70,6 +74,9 @@ pub struct Network {
     tracer: Tracer,
     profiler: PhaseProfiler,
     vnet_latency: [Distribution; 4],
+    /// Link-level retry layer; present only when link fault injection is
+    /// armed, so the fault-free path costs exactly one branch per call.
+    llp: Option<Box<Llp>>,
 }
 
 impl Network {
@@ -91,7 +98,30 @@ impl Network {
             tracer: Tracer::disabled(),
             profiler: PhaseProfiler::disabled(),
             vnet_latency: std::array::from_fn(|_| Distribution::new()),
+            llp: None,
         }
+    }
+
+    /// Arm link fault injection and the Spider-style link-level retry layer
+    /// that recovers from it. A no-op (and zero overhead) unless `faults`
+    /// is enabled with at least one non-zero link rate.
+    pub fn set_faults(&mut self, faults: &FaultConfig) {
+        if !faults.enabled || !faults.link.any() {
+            return;
+        }
+        // Base retransmit timeout: several worst-case data-packet flight
+        // times through the hypercube, so healthy traffic never times out.
+        let data_ser = ((self.header_bytes + L2_LINE) as f64 * self.cycles_per_byte).ceil() as u64;
+        let max_links = self.topo.dims() as u64 + 2;
+        let timeout0 = (4 * max_links * (self.hop_cycles + data_ser)).max(64);
+        let stream = faults.stream(smtp_types::faults::SITE_LINK);
+        self.llp = Some(Box::new(Llp::new(stream, faults.link, timeout0)));
+    }
+
+    /// Injected-fault and recovery counters (all zero when the retry layer
+    /// is not armed).
+    pub fn fault_counters(&self) -> FaultSummary {
+        self.llp.as_ref().map(|l| l.counters).unwrap_or_default()
     }
 
     /// Attach the system tracer (events: `net_inject`, `net_deliver`).
@@ -126,6 +156,10 @@ impl Network {
     /// Panics if `msg.src == msg.dst` (local traffic never enters the
     /// network) — see [`Topology::route`].
     pub fn inject(&mut self, now: Cycle, msg: Msg) {
+        if self.llp.is_some() {
+            self.inject_llp(now, msg);
+            return;
+        }
         let bytes = msg.wire_bytes(self.header_bytes);
         let ser = (bytes as f64 * self.cycles_per_byte).ceil() as u64;
         let mut route = std::mem::take(&mut self.route_buf);
@@ -176,7 +210,14 @@ impl Network {
     }
 
     /// Pop the next message whose arrival time is ≤ `now`, if any.
+    ///
+    /// With the retry layer armed this also services physical arrivals,
+    /// acks and retransmit timers, so it must be polled as the clock
+    /// advances even when no delivery is expected.
     pub fn pop_arrived(&mut self, now: Cycle) -> Option<Msg> {
+        if self.llp.is_some() {
+            return self.pop_arrived_llp(now);
+        }
         if self.in_flight.peek().is_some_and(|Reverse(f)| f.at <= now) {
             let Reverse(f) = self.in_flight.pop()?;
             self.tracer
@@ -194,18 +235,220 @@ impl Network {
     }
 
     /// Cycle at which the next in-flight message arrives (for idle skip).
+    /// With the retry layer armed this also covers physical packets and
+    /// retransmit timers (0 = a delivery is already queued).
     pub fn next_arrival(&self) -> Option<Cycle> {
+        if let Some(llp) = &self.llp {
+            return llp.next_event();
+        }
         self.in_flight.peek().map(|Reverse(f)| f.at)
     }
 
-    /// Number of messages currently in flight.
+    /// Number of logical messages injected but not yet delivered.
     pub fn in_flight_count(&self) -> usize {
+        if let Some(llp) = &self.llp {
+            return llp.logical_in_flight;
+        }
         self.in_flight.len()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    // --- link-level retry path (armed by `set_faults`) ------------------
+
+    /// Inject through the retry layer: assign the channel sequence number,
+    /// buffer for retransmission, and launch the first physical copy.
+    fn inject_llp(&mut self, now: Cycle, msg: Msg) {
+        let mut llp = self.llp.take().expect("llp armed");
+        let vnet = msg.vnet().idx();
+        let key: ChanKey = (msg.src.0, msg.dst.0, vnet as u8);
+        let chan = llp.channels.entry(key).or_default();
+        if chan.next_send_seq == 0 && chan.next_deliver == 0 {
+            // Fresh channel: fix its ack return latency (acks are small
+            // control packets riding Spider's reliable sideband, so they
+            // pay hop and header-serialization time but never fault and
+            // never contend for data bandwidth).
+            let links = u64::from(self.topo.hops(msg.src, msg.dst)) + 1;
+            let header_ser = (self.header_bytes as f64 * self.cycles_per_byte).ceil() as u64;
+            chan.ack_lat = links * self.hop_cycles + header_ser;
+        }
+        let seq = chan.next_send_seq;
+        chan.next_send_seq += 1;
+        let arrival = self.phys_transmit(&mut llp, now, key, seq, msg, now);
+        llp.track_unacked(key, seq, msg, now, arrival.max(now));
+        llp.logical_in_flight += 1;
+        self.llp = Some(llp);
+        self.stats.messages += 1;
+        self.stats.per_vnet[vnet] += 1;
+        self.tracer
+            .emit(Category::Network, now, || Event::NetInject {
+                src: msg.src,
+                dst: msg.dst,
+                line: msg.addr,
+                msg: msg.kind.trace_label(),
+                vnet: vnet as u8,
+                deliver_at: arrival,
+            });
+    }
+
+    /// One physical transmission of `(key, seq)`: reserve route links for
+    /// bandwidth, then roll the fault dice in a fixed order (delay, drop,
+    /// corrupt, duplicate). Returns the (post-delay) nominal arrival cycle.
+    fn phys_transmit(
+        &mut self,
+        llp: &mut Llp,
+        now: Cycle,
+        key: ChanKey,
+        seq: u64,
+        msg: Msg,
+        sent_at: Cycle,
+    ) -> Cycle {
+        let bytes = msg.wire_bytes(self.header_bytes);
+        let ser = (bytes as f64 * self.cycles_per_byte).ceil() as u64;
+        let mut route = std::mem::take(&mut self.route_buf);
+        self.topo.route(msg.src, msg.dst, &mut route);
+        let mut cur = now;
+        for &l in &route {
+            let start = cur.max(self.link_free[l]);
+            self.link_free[l] = start + ser;
+            cur = start + ser + self.hop_cycles;
+        }
+        self.route_buf = route;
+        self.stats.bytes += bytes;
+        let f = llp.faults;
+        let vnet = key.2;
+        let fault_ev = |fault: LinkFaultClass| Event::LinkFault {
+            src: msg.src,
+            dst: msg.dst,
+            line: msg.addr,
+            msg: msg.kind.trace_label(),
+            vnet,
+            fault,
+        };
+        if llp.stream.fires(f.delay_per_million) {
+            cur += llp.stream.magnitude(f.max_delay_cycles);
+            llp.counters.link_delays += 1;
+            self.tracer
+                .emit(Category::Fault, now, || fault_ev(LinkFaultClass::Delay));
+        }
+        if llp.stream.fires(f.drop_per_million) {
+            llp.counters.link_drops += 1;
+            self.tracer
+                .emit(Category::Fault, now, || fault_ev(LinkFaultClass::Drop));
+        } else {
+            let corrupt = llp.stream.fires(f.corrupt_per_million);
+            if corrupt {
+                llp.counters.link_crc_errors += 1;
+                self.tracer
+                    .emit(Category::Fault, now, || fault_ev(LinkFaultClass::Corrupt));
+            }
+            llp.push_phys(
+                cur,
+                key,
+                PhysBody::Data {
+                    seq,
+                    msg,
+                    sent_at,
+                    corrupt,
+                },
+            );
+        }
+        if llp.stream.fires(f.duplicate_per_million) {
+            llp.counters.link_duplicates += 1;
+            self.tracer
+                .emit(Category::Fault, now, || fault_ev(LinkFaultClass::Duplicate));
+            llp.push_phys(
+                cur + self.hop_cycles,
+                key,
+                PhysBody::Data {
+                    seq,
+                    msg,
+                    sent_at,
+                    corrupt: false,
+                },
+            );
+        }
+        cur
+    }
+
+    /// Service physical arrivals, acks and retransmit timers up to `now`,
+    /// then pop the next in-order delivery if one is queued.
+    fn pop_arrived_llp(&mut self, now: Cycle) -> Option<Msg> {
+        let mut llp = self.llp.take().expect("llp armed");
+        while llp.phys.peek().is_some_and(|Reverse(p)| p.at <= now) {
+            let Reverse(p) = llp.phys.pop().expect("peeked");
+            match p.body {
+                PhysBody::Ack { cum } => llp.receive_ack(p.key, cum),
+                PhysBody::Data {
+                    seq,
+                    msg,
+                    sent_at,
+                    corrupt,
+                } => {
+                    if corrupt {
+                        // CRC check fails at the receiving port; the
+                        // sender's retransmit timer recovers the packet.
+                        continue;
+                    }
+                    let (cum, ack_lat) = llp.receive_data(p.at, p.key, seq, msg, sent_at);
+                    llp.push_phys(p.at + ack_lat, p.key, PhysBody::Ack { cum });
+                }
+            }
+        }
+        for (key, seq, msg, sent_at, attempts) in llp.take_expired(now) {
+            llp.counters.link_retransmits += 1;
+            self.tracer
+                .emit(Category::Fault, now, || Event::LinkRetransmit {
+                    src: msg.src,
+                    dst: msg.dst,
+                    vnet: key.2,
+                    seq,
+                    attempt: attempts,
+                });
+            self.phys_transmit(&mut llp, now, key, seq, msg, sent_at);
+        }
+        let out = llp.ready.pop_front();
+        if out.is_some() {
+            llp.logical_in_flight -= 1;
+        }
+        self.llp = Some(llp);
+        let r = out?;
+        let lat = r.delivered_at.saturating_sub(r.sent_at);
+        self.stats.total_latency += lat;
+        self.vnet_latency[r.msg.vnet().idx()].record(lat);
+        if self.profiler.is_enabled() {
+            match r.msg.kind {
+                MsgKind::GetS | MsgKind::GetX | MsgKind::Upgrade => {
+                    self.profiler.stamp(
+                        r.msg.src,
+                        r.msg.addr,
+                        PhaseBoundary::ReqDelivered,
+                        r.delivered_at,
+                    );
+                }
+                MsgKind::DataShared | MsgKind::DataExcl { .. } | MsgKind::UpgradeAck { .. } => {
+                    self.profiler.stamp(
+                        r.msg.dst,
+                        r.msg.addr,
+                        PhaseBoundary::ReplyDelivered,
+                        r.delivered_at,
+                    );
+                }
+                _ => {}
+            }
+        }
+        self.tracer
+            .emit(Category::Network, r.delivered_at, || Event::NetDeliver {
+                src: r.msg.src,
+                dst: r.msg.dst,
+                line: r.msg.addr,
+                msg: r.msg.kind.trace_label(),
+                vnet: r.msg.vnet().idx() as u8,
+            });
+        Some(r.msg)
     }
 }
 
@@ -298,6 +541,42 @@ mod tests {
         n2.inject(0, m(MsgKind::GetS, 0, 15)); // 3 dims away
         let far = n2.next_arrival().unwrap();
         assert!(far > near);
+    }
+
+    #[test]
+    fn llp_recovers_from_heavy_faults() {
+        let mut n = net(4);
+        let mut cfg = FaultConfig::chaos(0xBEEF);
+        cfg.link.drop_per_million = 300_000;
+        n.set_faults(&cfg);
+        for i in 0..20u64 {
+            n.inject(i * 10, m(MsgKind::GetS, 0, 1));
+        }
+        assert_eq!(n.in_flight_count(), 20);
+        let (mut got, mut now) = (0, 0);
+        while got < 20 && now < 1_000_000 {
+            while n.pop_arrived(now).is_some() {
+                got += 1;
+            }
+            now += 32;
+        }
+        assert_eq!(got, 20, "retry layer must deliver every message");
+        assert_eq!(n.in_flight_count(), 0);
+        assert_eq!(n.stats().messages, 20);
+        let c = n.fault_counters();
+        assert!(c.link_drops > 0, "30% drop rate must have fired");
+        assert!(c.link_retransmits > 0, "drops must have forced retransmits");
+    }
+
+    #[test]
+    fn faults_disabled_is_a_noop() {
+        let mut a = net(2);
+        let mut b = net(2);
+        b.set_faults(&FaultConfig::default()); // disabled: must not arm LLP
+        a.inject(0, m(MsgKind::GetS, 0, 1));
+        b.inject(0, m(MsgKind::GetS, 0, 1));
+        assert_eq!(a.next_arrival(), b.next_arrival());
+        assert!(!b.fault_counters().any());
     }
 
     #[test]

@@ -184,6 +184,19 @@ impl Directory {
         self.states.values().any(|s| s.is_busy())
     }
 
+    /// All materialized directory entries, sorted by line address — the
+    /// online coherence-sanitizer's iteration surface. Absent lines are
+    /// `Unowned` and need no checking.
+    pub fn entries(&self) -> Vec<(LineAddr, DirState)> {
+        let mut out: Vec<(LineAddr, DirState)> = self
+            .states
+            .iter()
+            .map(|(&raw, &s)| (LineAddr(raw), s))
+            .collect();
+        out.sort_by_key(|(l, _)| l.raw());
+        out
+    }
+
     /// Busy lines and their states (deadlock diagnostics).
     pub fn busy_lines(&self) -> Vec<(LineAddr, DirState)> {
         self.states

@@ -1,0 +1,185 @@
+//! Fault-injection governor for home-side handler dispatch.
+//!
+//! Models two protocol-side failure modes from the fault plan: **transient
+//! protocol-thread starvation** (the dispatch unit is denied new handlers
+//! for a whole window, as if the thread lost its fetch slots) and
+//! **delayed handler dispatch** (an individual handler's dispatch is pushed
+//! back a fixed number of cycles). Both draw from dedicated seeded streams
+//! so runs are reproducible, and a disabled governor costs one predictable
+//! branch per dispatch edge.
+
+use smtp_types::faults::{SITE_HANDLER, SITE_STARVE};
+use smtp_types::{Cycle, FaultConfig, FaultStream, FaultWindows, NodeId};
+
+/// Armed governor state (heap-allocated so the disabled case stays one
+/// pointer test).
+#[derive(Clone, Debug)]
+struct GovState {
+    starvation: FaultWindows,
+    handler: FaultStream,
+    delay_per_million: u32,
+    delay_cycles: u64,
+    delayed_until: Cycle,
+    handler_delays: u64,
+    newly_delayed: Option<Cycle>,
+}
+
+/// Gates home-side handler dispatch under injected faults. Disabled by
+/// default ([`DispatchGovernor::disabled`]); [`DispatchGovernor::allow`] is
+/// then a single branch.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchGovernor {
+    state: Option<Box<GovState>>,
+}
+
+impl DispatchGovernor {
+    /// A governor that always allows dispatch.
+    pub fn disabled() -> DispatchGovernor {
+        DispatchGovernor { state: None }
+    }
+
+    /// Build from the system fault plan; stays disabled unless `faults`
+    /// enables starvation windows or handler delays.
+    pub fn from_faults(faults: &FaultConfig, node: NodeId) -> DispatchGovernor {
+        if !faults.enabled || (!faults.starvation.any() && !faults.handler_delay.any()) {
+            return DispatchGovernor::disabled();
+        }
+        DispatchGovernor {
+            state: Some(Box::new(GovState {
+                starvation: FaultWindows::new(
+                    faults.stream(SITE_STARVE ^ u64::from(node.0)),
+                    &faults.starvation,
+                ),
+                handler: faults.stream(SITE_HANDLER ^ u64::from(node.0)),
+                delay_per_million: faults.handler_delay.delay_per_million,
+                delay_cycles: faults.handler_delay.delay_cycles,
+                delayed_until: 0,
+                handler_delays: 0,
+                newly_delayed: None,
+            })),
+        }
+    }
+
+    /// Whether the dispatch unit may start a new handler at `now`. Rolls
+    /// the starvation window first (it freezes the whole unit), then the
+    /// per-handler delay (it pushes this dispatch edge back).
+    pub fn allow(&mut self, now: Cycle) -> bool {
+        let Some(g) = self.state.as_deref_mut() else {
+            return true;
+        };
+        if g.starvation.stalled(now) {
+            return false;
+        }
+        if now < g.delayed_until {
+            return false;
+        }
+        if g.delay_per_million > 0 && g.handler.fires(g.delay_per_million) {
+            g.delayed_until = now + g.delay_cycles;
+            g.handler_delays += 1;
+            g.newly_delayed = Some(g.delayed_until);
+            return false;
+        }
+        true
+    }
+
+    /// Starvation windows opened so far.
+    pub fn starvation_windows(&self) -> u64 {
+        self.state.as_ref().map_or(0, |g| g.starvation.opened())
+    }
+
+    /// Handler dispatches delayed so far.
+    pub fn handler_delays(&self) -> u64 {
+        self.state.as_ref().map_or(0, |g| g.handler_delays)
+    }
+
+    /// End cycle of a starvation window opened since the last call (one
+    /// trace event per window).
+    pub fn starvation_opened(&mut self) -> Option<Cycle> {
+        self.state
+            .as_deref_mut()
+            .and_then(|g| g.starvation.take_newly_opened())
+    }
+
+    /// End cycle of a handler delay injected since the last call (one
+    /// trace event per delay).
+    pub fn handler_delayed(&mut self) -> Option<Cycle> {
+        self.state
+            .as_deref_mut()
+            .and_then(|g| g.newly_delayed.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{HandlerDelayFaults, StallFaults};
+
+    fn base(seed: u64) -> FaultConfig {
+        FaultConfig {
+            enabled: true,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn disabled_always_allows() {
+        let mut g = DispatchGovernor::disabled();
+        for now in 0..100 {
+            assert!(g.allow(now));
+        }
+        assert_eq!(g.starvation_windows(), 0);
+        assert_eq!(g.handler_delays(), 0);
+        // An all-off config also stays disabled.
+        let g = DispatchGovernor::from_faults(&base(1), NodeId(0));
+        assert!(g.state.is_none());
+    }
+
+    #[test]
+    fn starvation_window_blocks_dispatch() {
+        let mut cfg = base(7);
+        cfg.starvation = StallFaults {
+            window_per_million: 1_000_000,
+            window_cycles: 50,
+            check_every: 128,
+        };
+        let mut g = DispatchGovernor::from_faults(&cfg, NodeId(1));
+        assert!(!g.allow(0), "first check opens a window");
+        assert_eq!(g.starvation_windows(), 1);
+        assert_eq!(g.starvation_opened(), Some(50));
+        assert!(!g.allow(49));
+        assert!(g.allow(60), "window over, next roll at 128");
+    }
+
+    #[test]
+    fn handler_delay_pushes_back_one_edge() {
+        let mut cfg = base(9);
+        cfg.handler_delay = HandlerDelayFaults {
+            delay_per_million: 1_000_000,
+            delay_cycles: 40,
+        };
+        let mut g = DispatchGovernor::from_faults(&cfg, NodeId(0));
+        assert!(!g.allow(10), "delay fires");
+        assert_eq!(g.handler_delays(), 1);
+        assert_eq!(g.handler_delayed(), Some(50));
+        assert_eq!(g.handler_delayed(), None);
+        assert!(!g.allow(30), "still inside the delay");
+        // At 50 the delay has elapsed but (rate = certain) a new one fires.
+        assert!(!g.allow(50));
+        assert_eq!(g.handler_delays(), 2);
+    }
+
+    #[test]
+    fn streams_differ_per_node() {
+        let mut cfg = base(3);
+        cfg.handler_delay = HandlerDelayFaults {
+            delay_per_million: 300_000,
+            delay_cycles: 10,
+        };
+        let mut a = DispatchGovernor::from_faults(&cfg, NodeId(0));
+        let mut b = DispatchGovernor::from_faults(&cfg, NodeId(5));
+        let pa: Vec<bool> = (0..64).map(|i| a.allow(i * 100)).collect();
+        let pb: Vec<bool> = (0..64).map(|i| b.allow(i * 100)).collect();
+        assert_ne!(pa, pb, "per-node streams must decorrelate");
+    }
+}

@@ -21,10 +21,12 @@
 //!   graduated like any other thread.
 
 pub mod directory;
+pub mod governor;
 pub mod handlers;
 pub mod transition;
 
 pub use directory::{DirState, DirStats, Directory};
+pub use governor::DispatchGovernor;
 pub use handlers::{handler_base_pc, handler_program, pc_to_addr, HandlerKind, HandlerStats};
 pub use transition::{handle, Outcome, Transition};
 

@@ -27,10 +27,13 @@ pub enum Category {
     Sdram = 4,
     /// Synchronization: lock acquire/release, barrier arrival/completion.
     Sync = 5,
+    /// Fault injection and recovery: link faults and retransmissions, ECC
+    /// errors, stall windows, watchdog escalation.
+    Fault = 6,
 }
 
 /// Number of [`Category`] variants.
-pub const NUM_CATEGORIES: usize = 6;
+pub const NUM_CATEGORIES: usize = 7;
 
 impl Category {
     /// Mask with every category enabled.
@@ -51,6 +54,55 @@ impl Category {
             Category::Network => "network",
             Category::Sdram => "sdram",
             Category::Sync => "sync",
+            Category::Fault => "fault",
+        }
+    }
+}
+
+/// What happened to a physical packet at a faulty link (mirrors the
+/// injection dimensions of `smtp_types::faults::LinkFaults`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkFaultClass {
+    /// The packet vanished in flight.
+    Drop,
+    /// The payload was corrupted; the receiver's CRC check discarded it.
+    Corrupt,
+    /// The router emitted a duplicate copy.
+    Duplicate,
+    /// The packet was delayed in flight.
+    Delay,
+}
+
+impl LinkFaultClass {
+    /// Stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkFaultClass::Drop => "drop",
+            LinkFaultClass::Corrupt => "corrupt",
+            LinkFaultClass::Duplicate => "duplicate",
+            LinkFaultClass::Delay => "delay",
+        }
+    }
+}
+
+/// Which unit a stall-window fault froze.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StallClass {
+    /// Memory-controller dispatch queues stopped popping.
+    DispatchQueue,
+    /// The protocol thread was starved of dispatch slots.
+    Starvation,
+    /// A single handler's dispatch was held back.
+    HandlerDelay,
+}
+
+impl StallClass {
+    /// Stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallClass::DispatchQueue => "dispatch_queue",
+            StallClass::Starvation => "starvation",
+            StallClass::HandlerDelay => "handler_delay",
         }
     }
 }
@@ -444,6 +496,63 @@ pub enum Event {
         /// Barrier identifier.
         bar: u32,
     },
+
+    // --- Fault / recovery ----------------------------------------------
+    /// An injected fault hit a physical packet on a link.
+    LinkFault {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Subject line.
+        line: LineAddr,
+        /// Message label.
+        msg: MsgLabel,
+        /// Virtual network index.
+        vnet: u8,
+        /// What the fault did to the packet.
+        fault: LinkFaultClass,
+    },
+    /// The link-level retry layer retransmitted an unacknowledged packet.
+    LinkRetransmit {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Virtual network index.
+        vnet: u8,
+        /// Channel sequence number of the retransmitted packet.
+        seq: u64,
+        /// Retransmission attempt count for this packet (1-based).
+        attempt: u32,
+    },
+    /// An SDRAM read hit an injected ECC error.
+    EccFault {
+        /// Node whose memory was read.
+        node: NodeId,
+        /// Multi-bit (uncorrectable) vs corrected single-bit error.
+        uncorrectable: bool,
+        /// Directory/protocol traffic (vs application data).
+        protocol: bool,
+    },
+    /// An injected stall window opened.
+    StallWindow {
+        /// Afflicted node.
+        node: NodeId,
+        /// Which unit froze.
+        kind: StallClass,
+        /// Cycle the window closes.
+        until: Cycle,
+    },
+    /// The forward-progress watchdog observed a stagnant machine and
+    /// escalated; level 1 is the first warning, higher levels precede a
+    /// structured `RunError`.
+    WatchdogWarn {
+        /// Escalation level (1-based).
+        level: u8,
+        /// Cycles since the watchdog last saw progress.
+        stalled_for: Cycle,
+    },
 }
 
 impl Event {
@@ -468,6 +577,11 @@ impl Event {
             | Event::LockRelease { .. }
             | Event::BarrierArrive { .. }
             | Event::BarrierComplete { .. } => Category::Sync,
+            Event::LinkFault { .. }
+            | Event::LinkRetransmit { .. }
+            | Event::EccFault { .. }
+            | Event::StallWindow { .. }
+            | Event::WatchdogWarn { .. } => Category::Fault,
         }
     }
 
@@ -494,6 +608,11 @@ impl Event {
             Event::LockRelease { .. } => "lock_release",
             Event::BarrierArrive { .. } => "barrier_arrive",
             Event::BarrierComplete { .. } => "barrier_complete",
+            Event::LinkFault { .. } => "link_fault",
+            Event::LinkRetransmit { .. } => "link_retransmit",
+            Event::EccFault { .. } => "ecc_fault",
+            Event::StallWindow { .. } => "stall_window",
+            Event::WatchdogWarn { .. } => "watchdog_warn",
         }
     }
 
@@ -518,9 +637,14 @@ impl Event {
             | Event::LockFail { node, .. }
             | Event::LockRelease { node, .. }
             | Event::BarrierArrive { node, .. }
-            | Event::BarrierComplete { node, .. } => node,
+            | Event::BarrierComplete { node, .. }
+            | Event::EccFault { node, .. }
+            | Event::StallWindow { node, .. } => node,
             Event::NetInject { src, .. } => src,
             Event::NetDeliver { dst, .. } => dst,
+            Event::LinkFault { src, .. } | Event::LinkRetransmit { src, .. } => src,
+            // The watchdog speaks for the whole machine.
+            Event::WatchdogWarn { .. } => NodeId(0),
         }
     }
 
@@ -537,7 +661,8 @@ impl Event {
             | Event::DirDefer { line, .. }
             | Event::NetInject { line, .. }
             | Event::NetDeliver { line, .. }
-            | Event::LocalMsg { line, .. } => Some(line),
+            | Event::LocalMsg { line, .. }
+            | Event::LinkFault { line, .. } => Some(line),
             _ => None,
         }
     }
@@ -723,6 +848,61 @@ impl Event {
                     node.0, ctx.0, bar
                 );
             }
+            Event::LinkFault {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+                fault,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"src\":{},\"dst\":{},\"line\":\"{:#x}\",\"msg\":\"{}\",\"vn\":{},\"fault\":\"{}\"",
+                    src.0,
+                    dst.0,
+                    line.raw(),
+                    msg.name(),
+                    vnet,
+                    fault.name()
+                );
+            }
+            Event::LinkRetransmit {
+                src,
+                dst,
+                vnet,
+                seq,
+                attempt,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"src\":{},\"dst\":{},\"vn\":{},\"seq\":{},\"attempt\":{}",
+                    src.0, dst.0, vnet, seq, attempt
+                );
+            }
+            Event::EccFault {
+                node,
+                uncorrectable,
+                protocol,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"uncorrectable\":{},\"protocol\":{}",
+                    node.0, uncorrectable, protocol
+                );
+            }
+            Event::StallWindow { node, kind, until } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{},\"kind\":\"{}\",\"until\":{}",
+                    node.0,
+                    kind.name(),
+                    until
+                );
+            }
+            Event::WatchdogWarn { level, stalled_for } => {
+                let _ = write!(out, ",\"level\":{level},\"stalled_for\":{stalled_for}");
+            }
         }
         out.push_str("}\n");
     }
@@ -805,6 +985,41 @@ impl fmt::Display for Event {
                 line.raw(),
                 from.name(),
                 to.name()
+            ),
+            Event::LinkFault {
+                src,
+                dst,
+                line,
+                msg,
+                vnet,
+                fault,
+            } => write!(
+                f,
+                "n{}->n{} link fault {} on {} vn{} line {:#x}",
+                src.0,
+                dst.0,
+                fault.name(),
+                msg.name(),
+                vnet,
+                line.raw()
+            ),
+            Event::LinkRetransmit {
+                src,
+                dst,
+                vnet,
+                seq,
+                attempt,
+            } => write!(
+                f,
+                "n{}->n{} retransmit vn{} seq {} (attempt {})",
+                src.0, dst.0, vnet, seq, attempt
+            ),
+            Event::StallWindow { node, kind, until } => {
+                write!(f, "n{} {} stall until {}", node.0, kind.name(), until)
+            }
+            Event::WatchdogWarn { level, stalled_for } => write!(
+                f,
+                "watchdog warning level {level}: no progress for {stalled_for} cycles"
             ),
             _ => {
                 write!(f, "n{} {}", self.node().0, self.name())?;

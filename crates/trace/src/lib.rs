@@ -37,7 +37,10 @@ pub mod metrics;
 pub mod sink;
 pub mod tracer;
 
-pub use event::{Category, DirClass, Event, GrantClass, HandlerClass, MissClass, MsgLabel};
+pub use event::{
+    Category, DirClass, Event, GrantClass, HandlerClass, LinkFaultClass, MissClass, MsgLabel,
+    StallClass,
+};
 pub use metrics::IntervalSampler;
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SharedBuf, TraceSink};
 pub use tracer::Tracer;

@@ -431,6 +431,77 @@ impl TraceSink for ChromeTraceSink {
                     &format!("\"ctx\":{},\"bar\":{bar}", ctx.0),
                 );
             }
+            Event::LinkFault {
+                dst,
+                line,
+                msg,
+                vnet,
+                fault,
+                ..
+            } => {
+                self.instant(
+                    "link_fault",
+                    node,
+                    2,
+                    now,
+                    &format!(
+                        "\"dst\":{},\"line\":\"{:#x}\",\"msg\":\"{}\",\"vn\":{vnet},\"fault\":\"{}\"",
+                        dst.0,
+                        line.raw(),
+                        msg.name(),
+                        fault.name()
+                    ),
+                );
+            }
+            Event::LinkRetransmit {
+                dst,
+                vnet,
+                seq,
+                attempt,
+                ..
+            } => {
+                self.instant(
+                    "link_retransmit",
+                    node,
+                    2,
+                    now,
+                    &format!(
+                        "\"dst\":{},\"vn\":{vnet},\"seq\":{seq},\"attempt\":{attempt}",
+                        dst.0
+                    ),
+                );
+            }
+            Event::EccFault {
+                uncorrectable,
+                protocol,
+                ..
+            } => {
+                self.instant(
+                    "ecc_fault",
+                    node,
+                    3,
+                    now,
+                    &format!("\"uncorrectable\":{uncorrectable},\"protocol\":{protocol}"),
+                );
+            }
+            Event::StallWindow { kind, until, .. } => {
+                self.instant(
+                    "stall_window",
+                    node,
+                    1,
+                    now,
+                    &format!("\"kind\":\"{}\",\"until\":{until}", kind.name()),
+                );
+            }
+            Event::WatchdogWarn { level, stalled_for } => {
+                self.instant(
+                    "watchdog_warn",
+                    node,
+                    0,
+                    now,
+                    &format!("\"level\":{level},\"stalled_for\":{stalled_for}"),
+                );
+            }
         }
     }
 

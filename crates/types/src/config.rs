@@ -354,6 +354,8 @@ pub struct SystemConfig {
     pub net: NetParams,
     /// Seed for all deterministic pseudo-randomness.
     pub seed: u64,
+    /// Fault-injection configuration (disabled by default).
+    pub faults: crate::faults::FaultConfig,
 }
 
 impl SystemConfig {
@@ -369,6 +371,7 @@ impl SystemConfig {
             mem: MemParams::default(),
             net: NetParams::default(),
             seed: 0x5317_9a7e,
+            faults: crate::faults::FaultConfig::default(),
         };
         c.validate();
         c

@@ -1,0 +1,420 @@
+//! Deterministic fault injection: configuration and seeded fault streams.
+//!
+//! Every injected fault in the simulator is drawn from a [`SplitMix64`]
+//! stream seeded from [`FaultConfig::seed`] mixed with a per-site constant,
+//! so a given `(config, seed)` pair reproduces the exact same fault schedule
+//! on every run. Rates are expressed as integer events-per-million draws —
+//! no floating point touches the hot path.
+//!
+//! With `enabled == false` (the default) every hook site reduces to a single
+//! predictable branch (an `Option`/flag test) and the simulation is
+//! cycle-for-cycle identical to a build without the subsystem.
+
+use crate::rng::SplitMix64;
+use crate::Cycle;
+
+/// One million: the denominator of all fault rates.
+pub const PER_MILLION: u64 = 1_000_000;
+
+/// Per-site seed salt: NoC link faults (mixed with a link/channel index).
+pub const SITE_LINK: u64 = 0x4C49_4E4B;
+/// Per-site seed salt: SDRAM ECC faults (mixed with the node id).
+pub const SITE_ECC: u64 = 0x4543_4300;
+/// Per-site seed salt: dispatch-queue stall windows (mixed with the node id).
+pub const SITE_DISPATCH: u64 = 0x5354_4C4C;
+/// Per-site seed salt: protocol-thread starvation windows (node-mixed).
+pub const SITE_STARVE: u64 = 0x5354_5256;
+/// Per-site seed salt: delayed handler dispatch (node-mixed).
+pub const SITE_HANDLER: u64 = 0x4841_4E44;
+
+/// Link-level fault rates, applied per *physical* packet transmission
+/// (retransmissions roll the dice again).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Chance per million transmissions that the packet vanishes in flight.
+    pub drop_per_million: u32,
+    /// Chance per million that the payload is corrupted; the receiver's CRC
+    /// check detects it and discards the packet (equivalent to a drop, but
+    /// counted separately).
+    pub corrupt_per_million: u32,
+    /// Chance per million that the router emits a duplicate copy.
+    pub duplicate_per_million: u32,
+    /// Chance per million that the packet is delayed by a uniform
+    /// `1..=max_delay_cycles` extra cycles.
+    pub delay_per_million: u32,
+    /// Maximum extra delay for a delayed packet.
+    pub max_delay_cycles: u64,
+}
+
+impl LinkFaults {
+    /// Whether any link fault can ever fire.
+    pub fn any(&self) -> bool {
+        self.drop_per_million != 0
+            || self.corrupt_per_million != 0
+            || self.duplicate_per_million != 0
+            || self.delay_per_million != 0
+    }
+}
+
+/// SDRAM ECC fault rates, applied per read access.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EccFaults {
+    /// Chance per million reads of a correctable (single-bit) error; the
+    /// controller corrects it at the cost of `correction_cycles`.
+    pub correctable_per_million: u32,
+    /// Chance per million reads of an uncorrectable (multi-bit) error. The
+    /// access completes with poisoned data; the watchdog surfaces it as
+    /// `RunError::UnrecoverableFault`.
+    pub uncorrectable_per_million: u32,
+    /// Extra latency charged for correcting a single-bit error.
+    pub correction_cycles: u64,
+}
+
+impl EccFaults {
+    /// Whether any ECC fault can ever fire.
+    pub fn any(&self) -> bool {
+        self.correctable_per_million != 0 || self.uncorrectable_per_million != 0
+    }
+}
+
+/// Stall-window fault rates: every `check_every` cycles there is a
+/// `window_per_million` chance that the afflicted unit freezes for
+/// `window_cycles`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StallFaults {
+    /// Chance per million checks that a stall window opens.
+    pub window_per_million: u32,
+    /// Length of an open stall window in cycles.
+    pub window_cycles: u64,
+    /// Interval between window rolls (in cycles).
+    pub check_every: u64,
+}
+
+impl StallFaults {
+    /// Whether windows can ever open.
+    pub fn any(&self) -> bool {
+        self.window_per_million != 0 && self.window_cycles != 0
+    }
+}
+
+/// Delayed-handler-dispatch fault rates (per dispatched handler).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HandlerDelayFaults {
+    /// Chance per million dispatches that the handler is held back.
+    pub delay_per_million: u32,
+    /// How long a delayed handler is held before it may dispatch.
+    pub delay_cycles: u64,
+}
+
+impl HandlerDelayFaults {
+    /// Whether delays can ever fire.
+    pub fn any(&self) -> bool {
+        self.delay_per_million != 0 && self.delay_cycles != 0
+    }
+}
+
+/// Complete fault-injection configuration. [`FaultConfig::default`] disables
+/// everything; [`FaultConfig::chaos`] is a moderate everything-on preset.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Master switch; when false no fault machinery is even constructed.
+    pub enabled: bool,
+    /// Seed for all fault streams (independent of the simulation seed).
+    pub seed: u64,
+    /// NoC link faults (handled by the link-level retry layer).
+    pub link: LinkFaults,
+    /// SDRAM ECC errors.
+    pub ecc: EccFaults,
+    /// Memory-controller dispatch-queue stall windows.
+    pub dispatch_stall: StallFaults,
+    /// Transient protocol-thread starvation windows.
+    pub starvation: StallFaults,
+    /// Delayed coherence-handler dispatch.
+    pub handler_delay: HandlerDelayFaults,
+}
+
+impl FaultConfig {
+    /// A moderate all-fault preset: a couple of link faults and ECC errors
+    /// per hundred thousand events plus occasional short stall windows —
+    /// enough to exercise every recovery path without drowning the machine.
+    pub fn chaos(seed: u64) -> FaultConfig {
+        FaultConfig {
+            enabled: true,
+            seed,
+            link: LinkFaults {
+                drop_per_million: 20_000,
+                corrupt_per_million: 10_000,
+                duplicate_per_million: 10_000,
+                delay_per_million: 20_000,
+                max_delay_cycles: 200,
+            },
+            ecc: EccFaults {
+                correctable_per_million: 20_000,
+                uncorrectable_per_million: 0,
+                correction_cycles: 24,
+            },
+            dispatch_stall: StallFaults {
+                window_per_million: 50_000,
+                window_cycles: 300,
+                check_every: 4096,
+            },
+            starvation: StallFaults {
+                window_per_million: 50_000,
+                window_cycles: 200,
+                check_every: 4096,
+            },
+            handler_delay: HandlerDelayFaults {
+                delay_per_million: 10_000,
+                delay_cycles: 100,
+            },
+        }
+    }
+
+    /// Whether any fault can actually fire (enabled and at least one rate
+    /// non-zero).
+    pub fn is_active(&self) -> bool {
+        self.enabled
+            && (self.link.any()
+                || self.ecc.any()
+                || self.dispatch_stall.any()
+                || self.starvation.any()
+                || self.handler_delay.any())
+    }
+
+    /// A fault stream for `site` (one of the `SITE_*` salts, typically
+    /// XOR-mixed with a node or channel index). The seed is scrambled
+    /// through one SplitMix64 step so nearby sites get unrelated streams.
+    pub fn stream(&self, site: u64) -> FaultStream {
+        let mut scramble = SplitMix64::new(self.seed ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        FaultStream {
+            rng: SplitMix64::new(scramble.next_u64()),
+        }
+    }
+}
+
+/// A seeded per-site stream of fault decisions.
+#[derive(Clone, Debug)]
+pub struct FaultStream {
+    rng: SplitMix64,
+}
+
+impl FaultStream {
+    /// Roll a `rate`-per-million event. A zero rate never draws from the
+    /// stream, so disabled fault dimensions consume no entropy.
+    pub fn fires(&mut self, per_million: u32) -> bool {
+        per_million != 0 && self.rng.below(PER_MILLION) < u64::from(per_million)
+    }
+
+    /// A uniform magnitude in `1..=max` (0 if `max` is 0).
+    pub fn magnitude(&mut self, max: u64) -> u64 {
+        if max == 0 {
+            0
+        } else {
+            self.rng.range(1, max + 1)
+        }
+    }
+}
+
+/// A seeded generator of stall windows: at most one roll per
+/// `check_every`-cycle interval, opening a `window_cycles` freeze on success.
+#[derive(Clone, Debug)]
+pub struct FaultWindows {
+    stream: FaultStream,
+    rate_per_million: u32,
+    window_cycles: u64,
+    check_every: u64,
+    until: Cycle,
+    next_check: Cycle,
+    opened: u64,
+    newly_opened: Option<Cycle>,
+}
+
+impl FaultWindows {
+    /// A window generator for `cfg`, drawing from `stream`.
+    pub fn new(stream: FaultStream, cfg: &StallFaults) -> FaultWindows {
+        FaultWindows {
+            stream,
+            rate_per_million: cfg.window_per_million,
+            window_cycles: cfg.window_cycles,
+            check_every: cfg.check_every.max(1),
+            until: 0,
+            next_check: 0,
+            opened: 0,
+            newly_opened: None,
+        }
+    }
+
+    /// Whether the afflicted unit is stalled at `now`. Rolls for a new
+    /// window at most once per `check_every` cycles.
+    pub fn stalled(&mut self, now: Cycle) -> bool {
+        if self.rate_per_million == 0 || self.window_cycles == 0 {
+            return false;
+        }
+        if now < self.until {
+            return true;
+        }
+        if now >= self.next_check {
+            self.next_check = now + self.check_every;
+            if self.stream.fires(self.rate_per_million) {
+                self.until = now + self.window_cycles;
+                self.opened += 1;
+                self.newly_opened = Some(self.until);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of windows opened so far.
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// The end cycle of a window opened since the last call, if any — lets
+    /// the owner emit one trace event per window without the generator
+    /// holding a tracer itself.
+    pub fn take_newly_opened(&mut self) -> Option<Cycle> {
+        self.newly_opened.take()
+    }
+}
+
+/// Aggregated injected-fault and recovery counters, reported in `RunStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Physical packets dropped in flight.
+    pub link_drops: u64,
+    /// Physical packets discarded by the receiver's CRC check.
+    pub link_crc_errors: u64,
+    /// Duplicate physical packets emitted.
+    pub link_duplicates: u64,
+    /// Physical packets delayed in flight.
+    pub link_delays: u64,
+    /// Retransmissions performed by the link-level retry layer.
+    pub link_retransmits: u64,
+    /// SDRAM reads with a corrected single-bit error.
+    pub ecc_corrected: u64,
+    /// SDRAM reads with an uncorrectable multi-bit error.
+    pub ecc_uncorrectable: u64,
+    /// Dispatch-queue stall windows opened.
+    pub dispatch_stall_windows: u64,
+    /// Protocol-thread starvation windows opened.
+    pub starvation_windows: u64,
+    /// Coherence handlers whose dispatch was delayed.
+    pub handler_delays: u64,
+}
+
+impl FaultSummary {
+    /// Whether anything at all was injected or recovered.
+    pub fn any(&self) -> bool {
+        *self != FaultSummary::default()
+    }
+
+    /// Fold another summary in (counters add component-wise).
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.link_drops += other.link_drops;
+        self.link_crc_errors += other.link_crc_errors;
+        self.link_duplicates += other.link_duplicates;
+        self.link_delays += other.link_delays;
+        self.link_retransmits += other.link_retransmits;
+        self.ecc_corrected += other.ecc_corrected;
+        self.ecc_uncorrectable += other.ecc_uncorrectable;
+        self.dispatch_stall_windows += other.dispatch_stall_windows;
+        self.starvation_windows += other.starvation_windows;
+        self.handler_delays += other.handler_delays;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.enabled);
+        assert!(!cfg.is_active());
+        assert!(!cfg.link.any() && !cfg.ecc.any());
+    }
+
+    #[test]
+    fn chaos_preset_is_active() {
+        assert!(FaultConfig::chaos(7).is_active());
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_site_separated() {
+        let cfg = FaultConfig::chaos(0xDEAD);
+        let mut a1 = cfg.stream(SITE_ECC ^ 3);
+        let mut a2 = cfg.stream(SITE_ECC ^ 3);
+        let mut b = cfg.stream(SITE_ECC ^ 4);
+        let (mut same, mut diff) = (0, 0);
+        for _ in 0..1000 {
+            let x = a1.fires(500_000);
+            assert_eq!(x, a2.fires(500_000));
+            if x == b.fires(500_000) {
+                same += 1;
+            } else {
+                diff += 1;
+            }
+        }
+        // Neighbouring sites must not be correlated.
+        assert!(diff > 200, "sites correlated: same={same} diff={diff}");
+    }
+
+    #[test]
+    fn zero_rate_never_fires_or_draws() {
+        let cfg = FaultConfig::chaos(1);
+        let mut s = cfg.stream(SITE_LINK);
+        let mut t = cfg.stream(SITE_LINK);
+        for _ in 0..100 {
+            assert!(!s.fires(0));
+        }
+        // `s` drew nothing: it still agrees with a fresh stream.
+        for _ in 0..100 {
+            assert_eq!(s.fires(500_000), t.fires(500_000));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let cfg = FaultConfig::chaos(42);
+        let mut s = cfg.stream(SITE_LINK ^ 9);
+        let hits = (0..100_000).filter(|_| s.fires(100_000)).count();
+        // 10% ± generous slack.
+        assert!((8_000..12_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn windows_open_and_close() {
+        let cfg = StallFaults {
+            window_per_million: 1_000_000, // always
+            window_cycles: 10,
+            check_every: 100,
+        };
+        let mut w = FaultWindows::new(FaultConfig::chaos(3).stream(SITE_STARVE), &cfg);
+        assert!(w.stalled(0));
+        assert_eq!(w.take_newly_opened(), Some(10));
+        assert!(w.stalled(9));
+        assert!(!w.stalled(50)); // window over, next roll not due until 100
+        assert!(w.stalled(100)); // rolls again (rate = certain)
+        assert_eq!(w.opened(), 2);
+    }
+
+    #[test]
+    fn magnitude_in_range() {
+        let mut s = FaultConfig::chaos(5).stream(SITE_LINK);
+        assert_eq!(s.magnitude(0), 0);
+        for _ in 0..100 {
+            let m = s.magnitude(7);
+            assert!((1..=7).contains(&m));
+        }
+    }
+
+    #[test]
+    fn summary_any() {
+        let mut f = FaultSummary::default();
+        assert!(!f.any());
+        f.link_retransmits = 1;
+        assert!(f.any());
+    }
+}

@@ -351,6 +351,46 @@ impl PhaseProfiler {
             None => 0,
         }
     }
+
+    /// Snapshot of the transactions still in flight, oldest allocation
+    /// first — the watchdog's stalled-transaction evidence. Ties break on
+    /// (requester, line) so the order is deterministic.
+    pub fn open_records(&self) -> Vec<LatencyRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut recs: Vec<LatencyRecord> = inner.open.borrow().values().copied().collect();
+        recs.sort_by_key(|r| {
+            (
+                r.boundary(PhaseBoundary::Alloc).unwrap_or(Cycle::MAX),
+                r.requester.0,
+                r.line.raw(),
+            )
+        });
+        recs
+    }
+
+    /// The most recent boundary a record crossed, with its timestamp —
+    /// "where the transaction is stuck".
+    pub fn last_progress(rec: &LatencyRecord) -> (PhaseBoundary, Cycle) {
+        const ALL: [PhaseBoundary; NUM_BOUNDARIES] = [
+            PhaseBoundary::Alloc,
+            PhaseBoundary::ReqSent,
+            PhaseBoundary::ReqDelivered,
+            PhaseBoundary::Dispatched,
+            PhaseBoundary::ReplySent,
+            PhaseBoundary::ReplyDelivered,
+            PhaseBoundary::Filled,
+            PhaseBoundary::Freed,
+        ];
+        let mut best = (PhaseBoundary::Alloc, 0);
+        for b in ALL {
+            if let Some(t) = rec.boundary(b) {
+                best = (b, t);
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]

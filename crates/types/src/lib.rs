@@ -19,6 +19,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod faults;
 pub mod ids;
 pub mod latency;
 pub mod rng;
@@ -27,6 +28,10 @@ pub mod stats;
 
 pub use addr::{app_code_addr, Addr, LineAddr, Region, APP_CODE_BASE, DIR_ENTRY_BYTES, L2_LINE};
 pub use config::{CacheParams, MachineModel, MemParams, NetParams, PipelineParams, SystemConfig};
+pub use faults::{
+    EccFaults, FaultConfig, FaultStream, FaultSummary, FaultWindows, HandlerDelayFaults,
+    LinkFaults, StallFaults,
+};
 pub use ids::{Ctx, NodeId, MAX_APP_THREADS, MAX_CTX};
 pub use latency::{
     LatencyBreakdown, LatencyRecord, PhaseBoundary, PhaseProfiler, TxnClass, CLASS_NAMES,

@@ -85,7 +85,7 @@ fn main() {
             nodes,
         )
     });
-    let stats = sys.run(200_000_000);
+    let stats = sys.run(200_000_000).expect("run must complete");
     println!("ping-pong on {nodes} SMTp nodes:");
     println!("  cycles            : {}", stats.cycles);
     println!("  handlers          : {}", stats.handlers);

@@ -6,15 +6,22 @@
 //! cargo run --release --example quickstart -- ocean 8 2
 //! cargo run --release --example quickstart -- fft 2 2 --trace out.trace.json
 //! cargo run --release --example quickstart -- --trace          # default path
+//! cargo run --release --example quickstart -- --faults 42      # chaos run
 //! ```
 //!
 //! With `--trace <path>` the full event stream is exported in Chrome
 //! trace-event format — open the file at <https://ui.perfetto.dev> or in
 //! `chrome://tracing` to see pipelines, protocol handlers, coherence
 //! transactions and network traffic on a shared timeline.
+//!
+//! With `--faults <seed>` the run injects seeded faults everywhere at once
+//! (link drops/corruption/duplication, correctable ECC errors, dispatch
+//! stalls, protocol-thread starvation) and relies on the link-level retry
+//! layer and recovery machinery to finish correctly anyway. If the machine
+//! cannot recover, the diagnosis is written to `fault_diagnosis.txt`.
 
 use smtp::trace::ChromeTraceSink;
-use smtp::{build_system, AppKind, ExperimentConfig, MachineModel};
+use smtp::{build_system, AppKind, ExperimentConfig, FaultConfig, MachineModel};
 
 fn parse_app(s: &str) -> AppKind {
     AppKind::ALL
@@ -28,12 +35,12 @@ fn parse_app(s: &str) -> AppKind {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let looks_positional = |s: &str| {
-        s.parse::<usize>().is_ok()
-            || AppKind::ALL
-                .iter()
-                .any(|a| a.name().eq_ignore_ascii_case(s))
+    let looks_app = |s: &str| {
+        AppKind::ALL
+            .iter()
+            .any(|a| a.name().eq_ignore_ascii_case(s))
     };
+    let looks_positional = |s: &str| s.parse::<usize>().is_ok() || looks_app(s);
     let trace_path = match args.iter().position(|a| a == "--trace") {
         Some(i) => {
             args.remove(i);
@@ -42,6 +49,22 @@ fn main() {
                 Some(args.remove(i))
             } else {
                 Some("quickstart.trace.json".to_string())
+            }
+        }
+        None => None,
+    };
+    let fault_seed = match args.iter().position(|a| a == "--faults") {
+        Some(i) => {
+            args.remove(i);
+            // An explicit seed may follow; otherwise use a default.
+            if i < args.len() && !args[i].starts_with("--") && !looks_app(&args[i]) {
+                let s = args.remove(i);
+                Some(s.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("--faults expects a numeric seed, got {s:?}");
+                    std::process::exit(2)
+                }))
+            } else {
+                Some(0xC8A05)
             }
         }
         None => None,
@@ -57,7 +80,16 @@ fn main() {
         // workload so the timeline stays explorable.
         exp.scale = 0.12;
     }
+    if let Some(seed) = fault_seed {
+        println!("fault injection enabled : chaos plan, seed {seed}");
+        exp.faults = FaultConfig::chaos(seed);
+        // Chaos runs pay retry and stall latency; keep them short.
+        exp.scale = exp.scale.min(0.12);
+    }
     let mut sys = build_system(&exp);
+    if fault_seed.is_some() {
+        sys.enable_invariant_checks(50_000);
+    }
     if let Some(path) = &trace_path {
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
             eprintln!("cannot create {path}: {e}");
@@ -69,7 +101,19 @@ fn main() {
             nodes,
         )));
     }
-    let stats = sys.run(exp.max_cycles);
+    let stats = match sys.run(exp.max_cycles) {
+        Ok(stats) => stats,
+        Err(err) => {
+            let path = "fault_diagnosis.txt";
+            let report = err.to_string();
+            eprintln!("\nrun failed: {}", report.lines().next().unwrap_or(""));
+            match std::fs::write(path, &report) {
+                Ok(()) => eprintln!("full diagnosis written to {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e}\n{report}"),
+            }
+            std::process::exit(1);
+        }
+    };
 
     println!();
     println!(
@@ -105,6 +149,21 @@ fn main() {
         "locks / barrier episodes: {} / {}",
         stats.lock_acquires, stats.barrier_episodes
     );
+    if stats.faults.any() {
+        let f = &stats.faults;
+        println!(
+            "faults injected         : {} drops, {} CRC, {} dups, {} delays -> {} retransmits",
+            f.link_drops, f.link_crc_errors, f.link_duplicates, f.link_delays, f.link_retransmits
+        );
+        println!(
+            "                          {} ECC corrected, {} stall windows, {} starvation windows, {} handler delays",
+            f.ecc_corrected,
+            f.dispatch_stall_windows,
+            f.starvation_windows,
+            f.handler_delays
+        );
+        println!("recovery                : all transactions completed despite injected faults");
+    }
     if let Some(path) = &trace_path {
         println!("trace written           : {path} (load it at https://ui.perfetto.dev)");
     }

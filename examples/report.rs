@@ -63,7 +63,7 @@ fn main() {
 
     let exp = ExperimentConfig::new(model, app, nodes, ways);
     let mut sys = build_system(&exp);
-    let stats = sys.run(exp.max_cycles);
+    let stats = sys.run(exp.max_cycles).expect("run must complete");
     let report = Report::new(&stats);
     if json {
         println!("{}", report.json());

@@ -27,7 +27,7 @@ fn main() {
     let store = MemorySink::shared();
     sys.tracer().enable_all();
     sys.tracer().add_sink(Box::new(MemorySink::attach(&store)));
-    let stats = sys.run(e.max_cycles);
+    let stats = sys.run(e.max_cycles).expect("run must complete");
     let events = store.borrow();
     println!(
         "run complete: {} cycles, {} events captured, {} handlers\n",

@@ -48,9 +48,11 @@ pub use smtp_types as types;
 pub use smtp_workloads as workloads;
 
 pub use smtp_core::{
-    build_system, run_experiment, ExperimentConfig, Report, RunStats, System, ThreadTime,
+    build_system, run_experiment, try_run_experiment, Diagnosis, ExperimentConfig, Report,
+    RunError, RunErrorKind, RunStats, System, ThreadTime,
 };
 pub use smtp_types::{
-    Distribution, Histogram, LatencyBreakdown, MachineModel, PhaseProfiler, SystemConfig,
+    Distribution, FaultConfig, FaultSummary, Histogram, LatencyBreakdown, MachineModel,
+    PhaseProfiler, SystemConfig,
 };
 pub use smtp_workloads::AppKind;

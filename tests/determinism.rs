@@ -25,7 +25,7 @@ fn traced_run(e: &ExperimentConfig) -> Vec<u8> {
     sys.tracer().enable_all();
     sys.tracer()
         .add_sink(Box::new(JsonlSink::new(Box::new(buf.clone()))));
-    sys.run(e.max_cycles);
+    sys.run(e.max_cycles).expect("run must complete");
     buf.contents()
 }
 

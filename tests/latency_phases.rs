@@ -15,7 +15,7 @@ fn phase_components_sum_exactly_to_end_to_end() {
     let exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Ocean, 2, 2);
     let mut sys = build_system(&exp);
     sys.profiler().keep_records(true);
-    sys.run(exp.max_cycles);
+    sys.run(exp.max_cycles).expect("run must complete");
 
     let records = sys.profiler().records();
     assert!(!records.is_empty(), "no transactions profiled");
@@ -67,7 +67,7 @@ fn phase_components_sum_exactly_to_end_to_end() {
 fn aggregate_phase_means_sum_to_mean_end_to_end() {
     let exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 4, 1);
     let mut sys = build_system(&exp);
-    let stats = sys.run(exp.max_cycles);
+    let stats = sys.run(exp.max_cycles).expect("run must complete");
     let n = stats.latency.count();
     assert!(n > 0);
     let phase_total: u128 = stats.latency.phases.iter().map(|d| d.sum()).sum();
@@ -82,7 +82,7 @@ fn sixteen_node_report_has_occupancy_and_thread_breakdown() {
     let mut exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 16, 2);
     exp.scale = 0.05;
     let mut sys = build_system(&exp);
-    let stats = sys.run(exp.max_cycles);
+    let stats = sys.run(exp.max_cycles).expect("run must complete");
 
     // One breakdown entry per application context machine-wide. The six
     // components partition the cycles up to the point the thread finished

@@ -65,7 +65,7 @@ fn check_trace_conservation(model: MachineModel) {
     let store = MemorySink::shared();
     sys.tracer().enable_all();
     sys.tracer().add_sink(Box::new(MemorySink::attach(&store)));
-    let r = sys.run(e.max_cycles);
+    let r = sys.run(e.max_cycles).expect("run must complete");
 
     let mut dispatches = 0u64;
     let mut completes = 0u64;

@@ -1,29 +1,32 @@
-//! A run that dies mid-simulation must still leave a readable,
-//! line-complete JSONL trace behind: the watchdog panic flushes the
-//! tracer, and [`smtp::trace::JsonlSink`] additionally flushes on drop so
-//! even unwind-path teardown cannot truncate a buffered line.
+//! A run that fails mid-simulation must still leave a readable,
+//! line-complete JSONL trace behind: the watchdog error path flushes the
+//! tracer before returning, and [`smtp::trace::JsonlSink`] additionally
+//! flushes on drop so even teardown cannot truncate a buffered line.
 
 use smtp::trace::{JsonlSink, SharedBuf};
-use smtp::{build_system, AppKind, ExperimentConfig, MachineModel};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use smtp::{build_system, AppKind, ExperimentConfig, MachineModel, RunErrorKind};
 
 #[test]
-fn mid_run_panic_yields_valid_jsonl() {
+fn mid_run_failure_yields_valid_jsonl() {
     let buf = SharedBuf::new();
     let exp = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Ocean, 2, 2);
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let mut sys = build_system(&exp);
-        sys.tracer().enable_all();
-        sys.tracer()
-            .add_sink(Box::new(JsonlSink::new(Box::new(buf.clone()))));
-        // A watchdog far below completion: the run panics mid-flight with
-        // events buffered in the tracer and the sink.
-        sys.run(2_000);
-    }));
-    assert!(result.is_err(), "run must hit the watchdog");
+    let mut sys = build_system(&exp);
+    sys.tracer().enable_all();
+    sys.tracer()
+        .add_sink(Box::new(JsonlSink::new(Box::new(buf.clone()))));
+    // A cycle budget far below completion: the run fails mid-flight with
+    // events buffered in the tracer and the sink.
+    let err = sys.run(2_000).expect_err("run must hit the cycle budget");
+    assert_eq!(err.kind, RunErrorKind::Deadlock);
+    assert!(err.message.contains("did not quiesce"));
+    assert!(
+        !err.diagnosis.nodes.is_empty(),
+        "diagnosis must carry per-node state"
+    );
+    drop(sys);
 
     let text = buf.to_string_lossy();
-    assert!(!text.is_empty(), "no trace output survived the panic");
+    assert!(!text.is_empty(), "no trace output survived the failure");
     assert!(
         text.ends_with('\n'),
         "stream truncated mid-line: {:?}",
