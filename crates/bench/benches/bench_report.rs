@@ -1,7 +1,12 @@
 //! Machine-readable benchmark report: run every machine model on a fixed
-//! configuration and emit `BENCH_report.json` with cycles, IPC, and
-//! mean/95th-percentile remote-miss latency per model — the artifact CI
-//! uploads so run-to-run performance is diffable.
+//! configuration under **both execution engines** and emit
+//! `BENCH_report.json` with cycles, IPC, mean/95th-percentile remote-miss
+//! latency, and the serial-vs-parallel simulator speedup per model — the
+//! artifact CI uploads so run-to-run performance is diffable.
+//!
+//! Every point is run on the serial reference engine and on the parallel
+//! epoch engine; the run asserts the two produce bit-identical statistics
+//! before reporting the wall-clock ratio.
 //!
 //! ```text
 //! cargo bench --bench bench_report
@@ -9,25 +14,52 @@
 //! SMTP_BENCH_OUT=other.json cargo bench --bench bench_report
 //! ```
 
-use smtp_bench::{nodes_cap, run_point, BenchRow};
+use smtp_bench::{nodes_cap, timed_point, BenchRow};
+use smtp_core::{EngineKind, ExperimentConfig};
 use smtp_types::MachineModel;
 use smtp_workloads::AppKind;
 
 fn main() {
     let nodes = 8.min(nodes_cap());
     let ways = 2;
-    let out = std::env::var("SMTP_BENCH_OUT").unwrap_or_else(|_| "BENCH_report.json".to_string());
+    // Default next to the workspace root (cargo runs benches with the
+    // package directory as CWD), where CI picks the artifact up.
+    let out = std::env::var("SMTP_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json").into());
     let mut rows = Vec::new();
     for model in MachineModel::ALL {
         for app in [AppKind::Fft, AppKind::Ocean] {
-            let r = run_point(model, app, nodes, ways, 2.0);
-            rows.push(BenchRow::from_stats(&r));
+            let mut e = ExperimentConfig::new(model, app, nodes, ways);
+            e.cpu_ghz = 2.0;
+            let (serial, serial_secs) = timed_point(&e, EngineKind::Serial);
+            let (parallel, parallel_secs) = timed_point(&e, EngineKind::Parallel);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "engines diverged on {model:?} {app:?}"
+            );
+            rows.push(BenchRow::from_engine_pair(
+                &serial,
+                serial_secs,
+                parallel_secs,
+            ));
         }
     }
     for r in &rows {
         println!(
-            "{:>10} {:6} n={} w={}: {:>9} cycles, IPC {:.3}, remote miss {:>6.0} / p95 {}",
-            r.model, r.app, r.nodes, r.ways, r.cycles, r.ipc, r.remote_miss_mean, r.remote_miss_p95
+            "{:>10} {:6} n={} w={}: {:>9} cycles, IPC {:.3}, remote miss {:>6.0} / p95 {}, \
+             serial {:.2}s / parallel {:.2}s = {:.2}x",
+            r.model,
+            r.app,
+            r.nodes,
+            r.ways,
+            r.cycles,
+            r.ipc,
+            r.remote_miss_mean,
+            r.remote_miss_p95,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup
         );
     }
     smtp_bench::write_bench_report(&out, &rows);

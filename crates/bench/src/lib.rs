@@ -11,7 +11,7 @@
 //! * `SMTP_SCALE` — workload scale (default 0.5); lower for quick runs.
 //! * `SMTP_NODES_CAP` — cap the largest machine size (for smoke runs).
 
-use smtp_core::{run_experiment, ExperimentConfig, RunStats};
+use smtp_core::{run_experiment, EngineKind, ExperimentConfig, RunStats};
 use smtp_types::MachineModel;
 use smtp_workloads::AppKind;
 use std::time::Instant;
@@ -49,6 +49,25 @@ pub fn run_point(
         t.elapsed().as_secs_f64()
     );
     r
+}
+
+/// Run one experiment point on the given engine, returning the stats and
+/// the wall-clock seconds the run took.
+pub fn timed_point(e: &ExperimentConfig, engine: EngineKind) -> (RunStats, f64) {
+    let mut e = e.clone();
+    e.engine = engine;
+    let t = Instant::now();
+    let r = run_experiment(&e);
+    let wall = t.elapsed().as_secs_f64();
+    eprintln!(
+        "  [{} {} n={} w={} engine={engine}] {} cycles ({wall:.2}s)",
+        e.model.label(),
+        e.app.name(),
+        e.nodes,
+        e.ways,
+        r.cycles,
+    );
+    (r, wall)
 }
 
 /// Print one paper-style normalized-execution-time figure: for each
@@ -122,6 +141,14 @@ pub struct BenchRow {
     pub remote_miss_mean: f64,
     /// 95th-percentile remote L2 miss latency in cycles.
     pub remote_miss_p95: u64,
+    /// Wall-clock seconds on the serial reference engine (0 when the
+    /// point was only run once).
+    pub serial_secs: f64,
+    /// Wall-clock seconds on the parallel epoch engine.
+    pub parallel_secs: f64,
+    /// Simulator speedup: `serial_secs / parallel_secs` (1.0 when the
+    /// point was only run once).
+    pub speedup: f64,
 }
 
 impl BenchRow {
@@ -139,7 +166,20 @@ impl BenchRow {
             ipc: r.ipc(),
             remote_miss_mean: remote.mean(),
             remote_miss_p95: remote.percentile(95.0),
+            serial_secs: 0.0,
+            parallel_secs: 0.0,
+            speedup: 1.0,
         }
+    }
+
+    /// Report row from a serial/parallel engine pair over the same point
+    /// (the stats are bit-identical; the wall clocks differ).
+    pub fn from_engine_pair(r: &RunStats, serial_secs: f64, parallel_secs: f64) -> BenchRow {
+        let mut row = BenchRow::from_stats(r);
+        row.serial_secs = serial_secs;
+        row.parallel_secs = parallel_secs;
+        row.speedup = serial_secs / parallel_secs.max(1e-9);
+        row
     }
 }
 
@@ -151,13 +191,28 @@ impl BenchRow {
 /// Panics if the file cannot be written.
 pub fn write_bench_report(path: &str, rows: &[BenchRow]) {
     use std::fmt::Write as _;
+    // Wall-clock ratios only mean something relative to the host's
+    // parallelism; stamp it so committed reports are comparable.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
             "  {{\"model\":\"{}\",\"app\":\"{}\",\"nodes\":{},\"ways\":{},\"cycles\":{},\
-             \"ipc\":{:.4},\"remote_miss_mean\":{:.1},\"remote_miss_p95\":{}}}",
-            r.model, r.app, r.nodes, r.ways, r.cycles, r.ipc, r.remote_miss_mean, r.remote_miss_p95
+             \"ipc\":{:.4},\"remote_miss_mean\":{:.1},\"remote_miss_p95\":{},\
+             \"serial_secs\":{:.3},\"parallel_secs\":{:.3},\"speedup\":{:.2},\
+             \"host_cores\":{cores}}}",
+            r.model,
+            r.app,
+            r.nodes,
+            r.ways,
+            r.cycles,
+            r.ipc,
+            r.remote_miss_mean,
+            r.remote_miss_p95,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

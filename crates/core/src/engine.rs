@@ -1,0 +1,645 @@
+//! Execution engines: how the machine's cycle loop is driven.
+//!
+//! Two interchangeable backends produce bit-identical results:
+//!
+//! * [`EngineKind::Serial`] — the reference loop in
+//!   [`System::run`](crate::System::run): every node ticked in index order,
+//!   one cycle at a time. Simple, and the oracle the parallel engine is
+//!   tested against.
+//! * [`EngineKind::Parallel`] — the epoch engine in this module. Nodes are
+//!   partitioned across worker threads and advanced independently for
+//!   *epochs* of `lookahead` cycles, where the lookahead is the minimum
+//!   cross-node message latency ([`smtp_noc::Network::min_latency`]):
+//!   within one epoch no message injected by any node can arrive at
+//!   another, so node interactions are confined to epoch barriers where
+//!   the coordinator replays message injections and pre-distributes the
+//!   next epoch's arrivals.
+//!
+//! Determinism is preserved by three mechanisms:
+//!
+//! 1. **Capture/replay of observability streams.** Trace events and
+//!    profiler operations emitted on worker threads are captured into
+//!    thread-local buffers tagged with their serial position
+//!    ([`smtp_types::capture::CapturePoint`]) and replayed by the
+//!    coordinator in a stable merge at each barrier, recreating the serial
+//!    engine's exact stream.
+//! 2. **A position-gated synchronization fabric.** The shared
+//!    [`SyncManager`] is order-sensitive (barrier arrivals, flag stores),
+//!    so workers publish their current `(cycle, node)` position and a sync
+//!    operation waits until every other worker has advanced past it —
+//!    imposing the serial engine's lexicographic order on the fabric
+//!    without locking nodes to each other the rest of the time. Each
+//!    worker always advances the lowest-positioned node it owns, so the
+//!    globally lowest operation can never be waiting on a higher one.
+//! 3. **Epoch cuts on every schedule the serial loop observes.** Epochs
+//!    end at watchdog multiples, invariant-check multiples, metrics-sample
+//!    cycles and `max_cycles`, so every check runs at the same cycle, on
+//!    the same machine state, in the same order as the serial loop.
+//!
+//! The engine also skips provably idle cycles: after each tick a node
+//! reports a conservative bound ([`Node::next_activity`]) below which
+//! every tick would be a pure stall tick, and the worker jumps straight to
+//! the bound (clamped to the next scheduled delivery and the epoch end),
+//! bulk-applying the skipped bookkeeping. Fault-armed nodes never skip,
+//! and the cut schedule above keeps watchdog, invariant and sampler ticks
+//! exact.
+
+use crate::error::{RunError, RunErrorKind};
+use crate::node::Node;
+use crate::stats::RunStats;
+use crate::system::{coherence_violation, System, WATCHDOG_INTERVAL};
+use smtp_isa::{SyncCond, SyncEnv, SyncOp, SyncOutcome};
+use smtp_noc::Msg;
+use smtp_trace::{take_captured_events, CapturedEvent};
+use smtp_types::capture::{self, lane_inject, lane_tick, LANE_DELIVER};
+use smtp_types::{take_captured_prof_ops, CapturePoint, Ctx, Cycle, NodeId, ProfOp};
+use smtp_workloads::SyncManager;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Which execution engine drives the cycle loop. Both produce bit-identical
+/// statistics, trace streams and fault-injection behavior; the choice is
+/// purely about wall-clock speed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The reference loop: one cycle at a time, nodes in index order.
+    #[default]
+    Serial,
+    /// The epoch engine: nodes partitioned across worker threads,
+    /// synchronized at lookahead barriers, with idle-cycle skipping.
+    Parallel,
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "serial" => Ok(EngineKind::Serial),
+            "parallel" => Ok(EngineKind::Parallel),
+            other => Err(format!("unknown engine {other:?} (serial|parallel)")),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Serial => write!(f, "serial"),
+            EngineKind::Parallel => write!(f, "parallel"),
+        }
+    }
+}
+
+/// Bits reserved for the node index in a packed worker position.
+const NODE_BITS: u32 = 12;
+
+/// Pack a `(cycle, node)` position into one atomic word, ordered like the
+/// serial engine's lexicographic `(cycle, node index)` tick order.
+fn pack(cycle: Cycle, node: usize) -> u64 {
+    (cycle << NODE_BITS) | node as u64
+}
+
+/// Next multiple of `m` strictly greater than `x`.
+fn next_multiple(x: Cycle, m: Cycle) -> Cycle {
+    (x / m + 1) * m
+}
+
+/// The shared synchronization fabric plus per-worker position words.
+struct Gate {
+    positions: Vec<AtomicU64>,
+    sync: Mutex<SyncManager>,
+}
+
+/// One worker's view of the gate for the node it is currently ticking.
+/// Implements [`SyncEnv`] by waiting until every other worker has advanced
+/// past this position, then forwarding to the real manager — which applies
+/// synchronization operations in exactly the serial engine's order.
+struct GateRef<'a> {
+    gate: &'a Gate,
+    me: usize,
+    pos: u64,
+}
+
+impl GateRef<'_> {
+    fn wait_turn(&self) {
+        let mut spins = 0u32;
+        loop {
+            let blocked = self
+                .gate
+                .positions
+                .iter()
+                .enumerate()
+                .any(|(i, p)| i != self.me && p.load(Ordering::Acquire) <= self.pos);
+            if !blocked {
+                return;
+            }
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl SyncEnv for GateRef<'_> {
+    fn poll(&mut self, node: NodeId, ctx: Ctx, cond: SyncCond) -> bool {
+        self.wait_turn();
+        self.gate.sync.lock().unwrap().poll(node, ctx, cond)
+    }
+
+    fn sync_store(&mut self, node: NodeId, ctx: Ctx, op: SyncOp) -> SyncOutcome {
+        self.wait_turn();
+        self.gate.sync.lock().unwrap().sync_store(node, ctx, op)
+    }
+}
+
+/// The coordinator's instructions for the next epoch.
+#[derive(Clone, Copy)]
+struct WindowPlan {
+    start: Cycle,
+    end: Cycle,
+    stop: bool,
+}
+
+/// One recorded outbox message: node `node` pushed message `slot` of its
+/// tick at `cycle`, asking for injection at `at`.
+struct InjectRec {
+    cycle: Cycle,
+    node: usize,
+    slot: u32,
+    at: Cycle,
+    msg: Msg,
+}
+
+/// Everything the workers hand the coordinator at an epoch barrier.
+struct Harvest {
+    events: Vec<CapturedEvent>,
+    prof: Vec<(CapturePoint, ProfOp)>,
+    injects: Vec<InjectRec>,
+    /// Per node: first cycle X such that the node has been quiescent from
+    /// the end of tick `X-1` onward (`None` while active).
+    quiet_since: Vec<Option<Cycle>>,
+    /// Per node: first cycle at whose tick-end the application threads had
+    /// all finished.
+    finished_at: Vec<Option<Cycle>>,
+    /// Structured failure recorded mid-epoch (1-node machine emitting a
+    /// network message), with the serial cycle it would surface at.
+    error: Option<(Cycle, String)>,
+}
+
+/// A per-node delivery: `(arrival cycle, capture slot, message)`.
+type Delivery = (Cycle, u32, Msg);
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    me: usize,
+    lo: usize,
+    hi: usize,
+    cells: &[Mutex<Node>],
+    gate: &Gate,
+    plan: &Mutex<WindowPlan>,
+    inboxes: &[Mutex<VecDeque<Delivery>>],
+    harvest: &Mutex<Harvest>,
+    barrier: &Barrier,
+    single_node: bool,
+) {
+    capture::begin((0, 0, 0));
+    let count = hi - lo;
+    // Freeze bound from the last real tick (0 = none): lets a node stay
+    // frozen across epoch barriers instead of re-ticking every epoch.
+    let mut hints: Vec<Cycle> = vec![0; count];
+    let mut inbox: Vec<VecDeque<Delivery>> = (0..count).map(|_| VecDeque::new()).collect();
+    let mut quiet: Vec<Option<Cycle>> = vec![None; count];
+    let mut finished: Vec<Option<Cycle>> = vec![None; count];
+    let mut injects: Vec<InjectRec> = Vec::new();
+    let mut scratch: Vec<(Cycle, Msg)> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::new();
+    loop {
+        barrier.wait();
+        let p = *plan.lock().unwrap();
+        if p.stop {
+            break;
+        }
+        // Pull this epoch's pre-distributed deliveries and pin the owned
+        // nodes for the whole window: nothing else touches them until the
+        // closing barrier, so locking once here keeps the per-tick loop
+        // free of lock traffic.
+        let mut guards: Vec<_> = (lo..hi).map(|g| cells[g].lock().unwrap()).collect();
+        for g in lo..hi {
+            inbox[g - lo].append(&mut inboxes[g].lock().unwrap());
+        }
+        // Seed the schedule, extending freeze certificates across the
+        // barrier: a node frozen past the epoch start skips straight to
+        // its bound (clamped to its first delivery and the epoch end).
+        heap.clear();
+        for g in lo..hi {
+            let i = g - lo;
+            let mut at = p.start;
+            let node = &mut *guards[i];
+            // The previous epoch's retraction window has passed.
+            node.clear_fault_snapshots();
+            if hints[i] > at {
+                let cap = hints[i]
+                    .min(p.end)
+                    .min(inbox[i].front().map_or(Cycle::MAX, |d| d.0));
+                if cap > at {
+                    node.skip_idle(at, cap);
+                    at = cap;
+                }
+            }
+            heap.push(Reverse((at, g)));
+        }
+        // Advance the lowest-positioned owned node until the epoch ends.
+        let mut failed = false;
+        while let Some(&Reverse((c, g))) = heap.peek() {
+            if c >= p.end || failed {
+                break;
+            }
+            heap.pop();
+            let i = g - lo;
+            gate.positions[me].store(pack(c, g), Ordering::Release);
+            let node = &mut *guards[i];
+            // Deliveries for this cycle, at their serial positions.
+            while inbox[i].front().is_some_and(|d| d.0 == c) {
+                let (cycle, slot, msg) = inbox[i].pop_front().expect("peeked");
+                capture::set_point((cycle, LANE_DELIVER, slot));
+                node.receive(msg, cycle);
+            }
+            debug_assert!(
+                inbox[i].front().is_none_or(|d| d.0 > c),
+                "missed a scheduled delivery"
+            );
+            capture::set_point((c, lane_tick(g), 0));
+            let mut env = GateRef {
+                gate,
+                me,
+                pos: pack(c, g),
+            };
+            node.tick(c, &mut env);
+            node.drain_outbox(&mut scratch);
+            if single_node && !scratch.is_empty() {
+                // No network to inject into: surface the serial engine's
+                // structured failure and freeze the machine at this tick.
+                scratch.clear();
+                let id = node.id();
+                harvest.lock().unwrap().error.get_or_insert_with(|| {
+                    (
+                        c + 1,
+                        format!(
+                            "network message emitted on a 1-node machine by {id:?} at cycle {c}"
+                        ),
+                    )
+                });
+                failed = true;
+            } else {
+                for (k, (at, msg)) in scratch.drain(..).enumerate() {
+                    injects.push(InjectRec {
+                        cycle: c,
+                        node: g,
+                        slot: k as u32,
+                        at,
+                        msg,
+                    });
+                }
+            }
+            if node.quiescent() {
+                if quiet[i].is_none() {
+                    quiet[i] = Some(c + 1);
+                }
+                // This tick may later turn out to lie past the machine's
+                // exact quiescence point; snapshot the fault streams so a
+                // retraction can rewind their draws too.
+                node.snapshot_faults(c + 1);
+            } else {
+                quiet[i] = None;
+            }
+            if finished[i].is_none() && node.app_finished() {
+                finished[i] = Some(c);
+            }
+            // Idle-cycle skipping: jump past provably pure stall ticks.
+            hints[i] = 0;
+            let mut next = c + 1;
+            if !failed {
+                if let Some(b) = node.next_activity(c) {
+                    hints[i] = b;
+                    let cap = b
+                        .min(p.end)
+                        .min(inbox[i].front().map_or(Cycle::MAX, |d| d.0));
+                    if cap > next {
+                        node.skip_idle(next, cap);
+                        next = cap;
+                    }
+                }
+            }
+            heap.push(Reverse((next, g)));
+        }
+        drop(guards);
+        gate.positions[me].store(pack(p.end, 0), Ordering::Release);
+        {
+            let mut h = harvest.lock().unwrap();
+            h.events.extend(take_captured_events());
+            h.prof.extend(take_captured_prof_ops());
+            h.injects.append(&mut injects);
+            h.quiet_since[lo..hi].copy_from_slice(&quiet);
+            h.finished_at[lo..hi].copy_from_slice(&finished);
+        }
+        barrier.wait();
+    }
+    capture::end();
+}
+
+/// Contiguous chunk of the node range owned by worker `w` of `workers`.
+fn chunk(w: usize, workers: usize, n: usize) -> (usize, usize) {
+    let base = n / workers;
+    let rem = n % workers;
+    let lo = w * base + w.min(rem);
+    let hi = lo + base + usize::from(w < rem);
+    (lo, hi)
+}
+
+/// Run the machine to completion on the parallel epoch engine. Produces
+/// results bit-identical to [`System::run`] for the same seed and
+/// configuration; see the module docs for how.
+pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunStats, RunError> {
+    let n = sys.nodes.len();
+    if n > (1usize << NODE_BITS) {
+        // Positions pack the node index into 12 bits; fall back rather
+        // than mis-order the synchronization fabric.
+        return sys.run_with(max_cycles, EngineKind::Serial);
+    }
+    if sys.quiesced() {
+        sys.tracer.flush();
+        return Ok(sys.collect());
+    }
+    let lookahead = sys
+        .network
+        .as_ref()
+        .map_or(WATCHDOG_INTERVAL, |net| net.min_latency().max(1));
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let single_node = sys.network.is_none();
+
+    // Take the machine apart: nodes behind per-node locks for the workers,
+    // the synchronization fabric behind the position gate.
+    let cells: Vec<Mutex<Node>> = std::mem::take(&mut sys.nodes)
+        .into_iter()
+        .map(Mutex::new)
+        .collect();
+    let placeholder = SyncManager::new(sys.cfg.total_app_threads());
+    let gate = Gate {
+        positions: (0..workers)
+            .map(|_| AtomicU64::new(pack(sys.now, 0)))
+            .collect(),
+        sync: Mutex::new(std::mem::replace(&mut sys.sync, placeholder)),
+    };
+    let plan = Mutex::new(WindowPlan {
+        start: sys.now,
+        end: sys.now,
+        stop: false,
+    });
+    let inboxes: Vec<Mutex<VecDeque<Delivery>>> =
+        (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
+    let harvest = Mutex::new(Harvest {
+        events: Vec::new(),
+        prof: Vec::new(),
+        injects: Vec::new(),
+        quiet_since: vec![None; n],
+        finished_at: vec![None; n],
+        error: None,
+    });
+    let barrier = Barrier::new(workers + 1);
+
+    let mut metrics = sys.metrics.take();
+    let mut wd = sys.watchdog;
+    let mut app_done_at = sys.app_done_at;
+    // Exact-quiescence trackers (see the Q computation at the barrier).
+    let mut finished_at: Vec<Option<Cycle>> = vec![None; n];
+    let mut quiet_since: Vec<Option<Cycle>> = vec![None; n];
+    let mut net_empty_from: Cycle = sys.now;
+    // Observability captured during the pre-pass belongs to the *next*
+    // epoch's cycles; held here until that epoch's barrier merge.
+    let mut held_events: Vec<CapturedEvent> = Vec::new();
+    let mut held_prof: Vec<(CapturePoint, ProfOp)> = Vec::new();
+
+    let outcome: Result<Cycle, (RunErrorKind, String, Cycle)> = std::thread::scope(|s| {
+        for w in 0..workers {
+            let (lo, hi) = chunk(w, workers, n);
+            let cells = &cells;
+            let gate = &gate;
+            let plan = &plan;
+            let inboxes = &inboxes;
+            let harvest = &harvest;
+            let barrier = &barrier;
+            s.spawn(move || {
+                worker_loop(
+                    w,
+                    lo,
+                    hi,
+                    cells,
+                    gate,
+                    plan,
+                    inboxes,
+                    harvest,
+                    barrier,
+                    single_node,
+                )
+            });
+        }
+
+        let mut e_start = sys.now;
+        let outcome = loop {
+            // Cut the epoch on every schedule the serial loop observes.
+            let mut e_end = e_start.saturating_add(lookahead);
+            e_end = e_end.min(next_multiple(e_start, WATCHDOG_INTERVAL));
+            if let Some(every) = sys.invariant_every {
+                e_end = e_end.min(next_multiple(e_start, every));
+            }
+            if let Some(m) = &metrics {
+                e_end = e_end.min(m.sampler.next_due() + 1);
+            }
+            e_end = e_end.min(max_cycles).max(e_start + 1);
+            // Pre-pass: every arrival in this epoch is already in flight
+            // (lookahead), so pop and pre-distribute them now, capturing
+            // the network's own events at their serial positions.
+            if let Some(net) = &mut sys.network {
+                capture::begin((0, 0, 0));
+                while let Some(a) = net.next_arrival() {
+                    if a >= e_end {
+                        break;
+                    }
+                    let mut k = 0u32;
+                    loop {
+                        capture::set_point((a, LANE_DELIVER, 2 * k));
+                        let Some(msg) = net.pop_arrived(a) else { break };
+                        inboxes[msg.dst.idx()]
+                            .lock()
+                            .unwrap()
+                            .push_back((a, 2 * k + 1, msg));
+                        net_empty_from = net_empty_from.max(a + 1);
+                        k += 1;
+                    }
+                }
+                capture::end();
+                held_events.extend(take_captured_events());
+                held_prof.extend(take_captured_prof_ops());
+            }
+            *plan.lock().unwrap() = WindowPlan {
+                start: e_start,
+                end: e_end,
+                stop: false,
+            };
+            barrier.wait(); // epoch starts
+            barrier.wait(); // epoch done
+            let (mut events, mut prof, mut injects, failure);
+            {
+                let mut h = harvest.lock().unwrap();
+                events = std::mem::take(&mut h.events);
+                prof = std::mem::take(&mut h.prof);
+                injects = std::mem::take(&mut h.injects);
+                for g in 0..n {
+                    quiet_since[g] = h.quiet_since[g];
+                    if finished_at[g].is_none() {
+                        finished_at[g] = h.finished_at[g];
+                    }
+                }
+                failure = h.error.take();
+            }
+            // Replay this epoch's injections in serial order.
+            injects.sort_by_key(|r| (r.cycle, r.node, r.slot));
+            if let Some(net) = &mut sys.network {
+                capture::begin((0, 0, 0));
+                for r in injects.drain(..) {
+                    capture::set_point((r.cycle, lane_inject(r.node), r.slot));
+                    net.inject(r.at.max(r.cycle), r.msg);
+                }
+                capture::end();
+                events.extend(take_captured_events());
+                prof.extend(take_captured_prof_ops());
+            }
+            if app_done_at.is_none() && finished_at.iter().all(|f| f.is_some()) {
+                app_done_at = finished_at.iter().map(|f| f.expect("checked")).max();
+            }
+            // Exact serial exit cycle Q, if this epoch reached quiescence:
+            // the first loop-top cycle at which the application is done,
+            // every node is quiescent and nothing is in flight.
+            let in_flight = sys.network.as_ref().map_or(0, |net| net.in_flight_count());
+            let q_cycle = match app_done_at {
+                Some(done) if in_flight == 0 && quiet_since.iter().all(|q| q.is_some()) => {
+                    let mq = quiet_since
+                        .iter()
+                        .map(|q| q.expect("checked"))
+                        .max()
+                        .expect("at least one node");
+                    Some((done + 1).max(mq).max(net_empty_from).max(e_start))
+                }
+                _ => None,
+            };
+            // Merge every capture stream into the serial order and replay.
+            // Ticks at or past Q are about to be retracted (the serial
+            // loop never ran them), so their events are dropped.
+            events.append(&mut held_events);
+            prof.append(&mut held_prof);
+            if let Some(q) = q_cycle.filter(|&q| q < e_end && failure.is_none()) {
+                events.retain(|e| e.0 .0 < q);
+                prof.retain(|o| o.0 .0 < q);
+            }
+            events.sort_by_key(|e| e.0);
+            prof.sort_by_key(|o| o.0);
+            sys.tracer.replay_captured(&events);
+            sys.profiler.replay_captured(&prof);
+            if let Some((cycle, msg)) = failure {
+                break Err((RunErrorKind::UnrecoverableFault, msg, cycle));
+            }
+            if let Some(q) = q_cycle {
+                if q < e_end {
+                    // The serial loop would have exited at Q, before the
+                    // ticks Q..e_end — all idle ticks on a quiescent
+                    // machine — and before any end-of-epoch check. Roll
+                    // the overshoot back.
+                    for cell in &cells {
+                        cell.lock().unwrap().retract_idle(q, e_end);
+                    }
+                    break Ok(q);
+                }
+            }
+            // End-of-epoch checks, in exact serial order and on the exact
+            // serial state (every node has now reached e_end).
+            {
+                let guards: Vec<_> = cells.iter().map(|c| c.lock().unwrap()).collect();
+                let view: Vec<&Node> = guards.iter().map(|g| &**g).collect();
+                if let Some(m) = &mut metrics {
+                    m.sample(sys.cfg.app_threads, &view, sys.network.as_ref(), e_end - 1);
+                }
+                if e_end.is_multiple_of(WATCHDOG_INTERVAL) {
+                    if let Some((kind, msg)) = wd.check(
+                        &view,
+                        sys.network.as_ref(),
+                        app_done_at.is_some(),
+                        &sys.tracer,
+                        e_end,
+                    ) {
+                        break Err((kind, msg, e_end));
+                    }
+                }
+                if let Some(every) = sys.invariant_every {
+                    if e_end.is_multiple_of(every) {
+                        if let Some(msg) = coherence_violation(&view) {
+                            break Err((RunErrorKind::UnrecoverableFault, msg, e_end));
+                        }
+                    }
+                }
+            }
+            if e_end >= max_cycles {
+                break Err((
+                    RunErrorKind::Deadlock,
+                    format!(
+                        "{:?} {} x{} ({}-way) did not quiesce in {max_cycles} cycles",
+                        sys.cfg.model, sys.app, sys.cfg.nodes, sys.cfg.app_threads
+                    ),
+                    e_end,
+                ));
+            }
+            if q_cycle == Some(e_end) {
+                break Ok(e_end);
+            }
+            e_start = e_end;
+        };
+        *plan.lock().unwrap() = WindowPlan {
+            start: 0,
+            end: 0,
+            stop: true,
+        };
+        barrier.wait();
+        outcome
+    });
+
+    // Reassemble the machine.
+    sys.nodes = cells
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker panicked holding a node"))
+        .collect();
+    sys.sync = gate.sync.into_inner().expect("sync lock poisoned");
+    sys.metrics = metrics;
+    sys.watchdog = wd;
+    sys.app_done_at = app_done_at;
+    sys.quiet_nodes = sys.nodes.iter().filter(|n| n.quiescent()).count();
+    sys.finished_nodes = sys.nodes.iter().filter(|n| n.app_finished()).count();
+    match outcome {
+        Ok(q) => {
+            sys.now = q;
+            sys.tracer.flush();
+            Ok(sys.collect())
+        }
+        Err((kind, msg, cycle)) => {
+            sys.now = cycle;
+            sys.tracer.flush();
+            Err(sys.run_error(kind, msg))
+        }
+    }
+}

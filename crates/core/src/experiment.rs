@@ -1,6 +1,7 @@
 //! Experiment runner: one simulation per (model, app, nodes, ways, clock)
 //! point of the paper's evaluation.
 
+use crate::engine::EngineKind;
 use crate::error::RunError;
 use crate::stats::RunStats;
 use crate::system::System;
@@ -36,6 +37,8 @@ pub struct ExperimentConfig {
     pub max_cycles: u64,
     /// Fault-injection plan (all-off by default).
     pub faults: FaultConfig,
+    /// Execution engine (a wall-clock choice; results are bit-identical).
+    pub engine: EngineKind,
 }
 
 impl ExperimentConfig {
@@ -54,6 +57,7 @@ impl ExperimentConfig {
             prefetch: true,
             max_cycles: 2_000_000_000,
             faults: FaultConfig::default(),
+            engine: EngineKind::Serial,
         }
     }
 
@@ -113,7 +117,7 @@ pub fn run_experiment(e: &ExperimentConfig) -> RunStats {
 /// Run one experiment point, returning the failure class and diagnosis
 /// instead of panicking when the machine cannot complete.
 pub fn try_run_experiment(e: &ExperimentConfig) -> Result<RunStats, RunError> {
-    build_system(e).run(e.max_cycles)
+    build_system(e).run_with(e.max_cycles, e.engine)
 }
 
 /// Normalized execution times of all five machine models for one

@@ -13,6 +13,7 @@
 //! synchronization manager and advances everything on a single CPU-cycle
 //! clock until the application completes.
 
+pub mod engine;
 pub mod error;
 pub mod experiment;
 pub mod node;
@@ -20,6 +21,7 @@ pub mod report;
 pub mod stats;
 pub mod system;
 
+pub use engine::EngineKind;
 pub use error::{Diagnosis, RunError, RunErrorKind};
 pub use experiment::{build_system, run_experiment, try_run_experiment, ExperimentConfig};
 pub use node::Node;

@@ -2,7 +2,7 @@
 //! assembled per machine model.
 
 use smtp_cache::{Grant, IntervResult, InvalResult, MemEvent, MemHierarchy, MissKind};
-use smtp_isa::{Inst, SyncCond, SyncOp, SyncOutcome};
+use smtp_isa::{Inst, SyncCond, SyncEnv, SyncOp, SyncOutcome};
 use smtp_mem::{DirCache, ProtocolEngine, Sdram, TimedQueue};
 use smtp_noc::{Msg, MsgKind};
 use smtp_pipeline::{PipeEnv, SmtPipeline};
@@ -13,7 +13,7 @@ use smtp_types::{
     Ctx, Cycle, Distribution, FaultConfig, FaultSummary, FaultWindows, LineAddr, MachineModel,
     NodeId, PhaseBoundary, PhaseProfiler, Region, SystemConfig,
 };
-use smtp_workloads::{make_thread, AppKind, SyncManager, ThreadGen, WorkloadCfg};
+use smtp_workloads::{make_thread, AppKind, ThreadGen, WorkloadCfg};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -225,6 +225,19 @@ pub struct Node {
     /// Whether any fault hook on this node is armed (skips event polling
     /// with one branch when not).
     faults_armed: bool,
+    /// Cached result of [`Node::quiesced`], refreshed at the end of every
+    /// [`Node::tick`] so the system's end-of-run test is O(1) per cycle
+    /// instead of a full component scan per node.
+    quiescent: bool,
+    /// Cached `pipeline.finished()` (monotone), refreshed with
+    /// [`Node::quiescent`] so the system's application-done test is O(1).
+    app_finished: bool,
+    /// Fault-stream snapshots taken by the epoch engine on quiescent
+    /// ticks, keyed by loop-top cycle, so [`Node::retract_idle`] can also
+    /// rewind the per-cycle fault draws (governor polls, stall-window
+    /// checks) that those ticks consumed. Always empty under the serial
+    /// engine and with faults disarmed.
+    fault_rewinds: Vec<(Cycle, FaultRewind)>,
     /// Extra statistics.
     pub stats: NodeStats,
     /// Per-handler-kind dispatch counts and occupancy.
@@ -306,6 +319,9 @@ impl Node {
             profiler: PhaseProfiler::disabled(),
             governor: DispatchGovernor::disabled(),
             faults_armed: false,
+            quiescent: false,
+            app_finished: false,
+            fault_rewinds: Vec::new(),
             stats: NodeStats::default(),
             handler_stats: HandlerStats::new(),
         }
@@ -817,8 +833,11 @@ impl Node {
     }
 
     /// Advance the node one CPU cycle. Outgoing network messages are left
-    /// in the outbox for the system to drain via [`Node::take_outbox`].
-    pub fn tick(&mut self, now: Cycle, sync: &mut SyncManager) {
+    /// in the outbox for the system to drain via [`Node::drain_outbox`].
+    /// `sync` is the shared synchronization fabric — the serial engine
+    /// passes the system's [`SyncManager`] directly; the parallel engine
+    /// passes a cross-thread gate that serializes access in cycle order.
+    pub fn tick(&mut self, now: Cycle, sync: &mut dyn SyncEnv) {
         // 1. Due local events.
         while self.events.peek().is_some_and(|Reverse(t)| t.at <= now) {
             let Reverse(t) = self.events.pop().expect("peeked");
@@ -867,11 +886,21 @@ impl Node {
         }
         // 5. New cache events from this cycle's pipeline activity.
         self.drain_mem_events(now);
+        // 6. Refresh the cached status flags (O(1) end-of-run tests).
+        self.app_finished = self.pipeline.finished();
+        self.quiescent = self.quiesced();
     }
 
     /// Drain messages bound for the network.
     pub fn take_outbox(&mut self) -> Vec<(Cycle, Msg)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    /// Drain messages bound for the network into a caller-owned scratch
+    /// buffer, avoiding the per-node-per-cycle `Vec` allocation that
+    /// [`Node::take_outbox`] implies in the hot run loop.
+    pub fn drain_outbox(&mut self, into: &mut Vec<(Cycle, Msg)>) {
+        into.append(&mut self.outbox);
     }
 
     /// Combined depth of the protocol input queues (local-miss interface,
@@ -906,13 +935,117 @@ impl Node {
             && !self.directory.any_busy()
             && self.directory.pending_len() == 0
     }
+
+    /// Cached quiescence, as of the end of the last [`Node::tick`] — the
+    /// O(1) form of [`Node::quiesced`] used by the run loops. Stale until
+    /// the first tick (a freshly assembled node is never quiescent).
+    pub fn quiescent(&self) -> bool {
+        self.quiescent
+    }
+
+    /// Cached `pipeline.finished()` as of the end of the last
+    /// [`Node::tick`]. Monotone: once true it stays true.
+    pub fn app_finished(&self) -> bool {
+        self.app_finished
+    }
+
+    /// Conservative earliest cycle at which this node can do meaningful
+    /// work again, given that it was just ticked at `now` and will receive
+    /// no external delivery before the returned bound. Returns `None` when
+    /// the node must be ticked at `now + 1` (anything could happen), or
+    /// `Some(b)` with `b > now + 1` when every tick in `now+1..b` is
+    /// provably a pure stall tick: the only state the skipped ticks would
+    /// mutate is the bookkeeping that [`Node::skip_idle`] replays in bulk.
+    ///
+    /// Fault hooks are time-sensitive (stall windows open on check
+    /// schedules, governors poll per MC edge), so an armed node never
+    /// skips.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        if self.faults_armed || !self.replay.is_empty() {
+            return None;
+        }
+        let mut bound = self.pipeline.frozen_until(now, self.dispatch.idle())?;
+        if let Some(Reverse(t)) = self.events.peek() {
+            bound = bound.min(t.at);
+        }
+        if let Some(at) = self.lmi.next_due() {
+            bound = bound.min(at);
+        }
+        if let Some(at) = self.ni_in.next_due() {
+            bound = bound.min(at);
+        }
+        (bound > now + 1).then_some(bound)
+    }
+
+    /// Account for skipped pure-stall ticks over `from..to` (both bounds
+    /// as cycles the node is *not* ticked for `from..to`, with the next
+    /// real tick at `to`). Replays the per-cycle bookkeeping the skipped
+    /// ticks would have performed (stall-bucket stats, round-robin
+    /// rotation) so a skipping run is bit-identical to a cycle-by-cycle
+    /// one.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        self.pipeline.skip_stalled(from, to);
+    }
+
+    /// Roll back the bookkeeping of ticks `from..to` that the epoch engine
+    /// executed past the exact quiescence point (all of which were idle
+    /// ticks on a fully quiescent node), including any fault-stream draws
+    /// those ticks consumed (restored from the [`Node::snapshot_faults`]
+    /// snapshot taken at `from`).
+    pub fn retract_idle(&mut self, from: Cycle, to: Cycle) {
+        self.pipeline.retract_idle(from, to);
+        if let Some(i) = self.fault_rewinds.iter().position(|(at, _)| *at == from) {
+            let (_, s) = self.fault_rewinds.swap_remove(i);
+            self.lmi.restore_stall(s.lmi_stall);
+            self.ni_in.restore_stall(s.ni_stall);
+            self.governor = s.governor;
+        } else {
+            debug_assert!(
+                !self.faults_armed,
+                "retracting an armed node without a fault snapshot at {from}"
+            );
+        }
+        self.fault_rewinds.clear();
+    }
+
+    /// Record the fault-stream state as of loop-top cycle `at` (called by
+    /// the epoch engine after a tick that left the node quiescent, so a
+    /// later [`Node::retract_idle`] back to `at` restores the exact RNG
+    /// positions). A no-op with faults disarmed.
+    pub fn snapshot_faults(&mut self, at: Cycle) {
+        if !self.faults_armed {
+            return;
+        }
+        self.fault_rewinds.push((
+            at,
+            FaultRewind {
+                lmi_stall: self.lmi.stall_state(),
+                ni_stall: self.ni_in.stall_state(),
+                governor: self.governor.clone(),
+            },
+        ));
+    }
+
+    /// Drop fault snapshots from a previous epoch (its retraction window
+    /// has passed).
+    pub fn clear_fault_snapshots(&mut self) {
+        self.fault_rewinds.clear();
+    }
+}
+
+/// One [`Node::snapshot_faults`] snapshot: every piece of fault-injection
+/// state that per-cycle hooks mutate even on pure idle ticks.
+struct FaultRewind {
+    lmi_stall: Option<FaultWindows>,
+    ni_stall: Option<FaultWindows>,
+    governor: DispatchGovernor,
 }
 
 /// The pipeline environment for one tick.
 struct NodeEnv<'a> {
     node: NodeId,
     gens: &'a mut [ThreadGen],
-    sync: &'a mut SyncManager,
+    sync: &'a mut dyn SyncEnv,
     dispatch: &'a mut DispatchUnit,
     actions: &'a mut Vec<ProtAction>,
 }
@@ -928,13 +1061,11 @@ impl PipeEnv for NodeEnv<'_> {
     }
 
     fn poll(&mut self, node: NodeId, ctx: Ctx, cond: SyncCond) -> bool {
-        use smtp_isa::SyncEnv;
         debug_assert_eq!(node, self.node);
         self.sync.poll(node, ctx, cond)
     }
 
     fn sync_store(&mut self, node: NodeId, ctx: Ctx, op: SyncOp) -> SyncOutcome {
-        use smtp_isa::SyncEnv;
         debug_assert_eq!(node, self.node);
         self.sync.sync_store(node, ctx, op)
     }
@@ -959,6 +1090,7 @@ impl PipeEnv for NodeEnv<'_> {
 mod tests {
     use super::*;
     use smtp_types::SystemConfig;
+    use smtp_workloads::SyncManager;
 
     fn node(model: MachineModel) -> (Node, SyncManager) {
         let cfg = SystemConfig::new(model, 1, 1);

@@ -1,18 +1,28 @@
 //! The full-machine simulator: nodes + interconnect + global clock.
 
+use crate::engine::EngineKind;
 use crate::error::{Diagnosis, RunError, RunErrorKind};
 use crate::node::Node;
 use crate::stats::RunStats;
-use smtp_noc::Network;
+use smtp_noc::{Msg, Network};
 use smtp_protocol::DirState;
 use smtp_trace::{Category, Event, IntervalSampler, Tracer};
 use smtp_types::Ctx;
 use smtp_types::{Cycle, FaultSummary, NodeId, PhaseProfiler, SystemConfig};
 use smtp_workloads::{AppKind, SyncManager, ThreadGen, WorkloadCfg};
 
-/// Cycles between forward-progress checks (power of two: the check is a
-/// mask test on the hot path).
-const WATCHDOG_INTERVAL: Cycle = 8192;
+/// Cycles between forward-progress checks. The epoch engine cuts its
+/// windows on this schedule, and the serial loop's gate is a divisibility
+/// test — both assume (and the assertion below guarantees) a power of two,
+/// so the hot-path test compiles to a mask.
+pub(crate) const WATCHDOG_INTERVAL: Cycle = 8192;
+
+// A silently wrong watchdog schedule is worse than a build break: the gate
+// used to be a hand-written mask test that only works for powers of two.
+const _: () = assert!(
+    WATCHDOG_INTERVAL.is_power_of_two(),
+    "WATCHDOG_INTERVAL must be a power of two"
+);
 
 /// Consecutive stagnant checks (no progress of any kind) before the run
 /// fails as a deadlock.
@@ -28,7 +38,7 @@ const LIVELOCK_CHECKS: u64 = 64;
 /// simulation updates anyway, so a healthy run is bit-identical with or
 /// without it.
 #[derive(Clone, Copy, Debug, Default)]
-struct Watchdog {
+pub(crate) struct Watchdog {
     /// (app instructions, protocol instructions + handlers, net messages)
     /// at the previous check.
     last_sig: (u64, u64, u64),
@@ -38,30 +48,205 @@ struct Watchdog {
     app_stagnant: u64,
 }
 
+impl Watchdog {
+    /// One watchdog check: escalate through warning trace events to a
+    /// structured failure `(kind, message)`. Read-only on simulation state
+    /// — a healthy run behaves identically with the watchdog present.
+    /// Takes a node *view* rather than `&System` so both execution engines
+    /// can drive it (the parallel engine holds its nodes behind locks).
+    pub(crate) fn check(
+        &mut self,
+        nodes: &[&Node],
+        network: Option<&Network>,
+        app_done: bool,
+        tracer: &Tracer,
+        now: Cycle,
+    ) -> Option<(RunErrorKind, String)> {
+        // Unrecoverable injected faults surface immediately.
+        for n in nodes {
+            if let Some((cycle, protocol)) = n.first_uncorrectable() {
+                let chan = if protocol { "protocol" } else { "main" };
+                let id = n.id();
+                return Some((
+                    RunErrorKind::UnrecoverableFault,
+                    format!("uncorrectable ECC error on {id:?} {chan} channel at cycle {cycle}"),
+                ));
+            }
+        }
+        let sig = progress_signature(nodes, network);
+        if sig == self.last_sig {
+            self.stagnant += 1;
+            let stalled_for = self.stagnant * WATCHDOG_INTERVAL;
+            let level = self.stagnant.min(u64::from(u8::MAX)) as u8;
+            tracer.emit(Category::Fault, now, || Event::WatchdogWarn {
+                level,
+                stalled_for,
+            });
+            if self.stagnant >= DEADLOCK_CHECKS {
+                return Some((
+                    RunErrorKind::Deadlock,
+                    format!("no forward progress for {stalled_for} cycles"),
+                ));
+            }
+        } else {
+            self.stagnant = 0;
+        }
+        // Livelock: the machine churns but the application never advances.
+        if !app_done && sig.0 == self.last_sig.0 {
+            self.app_stagnant += 1;
+            if self.app_stagnant >= LIVELOCK_CHECKS {
+                let stalled_for = self.app_stagnant * WATCHDOG_INTERVAL;
+                return Some((
+                    RunErrorKind::Livelock,
+                    format!(
+                        "protocol/network activity without an application commit for {stalled_for} cycles"
+                    ),
+                ));
+            }
+        } else {
+            self.app_stagnant = 0;
+        }
+        self.last_sig = sig;
+        None
+    }
+}
+
+/// Machine-wide progress signature: anything moving shows up here.
+pub(crate) fn progress_signature(nodes: &[&Node], network: Option<&Network>) -> (u64, u64, u64) {
+    let mut app = 0;
+    let mut prot = 0;
+    for n in nodes {
+        let p = n.pipeline.stats();
+        app += p.committed_app();
+        prot += p.committed_protocol() + n.stats.handlers;
+    }
+    let net = network.map_or(0, |n| n.stats().messages);
+    (app, prot, net)
+}
+
+/// The online coherence sanitizer: sweep every materialized directory
+/// entry in stable state and cross-check the caches. Busy lines are
+/// mid-transaction and legitimately inconsistent, so they are skipped.
+/// Returns the violation message, if any.
+pub(crate) fn coherence_violation(nodes: &[&Node]) -> Option<String> {
+    for home in nodes {
+        for (line, state) in home.directory.entries() {
+            if state.is_busy() {
+                continue;
+            }
+            let mut holder: Option<NodeId> = None;
+            for n in nodes {
+                if n.mem.line_state(line).is_some_and(|s| s.is_writable()) {
+                    if let Some(prev) = holder {
+                        return Some(format!(
+                            "coherence violation: {line:?} writable at both {prev:?} and {:?}",
+                            n.id()
+                        ));
+                    }
+                    holder = Some(n.id());
+                }
+            }
+            if let Some(h) = holder {
+                if state != DirState::Exclusive(h) {
+                    return Some(format!(
+                        "coherence violation: {line:?} writable at {h:?} but directory says {state:?}"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Injected-fault and recovery counters across a node view plus network.
+pub(crate) fn fault_summary_of(nodes: &[&Node], network: Option<&Network>) -> FaultSummary {
+    let mut s = network.map(|n| n.fault_counters()).unwrap_or_default();
+    for n in nodes {
+        s.merge(&n.fault_counters());
+    }
+    s
+}
+
 /// Interval-sampling state: the sampler plus the previous counter values
 /// needed to turn cumulative statistics into per-interval rates.
-struct MetricsState {
-    sampler: IntervalSampler,
+pub(crate) struct MetricsState {
+    pub(crate) sampler: IntervalSampler,
     prev_committed: Vec<u64>,
     prev_prot_active: Vec<u64>,
     prev_vnet: [u64; 4],
 }
 
+impl MetricsState {
+    /// Take one sample at `now` if due (no-op otherwise).
+    pub(crate) fn sample(
+        &mut self,
+        app_threads: usize,
+        nodes: &[&Node],
+        network: Option<&Network>,
+        now: Cycle,
+    ) {
+        if !self.sampler.due(now) {
+            return;
+        }
+        let interval = self.sampler.interval() as f64;
+        let mut values = Vec::with_capacity(4 * nodes.len() + 5);
+        for (i, node) in nodes.iter().enumerate() {
+            let s = node.pipeline.stats();
+            let committed: u64 = s.committed[..app_threads].iter().sum();
+            values.push((committed - self.prev_committed[i]) as f64 / interval);
+            self.prev_committed[i] = committed;
+            let active = s.protocol_active_cycles;
+            values.push((active - self.prev_prot_active[i]) as f64 / interval);
+            self.prev_prot_active[i] = active;
+            values.push(node.mem.mshrs_used() as f64);
+            values.push(node.protocol_queue_depth() as f64);
+        }
+        match network {
+            Some(net) => {
+                values.push(net.in_flight_count() as f64);
+                let per_vnet = net.stats().per_vnet;
+                for (prev, &cur) in self.prev_vnet.iter_mut().zip(per_vnet.iter()) {
+                    values.push((cur - *prev) as f64 / interval);
+                    *prev = cur;
+                }
+            }
+            None => values.extend([0.0; 5]),
+        }
+        self.sampler.record(now, values);
+    }
+}
+
 /// A complete simulated DSM machine running one application.
+///
+/// Fields are crate-visible so the execution engines
+/// ([`crate::engine`]) can take the machine apart (nodes onto worker
+/// threads, synchronization fabric behind a gate) and reassemble it.
 pub struct System {
-    cfg: SystemConfig,
-    app: AppKind,
-    nodes: Vec<Node>,
-    network: Option<Network>,
-    sync: SyncManager,
-    now: Cycle,
-    app_done_at: Option<Cycle>,
-    tracer: Tracer,
-    profiler: PhaseProfiler,
-    metrics: Option<MetricsState>,
-    watchdog: Watchdog,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) app: AppKind,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) network: Option<Network>,
+    pub(crate) sync: SyncManager,
+    pub(crate) now: Cycle,
+    pub(crate) app_done_at: Option<Cycle>,
+    pub(crate) tracer: Tracer,
+    pub(crate) profiler: PhaseProfiler,
+    pub(crate) metrics: Option<MetricsState>,
+    pub(crate) watchdog: Watchdog,
     /// Run the online coherence sanitizer every N cycles, if set.
-    invariant_every: Option<Cycle>,
+    pub(crate) invariant_every: Option<Cycle>,
+    /// Nodes whose cached [`Node::quiescent`] flag is set — makes the
+    /// end-of-run test O(1) per cycle instead of an O(nodes) scan.
+    pub(crate) quiet_nodes: usize,
+    /// Nodes whose application threads have all finished (monotone).
+    pub(crate) finished_nodes: usize,
+    /// Reusable outbox drain buffer: the run loop used to allocate a fresh
+    /// `Vec` per node per cycle via `Node::take_outbox`.
+    pub(crate) outbox_scratch: Vec<(Cycle, Msg)>,
+    /// Structured failure recorded mid-tick (e.g. a network message on a
+    /// 1-node machine, which used to be an assert), surfaced by the run
+    /// loop as a [`RunError`] with a full [`Diagnosis`].
+    pub(crate) pending_error: Option<String>,
 }
 
 impl std::fmt::Debug for System {
@@ -165,6 +350,10 @@ impl System {
             metrics: None,
             watchdog: Watchdog::default(),
             invariant_every: None,
+            quiet_nodes: 0,
+            finished_nodes: 0,
+            outbox_scratch: Vec::new(),
+            pending_error: None,
         }
     }
 
@@ -218,37 +407,14 @@ impl System {
     }
 
     fn sample_metrics(&mut self, now: Cycle) {
-        let Some(m) = &mut self.metrics else {
+        // Check dueness before building the node view: the common case is
+        // "not due" (or sampling disabled) and must stay allocation-free.
+        if !self.metrics.as_ref().is_some_and(|m| m.sampler.due(now)) {
             return;
-        };
-        if !m.sampler.due(now) {
-            return;
         }
-        let interval = m.sampler.interval() as f64;
-        let mut values = Vec::with_capacity(4 * self.nodes.len() + 5);
-        for (i, node) in self.nodes.iter().enumerate() {
-            let s = node.pipeline.stats();
-            let committed: u64 = s.committed[..self.cfg.app_threads].iter().sum();
-            values.push((committed - m.prev_committed[i]) as f64 / interval);
-            m.prev_committed[i] = committed;
-            let active = s.protocol_active_cycles;
-            values.push((active - m.prev_prot_active[i]) as f64 / interval);
-            m.prev_prot_active[i] = active;
-            values.push(node.mem.mshrs_used() as f64);
-            values.push(node.protocol_queue_depth() as f64);
-        }
-        match &self.network {
-            Some(net) => {
-                values.push(net.in_flight_count() as f64);
-                let per_vnet = net.stats().per_vnet;
-                for (prev, &cur) in m.prev_vnet.iter_mut().zip(per_vnet.iter()) {
-                    values.push((cur - *prev) as f64 / interval);
-                    *prev = cur;
-                }
-            }
-            None => values.extend([0.0; 5]),
-        }
-        m.sampler.record(now, values);
+        let nodes: Vec<&Node> = self.nodes.iter().collect();
+        let m = self.metrics.as_mut().expect("dueness checked");
+        m.sample(self.cfg.app_threads, &nodes, self.network.as_ref(), now);
     }
 
     /// Current cycle.
@@ -265,17 +431,37 @@ impl System {
             }
         }
         for node in &mut self.nodes {
+            let was_quiet = node.quiescent();
+            let was_finished = node.app_finished();
             node.tick(now, &mut self.sync);
-            let out = node.take_outbox();
+            if node.quiescent() != was_quiet {
+                if was_quiet {
+                    self.quiet_nodes -= 1;
+                } else {
+                    self.quiet_nodes += 1;
+                }
+            }
+            if node.app_finished() && !was_finished {
+                self.finished_nodes += 1;
+            }
+            node.drain_outbox(&mut self.outbox_scratch);
             if let Some(net) = &mut self.network {
-                for (at, msg) in out {
+                for (at, msg) in self.outbox_scratch.drain(..) {
                     net.inject(at.max(now), msg);
                 }
-            } else {
-                assert!(out.is_empty(), "network message on a 1-node machine");
+            } else if !self.outbox_scratch.is_empty() {
+                // A 1-node machine has no network; a message bound for a
+                // remote node means the address map or protocol is broken.
+                // Record a structured failure for the run loop instead of
+                // crashing mid-tick.
+                let id = node.id();
+                self.outbox_scratch.clear();
+                self.pending_error.get_or_insert_with(|| {
+                    format!("network message emitted on a 1-node machine by {id:?} at cycle {now}")
+                });
             }
         }
-        if self.app_done_at.is_none() && self.nodes.iter().all(|n| n.pipeline.finished()) {
+        if self.app_done_at.is_none() && self.finished_nodes == self.nodes.len() {
             self.app_done_at = Some(now);
         }
         self.sample_metrics(now);
@@ -283,14 +469,25 @@ impl System {
     }
 
     /// Whether the application has completed *and* all protocol activity
-    /// has drained.
+    /// has drained. O(1): maintained from the per-node cached flags.
     pub fn quiesced(&self) -> bool {
-        self.app_done_at.is_some()
-            && self.nodes.iter().all(|n| n.quiesced())
+        let quiet = self.app_done_at.is_some()
+            && self.quiet_nodes == self.nodes.len()
             && self
                 .network
                 .as_ref()
-                .is_none_or(|n| n.in_flight_count() == 0)
+                .is_none_or(|n| n.in_flight_count() == 0);
+        debug_assert_eq!(
+            quiet,
+            self.app_done_at.is_some()
+                && self.nodes.iter().all(|n| n.quiesced())
+                && self
+                    .network
+                    .as_ref()
+                    .is_none_or(|n| n.in_flight_count() == 0),
+            "cached per-node quiescence diverged from a full scan"
+        );
+        quiet
     }
 
     /// Run the online coherence-invariant sanitizer every `every` cycles:
@@ -302,16 +499,40 @@ impl System {
         self.invariant_every = Some(every.max(1));
     }
 
-    /// Run to completion. `Ok` carries the collected statistics; `Err`
-    /// carries the failure class ([`RunErrorKind`]) and a machine-state
-    /// [`Diagnosis`]. The escalating forward-progress watchdog converts
-    /// deadlocks, livelocks and unrecoverable faults into structured
-    /// errors; exhausting `max_cycles` before quiescence reports as a
-    /// deadlock. The tracer is flushed on both paths.
+    /// Run to completion on the serial reference engine. `Ok` carries the
+    /// collected statistics; `Err` carries the failure class
+    /// ([`RunErrorKind`]) and a machine-state [`Diagnosis`]. The escalating
+    /// forward-progress watchdog converts deadlocks, livelocks and
+    /// unrecoverable faults into structured errors; exhausting `max_cycles`
+    /// before quiescence reports as a deadlock. The tracer is flushed on
+    /// both paths.
     pub fn run(&mut self, max_cycles: Cycle) -> Result<RunStats, RunError> {
+        self.run_with(max_cycles, EngineKind::Serial)
+    }
+
+    /// Run to completion on the chosen execution engine. Both engines
+    /// produce bit-identical statistics, trace streams and fault behavior;
+    /// [`EngineKind::Parallel`] is a performance choice, not a semantic
+    /// one.
+    pub fn run_with(
+        &mut self,
+        max_cycles: Cycle,
+        engine: EngineKind,
+    ) -> Result<RunStats, RunError> {
+        match engine {
+            EngineKind::Serial => self.run_serial(max_cycles),
+            EngineKind::Parallel => crate::engine::run_parallel(self, max_cycles),
+        }
+    }
+
+    fn run_serial(&mut self, max_cycles: Cycle) -> Result<RunStats, RunError> {
         while !self.quiesced() {
             self.tick();
-            if self.now & (WATCHDOG_INTERVAL - 1) == 0 {
+            if let Some(msg) = self.pending_error.take() {
+                self.tracer.flush();
+                return Err(self.run_error(RunErrorKind::UnrecoverableFault, msg));
+            }
+            if self.now.is_multiple_of(WATCHDOG_INTERVAL) {
                 if let Some(err) = self.watchdog_check() {
                     self.tracer.flush();
                     return Err(err);
@@ -340,126 +561,34 @@ impl System {
         Ok(self.collect())
     }
 
-    /// Machine-wide progress signature: anything moving shows up here.
-    fn progress_signature(&self) -> (u64, u64, u64) {
-        let mut app = 0;
-        let mut prot = 0;
-        for n in &self.nodes {
-            let p = n.pipeline.stats();
-            app += p.committed_app();
-            prot += p.committed_protocol() + n.stats.handlers;
-        }
-        let net = self.network.as_ref().map_or(0, |n| n.stats().messages);
-        (app, prot, net)
-    }
-
-    /// One watchdog check: escalate through warning trace events to a
-    /// structured error. Read-only on simulation state — a healthy run
-    /// behaves identically with the watchdog present.
     fn watchdog_check(&mut self) -> Option<RunError> {
-        let now = self.now;
-        // Unrecoverable injected faults surface immediately.
-        for n in &self.nodes {
-            if let Some((cycle, protocol)) = n.first_uncorrectable() {
-                let chan = if protocol { "protocol" } else { "main" };
-                let id = n.id();
-                return Some(self.run_error(
-                    RunErrorKind::UnrecoverableFault,
-                    format!("uncorrectable ECC error on {id:?} {chan} channel at cycle {cycle}"),
-                ));
-            }
-        }
-        let sig = self.progress_signature();
-        if sig == self.watchdog.last_sig {
-            self.watchdog.stagnant += 1;
-            let stalled_for = self.watchdog.stagnant * WATCHDOG_INTERVAL;
-            let level = self.watchdog.stagnant.min(u64::from(u8::MAX)) as u8;
-            self.tracer
-                .emit(Category::Fault, now, || Event::WatchdogWarn {
-                    level,
-                    stalled_for,
-                });
-            if self.watchdog.stagnant >= DEADLOCK_CHECKS {
-                return Some(self.run_error(
-                    RunErrorKind::Deadlock,
-                    format!("no forward progress for {stalled_for} cycles"),
-                ));
-            }
-        } else {
-            self.watchdog.stagnant = 0;
-        }
-        // Livelock: the machine churns but the application never advances.
-        if self.app_done_at.is_none() && sig.0 == self.watchdog.last_sig.0 {
-            self.watchdog.app_stagnant += 1;
-            if self.watchdog.app_stagnant >= LIVELOCK_CHECKS {
-                let stalled_for = self.watchdog.app_stagnant * WATCHDOG_INTERVAL;
-                return Some(self.run_error(
-                    RunErrorKind::Livelock,
-                    format!(
-                        "protocol/network activity without an application commit for {stalled_for} cycles"
-                    ),
-                ));
-            }
-        } else {
-            self.watchdog.app_stagnant = 0;
-        }
-        self.watchdog.last_sig = sig;
-        None
+        let nodes: Vec<&Node> = self.nodes.iter().collect();
+        let fail = self.watchdog.check(
+            &nodes,
+            self.network.as_ref(),
+            self.app_done_at.is_some(),
+            &self.tracer,
+            self.now,
+        );
+        drop(nodes);
+        let (kind, msg) = fail?;
+        Some(self.run_error(kind, msg))
     }
 
-    /// The online coherence sanitizer: sweep every materialized directory
-    /// entry in stable state and cross-check the caches. Busy lines are
-    /// mid-transaction and legitimately inconsistent, so they are skipped.
     fn check_coherence(&self) -> Option<RunError> {
-        for home in &self.nodes {
-            for (line, state) in home.directory.entries() {
-                if state.is_busy() {
-                    continue;
-                }
-                let mut holder: Option<NodeId> = None;
-                for n in &self.nodes {
-                    if n.mem.line_state(line).is_some_and(|s| s.is_writable()) {
-                        if let Some(prev) = holder {
-                            return Some(self.run_error(
-                                RunErrorKind::UnrecoverableFault,
-                                format!(
-                                    "coherence violation: {line:?} writable at both {prev:?} and {:?}",
-                                    n.id()
-                                ),
-                            ));
-                        }
-                        holder = Some(n.id());
-                    }
-                }
-                if let Some(h) = holder {
-                    if state != DirState::Exclusive(h) {
-                        return Some(self.run_error(
-                            RunErrorKind::UnrecoverableFault,
-                            format!(
-                                "coherence violation: {line:?} writable at {h:?} but directory says {state:?}"
-                            ),
-                        ));
-                    }
-                }
-            }
-        }
-        None
+        let nodes: Vec<&Node> = self.nodes.iter().collect();
+        let msg = coherence_violation(&nodes)?;
+        drop(nodes);
+        Some(self.run_error(RunErrorKind::UnrecoverableFault, msg))
     }
 
     /// Injected-fault and recovery counters across the whole machine.
     pub fn fault_summary(&self) -> FaultSummary {
-        let mut s = self
-            .network
-            .as_ref()
-            .map(|n| n.fault_counters())
-            .unwrap_or_default();
-        for n in &self.nodes {
-            s.merge(&n.fault_counters());
-        }
-        s
+        let nodes: Vec<&Node> = self.nodes.iter().collect();
+        fault_summary_of(&nodes, self.network.as_ref())
     }
 
-    fn run_error(&self, kind: RunErrorKind, message: String) -> RunError {
+    pub(crate) fn run_error(&self, kind: RunErrorKind, message: String) -> RunError {
         RunError {
             kind,
             cycle: self.now,

@@ -1,0 +1,167 @@
+//! Serial-vs-parallel engine equivalence.
+//!
+//! The parallel epoch engine promises results *bit-identical* to the
+//! serial reference loop: the same `RunStats` (down to every latency
+//! histogram and fault counter), the same trace event stream, and the
+//! same metrics sample rows, for every seed, node count and fault plan.
+//! These tests hold it to that promise over a grid of machine shapes,
+//! and pin down the idle-skipping schedules (a skip must never jump past
+//! a scheduled network arrival, a fault window, or a sampler tick — any
+//! overshoot shows up as a diverging trace or sample row).
+
+use smtp_core::{build_system, EngineKind, ExperimentConfig};
+use smtp_trace::{Event, MemorySink};
+use smtp_types::{Cycle, FaultConfig, MachineModel};
+use smtp_workloads::AppKind;
+
+/// Everything observable from one run: stats (Debug-formatted, so every
+/// field participates), the full trace stream, and any metrics rows.
+struct Observed {
+    stats: String,
+    events: Vec<(Cycle, Event)>,
+    metrics: Vec<(Cycle, Vec<f64>)>,
+}
+
+fn observe(e: &ExperimentConfig, engine: EngineKind, metrics_interval: Option<Cycle>) -> Observed {
+    let mut sys = build_system(e);
+    sys.tracer().enable_all();
+    let store = MemorySink::shared();
+    sys.tracer().add_sink(Box::new(MemorySink::attach(&store)));
+    if let Some(interval) = metrics_interval {
+        sys.enable_metrics(interval);
+    }
+    let stats = sys
+        .run_with(e.max_cycles, engine)
+        .unwrap_or_else(|err| panic!("{engine} engine failed: {err}"));
+    let metrics = sys.metrics().map(|s| s.rows().to_vec()).unwrap_or_default();
+    let events = store.borrow().clone();
+    Observed {
+        stats: format!("{stats:?}"),
+        events,
+        metrics,
+    }
+}
+
+fn assert_equivalent(e: &ExperimentConfig, metrics_interval: Option<Cycle>, label: &str) {
+    let serial = observe(e, EngineKind::Serial, metrics_interval);
+    let parallel = observe(e, EngineKind::Parallel, metrics_interval);
+    if serial.stats != parallel.stats {
+        let i = serial
+            .stats
+            .bytes()
+            .zip(parallel.stats.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(serial.stats.len().min(parallel.stats.len()));
+        let lo = i.saturating_sub(120);
+        panic!(
+            "[{label}] RunStats diverged between engines at byte {i}:\n  serial:   ...{}\n  parallel: ...{}",
+            &serial.stats[lo..(i + 120).min(serial.stats.len())],
+            &parallel.stats[lo..(i + 120).min(parallel.stats.len())],
+        );
+    }
+    assert_eq!(
+        serial.events.len(),
+        parallel.events.len(),
+        "[{label}] trace stream length diverged"
+    );
+    if let Some(i) = (0..serial.events.len()).find(|&i| serial.events[i] != parallel.events[i]) {
+        panic!(
+            "[{label}] trace streams diverge at event {i}:\n  serial:   {:?}\n  parallel: {:?}",
+            serial.events[i], parallel.events[i]
+        );
+    }
+    assert_eq!(
+        serial.metrics, parallel.metrics,
+        "[{label}] metrics sample rows diverged"
+    );
+}
+
+fn point(model: MachineModel, nodes: usize, ways: usize, seed: Option<u64>) -> ExperimentConfig {
+    let mut e = ExperimentConfig::quick(model, AppKind::Fft, nodes, ways);
+    e.scale = 0.1;
+    if let Some(seed) = seed {
+        e.faults = FaultConfig::chaos(seed);
+    }
+    e
+}
+
+#[test]
+fn single_node_matches() {
+    assert_equivalent(&point(MachineModel::SMTp, 1, 2, None), None, "smtp x1");
+}
+
+#[test]
+fn two_nodes_match() {
+    assert_equivalent(&point(MachineModel::SMTp, 2, 2, None), None, "smtp x2");
+}
+
+#[test]
+fn four_nodes_match() {
+    assert_equivalent(&point(MachineModel::SMTp, 4, 1, None), None, "smtp x4");
+}
+
+#[test]
+fn base_model_matches() {
+    assert_equivalent(&point(MachineModel::Base, 4, 1, None), None, "base x4");
+}
+
+#[test]
+fn single_node_with_faults_matches() {
+    assert_equivalent(
+        &point(MachineModel::SMTp, 1, 1, Some(7)),
+        None,
+        "smtp x1 chaos",
+    );
+}
+
+#[test]
+fn two_nodes_with_faults_match() {
+    assert_equivalent(
+        &point(MachineModel::SMTp, 2, 1, Some(11)),
+        None,
+        "smtp x2 chaos",
+    );
+}
+
+#[test]
+fn four_nodes_with_faults_match() {
+    assert_equivalent(
+        &point(MachineModel::SMTp, 4, 1, Some(42)),
+        None,
+        "smtp x4 chaos",
+    );
+}
+
+/// Idle-skipping must not jump past sampler ticks: with a short sampling
+/// interval every epoch is cut at the sampler schedule, and the sampled
+/// utilization/occupancy rows (computed from exact cycle counters at the
+/// sample cycle) must match the serial engine row for row.
+#[test]
+fn metrics_sampling_matches_under_idle_skip() {
+    assert_equivalent(
+        &point(MachineModel::SMTp, 4, 1, None),
+        Some(2_000),
+        "smtp x4 sampled",
+    );
+    assert_equivalent(
+        &point(MachineModel::SMTp, 2, 2, Some(3)),
+        Some(1_000),
+        "smtp x2 chaos sampled",
+    );
+}
+
+/// Error paths are part of the contract too: a run that hits the cycle
+/// limit must report the same structured Deadlock at the same cycle from
+/// both engines.
+#[test]
+fn deadlock_diagnosis_matches() {
+    let mut e = point(MachineModel::SMTp, 2, 1, None);
+    e.max_cycles = 20_000;
+    let serial = build_system(&e)
+        .run_with(e.max_cycles, EngineKind::Serial)
+        .expect_err("20k cycles cannot complete the run");
+    let parallel = build_system(&e)
+        .run_with(e.max_cycles, EngineKind::Parallel)
+        .expect_err("20k cycles cannot complete the run");
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}

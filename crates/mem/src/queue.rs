@@ -130,6 +130,17 @@ impl<T> TimedQueue<T> {
         self.stall.as_ref().map_or(0, |w| w.opened())
     }
 
+    /// Snapshot of the stall-window generator (RNG position, open window,
+    /// counters) for engines that must rewind speculative idle ticks.
+    pub fn stall_state(&self) -> Option<FaultWindows> {
+        self.stall.as_deref().cloned()
+    }
+
+    /// Restore a snapshot taken by [`TimedQueue::stall_state`].
+    pub fn restore_stall(&mut self, state: Option<FaultWindows>) {
+        self.stall = state.map(Box::new);
+    }
+
     /// End cycle of a stall window opened since the last call, if any
     /// (lets the owner emit one trace event per window).
     pub fn stall_opened(&mut self) -> Option<Cycle> {
@@ -162,6 +173,14 @@ impl<T> TimedQueue<T> {
         let (at, item) = self.items.pop_front().expect("is_ready checked");
         self.wait.record(now.saturating_sub(at));
         Some(item)
+    }
+
+    /// Ready time of the oldest item, if any. Dequeue order is FIFO, so
+    /// this is the earliest cycle at which [`TimedQueue::pop_due`] can
+    /// succeed — the bound the idle-skip engine uses to plan how far a
+    /// quiescent consumer may jump.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.items.front().map(|&(at, _)| at)
     }
 
     /// Items currently queued (ready or not).

@@ -113,8 +113,15 @@ pub(crate) struct Ready {
 /// The link-level retry layer state.
 #[derive(Clone, Debug)]
 pub(crate) struct Llp {
-    /// Seeded fault stream for every link-fault roll.
+    /// Seeded fault stream for first-transmission link-fault rolls.
     pub stream: FaultStream,
+    /// Independent fault stream for retransmission rolls. Keeping the two
+    /// paths on separate streams means the dice consumed by an injection
+    /// never depend on how many retransmit timers fired before it in the
+    /// same cycle window — a precondition for replaying injections and
+    /// deliveries in separate batches (parallel epoch engine) while staying
+    /// bit-identical to the serial interleaving.
+    pub retry_stream: FaultStream,
     /// Armed fault rates.
     pub faults: LinkFaults,
     /// Channel table (BTreeMap for deterministic iteration order).
@@ -138,10 +145,16 @@ pub(crate) struct Llp {
 }
 
 impl Llp {
-    /// A fresh retry layer with the given fault stream and base timeout.
-    pub fn new(stream: FaultStream, faults: LinkFaults, timeout0: Cycle) -> Llp {
+    /// A fresh retry layer with the given fault streams and base timeout.
+    pub fn new(
+        stream: FaultStream,
+        retry_stream: FaultStream,
+        faults: LinkFaults,
+        timeout0: Cycle,
+    ) -> Llp {
         Llp {
             stream,
+            retry_stream,
             faults,
             channels: BTreeMap::new(),
             phys: BinaryHeap::new(),
@@ -152,6 +165,24 @@ impl Llp {
             next_timer_at: Cycle::MAX,
             logical_in_flight: 0,
             counters: FaultSummary::default(),
+        }
+    }
+
+    /// Roll a fault from the path-appropriate stream.
+    pub fn roll(&mut self, retransmit: bool, per_million: u32) -> bool {
+        if retransmit {
+            self.retry_stream.fires(per_million)
+        } else {
+            self.stream.fires(per_million)
+        }
+    }
+
+    /// Draw a fault magnitude from the path-appropriate stream.
+    pub fn roll_magnitude(&mut self, retransmit: bool, max: Cycle) -> Cycle {
+        if retransmit {
+            self.retry_stream.magnitude(max)
+        } else {
+            self.stream.magnitude(max)
         }
     }
 
@@ -274,8 +305,10 @@ mod tests {
     use smtp_types::{Addr, FaultConfig, NodeId, Region};
 
     fn llp() -> Llp {
+        let cfg = FaultConfig::chaos(1);
         Llp::new(
-            FaultConfig::chaos(1).stream(smtp_types::faults::SITE_LINK),
+            cfg.stream(smtp_types::faults::SITE_LINK),
+            cfg.stream(smtp_types::faults::SITE_LINK_RETRY),
             LinkFaults::default(),
             100,
         )

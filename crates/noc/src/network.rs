@@ -115,7 +115,13 @@ impl Network {
         let max_links = self.topo.dims() as u64 + 2;
         let timeout0 = (4 * max_links * (self.hop_cycles + data_ser)).max(64);
         let stream = faults.stream(smtp_types::faults::SITE_LINK);
-        self.llp = Some(Box::new(Llp::new(stream, faults.link, timeout0)));
+        let retry_stream = faults.stream(smtp_types::faults::SITE_LINK_RETRY);
+        self.llp = Some(Box::new(Llp::new(
+            stream,
+            retry_stream,
+            faults.link,
+            timeout0,
+        )));
     }
 
     /// Injected-fault and recovery counters (all zero when the retry layer
@@ -145,6 +151,18 @@ impl Network {
     /// The topology in use.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The minimum cross-node message latency: the zero-load flight time of
+    /// a header-only packet between adjacent nodes (two links — inject and
+    /// eject — each paying serialization plus a hop). Every path through
+    /// the network is at least this long, and faults (delay, drop, corrupt,
+    /// duplicate) only ever delay delivery, so a message injected at cycle
+    /// `T` is never observable by another node before `T + min_latency()`.
+    /// This is the conservative lookahead of the parallel epoch engine.
+    pub fn min_latency(&self) -> Cycle {
+        let header_ser = (self.header_bytes as f64 * self.cycles_per_byte).ceil() as u64;
+        2 * (header_ser + self.hop_cycles)
     }
 
     /// Inject a message at cycle `now`; it will be delivered to `msg.dst`
@@ -277,7 +295,7 @@ impl Network {
         }
         let seq = chan.next_send_seq;
         chan.next_send_seq += 1;
-        let arrival = self.phys_transmit(&mut llp, now, key, seq, msg, now);
+        let arrival = self.phys_transmit(&mut llp, now, key, seq, msg, now, false);
         llp.track_unacked(key, seq, msg, now, arrival.max(now));
         llp.logical_in_flight += 1;
         self.llp = Some(llp);
@@ -297,6 +315,14 @@ impl Network {
     /// One physical transmission of `(key, seq)`: reserve route links for
     /// bandwidth, then roll the fault dice in a fixed order (delay, drop,
     /// corrupt, duplicate). Returns the (post-delay) nominal arrival cycle.
+    ///
+    /// Retransmissions (`retransmit == true`) use zero-load timing (no
+    /// link reservation) and roll an independent fault stream: a retry is
+    /// already a rare, timeout-delayed recovery, and keeping it off the
+    /// shared link calendar and the first-transmission dice means the
+    /// delivery-servicing path and the injection path never race for
+    /// shared network state within a lookahead window.
+    #[allow(clippy::too_many_arguments)]
     fn phys_transmit(
         &mut self,
         llp: &mut Llp,
@@ -305,18 +331,24 @@ impl Network {
         seq: u64,
         msg: Msg,
         sent_at: Cycle,
+        retransmit: bool,
     ) -> Cycle {
         let bytes = msg.wire_bytes(self.header_bytes);
         let ser = (bytes as f64 * self.cycles_per_byte).ceil() as u64;
-        let mut route = std::mem::take(&mut self.route_buf);
-        self.topo.route(msg.src, msg.dst, &mut route);
         let mut cur = now;
-        for &l in &route {
-            let start = cur.max(self.link_free[l]);
-            self.link_free[l] = start + ser;
-            cur = start + ser + self.hop_cycles;
+        if retransmit {
+            let links = u64::from(self.topo.hops(msg.src, msg.dst)) + 1;
+            cur += links * (ser + self.hop_cycles);
+        } else {
+            let mut route = std::mem::take(&mut self.route_buf);
+            self.topo.route(msg.src, msg.dst, &mut route);
+            for &l in &route {
+                let start = cur.max(self.link_free[l]);
+                self.link_free[l] = start + ser;
+                cur = start + ser + self.hop_cycles;
+            }
+            self.route_buf = route;
         }
-        self.route_buf = route;
         self.stats.bytes += bytes;
         let f = llp.faults;
         let vnet = key.2;
@@ -328,18 +360,18 @@ impl Network {
             vnet,
             fault,
         };
-        if llp.stream.fires(f.delay_per_million) {
-            cur += llp.stream.magnitude(f.max_delay_cycles);
+        if llp.roll(retransmit, f.delay_per_million) {
+            cur += llp.roll_magnitude(retransmit, f.max_delay_cycles);
             llp.counters.link_delays += 1;
             self.tracer
                 .emit(Category::Fault, now, || fault_ev(LinkFaultClass::Delay));
         }
-        if llp.stream.fires(f.drop_per_million) {
+        if llp.roll(retransmit, f.drop_per_million) {
             llp.counters.link_drops += 1;
             self.tracer
                 .emit(Category::Fault, now, || fault_ev(LinkFaultClass::Drop));
         } else {
-            let corrupt = llp.stream.fires(f.corrupt_per_million);
+            let corrupt = llp.roll(retransmit, f.corrupt_per_million);
             if corrupt {
                 llp.counters.link_crc_errors += 1;
                 self.tracer
@@ -356,7 +388,7 @@ impl Network {
                 },
             );
         }
-        if llp.stream.fires(f.duplicate_per_million) {
+        if llp.roll(retransmit, f.duplicate_per_million) {
             llp.counters.link_duplicates += 1;
             self.tracer
                 .emit(Category::Fault, now, || fault_ev(LinkFaultClass::Duplicate));
@@ -408,7 +440,7 @@ impl Network {
                     seq,
                     attempt: attempts,
                 });
-            self.phys_transmit(&mut llp, now, key, seq, msg, sent_at);
+            self.phys_transmit(&mut llp, now, key, seq, msg, sent_at, true);
         }
         let out = llp.ready.pop_front();
         if out.is_some() {

@@ -1164,8 +1164,14 @@ impl SmtPipeline {
         let Some((_, first)) = self.peek_next(ctx, env) else {
             return 0;
         };
-        // Instruction-cache access for this bundle.
+        // Instruction-cache access for this bundle. Skipped while the
+        // decode queue has no room: nothing could be delivered anyway, and
+        // probing the I-cache every stalled cycle both inflates hit
+        // statistics and keeps an otherwise-idle thread mutating state.
         if !matches!(first.op, Op::Halt) {
+            if !self.decode_q.can_push(ctx) {
+                return 0;
+            }
             let addr = self.fetch_addr(ctx, first.pc);
             let is_prot = ctx.is_protocol();
             match mem.ifetch(ctx, addr, now, is_prot) {
@@ -1256,6 +1262,211 @@ impl SmtPipeline {
     /// Register-file diagnostics.
     pub fn regs(&self) -> &RegFiles {
         &self.regs
+    }
+
+    // --------------------------- idle skipping ---------------------------
+
+    /// Conservative stall certificate, evaluated right after `tick(now)`.
+    ///
+    /// Returns `Some(bound)` when every tick at cycles `now+1 .. bound-1`
+    /// is provably a *pure stall tick*: no stage moves an instruction, no
+    /// external call (`PipeEnv`, `MemHierarchy`) is made, and the only state
+    /// changes are the per-cycle bookkeeping that [`SmtPipeline::skip_stalled`]
+    /// applies in bulk (cycle counter, commit round-robin rotation, memory-port
+    /// priority flip, per-thread stall buckets). `bound` may be `Cycle::MAX`
+    /// when the pipeline is waiting purely on external wake-ups (cache fills,
+    /// network deliveries); the caller clamps it with its own event horizon.
+    ///
+    /// Returns `None` when any context could do real work next cycle. The
+    /// certificate must be *exact* about purity — the parallel engine's
+    /// bit-equality with the serial oracle depends on it — so every blocked
+    /// path that still mutates state (I-cache probes, stall-counter bumps,
+    /// `store_retire` retries) rejects the skip.
+    ///
+    /// `prot_source_idle` tells the certificate whether the protocol
+    /// instruction source (`PipeEnv::next_protocol_inst`) is guaranteed to
+    /// return `None` without side effects (i.e. the dispatch unit is empty).
+    pub fn frozen_until(&self, now: Cycle, prot_source_idle: bool) -> Option<Cycle> {
+        let mut bound = Cycle::MAX;
+        // Decode: a non-empty decode queue only stays put while the rename
+        // queue has no room for its front entry.
+        if let Some(e) = self.decode_q.prot.front() {
+            if self.rename_q.can_push(e.ctx) {
+                return None;
+            }
+        }
+        if let Some(e) = self.decode_q.app.front() {
+            if self.rename_q.can_push(e.ctx) {
+                return None;
+            }
+        }
+        // Rename: only a window-full front entry fails before any stall
+        // counter is bumped; every other rejection path mutates statistics.
+        if let Some(e) = self.rename_q.prot.front() {
+            if self.threads[e.ctx.idx()].window.len() < self.p.active_list {
+                return None;
+            }
+        }
+        if let Some(e) = self.rename_q.app.front() {
+            if self.threads[e.ctx.idx()].window.len() < self.p.active_list {
+                return None;
+            }
+        }
+        // Store-buffer drains retry the cache every cycle unless a drain
+        // miss is outstanding.
+        if !self.sb_drain_app.is_empty() && !self.sb_drain_app_waiting {
+            return None;
+        }
+        if !self.sb_drain_prot.is_empty() && !self.sb_drain_prot_waiting {
+            return None;
+        }
+        // Pending branch resolutions fire at their scheduled cycle.
+        for r in &self.resolving {
+            bound = bound.min(r.at);
+        }
+        // Issue queues: an entry issues as soon as its sources are ready.
+        for &(ctx, seq) in self.iq_int.iter().chain(self.iq_fp.iter()) {
+            let th = &self.threads[ctx.idx()];
+            let Some(d) = th.find(seq) else { continue };
+            if d.issued || d.in_iq.is_none() {
+                continue; // stale entry: dropped for free on the next pass
+            }
+            bound = bound.min(self.srcs_ready_at(d));
+        }
+        for &ctx in &self.active_ctxs() {
+            let th = &self.threads[ctx.idx()];
+            // Memory issue: the head of the memory order issues when its
+            // sources are ready — except a Store facing a full store
+            // buffer, which waits (purely) for a drain.
+            if let Some(&mseq) = th.mem_order.front() {
+                let d = th.find(mseq).expect("mem_order out of sync");
+                let ready_at = self.srcs_ready_at(d);
+                if matches!(d.inst.op, Op::Store { .. })
+                    && self.sb_used >= self.p.store_buffer - self.reserve
+                {
+                    // Blocked on a store-buffer slot; drains are inert.
+                } else {
+                    bound = bound.min(ready_at);
+                }
+            }
+            // Fetch: the context must be either filtered out of the fetch
+            // order or provably unable to deliver anything.
+            if th.block_seq.is_some() || th.awaiting_ifetch {
+                // Cleared by a commit or an I-fetch wake-up; both are
+                // covered by other bounds.
+            } else if th.fetch_stall_until > now {
+                bound = bound.min(th.fetch_stall_until);
+            } else if let Some((_, inst)) = th.peeked {
+                if matches!(inst.op, Op::Halt) || self.decode_q.can_push(ctx) {
+                    return None; // would halt the thread / deliver the bundle
+                }
+            } else if !th.refetch.is_empty() {
+                return None; // would refill the peek slot
+            } else if !(th.halted || ctx.is_protocol() && prot_source_idle) {
+                return None; // would draw from the instruction source
+            }
+            // Commit: the head either commits, polls, or waits purely.
+            if let Some(head) = th.window.front() {
+                if head.inst.is_nonspeculative() && !head.issued {
+                    match head.inst.op {
+                        Op::PStore { .. } => {
+                            if self.sb_used < self.p.store_buffer {
+                                return None; // would allocate and issue
+                            }
+                        }
+                        Op::SyncStore { .. } => {
+                            if !head.mem_started {
+                                return None; // would retry store_retire
+                            }
+                        }
+                        _ => return None, // Send/Switch/Ldctxt prepare instantly
+                    }
+                } else if head.issued {
+                    if head.ready_at <= now + 1 {
+                        return None; // completes (commits or polls) next tick
+                    }
+                    bound = bound.min(head.ready_at);
+                }
+            }
+        }
+        if bound <= now + 1 {
+            return None;
+        }
+        Some(bound)
+    }
+
+    /// Earliest cycle at which every source of `d` is ready.
+    fn srcs_ready_at(&self, d: &DynInst) -> Cycle {
+        d.src_phys.iter().fold(0, |acc, s| match s {
+            Some((class, phys)) => acc.max(self.regs.ready_at(*class, *phys)),
+            None => acc,
+        })
+    }
+
+    /// Bulk-apply the per-cycle bookkeeping of the pure stall ticks at
+    /// cycles `from .. to` (exclusive), exactly as if [`SmtPipeline::tick`]
+    /// had run for each of them under a valid [`SmtPipeline::frozen_until`]
+    /// certificate. The caller resumes real ticking at `to`.
+    pub fn skip_stalled(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(to > from);
+        let skipped = to - from;
+        let n = self.active_ctxs().len();
+        self.rr_commit = (self.rr_commit + (skipped % n as u64) as usize) % n;
+        if skipped % 2 == 1 {
+            self.drain_first = !self.drain_first;
+        }
+        // Stall attribution: the per-cycle classification in `commit` is
+        // constant across the frozen span (the certificate bounds every
+        // condition it reads), so classify once and multiply.
+        for t in 0..self.app_threads {
+            let th = &self.threads[t];
+            if th.finished() {
+                continue;
+            }
+            let bucket = if th
+                .window
+                .front()
+                .is_some_and(|h| h.inst.is_mem() && !h.completed(from))
+            {
+                &mut self.stats.memory_stall
+            } else if th.block_seq.is_some() {
+                &mut self.stats.sync_stall
+            } else if th.fetch_stall_until > from {
+                &mut self.stats.squash_stall
+            } else if th.window.is_empty() && th.frontend_count == 0 && th.peeked.is_none() {
+                &mut self.stats.fetch_starved
+            } else {
+                &mut self.stats.other_stall
+            };
+            bucket[t] += skipped;
+        }
+        let pt = &self.threads[Ctx::protocol().idx()];
+        if !pt.window.is_empty()
+            || !pt.refetch.is_empty()
+            || pt.peeked.is_some()
+            || pt.frontend_count > 0
+        {
+            self.stats.protocol_active_cycles += skipped;
+        }
+        self.stats.cycles = to;
+    }
+
+    /// Undo the per-cycle bookkeeping of ticks at cycles `from .. to`
+    /// (exclusive) on a *fully quiescent* pipeline — the parallel engine's
+    /// end-of-run fixup for epoch overshoot past the serial exit cycle.
+    /// Quiescent ticks touch nothing but the cycle counter, the commit
+    /// round-robin and the drain-priority flip, so those are rolled back.
+    pub fn retract_idle(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(to >= from);
+        debug_assert!(self.finished() && self.protocol_quiesced());
+        let over = to - from;
+        let n = self.active_ctxs().len();
+        let back = (over % n as u64) as usize;
+        self.rr_commit = (self.rr_commit + n - back) % n;
+        if over % 2 == 1 {
+            self.drain_first = !self.drain_first;
+        }
+        self.stats.cycles = from;
     }
 }
 

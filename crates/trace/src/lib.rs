@@ -18,7 +18,7 @@
 //!
 //! # Architecture
 //!
-//! [`Tracer`] is a cheap-clone handle (`Rc` internally) created once per
+//! [`Tracer`] is a cheap-clone handle (`Arc` internally) created once per
 //! `System` and attached to every node component at build time. Components
 //! emit through [`Tracer::emit`], which takes a closure so the event is only
 //! constructed when its [`Category`] is enabled:
@@ -42,5 +42,5 @@ pub use event::{
     StallClass,
 };
 pub use metrics::IntervalSampler;
-pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SharedBuf, TraceSink};
-pub use tracer::Tracer;
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SharedBuf, SharedEvents, TraceSink};
+pub use tracer::{take_captured_events, CapturedEvent, Tracer};

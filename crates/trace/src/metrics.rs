@@ -39,6 +39,12 @@ impl IntervalSampler {
         now >= self.next_due
     }
 
+    /// The next cycle at which a sample becomes due (used by the idle-skip
+    /// engine to avoid jumping past a scheduled sampler tick).
+    pub fn next_due(&self) -> Cycle {
+        self.next_due
+    }
+
     /// Record one row of samples taken at cycle `now`; `values` must match
     /// the registered columns.
     pub fn record(&mut self, now: Cycle, values: Vec<f64>) {

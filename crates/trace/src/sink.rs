@@ -3,17 +3,19 @@
 
 use crate::event::Event;
 use smtp_types::Cycle;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A consumer of trace events.
 ///
 /// Sinks receive every event that passes the [`Tracer`](crate::Tracer)
 /// category mask, in emission order. `flush` finalizes any on-disk format
-/// and must be idempotent.
-pub trait TraceSink {
+/// and must be idempotent. Sinks must be `Send` because tracer state is
+/// shared with the parallel engine's worker threads (workers never call
+/// sinks directly — captured events are replayed at epoch barriers — but
+/// the shared sink registry has to cross the thread boundary).
+pub trait TraceSink: Send {
     /// Record one event emitted at cycle `now`.
     fn record(&mut self, now: Cycle, ev: &Event);
 
@@ -25,6 +27,20 @@ pub trait TraceSink {
 // MemorySink
 // ---------------------------------------------------------------------------
 
+/// A cloneable, thread-safe event store shared between a [`MemorySink`]
+/// and the code inspecting it.
+#[derive(Clone, Default)]
+pub struct SharedEvents {
+    store: Arc<Mutex<Vec<(Cycle, Event)>>>,
+}
+
+impl SharedEvents {
+    /// Lock and view the recorded events.
+    pub fn borrow(&self) -> MutexGuard<'_, Vec<(Cycle, Event)>> {
+        self.store.lock().unwrap()
+    }
+}
+
 /// Captures events into a shared `Vec` for tests and programmatic analysis.
 ///
 /// ```ignore
@@ -34,26 +50,26 @@ pub trait TraceSink {
 /// for (cycle, event) in store.borrow().iter() { ... }
 /// ```
 pub struct MemorySink {
-    store: Rc<RefCell<Vec<(Cycle, Event)>>>,
+    store: SharedEvents,
 }
 
 impl MemorySink {
     /// A fresh shared event store.
-    pub fn shared() -> Rc<RefCell<Vec<(Cycle, Event)>>> {
-        Rc::new(RefCell::new(Vec::new()))
+    pub fn shared() -> SharedEvents {
+        SharedEvents::default()
     }
 
     /// A sink recording into `store`.
-    pub fn attach(store: &Rc<RefCell<Vec<(Cycle, Event)>>>) -> MemorySink {
+    pub fn attach(store: &SharedEvents) -> MemorySink {
         MemorySink {
-            store: Rc::clone(store),
+            store: store.clone(),
         }
     }
 }
 
 impl TraceSink for MemorySink {
     fn record(&mut self, now: Cycle, ev: &Event) {
-        self.store.borrow_mut().push((now, *ev));
+        self.store.borrow().push((now, *ev));
     }
 }
 
@@ -65,7 +81,7 @@ impl TraceSink for MemorySink {
 /// write "to a file" that tests then inspect byte-for-byte.
 #[derive(Clone, Default)]
 pub struct SharedBuf {
-    buf: Rc<RefCell<Vec<u8>>>,
+    buf: Arc<Mutex<Vec<u8>>>,
 }
 
 impl SharedBuf {
@@ -76,18 +92,18 @@ impl SharedBuf {
 
     /// The accumulated bytes.
     pub fn contents(&self) -> Vec<u8> {
-        self.buf.borrow().clone()
+        self.buf.lock().unwrap().clone()
     }
 
     /// The accumulated bytes as UTF-8 (trace output is always ASCII).
     pub fn to_string_lossy(&self) -> String {
-        String::from_utf8_lossy(&self.buf.borrow()).into_owned()
+        String::from_utf8_lossy(&self.buf.lock().unwrap()).into_owned()
     }
 }
 
 impl Write for SharedBuf {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
-        self.buf.borrow_mut().extend_from_slice(data);
+        self.buf.lock().unwrap().extend_from_slice(data);
         Ok(data.len())
     }
 
@@ -105,13 +121,13 @@ impl Write for SharedBuf {
 /// The encoding is deterministic: identically-seeded runs produce
 /// byte-identical streams.
 pub struct JsonlSink {
-    out: Box<dyn Write>,
+    out: Box<dyn Write + Send>,
     line: String,
 }
 
 impl JsonlSink {
     /// A sink writing to `out` (a file, a [`SharedBuf`], …).
-    pub fn new(out: Box<dyn Write>) -> JsonlSink {
+    pub fn new(out: Box<dyn Write + Send>) -> JsonlSink {
         JsonlSink {
             out,
             line: String::with_capacity(160),
@@ -160,7 +176,7 @@ impl Drop for JsonlSink {
 ///
 /// One simulated cycle is exported as one microsecond.
 pub struct ChromeTraceSink {
-    out: Box<dyn Write>,
+    out: Box<dyn Write + Send>,
     first: bool,
     finished: bool,
     last_ts: Cycle,
@@ -170,7 +186,7 @@ pub struct ChromeTraceSink {
 
 impl ChromeTraceSink {
     /// A sink writing a trace for `nodes` nodes to `out`.
-    pub fn new(out: Box<dyn Write>, nodes: usize) -> ChromeTraceSink {
+    pub fn new(out: Box<dyn Write + Send>, nodes: usize) -> ChromeTraceSink {
         let mut sink = ChromeTraceSink {
             out,
             first: true,

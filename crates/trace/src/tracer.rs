@@ -4,10 +4,12 @@
 
 use crate::event::{Category, Event};
 use crate::sink::TraceSink;
+use smtp_types::capture::{self, CapturePoint};
 use smtp_types::Cycle;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Bounded ring of the most recent events, dumped on deadlock panics.
 struct RingBuffer {
@@ -15,18 +17,35 @@ struct RingBuffer {
     buf: VecDeque<(Cycle, Event)>,
 }
 
-/// State shared by every clone of a [`Tracer`].
+/// State shared by every clone of a [`Tracer`]. Shared state is behind
+/// `Arc`/`Mutex`/atomics so tracer clones can live on the parallel epoch
+/// engine's worker threads; the hot path only performs one relaxed atomic
+/// load, and workers never touch the locks (they capture into thread-local
+/// buffers instead — see [`smtp_types::capture`]).
 struct TraceShared {
-    mask: Cell<u32>,
-    ring: RefCell<RingBuffer>,
-    sinks: RefCell<Vec<Box<dyn TraceSink>>>,
+    mask: AtomicU32,
+    ring: Mutex<RingBuffer>,
+    sinks: Mutex<Vec<Box<dyn TraceSink>>>,
+}
+
+/// One trace event captured on a worker thread, tagged with the serial
+/// position it must be replayed at.
+pub type CapturedEvent = (CapturePoint, Cycle, Event);
+
+thread_local! {
+    static CAPTURED_EVENTS: RefCell<Vec<CapturedEvent>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drain this thread's captured trace events.
+pub fn take_captured_events() -> Vec<CapturedEvent> {
+    CAPTURED_EVENTS.with(|b| std::mem::take(&mut *b.borrow_mut()))
 }
 
 /// A handle to the trace subsystem.
 ///
 /// `System` creates one tracer and clones it into every component at build
 /// time; clones share the enable mask, ring buffer and sinks through an
-/// `Rc`. [`Tracer::default`] (and [`Tracer::disabled`]) produce a detached
+/// `Arc`. [`Tracer::default`] (and [`Tracer::disabled`]) produce a detached
 /// handle that ignores everything — components start with one so their
 /// constructors need no tracer argument.
 ///
@@ -35,7 +54,7 @@ struct TraceShared {
 /// never run.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    shared: Option<Rc<TraceShared>>,
+    shared: Option<Arc<TraceShared>>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -52,13 +71,13 @@ impl Tracer {
     /// [`Tracer::set_mask`] / [`Tracer::enable_all`]).
     pub fn new() -> Tracer {
         Tracer {
-            shared: Some(Rc::new(TraceShared {
-                mask: Cell::new(0),
-                ring: RefCell::new(RingBuffer {
+            shared: Some(Arc::new(TraceShared {
+                mask: AtomicU32::new(0),
+                ring: Mutex::new(RingBuffer {
                     cap: 0,
                     buf: VecDeque::new(),
                 }),
-                sinks: RefCell::new(Vec::new()),
+                sinks: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -78,20 +97,22 @@ impl Tracer {
     #[inline(always)]
     pub fn enabled(&self, cat: Category) -> bool {
         match &self.shared {
-            Some(sh) => sh.mask.get() & cat.bit() != 0,
+            Some(sh) => sh.mask.load(Ordering::Relaxed) & cat.bit() != 0,
             None => false,
         }
     }
 
     /// Current category mask (0 when detached).
     pub fn mask(&self) -> u32 {
-        self.shared.as_ref().map_or(0, |sh| sh.mask.get())
+        self.shared
+            .as_ref()
+            .map_or(0, |sh| sh.mask.load(Ordering::Relaxed))
     }
 
     /// Replace the category mask (bits per [`Category::bit`]).
     pub fn set_mask(&self, mask: u32) {
         if let Some(sh) = &self.shared {
-            sh.mask.set(mask & Category::ALL);
+            sh.mask.store(mask & Category::ALL, Ordering::Relaxed);
         }
     }
 
@@ -108,7 +129,7 @@ impl Tracer {
     #[inline(always)]
     pub fn emit<F: FnOnce() -> Event>(&self, cat: Category, now: Cycle, f: F) {
         if let Some(sh) = &self.shared {
-            if sh.mask.get() & cat.bit() != 0 {
+            if sh.mask.load(Ordering::Relaxed) & cat.bit() != 0 {
                 Tracer::record(sh, now, f());
             }
         }
@@ -116,8 +137,19 @@ impl Tracer {
 
     #[cold]
     fn record(sh: &TraceShared, now: Cycle, ev: Event) {
+        // Parallel workers defer delivery: the event is buffered with its
+        // serial position and replayed at the next epoch barrier, so the
+        // ring and sinks see the exact serial-order stream.
+        if capture::is_active() {
+            CAPTURED_EVENTS.with(|b| b.borrow_mut().push((capture::point(), now, ev)));
+            return;
+        }
+        Tracer::deliver(sh, now, ev);
+    }
+
+    fn deliver(sh: &TraceShared, now: Cycle, ev: Event) {
         {
-            let mut ring = sh.ring.borrow_mut();
+            let mut ring = sh.ring.lock().unwrap();
             if ring.cap > 0 {
                 if ring.buf.len() == ring.cap {
                     ring.buf.pop_front();
@@ -125,8 +157,19 @@ impl Tracer {
                 ring.buf.push_back((now, ev));
             }
         }
-        for sink in sh.sinks.borrow_mut().iter_mut() {
+        for sink in sh.sinks.lock().unwrap().iter_mut() {
             sink.record(now, &ev);
+        }
+    }
+
+    /// Deliver captured events (already merged into serial order by the
+    /// caller) to the ring and sinks. The category mask was applied when
+    /// each event was captured, so it is not re-checked.
+    pub fn replay_captured(&self, events: &[CapturedEvent]) {
+        if let Some(sh) = &self.shared {
+            for &(_, now, ev) in events {
+                Tracer::deliver(sh, now, ev);
+            }
         }
     }
 
@@ -134,7 +177,7 @@ impl Tracer {
     /// installed sink in installation order.
     pub fn add_sink(&self, sink: Box<dyn TraceSink>) {
         if let Some(sh) = &self.shared {
-            sh.sinks.borrow_mut().push(sink);
+            sh.sinks.lock().unwrap().push(sink);
         }
     }
 
@@ -142,7 +185,7 @@ impl Tracer {
     /// (0 disables the ring).
     pub fn enable_ring(&self, cap: usize) {
         if let Some(sh) = &self.shared {
-            let mut ring = sh.ring.borrow_mut();
+            let mut ring = sh.ring.lock().unwrap();
             ring.cap = cap;
             while ring.buf.len() > cap {
                 ring.buf.pop_front();
@@ -155,7 +198,8 @@ impl Tracer {
         match &self.shared {
             Some(sh) => sh
                 .ring
-                .borrow()
+                .lock()
+                .unwrap()
                 .buf
                 .iter()
                 .map(|(t, ev)| format!("[{t:>10}] {ev}"))
@@ -168,7 +212,7 @@ impl Tracer {
     /// are unreadable until flushed).
     pub fn flush(&self) {
         if let Some(sh) = &self.shared {
-            for sink in sh.sinks.borrow_mut().iter_mut() {
+            for sink in sh.sinks.lock().unwrap().iter_mut() {
                 sink.flush();
             }
         }
@@ -235,5 +279,29 @@ mod tests {
         let dump = t.ring_dump();
         assert_eq!(dump.len(), 2, "ring must stay bounded");
         assert!(dump[0].contains("[         2]"), "oldest retained is t=2");
+    }
+
+    #[test]
+    fn captured_events_replay_in_merged_order() {
+        let t = Tracer::new();
+        t.enable_all();
+        let sink = MemorySink::shared();
+        t.add_sink(Box::new(MemorySink::attach(&sink)));
+
+        // Capture events out of serial order (as two workers would).
+        smtp_types::capture::begin((7, 3, 0));
+        t.emit(Category::Cache, 7, || ev(1));
+        smtp_types::capture::set_point((7, 1, 0));
+        t.emit(Category::Cache, 7, || ev(0));
+        smtp_types::capture::end();
+        assert!(sink.borrow().is_empty(), "capture defers sink delivery");
+
+        let mut events = take_captured_events();
+        events.sort_by_key(|&(point, _, _)| point);
+        t.replay_captured(&events);
+        let store = sink.borrow();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store[0].1, ev(0), "lane 1 replays before lane 3");
+        assert_eq!(store[1].1, ev(1));
     }
 }

@@ -1,0 +1,103 @@
+//! Thread-local capture points for deterministic parallel replay.
+//!
+//! The parallel epoch engine runs nodes on worker threads, but the trace
+//! stream and the latency profiler are order-sensitive: the serial engine
+//! interleaves their side effects in a fixed per-cycle order (network
+//! deliveries, then each node's tick, then each node's injections). To
+//! reproduce that order bit-exactly, workers do not apply observability
+//! side effects directly; they *capture* them into thread-local buffers
+//! tagged with a [`CapturePoint`] — the position in the serial order at
+//! which the serial engine would have applied them. At each epoch barrier
+//! the coordinator merges all buffers with a stable sort on the capture
+//! point and replays them, recreating the serial stream exactly.
+//!
+//! The point is `(cycle, lane, slot)`:
+//!
+//! * `cycle` — the processing cycle (not the event's own timestamp, which
+//!   may be future-dated, e.g. a `NetInject`'s delivery time);
+//! * `lane` — the phase within the cycle: `0` for the network delivery
+//!   phase, `2*i + 1` for node `i`'s tick, `2*i + 2` for node `i`'s
+//!   injections;
+//! * `slot` — the index within the lane (the per-cycle pop index for
+//!   deliveries, the outbox index for injections).
+//!
+//! Capture state is thread-local and costs one `Cell` read per emission
+//! when inactive, so the serial engine is unaffected.
+
+use crate::Cycle;
+use std::cell::Cell;
+
+/// Position in the serial side-effect order: `(cycle, lane, slot)`.
+pub type CapturePoint = (Cycle, u32, u32);
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static POINT: Cell<CapturePoint> = const { Cell::new((0, 0, 0)) };
+}
+
+/// Start capturing on this thread, positioned at `point`.
+pub fn begin(point: CapturePoint) {
+    ACTIVE.with(|a| a.set(true));
+    POINT.with(|p| p.set(point));
+}
+
+/// Move this thread's capture position (a no-op unless capturing).
+pub fn set_point(point: CapturePoint) {
+    POINT.with(|p| p.set(point));
+}
+
+/// Stop capturing on this thread.
+pub fn end() {
+    ACTIVE.with(|a| a.set(false));
+}
+
+/// Whether this thread is currently capturing.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// This thread's current capture position.
+#[inline]
+pub fn point() -> CapturePoint {
+    POINT.with(|p| p.get())
+}
+
+/// Lane for the network delivery phase of a cycle.
+pub const LANE_DELIVER: u32 = 0;
+
+/// Lane for node `i`'s tick phase.
+pub fn lane_tick(node: usize) -> u32 {
+    2 * node as u32 + 1
+}
+
+/// Lane for node `i`'s injection phase.
+pub fn lane_inject(node: usize) -> u32 {
+    2 * node as u32 + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_point_lifecycle() {
+        assert!(!is_active());
+        begin((5, lane_tick(2), 0));
+        assert!(is_active());
+        assert_eq!(point(), (5, 5, 0));
+        set_point((6, LANE_DELIVER, 3));
+        assert_eq!(point(), (6, 0, 3));
+        end();
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn lanes_order_like_the_serial_tick() {
+        // Deliveries, then tick 0, inject 0, tick 1, inject 1, ...
+        assert!(LANE_DELIVER < lane_tick(0));
+        assert!(lane_tick(0) < lane_inject(0));
+        assert!(lane_inject(0) < lane_tick(1));
+        assert!(lane_inject(1) < lane_tick(2));
+    }
+}

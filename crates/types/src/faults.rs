@@ -18,6 +18,9 @@ pub const PER_MILLION: u64 = 1_000_000;
 
 /// Per-site seed salt: NoC link faults (mixed with a link/channel index).
 pub const SITE_LINK: u64 = 0x4C49_4E4B;
+/// Per-site seed salt: NoC link faults on the retransmission path (kept on
+/// an independent stream from first transmissions).
+pub const SITE_LINK_RETRY: u64 = 0x4C52_5452;
 /// Per-site seed salt: SDRAM ECC faults (mixed with the node id).
 pub const SITE_ECC: u64 = 0x4543_4300;
 /// Per-site seed salt: dispatch-queue stall windows (mixed with the node id).

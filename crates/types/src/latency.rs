@@ -16,12 +16,14 @@
 //! [`PhaseProfiler`] is a cheap-clone handle in the style of
 //! `smtp_trace::Tracer`: disabled profilers cost one branch per stamp.
 
+use crate::capture::{self, CapturePoint};
 use crate::ids::NodeId;
 use crate::stats::{Distribution, Histogram};
 use crate::{Cycle, LineAddr};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Transaction flavour, for read-vs-read-exclusive aggregation.
 /// Upgrades are accounted as read-exclusive: they acquire write
@@ -230,11 +232,60 @@ struct ProfilerInner {
     /// Transactions in flight, keyed by (requester, line). Directory
     /// serialization guarantees at most one outstanding miss per line per
     /// requester, so the key is unique.
-    open: RefCell<HashMap<(NodeId, LineAddr), LatencyRecord>>,
-    agg: RefCell<LatencyBreakdown>,
+    open: Mutex<HashMap<(NodeId, LineAddr), LatencyRecord>>,
+    agg: Mutex<LatencyBreakdown>,
     /// Retain closed records individually (tests / deep analysis).
-    keep: Cell<bool>,
-    closed: RefCell<Vec<LatencyRecord>>,
+    keep: AtomicBool,
+    closed: Mutex<Vec<LatencyRecord>>,
+}
+
+/// One profiler operation, as captured for deterministic parallel replay
+/// (see [`crate::capture`]).
+#[derive(Clone, Copy, Debug)]
+pub enum ProfOp {
+    /// A [`PhaseProfiler::start`] call.
+    Start {
+        /// Requesting node.
+        requester: NodeId,
+        /// Missing line.
+        line: LineAddr,
+        /// Read vs read-exclusive.
+        class: TxnClass,
+        /// Remote home.
+        remote: bool,
+        /// Allocation cycle.
+        now: Cycle,
+    },
+    /// A [`PhaseProfiler::stamp`] call.
+    Stamp {
+        /// Requesting node.
+        requester: NodeId,
+        /// Missing line.
+        line: LineAddr,
+        /// Boundary crossed.
+        b: PhaseBoundary,
+        /// Crossing cycle.
+        now: Cycle,
+    },
+    /// A [`PhaseProfiler::close`] call.
+    Close {
+        /// Requesting node.
+        requester: NodeId,
+        /// Missing line.
+        line: LineAddr,
+        /// MSHR-free cycle.
+        now: Cycle,
+    },
+}
+
+thread_local! {
+    static CAPTURED_OPS: RefCell<Vec<(CapturePoint, ProfOp)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Drain this thread's captured profiler operations (tagged with the
+/// capture point at which each was recorded).
+pub fn take_captured_prof_ops() -> Vec<(CapturePoint, ProfOp)> {
+    CAPTURED_OPS.with(|b| std::mem::take(&mut *b.borrow_mut()))
 }
 
 /// Cheap-clone handle to the phase-accounting state, threaded through the
@@ -243,7 +294,7 @@ struct ProfilerInner {
 /// call a no-op costing one branch.
 #[derive(Clone, Default)]
 pub struct PhaseProfiler {
-    inner: Option<Rc<ProfilerInner>>,
+    inner: Option<Arc<ProfilerInner>>,
 }
 
 impl std::fmt::Debug for PhaseProfiler {
@@ -259,11 +310,11 @@ impl PhaseProfiler {
     /// An enabled profiler.
     pub fn new() -> Self {
         PhaseProfiler {
-            inner: Some(Rc::new(ProfilerInner {
-                open: RefCell::new(HashMap::new()),
-                agg: RefCell::new(LatencyBreakdown::new()),
-                keep: Cell::new(false),
-                closed: RefCell::new(Vec::new()),
+            inner: Some(Arc::new(ProfilerInner {
+                open: Mutex::new(HashMap::new()),
+                agg: Mutex::new(LatencyBreakdown::new()),
+                keep: AtomicBool::new(false),
+                closed: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -282,7 +333,71 @@ impl PhaseProfiler {
     /// always happens).
     pub fn keep_records(&self, keep: bool) {
         if let Some(inner) = &self.inner {
-            inner.keep.set(keep);
+            inner.keep.store(keep, Ordering::Relaxed);
+        }
+    }
+
+    /// Apply one operation to the real state (shared by the direct path
+    /// and [`PhaseProfiler::replay_captured`]).
+    fn apply(inner: &ProfilerInner, op: ProfOp) {
+        match op {
+            ProfOp::Start {
+                requester,
+                line,
+                class,
+                remote,
+                now,
+            } => {
+                inner.open.lock().unwrap().insert(
+                    (requester, line),
+                    LatencyRecord::new(line, requester, class, remote, now),
+                );
+            }
+            ProfOp::Stamp {
+                requester,
+                line,
+                b,
+                now,
+            } => {
+                if let Some(rec) = inner.open.lock().unwrap().get_mut(&(requester, line)) {
+                    rec.stamp(b, now);
+                }
+            }
+            ProfOp::Close {
+                requester,
+                line,
+                now,
+            } => {
+                let Some(mut rec) = inner.open.lock().unwrap().remove(&(requester, line)) else {
+                    return;
+                };
+                rec.stamp(PhaseBoundary::Freed, now);
+                inner.agg.lock().unwrap().record(&rec);
+                if inner.keep.load(Ordering::Relaxed) {
+                    inner.closed.lock().unwrap().push(rec);
+                }
+            }
+        }
+    }
+
+    /// Run `op`: capture it when this thread is in capture mode (parallel
+    /// workers), apply it directly otherwise.
+    #[inline]
+    fn op(&self, op: ProfOp) {
+        let Some(inner) = &self.inner else { return };
+        if capture::is_active() {
+            CAPTURED_OPS.with(|b| b.borrow_mut().push((capture::point(), op)));
+            return;
+        }
+        Self::apply(inner, op);
+    }
+
+    /// Replay captured operations (already merged into serial order by the
+    /// caller) against the real state.
+    pub fn replay_captured(&self, ops: &[(CapturePoint, ProfOp)]) {
+        let Some(inner) = &self.inner else { return };
+        for &(_, op) in ops {
+            Self::apply(inner, op);
         }
     }
 
@@ -295,11 +410,13 @@ impl PhaseProfiler {
         remote: bool,
         now: Cycle,
     ) {
-        let Some(inner) = &self.inner else { return };
-        inner.open.borrow_mut().insert(
-            (requester, line),
-            LatencyRecord::new(line, requester, class, remote, now),
-        );
+        self.op(ProfOp::Start {
+            requester,
+            line,
+            class,
+            remote,
+            now,
+        });
     }
 
     /// Stamp a boundary on the open transaction for `(requester, line)`.
@@ -307,30 +424,28 @@ impl PhaseProfiler {
     /// instruction-fetch misses are never started, so stamps keyed off
     /// their messages fall through harmlessly.
     pub fn stamp(&self, requester: NodeId, line: LineAddr, b: PhaseBoundary, now: Cycle) {
-        let Some(inner) = &self.inner else { return };
-        if let Some(rec) = inner.open.borrow_mut().get_mut(&(requester, line)) {
-            rec.stamp(b, now);
-        }
+        self.op(ProfOp::Stamp {
+            requester,
+            line,
+            b,
+            now,
+        });
     }
 
     /// Close the transaction at MSHR-free time, folding it into the
     /// aggregate. A no-op if the transaction was never opened.
     pub fn close(&self, requester: NodeId, line: LineAddr, now: Cycle) {
-        let Some(inner) = &self.inner else { return };
-        let Some(mut rec) = inner.open.borrow_mut().remove(&(requester, line)) else {
-            return;
-        };
-        rec.stamp(PhaseBoundary::Freed, now);
-        inner.agg.borrow_mut().record(&rec);
-        if inner.keep.get() {
-            inner.closed.borrow_mut().push(rec);
-        }
+        self.op(ProfOp::Close {
+            requester,
+            line,
+            now,
+        });
     }
 
     /// The aggregate over all closed transactions.
     pub fn breakdown(&self) -> LatencyBreakdown {
         match &self.inner {
-            Some(inner) => inner.agg.borrow().clone(),
+            Some(inner) => inner.agg.lock().unwrap().clone(),
             None => LatencyBreakdown::new(),
         }
     }
@@ -339,7 +454,7 @@ impl PhaseProfiler {
     /// [`PhaseProfiler::keep_records`] was turned on).
     pub fn records(&self) -> Vec<LatencyRecord> {
         match &self.inner {
-            Some(inner) => inner.closed.borrow().clone(),
+            Some(inner) => inner.closed.lock().unwrap().clone(),
             None => Vec::new(),
         }
     }
@@ -347,7 +462,7 @@ impl PhaseProfiler {
     /// Transactions currently open (should be zero once a run quiesces).
     pub fn open_count(&self) -> usize {
         match &self.inner {
-            Some(inner) => inner.open.borrow().len(),
+            Some(inner) => inner.open.lock().unwrap().len(),
             None => 0,
         }
     }
@@ -359,7 +474,7 @@ impl PhaseProfiler {
         let Some(inner) = &self.inner else {
             return Vec::new();
         };
-        let mut recs: Vec<LatencyRecord> = inner.open.borrow().values().copied().collect();
+        let mut recs: Vec<LatencyRecord> = inner.open.lock().unwrap().values().copied().collect();
         recs.sort_by_key(|r| {
             (
                 r.boundary(PhaseBoundary::Alloc).unwrap_or(Cycle::MAX),
@@ -509,6 +624,28 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(&b);
         assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn captured_ops_replay_to_identical_state() {
+        // Direct path.
+        let direct = PhaseProfiler::new();
+        direct.start(NodeId(0), line(1), TxnClass::Read, true, 100);
+        direct.stamp(NodeId(0), line(1), PhaseBoundary::ReqSent, 104);
+        direct.close(NodeId(0), line(1), 300);
+
+        // Captured path: same ops recorded under capture, then replayed.
+        let replayed = PhaseProfiler::new();
+        crate::capture::begin((100, 1, 0));
+        replayed.start(NodeId(0), line(1), TxnClass::Read, true, 100);
+        replayed.stamp(NodeId(0), line(1), PhaseBoundary::ReqSent, 104);
+        replayed.close(NodeId(0), line(1), 300);
+        crate::capture::end();
+        assert_eq!(replayed.breakdown().count(), 0, "capture defers effects");
+        let ops = take_captured_prof_ops();
+        assert_eq!(ops.len(), 3);
+        replayed.replay_captured(&ops);
+        assert_eq!(replayed.breakdown(), direct.breakdown());
     }
 
     #[test]

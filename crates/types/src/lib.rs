@@ -18,6 +18,7 @@
 //!   paper's tables and figures.
 
 pub mod addr;
+pub mod capture;
 pub mod config;
 pub mod faults;
 pub mod ids;
@@ -27,6 +28,7 @@ pub mod sharers;
 pub mod stats;
 
 pub use addr::{app_code_addr, Addr, LineAddr, Region, APP_CODE_BASE, DIR_ENTRY_BYTES, L2_LINE};
+pub use capture::CapturePoint;
 pub use config::{CacheParams, MachineModel, MemParams, NetParams, PipelineParams, SystemConfig};
 pub use faults::{
     EccFaults, FaultConfig, FaultStream, FaultSummary, FaultWindows, HandlerDelayFaults,
@@ -34,8 +36,8 @@ pub use faults::{
 };
 pub use ids::{Ctx, NodeId, MAX_APP_THREADS, MAX_CTX};
 pub use latency::{
-    LatencyBreakdown, LatencyRecord, PhaseBoundary, PhaseProfiler, TxnClass, CLASS_NAMES,
-    NUM_CLASSES, NUM_PHASES, PHASE_NAMES,
+    take_captured_prof_ops, LatencyBreakdown, LatencyRecord, PhaseBoundary, PhaseProfiler, ProfOp,
+    TxnClass, CLASS_NAMES, NUM_CLASSES, NUM_PHASES, PHASE_NAMES,
 };
 pub use rng::SplitMix64;
 pub use sharers::SharerSet;

@@ -7,12 +7,18 @@
 //! cargo run --release --example quickstart -- fft 2 2 --trace out.trace.json
 //! cargo run --release --example quickstart -- --trace          # default path
 //! cargo run --release --example quickstart -- --faults 42      # chaos run
+//! cargo run --release --example quickstart -- --engine parallel
 //! ```
 //!
 //! With `--trace <path>` the full event stream is exported in Chrome
 //! trace-event format — open the file at <https://ui.perfetto.dev> or in
 //! `chrome://tracing` to see pipelines, protocol handlers, coherence
 //! transactions and network traffic on a shared timeline.
+//!
+//! With `--engine <serial|parallel>` the run uses the chosen execution
+//! engine (default serial). Both produce bit-identical results; `parallel`
+//! partitions the nodes across worker threads and skips provably idle
+//! cycles, so large machines simulate faster on multi-core hosts.
 //!
 //! With `--faults <seed>` the run injects seeded faults everywhere at once
 //! (link drops/corruption/duplication, correctable ECC errors, dispatch
@@ -21,7 +27,7 @@
 //! cannot recover, the diagnosis is written to `fault_diagnosis.txt`.
 
 use smtp::trace::ChromeTraceSink;
-use smtp::{build_system, AppKind, ExperimentConfig, FaultConfig, MachineModel};
+use smtp::{build_system, AppKind, EngineKind, ExperimentConfig, FaultConfig, MachineModel};
 
 fn parse_app(s: &str) -> AppKind {
     AppKind::ALL
@@ -53,6 +59,21 @@ fn main() {
         }
         None => None,
     };
+    let engine = match args.iter().position(|a| a == "--engine") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--engine expects serial or parallel");
+                std::process::exit(2);
+            }
+            let s = args.remove(i);
+            s.parse::<EngineKind>().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2)
+            })
+        }
+        None => EngineKind::Serial,
+    };
     let fault_seed = match args.iter().position(|a| a == "--faults") {
         Some(i) => {
             args.remove(i);
@@ -73,8 +94,12 @@ fn main() {
     let nodes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     let ways: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
 
-    println!("SMTp machine: {nodes} node(s), {ways} application thread(s) per node, running {app}");
+    println!(
+        "SMTp machine: {nodes} node(s), {ways} application thread(s) per node, \
+         running {app} ({engine} engine)"
+    );
     let mut exp = ExperimentConfig::new(MachineModel::SMTp, app, nodes, ways);
+    exp.engine = engine;
     if trace_path.is_some() {
         // Tracing a full-scale run produces an enormous file; shrink the
         // workload so the timeline stays explorable.
@@ -101,7 +126,7 @@ fn main() {
             nodes,
         )));
     }
-    let stats = match sys.run(exp.max_cycles) {
+    let stats = match sys.run_with(exp.max_cycles, exp.engine) {
         Ok(stats) => stats,
         Err(err) => {
             let path = "fault_diagnosis.txt";

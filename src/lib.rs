@@ -48,8 +48,8 @@ pub use smtp_types as types;
 pub use smtp_workloads as workloads;
 
 pub use smtp_core::{
-    build_system, run_experiment, try_run_experiment, Diagnosis, ExperimentConfig, Report,
-    RunError, RunErrorKind, RunStats, System, ThreadTime,
+    build_system, run_experiment, try_run_experiment, Diagnosis, EngineKind, ExperimentConfig,
+    Report, RunError, RunErrorKind, RunStats, System, ThreadTime,
 };
 pub use smtp_types::{
     Distribution, FaultConfig, FaultSummary, Histogram, LatencyBreakdown, MachineModel,
