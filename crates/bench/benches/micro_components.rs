@@ -14,7 +14,7 @@ use smtp_pipeline::BranchPredictor;
 use smtp_protocol::{handler_program, must_apply, DirState};
 use smtp_trace::{Category, Event, Tracer};
 use smtp_types::{
-    Addr, CacheParams, Ctx, LineAddr, MachineModel, NetParams, NodeId, Region, SharerSet,
+    Addr, CacheParams, Ctx, LineAddr, MachineModel, NetParams, NodeId, Region, SharerSet, SpanId,
     SystemConfig,
 };
 use smtp_workloads::AppKind;
@@ -116,6 +116,7 @@ fn bench_trace_overhead() {
         tracer.emit(Category::Cache, t, || Event::MshrFree {
             node: NodeId(0),
             line: LineAddr(0x80),
+            span: SpanId::new(NodeId(0), 1),
         });
         black_box(t)
     });

@@ -1,7 +1,7 @@
 //! Events and outcomes exchanged between the cache hierarchy, the pipeline
 //! and the node's coherence logic.
 
-use smtp_types::{Ctx, Cycle, LineAddr, NodeId};
+use smtp_types::{Ctx, Cycle, LineAddr, NodeId, SpanId};
 
 /// How an L2 miss should be presented to the home node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -85,6 +85,8 @@ pub enum MemEvent {
         line: LineAddr,
         /// Request flavour.
         kind: MissKind,
+        /// Causal span allocated to the miss.
+        span: SpanId,
     },
     /// Protocol-thread L2 miss: fetch directly from local SDRAM over the
     /// dedicated 64-bit protocol bus, bypassing the Local Miss Interface
@@ -92,12 +94,16 @@ pub enum MemEvent {
     ProtocolFetch {
         /// Missing line (directory or protocol-code region).
         line: LineAddr,
+        /// Causal span allocated to the fetch.
+        span: SpanId,
     },
     /// Application instruction-code L2 miss: fetched from local SDRAM
     /// without coherence (code is read-only and replicated per node).
     CodeFetch {
         /// Missing line.
         line: LineAddr,
+        /// Causal span allocated to the fetch.
+        span: SpanId,
     },
     /// A dirty or exclusive line left the L2; for application lines the
     /// node sends `Put` to the home and the line sits in the writeback
@@ -107,6 +113,8 @@ pub enum MemEvent {
         line: LineAddr,
         /// Whether data travels with the writeback.
         dirty: bool,
+        /// Causal span of the transaction whose fill evicted the line.
+        span: SpanId,
     },
     /// A load that missed earlier has its value at cycle `at`.
     LoadDone {
@@ -142,6 +150,8 @@ pub enum MemEvent {
         line: LineAddr,
         /// Node collecting the acks.
         requester: NodeId,
+        /// Span of the invalidating transaction.
+        span: SpanId,
     },
     /// A deferred shared intervention completed: send data to `requester`
     /// and a sharing writeback to home.
@@ -152,6 +162,8 @@ pub enum MemEvent {
         requester: NodeId,
         /// Whether our copy was dirty.
         dirty: bool,
+        /// Span of the intervening transaction.
+        span: SpanId,
     },
     /// A deferred exclusive intervention completed: forward exclusive data
     /// to `requester` and a transfer ack to home.
@@ -162,5 +174,7 @@ pub enum MemEvent {
         requester: NodeId,
         /// Whether our copy was dirty.
         dirty: bool,
+        /// Span of the intervening transaction.
+        span: SpanId,
     },
 }

@@ -8,7 +8,7 @@
 //! `16 + 1`, and the protocol thread all of them.
 
 use crate::events::MissKind;
-use smtp_types::{Addr, Ctx, Cycle, LineAddr, NodeId};
+use smtp_types::{Addr, Ctx, Cycle, LineAddr, NodeId, SpanId};
 
 /// Who is waiting on an MSHR.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -45,16 +45,22 @@ pub enum Deferred {
     Inval {
         /// Ack collector.
         requester: NodeId,
+        /// Span of the invalidating transaction (the remote requester's).
+        span: SpanId,
     },
     /// Downgrade after fill (shared intervention).
     IntervShared {
         /// GetS requester.
         requester: NodeId,
+        /// Span of the intervening transaction.
+        span: SpanId,
     },
     /// Invalidate-and-forward after fill (exclusive intervention).
     IntervExcl {
         /// GetX requester.
         requester: NodeId,
+        /// Span of the intervening transaction.
+        span: SpanId,
     },
 }
 
@@ -94,6 +100,9 @@ pub struct Mshr {
     /// Cycle this entry was allocated — the miss latency is measured from
     /// here to the free.
     pub alloc_at: Cycle,
+    /// Causal span of this transaction; every message and event the miss
+    /// generates carries it.
+    pub span: SpanId,
 }
 
 impl Mshr {
@@ -174,6 +183,7 @@ impl MshrFile {
         class: MshrClass,
         is_prefetch: bool,
         now: Cycle,
+        span: SpanId,
     ) -> Result<usize, ()> {
         debug_assert!(self.find(line).is_none(), "duplicate MSHR for {line:?}");
         if !self.can_alloc(class) {
@@ -194,6 +204,7 @@ impl MshrFile {
             data_done: false,
             deferred: None,
             alloc_at: now,
+            span,
         });
         Ok(slot)
     }
@@ -230,25 +241,67 @@ mod tests {
         let mut f = MshrFile::new(2, true); // 2 app + 1 store + 1 protocol
         assert_eq!(f.capacity(), 4);
         assert!(f
-            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false, 0)
+            .alloc(
+                line(0),
+                MissKind::Read,
+                MshrClass::AppLoad,
+                false,
+                0,
+                SpanId::NONE
+            )
             .is_ok());
         assert!(f
-            .alloc(line(1), MissKind::Read, MshrClass::AppLoad, false, 0)
+            .alloc(
+                line(1),
+                MissKind::Read,
+                MshrClass::AppLoad,
+                false,
+                0,
+                SpanId::NONE
+            )
             .is_ok());
         // App loads exhausted their share.
         assert!(f
-            .alloc(line(2), MissKind::Read, MshrClass::AppLoad, false, 0)
+            .alloc(
+                line(2),
+                MissKind::Read,
+                MshrClass::AppLoad,
+                false,
+                0,
+                SpanId::NONE
+            )
             .is_err());
         // Stores can still take the retiring-store entry.
         assert!(f
-            .alloc(line(2), MissKind::Write, MshrClass::AppStore, false, 0)
+            .alloc(
+                line(2),
+                MissKind::Write,
+                MshrClass::AppStore,
+                false,
+                0,
+                SpanId::NONE
+            )
             .is_ok());
         assert!(f
-            .alloc(line(3), MissKind::Write, MshrClass::AppStore, false, 0)
+            .alloc(
+                line(3),
+                MissKind::Write,
+                MshrClass::AppStore,
+                false,
+                0,
+                SpanId::NONE
+            )
             .is_err());
         // Protocol can always take the reserved entry.
         assert!(f
-            .alloc(line(3), MissKind::Read, MshrClass::Protocol, false, 0)
+            .alloc(
+                line(3),
+                MissKind::Read,
+                MshrClass::Protocol,
+                false,
+                0,
+                SpanId::NONE
+            )
             .is_ok());
         assert_eq!(f.used(), 4);
     }
@@ -263,7 +316,14 @@ mod tests {
     fn find_and_free() {
         let mut f = MshrFile::new(4, false);
         let i = f
-            .alloc(line(7), MissKind::Write, MshrClass::AppLoad, false, 0)
+            .alloc(
+                line(7),
+                MissKind::Write,
+                MshrClass::AppLoad,
+                false,
+                0,
+                SpanId::NONE,
+            )
             .unwrap();
         assert_eq!(f.find(line(7)), Some(i));
         assert_eq!(f.find(line(8)), None);
@@ -281,7 +341,14 @@ mod tests {
     fn completion_requires_data_and_acks() {
         let mut f = MshrFile::new(4, false);
         let i = f
-            .alloc(line(1), MissKind::Write, MshrClass::AppLoad, false, 0)
+            .alloc(
+                line(1),
+                MissKind::Write,
+                MshrClass::AppLoad,
+                false,
+                0,
+                SpanId::NONE,
+            )
             .unwrap();
         assert!(!f.get(i).complete());
         f.get_mut(i).data_done = true;
@@ -294,12 +361,26 @@ mod tests {
     #[test]
     fn conflict_detection_ignores_protocol_misses() {
         let mut f = MshrFile::new(4, true);
-        f.alloc(line(5), MissKind::Read, MshrClass::Protocol, false, 0)
-            .unwrap();
+        f.alloc(
+            line(5),
+            MissKind::Read,
+            MshrClass::Protocol,
+            false,
+            0,
+            SpanId::NONE,
+        )
+        .unwrap();
         let set_of = |l: LineAddr| (l.raw() / 128) % 8;
         assert!(!f.app_conflict(5, set_of));
-        f.alloc(line(13), MissKind::Read, MshrClass::AppLoad, false, 0)
-            .unwrap(); // 13 % 8 == 5
+        f.alloc(
+            line(13),
+            MissKind::Read,
+            MshrClass::AppLoad,
+            false,
+            0,
+            SpanId::NONE,
+        )
+        .unwrap(); // 13 % 8 == 5
         assert!(f.app_conflict(5, set_of));
         assert!(!f.app_conflict(6, set_of));
     }
@@ -309,7 +390,14 @@ mod tests {
     fn double_free_panics() {
         let mut f = MshrFile::new(4, false);
         let i = f
-            .alloc(line(0), MissKind::Read, MshrClass::AppLoad, false, 0)
+            .alloc(
+                line(0),
+                MissKind::Read,
+                MshrClass::AppLoad,
+                false,
+                0,
+                SpanId::NONE,
+            )
             .unwrap();
         f.free(i);
         f.free(i);

@@ -4,12 +4,12 @@
 //! node serve interventions that race with its own eviction, which is what
 //! makes the home-serialized protocol free of data loss (DESIGN.md §2).
 
-use smtp_types::LineAddr;
+use smtp_types::{LineAddr, SpanId};
 
 /// The per-node writeback buffer.
 #[derive(Clone, Debug, Default)]
 pub struct WritebackBuffer {
-    entries: Vec<(LineAddr, bool)>,
+    entries: Vec<(LineAddr, bool, SpanId)>,
     peak: usize,
 }
 
@@ -19,32 +19,41 @@ impl WritebackBuffer {
         WritebackBuffer::default()
     }
 
-    /// Insert an evicted line (`dirty` = carries data).
+    /// Insert an evicted line (`dirty` = carries data); `span` is the
+    /// causal span of the transaction whose fill forced the eviction.
     ///
     /// # Panics
     ///
     /// Panics if the line is already buffered — the cache cannot evict a
     /// line it does not hold.
-    pub fn insert(&mut self, line: LineAddr, dirty: bool) {
+    pub fn insert(&mut self, line: LineAddr, dirty: bool, span: SpanId) {
         assert!(
             !self.contains(line),
             "line {line:?} evicted twice without WbAck"
         );
-        self.entries.push((line, dirty));
+        self.entries.push((line, dirty, span));
         self.peak = self.peak.max(self.entries.len());
     }
 
     /// Whether the line is awaiting its writeback ack.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.iter().any(|&(l, _)| l == line)
+        self.entries.iter().any(|&(l, _, _)| l == line)
     }
 
     /// Whether the buffered line was dirty.
     pub fn dirty(&self, line: LineAddr) -> Option<bool> {
         self.entries
             .iter()
-            .find(|&&(l, _)| l == line)
-            .map(|&(_, d)| d)
+            .find(|&&(l, _, _)| l == line)
+            .map(|&(_, d, _)| d)
+    }
+
+    /// Span of the transaction that evicted the buffered line.
+    pub fn span(&self, line: LineAddr) -> Option<SpanId> {
+        self.entries
+            .iter()
+            .find(|&&(l, _, _)| l == line)
+            .map(|&(_, _, s)| s)
     }
 
     /// Drop the entry once the home's `WbAck` arrives.
@@ -57,7 +66,7 @@ impl WritebackBuffer {
         let pos = self
             .entries
             .iter()
-            .position(|&(l, _)| l == line)
+            .position(|&(l, _, _)| l == line)
             .unwrap_or_else(|| panic!("WbAck for unbuffered line {line:?}"));
         self.entries.swap_remove(pos).1
     }
@@ -91,12 +100,15 @@ mod tests {
     fn insert_query_remove() {
         let mut wb = WritebackBuffer::new();
         assert!(wb.is_empty());
-        wb.insert(line(1), true);
-        wb.insert(line(2), false);
+        let s = SpanId::new(NodeId(1), 7);
+        wb.insert(line(1), true, s);
+        wb.insert(line(2), false, SpanId::NONE);
         assert!(wb.contains(line(1)));
         assert_eq!(wb.dirty(line(1)), Some(true));
         assert_eq!(wb.dirty(line(2)), Some(false));
         assert_eq!(wb.dirty(line(3)), None);
+        assert_eq!(wb.span(line(1)), Some(s));
+        assert_eq!(wb.span(line(3)), None);
         assert!(wb.remove(line(1)));
         assert!(!wb.contains(line(1)));
         assert_eq!(wb.len(), 1);
@@ -107,8 +119,8 @@ mod tests {
     #[should_panic(expected = "evicted twice")]
     fn double_insert_panics() {
         let mut wb = WritebackBuffer::new();
-        wb.insert(line(1), true);
-        wb.insert(line(1), false);
+        wb.insert(line(1), true, SpanId::NONE);
+        wb.insert(line(1), false, SpanId::NONE);
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct Diagnosis {
     pub busy_lines: Vec<String>,
     /// Oldest still-open miss transactions and where each is stuck.
     pub stuck_transactions: Vec<String>,
+    /// Rendered span trees of still-open transactions (only populated when
+    /// the run had causal-span analysis enabled): the full causal trail —
+    /// messages, handlers, SDRAM accesses — each wedged transaction
+    /// completed before it stopped making progress.
+    pub open_spans: Vec<String>,
     /// Most recent trace events from the diagnostics ring.
     pub recent_events: Vec<String>,
     /// Injected-fault and recovery counters at failure time.
@@ -67,6 +72,14 @@ impl std::fmt::Display for Diagnosis {
             writeln!(f, "  open transactions:")?;
             for line in &self.stuck_transactions {
                 writeln!(f, "    {line}")?;
+            }
+        }
+        if !self.open_spans.is_empty() {
+            writeln!(f, "  open span trees:")?;
+            for tree in &self.open_spans {
+                for line in tree.lines() {
+                    writeln!(f, "    {line}")?;
+                }
             }
         }
         if self.faults.any() {
@@ -126,6 +139,7 @@ mod tests {
                 nodes: vec!["NodeId(0): finished=false".to_string()],
                 busy_lines: vec!["busy LineAddr(0x80) BusyExcl".to_string()],
                 stuck_transactions: vec!["line 0x80 stuck at ReqSent".to_string()],
+                open_spans: vec!["span S0.1 line 0x80".to_string()],
                 recent_events: vec!["{\"ev\":\"net_inject\"}".to_string()],
                 faults: FaultSummary::default(),
             }),
@@ -135,6 +149,7 @@ mod tests {
         assert!(s.contains("no forward progress"));
         assert!(s.contains("busy LineAddr"));
         assert!(s.contains("stuck at ReqSent"));
+        assert!(s.contains("span S0.1"));
         assert!(s.contains("net_inject"));
     }
 

@@ -11,7 +11,7 @@ use smtp_trace::{Category, Event, HandlerClass, StallClass, Tracer};
 use smtp_types::faults::SITE_DISPATCH;
 use smtp_types::{
     Ctx, Cycle, Distribution, FaultConfig, FaultSummary, FaultWindows, LineAddr, MachineModel,
-    NodeId, PhaseBoundary, PhaseProfiler, Region, SystemConfig,
+    NodeId, PhaseBoundary, PhaseProfiler, Region, SpanId, SystemConfig,
 };
 use smtp_workloads::{make_thread, AppKind, ThreadGen, WorkloadCfg};
 use std::cmp::Reverse;
@@ -36,6 +36,8 @@ struct HandlerInstance {
     dispatched_at: Cycle,
     /// [`smtp_protocol::HandlerKind`] index (occupancy stats).
     kind_idx: usize,
+    /// Causal span of the transaction this handler serves.
+    span: SpanId,
 }
 
 /// The SMTp handler dispatch unit (paper §2.1): selects queued
@@ -486,6 +488,7 @@ impl Node {
                 node,
                 line: msg.addr,
                 msg: msg.kind.trace_label(),
+                span: msg.span,
             });
             self.schedule(at + self.mc_div, Pending::Deliver(msg));
         } else {
@@ -529,27 +532,28 @@ impl Node {
             }
             MsgKind::AckInv => self.mem.ack_arrived(msg.addr, now),
             MsgKind::WbAck => self.mem.wb_acked(msg.addr),
-            MsgKind::Inval { requester } => match self.mem.inval(msg.addr, requester) {
+            MsgKind::Inval { requester } => match self.mem.inval(msg.addr, requester, msg.span) {
                 InvalResult::AckNow => {
-                    let ack = Msg::new(MsgKind::AckInv, msg.addr, self.id, requester);
+                    let ack =
+                        Msg::new(MsgKind::AckInv, msg.addr, self.id, requester).with_span(msg.span);
                     self.emit_msg(ack, now + 2);
                 }
                 InvalResult::Deferred => {}
             },
             MsgKind::IntervShared { requester } => {
                 let home = msg.src;
-                match self.mem.interv_shared(msg.addr, requester) {
+                match self.mem.interv_shared(msg.addr, requester, msg.span) {
                     IntervResult::FromCache { .. } | IntervResult::FromWb { .. } => {
-                        self.reply_interv_shared(msg.addr, requester, home, now);
+                        self.reply_interv_shared(msg.addr, requester, home, msg.span, now);
                     }
                     IntervResult::Deferred => {}
                 }
             }
             MsgKind::IntervExcl { requester } => {
                 let home = msg.src;
-                match self.mem.interv_excl(msg.addr, requester) {
+                match self.mem.interv_excl(msg.addr, requester, msg.span) {
                     IntervResult::FromCache { .. } | IntervResult::FromWb { .. } => {
-                        self.reply_interv_excl(msg.addr, requester, home, now);
+                        self.reply_interv_excl(msg.addr, requester, home, msg.span, now);
                     }
                     IntervResult::Deferred => {}
                 }
@@ -558,19 +562,36 @@ impl Node {
         self.drain_mem_events(now);
     }
 
-    fn reply_interv_shared(&mut self, line: LineAddr, requester: NodeId, home: NodeId, now: Cycle) {
+    fn reply_interv_shared(
+        &mut self,
+        line: LineAddr,
+        requester: NodeId,
+        home: NodeId,
+        span: SpanId,
+        now: Cycle,
+    ) {
         let at = now + 2;
-        self.emit_msg(Msg::new(MsgKind::DataShared, line, self.id, requester), at);
         self.emit_msg(
-            Msg::new(MsgKind::SharingWb { requester }, line, self.id, home),
+            Msg::new(MsgKind::DataShared, line, self.id, requester).with_span(span),
+            at,
+        );
+        self.emit_msg(
+            Msg::new(MsgKind::SharingWb { requester }, line, self.id, home).with_span(span),
             at,
         );
     }
 
-    fn reply_interv_excl(&mut self, line: LineAddr, requester: NodeId, home: NodeId, now: Cycle) {
+    fn reply_interv_excl(
+        &mut self,
+        line: LineAddr,
+        requester: NodeId,
+        home: NodeId,
+        span: SpanId,
+        now: Cycle,
+    ) {
         let at = now + 2;
         self.emit_msg(
-            Msg::new(MsgKind::DataExcl { acks: 0 }, line, self.id, requester),
+            Msg::new(MsgKind::DataExcl { acks: 0 }, line, self.id, requester).with_span(span),
             at,
         );
         self.emit_msg(
@@ -581,7 +602,8 @@ impl Node {
                 line,
                 self.id,
                 home,
-            ),
+            )
+            .with_span(span),
             at,
         );
     }
@@ -591,14 +613,14 @@ impl Node {
     fn drain_mem_events(&mut self, now: Cycle) {
         while let Some(ev) = self.mem.pop_event() {
             match ev {
-                MemEvent::AppMiss { line, kind } => {
+                MemEvent::AppMiss { line, kind, span } => {
                     let mk = match kind {
                         MissKind::Read => MsgKind::GetS,
                         MissKind::Write => MsgKind::GetX,
                         MissKind::Upgrade => MsgKind::Upgrade,
                     };
                     let home = line.home();
-                    let msg = Msg::new(mk, line, self.id, home);
+                    let msg = Msg::new(mk, line, self.id, home).with_span(span);
                     self.trace(now, "miss", &msg);
                     let at = now + self.bus_req;
                     self.profiler
@@ -615,21 +637,22 @@ impl Node {
                         self.stats.msgs_out += 1;
                     }
                 }
-                MemEvent::ProtocolFetch { line } => {
+                MemEvent::ProtocolFetch { line, span } => {
                     // Dedicated 64-bit protocol bus straight to local SDRAM
                     // (paper §2.1): no contention with application traffic,
                     // but the line still pays the bus serialization.
-                    let done = self.sdram.read_protocol(now) + self.bus_data;
+                    let done = self.sdram.read_protocol(now, span) + self.bus_data;
                     self.schedule(done, Pending::Fill(line, Grant::Excl { acks: 0 }));
                 }
-                MemEvent::CodeFetch { line } => {
-                    let done = self.sdram.read(now) + self.bus_data;
+                MemEvent::CodeFetch { line, span } => {
+                    let done = self.sdram.read(now, span) + self.bus_data;
                     self.schedule(done, Pending::Fill(line, Grant::Shared));
                 }
-                MemEvent::Writeback { line, dirty } => {
+                MemEvent::Writeback { line, dirty, span } => {
                     if matches!(line.region(), Region::AppData) {
                         let home = line.home();
-                        let msg = Msg::new(MsgKind::Put { dirty }, line, self.id, home);
+                        let msg =
+                            Msg::new(MsgKind::Put { dirty }, line, self.id, home).with_span(span);
                         let at = now + if dirty { self.bus_data } else { self.bus_req };
                         if home == self.id {
                             self.lmi.push(at, msg);
@@ -639,7 +662,7 @@ impl Node {
                         }
                     } else if dirty {
                         // Directory / protocol lines: local SDRAM write.
-                        self.sdram.write_protocol(now);
+                        self.sdram.write_protocol(now, span);
                     }
                 }
                 MemEvent::LoadDone { tag, at } => self.pipeline.load_done(tag, at),
@@ -647,19 +670,29 @@ impl Node {
                     self.pipeline.store_done(tag, at, performed)
                 }
                 MemEvent::IFetchDone { ctx, at } => self.pipeline.ifetch_done(ctx, at),
-                MemEvent::DeferredInvalAck { line, requester } => {
-                    let ack = Msg::new(MsgKind::AckInv, line, self.id, requester);
+                MemEvent::DeferredInvalAck {
+                    line,
+                    requester,
+                    span,
+                } => {
+                    let ack = Msg::new(MsgKind::AckInv, line, self.id, requester).with_span(span);
                     self.emit_msg(ack, now + 2);
                 }
                 MemEvent::DeferredIntervShared {
-                    line, requester, ..
+                    line,
+                    requester,
+                    span,
+                    ..
                 } => {
-                    self.reply_interv_shared(line, requester, line.home(), now);
+                    self.reply_interv_shared(line, requester, line.home(), span, now);
                 }
                 MemEvent::DeferredIntervExcl {
-                    line, requester, ..
+                    line,
+                    requester,
+                    span,
+                    ..
                 } => {
-                    self.reply_interv_excl(line, requester, line.home(), now);
+                    self.reply_interv_excl(line, requester, line.home(), span, now);
                 }
             }
         }
@@ -706,7 +739,7 @@ impl Node {
                     let seq = self.stats.handlers;
                     self.trace_dispatch(&msg, &t, seq, now);
                     self.stamp_dispatched(&msg, now);
-                    self.start_protocol_thread_handler(msg.addr, t, now, seq);
+                    self.start_protocol_thread_handler(msg.addr, t, msg.span, now, seq);
                 }
             }
             _ => {
@@ -727,7 +760,7 @@ impl Node {
                     let seq = self.stats.handlers;
                     self.trace_dispatch(&msg, &t, seq, now);
                     self.stamp_dispatched(&msg, now);
-                    self.run_engine_handler(msg.addr, t, now, seq);
+                    self.run_engine_handler(msg.addr, t, msg.span, now, seq);
                     break;
                 }
             }
@@ -757,12 +790,19 @@ impl Node {
                 msg: msg.kind.trace_label(),
                 src: msg.src,
                 seq,
+                span: msg.span,
             });
     }
 
-    fn common_handler_setup(&mut self, line: LineAddr, t: &Transition, now: Cycle) -> Cycle {
+    fn common_handler_setup(
+        &mut self,
+        line: LineAddr,
+        t: &Transition,
+        span: SpanId,
+        now: Cycle,
+    ) -> Cycle {
         if t.sdram_write {
-            self.sdram.write(now);
+            self.sdram.write(now, span);
         }
         if t.unbusied {
             let pend = self.directory.take_pending(line);
@@ -771,7 +811,7 @@ impl Node {
         if t.data_reply.is_some() {
             // The dispatch unit starts the memory access in parallel with
             // handler execution (paper §2.1).
-            self.sdram.read(now)
+            self.sdram.read(now, span)
         } else {
             0
         }
@@ -781,10 +821,11 @@ impl Node {
         &mut self,
         line: LineAddr,
         t: Transition,
+        span: SpanId,
         now: Cycle,
         seq: u64,
     ) {
-        let data_ready_at = self.common_handler_setup(line, &t, now);
+        let data_ready_at = self.common_handler_setup(line, &t, span, now);
         let prog = handler_program(self.id, line, &t);
         let handler = t.kind.trace_class();
         let kind_idx = t.kind.index();
@@ -799,11 +840,19 @@ impl Node {
             trace_seq: seq,
             dispatched_at: now,
             kind_idx,
+            span,
         });
     }
 
-    fn run_engine_handler(&mut self, line: LineAddr, t: Transition, now: Cycle, seq: u64) {
-        let data_ready_at = self.common_handler_setup(line, &t, now);
+    fn run_engine_handler(
+        &mut self,
+        line: LineAddr,
+        t: Transition,
+        span: SpanId,
+        now: Cycle,
+        seq: u64,
+    ) {
+        let data_ready_at = self.common_handler_setup(line, &t, span, now);
         let prog = handler_program(self.id, line, &t);
         let run = self
             .engine
@@ -820,6 +869,7 @@ impl Node {
                 line,
                 handler,
                 seq,
+                span,
             });
         for (send_at, idx) in run.sends {
             let msg = t.sends[idx];
@@ -880,6 +930,7 @@ impl Node {
                             line: h.line,
                             handler: h.handler,
                             seq: h.trace_seq,
+                            span: h.span,
                         });
                 }
             }
@@ -1121,6 +1172,7 @@ mod tests {
             trace_seq: 0,
             dispatched_at: 0,
             kind_idx: 0,
+            span: SpanId::NONE,
         });
         assert!(!d.can_accept());
         assert!(d.next_inst().is_some());
@@ -1144,6 +1196,7 @@ mod tests {
             trace_seq: 0,
             dispatched_at: 0,
             kind_idx: 0,
+            span: SpanId::NONE,
         };
         d.enqueue(mk(2));
         d.enqueue(mk(3));

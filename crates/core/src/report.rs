@@ -7,6 +7,7 @@
 //! byte-identical output.
 
 use crate::stats::{RunStats, ThreadTime};
+use smtp_trace::{NUM_PATH_CATS, PATH_CAT_NAMES};
 use smtp_types::{Distribution, Histogram, CLASS_NAMES, NUM_PHASES, PHASE_NAMES};
 
 /// Percentiles every latency table reports.
@@ -202,6 +203,33 @@ impl<'a> Report<'a> {
             style.para(&mut out, "no remote misses profiled");
         }
 
+        // -- Critical path over causal spans --------------------------------
+        let cp = &s.critical_path;
+        if cp.spans > 0 {
+            style.heading(&mut out, 2, "Critical path (causal spans)");
+            let total = cp.total_cycles.max(1);
+            let rows: Vec<Vec<String>> = (0..NUM_PATH_CATS)
+                .filter(|&i| cp.cycles[i] > 0)
+                .map(|i| {
+                    vec![
+                        PATH_CAT_NAMES[i].into(),
+                        cp.cycles[i].to_string(),
+                        format!("{:.1}%", 100.0 * cp.cycles[i] as f64 / total as f64),
+                    ]
+                })
+                .collect();
+            style.table(&mut out, &["category", "cycles", "share"], &rows);
+            style.para(
+                &mut out,
+                &format!(
+                    "{} spans, {} total critical-path cycles ({:.1} mean)",
+                    cp.spans,
+                    cp.total_cycles,
+                    cp.total_cycles as f64 / cp.spans as f64
+                ),
+            );
+        }
+
         // -- Network --------------------------------------------------------
         if s.nodes > 1 {
             style.heading(&mut out, 2, "Network latency by virtual network");
@@ -285,6 +313,14 @@ impl<'a> Report<'a> {
 
         let vnet_rows: Vec<String> = s.vnet_latency.iter().map(dist_json).collect();
         j.raw("vnet_latency", &json_array(&vnet_rows));
+
+        let mut cp = JsonObj::new();
+        cp.num("spans", s.critical_path.spans as f64);
+        cp.num("total_cycles", s.critical_path.total_cycles as f64);
+        for (i, name) in PATH_CAT_NAMES.iter().enumerate() {
+            cp.num(&name.replace(' ', "_"), s.critical_path.cycles[i] as f64);
+        }
+        j.raw("critical_path", &cp.finish());
         j.finish()
     }
 }

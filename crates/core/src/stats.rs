@@ -3,6 +3,7 @@
 use crate::node::Node;
 use smtp_noc::{NetStats, Network};
 use smtp_protocol::HandlerStats;
+use smtp_trace::{CausalSpans, CriticalPathBreakdown};
 use smtp_types::{
     Cycle, Distribution, FaultSummary, LatencyBreakdown, MachineModel, PhaseProfiler, RunningStat,
     SystemConfig, MAX_CTX,
@@ -93,6 +94,9 @@ pub struct RunStats {
     pub miss_latency: Distribution,
     /// Per-phase latency decomposition of profiled L2 miss transactions.
     pub latency: LatencyBreakdown,
+    /// Critical-path attribution over closed causal spans (all zero unless
+    /// the run had [`crate::System::enable_causal_spans`] on).
+    pub critical_path: CriticalPathBreakdown,
     /// Network latency per virtual network (Request, Intervention, Reply,
     /// Io), merged across injections.
     pub vnet_latency: [Distribution; 4],
@@ -113,6 +117,7 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn collect(
         cfg: &SystemConfig,
         app: AppKind,
@@ -121,6 +126,7 @@ impl RunStats {
         network: Option<&Network>,
         sync: &SyncManager,
         profiler: &PhaseProfiler,
+        causal: Option<&CausalSpans>,
     ) -> RunStats {
         let cycles = cycles.max(1);
         let mut app_insts = 0;
@@ -233,6 +239,7 @@ impl RunStats {
             barrier_episodes: sync.stats().barrier_episodes,
             miss_latency,
             latency: profiler.breakdown(),
+            critical_path: causal.map(|c| c.breakdown()).unwrap_or_default(),
             vnet_latency: network
                 .map(|n| n.vnet_latency().clone())
                 .unwrap_or_default(),

@@ -6,7 +6,7 @@ use crate::node::Node;
 use crate::stats::RunStats;
 use smtp_noc::{Msg, Network};
 use smtp_protocol::DirState;
-use smtp_trace::{Category, Event, IntervalSampler, Tracer};
+use smtp_trace::{Category, CausalSpans, Event, IntervalSampler, Tracer};
 use smtp_types::Ctx;
 use smtp_types::{Cycle, FaultSummary, NodeId, PhaseProfiler, SystemConfig};
 use smtp_workloads::{AppKind, SyncManager, ThreadGen, WorkloadCfg};
@@ -232,6 +232,7 @@ pub struct System {
     pub(crate) tracer: Tracer,
     pub(crate) profiler: PhaseProfiler,
     pub(crate) metrics: Option<MetricsState>,
+    pub(crate) causal: Option<CausalSpans>,
     pub(crate) watchdog: Watchdog,
     /// Run the online coherence sanitizer every N cycles, if set.
     pub(crate) invariant_every: Option<Cycle>,
@@ -348,6 +349,7 @@ impl System {
             tracer,
             profiler,
             metrics: None,
+            causal: None,
             watchdog: Watchdog::default(),
             invariant_every: None,
             quiet_nodes: 0,
@@ -404,6 +406,36 @@ impl System {
     /// called.
     pub fn metrics(&self) -> Option<&IntervalSampler> {
         self.metrics.as_ref().map(|m| &m.sampler)
+    }
+
+    /// Turn on causal-span analysis: attach a [`CausalSpans`] sink to the
+    /// tracer and enable the categories that carry span-stamped events
+    /// (cache, protocol, network, SDRAM). The analyzer reconstructs each
+    /// transaction's causal DAG, folds its critical path into the run-level
+    /// breakdown reported in [`RunStats::critical_path`], and keeps the
+    /// `top_k` slowest transactions as full-tree exemplars. On a deadlock,
+    /// still-open spans are dumped into the [`Diagnosis`]. Returns the
+    /// shared handle for direct queries (exemplars, open spans).
+    pub fn enable_causal_spans(&mut self, top_k: usize) -> CausalSpans {
+        let causal = self.causal.get_or_insert_with(|| {
+            let c = CausalSpans::new(top_k);
+            self.tracer.add_sink(c.sink());
+            self.tracer.set_mask(
+                self.tracer.mask()
+                    | Category::Cache.bit()
+                    | Category::Protocol.bit()
+                    | Category::Network.bit()
+                    | Category::Sdram.bit(),
+            );
+            c
+        });
+        causal.clone()
+    }
+
+    /// The causal-span analyzer, if [`System::enable_causal_spans`] was
+    /// called.
+    pub fn causal_spans(&self) -> Option<&CausalSpans> {
+        self.causal.as_ref()
     }
 
     fn sample_metrics(&mut self, now: Cycle) {
@@ -640,10 +672,25 @@ impl System {
                 )
             })
             .collect();
+        // With causal spans enabled, dump every still-open transaction as
+        // an annotated span tree: the exact trail of messages and handlers
+        // the wedged transaction got through before it stopped.
+        let open_spans = self
+            .causal
+            .as_ref()
+            .map(|c| {
+                c.open_spans()
+                    .iter()
+                    .take(8)
+                    .map(|ex| ex.render_tree())
+                    .collect()
+            })
+            .unwrap_or_default();
         Diagnosis {
             nodes,
             busy_lines,
             stuck_transactions,
+            open_spans,
             recent_events: self.tracer.ring_dump(),
             faults: self.fault_summary(),
         }
@@ -659,6 +706,7 @@ impl System {
             self.network.as_ref(),
             &self.sync,
             &self.profiler,
+            self.causal.as_ref(),
         )
     }
 

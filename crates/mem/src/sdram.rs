@@ -9,7 +9,9 @@
 
 use smtp_trace::{Category, Event, Tracer};
 use smtp_types::faults::SITE_ECC;
-use smtp_types::{Cycle, Distribution, EccFaults, FaultConfig, FaultStream, NodeId, L2_LINE};
+use smtp_types::{
+    Cycle, Distribution, EccFaults, FaultConfig, FaultStream, NodeId, SpanId, L2_LINE,
+};
 
 /// One SDRAM channel: a bandwidth-limited pipe with fixed access latency.
 /// `wait` is the distribution of bank-queue delays — cycles an access
@@ -149,7 +151,8 @@ impl Sdram {
     }
 
     /// Read a line on the main channel; returns the data-ready cycle.
-    pub fn read(&mut self, now: Cycle) -> Cycle {
+    /// `span` is the causal span of the transaction the read serves.
+    pub fn read(&mut self, now: Cycle, span: SpanId) -> Cycle {
         self.reads += 1;
         let mut ready = Self::schedule(&mut self.main, now, self.per_line, self.access);
         if self.ecc.is_some() {
@@ -160,25 +163,27 @@ impl Sdram {
             node,
             protocol: false,
             ready_at: ready,
+            span,
         });
         ready
     }
 
     /// Write a line on the main channel (bandwidth only; completion time is
     /// when the channel accepts it).
-    pub fn write(&mut self, now: Cycle) -> Cycle {
+    pub fn write(&mut self, now: Cycle, span: SpanId) -> Cycle {
         self.writes += 1;
         let node = self.node;
         self.tracer
             .emit(Category::Sdram, now, || Event::SdramWrite {
                 node,
                 protocol: false,
+                span,
             });
         Self::schedule(&mut self.main, now, self.per_line, 0)
     }
 
     /// Read a line on the dedicated protocol channel.
-    pub fn read_protocol(&mut self, now: Cycle) -> Cycle {
+    pub fn read_protocol(&mut self, now: Cycle, span: SpanId) -> Cycle {
         self.reads += 1;
         let mut ready = Self::schedule(&mut self.protocol, now, self.per_line, self.access);
         if self.ecc.is_some() {
@@ -189,18 +194,20 @@ impl Sdram {
             node,
             protocol: true,
             ready_at: ready,
+            span,
         });
         ready
     }
 
     /// Write a line on the protocol channel.
-    pub fn write_protocol(&mut self, now: Cycle) -> Cycle {
+    pub fn write_protocol(&mut self, now: Cycle, span: SpanId) -> Cycle {
         self.writes += 1;
         let node = self.node;
         self.tracer
             .emit(Category::Sdram, now, || Event::SdramWrite {
                 node,
                 protocol: true,
+                span,
             });
         Self::schedule(&mut self.protocol, now, self.per_line, 0)
     }
@@ -244,10 +251,10 @@ mod tests {
     fn latency_matches_table3_at_2ghz() {
         let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
         // 80 ns at 2 GHz = 160 cycles; 128 B / 3.2 GB/s = 40 ns = 80 cycles.
-        assert_eq!(s.read(0), 160);
+        assert_eq!(s.read(0, SpanId::NONE), 160);
         assert_eq!(s.access_cycles(), 160);
         // Second back-to-back read starts after the first transfer clears.
-        assert_eq!(s.read(0), 80 + 160);
+        assert_eq!(s.read(0, SpanId::NONE), 80 + 160);
     }
 
     #[test]
@@ -255,7 +262,7 @@ mod tests {
         let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
         let mut last = 0;
         for _ in 0..10 {
-            last = s.read(0);
+            last = s.read(0, SpanId::NONE);
         }
         // 10 reads serialize at 80 cycles each; latency pipelined.
         assert_eq!(last, 9 * 80 + 160);
@@ -267,28 +274,28 @@ mod tests {
     fn protocol_channel_is_independent() {
         let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
         for _ in 0..5 {
-            s.read(0);
+            s.read(0, SpanId::NONE);
         }
         // The protocol channel sees no contention from the main channel.
-        assert_eq!(s.read_protocol(0), 160);
+        assert_eq!(s.read_protocol(0, SpanId::NONE), 160);
     }
 
     #[test]
     fn writes_occupy_but_do_not_wait() {
         let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
-        let t = s.write(100);
+        let t = s.write(100, SpanId::NONE);
         assert_eq!(t, 100);
         // Next read waits for the write's bandwidth slot.
-        assert_eq!(s.read(100), 100 + 80 + 160);
+        assert_eq!(s.read(100, SpanId::NONE), 100 + 80 + 160);
         assert_eq!(s.writes(), 1);
     }
 
     #[test]
     fn idle_channel_resets_to_now() {
         let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
-        s.read(0);
+        s.read(0, SpanId::NONE);
         // Long idle gap: next access starts immediately at `now`.
-        assert_eq!(s.read(10_000), 10_160);
+        assert_eq!(s.read(10_000, SpanId::NONE), 10_160);
     }
 
     #[test]
@@ -299,7 +306,7 @@ mod tests {
         cfg.ecc.uncorrectable_per_million = 0;
         cfg.ecc.correction_cycles = 24;
         s.set_faults(&cfg, NodeId(2));
-        assert_eq!(s.read(0), 160 + 24);
+        assert_eq!(s.read(0, SpanId::NONE), 160 + 24);
         assert_eq!(s.ecc_corrected(), 1);
         assert_eq!(s.ecc_uncorrectable(), 0);
         assert!(s.first_uncorrectable().is_none());
@@ -312,8 +319,8 @@ mod tests {
         cfg.ecc.correctable_per_million = 0;
         cfg.ecc.uncorrectable_per_million = 1_000_000;
         s.set_faults(&cfg, NodeId(0));
-        assert_eq!(s.read(7), 7 + 160);
-        assert_eq!(s.read_protocol(9), 9 + 160);
+        assert_eq!(s.read(7, SpanId::NONE), 7 + 160);
+        assert_eq!(s.read_protocol(9, SpanId::NONE), 9 + 160);
         assert_eq!(s.ecc_uncorrectable(), 2);
         assert_eq!(s.first_uncorrectable(), Some((7, false)));
     }
@@ -322,16 +329,16 @@ mod tests {
     fn disabled_faults_leave_timing_untouched() {
         let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
         s.set_faults(&FaultConfig::default(), NodeId(0));
-        assert_eq!(s.read(0), 160);
+        assert_eq!(s.read(0, SpanId::NONE), 160);
         assert_eq!(s.ecc_corrected(), 0);
     }
 
     #[test]
     fn queue_wait_is_recorded_per_channel() {
         let mut s = Sdram::from_ns(2.0, 80.0, 3.2);
-        s.read(0); // starts immediately: wait 0
-        s.read(0); // waits for the first transfer: wait 80
-        s.read_protocol(0); // independent channel: wait 0
+        s.read(0, SpanId::NONE); // starts immediately: wait 0
+        s.read(0, SpanId::NONE); // waits for the first transfer: wait 80
+        s.read_protocol(0, SpanId::NONE); // independent channel: wait 0
         assert_eq!(s.main_queue_wait().count(), 2);
         assert_eq!(s.main_queue_wait().max(), 80);
         assert_eq!(s.main_queue_wait().min(), 0);

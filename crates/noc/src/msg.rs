@@ -1,6 +1,6 @@
 //! Coherence protocol messages and virtual networks.
 
-use smtp_types::{LineAddr, NodeId, L2_LINE};
+use smtp_types::{LineAddr, NodeId, SpanId, L2_LINE};
 use std::fmt;
 
 /// Virtual networks (paper Table 3: four, the protocol uses three).
@@ -175,17 +175,30 @@ pub struct Msg {
     pub src: NodeId,
     /// Destination node.
     pub dst: NodeId,
+    /// Causal span of the transaction this message belongs to. Derived
+    /// messages (interventions, invalidations, replies, acks, LLP
+    /// retransmits) inherit the span of the request that caused them.
+    pub span: SpanId,
 }
 
 impl Msg {
-    /// Construct a message.
+    /// Construct a message carrying no span ([`SpanId::NONE`]); use
+    /// [`Msg::with_span`] to attach the causal span.
     pub fn new(kind: MsgKind, addr: LineAddr, src: NodeId, dst: NodeId) -> Msg {
         Msg {
             kind,
             addr,
             src,
             dst,
+            span: SpanId::NONE,
         }
+    }
+
+    /// The same message tagged with a causal span.
+    #[inline]
+    pub fn with_span(mut self, span: SpanId) -> Msg {
+        self.span = span;
+        self
     }
 
     /// Virtual network the message travels on.

@@ -218,6 +218,7 @@ impl Network {
                 msg: msg.kind.trace_label(),
                 vnet: msg.vnet().idx() as u8,
                 deliver_at: cur,
+                span: msg.span,
             });
         self.in_flight.push(Reverse(InFlight {
             at: cur,
@@ -245,6 +246,7 @@ impl Network {
                     line: f.msg.addr,
                     msg: f.msg.kind.trace_label(),
                     vnet: f.msg.vnet().idx() as u8,
+                    span: f.msg.span,
                 });
             Some(f.msg)
         } else {
@@ -309,6 +311,7 @@ impl Network {
                 msg: msg.kind.trace_label(),
                 vnet: vnet as u8,
                 deliver_at: arrival,
+                span: msg.span,
             });
     }
 
@@ -439,6 +442,7 @@ impl Network {
                     vnet: key.2,
                     seq,
                     attempt: attempts,
+                    span: msg.span,
                 });
             self.phys_transmit(&mut llp, now, key, seq, msg, sent_at, true);
         }
@@ -479,6 +483,7 @@ impl Network {
                 line: r.msg.addr,
                 msg: r.msg.kind.trace_label(),
                 vnet: r.msg.vnet().idx() as u8,
+                span: r.msg.span,
             });
         Some(r.msg)
     }

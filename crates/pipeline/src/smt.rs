@@ -1539,7 +1539,7 @@ mod tests {
                     LoadDone { tag, at } => pipe.load_done(tag, at),
                     StoreDone { tag, at, performed } => pipe.store_done(tag, at, performed),
                     IFetchDone { ctx, at } => pipe.ifetch_done(ctx, at),
-                    AppMiss { line, .. } | CodeFetch { line } | ProtocolFetch { line } => {
+                    AppMiss { line, .. } | CodeFetch { line, .. } | ProtocolFetch { line, .. } => {
                         // Instant local memory in these unit tests.
                         mem.fill(line, smtp_cache::Grant::Excl { acks: 0 }, now + 20);
                     }
@@ -1865,7 +1865,7 @@ mod tests {
                 match ev {
                     LoadDone { tag, at } => pipe.load_done(tag, at),
                     IFetchDone { ctx, at } => pipe.ifetch_done(ctx, at),
-                    AppMiss { line, .. } | CodeFetch { line } | ProtocolFetch { line } => {
+                    AppMiss { line, .. } | CodeFetch { line, .. } | ProtocolFetch { line, .. } => {
                         mem.fill(line, smtp_cache::Grant::Excl { acks: 0 }, now + 20);
                     }
                     _ => {}
@@ -1895,7 +1895,7 @@ mod tests {
             while let Some(ev) = mem.pop_event() {
                 if let smtp_cache::MemEvent::IFetchDone { ctx, at } = ev {
                     pipe.ifetch_done(ctx, at);
-                } else if let smtp_cache::MemEvent::CodeFetch { line } = ev {
+                } else if let smtp_cache::MemEvent::CodeFetch { line, .. } = ev {
                     mem.fill(line, smtp_cache::Grant::Excl { acks: 0 }, now + 5);
                 }
             }

@@ -124,12 +124,14 @@ impl Directory {
         match handle(self.home, &state, msg) {
             Outcome::Apply(t) => {
                 let home = self.home;
+                let span = msg.span;
                 self.tracer
                     .emit(Category::Protocol, now, || Event::DirTransition {
                         node: home,
                         line: msg.addr,
                         from: state.trace_class(),
                         to: t.new_state.trace_class(),
+                        span,
                     });
                 self.stats.handlers += 1;
                 self.stats.invals_sent += t
@@ -158,11 +160,13 @@ impl Directory {
             Outcome::Defer => {
                 self.stats.deferred += 1;
                 let home = self.home;
+                let span = msg.span;
                 self.tracer
                     .emit(Category::Protocol, now, || Event::DirDefer {
                         node: home,
                         line: msg.addr,
                         msg: msg.kind.trace_label(),
+                        span,
                     });
                 let q = self.pending.entry(msg.addr.raw()).or_default();
                 q.push_back(*msg);

@@ -64,7 +64,7 @@ pub enum Outcome {
 pub fn handle(home: NodeId, state: &DirState, msg: &Msg) -> Outcome {
     let line = msg.addr;
     let who = msg.src;
-    match msg.kind {
+    let mut outcome = match msg.kind {
         MsgKind::GetS => handle_gets(home, state, line, who),
         MsgKind::GetX => handle_getx(home, state, line, who, false),
         MsgKind::Upgrade => handle_getx(home, state, line, who, true),
@@ -97,7 +97,15 @@ pub fn handle(home: NodeId, state: &DirState, msg: &Msg) -> Outcome {
             Outcome::Apply(Box::new(t))
         }
         k => panic!("message kind {k:?} is not a home-directed transaction"),
+    };
+    // Every message a handler emits is causally part of the transaction
+    // that triggered it: inherit the incoming message's span.
+    if let Outcome::Apply(t) = &mut outcome {
+        for s in &mut t.sends {
+            s.span = msg.span;
+        }
     }
+    outcome
 }
 
 fn handle_gets(home: NodeId, state: &DirState, line: LineAddr, who: NodeId) -> Outcome {

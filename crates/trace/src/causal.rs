@@ -1,0 +1,725 @@
+//! Causal-span reconstruction: per-transaction DAGs, critical-path
+//! attribution and tail-latency exemplars.
+//!
+//! Every span-carrying [`Event`] names the coherence transaction it belongs
+//! to (see [`smtp_types::SpanId`]). [`CausalSpans`] is a [`TraceSink`] that
+//! groups the event stream by span online: while a transaction is open its
+//! events accumulate; when its `mshr_free` arrives the span is *closed* —
+//! its critical path is computed, folded into a run-level
+//! [`CriticalPathBreakdown`], and the transaction is considered for the
+//! bounded top-K reservoir of slowest exemplars.
+//!
+//! # Critical path
+//!
+//! Events reach the sink in serial emission order (the parallel engine
+//! replays captured events at epoch barriers in exactly this order), so a
+//! span's event list is already causally ordered. The critical path is the
+//! telescoping walk over that list with monotonically-clamped timestamps:
+//! each consecutive pair contributes `t[i+1] - t[i]` cycles attributed to
+//! a [`PathCat`] chosen from the *kind* of the later event (an edge ending
+//! in `net_deliver` is network time; one ending in `handler_dispatch` is
+//! home queueing — unless the span was previously deferred, which makes it
+//! retry time; and so on). Clamping makes the per-edge attributions sum
+//! *exactly* to `free_cycle - alloc_cycle`, the same end-to-end latency the
+//! phase profiler reports — the telescoping invariant the report's
+//! breakdown relies on.
+
+use crate::event::Event;
+use crate::sink::TraceSink;
+use smtp_types::{Cycle, LineAddr, NodeId, SpanId};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Critical-path attribution categories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum PathCat {
+    /// Requester-side cycles: issue, fill install, ack gathering,
+    /// writeback handling.
+    Requester = 0,
+    /// Network hops (inject → deliver) and local short-circuit delivery.
+    Network = 1,
+    /// Home-side queueing between message arrival and handler dispatch.
+    Queueing = 2,
+    /// Protocol handler execution (dispatch → sends/completion).
+    Handler = 3,
+    /// SDRAM access windows opened by a handler or local fill.
+    Sdram = 4,
+    /// Retry loops: busy-line defer replays and LLP retransmissions.
+    Retry = 5,
+}
+
+/// Number of [`PathCat`] variants.
+pub const NUM_PATH_CATS: usize = 6;
+
+/// Stable names, indexed by [`PathCat`] discriminants.
+pub const PATH_CAT_NAMES: [&str; NUM_PATH_CATS] = [
+    "requester",
+    "network",
+    "home queueing",
+    "handler",
+    "sdram",
+    "retry",
+];
+
+/// Classify the critical-path edge *ending* at `next`, given the event
+/// before it on the span.
+fn edge_cat(prev: &Event, next: &Event) -> PathCat {
+    match next {
+        Event::NetDeliver { .. } | Event::LocalMsg { .. } => PathCat::Network,
+        Event::HandlerDispatch { .. } => {
+            if matches!(prev, Event::DirDefer { .. }) {
+                PathCat::Retry
+            } else {
+                PathCat::Queueing
+            }
+        }
+        Event::HandlerComplete { .. } | Event::SdramWrite { .. } => PathCat::Handler,
+        Event::DirTransition { .. } | Event::DirDefer { .. } => PathCat::Queueing,
+        Event::SdramRead { .. } => PathCat::Handler,
+        Event::LinkRetransmit { .. } => PathCat::Retry,
+        Event::NetInject { .. } => match prev {
+            // A send waiting on the SDRAM data the handler requested.
+            Event::SdramRead { .. } => PathCat::Sdram,
+            Event::HandlerDispatch { .. }
+            | Event::HandlerComplete { .. }
+            | Event::DirTransition { .. } => PathCat::Handler,
+            Event::LinkRetransmit { .. } => PathCat::Retry,
+            _ => PathCat::Requester,
+        },
+        // Fill, Writeback, MshrFree and anything unexpected: cycles spent
+        // back at the requester.
+        _ => PathCat::Requester,
+    }
+}
+
+/// A closed (or, on deadlock, still-open) transaction with its full event
+/// list and per-category critical-path attribution.
+#[derive(Clone, Debug)]
+pub struct SpanExemplar {
+    /// The transaction's span.
+    pub span: SpanId,
+    /// Line the transaction concerned.
+    pub line: LineAddr,
+    /// Node that allocated the span (the requester).
+    pub requester: NodeId,
+    /// Cycle of the first event (MSHR allocation).
+    pub alloc_at: Cycle,
+    /// Cycle of the last event (MSHR free; last recorded event for open
+    /// spans).
+    pub last_at: Cycle,
+    /// Per-category critical-path cycles; sums to `last_at - alloc_at`.
+    pub cats: [u64; NUM_PATH_CATS],
+    /// The span's events in serial emission order.
+    pub events: Vec<(Cycle, Event)>,
+}
+
+impl SpanExemplar {
+    /// End-to-end latency (equals the sum of `cats` by construction).
+    pub fn latency(&self) -> Cycle {
+        self.last_at - self.alloc_at
+    }
+
+    /// Render the span as an annotated text tree.
+    ///
+    /// Each event's parent is its causal predecessor: a `net_deliver`
+    /// hangs off its matching `net_inject`; every other event hangs off
+    /// the span's latest previous event on the same node (falling back to
+    /// the latest event anywhere). Children are indented under parents, so
+    /// a remote miss reads as requester → network → home → network →
+    /// requester, with interventions and invalidations as side branches.
+    pub fn render_tree(&self) -> String {
+        let n = self.events.len();
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut inject_used = vec![false; n];
+        for (i, par) in parent.iter_mut().enumerate().skip(1) {
+            let (_, ev) = self.events[i];
+            *par = match ev {
+                Event::NetDeliver { src, dst, msg, .. } => {
+                    let found = (0..i).rev().find(|&j| {
+                        !inject_used[j]
+                            && matches!(self.events[j].1, Event::NetInject {
+                                src: s, dst: d, msg: m, ..
+                            } if s == src && d == dst && m == msg)
+                    });
+                    if let Some(j) = found {
+                        inject_used[j] = true;
+                    }
+                    found.or(Some(i - 1))
+                }
+                _ => (0..i)
+                    .rev()
+                    .find(|&j| self.events[j].1.node() == ev.node())
+                    .or(Some(i - 1)),
+            };
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, p) in parent.iter().enumerate().skip(1) {
+            if let Some(p) = *p {
+                children[p].push(i);
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "span {} line {:#x} node{}: {} cycles ({}..{})",
+            self.span,
+            self.line.raw(),
+            self.requester.0,
+            self.latency(),
+            self.alloc_at,
+            self.last_at
+        );
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        while let Some((i, depth)) = stack.pop() {
+            let (cycle, ev) = self.events[i];
+            let delta = parent[i].map_or(0, |p| cycle.saturating_sub(self.events[p].0));
+            let _ = writeln!(
+                out,
+                "  @{cycle:<8} {:indent$}+{delta:<6} {ev}",
+                "",
+                indent = depth * 2
+            );
+            for &c in children[i].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Render the critical-path walk: one line per edge with its category
+    /// and cycle cost, then the per-category totals.
+    pub fn render_critical_path(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path for {} ({} cycles):",
+            self.span,
+            self.latency()
+        );
+        let mut t_prev = self.alloc_at;
+        for w in self.events.windows(2) {
+            let (_, prev) = w[0];
+            let (cycle, next) = w[1];
+            let t = cycle.max(t_prev);
+            let cat = edge_cat(&prev, &next);
+            if t > t_prev {
+                let _ = writeln!(
+                    out,
+                    "  +{:<6} [{}] {}",
+                    t - t_prev,
+                    PATH_CAT_NAMES[cat as usize],
+                    next
+                );
+            }
+            t_prev = t;
+        }
+        let _ = writeln!(out, "  breakdown:");
+        for (i, name) in PATH_CAT_NAMES.iter().enumerate() {
+            if self.cats[i] > 0 {
+                let pct = 100.0 * self.cats[i] as f64 / self.latency().max(1) as f64;
+                let _ = writeln!(out, "    {name:<14} {:>8} cycles ({pct:.1}%)", self.cats[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Run-level critical-path aggregate over every closed span.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPathBreakdown {
+    /// Total critical-path cycles attributed to each [`PathCat`], summed
+    /// over all closed spans.
+    pub cycles: [u64; NUM_PATH_CATS],
+    /// Number of spans folded in.
+    pub spans: u64,
+    /// Total end-to-end cycles over all spans (equals `cycles` summed).
+    pub total_cycles: u64,
+}
+
+impl CriticalPathBreakdown {
+    /// Fold one closed span in.
+    fn record(&mut self, cats: &[u64; NUM_PATH_CATS], total: u64) {
+        for (a, b) in self.cycles.iter_mut().zip(cats) {
+            *a += b;
+        }
+        self.spans += 1;
+        self.total_cycles += total;
+    }
+}
+
+/// Compute a span's critical path: monotonically-clamped telescoping walk.
+/// Returns per-category cycles and the clamped final timestamp.
+fn critical_path(events: &[(Cycle, Event)]) -> ([u64; NUM_PATH_CATS], Cycle) {
+    let mut cats = [0u64; NUM_PATH_CATS];
+    let Some(&(first, _)) = events.first() else {
+        return (cats, 0);
+    };
+    let mut t_prev = first;
+    for w in events.windows(2) {
+        let (_, prev) = w[0];
+        let (cycle, next) = w[1];
+        let t = cycle.max(t_prev);
+        cats[edge_cat(&prev, &next) as usize] += t - t_prev;
+        t_prev = t;
+    }
+    (cats, t_prev)
+}
+
+struct CausalState {
+    open: HashMap<u64, Vec<(Cycle, Event)>>,
+    /// Spans whose `mshr_free` has been seen. Trailing events can carry a
+    /// closed span — the home's busy-state closeout (`TransferAck` /
+    /// `SharingWb` handling) after a data reply raced ahead, or the victim
+    /// writeback a fill triggered — and must not re-open it: the
+    /// transaction's latency ended when its MSHR freed.
+    closed: HashSet<u64>,
+    agg: CriticalPathBreakdown,
+    /// Slowest closed spans, sorted by latency descending (ties: older
+    /// span first, so the reservoir is deterministic).
+    top: Vec<SpanExemplar>,
+    top_k: usize,
+}
+
+impl CausalState {
+    fn close_span(&mut self, raw: u64) {
+        self.closed.insert(raw);
+        let Some(events) = self.open.remove(&raw) else {
+            return;
+        };
+        let Some(ex) = make_exemplar(events) else {
+            return;
+        };
+        self.agg.record(&ex.cats, ex.latency());
+        let worst_kept = self.top.last().map_or(0, |e| e.latency());
+        if self.top.len() < self.top_k || ex.latency() > worst_kept {
+            let pos = self.top.partition_point(|e| e.latency() >= ex.latency());
+            self.top.insert(pos, ex);
+            self.top.truncate(self.top_k);
+        }
+    }
+}
+
+fn make_exemplar(events: Vec<(Cycle, Event)>) -> Option<SpanExemplar> {
+    let &(alloc_at, first) = events.first()?;
+    let span = first.span();
+    let (cats, last_at) = critical_path(&events);
+    Some(SpanExemplar {
+        span,
+        line: first.line().unwrap_or(LineAddr(0)),
+        requester: span.node(),
+        alloc_at,
+        last_at,
+        cats,
+        events,
+    })
+}
+
+/// Shared handle to the causal-span analyzer. Install its sink with
+/// [`CausalSpans::sink`]; query the aggregate and exemplars any time
+/// (including from a deadlock diagnosis while the run is wedged).
+#[derive(Clone)]
+pub struct CausalSpans {
+    state: Arc<Mutex<CausalState>>,
+}
+
+impl CausalSpans {
+    /// An analyzer keeping the `top_k` slowest transactions as full-tree
+    /// exemplars.
+    pub fn new(top_k: usize) -> CausalSpans {
+        CausalSpans {
+            state: Arc::new(Mutex::new(CausalState {
+                open: HashMap::new(),
+                closed: HashSet::new(),
+                agg: CriticalPathBreakdown::default(),
+                top: Vec::new(),
+                top_k,
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CausalState> {
+        self.state.lock().unwrap()
+    }
+
+    /// A sink feeding this analyzer; install it on the run's `Tracer`.
+    pub fn sink(&self) -> Box<dyn TraceSink> {
+        Box::new(CausalSink {
+            handle: self.clone(),
+        })
+    }
+
+    /// The run-level critical-path aggregate over closed spans.
+    pub fn breakdown(&self) -> CriticalPathBreakdown {
+        self.lock().agg.clone()
+    }
+
+    /// The slowest closed transactions, worst first (at most `top_k`).
+    pub fn exemplars(&self) -> Vec<SpanExemplar> {
+        self.lock().top.clone()
+    }
+
+    /// Number of spans still open (non-zero after a deadlock).
+    pub fn open_count(&self) -> usize {
+        self.lock().open.len()
+    }
+
+    /// Still-open spans as exemplars (critical path up to their last
+    /// event), oldest allocation first — deadlock evidence.
+    pub fn open_spans(&self) -> Vec<SpanExemplar> {
+        let st = self.lock();
+        let mut out: Vec<SpanExemplar> = st
+            .open
+            .values()
+            .filter_map(|ev| make_exemplar(ev.clone()))
+            .collect();
+        out.sort_by_key(|e| (e.alloc_at, e.span.raw()));
+        out
+    }
+}
+
+struct CausalSink {
+    handle: CausalSpans,
+}
+
+impl TraceSink for CausalSink {
+    fn record(&mut self, now: Cycle, ev: &Event) {
+        let span = ev.span();
+        if !span.is_some() {
+            return;
+        }
+        let mut st = self.handle.lock();
+        if st.closed.contains(&span.raw()) {
+            return;
+        }
+        st.open.entry(span.raw()).or_default().push((now, *ev));
+        if matches!(ev, Event::MshrFree { .. }) {
+            st.close_span(span.raw());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{GrantClass, HandlerClass, MissClass, MsgLabel};
+
+    fn line() -> LineAddr {
+        LineAddr(0x1080)
+    }
+
+    fn span() -> SpanId {
+        SpanId::new(NodeId(0), 1)
+    }
+
+    /// A minimal 2-node remote read: alloc → inject GetS → deliver →
+    /// dispatch → sdram → inject DataShared → deliver → fill → free.
+    fn remote_read_events(sink: &mut dyn TraceSink) {
+        let (n0, n1, l, s) = (NodeId(0), NodeId(1), line(), span());
+        sink.record(
+            100,
+            &Event::MshrAlloc {
+                node: n0,
+                line: l,
+                miss: MissClass::Read,
+                span: s,
+            },
+        );
+        sink.record(
+            104,
+            &Event::NetInject {
+                src: n0,
+                dst: n1,
+                line: l,
+                msg: MsgLabel::GetS,
+                vnet: 0,
+                deliver_at: 140,
+                span: s,
+            },
+        );
+        sink.record(
+            140,
+            &Event::NetDeliver {
+                src: n0,
+                dst: n1,
+                line: l,
+                msg: MsgLabel::GetS,
+                vnet: 0,
+                span: s,
+            },
+        );
+        sink.record(
+            152,
+            &Event::HandlerDispatch {
+                node: n1,
+                line: l,
+                handler: HandlerClass::GetSUnowned,
+                msg: MsgLabel::GetS,
+                src: n0,
+                seq: 0,
+                span: s,
+            },
+        );
+        sink.record(
+            152,
+            &Event::SdramRead {
+                node: n1,
+                protocol: false,
+                ready_at: 210,
+                span: s,
+            },
+        );
+        sink.record(
+            210,
+            &Event::NetInject {
+                src: n1,
+                dst: n0,
+                line: l,
+                msg: MsgLabel::DataShared,
+                vnet: 2,
+                deliver_at: 250,
+                span: s,
+            },
+        );
+        sink.record(
+            250,
+            &Event::NetDeliver {
+                src: n1,
+                dst: n0,
+                line: l,
+                msg: MsgLabel::DataShared,
+                vnet: 2,
+                span: s,
+            },
+        );
+        sink.record(
+            262,
+            &Event::Fill {
+                node: n0,
+                line: l,
+                grant: GrantClass::Shared,
+                span: s,
+            },
+        );
+        sink.record(
+            262,
+            &Event::MshrFree {
+                node: n0,
+                line: l,
+                span: s,
+            },
+        );
+    }
+
+    #[test]
+    fn critical_path_telescopes_to_end_to_end() {
+        let spans = CausalSpans::new(4);
+        remote_read_events(&mut *spans.sink());
+        let agg = spans.breakdown();
+        assert_eq!(agg.spans, 1);
+        assert_eq!(agg.total_cycles, 162);
+        assert_eq!(agg.cycles.iter().sum::<u64>(), agg.total_cycles);
+        // issue 4 + request net 36 + queueing 12 + sdram 58 + reply net 40
+        // + fill 12.
+        assert_eq!(agg.cycles[PathCat::Requester as usize], 4 + 12);
+        assert_eq!(agg.cycles[PathCat::Network as usize], 36 + 40);
+        assert_eq!(agg.cycles[PathCat::Queueing as usize], 12);
+        assert_eq!(agg.cycles[PathCat::Sdram as usize], 58);
+        assert_eq!(agg.cycles[PathCat::Retry as usize], 0);
+    }
+
+    #[test]
+    fn exemplar_reservoir_keeps_slowest() {
+        let spans = CausalSpans::new(2);
+        let mut sink = spans.sink();
+        // Three single-hop spans with latencies 10, 50, 30.
+        for (i, lat) in [(1u64, 10u64), (2, 50), (3, 30)] {
+            let s = SpanId::new(NodeId(0), i);
+            sink.record(
+                1000 * i,
+                &Event::MshrAlloc {
+                    node: NodeId(0),
+                    line: line(),
+                    miss: MissClass::Read,
+                    span: s,
+                },
+            );
+            sink.record(
+                1000 * i + lat,
+                &Event::MshrFree {
+                    node: NodeId(0),
+                    line: line(),
+                    span: s,
+                },
+            );
+        }
+        let top = spans.exemplars();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].latency(), 50);
+        assert_eq!(top[1].latency(), 30);
+        assert_eq!(spans.breakdown().spans, 3);
+        assert_eq!(spans.open_count(), 0);
+    }
+
+    #[test]
+    fn open_spans_surface_for_diagnosis() {
+        let spans = CausalSpans::new(2);
+        let mut sink = spans.sink();
+        let s = span();
+        sink.record(
+            7,
+            &Event::MshrAlloc {
+                node: NodeId(0),
+                line: line(),
+                miss: MissClass::Write,
+                span: s,
+            },
+        );
+        sink.record(
+            9,
+            &Event::NetInject {
+                src: NodeId(0),
+                dst: NodeId(1),
+                line: line(),
+                msg: MsgLabel::GetX,
+                vnet: 0,
+                deliver_at: 40,
+                span: s,
+            },
+        );
+        assert_eq!(spans.open_count(), 1);
+        let open = spans.open_spans();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].span, s);
+        assert_eq!(open[0].latency(), 2);
+        let tree = open[0].render_tree();
+        assert!(tree.contains("mshr_alloc"), "tree:\n{tree}");
+        assert!(tree.contains("inject"), "tree:\n{tree}");
+    }
+
+    #[test]
+    fn tree_and_path_render() {
+        let spans = CausalSpans::new(1);
+        remote_read_events(&mut *spans.sink());
+        let ex = &spans.exemplars()[0];
+        let tree = ex.render_tree();
+        // The deliver hangs off its inject (indented one level deeper).
+        assert!(tree.contains("162 cycles"), "tree:\n{tree}");
+        assert!(tree.contains("deliver GetS"), "tree:\n{tree}");
+        let path = ex.render_critical_path();
+        assert!(path.contains("[sdram]"), "path:\n{path}");
+        assert!(path.contains("[network]"), "path:\n{path}");
+        assert!(
+            path.contains("162 cycles"),
+            "path header shows total:\n{path}"
+        );
+    }
+
+    #[test]
+    fn trailing_events_do_not_reopen_a_closed_span() {
+        let spans = CausalSpans::new(1);
+        let mut sink = spans.sink();
+        remote_read_events(&mut *sink);
+        // Home-side closeout arriving after the requester freed its MSHR
+        // (e.g. the SharingWb leg of a 3-hop transfer) must be dropped.
+        sink.record(
+            300,
+            &Event::DirTransition {
+                node: NodeId(1),
+                line: line(),
+                from: crate::event::DirClass::BusyShared,
+                to: crate::event::DirClass::Shared,
+                span: span(),
+            },
+        );
+        assert_eq!(spans.open_count(), 0);
+        assert_eq!(spans.breakdown().spans, 1);
+        assert_eq!(spans.exemplars()[0].latency(), 162);
+    }
+
+    #[test]
+    fn retransmit_and_defer_count_as_retry() {
+        let spans = CausalSpans::new(1);
+        let mut sink = spans.sink();
+        let (n0, n1, l, s) = (NodeId(0), NodeId(1), line(), span());
+        sink.record(
+            0,
+            &Event::MshrAlloc {
+                node: n0,
+                line: l,
+                miss: MissClass::Read,
+                span: s,
+            },
+        );
+        sink.record(
+            2,
+            &Event::NetInject {
+                src: n0,
+                dst: n1,
+                line: l,
+                msg: MsgLabel::GetS,
+                vnet: 0,
+                deliver_at: 10,
+                span: s,
+            },
+        );
+        // The packet was lost; the LLP retransmits at 40.
+        sink.record(
+            40,
+            &Event::LinkRetransmit {
+                src: n0,
+                dst: n1,
+                vnet: 0,
+                seq: 1,
+                attempt: 1,
+                span: s,
+            },
+        );
+        sink.record(
+            48,
+            &Event::NetDeliver {
+                src: n0,
+                dst: n1,
+                line: l,
+                msg: MsgLabel::GetS,
+                vnet: 0,
+                span: s,
+            },
+        );
+        // Busy line: deferred, replayed later.
+        sink.record(
+            50,
+            &Event::DirDefer {
+                node: n1,
+                line: l,
+                msg: MsgLabel::GetS,
+                span: s,
+            },
+        );
+        sink.record(
+            90,
+            &Event::HandlerDispatch {
+                node: n1,
+                line: l,
+                handler: HandlerClass::GetSUnowned,
+                msg: MsgLabel::GetS,
+                src: n0,
+                seq: 3,
+                span: s,
+            },
+        );
+        sink.record(
+            95,
+            &Event::MshrFree {
+                node: n0,
+                line: l,
+                span: s,
+            },
+        );
+        let agg = spans.breakdown();
+        // retransmit wait 38 + defer replay wait 40.
+        assert_eq!(agg.cycles[PathCat::Retry as usize], 38 + 40);
+        assert_eq!(agg.cycles.iter().sum::<u64>(), agg.total_cycles);
+    }
+}

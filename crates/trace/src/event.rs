@@ -6,7 +6,7 @@
 //! richer enums of the simulator crates; each crate provides its own
 //! conversion so this crate depends only on `smtp-types`.
 
-use smtp_types::{Ctx, Cycle, LineAddr, NodeId};
+use smtp_types::{Ctx, Cycle, LineAddr, NodeId, SpanId};
 use std::fmt;
 
 /// Trace categories; each owns one bit of the [`Tracer`](crate::Tracer)
@@ -298,6 +298,8 @@ pub enum Event {
         line: LineAddr,
         /// Miss class.
         miss: MissClass,
+        /// Causal span allocated to this transaction (the span root).
+        span: SpanId,
     },
     /// The MSHR retired (data filled *and* all invalidation acks
     /// collected); the transaction for `line` is complete.
@@ -306,6 +308,8 @@ pub enum Event {
         node: NodeId,
         /// Line whose transaction completed.
         line: LineAddr,
+        /// Causal span of the completed transaction.
+        span: SpanId,
     },
     /// A data/ownership reply filled the cache hierarchy.
     Fill {
@@ -315,6 +319,8 @@ pub enum Event {
         line: LineAddr,
         /// What was granted.
         grant: GrantClass,
+        /// Causal span of the filling transaction.
+        span: SpanId,
     },
     /// An L2 victim was pushed to the writeback buffer.
     Writeback {
@@ -324,6 +330,8 @@ pub enum Event {
         line: LineAddr,
         /// Dirty (sends `Put`) vs clean replacement hint.
         dirty: bool,
+        /// Causal span of the transaction whose fill evicted the victim.
+        span: SpanId,
     },
 
     // --- Protocol ------------------------------------------------------
@@ -341,6 +349,8 @@ pub enum Event {
         src: NodeId,
         /// Per-node dispatch sequence number (matches `RunStats::handlers`).
         seq: u64,
+        /// Causal span of the triggering message's transaction.
+        span: SpanId,
     },
     /// A coherence handler finished (protocol-thread `ldctxt` graduated, or
     /// the embedded engine's analytic run completed).
@@ -353,6 +363,8 @@ pub enum Event {
         handler: HandlerClass,
         /// Per-node dispatch sequence number of the matching dispatch.
         seq: u64,
+        /// Causal span of the handled transaction.
+        span: SpanId,
     },
     /// The directory committed a state transition for a line.
     DirTransition {
@@ -364,6 +376,8 @@ pub enum Event {
         from: DirClass,
         /// State after.
         to: DirClass,
+        /// Causal span of the message that drove the transition.
+        span: SpanId,
     },
     /// A request hit a busy directory entry and was queued for replay.
     DirDefer {
@@ -373,6 +387,8 @@ pub enum Event {
         line: LineAddr,
         /// Deferred message.
         msg: MsgLabel,
+        /// Causal span of the deferred message's transaction.
+        span: SpanId,
     },
 
     // --- Network -------------------------------------------------------
@@ -390,6 +406,8 @@ pub enum Event {
         vnet: u8,
         /// Cycle the message will arrive at `dst`.
         deliver_at: Cycle,
+        /// Causal span of the message's transaction.
+        span: SpanId,
     },
     /// A message left the interconnect at its destination.
     NetDeliver {
@@ -403,6 +421,8 @@ pub enum Event {
         msg: MsgLabel,
         /// Virtual network index.
         vnet: u8,
+        /// Causal span of the message's transaction.
+        span: SpanId,
     },
     /// A message whose source and destination coincide was short-circuited
     /// through the local delivery queue without entering the network.
@@ -413,6 +433,8 @@ pub enum Event {
         line: LineAddr,
         /// Message label.
         msg: MsgLabel,
+        /// Causal span of the message's transaction.
+        span: SpanId,
     },
 
     // --- SDRAM ---------------------------------------------------------
@@ -424,6 +446,9 @@ pub enum Event {
         protocol: bool,
         /// Cycle the data is available.
         ready_at: Cycle,
+        /// Causal span of the transaction the access serves (NONE for
+        /// accesses not tied to a miss transaction).
+        span: SpanId,
     },
     /// An SDRAM write.
     SdramWrite {
@@ -431,6 +456,8 @@ pub enum Event {
         node: NodeId,
         /// Directory/protocol traffic (vs application data).
         protocol: bool,
+        /// Causal span of the transaction the access serves.
+        span: SpanId,
     },
 
     // --- Pipeline ------------------------------------------------------
@@ -525,6 +552,9 @@ pub enum Event {
         seq: u64,
         /// Retransmission attempt count for this packet (1-based).
         attempt: u32,
+        /// Causal span of the buffered message being retransmitted
+        /// (retransmits reuse the original span — no new allocation).
+        span: SpanId,
     },
     /// An SDRAM read hit an injected ECC error.
     EccFault {
@@ -667,6 +697,28 @@ impl Event {
         }
     }
 
+    /// The causal span the event belongs to ([`SpanId::NONE`] for events
+    /// outside any transaction — sync, pipeline, fault-injection noise).
+    pub fn span(&self) -> SpanId {
+        match *self {
+            Event::MshrAlloc { span, .. }
+            | Event::MshrFree { span, .. }
+            | Event::Fill { span, .. }
+            | Event::Writeback { span, .. }
+            | Event::HandlerDispatch { span, .. }
+            | Event::HandlerComplete { span, .. }
+            | Event::DirTransition { span, .. }
+            | Event::DirDefer { span, .. }
+            | Event::NetInject { span, .. }
+            | Event::NetDeliver { span, .. }
+            | Event::LocalMsg { span, .. }
+            | Event::SdramRead { span, .. }
+            | Event::SdramWrite { span, .. }
+            | Event::LinkRetransmit { span, .. } => span,
+            _ => SpanId::NONE,
+        }
+    }
+
     /// Append this event as one JSON line (newline-terminated) to `out`.
     ///
     /// The encoding is hand-rolled and fully deterministic: fixed key
@@ -682,7 +734,9 @@ impl Event {
             self.name()
         );
         match *self {
-            Event::MshrAlloc { node, line, miss } => {
+            Event::MshrAlloc {
+                node, line, miss, ..
+            } => {
                 let _ = write!(
                     out,
                     ",\"node\":{},\"line\":\"{:#x}\",\"miss\":\"{}\"",
@@ -691,10 +745,12 @@ impl Event {
                     miss.name()
                 );
             }
-            Event::MshrFree { node, line } => {
+            Event::MshrFree { node, line, .. } => {
                 let _ = write!(out, ",\"node\":{},\"line\":\"{:#x}\"", node.0, line.raw());
             }
-            Event::Fill { node, line, grant } => {
+            Event::Fill {
+                node, line, grant, ..
+            } => {
                 let _ = write!(
                     out,
                     ",\"node\":{},\"line\":\"{:#x}\",\"grant\":\"{}\"",
@@ -703,7 +759,9 @@ impl Event {
                     grant.name()
                 );
             }
-            Event::Writeback { node, line, dirty } => {
+            Event::Writeback {
+                node, line, dirty, ..
+            } => {
                 let _ = write!(
                     out,
                     ",\"node\":{},\"line\":\"{:#x}\",\"dirty\":{}",
@@ -719,6 +777,7 @@ impl Event {
                 msg,
                 src,
                 seq,
+                ..
             } => {
                 let _ = write!(
                     out,
@@ -736,6 +795,7 @@ impl Event {
                 line,
                 handler,
                 seq,
+                ..
             } => {
                 let _ = write!(
                     out,
@@ -751,6 +811,7 @@ impl Event {
                 line,
                 from,
                 to,
+                ..
             } => {
                 let _ = write!(
                     out,
@@ -761,7 +822,9 @@ impl Event {
                     to.name()
                 );
             }
-            Event::DirDefer { node, line, msg } => {
+            Event::DirDefer {
+                node, line, msg, ..
+            } => {
                 let _ = write!(
                     out,
                     ",\"node\":{},\"line\":\"{:#x}\",\"msg\":\"{}\"",
@@ -777,6 +840,7 @@ impl Event {
                 msg,
                 vnet,
                 deliver_at,
+                ..
             } => {
                 let _ = write!(
                     out,
@@ -795,6 +859,7 @@ impl Event {
                 line,
                 msg,
                 vnet,
+                ..
             } => {
                 let _ = write!(
                     out,
@@ -806,7 +871,9 @@ impl Event {
                     vnet
                 );
             }
-            Event::LocalMsg { node, line, msg } => {
+            Event::LocalMsg {
+                node, line, msg, ..
+            } => {
                 let _ = write!(
                     out,
                     ",\"node\":{},\"line\":\"{:#x}\",\"msg\":\"{}\"",
@@ -819,6 +886,7 @@ impl Event {
                 node,
                 protocol,
                 ready_at,
+                ..
             } => {
                 let _ = write!(
                     out,
@@ -826,7 +894,7 @@ impl Event {
                     node.0, protocol, ready_at
                 );
             }
-            Event::SdramWrite { node, protocol } => {
+            Event::SdramWrite { node, protocol, .. } => {
                 let _ = write!(out, ",\"node\":{},\"protocol\":{}", node.0, protocol);
             }
             Event::PipeSend { node, ctx } | Event::PipeLdctxt { node, ctx } => {
@@ -873,6 +941,7 @@ impl Event {
                 vnet,
                 seq,
                 attempt,
+                ..
             } => {
                 let _ = write!(
                     out,
@@ -904,6 +973,10 @@ impl Event {
                 let _ = write!(out, ",\"level\":{level},\"stalled_for\":{stalled_for}");
             }
         }
+        let span = self.span();
+        if span.is_some() {
+            let _ = write!(out, ",\"span\":{}", span.raw());
+        }
         out.push_str("}\n");
     }
 }
@@ -918,6 +991,7 @@ impl fmt::Display for Event {
                 msg,
                 src,
                 seq,
+                ..
             } => write!(
                 f,
                 "n{} dispatch #{} {} on {} from n{} line {:#x}",
@@ -933,6 +1007,7 @@ impl fmt::Display for Event {
                 line,
                 handler,
                 seq,
+                ..
             } => write!(
                 f,
                 "n{} complete #{} {} line {:#x}",
@@ -948,6 +1023,7 @@ impl fmt::Display for Event {
                 msg,
                 vnet,
                 deliver_at,
+                ..
             } => write!(
                 f,
                 "n{}->n{} inject {} vn{} line {:#x} (arrives {})",
@@ -964,6 +1040,7 @@ impl fmt::Display for Event {
                 line,
                 msg,
                 vnet,
+                ..
             } => write!(
                 f,
                 "n{}->n{} deliver {} vn{} line {:#x}",
@@ -978,6 +1055,7 @@ impl fmt::Display for Event {
                 line,
                 from,
                 to,
+                ..
             } => write!(
                 f,
                 "n{} dir {:#x} {} -> {}",
@@ -1009,6 +1087,7 @@ impl fmt::Display for Event {
                 vnet,
                 seq,
                 attempt,
+                ..
             } => write!(
                 f,
                 "n{}->n{} retransmit vn{} seq {} (attempt {})",
@@ -1028,6 +1107,11 @@ impl fmt::Display for Event {
                 }
                 Ok(())
             }
+        }?;
+        let span = self.span();
+        if span.is_some() {
+            write!(f, " [{span}]")?;
         }
+        Ok(())
     }
 }

@@ -32,11 +32,15 @@
 //! so `smtp-trace` depends only on `smtp-types` and sits directly above it
 //! in the workspace layering.
 
+pub mod causal;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 pub mod tracer;
 
+pub use causal::{
+    CausalSpans, CriticalPathBreakdown, PathCat, SpanExemplar, NUM_PATH_CATS, PATH_CAT_NAMES,
+};
 pub use event::{
     Category, DirClass, Event, GrantClass, HandlerClass, LinkFaultClass, MissClass, MsgLabel,
     StallClass,

@@ -8,6 +8,18 @@
 use smtp_types::Cycle;
 use std::fmt::Write as _;
 
+/// Format one sample for CSV/JSON export. Integral values print without a
+/// fraction; everything else uses Rust's shortest round-trip `Debug`
+/// formatting, which is locale-independent and parses back to the exact
+/// same `f64` (the old fixed `:.4` precision silently truncated).
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
 /// A fixed-column, cycle-indexed time-series.
 pub struct IntervalSampler {
     interval: Cycle,
@@ -80,11 +92,7 @@ impl IntervalSampler {
         for (cycle, row) in &self.rows {
             let _ = write!(out, "{cycle}");
             for v in row {
-                if v.fract() == 0.0 && v.abs() < 1e15 {
-                    let _ = write!(out, ",{}", *v as i64);
-                } else {
-                    let _ = write!(out, ",{v:.4}");
-                }
+                let _ = write!(out, ",{}", fmt_value(*v));
             }
             out.push('\n');
         }
@@ -108,11 +116,7 @@ impl IntervalSampler {
             }
             let _ = write!(out, "[{cycle}");
             for v in row {
-                if v.fract() == 0.0 && v.abs() < 1e15 {
-                    let _ = write!(out, ",{}", *v as i64);
-                } else {
-                    let _ = write!(out, ",{v:.4}");
-                }
+                let _ = write!(out, ",{}", fmt_value(*v));
             }
             out.push(']');
         }
@@ -141,10 +145,37 @@ mod tests {
         s.record(10, vec![1.5, 3.0]);
         let csv = s.to_csv();
         assert_eq!(csv.lines().next(), Some("cycle,ipc,occ"));
-        assert_eq!(csv.lines().nth(1), Some("10,1.5000,3"));
+        assert_eq!(csv.lines().nth(1), Some("10,1.5,3"));
         let json = s.to_json();
         assert!(json.starts_with("{\"interval\":10,\"columns\":[\"ipc\",\"occ\"]"));
-        assert!(json.contains("[10,1.5000,3]"));
+        assert!(json.contains("[10,1.5,3]"));
+    }
+
+    #[test]
+    fn csv_values_parse_back_exactly() {
+        // Values a fixed 4-digit precision would truncate or mangle.
+        let values = vec![
+            1.0 / 3.0,
+            0.1 + 0.2,
+            123456.789012345,
+            -7.625e-5,
+            f64::MAX / 2.0,
+            42.0,
+        ];
+        let cols = (0..values.len()).map(|i| format!("c{i}")).collect();
+        let mut s = IntervalSampler::new(10, cols);
+        s.record(10, values.clone());
+        let csv = s.to_csv();
+        let row = csv.lines().nth(1).expect("one data row");
+        let parsed: Vec<f64> = row
+            .split(',')
+            .skip(1) // cycle column
+            .map(|cell| cell.parse::<f64>().expect("every cell parses"))
+            .collect();
+        assert_eq!(
+            parsed, values,
+            "CSV cells must round-trip to the exact recorded f64s"
+        );
     }
 
     #[test]

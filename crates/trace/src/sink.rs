@@ -2,8 +2,8 @@
 //! trace-event (Perfetto-loadable) export.
 
 use crate::event::Event;
-use smtp_types::Cycle;
-use std::collections::HashMap;
+use smtp_types::{Cycle, SpanId};
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -172,6 +172,10 @@ impl Drop for JsonlSink {
 ///   line address — opened by `mshr_alloc`, annotated by network, directory
 ///   and fill instants, closed by `mshr_free` — so a remote miss renders as
 ///   connected events spanning requester, network and home node;
+/// * each span-carrying network hop additionally emits a *flow* event
+///   (`ph` `s`/`t`/`f`, id = the transaction's [`SpanId`]) bound to a
+///   one-cycle slice on the network track, so Perfetto draws the causal
+///   chain of a transaction as connected arcs across node tracks;
 /// * everything else becomes a thread-scoped instant.
 ///
 /// One simulated cycle is exported as one microsecond.
@@ -182,6 +186,13 @@ pub struct ChromeTraceSink {
     last_ts: Cycle,
     /// Open handler slices: (node, seq) -> (dispatch cycle, name, detail).
     open_handlers: HashMap<(u16, u64), (Cycle, &'static str, String)>,
+    /// Spans whose flow chain has been opened with a `ph:"s"` event.
+    flows_open: HashSet<u64>,
+    /// Spans whose flow chain has been finalized with `ph:"f"`. Trailing
+    /// events (home-side closeout after an early data reply, victim
+    /// writebacks) can carry a finalized span; they keep their slices but
+    /// must not restart the flow chain.
+    flows_done: HashSet<u64>,
 }
 
 impl ChromeTraceSink {
@@ -193,6 +204,8 @@ impl ChromeTraceSink {
             finished: false,
             last_ts: 0,
             open_handlers: HashMap::new(),
+            flows_open: HashSet::new(),
+            flows_done: HashSet::new(),
         };
         let _ = sink.out.write_all(b"[\n");
         for n in 0..nodes {
@@ -235,6 +248,46 @@ impl ChromeTraceSink {
             "{{\"ph\":\"{ph}\",\"cat\":\"txn\",\"id\":\"{line:#x}\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":0,\"ts\":{ts},\"args\":{{{args}}}}}"
         ));
     }
+
+    /// One hop of a span's flow chain: a one-cycle slice on `(pid, tid)`
+    /// (flows must bind to an enclosing slice) plus the flow event itself —
+    /// `ph:"s"` on the span's first hop, `ph:"t"` after, `ph:"f"` when
+    /// `last`. Perfetto renders the chain as arcs connecting the slices.
+    #[allow(clippy::too_many_arguments)]
+    fn flow_hop(
+        &mut self,
+        span: SpanId,
+        last: bool,
+        name: &str,
+        pid: u16,
+        tid: u8,
+        ts: Cycle,
+        args: &str,
+    ) {
+        let id = span.raw();
+        self.raw(&format!(
+            "{{\"ph\":\"X\",\"name\":\"{name}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":1,\"args\":{{\"span\":\"{span}\"{}{args}}}}}",
+            if args.is_empty() { "" } else { "," }
+        ));
+        if self.flows_done.contains(&id) {
+            return;
+        }
+        if last {
+            self.flows_done.insert(id);
+        }
+        let ph = if last {
+            self.flows_open.remove(&id);
+            'f'
+        } else if self.flows_open.insert(id) {
+            's'
+        } else {
+            't'
+        };
+        let bp = if ph == 'f' { ",\"bp\":\"e\"" } else { "" };
+        self.raw(&format!(
+            "{{\"ph\":\"{ph}\",\"cat\":\"span\",\"id\":{id},\"name\":\"span\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}{bp}}}"
+        ));
+    }
 }
 
 impl TraceSink for ChromeTraceSink {
@@ -242,7 +295,9 @@ impl TraceSink for ChromeTraceSink {
         self.last_ts = self.last_ts.max(now);
         let node = ev.node().0;
         match *ev {
-            Event::MshrAlloc { line, miss, .. } => {
+            Event::MshrAlloc {
+                line, miss, span, ..
+            } => {
                 let raw = line.raw();
                 self.async_phase(
                     'b',
@@ -252,9 +307,23 @@ impl TraceSink for ChromeTraceSink {
                     raw,
                     &format!("\"line\":\"{raw:#x}\",\"miss\":\"{}\"", miss.name()),
                 );
+                if span.is_some() {
+                    self.flow_hop(
+                        span,
+                        false,
+                        "mshr_alloc",
+                        node,
+                        0,
+                        now,
+                        &format!("\"miss\":\"{}\"", miss.name()),
+                    );
+                }
             }
-            Event::MshrFree { line, .. } => {
+            Event::MshrFree { line, span, .. } => {
                 self.async_phase('e', "txn", node, now, line.raw(), "");
+                if span.is_some() {
+                    self.flow_hop(span, true, "mshr_free", node, 0, now, "");
+                }
             }
             Event::Fill { line, grant, .. } => {
                 let raw = line.raw();
@@ -338,6 +407,7 @@ impl TraceSink for ChromeTraceSink {
                 line,
                 msg,
                 vnet,
+                span,
                 ..
             } => {
                 let raw = line.raw();
@@ -349,6 +419,17 @@ impl TraceSink for ChromeTraceSink {
                     raw,
                     &format!("\"dst\":{},\"vn\":{vnet},\"dir\":\"inject\"", dst.0),
                 );
+                if span.is_some() {
+                    self.flow_hop(
+                        span,
+                        false,
+                        msg.name(),
+                        src.0,
+                        2,
+                        now,
+                        &format!("\"dst\":{},\"vn\":{vnet}", dst.0),
+                    );
+                }
             }
             Event::NetDeliver {
                 src,
@@ -356,6 +437,7 @@ impl TraceSink for ChromeTraceSink {
                 line,
                 msg,
                 vnet,
+                span,
             } => {
                 let raw = line.raw();
                 self.async_phase(
@@ -366,6 +448,17 @@ impl TraceSink for ChromeTraceSink {
                     raw,
                     &format!("\"src\":{},\"vn\":{vnet},\"dir\":\"deliver\"", src.0),
                 );
+                if span.is_some() {
+                    self.flow_hop(
+                        span,
+                        false,
+                        msg.name(),
+                        dst.0,
+                        2,
+                        now,
+                        &format!("\"src\":{},\"vn\":{vnet}", src.0),
+                    );
+                }
             }
             Event::LocalMsg { line, msg, .. } => {
                 self.instant(
@@ -552,7 +645,7 @@ impl Drop for ChromeTraceSink {
 mod tests {
     use super::*;
     use crate::event::{GrantClass, MissClass};
-    use smtp_types::{LineAddr, NodeId};
+    use smtp_types::{LineAddr, NodeId, SpanId};
 
     #[test]
     fn jsonl_is_one_object_per_line() {
@@ -564,6 +657,7 @@ mod tests {
                 node: NodeId(1),
                 line: LineAddr(0x100),
                 miss: MissClass::Read,
+                span: SpanId::new(NodeId(1), 1),
             },
         );
         sink.record(
@@ -572,6 +666,7 @@ mod tests {
                 node: NodeId(1),
                 line: LineAddr(0x100),
                 grant: GrantClass::Shared,
+                span: SpanId::new(NodeId(1), 1),
             },
         );
         sink.flush();
@@ -592,6 +687,7 @@ mod tests {
                 node: NodeId(0),
                 line: LineAddr(0x80),
                 miss: MissClass::Write,
+                span: SpanId::new(NodeId(0), 1),
             },
         );
         sink.record(
@@ -599,6 +695,7 @@ mod tests {
             &Event::MshrFree {
                 node: NodeId(0),
                 line: LineAddr(0x80),
+                span: SpanId::new(NodeId(0), 1),
             },
         );
         sink.flush();

@@ -229,6 +229,7 @@ mod tests {
         Event::MshrFree {
             node: NodeId(n),
             line: LineAddr(0x80),
+            span: smtp_types::SpanId::new(NodeId(n), 1),
         }
     }
 

@@ -25,6 +25,7 @@ pub mod ids;
 pub mod latency;
 pub mod rng;
 pub mod sharers;
+pub mod span;
 pub mod stats;
 
 pub use addr::{app_code_addr, Addr, LineAddr, Region, APP_CODE_BASE, DIR_ENTRY_BYTES, L2_LINE};
@@ -41,6 +42,7 @@ pub use latency::{
 };
 pub use rng::SplitMix64;
 pub use sharers::SharerSet;
+pub use span::{SpanAlloc, SpanId};
 pub use stats::{Distribution, Histogram, PeakTracker, RunningStat, HISTOGRAM_BUCKETS};
 
 /// Simulation time in CPU cycles.

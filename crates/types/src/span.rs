@@ -1,0 +1,143 @@
+//! Causal transaction spans.
+//!
+//! A [`SpanId`] names one coherence transaction: it is allocated when an L2
+//! miss allocates an MSHR and is inherited by every message, intervention,
+//! invalidation, writeback, retransmission and handler activation that the
+//! transaction causes. Threading the span through the simulator lets the
+//! trace subsystem reconstruct a per-transaction causal DAG from the event
+//! stream (see `smtp_trace::causal`) the same way distributed tracers stitch
+//! RPC spans together.
+//!
+//! Identifiers are allocated per node: the high 16 bits carry the allocating
+//! node, the low 48 bits a per-node sequence number starting at 1. Each node
+//! allocates in its own deterministic execution order, so span values are
+//! bit-identical between the serial and parallel engines without any global
+//! coordination.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Identifier of one coherence transaction (an L2-miss span).
+///
+/// `SpanId::NONE` (the all-zero value, also the `Default`) marks events and
+/// messages that belong to no transaction — e.g. sync traffic or events
+/// emitted before span threading begins.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+const NODE_SHIFT: u32 = 48;
+
+impl SpanId {
+    /// "No transaction": the default span carried by messages and events
+    /// that are not part of any miss transaction.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// The `seq`-th span allocated by `node` (`seq` starts at 1).
+    #[inline]
+    pub fn new(node: NodeId, seq: u64) -> SpanId {
+        debug_assert!(seq < 1 << NODE_SHIFT, "span sequence overflow");
+        SpanId(((node.0 as u64) << NODE_SHIFT) | seq)
+    }
+
+    /// Whether this is a real transaction span (not [`SpanId::NONE`]).
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The node that allocated this span.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId((self.0 >> NODE_SHIFT) as u16)
+    }
+
+    /// The per-node sequence number (1-based).
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 & ((1 << NODE_SHIFT) - 1)
+    }
+
+    /// The packed 64-bit value (used as the flow-event id in Chrome traces).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "S{}.{}", self.node().0, self.seq())
+        } else {
+            write!(f, "S-")
+        }
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Per-node span allocator; lives in each node's memory hierarchy so
+/// allocation order is the node's own deterministic execution order.
+#[derive(Clone, Debug)]
+pub struct SpanAlloc {
+    node: NodeId,
+    next_seq: u64,
+}
+
+impl SpanAlloc {
+    /// An allocator for `node`, starting at sequence 1.
+    pub fn new(node: NodeId) -> SpanAlloc {
+        SpanAlloc { node, next_seq: 1 }
+    }
+
+    /// Allocate the next span.
+    #[allow(clippy::should_implement_trait)] // not an iterator: never exhausts
+    #[inline]
+    pub fn next(&mut self) -> SpanId {
+        let s = SpanId::new(self.node, self.next_seq);
+        self.next_seq += 1;
+        s
+    }
+
+    /// Number of spans allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let s = SpanId::new(NodeId(31), 12345);
+        assert!(s.is_some());
+        assert_eq!(s.node(), NodeId(31));
+        assert_eq!(s.seq(), 12345);
+        assert_eq!(format!("{s}"), "S31.12345");
+        assert_eq!(format!("{}", SpanId::NONE), "S-");
+    }
+
+    #[test]
+    fn allocator_is_sequential_per_node() {
+        let mut a = SpanAlloc::new(NodeId(2));
+        assert_eq!(a.next(), SpanId::new(NodeId(2), 1));
+        assert_eq!(a.next(), SpanId::new(NodeId(2), 2));
+        assert_eq!(a.allocated(), 2);
+        // Different nodes never collide.
+        let mut b = SpanAlloc::new(NodeId(3));
+        assert_ne!(b.next(), SpanId::new(NodeId(2), 1));
+    }
+
+    #[test]
+    fn none_is_default_and_distinct() {
+        assert_eq!(SpanId::default(), SpanId::NONE);
+        assert!(!SpanId::NONE.is_some());
+        assert_ne!(SpanId::new(NodeId(0), 1), SpanId::NONE);
+    }
+}

@@ -1,0 +1,106 @@
+//! Explain where the slowest coherence transactions spent their time.
+//!
+//! ```text
+//! cargo run --release --example explain
+//! cargo run --release --example explain -- ocean 4 2
+//! cargo run --release --example explain -- fft 2 2 --top 5
+//! cargo run --release --example explain -- fft 2 2 --trace explain_trace.json
+//! ```
+//!
+//! Runs one simulation with causal-span analysis on: every L2 miss
+//! transaction gets a [`smtp::types::SpanId`] that rides every derived
+//! message, intervention, writeback, retry and handler activation. At the
+//! end, prints the run-level critical-path breakdown (where *all* miss
+//! cycles went: requester, network, home queueing, handler, SDRAM, retry)
+//! and then the top-K slowest transactions, each as an annotated causal
+//! tree plus its critical-path walk.
+//!
+//! With `--trace <path>`, also writes a Chrome/Perfetto trace whose flow
+//! arrows connect each transaction's events across nodes — load it at
+//! <https://ui.perfetto.dev> and follow a span arrow from the requester's
+//! miss through the home node's handler and back.
+
+use smtp::trace::{ChromeTraceSink, PATH_CAT_NAMES};
+use smtp::{build_system, AppKind, ExperimentConfig, MachineModel};
+
+fn parse_app(s: &str) -> AppKind {
+    AppKind::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            eprintln!("unknown app {s:?}; one of: fft fftw lu ocean radix water");
+            std::process::exit(2)
+        })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut top_k = 3usize;
+    let mut trace_path: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--top") {
+        args.remove(i);
+        top_k = args.remove(i).parse().expect("--top takes a number");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        args.remove(i);
+        trace_path = Some(args.remove(i));
+    }
+    let app = args.first().map_or(AppKind::Ocean, |s| parse_app(s));
+    let nodes: usize = args.get(1).map_or(2, |s| s.parse().expect("nodes"));
+    let ways: usize = args.get(2).map_or(2, |s| s.parse().expect("ways"));
+
+    let e = ExperimentConfig::quick(MachineModel::SMTp, app, nodes, ways);
+    println!(
+        "running {:?} {} on {} nodes ({} app threads each) with causal spans...",
+        e.model, e.app, e.nodes, e.ways
+    );
+    let mut sys = build_system(&e);
+    let causal = sys.enable_causal_spans(top_k);
+    if let Some(path) = &trace_path {
+        let file = std::fs::File::create(path).unwrap_or_else(|err| {
+            eprintln!("cannot create {path}: {err}");
+            std::process::exit(2);
+        });
+        sys.tracer().add_sink(Box::new(ChromeTraceSink::new(
+            Box::new(std::io::BufWriter::new(file)),
+            e.nodes,
+        )));
+    }
+    let stats = sys.run(e.max_cycles).expect("run must complete");
+
+    let cp = &stats.critical_path;
+    println!(
+        "\nrun complete: {} cycles, {} transactions closed ({} still open)\n",
+        stats.cycles,
+        cp.spans,
+        causal.open_count()
+    );
+    println!(
+        "critical-path breakdown over all {} transactions:",
+        cp.spans
+    );
+    let total = cp.total_cycles.max(1);
+    for (name, &cycles) in PATH_CAT_NAMES.iter().zip(cp.cycles.iter()) {
+        if cycles > 0 {
+            println!(
+                "  {name:<14} {cycles:>10} cycles ({:.1}%)",
+                100.0 * cycles as f64 / total as f64
+            );
+        }
+    }
+    println!(
+        "  {:<14} {:>10} cycles ({:.1} per transaction)",
+        "total",
+        cp.total_cycles,
+        cp.total_cycles as f64 / cp.spans.max(1) as f64
+    );
+
+    for (rank, ex) in causal.exemplars().iter().enumerate() {
+        println!("\n== #{} slowest transaction ==", rank + 1);
+        print!("{}", ex.render_tree());
+        print!("{}", ex.render_critical_path());
+    }
+    if let Some(path) = &trace_path {
+        println!("\nPerfetto trace with flow arrows written to {path}");
+    }
+}

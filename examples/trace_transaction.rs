@@ -1,5 +1,5 @@
 //! Walk one remote read-exclusive coherence transaction through the event
-//! trace.
+//! trace, selected by its causal *span* rather than by line address.
 //!
 //! ```text
 //! cargo run --release --example trace_transaction
@@ -7,14 +7,15 @@
 //!
 //! Runs a two-node SMTp machine, captures the full event stream in memory,
 //! then picks one write miss to a line homed on the *other* node and prints
-//! every event that touched that line while the transaction was in flight:
-//! MSHR allocation at the requester, the request crossing the network, the
-//! handler dispatch and directory transition on the protocol thread of the
-//! home node, its SDRAM access, the data reply crossing back, and the fill
-//! that frees the MSHR.
+//! every event stamped with that transaction's [`SpanId`]: MSHR allocation
+//! at the requester, the request crossing the network, the handler dispatch
+//! and directory transition on the protocol thread of the home node, its
+//! SDRAM access, the data reply crossing back, and the fill that frees the
+//! MSHR. Filtering by span (not line) keeps unrelated traffic to the same
+//! line — other nodes' misses, later reuse — out of the timeline.
 
 use smtp::trace::{Event, MemorySink, MissClass};
-use smtp::types::{LineAddr, NodeId};
+use smtp::types::SpanId;
 use smtp::{build_system, AppKind, ExperimentConfig, MachineModel};
 
 fn main() {
@@ -37,28 +38,30 @@ fn main() {
     );
 
     // Find a write (read-exclusive) miss whose home node differs from the
-    // requester: an MshrAlloc at node R followed — before the matching
-    // MshrFree — by a HandlerDispatch for the same line at node H != R.
-    let txn = find_remote_write_miss(&events);
-    let Some((start, end, line, requester)) = txn else {
+    // requester: an MshrAlloc at node R whose span is later seen by a
+    // HandlerDispatch at node H != R, before the matching MshrFree.
+    let Some(span) = find_remote_write_miss(&events) else {
         println!("no remote write miss found (try a larger scale)");
         return;
     };
 
+    // One span = one transaction: every derived message, handler
+    // activation, SDRAM access and fill carries it. Collect by span alone.
+    let mut window: Vec<&(u64, Event)> =
+        events.iter().filter(|(_, ev)| ev.span() == span).collect();
+    let line = window
+        .iter()
+        .find_map(|(_, ev)| ev.line())
+        .expect("span has a line");
     println!(
-        "remote read-exclusive transaction on line {:#x} (requester node {}, home node {}):\n",
+        "remote read-exclusive transaction {span} on line {:#x} ({} events carry the span):\n",
         line.raw(),
-        requester.0,
-        1 - requester.0
+        window.len()
     );
     // Events are captured in emission order; components stamp them with
     // slightly different conventions (a network inject is stamped with its
     // scheduled departure, which can precede the cycle the requester's MSHR
     // event was recorded). Sort by cycle for a readable timeline.
-    let mut window: Vec<&(u64, Event)> = events[start..=end]
-        .iter()
-        .filter(|(_, ev)| ev.line() == Some(line))
-        .collect();
     window.sort_by_key(|(t, _)| *t);
     let t0 = window[0].0;
     for (t, ev) in &window {
@@ -70,29 +73,33 @@ fn main() {
     );
 }
 
-/// Locate the first completed remote write-miss transaction. Returns the
-/// event-index range `[alloc, free]`, the line, and the requesting node.
-fn find_remote_write_miss(events: &[(u64, Event)]) -> Option<(usize, usize, LineAddr, NodeId)> {
+/// Locate the first completed remote write-miss transaction and return its
+/// span: an `MshrAlloc(Write)` whose span reappears in a `HandlerDispatch`
+/// on a different node before the `MshrFree` closes it.
+fn find_remote_write_miss(events: &[(u64, Event)]) -> Option<SpanId> {
     for (i, (_, ev)) in events.iter().enumerate() {
         let Event::MshrAlloc {
             node,
-            line,
             miss: MissClass::Write,
+            span,
+            ..
         } = *ev
         else {
             continue;
         };
         let mut remote_handler = false;
-        for (j, (_, later)) in events.iter().enumerate().skip(i + 1) {
+        for (_, later) in events.iter().skip(i + 1) {
             match *later {
                 Event::HandlerDispatch {
                     node: home,
-                    line: l,
+                    span: s,
                     ..
-                } if l == line && home != node => remote_handler = true,
-                Event::MshrFree { node: n, line: l } if n == node && l == line => {
+                } if s == span && home != node => {
+                    remote_handler = true;
+                }
+                Event::MshrFree { span: s, .. } if s == span => {
                     if remote_handler {
-                        return Some((i, j, line, node));
+                        return Some(span);
                     }
                     break;
                 }
