@@ -1,12 +1,16 @@
 //! Machine-readable benchmark report: run every machine model on a fixed
 //! configuration under **both execution engines** and emit
 //! `BENCH_report.json` with cycles, IPC, mean/95th-percentile remote-miss
-//! latency, and the serial-vs-parallel simulator speedup per model — the
-//! artifact CI uploads so run-to-run performance is diffable.
+//! latency, the serial-vs-parallel simulator speedup per model, and the
+//! parallel engine's host telemetry (worker count, barrier-wait share,
+//! imbalance, idle-skip efficiency) — the artifact CI uploads so
+//! run-to-run performance is diffable *and attributable*.
 //!
 //! Every point is run on the serial reference engine and on the parallel
 //! epoch engine; the run asserts the two produce bit-identical statistics
-//! before reporting the wall-clock ratio.
+//! before reporting the wall-clock ratio. A 32-node SMTp smoke point
+//! (shared with the `fig8_9_32node` bench) rides along as the scaling
+//! sentinel.
 //!
 //! ```text
 //! cargo bench --bench bench_report
@@ -14,10 +18,27 @@
 //! SMTP_BENCH_OUT=other.json cargo bench --bench bench_report
 //! ```
 
-use smtp_bench::{nodes_cap, timed_point, BenchRow};
+use smtp_bench::{fig32_smoke_config, nodes_cap, timed_point, BenchRow};
 use smtp_core::{EngineKind, ExperimentConfig};
 use smtp_types::MachineModel;
 use smtp_workloads::AppKind;
+
+/// Run one point on both engines, assert bit-identical guest results, and
+/// fold the parallel run's host telemetry into the report row.
+fn engine_pair_row(e: &ExperimentConfig, label: &str) -> BenchRow {
+    let (serial, serial_secs, _) = timed_point(e, EngineKind::Serial);
+    let (parallel, parallel_secs, host) = timed_point(e, EngineKind::Parallel);
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{parallel:?}"),
+        "engines diverged on {label}"
+    );
+    let mut row = BenchRow::from_engine_pair(&serial, serial_secs, parallel_secs);
+    if let Some(h) = &host {
+        row.apply_host_profile(h);
+    }
+    row
+}
 
 fn main() {
     let nodes = 8.min(nodes_cap());
@@ -31,24 +52,17 @@ fn main() {
         for app in [AppKind::Fft, AppKind::Ocean] {
             let mut e = ExperimentConfig::new(model, app, nodes, ways);
             e.cpu_ghz = 2.0;
-            let (serial, serial_secs) = timed_point(&e, EngineKind::Serial);
-            let (parallel, parallel_secs) = timed_point(&e, EngineKind::Parallel);
-            assert_eq!(
-                format!("{serial:?}"),
-                format!("{parallel:?}"),
-                "engines diverged on {model:?} {app:?}"
-            );
-            rows.push(BenchRow::from_engine_pair(
-                &serial,
-                serial_secs,
-                parallel_secs,
-            ));
+            rows.push(engine_pair_row(&e, &format!("{model:?} {app:?}")));
         }
     }
+    // The 32-node scaling sentinel (smoke scale, 2 pinned workers).
+    let e32 = fig32_smoke_config(AppKind::Fft);
+    rows.push(engine_pair_row(&e32, "SMTp Fft 32-node smoke"));
     for r in &rows {
         println!(
             "{:>10} {:6} n={} w={}: {:>9} cycles, IPC {:.3}, remote miss {:>6.0} / p95 {}, \
-             serial {:.2}s / parallel {:.2}s = {:.2}x",
+             serial {:.2}s / parallel {:.2}s = {:.2}x \
+             [{} workers, barrier {:.1}%, imbalance {:.2}, skip {:.1}%]",
             r.model,
             r.app,
             r.nodes,
@@ -59,7 +73,11 @@ fn main() {
             r.remote_miss_p95,
             r.serial_secs,
             r.parallel_secs,
-            r.speedup
+            r.speedup,
+            r.workers,
+            r.barrier_wait_pct,
+            r.imbalance,
+            r.skip_efficiency_pct
         );
     }
     smtp_bench::write_bench_report(&out, &rows);

@@ -1,15 +1,61 @@
-//! Paper Figures 8–9: normalized execution time on 32 nodes, 1/2-way
-//! (up to 64 application threads).
+//! Paper Figures 8–9: the 32-node machine — the largest the paper
+//! evaluates.
+//!
+//! By default this runs the shared 32-node *smoke* configuration
+//! ([`smtp_bench::fig32_smoke_config`], the same point `bench_report`
+//! reports as its scaling sentinel) on both execution engines with host
+//! telemetry, asserting bit-identical guest results and printing the
+//! engines' wall-clock attribution — the evidence base for the scaling
+//! push on the parallel engine.
+//!
+//! Set `SMTP_FULL_FIGURE=1` to instead regenerate the full normalized
+//! execution-time figure (all five machine models × six applications,
+//! 1/2-way), which takes much longer.
+//!
+//! ```text
+//! cargo bench --bench fig8_9_32node
+//! SMTP_FULL_FIGURE=1 SMTP_SCALE=0.25 cargo bench --bench fig8_9_32node
+//! ```
+
+use smtp_bench::{fig32_smoke_config, timed_point};
+use smtp_core::EngineKind;
+use smtp_workloads::AppKind;
 
 fn main() {
-    println!("# Paper Figures 8-9: 32-node normalized execution time");
-    let nodes = 32.min(smtp_bench::nodes_cap());
-    for ways in [1usize, 2] {
-        smtp_bench::print_model_figure(
-            &format!("Figure {}: {}-node, {}-way", 7 + ways, nodes, ways),
-            nodes,
-            ways,
-            2.0,
+    if std::env::var("SMTP_FULL_FIGURE").is_ok_and(|v| v == "1") {
+        println!("# Paper Figures 8-9: 32-node normalized execution time");
+        let nodes = 32.min(smtp_bench::nodes_cap());
+        for ways in [1usize, 2] {
+            smtp_bench::print_model_figure(
+                &format!("Figure {}: {}-node, {}-way", 7 + ways, nodes, ways),
+                nodes,
+                ways,
+                2.0,
+            );
+        }
+        return;
+    }
+    println!("# 32-node smoke point (SMTP_FULL_FIGURE=1 for the full figure)");
+    for app in [AppKind::Fft, AppKind::Ocean] {
+        let e = fig32_smoke_config(app);
+        let (serial, serial_secs, serial_host) = timed_point(&e, EngineKind::Serial);
+        let (parallel, parallel_secs, parallel_host) = timed_point(&e, EngineKind::Parallel);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{parallel:?}"),
+            "engines diverged on the 32-node smoke point ({app})"
         );
+        println!(
+            "\n{} n={} w={}: {} cycles, serial {serial_secs:.2}s / parallel {parallel_secs:.2}s \
+             = {:.2}x",
+            app,
+            serial.nodes,
+            serial.ways,
+            serial.cycles,
+            serial_secs / parallel_secs.max(1e-9)
+        );
+        for host in [serial_host, parallel_host].into_iter().flatten() {
+            print!("{}", host.summary());
+        }
     }
 }

@@ -11,7 +11,8 @@
 //! * `SMTP_SCALE` — workload scale (default 0.5); lower for quick runs.
 //! * `SMTP_NODES_CAP` — cap the largest machine size (for smoke runs).
 
-use smtp_core::{run_experiment, EngineKind, ExperimentConfig, RunStats};
+use smtp_core::{build_system, run_experiment, EngineKind, ExperimentConfig, RunStats};
+use smtp_trace::HostProfile;
 use smtp_types::MachineModel;
 use smtp_workloads::AppKind;
 use std::time::Instant;
@@ -51,13 +52,22 @@ pub fn run_point(
     r
 }
 
-/// Run one experiment point on the given engine, returning the stats and
-/// the wall-clock seconds the run took.
-pub fn timed_point(e: &ExperimentConfig, engine: EngineKind) -> (RunStats, f64) {
+/// Run one experiment point on the given engine with host telemetry on,
+/// returning the stats, the wall-clock seconds the run took, and the
+/// engine's [`HostProfile`] (wall-clock attribution, barrier-wait share,
+/// idle-skip efficiency, worker imbalance).
+pub fn timed_point(
+    e: &ExperimentConfig,
+    engine: EngineKind,
+) -> (RunStats, f64, Option<HostProfile>) {
     let mut e = e.clone();
     e.engine = engine;
+    let mut sys = build_system(&e);
+    sys.enable_host_telemetry();
     let t = Instant::now();
-    let r = run_experiment(&e);
+    let r = sys
+        .run_with(e.max_cycles, engine)
+        .unwrap_or_else(|err| panic!("{err}"));
     let wall = t.elapsed().as_secs_f64();
     eprintln!(
         "  [{} {} n={} w={} engine={engine}] {} cycles ({wall:.2}s)",
@@ -67,7 +77,7 @@ pub fn timed_point(e: &ExperimentConfig, engine: EngineKind) -> (RunStats, f64) 
         e.ways,
         r.cycles,
     );
-    (r, wall)
+    (r, wall, sys.take_host_profile())
 }
 
 /// Print one paper-style normalized-execution-time figure: for each
@@ -149,6 +159,18 @@ pub struct BenchRow {
     /// Simulator speedup: `serial_secs / parallel_secs` (1.0 when the
     /// point was only run once).
     pub speedup: f64,
+    /// Worker threads the parallel engine used (1 when the point was only
+    /// run serially).
+    pub workers: usize,
+    /// Percentage of parallel-worker wall-clock spent waiting at epoch
+    /// barriers (host telemetry).
+    pub barrier_wait_pct: f64,
+    /// Mean per-epoch owned-node tick imbalance across workers
+    /// (`max/mean`; 1.0 = perfectly balanced, 0 when single-worker).
+    pub imbalance: f64,
+    /// Percentage of node-cycles the parallel engine skipped as provably
+    /// idle instead of ticking.
+    pub skip_efficiency_pct: f64,
 }
 
 impl BenchRow {
@@ -169,6 +191,10 @@ impl BenchRow {
             serial_secs: 0.0,
             parallel_secs: 0.0,
             speedup: 1.0,
+            workers: 1,
+            barrier_wait_pct: 0.0,
+            imbalance: 0.0,
+            skip_efficiency_pct: 0.0,
         }
     }
 
@@ -181,6 +207,34 @@ impl BenchRow {
         row.speedup = serial_secs / parallel_secs.max(1e-9);
         row
     }
+
+    /// Fold the parallel run's host telemetry into the row: worker count,
+    /// barrier-wait percentage, per-epoch imbalance and skip efficiency.
+    pub fn apply_host_profile(&mut self, h: &HostProfile) {
+        self.workers = h.workers;
+        self.barrier_wait_pct = 100.0 * h.barrier_wait_frac();
+        self.imbalance = h.imbalance_ratio();
+        self.skip_efficiency_pct = 100.0 * h.skip_efficiency();
+    }
+}
+
+/// The 32-node smoke configuration shared by the `fig8_9_32node` bench and
+/// `bench_report`'s 32-node row: the largest machine the paper evaluates,
+/// shrunk to a scale that completes quickly. Node count is capped by
+/// `SMTP_NODES_CAP` (rounded down to a power of two), and the parallel
+/// engine is pinned to 2 workers so barrier/imbalance telemetry is
+/// exercised even on single-core hosts.
+pub fn fig32_smoke_config(app: AppKind) -> ExperimentConfig {
+    let cap = nodes_cap().clamp(1, 32);
+    let mut nodes = 1;
+    while nodes * 2 <= cap {
+        nodes *= 2;
+    }
+    let mut e = ExperimentConfig::new(MachineModel::SMTp, app, nodes, 2);
+    e.cpu_ghz = 2.0;
+    e.scale = default_scale().min(0.12);
+    e.workers = Some(2);
+    e
 }
 
 /// Write `rows` as a JSON array to `path` (hand-rolled, deterministic) —
@@ -201,7 +255,8 @@ pub fn write_bench_report(path: &str, rows: &[BenchRow]) {
             "  {{\"model\":\"{}\",\"app\":\"{}\",\"nodes\":{},\"ways\":{},\"cycles\":{},\
              \"ipc\":{:.4},\"remote_miss_mean\":{:.1},\"remote_miss_p95\":{},\
              \"serial_secs\":{:.3},\"parallel_secs\":{:.3},\"speedup\":{:.2},\
-             \"host_cores\":{cores}}}",
+             \"workers\":{},\"barrier_wait_pct\":{:.1},\"imbalance\":{:.2},\
+             \"skip_efficiency_pct\":{:.1},\"host_cores\":{cores}}}",
             r.model,
             r.app,
             r.nodes,
@@ -212,7 +267,11 @@ pub fn write_bench_report(path: &str, rows: &[BenchRow]) {
             r.remote_miss_p95,
             r.serial_secs,
             r.parallel_secs,
-            r.speedup
+            r.speedup,
+            r.workers,
+            r.barrier_wait_pct,
+            r.imbalance,
+            r.skip_efficiency_pct
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -50,14 +50,17 @@ use crate::stats::RunStats;
 use crate::system::{coherence_violation, System, WATCHDOG_INTERVAL};
 use smtp_isa::{SyncCond, SyncEnv, SyncOp, SyncOutcome};
 use smtp_noc::Msg;
-use smtp_trace::{take_captured_events, CapturedEvent};
+use smtp_trace::{
+    take_captured_events, CapturedEvent, HostPhase, HostProfile, LaneProfile, PhaseTimer,
+};
 use smtp_types::capture::{self, lane_inject, lane_tick, LANE_DELIVER};
-use smtp_types::{take_captured_prof_ops, CapturePoint, Ctx, Cycle, NodeId, ProfOp};
+use smtp_types::{take_captured_prof_ops, CapturePoint, Ctx, Cycle, Histogram, NodeId, ProfOp};
 use smtp_workloads::SyncManager;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// Which execution engine drives the cycle loop. Both produce bit-identical
 /// statistics, trace streams and fault-injection behavior; the choice is
@@ -189,6 +192,11 @@ struct Harvest {
     /// Structured failure recorded mid-epoch (1-node machine emitting a
     /// network message), with the serial cycle it would surface at.
     error: Option<(Cycle, String)>,
+    /// Per worker, for the epoch just finished: `(node ticks executed,
+    /// node-cycles idle-skipped, tick-phase nanoseconds)`. The tick
+    /// nanoseconds are zero when host telemetry is off; the counters are
+    /// always maintained (two integer adds per event).
+    wstats: Vec<(u64, u64, u64)>,
 }
 
 /// A per-node delivery: `(arrival cycle, capture slot, message)`.
@@ -206,9 +214,18 @@ fn worker_loop(
     harvest: &Mutex<Harvest>,
     barrier: &Barrier,
     single_node: bool,
+    telem: bool,
+    lanes_out: &Mutex<Vec<(usize, LaneProfile)>>,
 ) {
     capture::begin((0, 0, 0));
     let count = hi - lo;
+    // Host telemetry: a handful of clock stamps per *epoch*, so the
+    // per-tick hot path is untouched. The opening barrier wait is the
+    // "departure" wait (blocked on the coordinator publishing the next
+    // window), the closing one the "arrival" wait (blocked on sibling
+    // stragglers); gate spin-waits happen mid-tick and are charged to
+    // the tick phase.
+    let mut timer = telem.then(|| PhaseTimer::new(HostPhase::BarrierDepart));
     // Freeze bound from the last real tick (0 = none): lets a node stay
     // frozen across epoch barriers instead of re-ticking every epoch.
     let mut hints: Vec<Cycle> = vec![0; count];
@@ -224,6 +241,11 @@ fn worker_loop(
         if p.stop {
             break;
         }
+        if let Some(t) = &mut timer {
+            t.switch(HostPhase::Tick);
+        }
+        let mut ticks: u64 = 0;
+        let mut skipped: u64 = 0;
         // Pull this epoch's pre-distributed deliveries and pin the owned
         // nodes for the whole window: nothing else touches them until the
         // closing barrier, so locking once here keeps the per-tick loop
@@ -248,6 +270,7 @@ fn worker_loop(
                     .min(inbox[i].front().map_or(Cycle::MAX, |d| d.0));
                 if cap > at {
                     node.skip_idle(at, cap);
+                    skipped += cap - at;
                     at = cap;
                 }
             }
@@ -280,6 +303,7 @@ fn worker_loop(
                 pos: pack(c, g),
             };
             node.tick(c, &mut env);
+            ticks += 1;
             node.drain_outbox(&mut scratch);
             if single_node && !scratch.is_empty() {
                 // No network to inject into: surface the serial engine's
@@ -331,6 +355,7 @@ fn worker_loop(
                         .min(inbox[i].front().map_or(Cycle::MAX, |d| d.0));
                     if cap > next {
                         node.skip_idle(next, cap);
+                        skipped += cap - next;
                         next = cap;
                     }
                 }
@@ -339,6 +364,13 @@ fn worker_loop(
         }
         drop(guards);
         gate.positions[me].store(pack(p.end, 0), Ordering::Release);
+        let tick_ns = match &mut timer {
+            Some(t) => {
+                t.switch(HostPhase::Merge);
+                t.epoch_phase_ns(HostPhase::Tick)
+            }
+            None => 0,
+        };
         {
             let mut h = harvest.lock().unwrap();
             h.events.extend(take_captured_events());
@@ -346,10 +378,24 @@ fn worker_loop(
             h.injects.append(&mut injects);
             h.quiet_since[lo..hi].copy_from_slice(&quiet);
             h.finished_at[lo..hi].copy_from_slice(&finished);
+            h.wstats[me] = (ticks, skipped, tick_ns);
+        }
+        if let Some(t) = &mut timer {
+            t.switch(HostPhase::BarrierArrive);
         }
         barrier.wait();
+        if let Some(t) = &mut timer {
+            t.switch(HostPhase::BarrierDepart);
+            t.end_epoch();
+        }
     }
     capture::end();
+    if let Some(t) = timer {
+        lanes_out
+            .lock()
+            .unwrap()
+            .push((me, t.finish(&format!("w{me}"))));
+    }
 }
 
 /// Contiguous chunk of the node range owned by worker `w` of `workers`.
@@ -379,11 +425,38 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
         .network
         .as_ref()
         .map_or(WATCHDOG_INTERVAL, |net| net.min_latency().max(1));
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    // Worker count: pinned by the configuration, or the host's available
+    // parallelism; never more workers than nodes. A host-side knob only —
+    // results are bit-identical for any count.
+    let workers = sys
+        .cfg
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, n);
     let single_node = sys.network.is_none();
+    let telem = sys.telemetry;
+    sys.host_profile = None;
+    let mut coord = telem.then(|| PhaseTimer::new(HostPhase::Other));
+    let lanes_out: Mutex<Vec<(usize, LaneProfile)>> = Mutex::new(Vec::new());
+    let start_now = sys.now;
+    let mut epochs: u64 = 0;
+    let mut epoch_cycles = Histogram::new();
+    let mut barrier_msgs = Histogram::new();
+    let mut imbalance_x1000 = Histogram::new();
+    let mut ticked_cycles: u64 = 0;
+    let mut skipped_cycles: u64 = 0;
+    // Heartbeat bookkeeping: cumulative per-worker tick nanoseconds, so a
+    // beat can report utilization over the interval since the last beat.
+    let mut hb_cum_tick: Vec<u64> = vec![0; workers];
+    let mut hb_last_tick: Vec<u64> = vec![0; workers];
+    let mut hb_last_wall = Instant::now();
+    if let Some(hb) = &mut sys.heartbeat {
+        hb.start(start_now);
+    }
 
     // Take the machine apart: nodes behind per-node locks for the workers,
     // the synchronization fabric behind the position gate.
@@ -412,6 +485,7 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
         quiet_since: vec![None; n],
         finished_at: vec![None; n],
         error: None,
+        wstats: vec![(0, 0, 0); workers],
     });
     let barrier = Barrier::new(workers + 1);
 
@@ -436,6 +510,7 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             let inboxes = &inboxes;
             let harvest = &harvest;
             let barrier = &barrier;
+            let lanes_out = &lanes_out;
             s.spawn(move || {
                 worker_loop(
                     w,
@@ -448,6 +523,8 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                     harvest,
                     barrier,
                     single_node,
+                    telem,
+                    lanes_out,
                 )
             });
         }
@@ -467,6 +544,9 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             // Pre-pass: every arrival in this epoch is already in flight
             // (lookahead), so pop and pre-distribute them now, capturing
             // the network's own events at their serial positions.
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::Exchange);
+            }
             if let Some(net) = &mut sys.network {
                 capture::begin((0, 0, 0));
                 while let Some(a) = net.next_arrival() {
@@ -494,8 +574,17 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                 end: e_end,
                 stop: false,
             };
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::BarrierDepart);
+            }
             barrier.wait(); // epoch starts
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::BarrierArrive);
+            }
             barrier.wait(); // epoch done
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::Merge);
+            }
             let (mut events, mut prof, mut injects, failure);
             {
                 let mut h = harvest.lock().unwrap();
@@ -509,9 +598,31 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                     }
                 }
                 failure = h.error.take();
+                // Per-epoch counters: epoch length, barrier traffic, work
+                // done vs. skipped, and the owned-node tick imbalance
+                // across workers.
+                epochs += 1;
+                epoch_cycles.record(e_end - e_start);
+                barrier_msgs.record(injects.len() as u64);
+                let mut tick_sum = 0u64;
+                let mut tick_max = 0u64;
+                for (cum, &(t, sk, ns)) in hb_cum_tick.iter_mut().zip(&h.wstats) {
+                    ticked_cycles += t;
+                    skipped_cycles += sk;
+                    *cum += ns;
+                    tick_sum += t;
+                    tick_max = tick_max.max(t);
+                }
+                if workers > 1 && tick_sum > 0 {
+                    let mean = tick_sum as f64 / workers as f64;
+                    imbalance_x1000.record((tick_max as f64 * 1000.0 / mean) as u64);
+                }
             }
             // Replay this epoch's injections in serial order.
             injects.sort_by_key(|r| (r.cycle, r.node, r.slot));
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::InjectReplay);
+            }
             if let Some(net) = &mut sys.network {
                 capture::begin((0, 0, 0));
                 for r in injects.drain(..) {
@@ -521,6 +632,9 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                 capture::end();
                 events.extend(take_captured_events());
                 prof.extend(take_captured_prof_ops());
+            }
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::Quiescence);
             }
             if app_done_at.is_none() && finished_at.iter().all(|f| f.is_some()) {
                 app_done_at = finished_at.iter().map(|f| f.expect("checked")).max();
@@ -543,6 +657,9 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             // Merge every capture stream into the serial order and replay.
             // Ticks at or past Q are about to be retracted (the serial
             // loop never ran them), so their events are dropped.
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::CaptureReplay);
+            }
             events.append(&mut held_events);
             prof.append(&mut held_prof);
             if let Some(q) = q_cycle.filter(|&q| q < e_end && failure.is_none()) {
@@ -562,6 +679,9 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                     // ticks Q..e_end — all idle ticks on a quiescent
                     // machine — and before any end-of-epoch check. Roll
                     // the overshoot back.
+                    if let Some(t) = &mut coord {
+                        t.switch(HostPhase::Quiescence);
+                    }
                     for cell in &cells {
                         cell.lock().unwrap().retract_idle(q, e_end);
                     }
@@ -570,6 +690,9 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             }
             // End-of-epoch checks, in exact serial order and on the exact
             // serial state (every node has now reached e_end).
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::Checks);
+            }
             {
                 let guards: Vec<_> = cells.iter().map(|c| c.lock().unwrap()).collect();
                 let view: Vec<&Node> = guards.iter().map(|g| &**g).collect();
@@ -608,6 +731,23 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             if q_cycle == Some(e_end) {
                 break Ok(e_end);
             }
+            if let Some(t) = &mut coord {
+                t.switch(HostPhase::Other);
+                t.end_epoch();
+            }
+            if sys.heartbeat.as_ref().is_some_and(|hb| hb.due(e_end)) {
+                // Per-worker utilization over the interval since the last
+                // beat: tick nanoseconds against coordinator wall-clock.
+                let now_wall = Instant::now();
+                let dt_ns = now_wall.duration_since(hb_last_wall).as_nanos().max(1) as f64;
+                let util: Vec<f64> = (0..workers)
+                    .map(|w| (hb_cum_tick[w] - hb_last_tick[w]) as f64 / dt_ns)
+                    .collect();
+                hb_last_tick.copy_from_slice(&hb_cum_tick);
+                hb_last_wall = now_wall;
+                let hb = sys.heartbeat.as_mut().expect("dueness checked");
+                hb.emit(e_end, "parallel", workers, epochs, &util);
+            }
             e_start = e_end;
         };
         *plan.lock().unwrap() = WindowPlan {
@@ -630,6 +770,30 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
     sys.app_done_at = app_done_at;
     sys.quiet_nodes = sys.nodes.iter().filter(|n| n.quiescent()).count();
     sys.finished_nodes = sys.nodes.iter().filter(|n| n.app_finished()).count();
+    if let Some(t) = coord {
+        let end_now = match &outcome {
+            Ok(q) => *q,
+            Err((_, _, cycle)) => *cycle,
+        };
+        let mut lanes = vec![t.finish("coord")];
+        let mut wl = lanes_out.into_inner().expect("lanes lock poisoned");
+        wl.sort_by_key(|&(w, _)| w);
+        lanes.extend(wl.into_iter().map(|(_, l)| l));
+        sys.host_profile = Some(HostProfile {
+            engine: "parallel".to_string(),
+            workers,
+            epochs,
+            lookahead,
+            sim_cycles: end_now.saturating_sub(start_now),
+            wall_ns: lanes[0].total_ns,
+            lanes,
+            epoch_cycles,
+            barrier_msgs,
+            imbalance_x1000,
+            ticked_cycles,
+            skipped_cycles,
+        });
+    }
     match outcome {
         Ok(q) => {
             sys.now = q;

@@ -39,6 +39,10 @@ pub struct ExperimentConfig {
     pub faults: FaultConfig,
     /// Execution engine (a wall-clock choice; results are bit-identical).
     pub engine: EngineKind,
+    /// Pin the parallel engine's worker count (`None` = available
+    /// parallelism). Host-side only; guest results are identical for any
+    /// worker count.
+    pub workers: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -58,6 +62,7 @@ impl ExperimentConfig {
             max_cycles: 2_000_000_000,
             faults: FaultConfig::default(),
             engine: EngineKind::Serial,
+            workers: None,
         }
     }
 
@@ -77,6 +82,7 @@ impl ExperimentConfig {
         }
         cfg.pipeline.perfect_protocol_caches = self.perfect_protocol_caches;
         cfg.faults = self.faults.clone();
+        cfg.workers = self.workers;
         cfg
     }
 }

@@ -25,6 +25,6 @@ pub use engine::EngineKind;
 pub use error::{Diagnosis, RunError, RunErrorKind};
 pub use experiment::{build_system, run_experiment, try_run_experiment, ExperimentConfig};
 pub use node::Node;
-pub use report::Report;
+pub use report::{Report, REPORT_SCHEMA_VERSION};
 pub use stats::{RunStats, ThreadTime};
 pub use system::System;

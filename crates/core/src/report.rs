@@ -7,11 +7,17 @@
 //! byte-identical output.
 
 use crate::stats::{RunStats, ThreadTime};
-use smtp_trace::{NUM_PATH_CATS, PATH_CAT_NAMES};
+use smtp_trace::{HostProfile, HOST_PHASE_NAMES, NUM_PATH_CATS, PATH_CAT_NAMES};
 use smtp_types::{Distribution, Histogram, CLASS_NAMES, NUM_PHASES, PHASE_NAMES};
 
 /// Percentiles every latency table reports.
 const PERCENTILES: [f64; 5] = [50.0, 90.0, 95.0, 99.0, 100.0];
+
+/// Version of the report JSON schema. Bump whenever keys are added or
+/// change meaning so downstream consumers can detect the shape instead of
+/// breaking on unknown keys. Version 2 added `schema_version` itself, the
+/// optional `host_profile` section and `workers`.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// A formatted view over one run's [`RunStats`].
 ///
@@ -23,12 +29,23 @@ const PERCENTILES: [f64; 5] = [50.0, 90.0, 95.0, 99.0, 100.0];
 #[derive(Debug)]
 pub struct Report<'a> {
     stats: &'a RunStats,
+    host: Option<&'a HostProfile>,
 }
 
 impl<'a> Report<'a> {
     /// Build a report over `stats`.
     pub fn new(stats: &'a RunStats) -> Report<'a> {
-        Report { stats }
+        Report { stats, host: None }
+    }
+
+    /// Build a report over `stats` plus the run's host-side engine profile
+    /// ([`crate::System::host_profile`]): all renderings gain a "Host
+    /// engine profile" section attributing the simulator's own wall-clock.
+    pub fn with_host_profile(stats: &'a RunStats, host: &'a HostProfile) -> Report<'a> {
+        Report {
+            stats,
+            host: Some(host),
+        }
     }
 
     /// Render as aligned plain text (terminal).
@@ -250,6 +267,57 @@ impl<'a> Report<'a> {
                 .collect();
             style.table(&mut out, &["vnet", "msgs", "mean cyc", "p95", "max"], &rows);
         }
+
+        // -- Host engine profile --------------------------------------------
+        if let Some(h) = self.host {
+            style.heading(&mut out, 2, "Host engine profile");
+            style.table(
+                &mut out,
+                &["metric", "value"],
+                &[
+                    vec!["engine".into(), h.engine.clone()],
+                    vec!["workers".into(), h.workers.to_string()],
+                    vec!["epochs".into(), h.epochs.to_string()],
+                    vec![
+                        "wall clock".into(),
+                        format!("{:.1} ms", h.wall_ns as f64 / 1e6),
+                    ],
+                    vec![
+                        "sim cycles / s".into(),
+                        format!("{:.2}M", h.sim_cycles_per_sec() / 1e6),
+                    ],
+                    vec![
+                        "barrier wait".into(),
+                        format!("{:.1}%", 100.0 * h.barrier_wait_frac()),
+                    ],
+                    vec![
+                        "imbalance (max/mean)".into(),
+                        format!("{:.2}", h.imbalance_ratio()),
+                    ],
+                    vec![
+                        "skip efficiency".into(),
+                        format!("{:.1}%", 100.0 * h.skip_efficiency()),
+                    ],
+                ],
+            );
+            let rows: Vec<Vec<String>> = h
+                .lanes
+                .iter()
+                .map(|l| {
+                    let total = l.total_ns.max(1) as f64;
+                    let mut row = vec![l.name.clone(), format!("{:.1}", l.total_ns as f64 / 1e6)];
+                    row.extend(
+                        l.phase_ns
+                            .iter()
+                            .map(|&ns| format!("{:.1}%", 100.0 * ns as f64 / total)),
+                    );
+                    row
+                })
+                .collect();
+            let mut cols = vec!["lane", "ms"];
+            cols.extend(HOST_PHASE_NAMES);
+            style.table(&mut out, &cols, &rows);
+        }
         out
     }
 
@@ -257,10 +325,15 @@ impl<'a> Report<'a> {
     pub fn json(&self) -> String {
         let s = self.stats;
         let mut j = JsonObj::new();
+        j.num("schema_version", REPORT_SCHEMA_VERSION as f64);
         j.str("model", &format!("{:?}", s.model));
         j.str("app", &s.app.to_string());
         j.num("nodes", s.nodes as f64);
         j.num("ways", s.ways as f64);
+        match s.workers {
+            Some(w) => j.num("workers", w as f64),
+            None => j.raw("workers", "null"),
+        }
         j.num("cycles", s.cycles as f64);
         j.num("app_instructions", s.app_instructions as f64);
         j.num("protocol_instructions", s.protocol_instructions as f64);
@@ -321,6 +394,10 @@ impl<'a> Report<'a> {
             cp.num(&name.replace(' ', "_"), s.critical_path.cycles[i] as f64);
         }
         j.raw("critical_path", &cp.finish());
+        match self.host {
+            Some(h) => j.raw("host_profile", &h.to_json()),
+            None => j.raw("host_profile", "null"),
+        }
         j.finish()
     }
 }
@@ -580,5 +657,25 @@ mod tests {
         let b = stats();
         assert_eq!(Report::new(&a).json(), Report::new(&b).json());
         assert_eq!(Report::new(&a).text(), Report::new(&b).text());
+    }
+
+    #[test]
+    fn schema_version_and_host_profile_section() {
+        let s = stats();
+        let without = Report::new(&s).json();
+        assert!(without.starts_with(&format!("{{\"schema_version\":{REPORT_SCHEMA_VERSION},")));
+        assert!(without.contains("\"host_profile\":null"));
+
+        let cfg = smtp_types::SystemConfig::new(smtp_types::MachineModel::SMTp, 1, 1);
+        let mut sys = crate::System::new(cfg, smtp_workloads::AppKind::Fft, 0.05);
+        sys.enable_host_telemetry();
+        let stats = sys.run(2_000_000).expect("run must complete");
+        let prof = sys.take_host_profile().expect("telemetry was on");
+        let r = Report::with_host_profile(&stats, &prof);
+        assert!(r.text().contains("Host engine profile"));
+        assert!(r.markdown().contains("Host engine profile"));
+        let json = r.json();
+        assert!(json.contains("\"host_profile\":{\"engine\":\"serial\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

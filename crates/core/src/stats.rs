@@ -114,6 +114,11 @@ pub struct RunStats {
     /// Injected-fault and recovery counters (all zero unless the run was
     /// configured with fault injection).
     pub faults: FaultSummary,
+    /// Pinned parallel-engine worker count from the configuration
+    /// ([`SystemConfig::workers`]). Config-derived rather than measured so
+    /// the field — like every other guest-visible statistic — is
+    /// bit-identical between the serial and parallel engines.
+    pub workers: Option<usize>,
 }
 
 impl RunStats {
@@ -248,6 +253,7 @@ impl RunStats {
             handler_occupancy,
             thread_time,
             faults,
+            workers: cfg.workers,
         }
     }
 

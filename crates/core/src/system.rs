@@ -6,9 +6,12 @@ use crate::node::Node;
 use crate::stats::RunStats;
 use smtp_noc::{Msg, Network};
 use smtp_protocol::DirState;
-use smtp_trace::{Category, CausalSpans, Event, IntervalSampler, Tracer};
+use smtp_trace::{
+    Category, CausalSpans, Event, Heartbeat, HostPhase, HostProfile, IntervalSampler, PhaseTimer,
+    Tracer,
+};
 use smtp_types::Ctx;
-use smtp_types::{Cycle, FaultSummary, NodeId, PhaseProfiler, SystemConfig};
+use smtp_types::{Cycle, FaultSummary, Histogram, NodeId, PhaseProfiler, SystemConfig};
 use smtp_workloads::{AppKind, SyncManager, ThreadGen, WorkloadCfg};
 
 /// Cycles between forward-progress checks. The epoch engine cuts its
@@ -248,6 +251,16 @@ pub struct System {
     /// 1-node machine, which used to be an assert), surfaced by the run
     /// loop as a [`RunError`] with a full [`Diagnosis`].
     pub(crate) pending_error: Option<String>,
+    /// Host-side telemetry enabled: the execution engines stamp a
+    /// monotonic clock at run-loop phase transitions and leave a
+    /// [`HostProfile`] behind. Strictly host-side — guest results are
+    /// bit-identical either way.
+    pub(crate) telemetry: bool,
+    /// Live-run heartbeat emitter, if [`System::enable_heartbeat`] was
+    /// called (implies telemetry).
+    pub(crate) heartbeat: Option<Heartbeat>,
+    /// The profile of the most recent telemetry-enabled run.
+    pub(crate) host_profile: Option<HostProfile>,
 }
 
 impl std::fmt::Debug for System {
@@ -356,6 +369,9 @@ impl System {
             finished_nodes: 0,
             outbox_scratch: Vec::new(),
             pending_error: None,
+            telemetry: false,
+            heartbeat: None,
+            host_profile: None,
         }
     }
 
@@ -531,6 +547,42 @@ impl System {
         self.invariant_every = Some(every.max(1));
     }
 
+    /// Turn on host-side engine telemetry: the run loop stamps a monotonic
+    /// clock at every phase transition (tick/compute, barrier waits,
+    /// merge, capture/injection replay, quiescence retraction, checks) and
+    /// leaves a [`HostProfile`] behind — per-lane wall-clock attribution
+    /// whose phase sums telescope to the lane totals, plus per-epoch
+    /// counters (epoch length, ticked vs. idle-skipped node-cycles,
+    /// barrier message counts, worker imbalance). Strictly host-side:
+    /// guest-visible results are bit-identical with telemetry on or off.
+    /// Retrieve the profile with [`System::host_profile`] after the run.
+    pub fn enable_host_telemetry(&mut self) {
+        self.telemetry = true;
+    }
+
+    /// Emit a live-run heartbeat roughly every `every` simulated cycles
+    /// (snapped to the engine's epoch boundaries): one flushed JSONL
+    /// record per beat with the current cycle, simulated cycles per wall
+    /// second, epoch rate and per-worker utilization, written to `out`
+    /// (`None` = stderr). Implies [`System::enable_host_telemetry`]. Each
+    /// line is flushed as it is written, so an interrupted run still
+    /// leaves a line-complete log.
+    pub fn enable_heartbeat(&mut self, every: Cycle, out: Option<Box<dyn std::io::Write + Send>>) {
+        self.telemetry = true;
+        self.heartbeat = Some(Heartbeat::new(every, out));
+    }
+
+    /// The host-side profile of the most recent run, if
+    /// [`System::enable_host_telemetry`] (or the heartbeat) was on.
+    pub fn host_profile(&self) -> Option<&HostProfile> {
+        self.host_profile.as_ref()
+    }
+
+    /// Take ownership of the most recent run's host profile.
+    pub fn take_host_profile(&mut self) -> Option<HostProfile> {
+        self.host_profile.take()
+    }
+
     /// Run to completion on the serial reference engine. `Ok` carries the
     /// collected statistics; `Err` carries the failure class
     /// ([`RunErrorKind`]) and a machine-state [`Diagnosis`]. The escalating
@@ -558,39 +610,111 @@ impl System {
     }
 
     fn run_serial(&mut self, max_cycles: Cycle) -> Result<RunStats, RunError> {
-        while !self.quiesced() {
-            self.tick();
-            if let Some(msg) = self.pending_error.take() {
-                self.tracer.flush();
-                return Err(self.run_error(RunErrorKind::UnrecoverableFault, msg));
-            }
-            if self.now.is_multiple_of(WATCHDOG_INTERVAL) {
-                if let Some(err) = self.watchdog_check() {
-                    self.tracer.flush();
-                    return Err(err);
+        // Host telemetry for the serial reference loop, in the same
+        // HostProfile shape the parallel engine produces: one lane, no
+        // barrier phases, with WATCHDOG_INTERVAL segments standing in as
+        // "epochs" so per-epoch histograms are directly comparable.
+        self.host_profile = None;
+        let mut timer = self.telemetry.then(|| PhaseTimer::new(HostPhase::Tick));
+        let mut epoch_cycles = Histogram::new();
+        let mut epochs: u64 = 0;
+        let start_cycle = self.now;
+        let mut epoch_start = self.now;
+        if let Some(hb) = &mut self.heartbeat {
+            hb.start(start_cycle);
+        }
+        let res: Result<(), RunError> = 'run: {
+            while !self.quiesced() {
+                self.tick();
+                if let Some(msg) = self.pending_error.take() {
+                    break 'run Err(self.run_error(RunErrorKind::UnrecoverableFault, msg));
                 }
-            }
-            if let Some(every) = self.invariant_every {
-                if self.now.is_multiple_of(every) {
-                    if let Some(err) = self.check_coherence() {
-                        self.tracer.flush();
-                        return Err(err);
+                if self.now.is_multiple_of(WATCHDOG_INTERVAL) {
+                    if let Some(t) = &mut timer {
+                        t.switch(HostPhase::Checks);
+                    }
+                    let fail = self.watchdog_check();
+                    if let Some(t) = &mut timer {
+                        t.switch(HostPhase::Other);
+                        epoch_cycles.record(self.now - epoch_start);
+                        t.end_epoch();
+                        epochs += 1;
+                        epoch_start = self.now;
+                        if self.heartbeat.as_ref().is_some_and(|hb| hb.due(self.now)) {
+                            // Serial "utilization" is the loop's tick share
+                            // of wall-clock so far.
+                            t.flush();
+                            let all_ns = t.charged_ns();
+                            let util = if all_ns == 0 {
+                                0.0
+                            } else {
+                                t.phase_total_ns(HostPhase::Tick) as f64 / all_ns as f64
+                            };
+                            let mut hb = self.heartbeat.take().expect("dueness checked");
+                            hb.emit(self.now, "serial", 1, epochs, &[util]);
+                            self.heartbeat = Some(hb);
+                        }
+                        t.switch(HostPhase::Tick);
+                    }
+                    if let Some(err) = fail {
+                        break 'run Err(err);
                     }
                 }
+                if let Some(every) = self.invariant_every {
+                    if self.now.is_multiple_of(every) {
+                        if let Some(t) = &mut timer {
+                            t.switch(HostPhase::Checks);
+                        }
+                        let fail = self.check_coherence();
+                        if let Some(t) = &mut timer {
+                            t.switch(HostPhase::Tick);
+                        }
+                        if let Some(err) = fail {
+                            break 'run Err(err);
+                        }
+                    }
+                }
+                if self.now >= max_cycles {
+                    break 'run Err(self.run_error(
+                        RunErrorKind::Deadlock,
+                        format!(
+                            "{:?} {} x{} ({}-way) did not quiesce in {max_cycles} cycles",
+                            self.cfg.model, self.app, self.cfg.nodes, self.cfg.app_threads
+                        ),
+                    ));
+                }
             }
-            if self.now >= max_cycles {
-                self.tracer.flush();
-                return Err(self.run_error(
-                    RunErrorKind::Deadlock,
-                    format!(
-                        "{:?} {} x{} ({}-way) did not quiesce in {max_cycles} cycles",
-                        self.cfg.model, self.app, self.cfg.nodes, self.cfg.app_threads
-                    ),
-                ));
-            }
-        }
+            Ok(())
+        };
         self.tracer.flush();
-        Ok(self.collect())
+        if let Some(mut t) = timer {
+            if self.now > epoch_start {
+                // Close the final partial epoch.
+                t.flush();
+                epoch_cycles.record(self.now - epoch_start);
+                t.end_epoch();
+                epochs += 1;
+            }
+            let lane = t.finish("serial");
+            let sim_cycles = self.now - start_cycle;
+            self.host_profile = Some(HostProfile {
+                engine: "serial".to_string(),
+                workers: 1,
+                epochs,
+                lookahead: 0,
+                sim_cycles,
+                wall_ns: lane.total_ns,
+                lanes: vec![lane],
+                epoch_cycles,
+                barrier_msgs: Histogram::new(),
+                imbalance_x1000: Histogram::new(),
+                // The serial loop ticks every node every cycle; it never
+                // idle-skips.
+                ticked_cycles: sim_cycles * self.nodes.len() as u64,
+                skipped_cycles: 0,
+            });
+        }
+        res.map(|()| self.collect())
     }
 
     fn watchdog_check(&mut self) -> Option<RunError> {

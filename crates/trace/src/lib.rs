@@ -14,7 +14,11 @@
 //!   output loads directly into Perfetto / `chrome://tracing`,
 //! * an [`IntervalSampler`] metrics registry emitting a cycle-indexed
 //!   time-series (per-node IPC, protocol occupancy, queue depths, per-VN
-//!   network utilization).
+//!   network utilization),
+//! * the [`host`] module: host-side engine telemetry ([`HostProfile`],
+//!   [`PhaseTimer`], [`Heartbeat`]) attributing the *simulator's own*
+//!   wall-clock to run-loop phases — the observability layer for the
+//!   execution engines themselves.
 //!
 //! # Architecture
 //!
@@ -34,6 +38,7 @@
 
 pub mod causal;
 pub mod event;
+pub mod host;
 pub mod metrics;
 pub mod sink;
 pub mod tracer;
@@ -44,6 +49,9 @@ pub use causal::{
 pub use event::{
     Category, DirClass, Event, GrantClass, HandlerClass, LinkFaultClass, MissClass, MsgLabel,
     StallClass,
+};
+pub use host::{
+    Heartbeat, HostPhase, HostProfile, LaneProfile, PhaseTimer, HOST_PHASE_NAMES, NUM_HOST_PHASES,
 };
 pub use metrics::IntervalSampler;
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SharedBuf, SharedEvents, TraceSink};

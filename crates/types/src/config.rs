@@ -356,6 +356,11 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Fault-injection configuration (disabled by default).
     pub faults: crate::faults::FaultConfig,
+    /// Pin the parallel engine's worker-thread count (`None` = use the
+    /// host's available parallelism). A host-side knob: the simulated
+    /// machine, and therefore every guest-visible result, is identical for
+    /// any worker count.
+    pub workers: Option<usize>,
 }
 
 impl SystemConfig {
@@ -372,6 +377,7 @@ impl SystemConfig {
             net: NetParams::default(),
             seed: 0x5317_9a7e,
             faults: crate::faults::FaultConfig::default(),
+            workers: None,
         };
         c.validate();
         c
@@ -399,6 +405,10 @@ impl SystemConfig {
         assert!(self.cpu_ghz > 0.0);
         assert!(self.pipeline.fetch_width >= 1);
         assert!(self.pipeline.commit_width >= 1);
+        assert!(
+            self.workers != Some(0),
+            "worker count, when pinned, must be >= 1"
+        );
     }
 
     /// Convert nanoseconds to CPU cycles (rounding up).

@@ -55,6 +55,7 @@ fn main() {
         e.model, e.app, e.nodes, e.ways
     );
     let mut sys = build_system(&e);
+    sys.enable_host_telemetry();
     let causal = sys.enable_causal_spans(top_k);
     if let Some(path) = &trace_path {
         let file = std::fs::File::create(path).unwrap_or_else(|err| {
@@ -99,6 +100,14 @@ fn main() {
         println!("\n== #{} slowest transaction ==", rank + 1);
         print!("{}", ex.render_tree());
         print!("{}", ex.render_critical_path());
+    }
+    if let Some(host) = sys.take_host_profile() {
+        println!(
+            "\nhost engine: {} spent {:.1} ms wall-clock ({:.0} sim cycles/s)",
+            host.engine,
+            host.wall_ns as f64 / 1e6,
+            host.sim_cycles_per_sec()
+        );
     }
     if let Some(path) = &trace_path {
         println!("\nPerfetto trace with flow arrows written to {path}");

@@ -8,6 +8,9 @@
 //! cargo run --release --example quickstart -- --trace          # default path
 //! cargo run --release --example quickstart -- --faults 42      # chaos run
 //! cargo run --release --example quickstart -- --engine parallel
+//! cargo run --release --example quickstart -- --engine parallel --workers 2
+//! cargo run --release --example quickstart -- --telemetry host_profile.json
+//! cargo run --release --example quickstart -- --heartbeat hb.jsonl
 //! ```
 //!
 //! With `--trace <path>` the full event stream is exported in Chrome
@@ -19,6 +22,17 @@
 //! engine (default serial). Both produce bit-identical results; `parallel`
 //! partitions the nodes across worker threads and skips provably idle
 //! cycles, so large machines simulate faster on multi-core hosts.
+//! `--workers N` pins the parallel engine's worker count (default: the
+//! host's available parallelism) — a host-side knob that never changes the
+//! simulated results.
+//!
+//! With `--telemetry [path]` the engine profiles *itself*: host-side
+//! wall-clock attribution per run-loop phase (tick, barrier waits, merge,
+//! replay, …) is printed after the run and written as JSON to `path`
+//! (default `host_profile.json`). With `--heartbeat [path]` a periodic
+//! JSONL liveness record (cycle, sim-cycles/sec, epoch rate, worker
+//! utilization) is appended to `path` (default: stderr) while the run is
+//! in flight.
 //!
 //! With `--faults <seed>` the run injects seeded faults everywhere at once
 //! (link drops/corruption/duplication, correctable ECC errors, dispatch
@@ -74,6 +88,48 @@ fn main() {
         }
         None => EngineKind::Serial,
     };
+    let workers = match args.iter().position(|a| a == "--workers") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--workers expects a thread count");
+                std::process::exit(2);
+            }
+            let s = args.remove(i);
+            match s.parse::<usize>() {
+                Ok(w) if w >= 1 => Some(w),
+                _ => {
+                    eprintln!("--workers expects a count >= 1, got {s:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => None,
+    };
+    let telemetry_path = match args.iter().position(|a| a == "--telemetry") {
+        Some(i) => {
+            args.remove(i);
+            // An explicit path may follow; otherwise use a default.
+            if i < args.len() && !args[i].starts_with("--") && !looks_positional(&args[i]) {
+                Some(args.remove(i))
+            } else {
+                Some("host_profile.json".to_string())
+            }
+        }
+        None => None,
+    };
+    let heartbeat_path = match args.iter().position(|a| a == "--heartbeat") {
+        Some(i) => {
+            args.remove(i);
+            // An explicit path may follow; otherwise beat to stderr.
+            if i < args.len() && !args[i].starts_with("--") && !looks_positional(&args[i]) {
+                Some(Some(args.remove(i)))
+            } else {
+                Some(None)
+            }
+        }
+        None => None,
+    };
     let fault_seed = match args.iter().position(|a| a == "--faults") {
         Some(i) => {
             args.remove(i);
@@ -100,6 +156,10 @@ fn main() {
     );
     let mut exp = ExperimentConfig::new(MachineModel::SMTp, app, nodes, ways);
     exp.engine = engine;
+    exp.workers = workers;
+    if let Some(w) = workers {
+        println!("worker threads pinned   : {w}");
+    }
     if trace_path.is_some() {
         // Tracing a full-scale run produces an enormous file; shrink the
         // workload so the timeline stays explorable.
@@ -114,6 +174,22 @@ fn main() {
     let mut sys = build_system(&exp);
     if fault_seed.is_some() {
         sys.enable_invariant_checks(50_000);
+    }
+    if telemetry_path.is_some() {
+        sys.enable_host_telemetry();
+    }
+    if let Some(path) = &heartbeat_path {
+        let out: Option<Box<dyn std::io::Write + Send>> = match path {
+            Some(p) => {
+                let file = std::fs::File::create(p).unwrap_or_else(|e| {
+                    eprintln!("cannot create {p}: {e}");
+                    std::process::exit(2);
+                });
+                Some(Box::new(file))
+            }
+            None => None, // stderr
+        };
+        sys.enable_heartbeat(50_000, out);
     }
     if let Some(path) = &trace_path {
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
@@ -191,5 +267,15 @@ fn main() {
     }
     if let Some(path) = &trace_path {
         println!("trace written           : {path} (load it at https://ui.perfetto.dev)");
+    }
+    if let Some(profile) = sys.take_host_profile() {
+        println!();
+        print!("{}", profile.summary());
+        if let Some(path) = &telemetry_path {
+            match std::fs::write(path, profile.to_json()) {
+                Ok(()) => println!("host profile written    : {path}"),
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            }
+        }
     }
 }

@@ -63,8 +63,13 @@ fn main() {
 
     let exp = ExperimentConfig::new(model, app, nodes, ways);
     let mut sys = build_system(&exp);
+    sys.enable_host_telemetry();
     let stats = sys.run(exp.max_cycles).expect("run must complete");
-    let report = Report::new(&stats);
+    let host = sys.take_host_profile();
+    let report = match &host {
+        Some(h) => Report::with_host_profile(&stats, h),
+        None => Report::new(&stats),
+    };
     if json {
         println!("{}", report.json());
     } else if md {

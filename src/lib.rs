@@ -49,8 +49,9 @@ pub use smtp_workloads as workloads;
 
 pub use smtp_core::{
     build_system, run_experiment, try_run_experiment, Diagnosis, EngineKind, ExperimentConfig,
-    Report, RunError, RunErrorKind, RunStats, System, ThreadTime,
+    Report, RunError, RunErrorKind, RunStats, System, ThreadTime, REPORT_SCHEMA_VERSION,
 };
+pub use smtp_trace::{Heartbeat, HostPhase, HostProfile, LaneProfile};
 pub use smtp_types::{
     Distribution, FaultConfig, FaultSummary, Histogram, LatencyBreakdown, MachineModel,
     PhaseProfiler, SystemConfig,
