@@ -6,38 +6,60 @@
 //! imbalance, idle-skip efficiency) — the artifact CI uploads so
 //! run-to-run performance is diffable *and attributable*.
 //!
+//! Every run's full report lands in the cross-run **archive** first
+//! (`SMTP_ARCHIVE_DIR`, default `target/bench_archive`), and the report
+//! rows are then rebuilt from the archived entries — so the committed
+//! `BENCH_report.json` is provably derivable from the archive alone, and
+//! the archive keeps the complete per-run reports the summary rows were
+//! distilled from.
+//!
 //! Every point is run on the serial reference engine and on the parallel
-//! epoch engine; the run asserts the two produce bit-identical statistics
-//! before reporting the wall-clock ratio. A 32-node SMTp smoke point
-//! (shared with the `fig8_9_32node` bench) rides along as the scaling
-//! sentinel.
+//! epoch engine; the archive pair is diffed and must be guest
+//! bit-identical before the wall-clock ratio is reported. A 32-node SMTp
+//! smoke point (shared with the `fig8_9_32node` bench) rides along as the
+//! scaling sentinel.
 //!
 //! ```text
 //! cargo bench --bench bench_report
 //! SMTP_SCALE=0.05 SMTP_NODES_CAP=4 cargo bench --bench bench_report
-//! SMTP_BENCH_OUT=other.json cargo bench --bench bench_report
+//! SMTP_BENCH_OUT=other.json SMTP_ARCHIVE_DIR=archive cargo bench --bench bench_report
 //! ```
 
-use smtp_bench::{fig32_smoke_config, nodes_cap, timed_point, BenchRow};
-use smtp_core::{EngineKind, ExperimentConfig};
+use smtp_bench::{fig32_smoke_config, nodes_cap, timed_point, Archive, BenchRow, RunKey};
+use smtp_core::{EngineKind, ExperimentConfig, Report};
 use smtp_types::MachineModel;
 use smtp_workloads::AppKind;
 
-/// Run one point on both engines, assert bit-identical guest results, and
-/// fold the parallel run's host telemetry into the report row.
-fn engine_pair_row(e: &ExperimentConfig, label: &str) -> BenchRow {
-    let (serial, serial_secs, _) = timed_point(e, EngineKind::Serial);
-    let (parallel, parallel_secs, host) = timed_point(e, EngineKind::Parallel);
-    assert_eq!(
-        format!("{serial:?}"),
-        format!("{parallel:?}"),
-        "engines diverged on {label}"
+/// Run one point on both engines, archive both full reports, and rebuild
+/// the summary row from the archived pair (asserting guest-identical
+/// results along the way).
+fn engine_pair_row(archive: &mut Archive, e: &ExperimentConfig, label: &str) -> BenchRow {
+    let (serial, _, serial_host) = timed_point(e, EngineKind::Serial);
+    let (parallel, _, parallel_host) = timed_point(e, EngineKind::Parallel);
+    let (serial_host, parallel_host) = (
+        serial_host.expect("serial host profile"),
+        parallel_host.expect("parallel host profile"),
     );
-    let mut row = BenchRow::from_engine_pair(&serial, serial_secs, parallel_secs);
-    if let Some(h) = &host {
-        row.apply_host_profile(h);
-    }
-    row
+    let mut se = e.clone();
+    se.engine = EngineKind::Serial;
+    let mut pe = e.clone();
+    pe.engine = EngineKind::Parallel;
+    let serial_entry = archive
+        .append(
+            &RunKey::for_experiment(&se),
+            &Report::with_host_profile(&serial, &serial_host).json(),
+        )
+        .unwrap_or_else(|err| panic!("archive {label} serial: {err}"))
+        .clone();
+    let parallel_entry = archive
+        .append(
+            &RunKey::for_experiment(&pe),
+            &Report::with_host_profile(&parallel, &parallel_host).json(),
+        )
+        .unwrap_or_else(|err| panic!("archive {label} parallel: {err}"))
+        .clone();
+    BenchRow::from_archive_pair(&serial_entry, &parallel_entry)
+        .unwrap_or_else(|err| panic!("engines diverged on {label}: {err}"))
 }
 
 fn main() {
@@ -47,22 +69,34 @@ fn main() {
     // package directory as CWD), where CI picks the artifact up.
     let out = std::env::var("SMTP_BENCH_OUT")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_report.json").into());
+    let archive_dir = std::env::var("SMTP_ARCHIVE_DIR").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_archive").into()
+    });
+    let mut archive = Archive::open(&archive_dir).unwrap_or_else(|err| panic!("{err}"));
     let mut rows = Vec::new();
     for model in MachineModel::ALL {
         for app in [AppKind::Fft, AppKind::Ocean] {
             let mut e = ExperimentConfig::new(model, app, nodes, ways);
             e.cpu_ghz = 2.0;
-            rows.push(engine_pair_row(&e, &format!("{model:?} {app:?}")));
+            rows.push(engine_pair_row(
+                &mut archive,
+                &e,
+                &format!("{model:?} {app:?}"),
+            ));
         }
     }
     // The 32-node scaling sentinel (smoke scale, 2 pinned workers).
     let e32 = fig32_smoke_config(AppKind::Fft);
-    rows.push(engine_pair_row(&e32, "SMTp Fft 32-node smoke"));
+    rows.push(engine_pair_row(
+        &mut archive,
+        &e32,
+        "SMTp Fft 32-node smoke",
+    ));
     for r in &rows {
         println!(
             "{:>10} {:6} n={} w={}: {:>9} cycles, IPC {:.3}, remote miss {:>6.0} / p95 {}, \
              serial {:.2}s / parallel {:.2}s = {:.2}x \
-             [{} workers, barrier {:.1}%, imbalance {:.2}, skip {:.1}%]",
+             [{} workers, barrier {:.1}%, imbalance {}, skip {:.1}%, fp {:016x}]",
             r.model,
             r.app,
             r.nodes,
@@ -76,9 +110,14 @@ fn main() {
             r.speedup,
             r.workers,
             r.barrier_wait_pct,
-            r.imbalance,
-            r.skip_efficiency_pct
+            r.imbalance.map_or("n/a".to_string(), |v| format!("{v:.2}")),
+            r.skip_efficiency_pct,
+            r.fingerprint
         );
     }
+    eprintln!(
+        "archived {} runs in {archive_dir}",
+        archive.query().run().len()
+    );
     smtp_bench::write_bench_report(&out, &rows);
 }

@@ -1,0 +1,480 @@
+//! Append-only cross-run experiment archive.
+//!
+//! Every run report ([`smtp_core::Report::json`]) can be appended to an
+//! on-disk archive — one JSONL file, one envelope line per run — keyed by
+//! a deterministic [`RunKey`]: the guest-shaping
+//! [`ExperimentConfig::fingerprint`], the fault seed, the execution
+//! engine, and an optional git revision. Guest results are deterministic
+//! functions of `(fingerprint, seed)`, so two archive entries sharing
+//! those key components must agree on every guest metric *exactly*; the
+//! engine and git revision discriminate wall-clock populations.
+//!
+//! The store is append-only and self-describing: [`Archive::open`] scans
+//! `runs.jsonl`, parses every envelope through the same hand-rolled
+//! reader the diff engine uses ([`smtp_core::ParsedReport`]), and builds
+//! an in-memory index. Corrupt or truncated trailing lines (a run killed
+//! mid-append) are reported, not silently skipped.
+//!
+//! ```no_run
+//! use smtp_bench::archive::{Archive, RunKey};
+//! # let (e, report_json): (smtp_core::ExperimentConfig, String) = unimplemented!();
+//! let mut ar = Archive::open("runs-archive").unwrap();
+//! ar.append(&RunKey::for_experiment(&e), &report_json).unwrap();
+//! let latest = ar.query().model("SMTp").app("FFT").latest_per_key();
+//! ```
+
+use smtp_core::{ExperimentConfig, JsonValue, ParsedReport};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Version of the archive envelope schema (the wrapper around each
+/// report line).
+pub const ARCHIVE_SCHEMA_VERSION: u32 = 1;
+
+/// File inside the archive directory holding one envelope per line.
+pub const ARCHIVE_FILE: &str = "runs.jsonl";
+
+/// Identity of one archived run: everything needed to decide whether two
+/// entries must be bit-identical (same fingerprint + seed) and which
+/// wall-clock population they belong to (engine, git revision).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// [`ExperimentConfig::fingerprint`] of the run's configuration.
+    pub fingerprint: u64,
+    /// Fault seed (0 when fault injection is off — the simulator itself
+    /// is seedless-deterministic).
+    pub seed: u64,
+    /// Execution engine label (`"serial"` / `"parallel"`).
+    pub engine: String,
+    /// Git revision the binary was built from, when known (taken from the
+    /// `SMTP_GIT_REV` environment variable by
+    /// [`RunKey::for_experiment`]).
+    pub git_rev: Option<String>,
+}
+
+impl RunKey {
+    /// Key for a run of `e`, reading the optional git revision from the
+    /// `SMTP_GIT_REV` environment variable.
+    pub fn for_experiment(e: &ExperimentConfig) -> RunKey {
+        RunKey {
+            fingerprint: e.fingerprint(),
+            seed: e.faults.seed,
+            engine: e.engine.to_string(),
+            git_rev: std::env::var("SMTP_GIT_REV").ok().filter(|s| !s.is_empty()),
+        }
+    }
+
+    /// The `(fingerprint, seed)` pair that pins guest results.
+    pub fn guest_key(&self) -> (u64, u64) {
+        (self.fingerprint, self.seed)
+    }
+}
+
+/// One archived run: its key plus the parsed report (and the raw report
+/// text for byte-exact re-rendering).
+#[derive(Clone, Debug)]
+pub struct ArchiveEntry {
+    /// Run identity.
+    pub key: RunKey,
+    /// Parsed report.
+    pub report: ParsedReport,
+    /// The report exactly as archived.
+    pub report_json: String,
+    /// 1-based line number in `runs.jsonl`; later lines are newer.
+    pub line: usize,
+}
+
+/// An append-only archive directory. See the [module docs](self).
+#[derive(Debug)]
+pub struct Archive {
+    path: PathBuf,
+    entries: Vec<ArchiveEntry>,
+}
+
+impl Archive {
+    /// Open (creating if needed) the archive at `dir` and index every
+    /// existing entry.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Archive, String> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let path = dir.join(ARCHIVE_FILE);
+        let mut entries = Vec::new();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let entry = parse_envelope(line)
+                    .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+                entries.push(ArchiveEntry {
+                    line: i + 1,
+                    ..entry
+                });
+            }
+        }
+        Ok(Archive {
+            path: dir.to_path_buf(),
+            entries,
+        })
+    }
+
+    /// Directory the archive lives in.
+    pub fn dir(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of archived runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[ArchiveEntry] {
+        &self.entries
+    }
+
+    /// Append one run. The report must be a valid
+    /// [`smtp_core::Report::json`] document — it is parsed *before*
+    /// anything is written, so the archive never contains a line its own
+    /// reader rejects. The line is flushed before returning.
+    pub fn append(&mut self, key: &RunKey, report_json: &str) -> Result<&ArchiveEntry, String> {
+        let report = ParsedReport::from_json(report_json)
+            .map_err(|e| format!("report rejected by parse-back: {e}"))?;
+        let line_text = render_envelope(key, report_json);
+        let path = self.path.join(ARCHIVE_FILE);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        file.write_all(line_text.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("append {}: {e}", path.display()))?;
+        self.entries.push(ArchiveEntry {
+            key: key.clone(),
+            report,
+            report_json: report_json.to_string(),
+            line: self.entries.last().map_or(1, |e| e.line + 1),
+        });
+        Ok(self.entries.last().unwrap())
+    }
+
+    /// Start a query over the archive.
+    pub fn query(&self) -> Query<'_> {
+        Query {
+            archive: self,
+            model: None,
+            app: None,
+            nodes: None,
+            ways: None,
+            seed: None,
+            engine: None,
+            fingerprint: None,
+        }
+    }
+}
+
+/// A filter over archive entries, built by chaining and consumed by
+/// [`Query::run`], [`Query::latest`] or [`Query::latest_per_key`].
+#[derive(Clone, Debug)]
+pub struct Query<'a> {
+    archive: &'a Archive,
+    model: Option<String>,
+    app: Option<String>,
+    nodes: Option<u64>,
+    ways: Option<u64>,
+    seed: Option<u64>,
+    engine: Option<String>,
+    fingerprint: Option<u64>,
+}
+
+impl<'a> Query<'a> {
+    /// Keep runs of this machine model (label, e.g. `"SMTp"`).
+    pub fn model(mut self, model: &str) -> Self {
+        self.model = Some(model.to_string());
+        self
+    }
+
+    /// Keep runs of this application (name as reported, e.g. `"FFT"`).
+    pub fn app(mut self, app: &str) -> Self {
+        self.app = Some(app.to_string());
+        self
+    }
+
+    /// Keep runs of this machine size.
+    pub fn nodes(mut self, nodes: u64) -> Self {
+        self.nodes = Some(nodes);
+        self
+    }
+
+    /// Keep runs with this many application threads per node.
+    pub fn ways(mut self, ways: u64) -> Self {
+        self.ways = Some(ways);
+        self
+    }
+
+    /// Keep runs with this fault seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Keep runs of this execution engine (`"serial"` / `"parallel"`).
+    pub fn engine(mut self, engine: &str) -> Self {
+        self.engine = Some(engine.to_string());
+        self
+    }
+
+    /// Keep runs with this exact configuration fingerprint.
+    pub fn fingerprint(mut self, fp: u64) -> Self {
+        self.fingerprint = Some(fp);
+        self
+    }
+
+    fn matches(&self, e: &ArchiveEntry) -> bool {
+        self.model.as_deref().is_none_or(|m| e.report.model == m)
+            && self.app.as_deref().is_none_or(|a| e.report.app == a)
+            && self.nodes.is_none_or(|n| e.report.nodes == n)
+            && self.ways.is_none_or(|w| e.report.ways == w)
+            && self.seed.is_none_or(|s| e.key.seed == s)
+            && self.engine.as_deref().is_none_or(|g| e.key.engine == g)
+            && self.fingerprint.is_none_or(|f| e.key.fingerprint == f)
+    }
+
+    /// All matching entries, oldest first.
+    pub fn run(self) -> Vec<&'a ArchiveEntry> {
+        self.archive
+            .entries
+            .iter()
+            .filter(|e| self.matches(e))
+            .collect()
+    }
+
+    /// The newest matching entry.
+    pub fn latest(self) -> Option<&'a ArchiveEntry> {
+        self.run().into_iter().next_back()
+    }
+
+    /// The newest matching entry *per distinct key*, in first-seen key
+    /// order — the "current state" view of the archive.
+    pub fn latest_per_key(self) -> Vec<&'a ArchiveEntry> {
+        let matching = self.run();
+        let mut keys: Vec<&RunKey> = Vec::new();
+        for e in &matching {
+            if !keys.contains(&&e.key) {
+                keys.push(&e.key);
+            }
+        }
+        keys.into_iter()
+            .map(|k| {
+                *matching
+                    .iter()
+                    .rfind(|e| &e.key == k)
+                    .expect("key came from this list")
+            })
+            .collect()
+    }
+}
+
+/// Serialize one envelope line (newline-terminated).
+fn render_envelope(key: &RunKey, report_json: &str) -> String {
+    let git = match &key.git_rev {
+        // Revisions are hex/refname text; escape defensively anyway.
+        Some(rev) => format!("\"{}\"", escape(rev)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"schema_version\":{ARCHIVE_SCHEMA_VERSION},\
+         \"fingerprint\":\"{:016x}\",\"seed\":{},\"engine\":\"{}\",\
+         \"git_rev\":{git},\"report\":{report_json}}}\n",
+        key.fingerprint,
+        key.seed,
+        escape(&key.engine),
+    )
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse one envelope line back into an entry (line number filled by the
+/// caller).
+fn parse_envelope(line: &str) -> Result<ArchiveEntry, String> {
+    let v = smtp_core::json::parse(line).map_err(|e| format!("bad envelope: {e}"))?;
+    let schema = v
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("envelope missing schema_version")?;
+    if schema != ARCHIVE_SCHEMA_VERSION as u64 {
+        return Err(format!("unsupported archive schema {schema}"));
+    }
+    let fp_text = v
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .ok_or("envelope missing fingerprint")?;
+    let fingerprint =
+        u64::from_str_radix(fp_text, 16).map_err(|_| format!("bad fingerprint {fp_text:?}"))?;
+    let seed = v
+        .get("seed")
+        .and_then(JsonValue::as_u64)
+        .ok_or("envelope missing seed")?;
+    let engine = v
+        .get("engine")
+        .and_then(JsonValue::as_str)
+        .ok_or("envelope missing engine")?
+        .to_string();
+    let git_rev = match v.get("git_rev") {
+        Some(JsonValue::Null) | None => None,
+        Some(g) => Some(g.as_str().ok_or("bad git_rev")?.to_string()),
+    };
+    let report_value = v.get("report").ok_or("envelope missing report")?;
+    // Re-parse the report from its own text so `report_json` stays the
+    // exact archived bytes: find the "report": prefix and take the rest.
+    let idx = line
+        .find("\"report\":")
+        .ok_or("envelope missing report key")?;
+    let report_json = line[idx + "\"report\":".len()..line.len() - 1].to_string();
+    let report = ParsedReport::from_json(&report_json)
+        .map_err(|e| format!("archived report rejected: {e}"))?;
+    debug_assert_eq!(&report.raw, report_value);
+    Ok(ArchiveEntry {
+        key: RunKey {
+            fingerprint,
+            seed,
+            engine,
+            git_rev,
+        },
+        report,
+        report_json,
+        line: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_core::Report;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "smtp-archive-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn small_run(nodes: usize) -> (ExperimentConfig, String) {
+        let e = ExperimentConfig::quick(
+            smtp_types::MachineModel::SMTp,
+            smtp_workloads::AppKind::Fft,
+            nodes,
+            1,
+        );
+        let stats = smtp_core::run_experiment(&e);
+        (e, Report::new(&stats).json())
+    }
+
+    #[test]
+    fn append_then_reopen_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let (e, json) = small_run(1);
+        let key = RunKey::for_experiment(&e);
+        {
+            let mut ar = Archive::open(&dir).unwrap();
+            ar.append(&key, &json).unwrap();
+            ar.append(&key, &json).unwrap();
+            assert_eq!(ar.len(), 2);
+        }
+        let ar = Archive::open(&dir).unwrap();
+        assert_eq!(ar.len(), 2);
+        let e0 = &ar.entries()[0];
+        assert_eq!(e0.key, key);
+        assert_eq!(e0.report_json, json);
+        assert_eq!(e0.report.cycles, ar.entries()[1].report.cycles);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_filters_and_latest_per_key() {
+        let dir = tmp_dir("query");
+        let (e1, json1) = small_run(1);
+        let (e2, json2) = small_run(2);
+        let mut ar = Archive::open(&dir).unwrap();
+        let (k1, k2) = (RunKey::for_experiment(&e1), RunKey::for_experiment(&e2));
+        assert_ne!(k1.fingerprint, k2.fingerprint);
+        ar.append(&k1, &json1).unwrap();
+        ar.append(&k2, &json2).unwrap();
+        ar.append(&k1, &json1).unwrap(); // newer replicate of k1
+
+        assert_eq!(ar.query().nodes(2).run().len(), 1);
+        assert_eq!(ar.query().model("SMTp").run().len(), 3);
+        assert_eq!(ar.query().model("Base").run().len(), 0);
+        assert_eq!(ar.query().seed(0).engine("serial").run().len(), 3);
+
+        let latest = ar.query().latest_per_key();
+        assert_eq!(latest.len(), 2, "two distinct keys");
+        assert_eq!(latest[0].line, 3, "k1's newest replicate wins");
+        assert_eq!(latest[1].line, 2);
+        assert_eq!(ar.query().nodes(1).latest().unwrap().line, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_invalid_reports_without_writing() {
+        let dir = tmp_dir("reject");
+        let mut ar = Archive::open(&dir).unwrap();
+        let key = RunKey {
+            fingerprint: 1,
+            seed: 0,
+            engine: "serial".into(),
+            git_rev: None,
+        };
+        assert!(ar.append(&key, "{not json").is_err());
+        assert!(ar.append(&key, "{\"schema_version\":3}").is_err());
+        assert!(ar.is_empty());
+        assert!(
+            !dir.join(ARCHIVE_FILE).exists() || {
+                std::fs::read_to_string(dir.join(ARCHIVE_FILE))
+                    .unwrap()
+                    .is_empty()
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_line_is_reported_with_position() {
+        let dir = tmp_dir("corrupt");
+        let (e, json) = small_run(1);
+        let mut ar = Archive::open(&dir).unwrap();
+        ar.append(&RunKey::for_experiment(&e), &json).unwrap();
+        // Simulate a run killed mid-append.
+        let path = dir.join(ARCHIVE_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema_version\":1,\"fingerprint\":\"00");
+        std::fs::write(&path, text).unwrap();
+        let err = Archive::open(&dir).unwrap_err();
+        assert!(err.contains(":2:"), "no line position in {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

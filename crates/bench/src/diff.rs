@@ -1,0 +1,949 @@
+//! Report diffing: compare two runs (or two `BENCH_report.json` files)
+//! and classify every delta.
+//!
+//! The comparison discipline follows the determinism contract:
+//!
+//! * **Guest metrics** — cycles, instruction counts, IPC, the 8-phase
+//!   latency decomposition, the 6-category critical path, the Fig. 5/7
+//!   stall taxonomy, latency percentiles — are deterministic simulator
+//!   outputs. Two runs of the same `(fingerprint, seed)` must agree
+//!   **exactly**; any drift is a determinism regression and fails the
+//!   gate unconditionally.
+//! * **Host wall-clock metrics** — engine wall time, bench `*_secs`
+//!   columns — legitimately vary run to run. They are compared against a
+//!   [`NoiseBand`] derived from repeated-seed replicates (falling back to
+//!   a configurable percentage), and only when both sides ran on hosts
+//!   with the same core count; cross-host wall clocks are reported but
+//!   never gated.
+//!
+//! Deltas render as aligned text, Markdown (the CI artifact), or JSON.
+
+use crate::{BenchRow, BENCH_SCHEMA_VERSION};
+use smtp_core::{json, JsonValue, ParsedReport};
+use smtp_types::Histogram;
+
+/// Default wall-clock regression tolerance when no replicate noise band
+/// is available: ±25 %.
+pub const DEFAULT_WALL_TOL_FRAC: f64 = 0.25;
+
+/// Tuning knobs for a diff.
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Wall-clock regression tolerance as a fraction (0.25 = 25 %). The
+    /// effective tolerance is the larger of this and the noise band's
+    /// observed spread.
+    pub wall_tol_frac: f64,
+    /// Noise band measured from repeated-seed replicates, when available.
+    pub noise: Option<NoiseBand>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            wall_tol_frac: DEFAULT_WALL_TOL_FRAC,
+            noise: None,
+        }
+    }
+}
+
+impl DiffOptions {
+    /// The effective wall-clock tolerance: the configured floor widened
+    /// to the replicate noise band when one is present.
+    pub fn tolerance_frac(&self) -> f64 {
+        match &self.noise {
+            Some(band) => self.wall_tol_frac.max(band.spread_frac()),
+            None => self.wall_tol_frac,
+        }
+    }
+}
+
+/// Run-to-run wall-clock noise measured from repeated-seed replicates.
+///
+/// Samples go into the existing log2 [`Histogram`], so bands from
+/// different replicate batches merge exactly associatively; the band's
+/// half-width is the observed relative spread `(max - min) / mean`.
+#[derive(Clone, Debug, Default)]
+pub struct NoiseBand {
+    /// Replicate wall-clock samples in nanoseconds.
+    pub wall_ns: Histogram,
+}
+
+impl NoiseBand {
+    /// Band over replicate wall-clock samples (nanoseconds).
+    pub fn from_wall_ns(samples: &[u64]) -> NoiseBand {
+        let mut wall_ns = Histogram::new();
+        for &s in samples {
+            wall_ns.record(s);
+        }
+        NoiseBand { wall_ns }
+    }
+
+    /// Fold another batch of replicates into the band.
+    pub fn merge(&mut self, other: &NoiseBand) {
+        self.wall_ns.merge(&other.wall_ns);
+    }
+
+    /// Observed relative spread `(max - min) / mean` (0 with fewer than
+    /// two samples).
+    pub fn spread_frac(&self) -> f64 {
+        if self.wall_ns.count() < 2 || self.wall_ns.mean() == 0.0 {
+            return 0.0;
+        }
+        (self.wall_ns.max() - self.wall_ns.min()) as f64 / self.wall_ns.mean()
+    }
+}
+
+/// How one compared metric is judged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Guest metric: must match exactly.
+    Guest,
+    /// Wall-clock metric: compared against the noise tolerance.
+    Wall,
+    /// Reported for context, never gated.
+    Info,
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct MetricDelta {
+    /// Metric name (dotted path, e.g. `phase.net req fwd.remote_mean`).
+    pub name: String,
+    /// Value on the baseline side.
+    pub a: String,
+    /// Value on the candidate side.
+    pub b: String,
+    /// Whether the two sides agree (exactly for guest metrics, within
+    /// tolerance for wall metrics).
+    pub ok: bool,
+    /// Judgement class.
+    pub kind: DeltaKind,
+}
+
+impl MetricDelta {
+    fn guest_u64(name: impl Into<String>, a: u64, b: u64) -> MetricDelta {
+        MetricDelta {
+            name: name.into(),
+            a: a.to_string(),
+            b: b.to_string(),
+            ok: a == b,
+            kind: DeltaKind::Guest,
+        }
+    }
+
+    /// Guest floats come out of the same deterministic serializer on both
+    /// sides, so bit-exact equality of the parsed values is the right
+    /// comparison — any difference means the guest state differed.
+    fn guest_f64(name: impl Into<String>, a: f64, b: f64) -> MetricDelta {
+        MetricDelta {
+            name: name.into(),
+            a: format!("{a}"),
+            b: format!("{b}"),
+            ok: a == b,
+            kind: DeltaKind::Guest,
+        }
+    }
+
+    fn guest_str(name: impl Into<String>, a: &str, b: &str) -> MetricDelta {
+        MetricDelta {
+            name: name.into(),
+            a: a.to_string(),
+            b: b.to_string(),
+            ok: a == b,
+            kind: DeltaKind::Guest,
+        }
+    }
+}
+
+/// Result of diffing two run reports. Build with [`diff_reports`].
+#[derive(Clone, Debug, Default)]
+pub struct ReportDiff {
+    /// Every compared metric, in report order.
+    pub metrics: Vec<MetricDelta>,
+    /// Wall-clock comparison, when both reports carried a host profile
+    /// from hosts with the same worker configuration.
+    pub wall: Option<WallDelta>,
+    /// Why the wall clocks were not gated, when they were not.
+    pub wall_note: Option<String>,
+}
+
+/// Wall-clock comparison between two runs.
+#[derive(Clone, Debug)]
+pub struct WallDelta {
+    /// Baseline wall nanoseconds.
+    pub base_ns: u64,
+    /// Candidate wall nanoseconds.
+    pub new_ns: u64,
+    /// Tolerance fraction the judgement used.
+    pub tol_frac: f64,
+    /// `new / base`.
+    pub ratio: f64,
+    /// Candidate exceeded `base * (1 + tol)`.
+    pub regression: bool,
+}
+
+impl WallDelta {
+    fn judge(base_ns: u64, new_ns: u64, tol_frac: f64) -> WallDelta {
+        let ratio = if base_ns == 0 {
+            1.0
+        } else {
+            new_ns as f64 / base_ns as f64
+        };
+        WallDelta {
+            base_ns,
+            new_ns,
+            tol_frac,
+            ratio,
+            regression: ratio > 1.0 + tol_frac,
+        }
+    }
+}
+
+impl ReportDiff {
+    /// Mismatching guest metrics.
+    pub fn guest_drift(&self) -> Vec<&MetricDelta> {
+        self.metrics
+            .iter()
+            .filter(|m| m.kind == DeltaKind::Guest && !m.ok)
+            .collect()
+    }
+
+    /// Whether any guest metric drifted.
+    pub fn has_guest_drift(&self) -> bool {
+        !self.guest_drift().is_empty()
+    }
+
+    /// Whether the wall clock regressed beyond tolerance.
+    pub fn has_wall_regression(&self) -> bool {
+        self.wall.as_ref().is_some_and(|w| w.regression)
+    }
+
+    /// Gate verdict: `Err` describes every failure.
+    pub fn gate(&self) -> Result<(), String> {
+        let mut fails = Vec::new();
+        for m in self.guest_drift() {
+            fails.push(format!("guest drift: {} {} -> {}", m.name, m.a, m.b));
+        }
+        if let Some(w) = &self.wall {
+            if w.regression {
+                fails.push(format!(
+                    "wall-clock regression: {:.1} ms -> {:.1} ms ({:.2}x > 1+{:.0}% tolerance)",
+                    w.base_ns as f64 / 1e6,
+                    w.new_ns as f64 / 1e6,
+                    w.ratio,
+                    100.0 * w.tol_frac
+                ));
+            }
+        }
+        if fails.is_empty() {
+            Ok(())
+        } else {
+            Err(fails.join("\n"))
+        }
+    }
+
+    /// Render as aligned text.
+    pub fn render_text(&self) -> String {
+        self.render(false)
+    }
+
+    /// Render as Markdown (the CI artifact format).
+    pub fn render_markdown(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, md: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let drift = self.guest_drift().len();
+        if md {
+            out.push_str("## Report diff\n\n");
+        } else {
+            out.push_str("== Report diff\n");
+        }
+        let _ = writeln!(
+            out,
+            "{} guest metrics compared, {drift} drifted{}",
+            self.metrics.len(),
+            if drift == 0 { " (bit-identical)" } else { "" }
+        );
+        if md {
+            out.push_str("\n| metric | baseline | candidate | verdict |\n|---|---|---|---|\n");
+        }
+        for m in &self.metrics {
+            if m.ok && drift > 0 {
+                continue; // with drift present, show only the drift
+            }
+            if !m.ok || !md {
+                let verdict = if m.ok { "ok" } else { "DRIFT" };
+                if md {
+                    let _ = writeln!(out, "| {} | {} | {} | {verdict} |", m.name, m.a, m.b);
+                } else if !m.ok {
+                    let _ = writeln!(out, "  DRIFT {:<32} {} -> {}", m.name, m.a, m.b);
+                }
+            }
+        }
+        match (&self.wall, &self.wall_note) {
+            (Some(w), _) => {
+                let _ = writeln!(
+                    out,
+                    "wall clock: {:.1} ms -> {:.1} ms ({:.2}x, tolerance {:.0}%): {}",
+                    w.base_ns as f64 / 1e6,
+                    w.new_ns as f64 / 1e6,
+                    w.ratio,
+                    100.0 * w.tol_frac,
+                    if w.regression { "REGRESSION" } else { "ok" }
+                );
+            }
+            (None, Some(note)) => {
+                let _ = writeln!(out, "wall clock not gated: {note}");
+            }
+            (None, None) => {}
+        }
+        out
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"a\":\"{}\",\"b\":\"{}\",\"ok\":{},\"kind\":\"{}\"}}",
+                m.name,
+                m.a,
+                m.b,
+                m.ok,
+                match m.kind {
+                    DeltaKind::Guest => "guest",
+                    DeltaKind::Wall => "wall",
+                    DeltaKind::Info => "info",
+                }
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"guest_drift\":{},\"wall\":",
+            self.has_guest_drift()
+        );
+        match &self.wall {
+            Some(w) => {
+                let _ = write!(
+                    out,
+                    "{{\"base_ns\":{},\"new_ns\":{},\"ratio\":{:.4},\"tol_frac\":{:.4},\
+                     \"regression\":{}}}",
+                    w.base_ns, w.new_ns, w.ratio, w.tol_frac, w.regression
+                );
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Diff two parsed run reports (baseline `a`, candidate `b`).
+pub fn diff_reports(a: &ParsedReport, b: &ParsedReport, opts: &DiffOptions) -> ReportDiff {
+    let mut m = vec![
+        MetricDelta::guest_str("model", &a.model, &b.model),
+        MetricDelta::guest_str("app", &a.app, &b.app),
+        MetricDelta::guest_u64("nodes", a.nodes, b.nodes),
+        MetricDelta::guest_u64("ways", a.ways, b.ways),
+        MetricDelta::guest_u64("cycles", a.cycles, b.cycles),
+        MetricDelta::guest_u64("app_instructions", a.app_instructions, b.app_instructions),
+        MetricDelta::guest_u64(
+            "protocol_instructions",
+            a.protocol_instructions,
+            b.protocol_instructions,
+        ),
+        MetricDelta::guest_f64("ipc", a.ipc, b.ipc),
+        MetricDelta::guest_u64("handlers", a.handlers, b.handlers),
+        MetricDelta::guest_f64(
+            "protocol_occupancy_mean",
+            a.protocol_occupancy_mean,
+            b.protocol_occupancy_mean,
+        ),
+        MetricDelta::guest_f64(
+            "protocol_occupancy_peak",
+            a.protocol_occupancy_peak,
+            b.protocol_occupancy_peak,
+        ),
+    ];
+    for (tag, ha, hb) in [
+        ("miss_latency", Some(&a.miss_latency), Some(&b.miss_latency)),
+        (
+            "remote_miss",
+            a.remote_miss.as_ref(),
+            b.remote_miss.as_ref(),
+        ),
+    ] {
+        if let (Some(ha), Some(hb)) = (ha, hb) {
+            m.push(MetricDelta::guest_u64(
+                format!("{tag}.count"),
+                ha.count,
+                hb.count,
+            ));
+            m.push(MetricDelta::guest_f64(
+                format!("{tag}.mean"),
+                ha.mean,
+                hb.mean,
+            ));
+            m.push(MetricDelta::guest_u64(format!("{tag}.p50"), ha.p50, hb.p50));
+            m.push(MetricDelta::guest_u64(format!("{tag}.p95"), ha.p95, hb.p95));
+            m.push(MetricDelta::guest_u64(format!("{tag}.max"), ha.max, hb.max));
+        }
+    }
+    // The 8-phase decomposition, matched by phase name so a reordered or
+    // truncated phase list is itself a detected drift.
+    let phase_names: Vec<&str> = a
+        .phases
+        .iter()
+        .map(|p| p.phase.as_str())
+        .chain(b.phases.iter().map(|p| p.phase.as_str()))
+        .fold(Vec::new(), |mut acc, n| {
+            if !acc.contains(&n) {
+                acc.push(n);
+            }
+            acc
+        });
+    for name in phase_names {
+        let pa = a.phases.iter().find(|p| p.phase == name);
+        let pb = b.phases.iter().find(|p| p.phase == name);
+        match (pa, pb) {
+            (Some(pa), Some(pb)) => {
+                m.push(MetricDelta::guest_u64(
+                    format!("phase.{name}.remote_count"),
+                    pa.remote_count,
+                    pb.remote_count,
+                ));
+                m.push(MetricDelta::guest_f64(
+                    format!("phase.{name}.remote_mean"),
+                    pa.remote_mean,
+                    pb.remote_mean,
+                ));
+                m.push(MetricDelta::guest_f64(
+                    format!("phase.{name}.all_mean"),
+                    pa.all_mean,
+                    pb.all_mean,
+                ));
+            }
+            _ => m.push(MetricDelta::guest_str(
+                format!("phase.{name}"),
+                if pa.is_some() { "present" } else { "absent" },
+                if pb.is_some() { "present" } else { "absent" },
+            )),
+        }
+    }
+    // Critical path (6 categories).
+    m.push(MetricDelta::guest_u64(
+        "critical_path.spans",
+        a.critical_path.spans,
+        b.critical_path.spans,
+    ));
+    m.push(MetricDelta::guest_u64(
+        "critical_path.total_cycles",
+        a.critical_path.total_cycles,
+        b.critical_path.total_cycles,
+    ));
+    for (name, va) in &a.critical_path.cycles {
+        let vb = b
+            .critical_path
+            .cycles
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(u64::MAX);
+        m.push(MetricDelta::guest_u64(
+            format!("critical_path.{name}"),
+            *va,
+            vb,
+        ));
+    }
+    // Stall taxonomy (Fig. 5/7 buckets, summed over contexts; per-context
+    // rows are covered transitively since totals are sums of guest
+    // integers).
+    const BUCKETS: [&str; 6] = ["busy", "memory", "sync", "squash", "fetch_starved", "other"];
+    m.push(MetricDelta::guest_u64(
+        "thread_time.contexts",
+        a.thread_time.len() as u64,
+        b.thread_time.len() as u64,
+    ));
+    for (i, name) in BUCKETS.iter().enumerate() {
+        m.push(MetricDelta::guest_u64(
+            format!("stall.{name}"),
+            a.stall_totals()[i],
+            b.stall_totals()[i],
+        ));
+    }
+
+    // Wall clock: gated only when both sides profiled themselves with the
+    // same engine and worker count (otherwise the populations are not
+    // comparable).
+    let (wall, wall_note) = match (&a.host, &b.host) {
+        (Some(ha), Some(hb)) if ha.engine == hb.engine && ha.workers == hb.workers => (
+            Some(WallDelta::judge(
+                ha.wall_ns,
+                hb.wall_ns,
+                opts.tolerance_frac(),
+            )),
+            None,
+        ),
+        (Some(ha), Some(hb)) => (
+            None,
+            Some(format!(
+                "engine/workers differ ({}/{} vs {}/{})",
+                ha.engine, ha.workers, hb.engine, hb.workers
+            )),
+        ),
+        _ => (None, Some("host profile missing on one side".to_string())),
+    };
+    ReportDiff {
+        metrics: m,
+        wall,
+        wall_note,
+    }
+}
+
+// -- BENCH_report.json diffing ----------------------------------------------
+
+/// One row-level delta of a bench-report diff.
+#[derive(Clone, Debug)]
+pub struct BenchRowDiff {
+    /// Row identity: `model app nodes ways`.
+    pub key: String,
+    /// Metric deltas for this row.
+    pub metrics: Vec<MetricDelta>,
+    /// Row missing on one side (`Some("baseline"/"candidate")`).
+    pub only_in: Option<String>,
+}
+
+/// Result of diffing two `BENCH_report.json` documents.
+#[derive(Clone, Debug, Default)]
+pub struct BenchDiff {
+    /// Per-row deltas, baseline order (then candidate-only rows).
+    pub rows: Vec<BenchRowDiff>,
+    /// Whether wall-clock columns were gated (host core counts matched).
+    pub wall_gated: bool,
+    /// Note explaining ungated wall clocks.
+    pub wall_note: Option<String>,
+}
+
+impl BenchDiff {
+    /// Mismatching guest metrics (including rows present on one side
+    /// only).
+    pub fn has_guest_drift(&self) -> bool {
+        self.rows.iter().any(|r| {
+            r.only_in.is_some()
+                || r.metrics
+                    .iter()
+                    .any(|m| m.kind == DeltaKind::Guest && !m.ok)
+        })
+    }
+
+    /// Whether any gated wall-clock column regressed beyond tolerance.
+    pub fn has_wall_regression(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| r.metrics.iter().any(|m| m.kind == DeltaKind::Wall && !m.ok))
+    }
+
+    /// Gate verdict: `Err` describes every failure.
+    pub fn gate(&self) -> Result<(), String> {
+        let mut fails = Vec::new();
+        for r in &self.rows {
+            if let Some(side) = &r.only_in {
+                fails.push(format!("row [{}] only in {side}", r.key));
+            }
+            for m in &r.metrics {
+                if m.ok {
+                    continue;
+                }
+                match m.kind {
+                    DeltaKind::Guest => fails.push(format!(
+                        "guest drift: [{}] {} {} -> {}",
+                        r.key, m.name, m.a, m.b
+                    )),
+                    DeltaKind::Wall => fails.push(format!(
+                        "wall-clock regression: [{}] {} {} -> {}",
+                        r.key, m.name, m.a, m.b
+                    )),
+                    DeltaKind::Info => {}
+                }
+            }
+        }
+        if fails.is_empty() {
+            Ok(())
+        } else {
+            Err(fails.join("\n"))
+        }
+    }
+
+    /// Render as aligned text.
+    pub fn render_text(&self) -> String {
+        self.render(false)
+    }
+
+    /// Render as Markdown (the CI artifact).
+    pub fn render_markdown(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, md: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str(if md {
+            "## Bench report diff\n\n"
+        } else {
+            "== Bench report diff\n"
+        });
+        let bad: usize = self
+            .rows
+            .iter()
+            .filter(|r| r.only_in.is_some() || r.metrics.iter().any(|m| !m.ok))
+            .count();
+        let _ = writeln!(
+            out,
+            "{} rows compared, {bad} with failures{}",
+            self.rows.len(),
+            if bad == 0 {
+                " (guest metrics bit-identical)"
+            } else {
+                ""
+            }
+        );
+        if let (false, Some(note)) = (&self.wall_gated, &self.wall_note) {
+            let _ = writeln!(out, "wall-clock columns not gated: {note}");
+        }
+        if md {
+            out.push_str(
+                "\n| row | metric | baseline | candidate | verdict |\n|---|---|---|---|---|\n",
+            );
+        }
+        for r in &self.rows {
+            if let Some(side) = &r.only_in {
+                if md {
+                    let _ = writeln!(out, "| {} | (row) | | | only in {side} |", r.key);
+                } else {
+                    let _ = writeln!(out, "  MISSING [{:<28}] only in {side}", r.key);
+                }
+                continue;
+            }
+            for m in &r.metrics {
+                let verdict = match (m.kind, m.ok) {
+                    (DeltaKind::Guest, false) => "DRIFT",
+                    (DeltaKind::Wall, false) => "WALL-REGRESSION",
+                    (DeltaKind::Wall, true) => "ok (wall)",
+                    _ if m.ok => "ok",
+                    _ => "note",
+                };
+                if !m.ok || md {
+                    if md {
+                        let _ = writeln!(
+                            out,
+                            "| {} | {} | {} | {} | {verdict} |",
+                            r.key, m.name, m.a, m.b
+                        );
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "  {verdict:<16} [{:<28}] {:<18} {} -> {}",
+                            r.key, m.name, m.a, m.b
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Extract the row array from a bench report document: either the
+/// schema-versioned object (`{"schema_version":1,"rows":[...]}`) or the
+/// legacy bare array.
+fn bench_rows(doc: &JsonValue) -> Result<&[JsonValue], String> {
+    match doc {
+        JsonValue::Arr(rows) => Ok(rows),
+        JsonValue::Obj(_) => {
+            let schema = doc
+                .get("schema_version")
+                .and_then(JsonValue::as_u64)
+                .ok_or("bench report object missing schema_version")?;
+            if schema > BENCH_SCHEMA_VERSION as u64 {
+                return Err(format!("unsupported bench schema {schema}"));
+            }
+            doc.get("rows")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| "bench report missing rows".to_string())
+        }
+        _ => Err("bench report is neither an object nor an array".to_string()),
+    }
+}
+
+fn row_key(row: &JsonValue) -> Result<String, String> {
+    Ok(format!(
+        "{} {} n={} w={}",
+        row.get("model")
+            .and_then(JsonValue::as_str)
+            .ok_or("row missing model")?,
+        row.get("app")
+            .and_then(JsonValue::as_str)
+            .ok_or("row missing app")?,
+        row.get("nodes")
+            .and_then(JsonValue::as_u64)
+            .ok_or("row missing nodes")?,
+        row.get("ways")
+            .and_then(JsonValue::as_u64)
+            .ok_or("row missing ways")?,
+    ))
+}
+
+/// Diff two `BENCH_report.json` documents (baseline `a`, candidate `b`).
+///
+/// Rows are matched by `(model, app, nodes, ways)`. Guest columns
+/// (`cycles`, `ipc`, `remote_miss_*`, and the config `fingerprint` when
+/// both sides carry one) must match exactly. Wall-clock columns
+/// (`serial_secs`, `parallel_secs`) are gated against the tolerance only
+/// when both documents report the same `host_cores`.
+pub fn diff_bench_reports(a: &str, b: &str, opts: &DiffOptions) -> Result<BenchDiff, String> {
+    let da = json::parse(a).map_err(|e| format!("baseline: {e}"))?;
+    let db = json::parse(b).map_err(|e| format!("candidate: {e}"))?;
+    let rows_a = bench_rows(&da)?;
+    let rows_b = bench_rows(&db)?;
+    let cores = |rows: &[JsonValue]| {
+        rows.first()
+            .and_then(|r| r.get("host_cores"))
+            .and_then(JsonValue::as_u64)
+    };
+    let (ca, cb) = (cores(rows_a), cores(rows_b));
+    let wall_gated = ca.is_some() && ca == cb;
+    let wall_note = if wall_gated {
+        None
+    } else {
+        Some(format!(
+            "host_cores differ or missing (baseline {ca:?}, candidate {cb:?}); \
+             wall clocks from different hosts are not comparable"
+        ))
+    };
+    let tol = opts.tolerance_frac();
+
+    let mut rows = Vec::new();
+    for ra in rows_a {
+        let key = row_key(ra)?;
+        let Some(rb) = rows_b
+            .iter()
+            .find(|r| row_key(r).as_deref() == Ok(key.as_str()))
+        else {
+            rows.push(BenchRowDiff {
+                key,
+                metrics: Vec::new(),
+                only_in: Some("baseline".to_string()),
+            });
+            continue;
+        };
+        let mut metrics = Vec::new();
+        let num = |row: &JsonValue, k: &str| row.get(k).and_then(JsonValue::as_f64);
+        // Guest columns: exact.
+        for col in ["cycles", "ipc", "remote_miss_mean", "remote_miss_p95"] {
+            let (va, vb) = (num(ra, col), num(rb, col));
+            metrics.push(MetricDelta {
+                name: col.to_string(),
+                a: va.map_or("-".into(), |v| format!("{v}")),
+                b: vb.map_or("-".into(), |v| format!("{v}")),
+                ok: va.is_some() && va == vb,
+                kind: DeltaKind::Guest,
+            });
+        }
+        // Config fingerprint: exact when both sides have it (legacy
+        // baselines predate the column).
+        let fp = |row: &JsonValue| {
+            row.get("fingerprint")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+        };
+        if let (Some(fa), Some(fb)) = (fp(ra), fp(rb)) {
+            metrics.push(MetricDelta {
+                ok: fa == fb,
+                name: "fingerprint".to_string(),
+                a: fa,
+                b: fb,
+                kind: DeltaKind::Guest,
+            });
+        }
+        // Wall columns: tolerance-gated, same-host only.
+        for col in ["serial_secs", "parallel_secs"] {
+            if let (Some(va), Some(vb)) = (num(ra, col), num(rb, col)) {
+                let regression = wall_gated && va > 0.0 && vb > va * (1.0 + tol);
+                metrics.push(MetricDelta {
+                    name: col.to_string(),
+                    a: format!("{va}"),
+                    b: format!("{vb}"),
+                    ok: !regression,
+                    kind: if wall_gated {
+                        DeltaKind::Wall
+                    } else {
+                        DeltaKind::Info
+                    },
+                });
+            }
+        }
+        rows.push(BenchRowDiff {
+            key,
+            metrics,
+            only_in: None,
+        });
+    }
+    for rb in rows_b {
+        let key = row_key(rb)?;
+        if !rows.iter().any(|r| r.key == key) {
+            rows.push(BenchRowDiff {
+                key,
+                metrics: Vec::new(),
+                only_in: Some("candidate".to_string()),
+            });
+        }
+    }
+    Ok(BenchDiff {
+        rows,
+        wall_gated,
+        wall_note,
+    })
+}
+
+/// Build a [`NoiseBand`] by replaying one row's wall-clock across bench
+/// documents (replicates of the same run).
+pub fn noise_band_from_rows(rows: &[BenchRow]) -> NoiseBand {
+    NoiseBand::from_wall_ns(
+        &rows
+            .iter()
+            .flat_map(|r| [r.serial_secs, r.parallel_secs])
+            .filter(|s| *s > 0.0)
+            .map(|s| (s * 1e9) as u64)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_pair() -> (ParsedReport, ParsedReport) {
+        let e = smtp_core::ExperimentConfig::quick(
+            smtp_types::MachineModel::SMTp,
+            smtp_workloads::AppKind::Fft,
+            2,
+            1,
+        );
+        let a = smtp_core::run_experiment(&e);
+        let b = smtp_core::run_experiment(&e);
+        let pa = ParsedReport::from_json(&smtp_core::Report::new(&a).json()).unwrap();
+        let pb = ParsedReport::from_json(&smtp_core::Report::new(&b).json()).unwrap();
+        (pa, pb)
+    }
+
+    #[test]
+    fn identical_runs_have_zero_guest_delta() {
+        let (a, b) = report_pair();
+        let d = diff_reports(&a, &b, &DiffOptions::default());
+        assert!(!d.has_guest_drift(), "{}", d.render_text());
+        assert!(d.gate().is_ok());
+        assert!(d.render_text().contains("bit-identical"));
+    }
+
+    #[test]
+    fn perturbed_cycles_is_guest_drift() {
+        let (a, mut b) = report_pair();
+        b.cycles += 1;
+        let d = diff_reports(&a, &b, &DiffOptions::default());
+        assert!(d.has_guest_drift());
+        let gate = d.gate().unwrap_err();
+        assert!(gate.contains("cycles"), "{gate}");
+        assert!(d.render_markdown().contains("DRIFT"));
+    }
+
+    #[test]
+    fn noise_band_widens_tolerance() {
+        let band = NoiseBand::from_wall_ns(&[1_000_000, 1_500_000, 1_200_000]);
+        assert!(band.spread_frac() > 0.25);
+        let opts = DiffOptions {
+            wall_tol_frac: 0.1,
+            noise: Some(band),
+        };
+        assert!(opts.tolerance_frac() > 0.25);
+        // Single-sample bands contribute nothing.
+        assert_eq!(NoiseBand::from_wall_ns(&[5]).spread_frac(), 0.0);
+    }
+
+    #[test]
+    fn wall_regression_detected_within_same_population() {
+        let (mut a, mut b) = report_pair();
+        a.host = Some(smtp_core::ParsedHostProfile {
+            engine: "serial".into(),
+            workers: 1,
+            wall_ns: 1_000_000,
+            ..Default::default()
+        });
+        b.host = Some(smtp_core::ParsedHostProfile {
+            engine: "serial".into(),
+            workers: 1,
+            wall_ns: 2_000_000,
+            ..Default::default()
+        });
+        let d = diff_reports(&a, &b, &DiffOptions::default());
+        assert!(d.has_wall_regression());
+        assert!(!d.has_guest_drift());
+
+        // Different engines: reported, never gated.
+        b.host.as_mut().unwrap().engine = "parallel".into();
+        let d = diff_reports(&a, &b, &DiffOptions::default());
+        assert!(d.wall.is_none());
+        assert!(d.wall_note.is_some());
+    }
+
+    const BENCH_A: &str = r#"{"schema_version":1,"rows":[
+      {"model":"SMTp","app":"FFT","nodes":4,"ways":2,"cycles":1000,"ipc":1.5,
+       "remote_miss_mean":10.0,"remote_miss_p95":20,"fingerprint":"00000000000000aa",
+       "serial_secs":1.0,"parallel_secs":1.0,"host_cores":1}]}"#;
+
+    #[test]
+    fn bench_diff_detects_cycle_drift_and_wall_regression() {
+        let same = diff_bench_reports(BENCH_A, BENCH_A, &DiffOptions::default()).unwrap();
+        assert!(!same.has_guest_drift() && !same.has_wall_regression());
+        assert!(same.gate().is_ok());
+
+        let drift = BENCH_A.replace("\"cycles\":1000", "\"cycles\":1001");
+        let d = diff_bench_reports(BENCH_A, &drift, &DiffOptions::default()).unwrap();
+        assert!(d.has_guest_drift());
+        assert!(d.gate().unwrap_err().contains("cycles"));
+
+        let slow = BENCH_A.replace("\"parallel_secs\":1.0", "\"parallel_secs\":9.0");
+        let d = diff_bench_reports(BENCH_A, &slow, &DiffOptions::default()).unwrap();
+        assert!(!d.has_guest_drift());
+        assert!(d.has_wall_regression());
+
+        // Different host cores: wall clocks reported, not gated.
+        let other_host = slow.replace("\"host_cores\":1", "\"host_cores\":8");
+        let d = diff_bench_reports(BENCH_A, &other_host, &DiffOptions::default()).unwrap();
+        assert!(!d.has_wall_regression());
+        assert!(d.wall_note.is_some());
+    }
+
+    #[test]
+    fn bench_diff_flags_missing_rows_and_legacy_arrays() {
+        let legacy = r#"[{"model":"SMTp","app":"FFT","nodes":4,"ways":2,"cycles":1000,
+          "ipc":1.5,"remote_miss_mean":10.0,"remote_miss_p95":20,"host_cores":1}]"#;
+        let d = diff_bench_reports(legacy, BENCH_A, &DiffOptions::default()).unwrap();
+        // Same row key on both sides; legacy has no fingerprint column, so
+        // the fingerprint is not compared.
+        assert!(!d.rows.iter().any(|r| r.only_in.is_some()));
+        assert!(!d.has_guest_drift());
+
+        let empty = "[]";
+        let d = diff_bench_reports(empty, BENCH_A, &DiffOptions::default()).unwrap();
+        assert!(d.has_guest_drift());
+        assert!(d.gate().unwrap_err().contains("only in candidate"));
+    }
+}

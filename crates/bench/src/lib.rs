@@ -17,7 +17,19 @@ use smtp_types::MachineModel;
 use smtp_workloads::AppKind;
 use std::time::Instant;
 
+pub mod archive;
+pub mod diff;
+
+pub use archive::{Archive, ArchiveEntry, Query, RunKey, ARCHIVE_SCHEMA_VERSION};
+pub use diff::{
+    diff_bench_reports, diff_reports, BenchDiff, DiffOptions, MetricDelta, NoiseBand, ReportDiff,
+};
 pub use smtp_core::experiment::default_scale;
+
+/// Schema version of `BENCH_report.json`. Version 1 wraps the legacy bare
+/// row array in `{"schema_version":1,"rows":[...]}` and adds per-row
+/// config `fingerprint` columns; readers still accept the legacy array.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
 
 /// Cap on machine sizes (env `SMTP_NODES_CAP`, default unlimited).
 pub fn nodes_cap() -> usize {
@@ -166,11 +178,17 @@ pub struct BenchRow {
     /// barriers (host telemetry).
     pub barrier_wait_pct: f64,
     /// Mean per-epoch owned-node tick imbalance across workers
-    /// (`max/mean`; 1.0 = perfectly balanced, 0 when single-worker).
-    pub imbalance: f64,
+    /// (`max/mean`; 1.0 = perfectly balanced). `None` — serialized as
+    /// JSON `null` — when the point ran single-worker: imbalance across
+    /// one worker is not a meaningful quantity.
+    pub imbalance: Option<f64>,
     /// Percentage of node-cycles the parallel engine skipped as provably
     /// idle instead of ticking.
     pub skip_efficiency_pct: f64,
+    /// Deterministic [`ExperimentConfig::fingerprint`] of the point's
+    /// guest configuration (0 when the row was built from bare
+    /// [`RunStats`] without a config in hand).
+    pub fingerprint: u64,
 }
 
 impl BenchRow {
@@ -193,8 +211,9 @@ impl BenchRow {
             speedup: 1.0,
             workers: 1,
             barrier_wait_pct: 0.0,
-            imbalance: 0.0,
+            imbalance: None,
             skip_efficiency_pct: 0.0,
+            fingerprint: 0,
         }
     }
 
@@ -210,11 +229,75 @@ impl BenchRow {
 
     /// Fold the parallel run's host telemetry into the row: worker count,
     /// barrier-wait percentage, per-epoch imbalance and skip efficiency.
+    /// Imbalance stays `None` for single-worker runs — a one-worker
+    /// "max/mean" ratio is vacuously 1.0 and would only mislead readers.
     pub fn apply_host_profile(&mut self, h: &HostProfile) {
         self.workers = h.workers;
         self.barrier_wait_pct = 100.0 * h.barrier_wait_frac();
-        self.imbalance = h.imbalance_ratio();
+        self.imbalance = (h.workers > 1).then(|| h.imbalance_ratio());
         self.skip_efficiency_pct = 100.0 * h.skip_efficiency();
+    }
+
+    /// Rebuild a report row from a serial/parallel pair of **archived**
+    /// runs of the same configuration — the path `bench_report` uses so
+    /// the committed `BENCH_report.json` is provably derivable from the
+    /// archive alone. Errors if the two entries disagree on any guest
+    /// metric (that would be a determinism regression, not a usable
+    /// pair).
+    pub fn from_archive_pair(
+        serial: &ArchiveEntry,
+        parallel: &ArchiveEntry,
+    ) -> Result<BenchRow, String> {
+        let (a, b) = (&serial.report, &parallel.report);
+        if serial.key.fingerprint != parallel.key.fingerprint {
+            return Err(format!(
+                "archive pair fingerprints differ: {:016x} vs {:016x}",
+                serial.key.fingerprint, parallel.key.fingerprint
+            ));
+        }
+        let d = diff::diff_reports(a, b, &DiffOptions::default());
+        if d.has_guest_drift() {
+            return Err(format!(
+                "archived serial/parallel runs drifted:\n{}",
+                d.gate().unwrap_err()
+            ));
+        }
+        let remote = a
+            .remote_miss
+            .as_ref()
+            .ok_or("archived report predates the remote_miss histogram (schema < 3)")?;
+        let host_secs =
+            |r: &smtp_core::ParsedReport| r.host.as_ref().map_or(0.0, |h| h.wall_ns as f64 / 1e9);
+        let (serial_secs, parallel_secs) = (host_secs(a), host_secs(b));
+        let mut row = BenchRow {
+            model: a.model.clone(),
+            app: a.app.clone(),
+            nodes: a.nodes as usize,
+            ways: a.ways as usize,
+            cycles: a.cycles,
+            ipc: a.ipc,
+            remote_miss_mean: remote.mean,
+            remote_miss_p95: remote.p95,
+            serial_secs,
+            parallel_secs,
+            speedup: if parallel_secs > 0.0 {
+                serial_secs / parallel_secs
+            } else {
+                1.0
+            },
+            workers: 1,
+            barrier_wait_pct: 0.0,
+            imbalance: None,
+            skip_efficiency_pct: 0.0,
+            fingerprint: serial.key.fingerprint,
+        };
+        if let Some(h) = &b.host {
+            row.workers = h.workers as usize;
+            row.barrier_wait_pct = 100.0 * h.barrier_wait_frac;
+            row.imbalance = (h.workers > 1).then_some(h.imbalance_ratio);
+            row.skip_efficiency_pct = 100.0 * h.skip_efficiency;
+        }
+        Ok(row)
     }
 }
 
@@ -237,26 +320,29 @@ pub fn fig32_smoke_config(app: AppKind) -> ExperimentConfig {
     e
 }
 
-/// Write `rows` as a JSON array to `path` (hand-rolled, deterministic) —
-/// the artifact CI uploads from benchmark runs.
-///
-/// # Panics
-///
-/// Panics if the file cannot be written.
-pub fn write_bench_report(path: &str, rows: &[BenchRow]) {
+/// Render `rows` as the schema-versioned bench report document
+/// (hand-rolled, deterministic): `{"schema_version":1,"rows":[...]}`,
+/// each row carrying its guest-config `fingerprint` (hex) and `null`
+/// imbalance for single-worker points.
+pub fn render_bench_report(rows: &[BenchRow]) -> String {
     use std::fmt::Write as _;
     // Wall-clock ratios only mean something relative to the host's
     // parallelism; stamp it so committed reports are comparable.
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut out = String::from("[\n");
+    let mut out = format!("{{\"schema_version\":{BENCH_SCHEMA_VERSION},\"rows\":[\n");
     for (i, r) in rows.iter().enumerate() {
+        let imbalance = match r.imbalance {
+            Some(v) => format!("{v:.2}"),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "  {{\"model\":\"{}\",\"app\":\"{}\",\"nodes\":{},\"ways\":{},\"cycles\":{},\
              \"ipc\":{:.4},\"remote_miss_mean\":{:.1},\"remote_miss_p95\":{},\
              \"serial_secs\":{:.3},\"parallel_secs\":{:.3},\"speedup\":{:.2},\
-             \"workers\":{},\"barrier_wait_pct\":{:.1},\"imbalance\":{:.2},\
-             \"skip_efficiency_pct\":{:.1},\"host_cores\":{cores}}}",
+             \"workers\":{},\"barrier_wait_pct\":{:.1},\"imbalance\":{imbalance},\
+             \"skip_efficiency_pct\":{:.1},\"fingerprint\":\"{:016x}\",\
+             \"host_cores\":{cores}}}",
             r.model,
             r.app,
             r.nodes,
@@ -270,13 +356,24 @@ pub fn write_bench_report(path: &str, rows: &[BenchRow]) {
             r.speedup,
             r.workers,
             r.barrier_wait_pct,
-            r.imbalance,
-            r.skip_efficiency_pct
+            r.skip_efficiency_pct,
+            r.fingerprint
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("]\n");
-    std::fs::write(path, out).expect("write bench report");
+    out.push_str("]}\n");
+    out
+}
+
+/// Write `rows` as the schema-versioned bench report to `path` — the
+/// artifact CI uploads from benchmark runs and diffs against the
+/// committed baseline.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_bench_report(path: &str, rows: &[BenchRow]) {
+    std::fs::write(path, render_bench_report(rows)).expect("write bench report");
     eprintln!("wrote {path} ({} rows)", rows.len());
 }
 

@@ -5,7 +5,7 @@ use crate::engine::EngineKind;
 use crate::error::RunError;
 use crate::stats::RunStats;
 use crate::system::System;
-use smtp_types::{FaultConfig, MachineModel, SystemConfig};
+use smtp_types::{FaultConfig, Fingerprint, MachineModel, SystemConfig};
 use smtp_workloads::AppKind;
 
 /// One point of the evaluation space.
@@ -71,6 +71,38 @@ impl ExperimentConfig {
         let mut c = ExperimentConfig::new(model, app, nodes, ways);
         c.scale = 0.12;
         c
+    }
+
+    /// Deterministic 64-bit fingerprint of everything that shapes the
+    /// *guest* simulation: model, app, machine geometry, clock, scale,
+    /// ablation knobs, watchdog budget and the full fault plan.
+    ///
+    /// Host-side choices — [`ExperimentConfig::engine`] and
+    /// [`ExperimentConfig::workers`] — are deliberately excluded: the
+    /// engines are bit-identical, so runs differing only in them share a
+    /// fingerprint and are directly comparable in the archive (the archive
+    /// key carries the engine separately for wall-clock comparisons).
+    ///
+    /// The hash is platform- and build-independent
+    /// ([`smtp_types::Fingerprint`]), so archived fingerprints remain
+    /// valid across machines.
+    pub fn fingerprint(&self) -> u64 {
+        let mut f = Fingerprint::new();
+        f.mix_str(self.model.label());
+        f.mix_str(self.app.name());
+        f.mix_u64(self.nodes as u64);
+        f.mix_u64(self.ways as u64);
+        f.mix_f64(self.cpu_ghz);
+        f.mix_f64(self.scale);
+        f.mix_bool(self.look_ahead);
+        f.mix_opt_u64(self.bypass_lines.map(|v| v as u64));
+        f.mix_bool(self.perfect_protocol_caches);
+        f.mix_bool(self.prefetch);
+        f.mix_u64(self.max_cycles);
+        // The fault plan is part of guest behaviour; its Debug rendering
+        // covers every rate and the seed deterministically.
+        f.mix_str(&format!("{:?}", self.faults));
+        f.finish()
     }
 
     fn system_config(&self) -> SystemConfig {

@@ -16,6 +16,7 @@
 pub mod engine;
 pub mod error;
 pub mod experiment;
+pub mod json;
 pub mod node;
 pub mod report;
 pub mod stats;
@@ -24,7 +25,11 @@ pub mod system;
 pub use engine::EngineKind;
 pub use error::{Diagnosis, RunError, RunErrorKind};
 pub use experiment::{build_system, run_experiment, try_run_experiment, ExperimentConfig};
+pub use json::{JsonError, JsonValue};
 pub use node::Node;
-pub use report::{Report, REPORT_SCHEMA_VERSION};
+pub use report::{
+    ParsedCriticalPath, ParsedHist, ParsedHostProfile, ParsedPhase, ParsedReport, ParsedThreadTime,
+    Report, MIN_REPORT_SCHEMA_VERSION, REPORT_SCHEMA_VERSION,
+};
 pub use stats::{RunStats, ThreadTime};
 pub use system::System;

@@ -6,6 +6,7 @@
 //! dependency) and deterministic: identical [`RunStats`] produce
 //! byte-identical output.
 
+use crate::json::{JsonError, JsonValue};
 use crate::stats::{RunStats, ThreadTime};
 use smtp_trace::{HostProfile, HOST_PHASE_NAMES, NUM_PATH_CATS, PATH_CAT_NAMES};
 use smtp_types::{Distribution, Histogram, CLASS_NAMES, NUM_PHASES, PHASE_NAMES};
@@ -16,8 +17,14 @@ const PERCENTILES: [f64; 5] = [50.0, 90.0, 95.0, 99.0, 100.0];
 /// Version of the report JSON schema. Bump whenever keys are added or
 /// change meaning so downstream consumers can detect the shape instead of
 /// breaking on unknown keys. Version 2 added `schema_version` itself, the
-/// optional `host_profile` section and `workers`.
-pub const REPORT_SCHEMA_VERSION: u32 = 2;
+/// optional `host_profile` section and `workers`. Version 3 added
+/// `remote_miss`, the merged remote read / read-exclusive latency
+/// histogram (so archive consumers need not re-merge per-class summaries,
+/// which is impossible from percentiles alone).
+pub const REPORT_SCHEMA_VERSION: u32 = 3;
+
+/// Oldest report schema [`ParsedReport::from_json`] accepts.
+pub const MIN_REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// A formatted view over one run's [`RunStats`].
 ///
@@ -372,6 +379,11 @@ impl<'a> Report<'a> {
             .collect();
         j.raw("miss_latency_by_class", &json_array(&class_rows));
         j.raw("miss_latency", &dist_json(&s.miss_latency));
+        // Classes 2/3 are remote read / remote read-exclusive; the merged
+        // histogram is what BENCH_report rows and the archive consume.
+        let mut remote = s.latency.end_to_end[2].clone();
+        remote.merge(&s.latency.end_to_end[3]);
+        j.raw("remote_miss", &hist_json(&remote));
 
         let phase_rows: Vec<String> = (0..NUM_PHASES)
             .map(|i| {
@@ -583,6 +595,305 @@ fn hist_json(h: &Histogram) -> String {
         j.num(&format!("p{}", p as u64), h.percentile(p) as f64);
     }
     j.finish()
+}
+
+// -- Report parse-back ------------------------------------------------------
+
+/// Percentile summary of one serialized histogram/distribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedHist {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// Largest sample (p100).
+    pub max: u64,
+}
+
+impl ParsedHist {
+    fn from_json(v: &JsonValue) -> Result<ParsedHist, JsonError> {
+        Ok(ParsedHist {
+            count: req_u64(v, "count")?,
+            mean: req_f64(v, "mean")?,
+            min: req_u64(v, "min")?,
+            p50: req_u64(v, "p50")?,
+            p95: req_u64(v, "p95")?,
+            max: req_u64(v, "p100")?,
+        })
+    }
+}
+
+/// One latency phase's mean/count, for the full and remote-only
+/// populations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedPhase {
+    /// Phase name (one of [`PHASE_NAMES`]).
+    pub phase: String,
+    /// Sample count over all profiled transactions.
+    pub all_count: u64,
+    /// Mean cycles over all profiled transactions.
+    pub all_mean: f64,
+    /// Sample count over remote transactions.
+    pub remote_count: u64,
+    /// Mean cycles over remote transactions.
+    pub remote_mean: f64,
+}
+
+/// Critical-path attribution parsed back from a report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedCriticalPath {
+    /// Closed spans the breakdown covers.
+    pub spans: u64,
+    /// Total critical-path cycles.
+    pub total_cycles: u64,
+    /// Per-category cycles, in [`PATH_CAT_NAMES`] order.
+    pub cycles: Vec<(String, u64)>,
+}
+
+/// Host-side engine metrics parsed back from a report's `host_profile`
+/// section (wall-clock quantities — *not* guest state; diffs compare them
+/// against a noise band, never exactly).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedHostProfile {
+    /// `"serial"` or `"parallel"`.
+    pub engine: String,
+    /// Worker threads the run used.
+    pub workers: u64,
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Simulated cycles the run advanced.
+    pub sim_cycles: u64,
+    /// Engine wall-clock in nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated cycles per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+    /// Fraction of worker wall-clock spent at epoch barriers.
+    pub barrier_wait_frac: f64,
+    /// Mean per-epoch tick imbalance across workers (`max/mean`).
+    pub imbalance_ratio: f64,
+    /// Fraction of node-cycles skipped as provably idle.
+    pub skip_efficiency: f64,
+}
+
+/// One per-context stall-taxonomy row parsed back from a report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParsedThreadTime {
+    /// Node the context lives on.
+    pub node: u64,
+    /// Context index within the node.
+    pub ctx: u64,
+    /// The six Fig. 5/7 buckets: busy, memory, sync, squash,
+    /// fetch-starved, other (cycles).
+    pub buckets: [u64; 6],
+    /// Total cycles the pipeline ran.
+    pub cycles: u64,
+}
+
+/// A run report loaded back from its [`Report::json`] serialization — the
+/// substrate the cross-run archive and the report-diff engine operate on.
+///
+/// Guest metrics (cycles, instruction counts, latency decomposition,
+/// critical path, stall taxonomy) are deterministic simulator outputs:
+/// two runs of the same configuration must agree on them *exactly*, and
+/// any drift is a determinism regression. The optional
+/// [`ParsedHostProfile`] carries wall-clock quantities that legitimately
+/// vary run to run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedReport {
+    /// Schema version of the source document.
+    pub schema_version: u64,
+    /// Machine model label.
+    pub model: String,
+    /// Application name.
+    pub app: String,
+    /// Machine size.
+    pub nodes: u64,
+    /// Application threads per node.
+    pub ways: u64,
+    /// Pinned worker count (host-side; `None` when unpinned).
+    pub workers: Option<u64>,
+    /// Parallel execution time in cycles.
+    pub cycles: u64,
+    /// Committed application instructions.
+    pub app_instructions: u64,
+    /// Committed protocol-thread instructions.
+    pub protocol_instructions: u64,
+    /// Application IPC as serialized (4 decimal places).
+    pub ipc: f64,
+    /// Coherence handlers executed.
+    pub handlers: u64,
+    /// Mean per-node protocol occupancy.
+    pub protocol_occupancy_mean: f64,
+    /// Peak per-node protocol occupancy.
+    pub protocol_occupancy_peak: f64,
+    /// End-to-end miss latency (MSHR alloc→free).
+    pub miss_latency: ParsedHist,
+    /// Merged remote read/read-exclusive latency (`None` for schema-2
+    /// documents, which predate the key).
+    pub remote_miss: Option<ParsedHist>,
+    /// The 8-phase latency decomposition.
+    pub phases: Vec<ParsedPhase>,
+    /// Per-context stall taxonomy (Fig. 5/7).
+    pub thread_time: Vec<ParsedThreadTime>,
+    /// Critical-path attribution over causal spans.
+    pub critical_path: ParsedCriticalPath,
+    /// Host engine profile, when the run had telemetry on.
+    pub host: Option<ParsedHostProfile>,
+    /// The full parsed document, for consumers needing more than the
+    /// extracted fields.
+    pub raw: JsonValue,
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, JsonError> {
+    v.req(key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::new_at(format!("{key:?} is not a non-negative integer"), 0))
+}
+
+fn req_f64(v: &JsonValue, key: &str) -> Result<f64, JsonError> {
+    v.req(key)?
+        .as_f64()
+        .ok_or_else(|| JsonError::new_at(format!("{key:?} is not a number"), 0))
+}
+
+fn req_str(v: &JsonValue, key: &str) -> Result<String, JsonError> {
+    Ok(v.req(key)?
+        .as_str()
+        .ok_or_else(|| JsonError::new_at(format!("{key:?} is not a string"), 0))?
+        .to_string())
+}
+
+impl ParsedReport {
+    /// Parse one [`Report::json`] document back into its key metrics.
+    pub fn from_json(text: &str) -> Result<ParsedReport, JsonError> {
+        let raw = crate::json::parse(text)?;
+        let schema_version = req_u64(&raw, "schema_version")?;
+        if schema_version < MIN_REPORT_SCHEMA_VERSION as u64
+            || schema_version > REPORT_SCHEMA_VERSION as u64
+        {
+            return Err(JsonError::new_at(
+                format!(
+                    "unsupported report schema {schema_version} (reader handles \
+                     {MIN_REPORT_SCHEMA_VERSION}..={REPORT_SCHEMA_VERSION})"
+                ),
+                0,
+            ));
+        }
+        let workers = match raw.req("workers")? {
+            JsonValue::Null => None,
+            v => Some(
+                v.as_u64()
+                    .ok_or_else(|| JsonError::new_at("\"workers\" is not an integer or null", 0))?,
+            ),
+        };
+        let phases = raw
+            .req("phases")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new_at("\"phases\" is not an array", 0))?
+            .iter()
+            .map(|p| {
+                let all = p.req("all")?;
+                let remote = p.req("remote")?;
+                Ok(ParsedPhase {
+                    phase: req_str(p, "phase")?,
+                    all_count: req_u64(all, "count")?,
+                    all_mean: req_f64(all, "mean")?,
+                    remote_count: req_u64(remote, "count")?,
+                    remote_mean: req_f64(remote, "mean")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let thread_time = raw
+            .req("thread_time")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new_at("\"thread_time\" is not an array", 0))?
+            .iter()
+            .map(|t| {
+                Ok(ParsedThreadTime {
+                    node: req_u64(t, "node")?,
+                    ctx: req_u64(t, "ctx")?,
+                    buckets: [
+                        req_u64(t, "busy")?,
+                        req_u64(t, "memory")?,
+                        req_u64(t, "sync")?,
+                        req_u64(t, "squash")?,
+                        req_u64(t, "fetch_starved")?,
+                        req_u64(t, "other")?,
+                    ],
+                    cycles: req_u64(t, "cycles")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let cp = raw.req("critical_path")?;
+        let critical_path = ParsedCriticalPath {
+            spans: req_u64(cp, "spans")?,
+            total_cycles: req_u64(cp, "total_cycles")?,
+            cycles: PATH_CAT_NAMES
+                .iter()
+                .map(|name| {
+                    let key = name.replace(' ', "_");
+                    Ok((name.to_string(), req_u64(cp, &key)?))
+                })
+                .collect::<Result<Vec<_>, JsonError>>()?,
+        };
+        let host = match raw.req("host_profile")? {
+            JsonValue::Null => None,
+            h => Some(ParsedHostProfile {
+                engine: req_str(h, "engine")?,
+                workers: req_u64(h, "workers")?,
+                epochs: req_u64(h, "epochs")?,
+                sim_cycles: req_u64(h, "sim_cycles")?,
+                wall_ns: req_u64(h, "wall_ns")?,
+                sim_cycles_per_sec: req_f64(h, "sim_cycles_per_sec")?,
+                barrier_wait_frac: req_f64(h, "barrier_wait_frac")?,
+                imbalance_ratio: req_f64(h, "imbalance_ratio")?,
+                skip_efficiency: req_f64(h, "skip_efficiency")?,
+            }),
+        };
+        Ok(ParsedReport {
+            schema_version,
+            model: req_str(&raw, "model")?,
+            app: req_str(&raw, "app")?,
+            nodes: req_u64(&raw, "nodes")?,
+            ways: req_u64(&raw, "ways")?,
+            workers,
+            cycles: req_u64(&raw, "cycles")?,
+            app_instructions: req_u64(&raw, "app_instructions")?,
+            protocol_instructions: req_u64(&raw, "protocol_instructions")?,
+            ipc: req_f64(&raw, "ipc")?,
+            handlers: req_u64(&raw, "handlers")?,
+            protocol_occupancy_mean: req_f64(&raw, "protocol_occupancy_mean")?,
+            protocol_occupancy_peak: req_f64(&raw, "protocol_occupancy_peak")?,
+            miss_latency: ParsedHist::from_json(raw.req("miss_latency")?)?,
+            remote_miss: match raw.get("remote_miss") {
+                Some(v) => Some(ParsedHist::from_json(v)?),
+                None => None,
+            },
+            phases,
+            thread_time,
+            critical_path,
+            host,
+            raw,
+        })
+    }
+
+    /// Aggregate stall taxonomy: the six Fig. 5/7 buckets summed over all
+    /// contexts (busy, memory, sync, squash, fetch-starved, other).
+    pub fn stall_totals(&self) -> [u64; 6] {
+        let mut out = [0u64; 6];
+        for t in &self.thread_time {
+            for (o, b) in out.iter_mut().zip(t.buckets) {
+                *o += b;
+            }
+        }
+        out
+    }
 }
 
 fn thread_json(t: &ThreadTime) -> String {

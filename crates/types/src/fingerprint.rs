@@ -1,0 +1,146 @@
+//! Stable configuration fingerprints for the cross-run experiment archive.
+//!
+//! [`Fingerprint`] is a deterministic 64-bit FNV-1a accumulator with typed
+//! `mix_*` methods. Unlike [`std::hash::Hasher`] implementations, its
+//! output is *specified*: it depends only on the byte sequence fed in, not
+//! on the Rust version, platform, or process, so fingerprints written into
+//! an on-disk archive remain comparable across builds and machines.
+//!
+//! Every `mix_*` call is length/tag-framed, so adjacent fields cannot
+//! alias (`("ab", "c")` and `("a", "bc")` produce different fingerprints).
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic, platform-independent 64-bit fingerprint accumulator.
+///
+/// ```
+/// use smtp_types::Fingerprint;
+/// let mut f = Fingerprint::new();
+/// f.mix_str("SMTp");
+/// f.mix_u64(8);
+/// let a = f.finish();
+/// let mut g = Fingerprint::new();
+/// g.mix_str("SMTp");
+/// g.mix_u64(8);
+/// assert_eq!(a, g.finish());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Fingerprint {
+        Fingerprint { state: FNV_OFFSET }
+    }
+}
+
+impl Fingerprint {
+    /// A fresh accumulator.
+    pub fn new() -> Fingerprint {
+        Fingerprint::default()
+    }
+
+    fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Mix a string field (length-framed).
+    pub fn mix_str(&mut self, s: &str) {
+        self.mix_bytes(&(s.len() as u64).to_le_bytes());
+        self.mix_bytes(s.as_bytes());
+    }
+
+    /// Mix an unsigned integer field.
+    pub fn mix_u64(&mut self, v: u64) {
+        self.mix_bytes(b"u");
+        self.mix_bytes(&v.to_le_bytes());
+    }
+
+    /// Mix a float field by its exact bit pattern (`-0.0` and `0.0`
+    /// therefore differ; configuration values never rely on that).
+    pub fn mix_f64(&mut self, v: f64) {
+        self.mix_bytes(b"f");
+        self.mix_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// Mix a boolean field.
+    pub fn mix_bool(&mut self, v: bool) {
+        self.mix_bytes(&[b'b', v as u8]);
+    }
+
+    /// Mix an optional unsigned integer (presence is part of the value).
+    pub fn mix_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.mix_bytes(b"S");
+                self.mix_u64(v);
+            }
+            None => self.mix_bytes(b"N"),
+        }
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_value_is_stable() {
+        // Pin the algorithm: if this changes, archived fingerprints from
+        // older builds silently stop matching.
+        let mut f = Fingerprint::new();
+        f.mix_str("SMTp");
+        f.mix_u64(8);
+        f.mix_f64(2.0);
+        f.mix_bool(true);
+        f.mix_opt_u64(None);
+        assert_eq!(f.finish(), 0x5dca_12ea_4d62_a8d7);
+    }
+
+    #[test]
+    fn field_framing_prevents_aliasing() {
+        let mut a = Fingerprint::new();
+        a.mix_str("ab");
+        a.mix_str("c");
+        let mut b = Fingerprint::new();
+        b.mix_str("a");
+        b.mix_str("bc");
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fingerprint::new();
+        c.mix_opt_u64(Some(0));
+        let mut d = Fingerprint::new();
+        d.mix_opt_u64(None);
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn every_field_changes_the_value() {
+        let base = {
+            let mut f = Fingerprint::new();
+            f.mix_u64(1);
+            f.mix_bool(false);
+            f.finish()
+        };
+        let mut f = Fingerprint::new();
+        f.mix_u64(2);
+        f.mix_bool(false);
+        assert_ne!(base, f.finish());
+        let mut f = Fingerprint::new();
+        f.mix_u64(1);
+        f.mix_bool(true);
+        assert_ne!(base, f.finish());
+    }
+}

@@ -21,6 +21,7 @@ pub mod addr;
 pub mod capture;
 pub mod config;
 pub mod faults;
+pub mod fingerprint;
 pub mod ids;
 pub mod latency;
 pub mod rng;
@@ -35,6 +36,7 @@ pub use faults::{
     EccFaults, FaultConfig, FaultStream, FaultSummary, FaultWindows, HandlerDelayFaults,
     LinkFaults, StallFaults,
 };
+pub use fingerprint::Fingerprint;
 pub use ids::{Ctx, NodeId, MAX_APP_THREADS, MAX_CTX};
 pub use latency::{
     take_captured_prof_ops, LatencyBreakdown, LatencyRecord, PhaseBoundary, PhaseProfiler, ProfOp,

@@ -1,0 +1,194 @@
+//! Compare two runs (or two bench reports) and gate on regressions.
+//!
+//! ```text
+//! # Diff two run reports (written by `--archive` runs or the report example):
+//! cargo run --release --example compare -- runs_a.json runs_b.json
+//!
+//! # Diff two BENCH_report.json documents (legacy bare arrays accepted):
+//! cargo run --release --example compare -- BENCH_report.json BENCH_report.new.json
+//!
+//! # Diff the two most recent archived runs of a configuration:
+//! cargo run --release --example compare -- --archive runs/ --app FFT --engine serial
+//!
+//! # Options:
+//! #   --out <path>     write the rendered diff to a file
+//! #   --format <text|md|json>   (default text; md is the CI artifact)
+//! #   --wall-tol <pct> wall-clock tolerance (default 25)
+//! ```
+//!
+//! Exit status: `0` when the gate passes, `1` on guest-metric drift or a
+//! wall-clock regression beyond tolerance, `2` on usage errors.
+//!
+//! Guest metrics must match **exactly** — the simulator is deterministic,
+//! so any delta is a determinism regression, not noise. Wall-clock
+//! metrics are gated against the tolerance, and only when both sides come
+//! from comparable hosts (same engine/workers for run reports, same
+//! `host_cores` for bench reports).
+
+use smtp::bench::{diff_bench_reports, DiffOptions};
+use smtp::{JsonValue, ParsedReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compare <baseline.json> <candidate.json> [--out PATH] [--format text|md|json] \
+         [--wall-tol PCT]\n       compare --archive DIR [--model M] [--app A] [--nodes N] \
+         [--seed S] [--engine E] [--out PATH] [--format ...]"
+    );
+    std::process::exit(2)
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.remove(i);
+    if i >= args.len() {
+        eprintln!("{flag} expects a value");
+        usage();
+    }
+    Some(args.remove(i))
+}
+
+enum Rendered {
+    Report(smtp::ReportDiff),
+    Bench(smtp::bench::BenchDiff),
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = take_value(&mut args, "--out");
+    let format = take_value(&mut args, "--format").unwrap_or_else(|| "text".into());
+    let wall_tol_pct: f64 = take_value(&mut args, "--wall-tol")
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("--wall-tol expects a percentage, got {s:?}");
+                usage()
+            })
+        })
+        .unwrap_or(25.0);
+    let archive_dir = take_value(&mut args, "--archive");
+    let opts = DiffOptions {
+        wall_tol_frac: wall_tol_pct / 100.0,
+        noise: None,
+    };
+
+    let diff = if let Some(dir) = archive_dir {
+        // Archive mode: diff the two most recent runs matching the filters.
+        let archive = smtp::Archive::open(&dir).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        let model = take_value(&mut args, "--model");
+        let app = take_value(&mut args, "--app");
+        let nodes = take_value(&mut args, "--nodes").map(|s| s.parse::<u64>().unwrap_or(0));
+        let seed = take_value(&mut args, "--seed").map(|s| s.parse::<u64>().unwrap_or(0));
+        let engine = take_value(&mut args, "--engine");
+        if !args.is_empty() {
+            usage();
+        }
+        let mut q = archive.query();
+        if let Some(m) = &model {
+            q = q.model(m);
+        }
+        if let Some(a) = &app {
+            q = q.app(a);
+        }
+        if let Some(n) = nodes {
+            q = q.nodes(n);
+        }
+        if let Some(s) = seed {
+            q = q.seed(s);
+        }
+        if let Some(e) = &engine {
+            q = q.engine(e);
+        }
+        let matches = q.run();
+        if matches.len() < 2 {
+            eprintln!(
+                "need at least two matching archived runs to compare, found {}",
+                matches.len()
+            );
+            std::process::exit(2);
+        }
+        let (base, cand) = (matches[matches.len() - 2], matches[matches.len() - 1]);
+        eprintln!(
+            "comparing archive lines {} (baseline) and {} (candidate), fingerprint {:016x}",
+            base.line, cand.line, cand.key.fingerprint
+        );
+        if base.key.guest_key() != cand.key.guest_key() {
+            eprintln!("note: runs have different configurations/seeds; guest deltas are expected");
+        }
+        Rendered::Report(smtp::bench::diff_reports(&base.report, &cand.report, &opts))
+    } else {
+        if args.len() != 2 {
+            usage();
+        }
+        let read = |p: &str| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("cannot read {p}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let (a_text, b_text) = (read(&args[0]), read(&args[1]));
+        if is_bench_doc(&a_text) {
+            match diff_bench_reports(&a_text, &b_text, &opts) {
+                Ok(d) => Rendered::Bench(d),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            let parse = |p: &str, t: &str| {
+                ParsedReport::from_json(t).unwrap_or_else(|e| {
+                    eprintln!("{p}: {e}");
+                    std::process::exit(2);
+                })
+            };
+            let (a, b) = (parse(&args[0], &a_text), parse(&args[1], &b_text));
+            Rendered::Report(smtp::bench::diff_reports(&a, &b, &opts))
+        }
+    };
+
+    let (rendered, gate) = match &diff {
+        Rendered::Report(d) => (
+            match format.as_str() {
+                "md" => d.render_markdown(),
+                "json" => d.to_json(),
+                _ => d.render_text(),
+            },
+            d.gate(),
+        ),
+        Rendered::Bench(d) => (
+            match format.as_str() {
+                "md" => d.render_markdown(),
+                _ => d.render_text(),
+            },
+            d.gate(),
+        ),
+    };
+    match &out_path {
+        Some(p) => {
+            std::fs::write(p, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {p}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("diff written to {p}");
+        }
+        None => print!("{rendered}"),
+    }
+    if let Err(failures) = gate {
+        eprintln!("\nGATE FAILED:\n{failures}");
+        std::process::exit(1);
+    }
+    eprintln!("gate passed");
+}
+
+/// A bench report is either the schema-versioned `{"rows":[...]}` object
+/// or the legacy bare row array; a run report is an object with guest
+/// headline metrics at top level.
+fn is_bench_doc(text: &str) -> bool {
+    match smtp::core::json::parse(text) {
+        Ok(JsonValue::Arr(_)) => true,
+        Ok(v) => v.get("rows").is_some(),
+        Err(_) => false,
+    }
+}

@@ -11,6 +11,7 @@
 //! cargo run --release --example quickstart -- --engine parallel --workers 2
 //! cargo run --release --example quickstart -- --telemetry host_profile.json
 //! cargo run --release --example quickstart -- --heartbeat hb.jsonl
+//! cargo run --release --example quickstart -- --archive runs/
 //! ```
 //!
 //! With `--trace <path>` the full event stream is exported in Chrome
@@ -33,6 +34,11 @@
 //! JSONL liveness record (cycle, sim-cycles/sec, epoch rate, worker
 //! utilization) is appended to `path` (default: stderr) while the run is
 //! in flight.
+//!
+//! With `--archive <dir>` the run's full JSON report is appended to the
+//! cross-run archive at `dir` (created on first use), keyed by the
+//! configuration fingerprint — compare archived runs afterwards with the
+//! `compare` example.
 //!
 //! With `--faults <seed>` the run injects seeded faults everywhere at once
 //! (link drops/corruption/duplication, correctable ECC errors, dispatch
@@ -130,6 +136,17 @@ fn main() {
         }
         None => None,
     };
+    let archive_dir = match args.iter().position(|a| a == "--archive") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() || args[i].starts_with("--") {
+                eprintln!("--archive expects a directory path");
+                std::process::exit(2);
+            }
+            Some(args.remove(i))
+        }
+        None => None,
+    };
     let fault_seed = match args.iter().position(|a| a == "--faults") {
         Some(i) => {
             args.remove(i);
@@ -175,7 +192,9 @@ fn main() {
     if fault_seed.is_some() {
         sys.enable_invariant_checks(50_000);
     }
-    if telemetry_path.is_some() {
+    if telemetry_path.is_some() || archive_dir.is_some() {
+        // Archived reports carry the host profile so wall clocks from the
+        // same host can be compared later.
         sys.enable_host_telemetry();
     }
     if let Some(path) = &heartbeat_path {
@@ -268,7 +287,30 @@ fn main() {
     if let Some(path) = &trace_path {
         println!("trace written           : {path} (load it at https://ui.perfetto.dev)");
     }
-    if let Some(profile) = sys.take_host_profile() {
+    let profile = sys.take_host_profile();
+    if let Some(dir) = &archive_dir {
+        let report = match &profile {
+            Some(p) => smtp::Report::with_host_profile(&stats, p).json(),
+            None => smtp::Report::new(&stats).json(),
+        };
+        let mut archive = smtp::Archive::open(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open archive {dir}: {e}");
+            std::process::exit(2);
+        });
+        let key = smtp::RunKey::for_experiment(&exp);
+        match archive.append(&key, &report) {
+            Ok(entry) => println!(
+                "run archived            : {dir}/runs.jsonl line {} \
+                 (fingerprint {:016x}, seed {})",
+                entry.line, entry.key.fingerprint, entry.key.seed
+            ),
+            Err(e) => {
+                eprintln!("cannot archive run: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(profile) = profile {
         println!();
         print!("{}", profile.summary());
         if let Some(path) = &telemetry_path {

@@ -36,6 +36,7 @@
 //! println!("ran {} cycles, {} handlers", stats.cycles, stats.handlers);
 //! ```
 
+pub use smtp_bench as bench;
 pub use smtp_cache as cache;
 pub use smtp_core as core;
 pub use smtp_isa as isa;
@@ -47,9 +48,11 @@ pub use smtp_trace as trace;
 pub use smtp_types as types;
 pub use smtp_workloads as workloads;
 
+pub use smtp_bench::{Archive, DiffOptions, NoiseBand, ReportDiff, RunKey};
 pub use smtp_core::{
     build_system, run_experiment, try_run_experiment, Diagnosis, EngineKind, ExperimentConfig,
-    Report, RunError, RunErrorKind, RunStats, System, ThreadTime, REPORT_SCHEMA_VERSION,
+    JsonValue, ParsedReport, Report, RunError, RunErrorKind, RunStats, System, ThreadTime,
+    REPORT_SCHEMA_VERSION,
 };
 pub use smtp_trace::{Heartbeat, HostPhase, HostProfile, LaneProfile};
 pub use smtp_types::{

@@ -1,0 +1,85 @@
+//! `Report::json` parse-back round-trip: every metric the report emits
+//! must survive `ParsedReport::from_json` unchanged, because the archive
+//! and the diff engine operate entirely on the parsed form.
+
+use smtp::{
+    build_system, run_experiment, AppKind, EngineKind, ExperimentConfig, MachineModel,
+    ParsedReport, Report, REPORT_SCHEMA_VERSION,
+};
+
+fn quick(model: MachineModel, nodes: usize) -> ExperimentConfig {
+    ExperimentConfig::quick(model, AppKind::Fft, nodes, 2)
+}
+
+#[test]
+fn parse_back_preserves_headline_metrics() {
+    let e = quick(MachineModel::SMTp, 2);
+    let stats = run_experiment(&e);
+    let json = Report::new(&stats).json();
+    let p = ParsedReport::from_json(&json).expect("round-trip parse");
+
+    assert_eq!(p.schema_version, u64::from(REPORT_SCHEMA_VERSION));
+    assert_eq!(p.model, stats.model.label());
+    assert_eq!(p.app, stats.app.to_string());
+    assert_eq!(p.nodes as usize, stats.nodes);
+    assert_eq!(p.ways as usize, stats.ways);
+    assert_eq!(p.cycles, stats.cycles);
+    assert_eq!(p.app_instructions, stats.app_instructions);
+    assert_eq!(p.protocol_instructions, stats.protocol_instructions);
+    assert_eq!(p.handlers, stats.handlers);
+    // Floats pass through the fixed-precision serializer; parse-back must
+    // agree with re-serialization, not the in-memory value.
+    assert!((p.ipc - stats.ipc()).abs() < 1e-3);
+
+    // The merged remote-miss histogram (schema v3) matches the merge of
+    // latency classes 2/3 done directly on the stats.
+    let mut remote = stats.latency.end_to_end[2].clone();
+    remote.merge(&stats.latency.end_to_end[3]);
+    let rm = p.remote_miss.as_ref().expect("schema v3 remote_miss");
+    assert_eq!(rm.count, remote.count());
+    assert_eq!(rm.p95, remote.percentile(95.0));
+
+    // Structural completeness: all 7 phases (8 boundaries), 6
+    // critical-path categories, per-context thread rows.
+    assert_eq!(p.phases.len(), 7);
+    assert_eq!(p.critical_path.cycles.len(), 6);
+    assert!(!p.thread_time.is_empty());
+    let stall_sum: u64 = p.stall_totals().iter().sum();
+    assert!(stall_sum > 0, "stall taxonomy empty after parse-back");
+}
+
+#[test]
+fn parse_back_preserves_host_profile() {
+    let mut e = quick(MachineModel::SMTp, 2);
+    e.engine = EngineKind::Parallel;
+    e.workers = Some(2);
+    let mut sys = build_system(&e);
+    sys.enable_host_telemetry();
+    let stats = sys.run_with(e.max_cycles, e.engine).expect("run");
+    let prof = sys.take_host_profile().expect("host profile");
+    let json = Report::with_host_profile(&stats, &prof).json();
+    let p = ParsedReport::from_json(&json).expect("round-trip parse");
+
+    let h = p.host.as_ref().expect("host profile in report");
+    assert_eq!(h.engine, "parallel");
+    assert_eq!(h.workers, 2);
+    assert!(h.wall_ns > 0);
+    assert!(h.sim_cycles > 0);
+}
+
+#[test]
+fn reports_without_host_profile_parse_with_none() {
+    let e = quick(MachineModel::Base, 1);
+    let stats = run_experiment(&e);
+    let p = ParsedReport::from_json(&Report::new(&stats).json()).expect("parse");
+    assert!(p.host.is_none());
+}
+
+#[test]
+fn malformed_and_unsupported_reports_are_rejected() {
+    assert!(ParsedReport::from_json("{").is_err());
+    assert!(ParsedReport::from_json("[]").is_err());
+    assert!(ParsedReport::from_json("{\"schema_version\":999}").is_err());
+    // v1 predates the parseable layout.
+    assert!(ParsedReport::from_json("{\"schema_version\":1}").is_err());
+}
