@@ -15,9 +15,11 @@
 //!
 //! Every point is run on the serial reference engine and on the parallel
 //! epoch engine; the archive pair is diffed and must be guest
-//! bit-identical before the wall-clock ratio is reported. A 32-node SMTp
-//! smoke point (shared with the `fig8_9_32node` bench) rides along as the
-//! scaling sentinel.
+//! bit-identical before the wall-clock ratio is reported. Two legs ride
+//! along past the main model×app grid: SMTp at the largest 16-capped
+//! machine pinned to 2 workers (so the report always carries multi-worker
+//! speedup/imbalance rows), and a 32-node SMTp smoke point (shared with
+//! the `fig8_9_32node` bench) as the scaling sentinel.
 //!
 //! ```text
 //! cargo bench --bench bench_report
@@ -85,13 +87,40 @@ fn main() {
             ));
         }
     }
-    // The 32-node scaling sentinel (smoke scale, 2 pinned workers).
+    // Multi-worker leg: the SMTp points again at the largest 16-capped
+    // machine with the parallel engine pinned to 2 workers, so the report
+    // always carries workers>=2 rows (speedup, barrier share, imbalance)
+    // even on hosts whose default worker count would be 1. These rows are
+    // a separate measurement population from the single-worker ones — the
+    // diff gate compares rows only within matching worker counts.
+    let mw_nodes = 16.min(nodes_cap());
+    for app in [AppKind::Fft, AppKind::Ocean] {
+        if mw_nodes <= nodes {
+            // The cap collapsed this leg onto the main rows' machine
+            // size; skip rather than emit near-duplicate keys.
+            break;
+        }
+        let mut e = ExperimentConfig::new(MachineModel::SMTp, app, mw_nodes, ways);
+        e.cpu_ghz = 2.0;
+        e.workers = Some(2);
+        rows.push(engine_pair_row(
+            &mut archive,
+            &e,
+            &format!("SMTp {app:?} {mw_nodes}-node workers=2"),
+        ));
+    }
+    // The 32-node scaling sentinel (smoke scale, 2 pinned workers). Under
+    // a tight SMTP_NODES_CAP the sentinel collapses onto the multi-worker
+    // leg's Fft point exactly (same nodes, workers and scale) — skip it
+    // then rather than archive and report the same config twice.
     let e32 = fig32_smoke_config(AppKind::Fft);
-    rows.push(engine_pair_row(
-        &mut archive,
-        &e32,
-        "SMTp Fft 32-node smoke",
-    ));
+    if !(mw_nodes > nodes && e32.nodes == mw_nodes) {
+        rows.push(engine_pair_row(
+            &mut archive,
+            &e32,
+            "SMTp Fft 32-node smoke",
+        ));
+    }
     for r in &rows {
         println!(
             "{:>10} {:6} n={} w={}: {:>9} cycles, IPC {:.3}, remote miss {:>6.0} / p95 {}, \

@@ -1,5 +1,14 @@
 //! Paper Figures 10–11: 8-node 1-way normalized execution time at 4 GHz
 //! (Fig 10) vs 2 GHz (Fig 11) — the clock-scaling study of §4.2.
+//!
+//! Runs on the parallel epoch engine by default (`SMTP_ENGINE=serial` to
+//! use the reference loop); guest results — and therefore the figures —
+//! are bit-identical either way.
+//!
+//! ```text
+//! cargo bench --bench fig10_11_clock_scaling
+//! SMTP_SCALE=0.25 cargo bench --bench fig10_11_clock_scaling
+//! ```
 
 fn main() {
     println!("# Paper Figures 10-11: clock-rate scaling study (8 nodes, 1-way)");

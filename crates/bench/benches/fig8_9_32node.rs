@@ -10,14 +10,19 @@
 //!
 //! Set `SMTP_FULL_FIGURE=1` to instead regenerate the full normalized
 //! execution-time figure (all five machine models × six applications,
-//! 1/2-way), which takes much longer.
+//! 1/2-way), which takes much longer. Set `SMTP_SCALE_SWEEP=1` to also
+//! run the scaling sweep *past* the paper — 32-, 64- and 128-node
+//! bristled hypercubes (capped by `SMTP_NODES_CAP`), each on both
+//! engines with bit-identity asserted and wall-clock attribution
+//! printed.
 //!
 //! ```text
 //! cargo bench --bench fig8_9_32node
+//! SMTP_SCALE_SWEEP=1 cargo bench --bench fig8_9_32node
 //! SMTP_FULL_FIGURE=1 SMTP_SCALE=0.25 cargo bench --bench fig8_9_32node
 //! ```
 
-use smtp_bench::{fig32_smoke_config, timed_point};
+use smtp_bench::{fig32_smoke_config, scaling_config, timed_point};
 use smtp_core::EngineKind;
 use smtp_workloads::AppKind;
 
@@ -56,6 +61,32 @@ fn main() {
         );
         for host in [serial_host, parallel_host].into_iter().flatten() {
             print!("{}", host.summary());
+        }
+    }
+    if std::env::var("SMTP_SCALE_SWEEP").is_ok_and(|v| v == "1") {
+        println!("\n# Scaling sweep past the paper: 32/64/128-node bristled hypercubes");
+        for nodes in [32usize, 64, 128] {
+            if nodes > smtp_bench::nodes_cap() {
+                println!("  (skipping n={nodes}: SMTP_NODES_CAP)");
+                continue;
+            }
+            let e = scaling_config(AppKind::Fft, nodes);
+            let (serial, serial_secs, _) = timed_point(&e, EngineKind::Serial);
+            let (parallel, parallel_secs, host) = timed_point(&e, EngineKind::Parallel);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "engines diverged at n={nodes}"
+            );
+            println!(
+                "\nFFT n={nodes} w=2: {} cycles, serial {serial_secs:.2}s / parallel \
+                 {parallel_secs:.2}s = {:.2}x",
+                serial.cycles,
+                serial_secs / parallel_secs.max(1e-9)
+            );
+            if let Some(host) = host {
+                print!("{}", host.summary());
+            }
         }
     }
 }

@@ -513,7 +513,7 @@ pub fn diff_reports(a: &ParsedReport, b: &ParsedReport, opts: &DiffOptions) -> R
 /// One row-level delta of a bench-report diff.
 #[derive(Clone, Debug)]
 pub struct BenchRowDiff {
-    /// Row identity: `model app nodes ways`.
+    /// Row identity: `model app nodes ways workers`.
     pub key: String,
     /// Metric deltas for this row.
     pub metrics: Vec<MetricDelta>,
@@ -683,7 +683,15 @@ fn bench_rows(doc: &JsonValue) -> Result<&[JsonValue], String> {
     }
 }
 
-fn row_key(row: &JsonValue) -> Result<String, String> {
+/// Worker count of a bench row; legacy rows predate the column and were
+/// all single-worker.
+fn row_workers(row: &JsonValue) -> u64 {
+    row.get("workers").and_then(JsonValue::as_u64).unwrap_or(1)
+}
+
+/// Row identity *without* the worker count: the guest point being
+/// measured.
+fn row_point(row: &JsonValue) -> Result<String, String> {
     Ok(format!(
         "{} {} n={} w={}",
         row.get("model")
@@ -701,13 +709,51 @@ fn row_key(row: &JsonValue) -> Result<String, String> {
     ))
 }
 
+fn row_key(row: &JsonValue) -> Result<String, String> {
+    // The worker count is part of the row's identity: wall clocks (and
+    // the imbalance column, which is `null` single-worker and a number
+    // otherwise) are only comparable within matching worker counts.
+    Ok(format!("{} workers={}", row_point(row)?, row_workers(row)))
+}
+
+/// Message for a row present on `side` only: when the *other* side does
+/// measure the same guest point, just at different worker counts, say so —
+/// a 1→2-worker transition is a measurement-population change, not a
+/// missing benchmark.
+fn side_note(side: &str, row: &JsonValue, other: &[JsonValue]) -> String {
+    let point = row_point(row).unwrap_or_default();
+    let other_counts: Vec<u64> = other
+        .iter()
+        .filter(|r| row_point(r).as_deref() == Ok(point.as_str()))
+        .map(row_workers)
+        .collect();
+    if other_counts.is_empty() {
+        side.to_string()
+    } else {
+        let opposite = if side == "baseline" {
+            "candidate"
+        } else {
+            "baseline"
+        };
+        format!(
+            "{side} at this worker count ({opposite} measures the same point at \
+             workers={other_counts:?}; rows are compared only within matching \
+             worker counts)"
+        )
+    }
+}
+
 /// Diff two `BENCH_report.json` documents (baseline `a`, candidate `b`).
 ///
-/// Rows are matched by `(model, app, nodes, ways)`. Guest columns
-/// (`cycles`, `ipc`, `remote_miss_*`, and the config `fingerprint` when
-/// both sides carry one) must match exactly. Wall-clock columns
-/// (`serial_secs`, `parallel_secs`) are gated against the tolerance only
-/// when both documents report the same `host_cores`.
+/// Rows are matched by `(model, app, nodes, ways, workers)` — worker
+/// counts are measurement populations, so a point measured single-worker
+/// in the baseline and 2-worker in the candidate is reported as a
+/// population change rather than compared column-for-column (the
+/// `imbalance` column is `null` single-worker and a number otherwise).
+/// Guest columns (`cycles`, `ipc`, `remote_miss_*`, and the config
+/// `fingerprint` when both sides carry one) must match exactly.
+/// Wall-clock columns (`serial_secs`, `parallel_secs`) are gated against
+/// the tolerance only when both documents report the same `host_cores`.
 pub fn diff_bench_reports(a: &str, b: &str, opts: &DiffOptions) -> Result<BenchDiff, String> {
     let da = json::parse(a).map_err(|e| format!("baseline: {e}"))?;
     let db = json::parse(b).map_err(|e| format!("candidate: {e}"))?;
@@ -740,7 +786,7 @@ pub fn diff_bench_reports(a: &str, b: &str, opts: &DiffOptions) -> Result<BenchD
             rows.push(BenchRowDiff {
                 key,
                 metrics: Vec::new(),
-                only_in: Some("baseline".to_string()),
+                only_in: Some(side_note("baseline", ra, rows_b)),
             });
             continue;
         };
@@ -802,7 +848,7 @@ pub fn diff_bench_reports(a: &str, b: &str, opts: &DiffOptions) -> Result<BenchD
             rows.push(BenchRowDiff {
                 key,
                 metrics: Vec::new(),
-                only_in: Some("candidate".to_string()),
+                only_in: Some(side_note("candidate", rb, rows_a)),
             });
         }
     }
@@ -929,6 +975,36 @@ mod tests {
         let d = diff_bench_reports(BENCH_A, &other_host, &DiffOptions::default()).unwrap();
         assert!(!d.has_wall_regression());
         assert!(d.wall_note.is_some());
+    }
+
+    /// A guest point measured single-worker in the baseline and 2-worker
+    /// in the candidate (same fingerprint) is a population change: the
+    /// `imbalance` column flips from `null` to a number, so the columns
+    /// must not be compared — and the gate message must say exactly what
+    /// moved instead of reporting a bare missing row.
+    #[test]
+    fn bench_diff_compares_only_within_matching_worker_counts() {
+        let two_workers = BENCH_A.replace(
+            "\"host_cores\":1",
+            "\"workers\":2,\"imbalance\":1.40,\"host_cores\":1",
+        );
+        let d = diff_bench_reports(BENCH_A, &two_workers, &DiffOptions::default()).unwrap();
+        // No column comparison happened across the population change.
+        assert!(d.rows.iter().all(|r| r.metrics.is_empty()));
+        let gate = d.gate().unwrap_err();
+        assert!(
+            gate.contains("workers=1") && gate.contains("workers=[2]"),
+            "gate must name both worker counts: {gate}"
+        );
+        assert!(
+            gate.contains("matching worker counts"),
+            "gate must explain the matching rule: {gate}"
+        );
+
+        // Same worker count on both sides: compared as usual.
+        let d = diff_bench_reports(&two_workers, &two_workers, &DiffOptions::default()).unwrap();
+        assert!(d.gate().is_ok());
+        assert!(!d.rows.iter().any(|r| r.only_in.is_some()));
     }
 
     #[test]

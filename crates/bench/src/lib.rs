@@ -10,6 +10,9 @@
 //!
 //! * `SMTP_SCALE` — workload scale (default 0.5); lower for quick runs.
 //! * `SMTP_NODES_CAP` — cap the largest machine size (for smoke runs).
+//! * `SMTP_ENGINE` — execution engine for the figure benches
+//!   (`serial`|`parallel`, default `parallel`; guest results are
+//!   bit-identical, the choice is wall-clock only).
 
 use smtp_core::{build_system, run_experiment, EngineKind, ExperimentConfig, RunStats};
 use smtp_trace::HostProfile;
@@ -39,6 +42,18 @@ pub fn nodes_cap() -> usize {
         .unwrap_or(usize::MAX)
 }
 
+/// Execution engine the figure benches run on (env `SMTP_ENGINE`,
+/// default parallel). Guest results are bit-identical on either engine —
+/// the `engine_equivalence` grid enforces it — so the figures are
+/// unchanged; the parallel default just regenerates them faster on
+/// multi-core hosts.
+pub fn bench_engine() -> EngineKind {
+    std::env::var("SMTP_ENGINE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EngineKind::Parallel)
+}
+
 /// Run one point, echoing progress to stderr.
 pub fn run_point(
     model: MachineModel,
@@ -49,6 +64,7 @@ pub fn run_point(
 ) -> RunStats {
     let mut e = ExperimentConfig::new(model, app, nodes, ways);
     e.cpu_ghz = cpu_ghz;
+    e.engine = bench_engine();
     let t = Instant::now();
     let r = run_experiment(&e);
     eprintln!(
@@ -317,6 +333,18 @@ pub fn fig32_smoke_config(app: AppKind) -> ExperimentConfig {
     e.cpu_ghz = 2.0;
     e.scale = default_scale().min(0.12);
     e.workers = Some(2);
+    e
+}
+
+/// A scaling point *past* the paper: an SMTp bristled-hypercube machine
+/// of `nodes` (any power of two up to the 128 the config supports),
+/// 2-way, with the workload scaled down inversely with machine size so a
+/// sweep's points complete in comparable wall time. Worker count is left
+/// to the host (capped at the node count by the engine).
+pub fn scaling_config(app: AppKind, nodes: usize) -> ExperimentConfig {
+    let mut e = ExperimentConfig::new(MachineModel::SMTp, app, nodes, 2);
+    e.cpu_ghz = 2.0;
+    e.scale = (default_scale().min(0.12) * 32.0 / nodes as f64).max(0.02);
     e
 }
 

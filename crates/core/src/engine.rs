@@ -8,12 +8,23 @@
 //!   tested against.
 //! * [`EngineKind::Parallel`] — the epoch engine in this module. Nodes are
 //!   partitioned across worker threads and advanced independently for
-//!   *epochs* of `lookahead` cycles, where the lookahead is the minimum
-//!   cross-node message latency ([`smtp_noc::Network::min_latency`]):
-//!   within one epoch no message injected by any node can arrive at
-//!   another, so node interactions are confined to epoch barriers where
-//!   the coordinator replays message injections and pre-distributes the
-//!   next epoch's arrivals.
+//!   *epochs* bounded so that within one epoch no message injected by any
+//!   node can arrive at another; node interactions are confined to epoch
+//!   barriers where the coordinator replays message injections and
+//!   pre-distributes the next epoch's arrivals.
+//!
+//! The epoch bound starts from the static minimum cross-node message
+//! latency ([`smtp_noc::Network::min_latency`]) and, with
+//! [`EngineTuning::adaptive_epochs`] (the default), extends it using what
+//! the previous epoch *observed*: every node's freeze certificate
+//! ([`Node::next_activity`]) proves the node performs only pure stall
+//! ticks — no message injection, no sync-fabric traffic — before its wake
+//! bound, and the network knows its next scheduled arrival. No node can
+//! therefore inject before `inj_min = max(e_start, min(earliest wake,
+//! next arrival))`, and the epoch may safely run to `inj_min +
+//! min_latency`. Any node without a certificate (including every node of
+//! a fault-armed machine, where certificates are never issued) collapses
+//! the bound back to the conservative static one.
 //!
 //! Determinism is preserved by three mechanisms:
 //!
@@ -21,8 +32,14 @@
 //!    profiler operations emitted on worker threads are captured into
 //!    thread-local buffers tagged with their serial position
 //!    ([`smtp_types::capture::CapturePoint`]) and replayed by the
-//!    coordinator in a stable merge at each barrier, recreating the serial
-//!    engine's exact stream.
+//!    coordinator in a stable merge, recreating the serial engine's exact
+//!    stream. Workers park their batches in per-worker harvest slots (no
+//!    shared-lock convoy at the barrier), and the coordinator replays an
+//!    epoch's merged batch *while the workers tick the next epoch* —
+//!    stream reconstruction is double-buffered off the barrier's critical
+//!    path, except at cycles where a watchdog check (which reads and
+//!    writes the trace stream) must observe it, where the replay stays
+//!    synchronous.
 //! 2. **A position-gated synchronization fabric.** The shared
 //!    [`SyncManager`] is order-sensitive (barrier arrivals, flag stores),
 //!    so workers publish their current `(cycle, node)` position and a sync
@@ -43,6 +60,18 @@
 //! bulk-applying the skipped bookkeeping. Fault-armed nodes never skip,
 //! and the cut schedule above keeps watchdog, invariant and sampler ticks
 //! exact.
+//!
+//! Partitions are contiguous node ranges delimited by fence posts carried
+//! in each epoch's [`WindowPlan`]. With [`EngineTuning::rebalance_every`]
+//! nonzero (the default), the coordinator accumulates per-node tick
+//! counts and, when the per-worker tick imbalance over a window exceeds
+//! [`EngineTuning::rebalance_threshold`], recomputes the fences by a
+//! prefix-sum split of the observed per-node load. Ownership moves only
+//! at barriers; the cross-epoch per-node state a worker needs (freeze
+//! bounds, quiescence and app-finish marks) lives in a shared per-node
+//! table written back at every barrier, so a node's state follows it to
+//! its new owner. Guest results are bit-identical for every partition:
+//! the gate order and the capture positions are partition-independent.
 
 use crate::error::{RunError, RunErrorKind};
 use crate::node::Node;
@@ -51,10 +80,12 @@ use crate::system::{coherence_violation, System, WATCHDOG_INTERVAL};
 use smtp_isa::{SyncCond, SyncEnv, SyncOp, SyncOutcome};
 use smtp_noc::Msg;
 use smtp_trace::{
-    take_captured_events, CapturedEvent, HostPhase, HostProfile, LaneProfile, PhaseTimer,
+    take_captured_events, CapturedEvent, HostPhase, HostProfile, LaneProfile, PhaseTimer, Tracer,
 };
 use smtp_types::capture::{self, lane_inject, lane_tick, LANE_DELIVER};
-use smtp_types::{take_captured_prof_ops, CapturePoint, Ctx, Cycle, Histogram, NodeId, ProfOp};
+use smtp_types::{
+    take_captured_prof_ops, CapturePoint, Ctx, Cycle, Histogram, NodeId, PhaseProfiler, ProfOp,
+};
 use smtp_workloads::SyncManager;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -91,6 +122,48 @@ impl std::fmt::Display for EngineKind {
         match self {
             EngineKind::Serial => write!(f, "serial"),
             EngineKind::Parallel => write!(f, "parallel"),
+        }
+    }
+}
+
+/// Host-side tuning knobs for the parallel epoch engine. Strictly a
+/// wall-clock matter: guest-visible results are bit-identical for every
+/// setting (enforced by the `engine_equivalence` grid).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineTuning {
+    /// Extend epochs past the static minimum-latency bound using the
+    /// previous epoch's freeze certificates and the network's next
+    /// scheduled arrival (see the module docs). Falls back to the static
+    /// bound whenever any node lacks a certificate.
+    pub adaptive_epochs: bool,
+    /// Consider repartitioning nodes across workers every this many
+    /// epochs (`0` = never). The partition actually moves only when the
+    /// observed per-worker tick imbalance over the window exceeds
+    /// [`EngineTuning::rebalance_threshold`].
+    pub rebalance_every: u64,
+    /// Max/mean per-worker tick ratio above which a due rebalance fires.
+    pub rebalance_threshold: f64,
+}
+
+impl Default for EngineTuning {
+    fn default() -> EngineTuning {
+        EngineTuning {
+            adaptive_epochs: true,
+            rebalance_every: 32,
+            rebalance_threshold: 1.1,
+        }
+    }
+}
+
+impl EngineTuning {
+    /// The conservative configuration: static epoch bound, fixed
+    /// partition. The parallel engine behaved this way before tuning
+    /// existed; useful as a differential baseline.
+    pub fn conservative() -> EngineTuning {
+        EngineTuning {
+            adaptive_epochs: false,
+            rebalance_every: 0,
+            rebalance_threshold: f64::INFINITY,
         }
     }
 }
@@ -160,12 +233,14 @@ impl SyncEnv for GateRef<'_> {
     }
 }
 
-/// The coordinator's instructions for the next epoch.
-#[derive(Clone, Copy)]
+/// The coordinator's instructions for the next epoch, including the
+/// partition fence posts: worker `w` owns nodes `fence[w]..fence[w + 1]`
+/// for this epoch. Fences only move between epochs (rebalancing).
 struct WindowPlan {
     start: Cycle,
     end: Cycle,
     stop: bool,
+    fence: Vec<usize>,
 }
 
 /// One recorded outbox message: node `node` pushed message `slot` of its
@@ -178,17 +253,25 @@ struct InjectRec {
     msg: Msg,
 }
 
-/// Everything the workers hand the coordinator at an epoch barrier.
-struct Harvest {
-    events: Vec<CapturedEvent>,
-    prof: Vec<(CapturePoint, ProfOp)>,
-    injects: Vec<InjectRec>,
+/// Per-node engine state shared across epochs and workers. Workers read
+/// their owned slice at the opening barrier and write it back at the
+/// closing one, so rebalancing can hand a node — state and all — to a
+/// different worker between epochs.
+struct SharedState {
     /// Per node: first cycle X such that the node has been quiescent from
     /// the end of tick `X-1` onward (`None` while active).
     quiet_since: Vec<Option<Cycle>>,
     /// Per node: first cycle at whose tick-end the application threads had
     /// all finished.
     finished_at: Vec<Option<Cycle>>,
+    /// Per node: freeze bound from the last real tick (0 = none): the
+    /// node provably performs only pure stall ticks before this cycle.
+    /// Lets a node stay frozen across epoch barriers, and feeds the
+    /// adaptive epoch bound.
+    wake: Vec<Cycle>,
+    /// Per node: ticks executed in the epoch just finished (rebalancing
+    /// load signal).
+    node_ticks: Vec<u64>,
     /// Structured failure recorded mid-epoch (1-node machine emitting a
     /// network message), with the serial cycle it would surface at.
     error: Option<(Cycle, String)>,
@@ -199,26 +282,35 @@ struct Harvest {
     wstats: Vec<(u64, u64, u64)>,
 }
 
+/// One worker's per-epoch batch of captured observability streams and
+/// outbox messages. Each worker owns one slot, so parking a batch at the
+/// barrier never contends with sibling workers.
+#[derive(Default)]
+struct WorkerHarvest {
+    events: Vec<CapturedEvent>,
+    prof: Vec<(CapturePoint, ProfOp)>,
+    injects: Vec<InjectRec>,
+}
+
 /// A per-node delivery: `(arrival cycle, capture slot, message)`.
 type Delivery = (Cycle, u32, Msg);
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     me: usize,
-    lo: usize,
-    hi: usize,
+    n: usize,
     cells: &[Mutex<Node>],
     gate: &Gate,
     plan: &Mutex<WindowPlan>,
     inboxes: &[Mutex<VecDeque<Delivery>>],
-    harvest: &Mutex<Harvest>,
+    state: &Mutex<SharedState>,
+    slot: &Mutex<WorkerHarvest>,
     barrier: &Barrier,
     single_node: bool,
     telem: bool,
     lanes_out: &Mutex<Vec<(usize, LaneProfile)>>,
 ) {
     capture::begin((0, 0, 0));
-    let count = hi - lo;
     // Host telemetry: a handful of clock stamps per *epoch*, so the
     // per-tick hot path is untouched. The opening barrier wait is the
     // "departure" wait (blocked on the coordinator publishing the next
@@ -226,19 +318,25 @@ fn worker_loop(
     // stragglers); gate spin-waits happen mid-tick and are charged to
     // the tick phase.
     let mut timer = telem.then(|| PhaseTimer::new(HostPhase::BarrierDepart));
-    // Freeze bound from the last real tick (0 = none): lets a node stay
-    // frozen across epoch barriers instead of re-ticking every epoch.
-    let mut hints: Vec<Cycle> = vec![0; count];
-    let mut inbox: Vec<VecDeque<Delivery>> = (0..count).map(|_| VecDeque::new()).collect();
-    let mut quiet: Vec<Option<Cycle>> = vec![None; count];
-    let mut finished: Vec<Option<Cycle>> = vec![None; count];
+    // Worker-local per-node scratch, indexed by global node id; only the
+    // currently owned slice is live (refreshed from the shared state each
+    // epoch, since rebalancing may have moved nodes between workers).
+    let mut hints: Vec<Cycle> = vec![0; n];
+    let mut inbox: Vec<VecDeque<Delivery>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut quiet: Vec<Option<Cycle>> = vec![None; n];
+    let mut finished: Vec<Option<Cycle>> = vec![None; n];
+    let mut node_ticks: Vec<u64> = vec![0; n];
     let mut injects: Vec<InjectRec> = Vec::new();
     let mut scratch: Vec<(Cycle, Msg)> = Vec::new();
     let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::new();
     loop {
         barrier.wait();
-        let p = *plan.lock().unwrap();
-        if p.stop {
+        let (p, lo, hi) = {
+            let pl = plan.lock().unwrap();
+            ((pl.start, pl.end, pl.stop), pl.fence[me], pl.fence[me + 1])
+        };
+        let (p_start, p_end, p_stop) = p;
+        if p_stop {
             break;
         }
         if let Some(t) = &mut timer {
@@ -246,28 +344,38 @@ fn worker_loop(
         }
         let mut ticks: u64 = 0;
         let mut skipped: u64 = 0;
-        // Pull this epoch's pre-distributed deliveries and pin the owned
+        // Refresh cross-epoch node state for the owned range (ownership
+        // may have moved since this worker last saw these nodes), pull
+        // this epoch's pre-distributed deliveries, and pin the owned
         // nodes for the whole window: nothing else touches them until the
         // closing barrier, so locking once here keeps the per-tick loop
         // free of lock traffic.
+        {
+            let st = state.lock().unwrap();
+            for g in lo..hi {
+                hints[g] = st.wake[g];
+                quiet[g] = st.quiet_since[g];
+                finished[g] = st.finished_at[g];
+                node_ticks[g] = 0;
+            }
+        }
         let mut guards: Vec<_> = (lo..hi).map(|g| cells[g].lock().unwrap()).collect();
         for g in lo..hi {
-            inbox[g - lo].append(&mut inboxes[g].lock().unwrap());
+            inbox[g].append(&mut inboxes[g].lock().unwrap());
         }
         // Seed the schedule, extending freeze certificates across the
         // barrier: a node frozen past the epoch start skips straight to
         // its bound (clamped to its first delivery and the epoch end).
         heap.clear();
         for g in lo..hi {
-            let i = g - lo;
-            let mut at = p.start;
-            let node = &mut *guards[i];
+            let mut at = p_start;
+            let node = &mut *guards[g - lo];
             // The previous epoch's retraction window has passed.
             node.clear_fault_snapshots();
-            if hints[i] > at {
-                let cap = hints[i]
-                    .min(p.end)
-                    .min(inbox[i].front().map_or(Cycle::MAX, |d| d.0));
+            if hints[g] > at {
+                let cap = hints[g]
+                    .min(p_end)
+                    .min(inbox[g].front().map_or(Cycle::MAX, |d| d.0));
                 if cap > at {
                     node.skip_idle(at, cap);
                     skipped += cap - at;
@@ -279,21 +387,20 @@ fn worker_loop(
         // Advance the lowest-positioned owned node until the epoch ends.
         let mut failed = false;
         while let Some(&Reverse((c, g))) = heap.peek() {
-            if c >= p.end || failed {
+            if c >= p_end || failed {
                 break;
             }
             heap.pop();
-            let i = g - lo;
             gate.positions[me].store(pack(c, g), Ordering::Release);
-            let node = &mut *guards[i];
+            let node = &mut *guards[g - lo];
             // Deliveries for this cycle, at their serial positions.
-            while inbox[i].front().is_some_and(|d| d.0 == c) {
-                let (cycle, slot, msg) = inbox[i].pop_front().expect("peeked");
-                capture::set_point((cycle, LANE_DELIVER, slot));
+            while inbox[g].front().is_some_and(|d| d.0 == c) {
+                let (cycle, slot_no, msg) = inbox[g].pop_front().expect("peeked");
+                capture::set_point((cycle, LANE_DELIVER, slot_no));
                 node.receive(msg, cycle);
             }
             debug_assert!(
-                inbox[i].front().is_none_or(|d| d.0 > c),
+                inbox[g].front().is_none_or(|d| d.0 > c),
                 "missed a scheduled delivery"
             );
             capture::set_point((c, lane_tick(g), 0));
@@ -304,13 +411,14 @@ fn worker_loop(
             };
             node.tick(c, &mut env);
             ticks += 1;
+            node_ticks[g] += 1;
             node.drain_outbox(&mut scratch);
             if single_node && !scratch.is_empty() {
                 // No network to inject into: surface the serial engine's
                 // structured failure and freeze the machine at this tick.
                 scratch.clear();
                 let id = node.id();
-                harvest.lock().unwrap().error.get_or_insert_with(|| {
+                state.lock().unwrap().error.get_or_insert_with(|| {
                     (
                         c + 1,
                         format!(
@@ -331,28 +439,28 @@ fn worker_loop(
                 }
             }
             if node.quiescent() {
-                if quiet[i].is_none() {
-                    quiet[i] = Some(c + 1);
+                if quiet[g].is_none() {
+                    quiet[g] = Some(c + 1);
                 }
                 // This tick may later turn out to lie past the machine's
                 // exact quiescence point; snapshot the fault streams so a
                 // retraction can rewind their draws too.
                 node.snapshot_faults(c + 1);
             } else {
-                quiet[i] = None;
+                quiet[g] = None;
             }
-            if finished[i].is_none() && node.app_finished() {
-                finished[i] = Some(c);
+            if finished[g].is_none() && node.app_finished() {
+                finished[g] = Some(c);
             }
             // Idle-cycle skipping: jump past provably pure stall ticks.
-            hints[i] = 0;
+            hints[g] = 0;
             let mut next = c + 1;
             if !failed {
                 if let Some(b) = node.next_activity(c) {
-                    hints[i] = b;
+                    hints[g] = b;
                     let cap = b
-                        .min(p.end)
-                        .min(inbox[i].front().map_or(Cycle::MAX, |d| d.0));
+                        .min(p_end)
+                        .min(inbox[g].front().map_or(Cycle::MAX, |d| d.0));
                     if cap > next {
                         node.skip_idle(next, cap);
                         skipped += cap - next;
@@ -363,7 +471,7 @@ fn worker_loop(
             heap.push(Reverse((next, g)));
         }
         drop(guards);
-        gate.positions[me].store(pack(p.end, 0), Ordering::Release);
+        gate.positions[me].store(pack(p_end, 0), Ordering::Release);
         let tick_ns = match &mut timer {
             Some(t) => {
                 t.switch(HostPhase::Merge);
@@ -371,14 +479,21 @@ fn worker_loop(
             }
             None => 0,
         };
+        // Park the batch: node state into the shared table (tiny copies),
+        // the bulky capture streams into this worker's own slot.
         {
-            let mut h = harvest.lock().unwrap();
-            h.events.extend(take_captured_events());
-            h.prof.extend(take_captured_prof_ops());
-            h.injects.append(&mut injects);
-            h.quiet_since[lo..hi].copy_from_slice(&quiet);
-            h.finished_at[lo..hi].copy_from_slice(&finished);
-            h.wstats[me] = (ticks, skipped, tick_ns);
+            let mut st = state.lock().unwrap();
+            st.wake[lo..hi].copy_from_slice(&hints[lo..hi]);
+            st.quiet_since[lo..hi].copy_from_slice(&quiet[lo..hi]);
+            st.finished_at[lo..hi].copy_from_slice(&finished[lo..hi]);
+            st.node_ticks[lo..hi].copy_from_slice(&node_ticks[lo..hi]);
+            st.wstats[me] = (ticks, skipped, tick_ns);
+        }
+        {
+            let mut sl = slot.lock().unwrap();
+            sl.events.extend(take_captured_events());
+            sl.prof.extend(take_captured_prof_ops());
+            sl.injects.append(&mut injects);
         }
         if let Some(t) = &mut timer {
             t.switch(HostPhase::BarrierArrive);
@@ -407,6 +522,56 @@ fn chunk(w: usize, workers: usize, n: usize) -> (usize, usize) {
     (lo, hi)
 }
 
+/// Fence posts splitting `load` (per-node weights) into `workers`
+/// contiguous runs of near-equal total weight, each at least one node:
+/// worker `w` gets `fence[w]..fence[w + 1]`.
+fn balanced_fence(load: &[u64], workers: usize) -> Vec<usize> {
+    let n = load.len();
+    let total: u64 = load.iter().sum();
+    let mut fence = Vec::with_capacity(workers + 1);
+    fence.push(0);
+    let mut acc = 0u64;
+    let mut g = 0usize;
+    for w in 1..workers {
+        let target = total as f64 * w as f64 / workers as f64;
+        // Leave at least one node for every remaining worker.
+        let hi_max = n - (workers - w);
+        let hi_min = fence[w - 1] + 1;
+        // Take nodes while the running prefix stays within this worker's
+        // share — inclusively, so a prefix landing exactly on the target
+        // cuts *after* the node that reached it (an even split stays even).
+        while g < hi_max && (g < hi_min || ((acc + load[g]) as f64) <= target) {
+            acc += load[g];
+            g += 1;
+        }
+        fence.push(g);
+    }
+    fence.push(n);
+    fence
+}
+
+/// Sort and replay a batch of captured trace/profiler streams into the
+/// serial-order sinks, optionally dropping everything at or past `cut`
+/// (positions the serial loop never reached). Leaves the buffers empty.
+fn replay_streams(
+    events: &mut Vec<CapturedEvent>,
+    prof: &mut Vec<(CapturePoint, ProfOp)>,
+    cut: Option<Cycle>,
+    tracer: &Tracer,
+    profiler: &PhaseProfiler,
+) {
+    if let Some(q) = cut {
+        events.retain(|e| e.0 .0 < q);
+        prof.retain(|o| o.0 .0 < q);
+    }
+    events.sort_by_key(|e| e.0);
+    prof.sort_by_key(|o| o.0);
+    tracer.replay_captured(events);
+    profiler.replay_captured(prof);
+    events.clear();
+    prof.clear();
+}
+
 /// Run the machine to completion on the parallel epoch engine. Produces
 /// results bit-identical to [`System::run`] for the same seed and
 /// configuration; see the module docs for how.
@@ -418,6 +583,12 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
         return sys.run_with(max_cycles, EngineKind::Serial);
     }
     if sys.quiesced() {
+        if let Some(hb) = &mut sys.heartbeat {
+            // Even a no-op run leaves its start and end liveness records.
+            hb.start(sys.now);
+            hb.emit(sys.now, "parallel", 0, 0, &[]);
+            hb.emit(sys.now, "parallel", 0, 0, &[]);
+        }
         sys.tracer.flush();
         return Ok(sys.collect());
     }
@@ -426,7 +597,9 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
         .as_ref()
         .map_or(WATCHDOG_INTERVAL, |net| net.min_latency().max(1));
     // Worker count: pinned by the configuration, or the host's available
-    // parallelism; never more workers than nodes. A host-side knob only —
+    // parallelism; never more workers than nodes (a pinned count larger
+    // than the node count clamps rather than spawning empty partitions,
+    // and `SystemConfig::validate` rejects zero). A host-side knob only —
     // results are bit-identical for any count.
     let workers = sys
         .cfg
@@ -437,6 +610,7 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                 .unwrap_or(1)
         })
         .clamp(1, n);
+    let tuning = sys.tuning;
     let single_node = sys.network.is_none();
     let telem = sys.telemetry;
     sys.host_profile = None;
@@ -456,6 +630,9 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
     let mut hb_last_wall = Instant::now();
     if let Some(hb) = &mut sys.heartbeat {
         hb.start(start_now);
+        // Initial liveness record at the run start, so even a run shorter
+        // than one heartbeat interval leaves a line-complete log.
+        hb.emit(start_now, "parallel", workers, 0, &vec![0.0; workers]);
     }
 
     // Take the machine apart: nodes behind per-node locks for the workers,
@@ -471,22 +648,29 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             .collect(),
         sync: Mutex::new(std::mem::replace(&mut sys.sync, placeholder)),
     };
+    let init_fence: Vec<usize> = (0..workers)
+        .map(|w| chunk(w, workers, n).0)
+        .chain([n])
+        .collect();
     let plan = Mutex::new(WindowPlan {
         start: sys.now,
         end: sys.now,
         stop: false,
+        fence: init_fence.clone(),
     });
     let inboxes: Vec<Mutex<VecDeque<Delivery>>> =
         (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
-    let harvest = Mutex::new(Harvest {
-        events: Vec::new(),
-        prof: Vec::new(),
-        injects: Vec::new(),
+    let state = Mutex::new(SharedState {
         quiet_since: vec![None; n],
         finished_at: vec![None; n],
+        wake: vec![0; n],
+        node_ticks: vec![0; n],
         error: None,
         wstats: vec![(0, 0, 0); workers],
     });
+    let slots: Vec<Mutex<WorkerHarvest>> = (0..workers)
+        .map(|_| Mutex::new(WorkerHarvest::default()))
+        .collect();
     let barrier = Barrier::new(workers + 1);
 
     let mut metrics = sys.metrics.take();
@@ -496,31 +680,45 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
     let mut finished_at: Vec<Option<Cycle>> = vec![None; n];
     let mut quiet_since: Vec<Option<Cycle>> = vec![None; n];
     let mut net_empty_from: Cycle = sys.now;
-    // Observability captured during the pre-pass belongs to the *next*
-    // epoch's cycles; held here until that epoch's barrier merge.
+    // Coordinator-side copy of the per-node freeze bounds harvested at the
+    // last barrier; feeds the adaptive epoch bound.
+    let mut wake: Vec<Cycle> = vec![0; n];
+    // Rebalancing bookkeeping: per-node and per-worker tick loads
+    // accumulated over the current observation window.
+    let mut fence = init_fence;
+    let mut load: Vec<u64> = vec![0; n];
+    let mut wload: Vec<u64> = vec![0; workers];
+    let mut window_epochs: u64 = 0;
+    let mut refence_due = false;
+    let mut rebalances: u64 = 0;
+    // Streams captured for an epoch but not yet replayed into the tracer
+    // and profiler. Pre-pass captures land in `held_*` (they belong to the
+    // epoch being planned); the merged batch accumulates in `pending_*`
+    // and is normally replayed *while the workers tick the next epoch*.
     let mut held_events: Vec<CapturedEvent> = Vec::new();
     let mut held_prof: Vec<(CapturePoint, ProfOp)> = Vec::new();
+    let mut pending_events: Vec<CapturedEvent> = Vec::new();
+    let mut pending_prof: Vec<(CapturePoint, ProfOp)> = Vec::new();
 
     let outcome: Result<Cycle, (RunErrorKind, String, Cycle)> = std::thread::scope(|s| {
-        for w in 0..workers {
-            let (lo, hi) = chunk(w, workers, n);
+        for (w, slot) in slots.iter().enumerate() {
             let cells = &cells;
             let gate = &gate;
             let plan = &plan;
             let inboxes = &inboxes;
-            let harvest = &harvest;
+            let state = &state;
             let barrier = &barrier;
             let lanes_out = &lanes_out;
             s.spawn(move || {
                 worker_loop(
                     w,
-                    lo,
-                    hi,
+                    n,
                     cells,
                     gate,
                     plan,
                     inboxes,
-                    harvest,
+                    state,
+                    slot,
                     barrier,
                     single_node,
                     telem,
@@ -531,8 +729,41 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
 
         let mut e_start = sys.now;
         let outcome = loop {
-            // Cut the epoch on every schedule the serial loop observes.
-            let mut e_end = e_start.saturating_add(lookahead);
+            // A due rebalance moves the fences before the next epoch is
+            // published; ownership only ever changes at this point, while
+            // every worker is parked at the opening barrier.
+            if refence_due {
+                refence_due = false;
+                fence = balanced_fence(&load, workers);
+                load.fill(0);
+                rebalances += 1;
+            }
+            // Epoch bound: adaptive (from observed freeze certificates
+            // and the next in-flight arrival) or static, then cut on
+            // every schedule the serial loop observes.
+            let mut e_end = if tuning.adaptive_epochs {
+                // Earliest cycle any node could act: frozen nodes cannot
+                // inject before their certified wake bound or their first
+                // delivery, whichever is earlier; a node without a
+                // certificate could act immediately.
+                let mut wake_min = Cycle::MAX;
+                for &w in &wake {
+                    let eff = if w > e_start { w } else { e_start };
+                    wake_min = wake_min.min(eff);
+                    if wake_min == e_start {
+                        break;
+                    }
+                }
+                let arrival = sys
+                    .network
+                    .as_ref()
+                    .and_then(|net| net.next_arrival())
+                    .unwrap_or(Cycle::MAX);
+                let inj_min = wake_min.min(arrival).max(e_start);
+                inj_min.saturating_add(lookahead)
+            } else {
+                e_start.saturating_add(lookahead)
+            };
             e_end = e_end.min(next_multiple(e_start, WATCHDOG_INTERVAL));
             if let Some(every) = sys.invariant_every {
                 e_end = e_end.min(next_multiple(e_start, every));
@@ -569,15 +800,33 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                 held_events.extend(take_captured_events());
                 held_prof.extend(take_captured_prof_ops());
             }
-            *plan.lock().unwrap() = WindowPlan {
-                start: e_start,
-                end: e_end,
-                stop: false,
-            };
+            {
+                let mut pl = plan.lock().unwrap();
+                pl.start = e_start;
+                pl.end = e_end;
+                pl.stop = false;
+                pl.fence.clone_from(&fence);
+            }
             if let Some(t) = &mut coord {
                 t.switch(HostPhase::BarrierDepart);
             }
             barrier.wait(); // epoch starts
+                            // Double-buffered stream reconstruction: replay the previous
+                            // epoch's merged capture batch while the workers tick this
+                            // epoch. (Empty when the previous epoch had to replay
+                            // synchronously — watchdog cycles, quiescence, failures.)
+            if !pending_events.is_empty() || !pending_prof.is_empty() {
+                if let Some(t) = &mut coord {
+                    t.switch(HostPhase::CaptureReplay);
+                }
+                replay_streams(
+                    &mut pending_events,
+                    &mut pending_prof,
+                    None,
+                    &sys.tracer,
+                    &sys.profiler,
+                );
+            }
             if let Some(t) = &mut coord {
                 t.switch(HostPhase::BarrierArrive);
             }
@@ -585,37 +834,64 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             if let Some(t) = &mut coord {
                 t.switch(HostPhase::Merge);
             }
-            let (mut events, mut prof, mut injects, failure);
+            let mut injects: Vec<InjectRec> = Vec::new();
+            let failure;
             {
-                let mut h = harvest.lock().unwrap();
-                events = std::mem::take(&mut h.events);
-                prof = std::mem::take(&mut h.prof);
-                injects = std::mem::take(&mut h.injects);
+                let mut st = state.lock().unwrap();
                 for g in 0..n {
-                    quiet_since[g] = h.quiet_since[g];
+                    quiet_since[g] = st.quiet_since[g];
                     if finished_at[g].is_none() {
-                        finished_at[g] = h.finished_at[g];
+                        finished_at[g] = st.finished_at[g];
                     }
+                    wake[g] = st.wake[g];
+                    load[g] += st.node_ticks[g];
                 }
-                failure = h.error.take();
+                failure = st.error.take();
                 // Per-epoch counters: epoch length, barrier traffic, work
                 // done vs. skipped, and the owned-node tick imbalance
                 // across workers.
                 epochs += 1;
                 epoch_cycles.record(e_end - e_start);
-                barrier_msgs.record(injects.len() as u64);
                 let mut tick_sum = 0u64;
                 let mut tick_max = 0u64;
-                for (cum, &(t, sk, ns)) in hb_cum_tick.iter_mut().zip(&h.wstats) {
+                for (w, (cum, &(t, sk, ns))) in hb_cum_tick.iter_mut().zip(&st.wstats).enumerate() {
                     ticked_cycles += t;
                     skipped_cycles += sk;
                     *cum += ns;
                     tick_sum += t;
                     tick_max = tick_max.max(t);
+                    wload[w] += t;
                 }
                 if workers > 1 && tick_sum > 0 {
                     let mean = tick_sum as f64 / workers as f64;
                     imbalance_x1000.record((tick_max as f64 * 1000.0 / mean) as u64);
+                }
+            }
+            for sl in &slots {
+                let mut sl = sl.lock().unwrap();
+                pending_events.append(&mut sl.events);
+                pending_prof.append(&mut sl.prof);
+                injects.append(&mut sl.injects);
+            }
+            pending_events.append(&mut held_events);
+            pending_prof.append(&mut held_prof);
+            barrier_msgs.record(injects.len() as u64);
+            // Schedule a repartition when a full observation window shows
+            // a worker ticking disproportionately often.
+            if workers > 1 && tuning.rebalance_every > 0 {
+                window_epochs += 1;
+                if window_epochs >= tuning.rebalance_every {
+                    window_epochs = 0;
+                    let sum: u64 = wload.iter().sum();
+                    let max = wload.iter().copied().max().unwrap_or(0);
+                    if sum > 0 {
+                        let mean = sum as f64 / workers as f64;
+                        refence_due = max as f64 > mean * tuning.rebalance_threshold;
+                    }
+                    if !refence_due {
+                        load.fill(0);
+                    }
+                    wload.fill(0);
                 }
             }
             // Replay this epoch's injections in serial order.
@@ -630,8 +906,8 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                     net.inject(r.at.max(r.cycle), r.msg);
                 }
                 capture::end();
-                events.extend(take_captured_events());
-                prof.extend(take_captured_prof_ops());
+                pending_events.extend(take_captured_events());
+                pending_prof.extend(take_captured_prof_ops());
             }
             if let Some(t) = &mut coord {
                 t.switch(HostPhase::Quiescence);
@@ -654,22 +930,30 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
                 }
                 _ => None,
             };
-            // Merge every capture stream into the serial order and replay.
-            // Ticks at or past Q are about to be retracted (the serial
-            // loop never ran them), so their events are dropped.
-            if let Some(t) = &mut coord {
-                t.switch(HostPhase::CaptureReplay);
+            // Merge every capture stream into the serial order and replay
+            // now when something downstream must observe it this epoch:
+            // a watchdog check reads (and writes) the trace stream, an
+            // invariant cycle or the run's end flushes it, and ticks at
+            // or past Q are about to be retracted (the serial loop never
+            // ran them), so their events are dropped. Otherwise the
+            // replay is deferred into the next epoch's tick window.
+            let ends_epoch_checked = e_end.is_multiple_of(WATCHDOG_INTERVAL)
+                || sys
+                    .invariant_every
+                    .is_some_and(|every| e_end.is_multiple_of(every));
+            if failure.is_some() || q_cycle.is_some() || ends_epoch_checked || e_end >= max_cycles {
+                if let Some(t) = &mut coord {
+                    t.switch(HostPhase::CaptureReplay);
+                }
+                let cut = q_cycle.filter(|&q| q < e_end && failure.is_none());
+                replay_streams(
+                    &mut pending_events,
+                    &mut pending_prof,
+                    cut,
+                    &sys.tracer,
+                    &sys.profiler,
+                );
             }
-            events.append(&mut held_events);
-            prof.append(&mut held_prof);
-            if let Some(q) = q_cycle.filter(|&q| q < e_end && failure.is_none()) {
-                events.retain(|e| e.0 .0 < q);
-                prof.retain(|o| o.0 .0 < q);
-            }
-            events.sort_by_key(|e| e.0);
-            prof.sort_by_key(|o| o.0);
-            sys.tracer.replay_captured(&events);
-            sys.profiler.replay_captured(&prof);
             if let Some((cycle, msg)) = failure {
                 break Err((RunErrorKind::UnrecoverableFault, msg, cycle));
             }
@@ -750,14 +1034,16 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             }
             e_start = e_end;
         };
-        *plan.lock().unwrap() = WindowPlan {
-            start: 0,
-            end: 0,
-            stop: true,
-        };
+        {
+            let mut pl = plan.lock().unwrap();
+            pl.start = 0;
+            pl.end = 0;
+            pl.stop = true;
+        }
         barrier.wait();
         outcome
     });
+    debug_assert!(pending_events.is_empty() && pending_prof.is_empty());
 
     // Reassemble the machine.
     sys.nodes = cells
@@ -770,15 +1056,26 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
     sys.app_done_at = app_done_at;
     sys.quiet_nodes = sys.nodes.iter().filter(|n| n.quiescent()).count();
     sys.finished_nodes = sys.nodes.iter().filter(|n| n.app_finished()).count();
+    let end_now = match &outcome {
+        Ok(q) => *q,
+        Err((_, _, cycle)) => *cycle,
+    };
+    if let Some(hb) = &mut sys.heartbeat {
+        // Final liveness record at the run end, closing the log even when
+        // the run never crossed a heartbeat interval.
+        let now_wall = Instant::now();
+        let dt_ns = now_wall.duration_since(hb_last_wall).as_nanos().max(1) as f64;
+        let util: Vec<f64> = (0..workers)
+            .map(|w| (hb_cum_tick[w] - hb_last_tick[w]) as f64 / dt_ns)
+            .collect();
+        hb.emit(end_now, "parallel", workers, epochs, &util);
+    }
     if let Some(t) = coord {
-        let end_now = match &outcome {
-            Ok(q) => *q,
-            Err((_, _, cycle)) => *cycle,
-        };
         let mut lanes = vec![t.finish("coord")];
         let mut wl = lanes_out.into_inner().expect("lanes lock poisoned");
         wl.sort_by_key(|&(w, _)| w);
         lanes.extend(wl.into_iter().map(|(_, l)| l));
+        let _ = rebalances; // reported via the imbalance histogram today
         sys.host_profile = Some(HostProfile {
             engine: "parallel".to_string(),
             workers,
@@ -805,5 +1102,90 @@ pub(crate) fn run_parallel(sys: &mut System, max_cycles: Cycle) -> Result<RunSta
             sys.tracer.flush();
             Err(sys.run_error(kind, msg))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_fence_splits_by_weight() {
+        // Heavy head: the first worker should get fewer nodes.
+        let f = balanced_fence(&[100, 1, 1, 1, 1, 1, 1, 1], 2);
+        assert_eq!(f, vec![0, 1, 8]);
+        // Uniform load: near-even split.
+        let f = balanced_fence(&[10; 8], 4);
+        assert_eq!(f, vec![0, 2, 4, 6, 8]);
+        // Zero load still yields non-empty partitions.
+        let f = balanced_fence(&[0; 4], 4);
+        assert_eq!(f, vec![0, 1, 2, 3, 4]);
+        // More extreme skew than workers can fix: every partition keeps
+        // at least one node.
+        let f = balanced_fence(&[0, 0, 0, 1000], 4);
+        assert_eq!(f.len(), 5);
+        for w in 0..4 {
+            assert!(f[w] < f[w + 1], "empty partition in {f:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_covers_all_nodes() {
+        for workers in 1..=8 {
+            for n in workers..=32 {
+                let mut covered = 0;
+                for w in 0..workers {
+                    let (lo, hi) = chunk(w, workers, n);
+                    assert!(lo <= hi);
+                    covered += hi - lo;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    /// Both engines lean on the same contract: once the machine reports
+    /// quiescent, overshooting it by extra ticks and then retracting the
+    /// idle bookkeeping ([`crate::node::Node::retract_idle`], exactly
+    /// what the parallel engine does when an epoch runs past the exact
+    /// quiescence point) leaves *nothing* observable behind. This holds
+    /// the contract to account for the `sb_drain_app` hole (a finished
+    /// thread's last stores still draining to L1d after `quiesced()`
+    /// went true, each drain an un-retractable cache access), which
+    /// surfaced as a 64-node stats divergence.
+    #[test]
+    #[ignore = "minutes in a debug build; CI runs it in release via the engine-scaling leg"]
+    fn quiesced_machine_ticks_are_inert() {
+        use crate::experiment::{build_system, ExperimentConfig};
+        use smtp_types::MachineModel;
+        use smtp_workloads::AppKind;
+
+        let mut e = ExperimentConfig::quick(MachineModel::SMTp, AppKind::Fft, 64, 2);
+        e.scale = 0.02;
+        let mut sys = build_system(&e);
+        sys.run_with(e.max_cycles, EngineKind::Serial).unwrap();
+        let snapshot = |sys: &crate::system::System| -> Vec<String> {
+            sys.nodes
+                .iter()
+                .map(|n| format!("{:?} {:?}", n.mem.stats(), n.pipeline.stats()))
+                .collect()
+        };
+        let before = snapshot(&sys);
+        assert!(sys.nodes.iter().all(|n| n.quiescent()));
+        let q = sys.now;
+        for _ in 0..512 {
+            sys.tick();
+        }
+        for cell in sys.nodes.iter_mut() {
+            cell.retract_idle(q, q + 512);
+        }
+        let after = snapshot(&sys);
+        for (g, (a, b)) in before.iter().zip(&after).enumerate() {
+            assert_eq!(
+                a, b,
+                "node {g}: post-quiescence overshoot + retraction is not a no-op"
+            );
+        }
+        assert!(sys.nodes.iter().all(|n| n.quiescent()));
     }
 }

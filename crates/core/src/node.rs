@@ -978,6 +978,7 @@ impl Node {
     pub fn quiesced(&self) -> bool {
         self.pipeline.finished()
             && self.pipeline.protocol_quiesced()
+            && self.pipeline.drains_quiesced()
             && self.lmi.is_empty()
             && self.ni_in.is_empty()
             && self.replay.is_empty()

@@ -1,6 +1,6 @@
 //! The full-machine simulator: nodes + interconnect + global clock.
 
-use crate::engine::EngineKind;
+use crate::engine::{EngineKind, EngineTuning};
 use crate::error::{Diagnosis, RunError, RunErrorKind};
 use crate::node::Node;
 use crate::stats::RunStats;
@@ -261,6 +261,9 @@ pub struct System {
     pub(crate) heartbeat: Option<Heartbeat>,
     /// The profile of the most recent telemetry-enabled run.
     pub(crate) host_profile: Option<HostProfile>,
+    /// Host-side tuning knobs for the parallel epoch engine. Guest
+    /// results are bit-identical for every setting.
+    pub(crate) tuning: EngineTuning,
 }
 
 impl std::fmt::Debug for System {
@@ -372,6 +375,7 @@ impl System {
             telemetry: false,
             heartbeat: None,
             host_profile: None,
+            tuning: EngineTuning::default(),
         }
     }
 
@@ -572,6 +576,20 @@ impl System {
         self.heartbeat = Some(Heartbeat::new(every, out));
     }
 
+    /// Set the parallel engine's host-side tuning knobs (adaptive epoch
+    /// bound, periodic load-driven repartitioning). Strictly a wall-clock
+    /// matter: guest-visible results are bit-identical for every setting,
+    /// which the `engine_equivalence` grid enforces. The serial engine
+    /// ignores tuning entirely.
+    pub fn set_engine_tuning(&mut self, tuning: EngineTuning) {
+        self.tuning = tuning;
+    }
+
+    /// The parallel engine tuning currently in effect.
+    pub fn engine_tuning(&self) -> EngineTuning {
+        self.tuning
+    }
+
     /// The host-side profile of the most recent run, if
     /// [`System::enable_host_telemetry`] (or the heartbeat) was on.
     pub fn host_profile(&self) -> Option<&HostProfile> {
@@ -622,6 +640,10 @@ impl System {
         let mut epoch_start = self.now;
         if let Some(hb) = &mut self.heartbeat {
             hb.start(start_cycle);
+            // Initial liveness record at the run start, so even a run
+            // shorter than one heartbeat interval leaves a line-complete
+            // log.
+            hb.emit(start_cycle, "serial", 1, 0, &[0.0]);
         }
         let res: Result<(), RunError> = 'run: {
             while !self.quiesced() {
@@ -694,6 +716,20 @@ impl System {
                 epoch_cycles.record(self.now - epoch_start);
                 t.end_epoch();
                 epochs += 1;
+            }
+            if self.heartbeat.is_some() {
+                // Final liveness record at the run end, closing the log
+                // even when the run never crossed a heartbeat interval.
+                t.flush();
+                let all_ns = t.charged_ns();
+                let util = if all_ns == 0 {
+                    0.0
+                } else {
+                    t.phase_total_ns(HostPhase::Tick) as f64 / all_ns as f64
+                };
+                let mut hb = self.heartbeat.take().expect("checked");
+                hb.emit(self.now, "serial", 1, epochs, &[util]);
+                self.heartbeat = Some(hb);
             }
             let lane = t.finish("serial");
             let sim_cycles = self.now - start_cycle;

@@ -9,9 +9,9 @@
 //! a scheduled network arrival, a fault window, or a sampler tick — any
 //! overshoot shows up as a diverging trace or sample row).
 
-use smtp_core::{build_system, EngineKind, ExperimentConfig};
+use smtp_core::{build_system, EngineKind, EngineTuning, ExperimentConfig};
 use smtp_trace::{Event, MemorySink};
-use smtp_types::{Cycle, FaultConfig, MachineModel};
+use smtp_types::{Cycle, FaultConfig, MachineModel, SystemConfig};
 use smtp_workloads::AppKind;
 
 /// Everything observable from one run: stats (Debug-formatted, so every
@@ -23,7 +23,17 @@ struct Observed {
 }
 
 fn observe(e: &ExperimentConfig, engine: EngineKind, metrics_interval: Option<Cycle>) -> Observed {
+    observe_tuned(e, engine, metrics_interval, EngineTuning::default())
+}
+
+fn observe_tuned(
+    e: &ExperimentConfig,
+    engine: EngineKind,
+    metrics_interval: Option<Cycle>,
+    tuning: EngineTuning,
+) -> Observed {
     let mut sys = build_system(e);
+    sys.set_engine_tuning(tuning);
     sys.tracer().enable_all();
     let store = MemorySink::shared();
     sys.tracer().add_sink(Box::new(MemorySink::attach(&store)));
@@ -43,8 +53,17 @@ fn observe(e: &ExperimentConfig, engine: EngineKind, metrics_interval: Option<Cy
 }
 
 fn assert_equivalent(e: &ExperimentConfig, metrics_interval: Option<Cycle>, label: &str) {
+    assert_equivalent_tuned(e, metrics_interval, EngineTuning::default(), label);
+}
+
+fn assert_equivalent_tuned(
+    e: &ExperimentConfig,
+    metrics_interval: Option<Cycle>,
+    tuning: EngineTuning,
+    label: &str,
+) {
     let serial = observe(e, EngineKind::Serial, metrics_interval);
-    let parallel = observe(e, EngineKind::Parallel, metrics_interval);
+    let parallel = observe_tuned(e, EngineKind::Parallel, metrics_interval, tuning);
     if serial.stats != parallel.stats {
         let i = serial
             .stats
@@ -164,4 +183,88 @@ fn deadlock_diagnosis_matches() {
         .run_with(e.max_cycles, EngineKind::Parallel)
         .expect_err("20k cycles cannot complete the run");
     assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// The tuning knobs are host-side only: every corner of the tuning space
+/// — the conservative static-bound fixed-partition engine, the defaults,
+/// and a deliberately twitchy configuration that reconsiders the
+/// partition after every single epoch — must stay bit-identical to the
+/// serial oracle, with and without chaos faults and sampling.
+#[test]
+fn tuning_grid_matches() {
+    let aggressive = EngineTuning {
+        adaptive_epochs: true,
+        rebalance_every: 1,
+        rebalance_threshold: 1.0,
+    };
+    let corners = [
+        ("conservative", EngineTuning::conservative()),
+        ("default", EngineTuning::default()),
+        ("aggressive", aggressive),
+    ];
+    for (name, tuning) in corners {
+        assert_equivalent_tuned(
+            &point(MachineModel::SMTp, 4, 2, None),
+            None,
+            tuning,
+            &format!("smtp x4 {name}"),
+        );
+        assert_equivalent_tuned(
+            &point(MachineModel::SMTp, 4, 1, Some(42)),
+            Some(1_000),
+            tuning,
+            &format!("smtp x4 chaos sampled {name}"),
+        );
+    }
+}
+
+/// A pinned worker count larger than the node count must clamp to one
+/// worker per node — never spawn empty partitions — and stay
+/// bit-identical to the serial oracle.
+#[test]
+fn worker_count_above_node_count_clamps() {
+    let mut e = point(MachineModel::SMTp, 4, 2, None);
+    e.workers = Some(64);
+    assert_equivalent(&e, None, "smtp x4 workers=64");
+    let mut e = point(MachineModel::SMTp, 2, 1, Some(11));
+    e.workers = Some(9);
+    assert_equivalent(&e, None, "smtp x2 chaos workers=9");
+}
+
+/// A pinned worker count of zero is rejected deterministically at
+/// configuration validation — before any thread is spawned — not
+/// discovered as a hang or an empty-partition panic mid-run.
+#[test]
+fn zero_workers_rejected_at_validation() {
+    let err = std::panic::catch_unwind(|| {
+        let mut cfg = SystemConfig::new(MachineModel::SMTp, 2, 1);
+        cfg.workers = Some(0);
+        cfg.validate();
+    })
+    .expect_err("workers=0 must be rejected");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("worker count"),
+        "validation panic should name the worker count, got: {msg}"
+    );
+}
+
+/// The 64-node bristled hypercube — past the paper's largest machine,
+/// and the scale that first exposed the store-drain quiescence hole
+/// (a node reported quiescent while its last stores were still draining
+/// to L1d, so the parallel engine's overshoot-and-retract past exact
+/// quiescence executed un-rewindable cache accesses). Both the static
+/// conservative bound and the full adaptive engine must match the
+/// serial oracle here.
+#[test]
+#[ignore = "tens of seconds in release, minutes in debug; CI runs it in release via the engine-scaling leg"]
+fn large_hypercube_matches() {
+    let mut e = point(MachineModel::SMTp, 64, 2, None);
+    e.scale = 0.02;
+    assert_equivalent_tuned(&e, None, EngineTuning::conservative(), "x64 conservative");
+    assert_equivalent_tuned(&e, None, EngineTuning::default(), "x64 adaptive");
 }

@@ -226,6 +226,15 @@ impl SmtPipeline {
             && self.sb_drain_prot.is_empty()
     }
 
+    /// Whether both store-buffer drain queues have fully written back. A
+    /// thread can be [`SmtPipeline::finished`] (program ended, window
+    /// committed) while its last stores still sit in the drain queue; each
+    /// remaining entry is a real cache access on a future tick, so the
+    /// node must not claim quiescence until the queues are empty.
+    pub fn drains_quiesced(&self) -> bool {
+        self.sb_drain_app.is_empty() && self.sb_drain_prot.is_empty()
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> &PipeStats {
         &self.stats
@@ -1902,5 +1911,23 @@ mod tests {
             pipe.tick(now, &mut env, &mut mem);
         }
         assert!(!pipe.finished());
+    }
+
+    /// A thread can be `finished()` while its last committed stores are
+    /// still queued for drain to the cache — those drains are real cache
+    /// accesses on future ticks, so quiescence must wait for them. (The
+    /// 64-node engine divergence came from exactly this gap.)
+    #[test]
+    fn drains_block_quiescence() {
+        let (mut pipe, _mem) = pipeline(1, false);
+        assert!(pipe.drains_quiesced());
+        pipe.sb_drain_app
+            .push_back((Ctx(0), smtp_types::Addr(0x40)));
+        assert!(!pipe.drains_quiesced());
+        pipe.sb_drain_app.clear();
+        pipe.sb_drain_prot.push_back(smtp_types::Addr(0x80));
+        assert!(!pipe.drains_quiesced());
+        pipe.sb_drain_prot.clear();
+        assert!(pipe.drains_quiesced());
     }
 }

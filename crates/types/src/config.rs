@@ -338,7 +338,8 @@ impl Default for NetParams {
 /// Full configuration of a simulated machine.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
-    /// Number of DSM nodes (1..=64; the paper evaluates 1–32).
+    /// Number of DSM nodes (1..=128; the paper evaluates 1–32, the larger
+    /// bristled-hypercube configurations probe scaling past it).
     pub nodes: usize,
     /// Application thread contexts per node (1, 2 or 4).
     pub app_threads: usize,
@@ -359,7 +360,9 @@ pub struct SystemConfig {
     /// Pin the parallel engine's worker-thread count (`None` = use the
     /// host's available parallelism). A host-side knob: the simulated
     /// machine, and therefore every guest-visible result, is identical for
-    /// any worker count.
+    /// any worker count. A count larger than the node count is clamped to
+    /// one worker per node (never an empty partition); `Some(0)` is
+    /// rejected by [`SystemConfig::validate`].
     pub workers: Option<usize>,
 }
 
@@ -391,8 +394,8 @@ impl SystemConfig {
     /// non-power-of-two node count above 1, …).
     pub fn validate(&self) {
         assert!(
-            self.nodes >= 1 && self.nodes <= 64,
-            "1..=64 nodes supported"
+            self.nodes >= 1 && self.nodes <= 128,
+            "1..=128 nodes supported"
         );
         assert!(
             self.nodes == 1 || self.nodes.is_power_of_two(),

@@ -7,7 +7,8 @@
 
 use smtp::trace::{MemorySink, SharedBuf};
 use smtp::{
-    build_system, AppKind, EngineKind, ExperimentConfig, FaultConfig, HostProfile, MachineModel,
+    build_system, AppKind, EngineKind, EngineTuning, ExperimentConfig, FaultConfig, HostProfile,
+    MachineModel,
 };
 
 fn point(model: MachineModel, nodes: usize, ways: usize, seed: Option<u64>) -> ExperimentConfig {
@@ -33,7 +34,17 @@ struct Observed {
 }
 
 fn observe(e: &ExperimentConfig, engine: EngineKind, telemetry: bool) -> Observed {
+    observe_tuned(e, engine, telemetry, EngineTuning::default())
+}
+
+fn observe_tuned(
+    e: &ExperimentConfig,
+    engine: EngineKind,
+    telemetry: bool,
+    tuning: EngineTuning,
+) -> Observed {
     let mut sys = build_system(e);
+    sys.set_engine_tuning(tuning);
     sys.tracer().enable_all();
     let store = MemorySink::shared();
     sys.tracer().add_sink(Box::new(MemorySink::attach(&store)));
@@ -175,6 +186,27 @@ fn telemetry_never_perturbs_guest_state_under_chaos_faults() {
     }
 }
 
+/// The tuned-up engine — adaptive epochs plus per-epoch rebalancing — must
+/// keep both telemetry promises at once: guest bits identical to the serial
+/// oracle, and host attribution that still telescopes, with and without
+/// chaos faults.
+#[test]
+fn tuned_engine_telemetry_telescopes_and_stays_bit_identical() {
+    let aggressive = EngineTuning {
+        adaptive_epochs: true,
+        rebalance_every: 1,
+        rebalance_threshold: 1.0,
+    };
+    for seed in [None, Some(7u64)] {
+        let e = point(MachineModel::SMTp, 4, 2, seed);
+        let oracle = observe(&e, EngineKind::Serial, false);
+        let tuned = observe_tuned(&e, EngineKind::Parallel, true, aggressive);
+        let label = format!("tuned chaos={seed:?}");
+        assert_guest_identical(&oracle, &tuned, &label);
+        assert_telescopes(tuned.host.as_ref().unwrap(), &label);
+    }
+}
+
 #[test]
 fn heartbeat_never_perturbs_guest_state() {
     let e = point(MachineModel::SMTp, 2, 2, None);
@@ -259,6 +291,30 @@ fn parallel_heartbeat_emits_valid_jsonl() {
     sys.run_with(e.max_cycles, EngineKind::Parallel)
         .expect("run must complete");
     assert_heartbeat_jsonl(&buf.to_string_lossy(), 2);
+}
+
+/// A run far shorter than the heartbeat interval must still leave liveness
+/// records: one at run start, one at run end, on both engines. (The first
+/// beat used to arrive only after a full interval, so short runs logged
+/// nothing at all.)
+#[test]
+fn short_runs_still_emit_start_and_end_heartbeats() {
+    for engine in [EngineKind::Serial, EngineKind::Parallel] {
+        let e = point(MachineModel::SMTp, 2, 2, None);
+        let buf = SharedBuf::new();
+        let mut sys = build_system(&e);
+        // An interval no quick run can ever reach.
+        sys.enable_heartbeat(1_000_000_000, Some(Box::new(buf.clone())));
+        sys.run_with(e.max_cycles, engine)
+            .expect("run must complete");
+        let text = buf.to_string_lossy();
+        assert_heartbeat_jsonl(&text, 2);
+        let first = text.lines().next().expect("checked non-empty");
+        assert!(
+            first.contains("\"epochs\":0"),
+            "first beat should be the run-start record: {first:?}"
+        );
+    }
 }
 
 /// A sink that forwards to a [`SharedBuf`] but panics once it has seen a
