@@ -125,7 +125,8 @@ fn main() {
         println!(
             "{:>10} {:6} n={} w={}: {:>9} cycles, IPC {:.3}, remote miss {:>6.0} / p95 {}, \
              serial {:.2}s / parallel {:.2}s = {:.2}x \
-             [{} workers, barrier {:.1}%, imbalance {}, skip {:.1}%, fp {:016x}]",
+             [{} workers, barrier {:.1}%, imbalance {}, skip {:.1}%, fp {:016x}, \
+             hot home {} / link {:.1}%]",
             r.model,
             r.app,
             r.nodes,
@@ -141,7 +142,10 @@ fn main() {
             r.barrier_wait_pct,
             r.imbalance.map_or("n/a".to_string(), |v| format!("{v:.2}")),
             r.skip_efficiency_pct,
-            r.fingerprint
+            r.fingerprint,
+            r.home_occ_peak_node
+                .map_or("n/a".to_string(), |n| format!("n{n}")),
+            100.0 * r.link_util_peak
         );
     }
     eprintln!(

@@ -480,6 +480,110 @@ pub fn diff_reports(a: &ParsedReport, b: &ParsedReport, opts: &DiffOptions) -> R
         ));
     }
 
+    // Spatial hot-spot attribution: pure guest state, so every field is
+    // exact. Only compared when both reports carry the section (schema ≤ 3
+    // baselines predate it); a presence mismatch between two v4 documents
+    // is itself drift, so presence is compared whenever either side has it.
+    match (&a.spatial, &b.spatial) {
+        (Some(sa), Some(sb)) => {
+            m.push(MetricDelta::guest_str(
+                "spatial.enabled",
+                if sa.enabled { "true" } else { "false" },
+                if sb.enabled { "true" } else { "false" },
+            ));
+            m.push(MetricDelta::guest_u64(
+                "spatial.tracked_events",
+                sa.tracked_events,
+                sb.tracked_events,
+            ));
+            m.push(MetricDelta::guest_u64(
+                "spatial.hot_lines",
+                sa.hot_lines.len() as u64,
+                sb.hot_lines.len() as u64,
+            ));
+            for (la, lb) in sa.hot_lines.iter().zip(&sb.hot_lines) {
+                let tag = format!("spatial.line[{:#x}]", la.line);
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.line"),
+                    la.line,
+                    lb.line,
+                ));
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.weight"),
+                    la.weight,
+                    lb.weight,
+                ));
+                m.push(MetricDelta::guest_str(
+                    format!("{tag}.class"),
+                    &la.class,
+                    &lb.class,
+                ));
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.nacks"),
+                    la.nacks,
+                    lb.nacks,
+                ));
+            }
+            m.push(MetricDelta::guest_u64(
+                "spatial.homes",
+                sa.homes.len() as u64,
+                sb.homes.len() as u64,
+            ));
+            for (ha, hb) in sa.homes.iter().zip(&sb.homes) {
+                let tag = format!("spatial.home[{}]", ha.node);
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.handlers"),
+                    ha.handlers,
+                    hb.handlers,
+                ));
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.occ_cycles"),
+                    ha.occ_cycles,
+                    hb.occ_cycles,
+                ));
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.nacks"),
+                    ha.nacks,
+                    hb.nacks,
+                ));
+            }
+            m.push(MetricDelta::guest_u64(
+                "spatial.links",
+                sa.links.len() as u64,
+                sb.links.len() as u64,
+            ));
+            for (la, lb) in sa.links.iter().zip(&sb.links) {
+                let tag = format!("spatial.link[{}]", la.label);
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.busy"),
+                    la.busy,
+                    lb.busy,
+                ));
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.msgs"),
+                    la.msgs,
+                    lb.msgs,
+                ));
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.bytes"),
+                    la.bytes,
+                    lb.bytes,
+                ));
+                m.push(MetricDelta::guest_u64(
+                    format!("{tag}.retx"),
+                    la.retx,
+                    lb.retx,
+                ));
+            }
+        }
+        (None, None) => {}
+        (sa, sb) => m.push(MetricDelta::guest_str(
+            "spatial",
+            if sa.is_some() { "present" } else { "absent" },
+            if sb.is_some() { "present" } else { "absent" },
+        )),
+    }
+
     // Wall clock: gated only when both sides profiled themselves with the
     // same engine and worker count (otherwise the populations are not
     // comparable).
@@ -819,6 +923,27 @@ pub fn diff_bench_reports(a: &str, b: &str, opts: &DiffOptions) -> Result<BenchD
                 kind: DeltaKind::Guest,
             });
         }
+        // Spatial peak columns: exact guest state when both sides carry
+        // them (legacy baselines predate them). `home_occ_peak_node` is
+        // `null` on a zero-node document, so compare serialized values
+        // rather than numbers.
+        if ra.get("link_util_peak").is_some() && rb.get("link_util_peak").is_some() {
+            for col in ["home_occ_peak_node", "link_util_peak"] {
+                let s = |row: &JsonValue| match row.get(col) {
+                    Some(JsonValue::Null) => Some("null".to_string()),
+                    Some(v) => v.as_f64().map(|f| format!("{f}")),
+                    None => None,
+                };
+                let (va, vb) = (s(ra), s(rb));
+                metrics.push(MetricDelta {
+                    name: col.to_string(),
+                    a: va.clone().unwrap_or_else(|| "-".into()),
+                    b: vb.clone().unwrap_or_else(|| "-".into()),
+                    ok: va.is_some() && va == vb,
+                    kind: DeltaKind::Guest,
+                });
+            }
+        }
         // Wall columns: tolerance-gated, same-host only.
         for col in ["serial_secs", "parallel_secs"] {
             if let (Some(va), Some(vb)) = (num(ra, col), num(rb, col)) {
@@ -947,6 +1072,55 @@ mod tests {
         let d = diff_reports(&a, &b, &DiffOptions::default());
         assert!(d.wall.is_none());
         assert!(d.wall_note.is_some());
+    }
+
+    #[test]
+    fn spatial_drift_fails_the_gate() {
+        let (a, mut b) = report_pair();
+        // Reports carry the section from schema v4 on (home/link heat is
+        // always collected even with the line tracker off).
+        assert!(a.spatial.is_some(), "v4 reports must carry spatial");
+        let sp = b.spatial.as_mut().unwrap();
+        assert!(!sp.links.is_empty(), "2-node run must use the NoC");
+        sp.links[0].busy += 1;
+        let d = diff_reports(&a, &b, &DiffOptions::default());
+        assert!(d.has_guest_drift());
+        let gate = d.gate().unwrap_err();
+        assert!(gate.contains("spatial.link["), "{gate}");
+
+        // Presence mismatch between the two sides is itself drift.
+        b.spatial = None;
+        let d = diff_reports(&a, &b, &DiffOptions::default());
+        assert!(d.gate().unwrap_err().contains("spatial"), "presence gate");
+
+        // Two pre-spatial documents compare clean.
+        let mut a2 = a.clone();
+        a2.spatial = None;
+        let d = diff_reports(&a2, &b, &DiffOptions::default());
+        assert!(!d.has_guest_drift(), "{}", d.render_text());
+    }
+
+    #[test]
+    fn bench_diff_gates_spatial_peak_columns() {
+        let with_peaks = BENCH_A.replace(
+            "\"host_cores\":1",
+            "\"home_occ_peak_node\":2,\"link_util_peak\":0.0813,\"host_cores\":1",
+        );
+        let same = diff_bench_reports(&with_peaks, &with_peaks, &DiffOptions::default()).unwrap();
+        assert!(same.gate().is_ok(), "{}", same.render_text());
+
+        let moved = with_peaks.replace("\"link_util_peak\":0.0813", "\"link_util_peak\":0.0911");
+        let d = diff_bench_reports(&with_peaks, &moved, &DiffOptions::default()).unwrap();
+        assert!(d.has_guest_drift());
+        assert!(d.gate().unwrap_err().contains("link_util_peak"));
+
+        let hopped = with_peaks.replace("\"home_occ_peak_node\":2", "\"home_occ_peak_node\":null");
+        let d = diff_bench_reports(&with_peaks, &hopped, &DiffOptions::default()).unwrap();
+        assert!(d.gate().unwrap_err().contains("home_occ_peak_node"));
+
+        // Legacy baseline without the columns: not compared, no drift.
+        let d = diff_bench_reports(BENCH_A, &with_peaks, &DiffOptions::default()).unwrap();
+        assert!(!d.has_guest_drift(), "{}", d.render_text());
     }
 
     const BENCH_A: &str = r#"{"schema_version":1,"rows":[

@@ -205,6 +205,13 @@ pub struct BenchRow {
     /// guest configuration (0 when the row was built from bare
     /// [`RunStats`] without a config in hand).
     pub fingerprint: u64,
+    /// Home node with the peak protocol-occupancy fraction (`None` —
+    /// serialized as JSON `null` — when the run reported no home heat,
+    /// e.g. a row rebuilt from a pre-spatial archive).
+    pub home_occ_peak_node: Option<u64>,
+    /// Busy fraction of the hottest NoC link (0 when no traffic flowed or
+    /// the row predates the spatial section).
+    pub link_util_peak: f64,
 }
 
 impl BenchRow {
@@ -230,6 +237,8 @@ impl BenchRow {
             imbalance: None,
             skip_efficiency_pct: 0.0,
             fingerprint: 0,
+            home_occ_peak_node: r.spatial.peak_home().map(|h| h.node as u64),
+            link_util_peak: r.spatial.peak_link_util(),
         }
     }
 
@@ -306,6 +315,8 @@ impl BenchRow {
             imbalance: None,
             skip_efficiency_pct: 0.0,
             fingerprint: serial.key.fingerprint,
+            home_occ_peak_node: a.spatial.as_ref().and_then(|sp| sp.home_occ_peak_node),
+            link_util_peak: a.spatial.as_ref().map_or(0.0, |sp| sp.link_util_peak),
         };
         if let Some(h) = &b.host {
             row.workers = h.workers as usize;
@@ -363,6 +374,10 @@ pub fn render_bench_report(rows: &[BenchRow]) -> String {
             Some(v) => format!("{v:.2}"),
             None => "null".to_string(),
         };
+        let peak_node = match r.home_occ_peak_node {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "  {{\"model\":\"{}\",\"app\":\"{}\",\"nodes\":{},\"ways\":{},\"cycles\":{},\
@@ -370,6 +385,7 @@ pub fn render_bench_report(rows: &[BenchRow]) -> String {
              \"serial_secs\":{:.3},\"parallel_secs\":{:.3},\"speedup\":{:.2},\
              \"workers\":{},\"barrier_wait_pct\":{:.1},\"imbalance\":{imbalance},\
              \"skip_efficiency_pct\":{:.1},\"fingerprint\":\"{:016x}\",\
+             \"home_occ_peak_node\":{peak_node},\"link_util_peak\":{:.4},\
              \"host_cores\":{cores}}}",
             r.model,
             r.app,
@@ -385,7 +401,8 @@ pub fn render_bench_report(rows: &[BenchRow]) -> String {
             r.workers,
             r.barrier_wait_pct,
             r.skip_efficiency_pct,
-            r.fingerprint
+            r.fingerprint,
+            r.link_util_peak
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -8,7 +8,8 @@ use crate::mshr::{Deferred, MshrClass, MshrFile, WaitTag};
 use crate::setassoc::{Cache, LineState};
 use crate::tlb::Tlb;
 use crate::wb::WritebackBuffer;
-use smtp_trace::{Category, Event, GrantClass, MissClass, Tracer};
+use smtp_trace::spatial::{node_bit, sub_block_bit};
+use smtp_trace::{Category, Event, GrantClass, LineTracker, MissClass, Tracer};
 use smtp_types::{
     Addr, Ctx, Cycle, Distribution, LineAddr, NodeId, PhaseBoundary, PhaseProfiler, PipelineParams,
     Region, SpanAlloc, SpanId, TxnClass,
@@ -83,6 +84,10 @@ pub struct MemHierarchy {
     tracer: Tracer,
     profiler: PhaseProfiler,
     spans: SpanAlloc,
+    /// Requester-side per-line tracker (misses, sub-block access masks,
+    /// coherence receipts); `None` (zero overhead) unless spatial
+    /// attribution is enabled.
+    spatial: Option<Box<LineTracker>>,
 }
 
 impl MemHierarchy {
@@ -111,6 +116,35 @@ impl MemHierarchy {
             tracer: Tracer::disabled(),
             profiler: PhaseProfiler::disabled(),
             spans: SpanAlloc::new(node),
+            spatial: None,
+        }
+    }
+
+    /// Arm the requester-side per-line tracker with the given Space-Saving
+    /// capacity.
+    pub fn enable_spatial(&mut self, cap: usize) {
+        self.spatial = Some(Box::new(LineTracker::new(cap)));
+    }
+
+    /// The requester-side line tracker, if spatial attribution is enabled.
+    pub fn spatial(&self) -> Option<&LineTracker> {
+        self.spatial.as_deref()
+    }
+
+    /// Fold one coherence-visible application miss into the requester-side
+    /// tracker: which sub-block of the line this node read or wrote, and
+    /// whether it asked for write permission.
+    fn spatial_miss(&mut self, addr: Addr, kind: MissKind) {
+        let Some(sp) = &mut self.spatial else { return };
+        let c = sp.touch(addr.line());
+        c.misses += 1;
+        c.toucher_mask |= node_bit(self.node.idx());
+        match kind {
+            MissKind::Read => c.read_mask |= sub_block_bit(addr),
+            MissKind::Write | MissKind::Upgrade => {
+                c.write_mask |= sub_block_bit(addr);
+                c.writer_mask |= node_bit(self.node.idx());
+            }
         }
     }
 
@@ -443,6 +477,9 @@ impl MemHierarchy {
                     .waiting
                     .push(WaitTag::Load { tag, addr });
                 self.trace_alloc(line, MissClass::Read, span, now);
+                if !is_protocol {
+                    self.spatial_miss(addr, MissKind::Read);
+                }
                 self.events.push_back(if is_protocol {
                     MemEvent::ProtocolFetch { line, span }
                 } else {
@@ -661,6 +698,9 @@ impl MemHierarchy {
                             .waiting
                             .push(WaitTag::Store { tag, addr });
                         self.trace_alloc(line, MissClass::Write, span, now);
+                        if !is_protocol {
+                            self.spatial_miss(addr, MissKind::Write);
+                        }
                         self.events.push_back(if is_protocol {
                             MemEvent::ProtocolFetch { line, span }
                         } else {
@@ -714,6 +754,7 @@ impl MemHierarchy {
                     .push(WaitTag::Store { tag, addr });
                 self.stats.upgrades += 1;
                 self.trace_alloc(line, MissClass::Upgrade, span, now);
+                self.spatial_miss(addr, MissKind::Upgrade);
                 self.profile_start(line, TxnClass::ReadExclusive, now);
                 self.events.push_back(MemEvent::AppMiss {
                     line,
@@ -764,6 +805,7 @@ impl MemHierarchy {
                     self.stats.prefetch_issued += 1;
                     self.stats.upgrades += 1;
                     self.trace_alloc(line, MissClass::Prefetch, span, now);
+                    self.spatial_miss(addr, MissKind::Upgrade);
                     self.profile_start(line, TxnClass::ReadExclusive, now);
                     self.events.push_back(MemEvent::AppMiss {
                         line,
@@ -792,6 +834,7 @@ impl MemHierarchy {
                 {
                     self.stats.prefetch_issued += 1;
                     self.trace_alloc(line, MissClass::Prefetch, span, now);
+                    self.spatial_miss(addr, kind);
                     let class = if exclusive {
                         TxnClass::ReadExclusive
                     } else {
@@ -998,6 +1041,9 @@ impl MemHierarchy {
     /// Handle an incoming invalidation for a (supposedly) Shared copy.
     /// `span` is the invalidating (remote) transaction's causal span.
     pub fn inval(&mut self, line: LineAddr, requester: NodeId, span: SpanId) -> InvalResult {
+        if let Some(sp) = &mut self.spatial {
+            sp.touch(line).invals_rx += 1;
+        }
         if let Some(idx) = self.mshrs.find(line) {
             let m = self.mshrs.get_mut(idx);
             if m.kind == MissKind::Read && !m.data_done {
@@ -1024,6 +1070,9 @@ impl MemHierarchy {
         requester: NodeId,
         span: SpanId,
     ) -> IntervResult {
+        if let Some(sp) = &mut self.spatial {
+            sp.touch(line).interventions_rx += 1;
+        }
         if let Some(idx) = self.mshrs.find(line) {
             let m = self.mshrs.get_mut(idx);
             debug_assert!(m.deferred.is_none());
@@ -1046,6 +1095,9 @@ impl MemHierarchy {
     /// Handle an incoming exclusive intervention. `span` is the intervening
     /// transaction's causal span.
     pub fn interv_excl(&mut self, line: LineAddr, requester: NodeId, span: SpanId) -> IntervResult {
+        if let Some(sp) = &mut self.spatial {
+            sp.touch(line).interventions_rx += 1;
+        }
         if let Some(idx) = self.mshrs.find(line) {
             let m = self.mshrs.get_mut(idx);
             debug_assert!(m.deferred.is_none());

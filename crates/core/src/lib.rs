@@ -28,8 +28,9 @@ pub use experiment::{build_system, run_experiment, try_run_experiment, Experimen
 pub use json::{JsonError, JsonValue};
 pub use node::Node;
 pub use report::{
-    ParsedCriticalPath, ParsedHist, ParsedHostProfile, ParsedPhase, ParsedReport, ParsedThreadTime,
-    Report, MIN_REPORT_SCHEMA_VERSION, REPORT_SCHEMA_VERSION,
+    spatial_json, ParsedCriticalPath, ParsedHist, ParsedHomeHeat, ParsedHostProfile, ParsedHotLine,
+    ParsedLinkHeat, ParsedPhase, ParsedReport, ParsedSpatial, ParsedThreadTime, Report,
+    MIN_REPORT_SCHEMA_VERSION, REPORT_SCHEMA_VERSION,
 };
 pub use stats::{RunStats, ThreadTime};
 pub use system::System;

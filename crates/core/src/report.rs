@@ -8,7 +8,7 @@
 
 use crate::json::{JsonError, JsonValue};
 use crate::stats::{RunStats, ThreadTime};
-use smtp_trace::{HostProfile, HOST_PHASE_NAMES, NUM_PATH_CATS, PATH_CAT_NAMES};
+use smtp_trace::{HostProfile, SpatialStats, HOST_PHASE_NAMES, NUM_PATH_CATS, PATH_CAT_NAMES};
 use smtp_types::{Distribution, Histogram, CLASS_NAMES, NUM_PHASES, PHASE_NAMES};
 
 /// Percentiles every latency table reports.
@@ -20,8 +20,10 @@ const PERCENTILES: [f64; 5] = [50.0, 90.0, 95.0, 99.0, 100.0];
 /// optional `host_profile` section and `workers`. Version 3 added
 /// `remote_miss`, the merged remote read / read-exclusive latency
 /// histogram (so archive consumers need not re-merge per-class summaries,
-/// which is impossible from percentiles alone).
-pub const REPORT_SCHEMA_VERSION: u32 = 3;
+/// which is impossible from percentiles alone). Version 4 added the
+/// `spatial` section: classified hot lines, the per-home-node heatmap and
+/// the per-link NoC utilization matrix.
+pub const REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// Oldest report schema [`ParsedReport::from_json`] accepts.
 pub const MIN_REPORT_SCHEMA_VERSION: u32 = 2;
@@ -63,6 +65,80 @@ impl<'a> Report<'a> {
     /// Render as Markdown tables.
     pub fn markdown(&self) -> String {
         self.render(Style::Markdown)
+    }
+
+    /// One-screen run summary. Alongside the machine-wide occupancy
+    /// numbers it surfaces the *spatial* peaks — which home node and which
+    /// NoC link are saturating — so single-node hot spots are not hidden
+    /// behind the mean.
+    pub fn summary(&self) -> String {
+        let s = self.stats;
+        let sp = &s.spatial;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:?} {} x{} ({}-way): {} cycles, IPC {:.3}, {} handlers\n",
+            s.model,
+            s.app,
+            s.nodes,
+            s.ways,
+            s.cycles,
+            s.ipc(),
+            s.handlers
+        ));
+        out.push_str(&format!(
+            "memory stall {:.1}% | protocol occupancy mean {:.1}% / peak {:.1}%",
+            100.0 * s.memory_stall_frac(),
+            100.0 * s.protocol_occupancy_mean,
+            100.0 * s.protocol_occupancy_peak,
+        ));
+        match sp.peak_home() {
+            Some(h) => out.push_str(&format!(
+                " | hottest home n{}: {:.1}% occ, {} handlers, {} nacks\n",
+                h.node,
+                100.0 * sp.home_occ(h),
+                h.handlers,
+                h.nacks
+            )),
+            None => out.push('\n'),
+        }
+        if let Some(l) = sp.peak_link() {
+            out.push_str(&format!(
+                "network: {} msgs, mean latency {:.1} cyc | hottest link {}: {:.1}% util, {} msgs",
+                s.network.messages,
+                s.network.mean_latency(),
+                l.label,
+                100.0 * sp.link_util(l),
+                l.msgs
+            ));
+            if l.retx > 0 {
+                out.push_str(&format!(", {} retx", l.retx));
+            }
+            out.push('\n');
+        }
+        if sp.enabled {
+            match sp.hot_lines.first() {
+                Some(h) => out.push_str(&format!(
+                    "hottest line {:#x} (home n{}): {} ({}±{} events, {} reads / {} writes)\n",
+                    h.line,
+                    h.home,
+                    h.class.as_str(),
+                    h.weight,
+                    h.err,
+                    h.c.reads,
+                    h.c.writes
+                )),
+                None => out.push_str("no tracked lines\n"),
+            }
+        }
+        if !s.miss_latency.is_empty() {
+            out.push_str(&format!(
+                "L2 miss latency mean {:.1} / p95 {} cycles ({} misses)\n",
+                s.miss_latency.mean(),
+                s.miss_latency.percentile(95.0),
+                s.miss_latency.count()
+            ));
+        }
+        out
     }
 
     fn render(&self, style: Style) -> String {
@@ -275,6 +351,86 @@ impl<'a> Report<'a> {
             style.table(&mut out, &["vnet", "msgs", "mean cyc", "p95", "max"], &rows);
         }
 
+        // -- Spatial hot spots ----------------------------------------------
+        let sp = &s.spatial;
+        if sp.enabled || !sp.links.is_empty() {
+            style.heading(&mut out, 2, "Hot spots");
+            if sp.enabled {
+                if sp.hot_lines.is_empty() {
+                    style.para(&mut out, "no tracked lines");
+                } else {
+                    let rows: Vec<Vec<String>> = sp
+                        .hot_lines
+                        .iter()
+                        .take(10)
+                        .map(|h| {
+                            vec![
+                                format!("{:#x}", h.line),
+                                h.home.to_string(),
+                                h.class.as_str().into(),
+                                format!("{}±{}", h.weight, h.err),
+                                h.c.reads.to_string(),
+                                h.c.writes.to_string(),
+                                h.c.invals_sent.to_string(),
+                                h.c.interventions.to_string(),
+                                h.c.nacks.to_string(),
+                            ]
+                        })
+                        .collect();
+                    style.table(
+                        &mut out,
+                        &[
+                            "line", "home", "class", "events", "reads", "writes", "invals",
+                            "interv", "nacks",
+                        ],
+                        &rows,
+                    );
+                    style.para(&mut out, &format!("{} tracked events", sp.tracked_events));
+                }
+            }
+            let mut homes: Vec<_> = sp.homes.iter().collect();
+            homes.sort_by_key(|h| (std::cmp::Reverse(h.occupancy_cycles), h.node));
+            let rows: Vec<Vec<String>> = homes
+                .iter()
+                .take(5)
+                .map(|h| {
+                    vec![
+                        format!("n{}", h.node),
+                        format!("{:.1}%", 100.0 * sp.home_occ(h)),
+                        h.handlers.to_string(),
+                        h.nacks.to_string(),
+                        format!("{:.1}", h.queue_wait.mean()),
+                        format!("{:.1}", h.sdram_wait.mean()),
+                    ]
+                })
+                .collect();
+            if !rows.is_empty() {
+                style.table(
+                    &mut out,
+                    &["home", "occ", "handlers", "nacks", "queue", "sdram"],
+                    &rows,
+                );
+            }
+            let mut links: Vec<_> = sp.links.iter().collect();
+            links.sort_by_key(|l| (std::cmp::Reverse(l.busy), l.link));
+            let rows: Vec<Vec<String>> = links
+                .iter()
+                .take(5)
+                .map(|l| {
+                    vec![
+                        l.label.clone(),
+                        format!("{:.1}%", 100.0 * sp.link_util(l)),
+                        l.msgs.to_string(),
+                        l.bytes.to_string(),
+                        l.retx.to_string(),
+                    ]
+                })
+                .collect();
+            if !rows.is_empty() {
+                style.table(&mut out, &["link", "util", "msgs", "bytes", "retx"], &rows);
+            }
+        }
+
         // -- Host engine profile --------------------------------------------
         if let Some(h) = self.host {
             style.heading(&mut out, 2, "Host engine profile");
@@ -406,12 +562,92 @@ impl<'a> Report<'a> {
             cp.num(&name.replace(' ', "_"), s.critical_path.cycles[i] as f64);
         }
         j.raw("critical_path", &cp.finish());
+
+        j.raw("spatial", &spatial_json(&s.spatial));
+
         match self.host {
             Some(h) => j.raw("host_profile", &h.to_json()),
             None => j.raw("host_profile", "null"),
         }
         j.finish()
     }
+}
+
+/// The spatial hot-spot section as a standalone JSON object — the body of
+/// a report's `spatial` key, also written on its own as `hotspots.json` by
+/// the quickstart example's `--hotspots` flag.
+pub fn spatial_json(sp: &SpatialStats) -> String {
+    let mut spat = JsonObj::new();
+    spat.raw("enabled", if sp.enabled { "true" } else { "false" });
+    spat.num("tracked_events", sp.tracked_events as f64);
+    let line_rows: Vec<String> = sp
+        .hot_lines
+        .iter()
+        .map(|h| {
+            let mut l = JsonObj::new();
+            l.num("line", h.line as f64);
+            l.num("home", h.home as f64);
+            l.num("weight", h.weight as f64);
+            l.num("err", h.err as f64);
+            l.str("class", h.class.as_str());
+            l.num("reads", h.c.reads as f64);
+            l.num("writes", h.c.writes as f64);
+            l.num("upgrades", h.c.upgrades as f64);
+            l.num("writebacks", h.c.writebacks as f64);
+            l.num("invals_sent", h.c.invals_sent as f64);
+            l.num("interventions", h.c.interventions as f64);
+            l.num("nacks", h.c.nacks as f64);
+            l.num("misses", h.c.misses as f64);
+            l.num("invals_rx", h.c.invals_rx as f64);
+            l.num("interventions_rx", h.c.interventions_rx as f64);
+            l.num("peak_sharers", h.c.peak_sharers as f64);
+            l.finish()
+        })
+        .collect();
+    spat.raw("hot_lines", &json_array(&line_rows));
+    let home_rows: Vec<String> = sp
+        .homes
+        .iter()
+        .map(|h| {
+            let mut o = JsonObj::new();
+            o.num("node", h.node as f64);
+            o.num("handlers", h.handlers as f64);
+            o.num("occ_cycles", h.occupancy_cycles as f64);
+            o.num("occupancy", sp.home_occ(h));
+            o.num("nacks", h.nacks as f64);
+            o.raw("queue_wait", &dist_json(&h.queue_wait));
+            o.raw("sdram_wait", &dist_json(&h.sdram_wait));
+            o.finish()
+        })
+        .collect();
+    spat.raw("homes", &json_array(&home_rows));
+    let link_rows: Vec<String> = sp
+        .links
+        .iter()
+        .map(|l| {
+            let mut o = JsonObj::new();
+            o.num("link", l.link as f64);
+            o.str("label", &l.label);
+            o.num("busy", l.busy as f64);
+            o.num("util", sp.link_util(l));
+            o.num("msgs", l.msgs as f64);
+            o.num("bytes", l.bytes as f64);
+            o.num("retx", l.retx as f64);
+            o.finish()
+        })
+        .collect();
+    spat.raw("links", &json_array(&link_rows));
+    match sp.peak_home() {
+        Some(h) => spat.num("home_occ_peak_node", h.node as f64),
+        None => spat.raw("home_occ_peak_node", "null"),
+    }
+    spat.num("home_occ_peak", sp.peak_home_occ());
+    match sp.peak_link() {
+        Some(l) => spat.str("link_util_peak_label", &l.label),
+        None => spat.raw("link_util_peak_label", "null"),
+    }
+    spat.num("link_util_peak", sp.peak_link_util());
+    spat.finish()
 }
 
 /// ASCII stacked bar for one thread's breakdown (30 chars wide).
@@ -681,6 +917,173 @@ pub struct ParsedHostProfile {
     pub skip_efficiency: f64,
 }
 
+/// One classified hot line parsed back from a report's `spatial` section.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedHotLine {
+    /// Raw line address.
+    pub line: u64,
+    /// Home node of the line.
+    pub home: u64,
+    /// Estimated tracked-event count.
+    pub weight: u64,
+    /// Over-estimation bound.
+    pub err: u64,
+    /// Classifier label ("migratory", "contended", ...).
+    pub class: String,
+    /// GetS handled at the home.
+    pub reads: u64,
+    /// GetX + Upgrade handled at the home.
+    pub writes: u64,
+    /// Invalidations the home sent.
+    pub invals_sent: u64,
+    /// Interventions the home sent.
+    pub interventions: u64,
+    /// Requests deferred while the line was busy.
+    pub nacks: u64,
+}
+
+/// One home node's heat parsed back from a report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedHomeHeat {
+    /// The home node.
+    pub node: u64,
+    /// Handlers dispatched there.
+    pub handlers: u64,
+    /// Cycles its protocol engine / thread was active.
+    pub occ_cycles: u64,
+    /// Requests it deferred.
+    pub nacks: u64,
+}
+
+/// One directed link's load parsed back from a report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedLinkHeat {
+    /// Link id.
+    pub link: u64,
+    /// Topology label ("n0->r0", "r2->r3.d0", ...).
+    pub label: String,
+    /// Serialization-busy cycles.
+    pub busy: u64,
+    /// Messages that crossed the link.
+    pub msgs: u64,
+    /// Bytes that crossed the link.
+    pub bytes: u64,
+    /// LLP retransmissions over the link.
+    pub retx: u64,
+}
+
+/// The spatial hot-spot section parsed back from a report (`None` for
+/// schema ≤ 3 documents, which predate it). Every field except the
+/// derived `*_peak` fractions is exact guest state: two runs of the same
+/// configuration must agree on all of it bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedSpatial {
+    /// Whether the per-line tracker was armed.
+    pub enabled: bool,
+    /// Total events the line trackers observed.
+    pub tracked_events: u64,
+    /// Classified hot lines, heaviest first.
+    pub hot_lines: Vec<ParsedHotLine>,
+    /// Per-home heat, node order.
+    pub homes: Vec<ParsedHomeHeat>,
+    /// Per-link load, link-id order.
+    pub links: Vec<ParsedLinkHeat>,
+    /// Node with the peak protocol occupancy (`None` on a 0-node report).
+    pub home_occ_peak_node: Option<u64>,
+    /// Peak home occupancy fraction.
+    pub home_occ_peak: f64,
+    /// Label of the busiest link, if any traffic flowed.
+    pub link_util_peak_label: Option<String>,
+    /// Peak link busy fraction.
+    pub link_util_peak: f64,
+}
+
+impl ParsedSpatial {
+    fn from_json(v: &JsonValue) -> Result<ParsedSpatial, JsonError> {
+        let enabled = v
+            .req("enabled")?
+            .as_bool()
+            .ok_or_else(|| JsonError::new_at("\"enabled\" is not a boolean", 0))?;
+        let hot_lines = v
+            .req("hot_lines")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new_at("\"hot_lines\" is not an array", 0))?
+            .iter()
+            .map(|h| {
+                Ok(ParsedHotLine {
+                    line: req_u64(h, "line")?,
+                    home: req_u64(h, "home")?,
+                    weight: req_u64(h, "weight")?,
+                    err: req_u64(h, "err")?,
+                    class: req_str(h, "class")?,
+                    reads: req_u64(h, "reads")?,
+                    writes: req_u64(h, "writes")?,
+                    invals_sent: req_u64(h, "invals_sent")?,
+                    interventions: req_u64(h, "interventions")?,
+                    nacks: req_u64(h, "nacks")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let homes = v
+            .req("homes")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new_at("\"homes\" is not an array", 0))?
+            .iter()
+            .map(|h| {
+                Ok(ParsedHomeHeat {
+                    node: req_u64(h, "node")?,
+                    handlers: req_u64(h, "handlers")?,
+                    occ_cycles: req_u64(h, "occ_cycles")?,
+                    nacks: req_u64(h, "nacks")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let links = v
+            .req("links")?
+            .as_arr()
+            .ok_or_else(|| JsonError::new_at("\"links\" is not an array", 0))?
+            .iter()
+            .map(|l| {
+                Ok(ParsedLinkHeat {
+                    link: req_u64(l, "link")?,
+                    label: req_str(l, "label")?,
+                    busy: req_u64(l, "busy")?,
+                    msgs: req_u64(l, "msgs")?,
+                    bytes: req_u64(l, "bytes")?,
+                    retx: req_u64(l, "retx")?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let home_occ_peak_node = match v.req("home_occ_peak_node")? {
+            JsonValue::Null => None,
+            n => Some(n.as_u64().ok_or_else(|| {
+                JsonError::new_at("\"home_occ_peak_node\" is not an integer or null", 0)
+            })?),
+        };
+        let link_util_peak_label = match v.req("link_util_peak_label")? {
+            JsonValue::Null => None,
+            s => Some(
+                s.as_str()
+                    .ok_or_else(|| {
+                        JsonError::new_at("\"link_util_peak_label\" is not a string or null", 0)
+                    })?
+                    .to_string(),
+            ),
+        };
+        Ok(ParsedSpatial {
+            enabled,
+            tracked_events: req_u64(v, "tracked_events")?,
+            hot_lines,
+            homes,
+            links,
+            home_occ_peak_node,
+            home_occ_peak: req_f64(v, "home_occ_peak")?,
+            link_util_peak_label,
+            link_util_peak: req_f64(v, "link_util_peak")?,
+        })
+    }
+}
+
 /// One per-context stall-taxonomy row parsed back from a report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ParsedThreadTime {
@@ -745,6 +1148,9 @@ pub struct ParsedReport {
     pub critical_path: ParsedCriticalPath,
     /// Host engine profile, when the run had telemetry on.
     pub host: Option<ParsedHostProfile>,
+    /// Spatial hot-spot section (`None` for schema ≤ 3 documents, which
+    /// predate it).
+    pub spatial: Option<ParsedSpatial>,
     /// The full parsed document, for consumers needing more than the
     /// extracted fields.
     pub raw: JsonValue,
@@ -879,6 +1285,10 @@ impl ParsedReport {
             thread_time,
             critical_path,
             host,
+            spatial: match raw.get("spatial") {
+                Some(v) => Some(ParsedSpatial::from_json(v)?),
+                None => None,
+            },
             raw,
         })
     }
@@ -988,5 +1398,96 @@ mod tests {
         let json = r.json();
         assert!(json.contains("\"host_profile\":{\"engine\":\"serial\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    fn spatial_stats() -> RunStats {
+        let cfg = smtp_types::SystemConfig::new(smtp_types::MachineModel::SMTp, 4, 2);
+        let mut sys = crate::System::new(cfg, smtp_workloads::AppKind::Fft, 0.05);
+        sys.enable_spatial(32);
+        sys.run(20_000_000).expect("run must complete")
+    }
+
+    #[test]
+    fn spatial_section_renders_and_parses_back() {
+        let s = spatial_stats();
+        assert!(s.spatial.enabled);
+        assert!(!s.spatial.hot_lines.is_empty(), "FFT must touch lines");
+        assert!(!s.spatial.links.is_empty(), "4-node run must use the NoC");
+        let r = Report::new(&s);
+        let text = r.text();
+        assert!(text.contains("Hot spots"));
+        assert!(text.contains("tracked events"));
+        let json = r.json();
+        assert!(json.contains("\"spatial\":{\"enabled\":true"));
+
+        let p = ParsedReport::from_json(&json).expect("own JSON must parse");
+        let sp = p.spatial.expect("schema v4 report carries spatial");
+        assert!(sp.enabled);
+        assert_eq!(sp.hot_lines.len(), s.spatial.hot_lines.len());
+        assert_eq!(sp.homes.len(), 4);
+        assert_eq!(sp.links.len(), s.spatial.links.len());
+        let hl = &sp.hot_lines[0];
+        let exp = &s.spatial.hot_lines[0];
+        assert_eq!(hl.line, exp.line);
+        assert_eq!(hl.home, exp.home as u64);
+        assert_eq!(hl.weight, exp.weight);
+        assert_eq!(hl.class, exp.class.as_str());
+        assert_eq!(
+            sp.home_occ_peak_node,
+            s.spatial.peak_home().map(|h| h.node as u64)
+        );
+        assert_eq!(
+            sp.link_util_peak_label,
+            s.spatial.peak_link().map(|l| l.label.clone())
+        );
+    }
+
+    #[test]
+    fn summary_surfaces_spatial_peaks() {
+        let s = spatial_stats();
+        let sum = Report::new(&s).summary();
+        assert!(sum.contains("hottest home n"));
+        assert!(sum.contains("hottest link"));
+        assert!(sum.contains("hottest line 0x"));
+        // One screen, not a full report.
+        assert!(sum.lines().count() <= 8, "summary must stay short:\n{sum}");
+    }
+
+    #[test]
+    fn parser_tolerates_reports_predating_spatial() {
+        // A schema-3 document has no "spatial" key; the reader must return
+        // None rather than erroring, mirroring the remote_miss tolerance.
+        let s = stats();
+        let json = Report::new(&s).json();
+        let v3 = json
+            .replacen(
+                &format!("\"schema_version\":{REPORT_SCHEMA_VERSION}"),
+                "\"schema_version\":3",
+                1,
+            )
+            .replace(&spatial_json_slice(&json), "");
+        let p = ParsedReport::from_json(&v3).expect("legacy document must parse");
+        assert_eq!(p.schema_version, 3);
+        assert!(p.spatial.is_none());
+    }
+
+    /// The exact `,"spatial":{...}` byte range of a report JSON document,
+    /// found by brace matching so the legacy-tolerance test can excise it.
+    fn spatial_json_slice(json: &str) -> String {
+        let start = json.find(",\"spatial\":{").expect("section present");
+        let mut depth = 0usize;
+        for (i, c) in json[start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return json[start..=start + i].to_string();
+                    }
+                }
+                _ => {}
+            }
+        }
+        panic!("unbalanced spatial object");
     }
 }

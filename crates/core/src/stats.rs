@@ -3,7 +3,9 @@
 use crate::node::Node;
 use smtp_noc::{NetStats, Network};
 use smtp_protocol::HandlerStats;
-use smtp_trace::{CausalSpans, CriticalPathBreakdown};
+use smtp_trace::{
+    classify, CausalSpans, CriticalPathBreakdown, HomeHeat, HotLine, LineTracker, SpatialStats,
+};
 use smtp_types::{
     Cycle, Distribution, FaultSummary, LatencyBreakdown, MachineModel, PhaseProfiler, RunningStat,
     SystemConfig, MAX_CTX,
@@ -111,6 +113,11 @@ pub struct RunStats {
     /// Per-context time breakdown (Fig. 5/7), one entry per application
     /// context machine-wide.
     pub thread_time: Vec<ThreadTime>,
+    /// Spatial hot-spot attribution: classified hot lines (empty unless
+    /// [`crate::System::enable_spatial`] was on), per-home-node heat and
+    /// the per-directed-link NoC utilization matrix (always collected —
+    /// they reuse counters the components maintain anyway).
+    pub spatial: SpatialStats,
     /// Injected-fault and recovery counters (all zero unless the run was
     /// configured with fault injection).
     pub faults: FaultSummary,
@@ -155,6 +162,8 @@ impl RunStats {
         let mut dispatch_queue_wait = Distribution::new();
         let mut handler_occupancy = HandlerStats::new();
         let mut thread_time = Vec::with_capacity(nodes.len() * cfg.app_threads);
+        let mut homes = Vec::with_capacity(nodes.len());
+        let mut hot_tracker: Option<LineTracker> = None;
         let mut faults = network.map(|n| n.fault_counters()).unwrap_or_default();
         for n in nodes {
             faults.merge(&n.fault_counters());
@@ -176,15 +185,37 @@ impl RunStats {
                     cycles: p.cycles,
                 });
             }
-            sdram_queue_wait.merge(n.sdram.main_queue_wait());
-            sdram_queue_wait.merge(n.sdram.protocol_queue_wait());
-            dispatch_queue_wait.merge(&n.dispatch_wait());
+            let mut home_sdram = Distribution::new();
+            home_sdram.merge(n.sdram.main_queue_wait());
+            home_sdram.merge(n.sdram.protocol_queue_wait());
+            sdram_queue_wait.merge(&home_sdram);
+            let home_queue = n.dispatch_wait();
+            dispatch_queue_wait.merge(&home_queue);
             handler_occupancy.merge(&n.handler_stats);
-            let occ = match &n.engine {
-                Some(e) => e.active_cycles() as f64 / cycles as f64,
-                None => p.protocol_active_cycles as f64 / cycles as f64,
+            let occ_cycles = match &n.engine {
+                Some(e) => e.active_cycles(),
+                None => p.protocol_active_cycles,
             };
-            occupancy.push(occ);
+            occupancy.push(occ_cycles as f64 / cycles as f64);
+            homes.push(HomeHeat {
+                node: n.id().idx(),
+                handlers: n.stats.handlers,
+                occupancy_cycles: occ_cycles,
+                nacks: n.directory.stats().deferred,
+                queue_wait: home_queue,
+                sdram_wait: home_sdram,
+            });
+            // Fold both per-line views in fixed node order: the home-side
+            // directory tracker, then the requester-side cache tracker.
+            for t in [n.directory.spatial(), n.mem.spatial()]
+                .into_iter()
+                .flatten()
+            {
+                match &mut hot_tracker {
+                    Some(m) => m.merge(t),
+                    None => hot_tracker = Some(t.clone()),
+                }
+            }
             prot_branches += p.branches[MAX_CTX - 1];
             prot_mispred += p.mispredicts[MAX_CTX - 1];
             squash_cycles += p.protocol_squash_cycles;
@@ -205,6 +236,32 @@ impl RunStats {
             miss_latency.merge(&c.miss_latency);
         }
         let total_insts = app_insts + prot_insts;
+        let (spatial_enabled, tracked_events, hot_lines) = match &hot_tracker {
+            Some(t) => (
+                true,
+                t.total(),
+                t.sorted()
+                    .into_iter()
+                    .map(|e| HotLine {
+                        line: e.line.raw(),
+                        home: e.line.home().idx(),
+                        weight: e.weight,
+                        err: e.err,
+                        class: classify(&e.c),
+                        c: e.c,
+                    })
+                    .collect(),
+            ),
+            None => (false, 0, Vec::new()),
+        };
+        let spatial = SpatialStats {
+            enabled: spatial_enabled,
+            elapsed: cycles,
+            tracked_events,
+            hot_lines,
+            homes,
+            links: network.map(|n| n.link_heat()).unwrap_or_default(),
+        };
         RunStats {
             model: cfg.model,
             app,
@@ -252,6 +309,7 @@ impl RunStats {
             dispatch_queue_wait,
             handler_occupancy,
             thread_time,
+            spatial,
             faults,
             workers: cfg.workers,
         }

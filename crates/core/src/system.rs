@@ -177,6 +177,11 @@ pub(crate) struct MetricsState {
     prev_committed: Vec<u64>,
     prev_prot_active: Vec<u64>,
     prev_vnet: [u64; 4],
+    /// Hot-spot drift columns armed: append per-interval peak home-node
+    /// occupancy and peak link utilization to every sample.
+    hotspots: bool,
+    prev_occ: Vec<u64>,
+    prev_link_busy: Vec<u64>,
 }
 
 impl MetricsState {
@@ -214,6 +219,28 @@ impl MetricsState {
                 }
             }
             None => values.extend([0.0; 5]),
+        }
+        if self.hotspots {
+            let mut occ_peak = 0.0f64;
+            for (i, node) in nodes.iter().enumerate() {
+                let occ = match &node.engine {
+                    Some(e) => e.active_cycles(),
+                    None => node.pipeline.stats().protocol_active_cycles,
+                };
+                occ_peak = occ_peak.max((occ - self.prev_occ[i]) as f64 / interval);
+                self.prev_occ[i] = occ;
+            }
+            values.push(occ_peak);
+            let mut link_peak = 0.0f64;
+            if let Some(net) = network {
+                let busy = net.link_busy();
+                self.prev_link_busy.resize(busy.len(), 0);
+                for (prev, &cur) in self.prev_link_busy.iter_mut().zip(busy.iter()) {
+                    link_peak = link_peak.max((cur - *prev) as f64 / interval);
+                    *prev = cur;
+                }
+            }
+            values.push(link_peak);
         }
         self.sampler.record(now, values);
     }
@@ -402,8 +429,20 @@ impl System {
     /// queue depth, plus network in-flight count and per-virtual-network
     /// message rates. Retrieve the series with [`System::metrics`].
     pub fn enable_metrics(&mut self, interval: Cycle) {
+        self.build_metrics(interval, false);
+    }
+
+    /// Like [`System::enable_metrics`], with two extra columns tracking
+    /// hot-spot drift over time: `hot_home_occ` (the interval's peak
+    /// per-node protocol occupancy) and `hot_link_util` (the interval's
+    /// peak per-link busy fraction).
+    pub fn enable_metrics_hotspots(&mut self, interval: Cycle) {
+        self.build_metrics(interval, true);
+    }
+
+    fn build_metrics(&mut self, interval: Cycle, hotspots: bool) {
         let n = self.nodes.len();
-        let mut columns = Vec::with_capacity(4 * n + 5);
+        let mut columns = Vec::with_capacity(4 * n + 7);
         for i in 0..n {
             columns.push(format!("ipc{i}"));
             columns.push(format!("prot_occ{i}"));
@@ -414,11 +453,19 @@ impl System {
         for v in 0..4 {
             columns.push(format!("vn{v}"));
         }
+        if hotspots {
+            columns.push("hot_home_occ".to_string());
+            columns.push("hot_link_util".to_string());
+        }
+        let links = self.network.as_ref().map_or(0, |net| net.link_busy().len());
         self.metrics = Some(MetricsState {
             sampler: IntervalSampler::new(interval, columns),
             prev_committed: vec![0; n],
             prev_prot_active: vec![0; n],
             prev_vnet: [0; 4],
+            hotspots,
+            prev_occ: vec![0; n],
+            prev_link_busy: vec![0; links],
         });
     }
 
@@ -426,6 +473,28 @@ impl System {
     /// called.
     pub fn metrics(&self) -> Option<&IntervalSampler> {
         self.metrics.as_ref().map(|m| &m.sampler)
+    }
+
+    /// Turn on spatial hot-spot attribution: every directory (home side)
+    /// and cache hierarchy (requester side) gets a deterministic
+    /// Space-Saving tracker of capacity `top_k`, and
+    /// [`RunStats::spatial`](crate::RunStats) carries the merged, classified
+    /// hot-line list after the run. The per-home heatmap and per-link
+    /// utilization matrix are collected regardless; this only arms the
+    /// per-line layer. Counters mutate exclusively on real protocol/cache
+    /// activity, so serial and parallel runs stay bit-identical.
+    pub fn enable_spatial(&mut self, top_k: usize) {
+        for n in &mut self.nodes {
+            n.directory.enable_spatial(top_k);
+            n.mem.enable_spatial(top_k);
+        }
+    }
+
+    /// Whether spatial hot-spot attribution is armed.
+    pub fn spatial_enabled(&self) -> bool {
+        self.nodes
+            .first()
+            .is_some_and(|n| n.mem.spatial().is_some())
     }
 
     /// Turn on causal-span analysis: attach a [`CausalSpans`] sink to the

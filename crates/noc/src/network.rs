@@ -3,7 +3,7 @@
 use crate::llp::{ChanKey, Llp, PhysBody};
 use crate::msg::{Msg, MsgKind};
 use crate::topology::Topology;
-use smtp_trace::{Category, Event, LinkFaultClass, Tracer};
+use smtp_trace::{Category, Event, LinkFaultClass, LinkHeat, Tracer};
 use smtp_types::{
     Cycle, Distribution, FaultConfig, FaultSummary, NetParams, PhaseBoundary, PhaseProfiler,
     L2_LINE,
@@ -71,6 +71,15 @@ pub struct Network {
     cycles_per_byte: f64,
     route_buf: Vec<usize>,
     stats: NetStats,
+    /// Per-directed-link accounting, indexed by `LinkId`: cycles the link
+    /// spent serializing, physical traversals, wire bytes, and LLP
+    /// retransmissions routed over it. Mutated only on injection (which is
+    /// coordinator-owned serial-order in both engines), so the matrices are
+    /// bit-identical across serial and parallel runs.
+    link_busy: Vec<u64>,
+    link_msgs: Vec<u64>,
+    link_bytes: Vec<u64>,
+    link_retx: Vec<u64>,
     tracer: Tracer,
     profiler: PhaseProfiler,
     vnet_latency: [Distribution; 4],
@@ -95,6 +104,10 @@ impl Network {
             cycles_per_byte: cpu_ghz / p.link_gbps,
             route_buf: Vec::with_capacity(8),
             stats: NetStats::default(),
+            link_busy: vec![0; links],
+            link_msgs: vec![0; links],
+            link_bytes: vec![0; links],
+            link_retx: vec![0; links],
             tracer: Tracer::disabled(),
             profiler: PhaseProfiler::disabled(),
             vnet_latency: std::array::from_fn(|_| Distribution::new()),
@@ -187,6 +200,9 @@ impl Network {
             let start = cur.max(self.link_free[l]);
             self.link_free[l] = start + ser;
             cur = start + ser + self.hop_cycles;
+            self.link_busy[l] += ser;
+            self.link_msgs[l] += 1;
+            self.link_bytes[l] += bytes;
         }
         self.route_buf = route;
         self.stats.messages += 1;
@@ -277,6 +293,29 @@ impl Network {
         &self.stats
     }
 
+    /// Cumulative serialization-busy cycles per directed link, indexed by
+    /// `LinkId` (the interval sampler reads this for its hot-link column).
+    pub fn link_busy(&self) -> &[u64] {
+        &self.link_busy
+    }
+
+    /// The per-directed-link utilization matrix: one row per link in
+    /// link-id order with topology-derived labels, links that saw no
+    /// traffic omitted.
+    pub fn link_heat(&self) -> Vec<LinkHeat> {
+        (0..self.link_busy.len())
+            .filter(|&l| self.link_msgs[l] != 0 || self.link_retx[l] != 0)
+            .map(|l| LinkHeat {
+                link: l,
+                label: self.topo.link_label(l),
+                busy: self.link_busy[l],
+                msgs: self.link_msgs[l],
+                bytes: self.link_bytes[l],
+                retx: self.link_retx[l],
+            })
+            .collect()
+    }
+
     // --- link-level retry path (armed by `set_faults`) ------------------
 
     /// Inject through the retry layer: assign the channel sequence number,
@@ -342,6 +381,19 @@ impl Network {
         if retransmit {
             let links = u64::from(self.topo.hops(msg.src, msg.dst)) + 1;
             cur += links * (ser + self.hop_cycles);
+            // Zero-load timing skips the link calendar, but the packet still
+            // crosses every link on the dimension-order route: attribute the
+            // traversal so the utilization matrix shows where retries burn
+            // bandwidth.
+            let mut route = std::mem::take(&mut self.route_buf);
+            self.topo.route(msg.src, msg.dst, &mut route);
+            for &l in &route {
+                self.link_busy[l] += ser;
+                self.link_msgs[l] += 1;
+                self.link_bytes[l] += bytes;
+                self.link_retx[l] += 1;
+            }
+            self.route_buf = route;
         } else {
             let mut route = std::mem::take(&mut self.route_buf);
             self.topo.route(msg.src, msg.dst, &mut route);
@@ -349,6 +401,9 @@ impl Network {
                 let start = cur.max(self.link_free[l]);
                 self.link_free[l] = start + ser;
                 cur = start + ser + self.hop_cycles;
+                self.link_busy[l] += ser;
+                self.link_msgs[l] += 1;
+                self.link_bytes[l] += bytes;
             }
             self.route_buf = route;
         }
@@ -614,6 +669,48 @@ mod tests {
         b.inject(0, m(MsgKind::GetS, 0, 1));
         assert_eq!(a.next_arrival(), b.next_arrival());
         assert!(!b.fault_counters().any());
+    }
+
+    #[test]
+    fn link_matrix_attributes_traffic() {
+        let mut n = net(4);
+        n.inject(0, m(MsgKind::GetS, 0, 1));
+        let heat = n.link_heat();
+        // Nodes 0 and 1 share router 0: inject link 0 and eject link 4+1,
+        // nothing else.
+        assert_eq!(heat.len(), 2);
+        assert_eq!((heat[0].link, heat[0].label.as_str()), (0, "n0->r0"));
+        assert_eq!((heat[1].link, heat[1].label.as_str()), (5, "r0->n1"));
+        for h in &heat {
+            assert_eq!(h.msgs, 1);
+            assert_eq!(h.bytes, 16);
+            assert_eq!(h.busy, 32); // 16B header at 1 GB/s, 2 GHz
+            assert_eq!(h.retx, 0);
+        }
+        assert_eq!(n.link_busy().len(), n.topology().link_count());
+    }
+
+    #[test]
+    fn link_matrix_attributes_retransmits() {
+        let mut n = net(4);
+        let mut cfg = FaultConfig::chaos(0xBEEF);
+        cfg.link.drop_per_million = 300_000;
+        n.set_faults(&cfg);
+        for i in 0..20u64 {
+            n.inject(i * 10, m(MsgKind::GetS, 0, 1));
+        }
+        let (mut got, mut now) = (0, 0);
+        while got < 20 && now < 1_000_000 {
+            while n.pop_arrived(now).is_some() {
+                got += 1;
+            }
+            now += 32;
+        }
+        assert_eq!(got, 20);
+        let retx_total: u64 = n.link_heat().iter().map(|h| h.retx).sum();
+        // Every retransmission crosses the 2-link route exactly once.
+        assert_eq!(retx_total, 2 * n.fault_counters().link_retransmits);
+        assert!(retx_total > 0);
     }
 
     #[test]

@@ -84,6 +84,29 @@ impl Topology {
         2 * self.nodes + from_router * self.dims as usize + dim as usize
     }
 
+    /// Human-readable label for a link id: `n3->r1` (injection),
+    /// `r1->n3` (ejection) or `r2->r6.d2` (hypercube dimension link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= link_count()`.
+    pub fn link_label(&self, l: LinkId) -> String {
+        if l < self.nodes {
+            return format!("n{}->r{}", l, l / 2);
+        }
+        if l < 2 * self.nodes {
+            let n = l - self.nodes;
+            return format!("r{}->n{}", n / 2, n);
+        }
+        let idx = l - 2 * self.nodes;
+        assert!(
+            idx < self.routers * self.dims as usize,
+            "link id {l} out of range"
+        );
+        let (router, dim) = (idx / self.dims as usize, idx % self.dims as usize);
+        format!("r{}->r{}.d{}", router, router ^ (1 << dim), dim)
+    }
+
     /// Number of router traversals on the path from `src` to `dst`
     /// (minimum 1: even two nodes on the same router cross it once).
     pub fn hops(&self, src: NodeId, dst: NodeId) -> u32 {
@@ -177,6 +200,26 @@ mod tests {
         t.route(NodeId(0), NodeId(2), &mut ab); // router 0 -> 1
         t.route(NodeId(2), NodeId(0), &mut ba); // router 1 -> 0
         assert_ne!(ab[1], ba[1]);
+    }
+
+    #[test]
+    fn link_labels_cover_all_classes() {
+        let t = Topology::new(8);
+        assert_eq!(t.link_label(3), "n3->r1");
+        assert_eq!(t.link_label(8 + 3), "r1->n3");
+        // First dimension link of router 2: partner differs in bit 0.
+        assert_eq!(t.link_label(16 + 2 * 2), "r2->r3.d0");
+        assert_eq!(t.link_label(16 + 2 * 2 + 1), "r2->r0.d1");
+        // Every link id renders, and labels are unique.
+        let labels: std::collections::HashSet<_> =
+            (0..t.link_count()).map(|l| t.link_label(l)).collect();
+        assert_eq!(labels.len(), t.link_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn link_label_rejects_bogus_id() {
+        Topology::new(4).link_label(Topology::new(4).link_count());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::transition::{handle, Outcome, Transition};
 use smtp_noc::Msg;
-use smtp_trace::{Category, DirClass, Event, Tracer};
+use smtp_trace::{record_home, Category, DirClass, Event, HomeReq, LineTracker, PrevState, Tracer};
 use smtp_types::{Cycle, LineAddr, NodeId, SharerSet};
 use std::collections::{HashMap, VecDeque};
 
@@ -80,6 +80,9 @@ pub struct Directory {
     pending: HashMap<u64, VecDeque<Msg>>,
     stats: DirStats,
     tracer: Tracer,
+    /// Home-side per-line heavy-hitter tracker; `None` (zero overhead)
+    /// unless spatial attribution is enabled.
+    spatial: Option<Box<LineTracker>>,
 }
 
 impl Directory {
@@ -91,7 +94,19 @@ impl Directory {
             pending: HashMap::new(),
             stats: DirStats::default(),
             tracer: Tracer::disabled(),
+            spatial: None,
         }
+    }
+
+    /// Arm the home-side per-line tracker with the given Space-Saving
+    /// capacity.
+    pub fn enable_spatial(&mut self, cap: usize) {
+        self.spatial = Some(Box::new(LineTracker::new(cap)));
+    }
+
+    /// The home-side line tracker, if spatial attribution is enabled.
+    pub fn spatial(&self) -> Option<&LineTracker> {
+        self.spatial.as_deref()
     }
 
     /// Attach the system tracer (events: `dir_transition`, `dir_defer`).
@@ -134,12 +149,12 @@ impl Directory {
                         span,
                     });
                 self.stats.handlers += 1;
-                self.stats.invals_sent += t
+                let invals = t
                     .sends
                     .iter()
                     .filter(|m| matches!(m.kind, smtp_noc::MsgKind::Inval { .. }))
                     .count() as u64;
-                self.stats.interventions += t
+                let intervs = t
                     .sends
                     .iter()
                     .filter(|m| {
@@ -150,6 +165,39 @@ impl Directory {
                         )
                     })
                     .count() as u64;
+                self.stats.invals_sent += invals;
+                self.stats.interventions += intervs;
+                if let Some(sp) = &mut self.spatial {
+                    let c = sp.touch(msg.addr);
+                    c.invals_sent += invals;
+                    c.interventions += intervs;
+                    let req = match msg.kind {
+                        smtp_noc::MsgKind::GetS => Some(HomeReq::Read),
+                        smtp_noc::MsgKind::GetX => Some(HomeReq::Write),
+                        smtp_noc::MsgKind::Upgrade => Some(HomeReq::Upgrade),
+                        smtp_noc::MsgKind::Put { .. } => Some(HomeReq::Writeback),
+                        // SharingWb / TransferAck are completion legs of a
+                        // request already recorded when it arrived.
+                        _ => None,
+                    };
+                    if let Some(req) = req {
+                        let prev = match state {
+                            DirState::Unowned => PrevState::Unowned,
+                            DirState::Shared(s) => PrevState::Shared(s.len()),
+                            DirState::Exclusive(o) => PrevState::Exclusive(o.idx()),
+                            DirState::BusyShared { owner, .. }
+                            | DirState::BusyExcl { owner, .. } => PrevState::Exclusive(owner.idx()),
+                        };
+                        let sharers_after = match t.new_state {
+                            DirState::Unowned => 0,
+                            DirState::Shared(s) => s.len(),
+                            DirState::Exclusive(_)
+                            | DirState::BusyShared { .. }
+                            | DirState::BusyExcl { .. } => 1,
+                        };
+                        record_home(c, msg.src.idx(), req, prev, sharers_after);
+                    }
+                }
                 if t.new_state == DirState::Unowned {
                     self.states.remove(&msg.addr.raw());
                 } else {
@@ -159,6 +207,9 @@ impl Directory {
             }
             Outcome::Defer => {
                 self.stats.deferred += 1;
+                if let Some(sp) = &mut self.spatial {
+                    sp.touch(msg.addr).nacks += 1;
+                }
                 let home = self.home;
                 let span = msg.span;
                 self.tracer
@@ -321,6 +372,32 @@ mod tests {
     fn misrouted_message_panics() {
         let mut d = Directory::new(NodeId(3));
         d.process(&msg(MsgKind::GetS, A, line(0)), 0);
+    }
+
+    #[test]
+    fn spatial_tracker_records_home_signature() {
+        let mut d = Directory::new(HOME);
+        d.enable_spatial(8);
+        // A reads, B writes (invalidating A), A reads back (intervention),
+        // and a request deferred while busy counts as a NACK.
+        d.process(&msg(MsgKind::GetS, A, line(0)), 0).unwrap();
+        d.process(&msg(MsgKind::GetX, B, line(0)), 0).unwrap();
+        d.process(&msg(MsgKind::GetS, A, line(0)), 0).unwrap();
+        assert!(d.process(&msg(MsgKind::GetX, B, line(0)), 0).is_none());
+        let t = d.spatial().unwrap().get(line(0)).unwrap();
+        assert_eq!(t.weight, 4); // three handled + one deferred
+        assert_eq!(t.c.reads, 2);
+        assert_eq!(t.c.writes, 1);
+        assert_eq!(t.c.invals_sent, 1);
+        assert_eq!(t.c.interventions, 1);
+        assert_eq!(t.c.nacks, 1);
+        assert_eq!(t.c.read_after_write, 1);
+        assert_eq!(t.c.write_after_read, 1);
+        assert_eq!(t.c.last_writer, Some(B.0 as u32));
+        assert_eq!(t.c.toucher_mask, 0b110);
+        // Disabled directory pays nothing and exposes nothing.
+        let d2 = Directory::new(HOME);
+        assert!(d2.spatial().is_none());
     }
 
     #[test]

@@ -280,7 +280,15 @@ struct CausalState {
     /// span first, so the reservoir is deterministic).
     top: Vec<SpanExemplar>,
     top_k: usize,
+    /// Slowest closed span *per line*, bounded to
+    /// [`LINE_EXEMPLAR_CAP`] distinct lines (hot-spot linkage: the spatial
+    /// layer names a hot line, this map produces its worst transaction).
+    line_best: HashMap<u64, SpanExemplar>,
 }
+
+/// Distinct lines the per-line exemplar map keeps (eviction drops the
+/// line with the smallest best-latency, ties toward the higher address).
+const LINE_EXEMPLAR_CAP: usize = 64;
 
 impl CausalState {
     fn close_span(&mut self, raw: u64) {
@@ -292,11 +300,38 @@ impl CausalState {
             return;
         };
         self.agg.record(&ex.cats, ex.latency());
+        self.note_line_best(&ex);
         let worst_kept = self.top.last().map_or(0, |e| e.latency());
         if self.top.len() < self.top_k || ex.latency() > worst_kept {
             let pos = self.top.partition_point(|e| e.latency() >= ex.latency());
             self.top.insert(pos, ex);
             self.top.truncate(self.top_k);
+        }
+    }
+
+    fn note_line_best(&mut self, ex: &SpanExemplar) {
+        let key = ex.line.raw();
+        if let Some(cur) = self.line_best.get_mut(&key) {
+            // Strict improvement only: ties keep the older span, so the
+            // map is a deterministic function of the event stream.
+            if ex.latency() > cur.latency() {
+                *cur = ex.clone();
+            }
+            return;
+        }
+        if self.line_best.len() < LINE_EXEMPLAR_CAP {
+            self.line_best.insert(key, ex.clone());
+            return;
+        }
+        let (victim, min_lat) = self
+            .line_best
+            .iter()
+            .map(|(&k, e)| (k, e.latency()))
+            .min_by_key(|&(k, lat)| (lat, std::cmp::Reverse(k)))
+            .expect("map is at capacity");
+        if ex.latency() > min_lat {
+            self.line_best.remove(&victim);
+            self.line_best.insert(key, ex.clone());
         }
     }
 }
@@ -335,6 +370,7 @@ impl CausalSpans {
                 agg: CriticalPathBreakdown::default(),
                 top: Vec::new(),
                 top_k,
+                line_best: HashMap::new(),
             })),
         }
     }
@@ -358,6 +394,17 @@ impl CausalSpans {
     /// The slowest closed transactions, worst first (at most `top_k`).
     pub fn exemplars(&self) -> Vec<SpanExemplar> {
         self.lock().top.clone()
+    }
+
+    /// The slowest closed transaction that touched `line` (raw address),
+    /// if the bounded per-line map still holds it — the hot-spot linkage
+    /// used by `explain --hotspots`.
+    pub fn exemplar_for_line(&self, line: u64) -> Option<SpanExemplar> {
+        let st = self.lock();
+        st.line_best
+            .get(&line)
+            .cloned()
+            .or_else(|| st.top.iter().find(|e| e.line.raw() == line).cloned())
     }
 
     /// Number of spans still open (non-zero after a deadlock).
@@ -560,6 +607,43 @@ mod tests {
         assert_eq!(top[1].latency(), 30);
         assert_eq!(spans.breakdown().spans, 3);
         assert_eq!(spans.open_count(), 0);
+    }
+
+    #[test]
+    fn per_line_exemplar_survives_outside_the_global_top() {
+        let spans = CausalSpans::new(1);
+        let mut sink = spans.sink();
+        // Line A gets the overall-slowest span; line B's spans are faster
+        // and would fall out of a top-1 reservoir.
+        for (i, (l, lat)) in [(0x1080u64, 500u64), (0x2100, 80), (0x2100, 120)]
+            .iter()
+            .enumerate()
+        {
+            let s = SpanId::new(NodeId(0), i as u64 + 1);
+            sink.record(
+                1000 * i as u64,
+                &Event::MshrAlloc {
+                    node: NodeId(0),
+                    line: LineAddr(*l),
+                    miss: MissClass::Read,
+                    span: s,
+                },
+            );
+            sink.record(
+                1000 * i as u64 + lat,
+                &Event::MshrFree {
+                    node: NodeId(0),
+                    line: LineAddr(*l),
+                    span: s,
+                },
+            );
+        }
+        assert_eq!(spans.exemplars().len(), 1);
+        assert_eq!(spans.exemplar_for_line(0x1080).unwrap().latency(), 500);
+        // Line B is not in the top reservoir but has a per-line exemplar,
+        // and it is the slowest of its two spans.
+        assert_eq!(spans.exemplar_for_line(0x2100).unwrap().latency(), 120);
+        assert!(spans.exemplar_for_line(0x9999).is_none());
     }
 
     #[test]

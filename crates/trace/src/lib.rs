@@ -41,6 +41,7 @@ pub mod event;
 pub mod host;
 pub mod metrics;
 pub mod sink;
+pub mod spatial;
 pub mod tracer;
 
 pub use causal::{
@@ -55,4 +56,8 @@ pub use host::{
 };
 pub use metrics::IntervalSampler;
 pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, SharedBuf, SharedEvents, TraceSink};
+pub use spatial::{
+    classify, record_home, HomeHeat, HomeReq, HotLine, LineCounters, LineTracker, LinkHeat,
+    PrevState, SharingClass, SpatialStats, TrackedLine,
+};
 pub use tracer::{take_captured_events, CapturedEvent, Tracer};

@@ -1,0 +1,828 @@
+//! Spatial hot-spot attribution: per-line heavy-hitter tracking with a
+//! sharing-pattern classifier, per-home-node directory heatmaps, and
+//! per-directed-link NoC utilization — the paper's Table 7 occupancy
+//! numbers resolved to *which* home node, *which* cache line and *which*
+//! hypercube link.
+//!
+//! # Determinism
+//!
+//! Every structure here is owned by exactly one simulated component
+//! (a node's directory or cache hierarchy, or the coordinator-owned
+//! network) and mutated only on real protocol/cache/network activity —
+//! never on idle ticks. That is the same ownership contract the existing
+//! `*Stats` structs rely on, so the parallel epoch engine needs no extra
+//! capture/replay: serial and parallel runs update these counters at the
+//! same call sites in the same order, and the end-of-run merge (node 0..n,
+//! then the network) is fixed. The [`LineTracker`] is a deterministic
+//! Space-Saving summary: eviction and merge tie-breaks are total orders
+//! over `(weight, line address)`, so identical event streams produce
+//! bit-identical trackers.
+//!
+//! # Space-Saving guarantees
+//!
+//! With capacity `k` over a stream of `n` tracked events:
+//! * every tracked weight over-estimates the true count by at most its
+//!   recorded `err`, and `err <= n / k`;
+//! * any line whose true count exceeds `n / k` is present in the tracker.
+
+use smtp_types::{Addr, Distribution, LineAddr, L2_LINE};
+use std::collections::HashMap;
+
+/// Bytes per false-sharing sub-block; one bit of the access masks.
+pub const SUB_BLOCK: u64 = 8;
+
+/// Sub-blocks per L2 line (mask width).
+pub const SUB_BLOCKS: u32 = (L2_LINE / SUB_BLOCK) as u32;
+
+/// Mask bit for the sub-block `addr` falls in.
+#[inline]
+pub fn sub_block_bit(addr: Addr) -> u16 {
+    1 << ((addr.raw() % L2_LINE) / SUB_BLOCK)
+}
+
+/// Mask bit for a node id (aliased mod 64 on >64-node machines — the
+/// classifier only needs "one node vs several", which aliasing preserves
+/// in practice).
+#[inline]
+pub fn node_bit(node: usize) -> u64 {
+    1 << (node % 64)
+}
+
+/// Per-line event counters and sharer-transition signature. Home-side
+/// fields are filled by the directory that owns the line; requester-side
+/// fields by each node's cache hierarchy; the end-of-run merge joins both
+/// views on the line address.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineCounters {
+    // ---- home side (directory) ----
+    /// GetS requests handled.
+    pub reads: u64,
+    /// GetX + Upgrade requests handled.
+    pub writes: u64,
+    /// Upgrade requests handled.
+    pub upgrades: u64,
+    /// Put requests handled (writebacks reaching the home).
+    pub writebacks: u64,
+    /// Invalidations the home sent for this line.
+    pub invals_sent: u64,
+    /// Interventions (shared or exclusive) the home sent.
+    pub interventions: u64,
+    /// Requests deferred while the line was busy (NACK/retry analog).
+    pub nacks: u64,
+    /// GetS arriving while another node held the line exclusive
+    /// (producer-consumer / migratory signal).
+    pub read_after_write: u64,
+    /// GetX/Upgrade arriving while the line was shared.
+    pub write_after_read: u64,
+    /// Times exclusive ownership moved to a different node.
+    pub writer_changes: u64,
+    /// Peak sharer count observed after a transition.
+    pub peak_sharers: u32,
+    /// Last node granted write ownership (home side).
+    pub last_writer: Option<u32>,
+    // ---- requester side (cache hierarchy) ----
+    /// Coherence-visible misses (read/write/upgrade MSHR allocations).
+    pub misses: u64,
+    /// Invalidations received by requesters.
+    pub invals_rx: u64,
+    /// Interventions received by requesters.
+    pub interventions_rx: u64,
+    /// Sub-blocks written (union over all merged requesters).
+    pub write_mask: u16,
+    /// Sub-blocks read (union over all merged requesters).
+    pub read_mask: u16,
+    /// Sub-blocks written by two or more *distinct* nodes (populated by
+    /// the cross-node merge; always zero inside a single node's tracker).
+    pub multi_write_mask: u16,
+    /// Nodes that touched the line (requester or home request source).
+    pub toucher_mask: u64,
+    /// Nodes that requested write permission.
+    pub writer_mask: u64,
+}
+
+/// The home-visible request kinds [`record_home`] distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HomeReq {
+    /// GetS.
+    Read,
+    /// GetX.
+    Write,
+    /// Upgrade.
+    Upgrade,
+    /// Put (writeback).
+    Writeback,
+}
+
+/// Directory state of the line *before* the request was applied, reduced
+/// to what the signature needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrevState {
+    /// No cached copy.
+    Unowned,
+    /// Shared by `n` nodes.
+    Shared(u32),
+    /// Exclusively owned by node `owner`.
+    Exclusive(usize),
+}
+
+/// Fold one home-side request into a line's signature. `src` is the
+/// requesting node, `prev` the directory state the request found, and
+/// `sharers_after` the sharer count after the transition applied.
+pub fn record_home(
+    c: &mut LineCounters,
+    src: usize,
+    req: HomeReq,
+    prev: PrevState,
+    sharers_after: u32,
+) {
+    c.toucher_mask |= node_bit(src);
+    c.peak_sharers = c.peak_sharers.max(sharers_after);
+    match req {
+        HomeReq::Read => {
+            c.reads += 1;
+            if matches!(prev, PrevState::Exclusive(o) if o != src) {
+                c.read_after_write += 1;
+            }
+        }
+        HomeReq::Write | HomeReq::Upgrade => {
+            c.writes += 1;
+            if req == HomeReq::Upgrade {
+                c.upgrades += 1;
+            }
+            if matches!(prev, PrevState::Shared(n) if n > 0) {
+                c.write_after_read += 1;
+            }
+            c.writer_mask |= node_bit(src);
+            let src = src as u32;
+            if c.last_writer != Some(src) {
+                if c.last_writer.is_some() {
+                    c.writer_changes += 1;
+                }
+                c.last_writer = Some(src);
+            }
+        }
+        HomeReq::Writeback => c.writebacks += 1,
+    }
+}
+
+impl LineCounters {
+    /// Fold another view of the same line into this one. Cross-node merge:
+    /// sub-blocks written by both sides' (disjoint) writer sets become
+    /// multi-writer blocks.
+    pub fn merge(&mut self, o: &LineCounters) {
+        self.multi_write_mask |= o.multi_write_mask | (self.write_mask & o.write_mask);
+        self.write_mask |= o.write_mask;
+        self.read_mask |= o.read_mask;
+        self.toucher_mask |= o.toucher_mask;
+        self.writer_mask |= o.writer_mask;
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.upgrades += o.upgrades;
+        self.writebacks += o.writebacks;
+        self.invals_sent += o.invals_sent;
+        self.interventions += o.interventions;
+        self.nacks += o.nacks;
+        self.read_after_write += o.read_after_write;
+        self.write_after_read += o.write_after_read;
+        self.writer_changes += o.writer_changes;
+        self.peak_sharers = self.peak_sharers.max(o.peak_sharers);
+        self.last_writer = self.last_writer.or(o.last_writer);
+        self.misses += o.misses;
+        self.invals_rx += o.invals_rx;
+        self.interventions_rx += o.interventions_rx;
+    }
+}
+
+/// Sharing-pattern labels the classifier assigns to hot lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SharingClass {
+    /// Only one node ever touched the line.
+    Private,
+    /// Read by several nodes, never written.
+    ReadMostly,
+    /// Exclusive ownership keeps hopping between nodes.
+    Migratory,
+    /// One writer, several readers pulling its updates.
+    ProducerConsumer,
+    /// Several writers, heavy coherence traffic, overlapping sub-blocks.
+    Contended,
+    /// Several writers generating coherence traffic on *disjoint*
+    /// sub-blocks — padding would likely eliminate the traffic.
+    FalseSharingSuspect,
+    /// None of the signatures above fits cleanly.
+    Mixed,
+}
+
+impl SharingClass {
+    /// Stable lower-case label (report/JSON rendering).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SharingClass::Private => "private",
+            SharingClass::ReadMostly => "read-mostly",
+            SharingClass::Migratory => "migratory",
+            SharingClass::ProducerConsumer => "producer-consumer",
+            SharingClass::Contended => "contended",
+            SharingClass::FalseSharingSuspect => "false-sharing-suspect",
+            SharingClass::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a label produced by [`SharingClass::as_str`].
+    pub fn from_str_label(s: &str) -> Option<SharingClass> {
+        Some(match s {
+            "private" => SharingClass::Private,
+            "read-mostly" => SharingClass::ReadMostly,
+            "migratory" => SharingClass::Migratory,
+            "producer-consumer" => SharingClass::ProducerConsumer,
+            "contended" => SharingClass::Contended,
+            "false-sharing-suspect" => SharingClass::FalseSharingSuspect,
+            "mixed" => SharingClass::Mixed,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for SharingClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Minimum coherence-traffic events (invals + interventions + NACKs)
+/// before a line is called contended.
+const CONTENTION_MIN: u64 = 4;
+
+/// Classify a merged line signature. Rules are checked in a fixed order,
+/// so the label is a deterministic function of the counters.
+pub fn classify(c: &LineCounters) -> SharingClass {
+    let nodes = (c.toucher_mask | c.writer_mask).count_ones();
+    let writers = c.writer_mask.count_ones();
+    let coherence = c.invals_sent + c.interventions + c.invals_rx + c.interventions_rx;
+    if nodes <= 1 && coherence == 0 && c.writer_changes == 0 {
+        return SharingClass::Private;
+    }
+    if c.writes == 0 && c.writer_mask == 0 {
+        return SharingClass::ReadMostly;
+    }
+    if writers >= 2 && c.write_mask.count_ones() >= 2 && c.multi_write_mask == 0 && coherence >= 2 {
+        return SharingClass::FalseSharingSuspect;
+    }
+    if c.writer_changes >= 2 && c.reads <= c.writes.saturating_mul(2) {
+        return SharingClass::Migratory;
+    }
+    if writers <= 1 && c.writer_changes == 0 && c.writes >= 1 && c.read_after_write >= 2 {
+        return SharingClass::ProducerConsumer;
+    }
+    if coherence + c.nacks >= CONTENTION_MIN || c.writer_changes >= 2 {
+        return SharingClass::Contended;
+    }
+    SharingClass::Mixed
+}
+
+/// One tracked line in a [`LineTracker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrackedLine {
+    /// The line address.
+    pub line: LineAddr,
+    /// Estimated tracked-event count (over-estimates by at most `err`).
+    pub weight: u64,
+    /// Over-estimation bound inherited from evicted predecessors.
+    pub err: u64,
+    /// The line's counters (reset when a slot is recycled).
+    pub c: LineCounters,
+}
+
+/// Deterministic Space-Saving heavy-hitter summary over line addresses.
+#[derive(Clone, Debug, Default)]
+pub struct LineTracker {
+    cap: usize,
+    total: u64,
+    entries: Vec<TrackedLine>,
+    index: HashMap<u64, usize>,
+}
+
+impl LineTracker {
+    /// A tracker holding at most `cap` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> LineTracker {
+        assert!(cap > 0, "LineTracker capacity must be nonzero");
+        LineTracker {
+            cap,
+            total: 0,
+            entries: Vec::with_capacity(cap),
+            index: HashMap::with_capacity(cap),
+        }
+    }
+
+    /// Capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Total tracked events observed (stream length `n`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of lines currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record one event on `line` and return its counters for the caller
+    /// to update. Evicts the minimum-weight entry when full (ties broken
+    /// toward the lowest line address), resetting its counters per
+    /// Space-Saving.
+    pub fn touch(&mut self, line: LineAddr) -> &mut LineCounters {
+        self.total += 1;
+        if let Some(&i) = self.index.get(&line.raw()) {
+            self.entries[i].weight += 1;
+            return &mut self.entries[i].c;
+        }
+        if self.entries.len() < self.cap {
+            let i = self.entries.len();
+            self.entries.push(TrackedLine {
+                line,
+                weight: 1,
+                err: 0,
+                c: LineCounters::default(),
+            });
+            self.index.insert(line.raw(), i);
+            return &mut self.entries[i].c;
+        }
+        // Full: recycle the minimum-weight slot.
+        let i = self.min_slot();
+        let evicted = self.entries[i];
+        self.index.remove(&evicted.line.raw());
+        self.index.insert(line.raw(), i);
+        self.entries[i] = TrackedLine {
+            line,
+            weight: evicted.weight + 1,
+            err: evicted.weight,
+            c: LineCounters::default(),
+        };
+        &mut self.entries[i].c
+    }
+
+    /// Counters of a tracked line, if present (read-only probe).
+    pub fn get(&self, line: LineAddr) -> Option<&TrackedLine> {
+        self.index.get(&line.raw()).map(|&i| &self.entries[i])
+    }
+
+    fn min_slot(&self) -> usize {
+        let mut best = 0;
+        for (i, e) in self.entries.iter().enumerate().skip(1) {
+            let b = &self.entries[best];
+            if (e.weight, e.line.raw()) < (b.weight, b.line.raw()) {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Fold another tracker into this one. Entries are visited in the
+    /// other tracker's sorted order, so the merge is a deterministic
+    /// function of the two summaries.
+    pub fn merge(&mut self, other: &LineTracker) {
+        self.total += other.total;
+        for e in other.sorted() {
+            if let Some(&i) = self.index.get(&e.line.raw()) {
+                self.entries[i].weight += e.weight;
+                self.entries[i].err += e.err;
+                let c = e.c;
+                self.entries[i].c.merge(&c);
+            } else if self.entries.len() < self.cap {
+                let i = self.entries.len();
+                self.entries.push(e);
+                self.index.insert(e.line.raw(), i);
+            } else {
+                // Recycle the minimum slot (classic Space-Saving): the new
+                // weight absorbs the evicted minimum, so weights stay
+                // over-estimates even for keys dropped by earlier merges.
+                let i = self.min_slot();
+                let min_w = self.entries[i].weight;
+                let victim = self.entries[i];
+                self.index.remove(&victim.line.raw());
+                self.index.insert(e.line.raw(), i);
+                self.entries[i] = TrackedLine {
+                    line: e.line,
+                    weight: e.weight + min_w,
+                    err: e.err + min_w,
+                    c: e.c,
+                };
+            }
+        }
+    }
+
+    /// Tracked lines sorted by weight (descending), ties by line address
+    /// (ascending) — the deterministic report order.
+    pub fn sorted(&self) -> Vec<TrackedLine> {
+        let mut v = self.entries.clone();
+        v.sort_by_key(|e| (std::cmp::Reverse(e.weight), e.line.raw()));
+        v
+    }
+}
+
+/// One classified hot line in the end-of-run summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HotLine {
+    /// The line address (raw).
+    pub line: u64,
+    /// Home node of the line.
+    pub home: usize,
+    /// Estimated tracked-event count.
+    pub weight: u64,
+    /// Over-estimation bound.
+    pub err: u64,
+    /// Classifier label.
+    pub class: SharingClass,
+    /// Merged counters.
+    pub c: LineCounters,
+}
+
+/// Per-home-node directory heat (Table 7 resolved spatially).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HomeHeat {
+    /// The home node.
+    pub node: usize,
+    /// Handlers dispatched at this home.
+    pub handlers: u64,
+    /// Cycles the protocol engine / protocol thread was active.
+    pub occupancy_cycles: u64,
+    /// Requests deferred while lines were busy (NACK/retry analog).
+    pub nacks: u64,
+    /// Dispatch-queue wait at this home (LMI + NI input queues).
+    pub queue_wait: Distribution,
+    /// SDRAM channel queue wait at this home (both channels).
+    pub sdram_wait: Distribution,
+}
+
+/// Per-directed-link NoC load.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkHeat {
+    /// Link id (topology numbering).
+    pub link: usize,
+    /// Human-readable label ("inject n3", "r2 dim1", ...).
+    pub label: String,
+    /// Cycles the link was reserved for serialization.
+    pub busy: u64,
+    /// Messages that crossed the link.
+    pub msgs: u64,
+    /// Payload+header bytes that crossed the link.
+    pub bytes: u64,
+    /// LLP retransmissions attributed to the link.
+    pub retx: u64,
+}
+
+/// The spatial-attribution section of [`RunStats`]: classified hot lines
+/// (when the per-line tracker was enabled), the home-node heatmap, and
+/// the link utilization matrix (always populated on multi-node runs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpatialStats {
+    /// Whether the per-line tracker was enabled for this run.
+    pub enabled: bool,
+    /// Execution cycles (denominator for occupancy/utilization).
+    pub elapsed: u64,
+    /// Total events the line trackers observed.
+    pub tracked_events: u64,
+    /// Classified hot lines, heaviest first.
+    pub hot_lines: Vec<HotLine>,
+    /// Per-home-node heat, in node order.
+    pub homes: Vec<HomeHeat>,
+    /// Per-directed-link load, link-id order, zero-traffic links omitted.
+    pub links: Vec<LinkHeat>,
+}
+
+impl SpatialStats {
+    /// The home node with the highest protocol occupancy (ties toward the
+    /// lowest node id).
+    pub fn peak_home(&self) -> Option<&HomeHeat> {
+        self.homes
+            .iter()
+            .max_by_key(|h| (h.occupancy_cycles, std::cmp::Reverse(h.node)))
+    }
+
+    /// The busiest link (ties toward the lowest link id).
+    pub fn peak_link(&self) -> Option<&LinkHeat> {
+        self.links
+            .iter()
+            .max_by_key(|l| (l.busy, std::cmp::Reverse(l.link)))
+    }
+
+    /// Occupancy fraction of one home.
+    pub fn home_occ(&self, h: &HomeHeat) -> f64 {
+        h.occupancy_cycles as f64 / self.elapsed.max(1) as f64
+    }
+
+    /// Busy-cycle fraction of one link.
+    pub fn link_util(&self, l: &LinkHeat) -> f64 {
+        l.busy as f64 / self.elapsed.max(1) as f64
+    }
+
+    /// Peak home occupancy fraction (0 with no homes).
+    pub fn peak_home_occ(&self) -> f64 {
+        self.peak_home().map(|h| self.home_occ(h)).unwrap_or(0.0)
+    }
+
+    /// Peak link utilization fraction (0 with no links).
+    pub fn peak_link_util(&self) -> f64 {
+        self.peak_link().map(|l| self.link_util(l)).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtp_types::{NodeId, Region, SplitMix64};
+    use std::collections::HashMap;
+
+    fn line(raw: u64) -> LineAddr {
+        Addr::new(NodeId(0), Region::AppData, raw * L2_LINE).line()
+    }
+
+    // ------------------- Space-Saving vs exact oracle -------------------
+
+    #[test]
+    fn space_saving_matches_exact_oracle_on_seeded_streams() {
+        for seed in [0x5eed_0001u64, 0xdead_beef, 0x0b5e_55ed] {
+            let mut rng = SplitMix64::new(seed);
+            let cap = 16usize;
+            let mut tr = LineTracker::new(cap);
+            let mut exact: HashMap<u64, u64> = HashMap::new();
+            let n = 20_000u64;
+            for _ in 0..n {
+                // Skewed stream: a few heavy lines over a long tail.
+                let key = if rng.below(100) < 60 {
+                    rng.below(4)
+                } else {
+                    4 + rng.below(400)
+                };
+                let l = line(key);
+                tr.touch(l);
+                *exact.entry(l.raw()).or_default() += 1;
+            }
+            assert_eq!(tr.total(), n);
+            let bound = n / cap as u64;
+            for e in tr.sorted() {
+                let truth = exact[&e.line.raw()];
+                assert!(e.weight >= truth, "weight must over-estimate");
+                assert!(
+                    e.weight - e.err <= truth,
+                    "weight {} - err {} exceeds true count {}",
+                    e.weight,
+                    e.err,
+                    truth
+                );
+                assert!(e.err <= bound, "err {} above n/k bound {}", e.err, bound);
+            }
+            // Every true heavy hitter must be tracked.
+            for (&k, &c) in &exact {
+                if c > bound {
+                    assert!(
+                        tr.get(LineAddr(k)).is_some(),
+                        "heavy hitter {k:#x} (count {c}) evicted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_order_is_deterministic() {
+        let build = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            let mut tr = LineTracker::new(8);
+            for _ in 0..5_000 {
+                tr.touch(line(rng.below(64)));
+            }
+            tr.sorted()
+        };
+        let a = build(42);
+        let b = build(42);
+        assert_eq!(a, b, "same stream must produce an identical summary");
+        // Ties break toward the lower line address.
+        let mut tr = LineTracker::new(4);
+        for k in [3u64, 1, 2, 0] {
+            tr.touch(line(k));
+        }
+        let order: Vec<u64> = tr.sorted().iter().map(|e| e.line.raw()).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn merge_keeps_over_estimate_and_determinism() {
+        let mut rng = SplitMix64::new(7);
+        let mut exact: HashMap<u64, u64> = HashMap::new();
+        let mut parts: Vec<LineTracker> = Vec::new();
+        for _ in 0..4 {
+            let mut tr = LineTracker::new(8);
+            for _ in 0..2_000 {
+                let key = if rng.below(10) < 6 {
+                    rng.below(3)
+                } else {
+                    3 + rng.below(100)
+                };
+                tr.touch(line(key));
+                *exact.entry(line(key).raw()).or_default() += 1;
+            }
+            parts.push(tr);
+        }
+        let mut merged = LineTracker::new(8);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.total(), 8_000);
+        for e in merged.sorted() {
+            let truth = exact.get(&e.line.raw()).copied().unwrap_or(0);
+            assert!(
+                e.weight >= truth,
+                "merged weight must stay an over-estimate"
+            );
+        }
+        // Merging again in the same order reproduces the same summary.
+        let mut again = LineTracker::new(8);
+        for p in &parts {
+            again.merge(p);
+        }
+        assert_eq!(merged.sorted(), again.sorted());
+    }
+
+    // ------------------------- classifier scripts -------------------------
+
+    /// Drive the home-side signature exactly as the directory would for a
+    /// migratory line: each node in turn reads then upgrades the line.
+    #[test]
+    fn classifier_labels_migratory_script() {
+        let mut c = LineCounters::default();
+        let mut owner: Option<usize> = None;
+        for round in 0..6 {
+            let node = round % 3;
+            let prev = match owner {
+                None => PrevState::Unowned,
+                Some(o) => PrevState::Exclusive(o),
+            };
+            record_home(&mut c, node, HomeReq::Read, prev, 2);
+            if owner.is_some() {
+                c.interventions += 1;
+                c.interventions_rx += 1;
+            }
+            record_home(&mut c, node, HomeReq::Upgrade, PrevState::Shared(2), 0);
+            c.invals_sent += 1;
+            c.invals_rx += 1;
+            owner = Some(node);
+        }
+        assert!(c.writer_changes >= 2);
+        assert_eq!(classify(&c), SharingClass::Migratory);
+    }
+
+    /// Producer node 0 writes; consumers 1..4 read it back each round.
+    #[test]
+    fn classifier_labels_producer_consumer_script() {
+        let mut c = LineCounters::default();
+        record_home(&mut c, 0, HomeReq::Write, PrevState::Unowned, 0);
+        for _round in 0..4 {
+            for consumer in 1..4 {
+                record_home(
+                    &mut c,
+                    consumer,
+                    HomeReq::Read,
+                    PrevState::Exclusive(0),
+                    consumer as u32 + 1,
+                );
+                c.interventions += 1;
+            }
+            record_home(&mut c, 0, HomeReq::Upgrade, PrevState::Shared(4), 0);
+            c.invals_sent += 3;
+        }
+        assert_eq!(c.writer_changes, 0);
+        assert!(c.read_after_write >= 2);
+        assert_eq!(classify(&c), SharingClass::ProducerConsumer);
+    }
+
+    /// Two nodes write disjoint sub-blocks of one line; the coherence
+    /// traffic is real but no byte is truly shared.
+    #[test]
+    fn classifier_labels_false_sharing_script() {
+        // Node 1's requester-side view: writes sub-block 0.
+        let a = LineCounters {
+            misses: 8,
+            write_mask: 0b0001,
+            writer_mask: node_bit(1),
+            toucher_mask: node_bit(1),
+            invals_rx: 4,
+            ..Default::default()
+        };
+        // Node 2's requester-side view: writes sub-block 3.
+        let b = LineCounters {
+            misses: 8,
+            write_mask: 0b1000,
+            writer_mask: node_bit(2),
+            toucher_mask: node_bit(2),
+            invals_rx: 4,
+            ..Default::default()
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.multi_write_mask, 0);
+        assert_eq!(merged.write_mask, 0b1001);
+        assert_eq!(classify(&merged), SharingClass::FalseSharingSuspect);
+        // If both nodes had written the same sub-block, it is true sharing:
+        let mut b2 = b;
+        b2.write_mask = 0b0001;
+        let mut truly = a;
+        truly.merge(&b2);
+        assert_ne!(classify(&truly), SharingClass::FalseSharingSuspect);
+    }
+
+    #[test]
+    fn classifier_labels_read_mostly_and_private() {
+        let mut c = LineCounters::default();
+        for node in 0..4 {
+            record_home(
+                &mut c,
+                node,
+                HomeReq::Read,
+                PrevState::Shared(node as u32),
+                4,
+            );
+        }
+        assert_eq!(classify(&c), SharingClass::ReadMostly);
+        let mut p = LineCounters::default();
+        record_home(&mut p, 2, HomeReq::Write, PrevState::Unowned, 0);
+        p.misses = 5;
+        assert_eq!(classify(&p), SharingClass::Private);
+    }
+
+    // --------------------------- spatial stats ---------------------------
+
+    #[test]
+    fn peak_home_and_link_selection() {
+        let home = |node: usize, occ: u64| HomeHeat {
+            node,
+            handlers: 10,
+            occupancy_cycles: occ,
+            nacks: 0,
+            queue_wait: Distribution::new(),
+            sdram_wait: Distribution::new(),
+        };
+        let link = |id: usize, busy: u64| LinkHeat {
+            link: id,
+            label: format!("l{id}"),
+            busy,
+            msgs: 1,
+            bytes: 64,
+            retx: 0,
+        };
+        let s = SpatialStats {
+            enabled: true,
+            elapsed: 1_000,
+            tracked_events: 0,
+            hot_lines: Vec::new(),
+            homes: vec![home(0, 100), home(1, 400), home(2, 400)],
+            links: vec![link(0, 50), link(3, 250), link(5, 250)],
+        };
+        // Ties resolve toward the lowest id.
+        assert_eq!(s.peak_home().unwrap().node, 1);
+        assert_eq!(s.peak_link().unwrap().link, 3);
+        assert!((s.peak_home_occ() - 0.4).abs() < 1e-12);
+        assert!((s.peak_link_util() - 0.25).abs() < 1e-12);
+        let empty = SpatialStats::default();
+        assert_eq!(empty.peak_home_occ(), 0.0);
+        assert_eq!(empty.peak_link_util(), 0.0);
+    }
+
+    #[test]
+    fn sub_block_bits_cover_the_line() {
+        assert_eq!(SUB_BLOCKS, 16);
+        let a = Addr::new(NodeId(0), Region::AppData, 0);
+        assert_eq!(sub_block_bit(a), 1);
+        let b = Addr::new(NodeId(0), Region::AppData, L2_LINE - 1);
+        assert_eq!(sub_block_bit(b), 1 << 15);
+    }
+
+    #[test]
+    fn class_labels_round_trip() {
+        for c in [
+            SharingClass::Private,
+            SharingClass::ReadMostly,
+            SharingClass::Migratory,
+            SharingClass::ProducerConsumer,
+            SharingClass::Contended,
+            SharingClass::FalseSharingSuspect,
+            SharingClass::Mixed,
+        ] {
+            assert_eq!(SharingClass::from_str_label(c.as_str()), Some(c));
+        }
+        assert_eq!(SharingClass::from_str_label("bogus"), None);
+    }
+}

@@ -5,6 +5,7 @@
 //! cargo run --release --example explain -- ocean 4 2
 //! cargo run --release --example explain -- fft 2 2 --top 5
 //! cargo run --release --example explain -- fft 2 2 --trace explain_trace.json
+//! cargo run --release --example explain -- fft 4 2 --hotspots
 //! ```
 //!
 //! Runs one simulation with causal-span analysis on: every L2 miss
@@ -19,6 +20,12 @@
 //! arrows connect each transaction's events across nodes — load it at
 //! <https://ui.perfetto.dev> and follow a span arrow from the requester's
 //! miss through the home node's handler and back.
+//!
+//! With `--hotspots`, the spatial attribution layer runs alongside the
+//! causal spans: after the top-K slowest transactions, the hottest cache
+//! line is named with its sharing classification, and the slowest
+//! transaction that touched *that line* is rendered as a causal tree —
+//! linking "where is the traffic" to "why is it slow" in one view.
 
 use smtp::trace::{ChromeTraceSink, PATH_CAT_NAMES};
 use smtp::{build_system, AppKind, ExperimentConfig, MachineModel};
@@ -45,6 +52,13 @@ fn main() {
         args.remove(i);
         trace_path = Some(args.remove(i));
     }
+    let hotspots = match args.iter().position(|a| a == "--hotspots") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
     let app = args.first().map_or(AppKind::Ocean, |s| parse_app(s));
     let nodes: usize = args.get(1).map_or(2, |s| s.parse().expect("nodes"));
     let ways: usize = args.get(2).map_or(2, |s| s.parse().expect("ways"));
@@ -56,6 +70,9 @@ fn main() {
     );
     let mut sys = build_system(&e);
     sys.enable_host_telemetry();
+    if hotspots {
+        sys.enable_spatial(64);
+    }
     let causal = sys.enable_causal_spans(top_k);
     if let Some(path) = &trace_path {
         let file = std::fs::File::create(path).unwrap_or_else(|err| {
@@ -100,6 +117,40 @@ fn main() {
         println!("\n== #{} slowest transaction ==", rank + 1);
         print!("{}", ex.render_tree());
         print!("{}", ex.render_critical_path());
+    }
+    if hotspots {
+        let sp = &stats.spatial;
+        match sp.hot_lines.first() {
+            Some(h) => {
+                println!(
+                    "\n== hottest line: {:#x} (home n{}) ==\n\
+                     classified {} — {}±{} tracked events, {} reads / {} writes, \
+                     {} invals sent, {} nacks, peak {} sharers",
+                    h.line,
+                    h.home,
+                    h.class.as_str(),
+                    h.weight,
+                    h.err,
+                    h.c.reads,
+                    h.c.writes,
+                    h.c.invals_sent,
+                    h.c.nacks,
+                    h.c.peak_sharers
+                );
+                match causal.exemplar_for_line(h.line) {
+                    Some(ex) => {
+                        println!("slowest transaction on this line:");
+                        print!("{}", ex.render_tree());
+                        print!("{}", ex.render_critical_path());
+                    }
+                    None => println!(
+                        "no closed transaction on this line was retained \
+                         (it may have stayed node-local)"
+                    ),
+                }
+            }
+            None => println!("\nno hot lines tracked"),
+        }
     }
     if let Some(host) = sys.take_host_profile() {
         println!(

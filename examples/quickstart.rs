@@ -12,6 +12,7 @@
 //! cargo run --release --example quickstart -- --telemetry host_profile.json
 //! cargo run --release --example quickstart -- --heartbeat hb.jsonl
 //! cargo run --release --example quickstart -- --archive runs/
+//! cargo run --release --example quickstart -- --hotspots [hotspots.json]
 //! ```
 //!
 //! With `--trace <path>` the full event stream is exported in Chrome
@@ -39,6 +40,12 @@
 //! cross-run archive at `dir` (created on first use), keyed by the
 //! configuration fingerprint — compare archived runs afterwards with the
 //! `compare` example.
+//!
+//! With `--hotspots [path]` the run arms the spatial attribution layer:
+//! after the run the top contended cache lines (with their sharing-pattern
+//! classification), the hottest home nodes and the busiest NoC links are
+//! printed, and the full spatial section is written as JSON to `path`
+//! (default `hotspots.json`).
 //!
 //! With `--faults <seed>` the run injects seeded faults everywhere at once
 //! (link drops/corruption/duplication, correctable ECC errors, dispatch
@@ -136,6 +143,18 @@ fn main() {
         }
         None => None,
     };
+    let hotspots_path = match args.iter().position(|a| a == "--hotspots") {
+        Some(i) => {
+            args.remove(i);
+            // An explicit path may follow; otherwise use a default.
+            if i < args.len() && !args[i].starts_with("--") && !looks_positional(&args[i]) {
+                Some(args.remove(i))
+            } else {
+                Some("hotspots.json".to_string())
+            }
+        }
+        None => None,
+    };
     let archive_dir = match args.iter().position(|a| a == "--archive") {
         Some(i) => {
             args.remove(i);
@@ -191,6 +210,10 @@ fn main() {
     let mut sys = build_system(&exp);
     if fault_seed.is_some() {
         sys.enable_invariant_checks(50_000);
+    }
+    if hotspots_path.is_some() {
+        println!("spatial attribution     : tracking top 64 lines per node");
+        sys.enable_spatial(64);
     }
     if telemetry_path.is_some() || archive_dir.is_some() {
         // Archived reports carry the host profile so wall clocks from the
@@ -286,6 +309,59 @@ fn main() {
     }
     if let Some(path) = &trace_path {
         println!("trace written           : {path} (load it at https://ui.perfetto.dev)");
+    }
+    if let Some(path) = &hotspots_path {
+        let sp = &stats.spatial;
+        println!();
+        println!(
+            "Hot lines (top {} of {} tracked events):",
+            5, sp.tracked_events
+        );
+        for h in sp.hot_lines.iter().take(5) {
+            println!(
+                "  {:#012x} home n{}: {:<22} {}±{} events, {} reads / {} writes, \
+                 {} invals, {} nacks",
+                h.line,
+                h.home,
+                h.class.as_str(),
+                h.weight,
+                h.err,
+                h.c.reads,
+                h.c.writes,
+                h.c.invals_sent,
+                h.c.nacks
+            );
+        }
+        println!("Hottest home nodes:");
+        let mut homes: Vec<_> = sp.homes.iter().collect();
+        homes.sort_by_key(|h| (std::cmp::Reverse(h.occupancy_cycles), h.node));
+        for h in homes.iter().take(3) {
+            println!(
+                "  n{}: {:.1}% occupancy, {} handlers, {} nacks, queue wait mean {:.1} cyc",
+                h.node,
+                100.0 * sp.home_occ(h),
+                h.handlers,
+                h.nacks,
+                h.queue_wait.mean()
+            );
+        }
+        println!("Busiest NoC links:");
+        let mut links: Vec<_> = sp.links.iter().collect();
+        links.sort_by_key(|l| (std::cmp::Reverse(l.busy), l.link));
+        for l in links.iter().take(3) {
+            println!(
+                "  {:<10} {:.1}% util, {} msgs, {} bytes, {} retx",
+                l.label,
+                100.0 * sp.link_util(l),
+                l.msgs,
+                l.bytes,
+                l.retx
+            );
+        }
+        match std::fs::write(path, smtp::spatial_json(sp)) {
+            Ok(()) => println!("hot spots written       : {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
     }
     let profile = sys.take_host_profile();
     if let Some(dir) = &archive_dir {

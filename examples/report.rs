@@ -6,13 +6,18 @@
 //! cargo run --release --example report -- fft 4 2 --model base
 //! cargo run --release --example report -- fft 4 2 --json > report.json
 //! cargo run --release --example report -- fft 4 2 --md
+//! cargo run --release --example report -- fft 4 2 --summary
 //! ```
 //!
 //! The report covers Table 7 protocol occupancy, a Fig. 5/7-style
 //! per-thread time breakdown, end-to-end L2 miss latency percentiles per
-//! {local,remote}x{read,read-exclusive} class, and the phase decomposition
+//! {local,remote}x{read,read-exclusive} class, the phase decomposition
 //! of remote misses (issue, request network, dispatch queue, handler +
-//! SDRAM, reply network, fill, completion).
+//! SDRAM, reply network, fill, completion), and the spatial "Hot spots"
+//! section: classified hot cache lines, the per-home-node occupancy
+//! heatmap, and the NoC link utilization matrix. `--summary` prints the
+//! one-screen digest instead, surfacing the spatial peaks next to the
+//! machine-wide numbers.
 
 use smtp::{build_system, AppKind, ExperimentConfig, MachineModel, Report};
 
@@ -46,6 +51,7 @@ fn main() {
     };
     let json = take_flag("--json");
     let md = take_flag("--md");
+    let summary = take_flag("--summary");
     let model = match args.iter().position(|a| a == "--model") {
         Some(i) => {
             if i + 1 >= args.len() {
@@ -64,6 +70,9 @@ fn main() {
     let exp = ExperimentConfig::new(model, app, nodes, ways);
     let mut sys = build_system(&exp);
     sys.enable_host_telemetry();
+    // Track the hottest lines so the report's "Hot spots" section carries
+    // the per-line classification alongside the home/link heat.
+    sys.enable_spatial(64);
     let stats = sys.run(exp.max_cycles).expect("run must complete");
     let host = sys.take_host_profile();
     let report = match &host {
@@ -74,6 +83,8 @@ fn main() {
         println!("{}", report.json());
     } else if md {
         println!("{}", report.markdown());
+    } else if summary {
+        print!("{}", report.summary());
     } else {
         println!("{}", report.text());
     }
